@@ -1,0 +1,320 @@
+(* lmc: the Liquid Metal command-line compiler and runner.
+
+     lmc compile FILE [--emit DIR]    compile all backends, print manifest
+     lmc run FILE ENTRY [ARGS...]     compile and co-execute an entry point
+     lmc disasm FILE [FUNCTION]       print bytecode disassembly
+     lmc workloads [NAME]             list the benchmark suite / run one
+     lmc dump-ir FILE [FUNCTION]      print the intermediate representation
+
+   Argument syntax for `run`:
+     42            int
+     3.5           float
+     true/false    boolean
+     101b          bit array literal
+     int:1,2,3     int array
+     float:1,2.5   float array *)
+
+module Lm = Liquid_metal.Lm
+module Ir = Lime_ir.Ir
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let handle_compile_errors f =
+  try f () with
+  | Support.Diag.Compile_error d ->
+    prerr_endline (Support.Diag.to_string d);
+    exit 1
+  | Lime_ir.Interp.Runtime_error msg | Bytecode.Vm.Vm_error msg ->
+    prerr_endline ("runtime error: " ^ msg);
+    exit 1
+
+(* --- argument parsing for `run` -------------------------------------- *)
+
+let parse_value (s : string) : Lm.I.v =
+  let parse_list conv s =
+    List.map conv (String.split_on_char ',' s)
+  in
+  match String.index_opt s ':' with
+  | Some i -> (
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match kind with
+    | "int" -> Lm.int_array (Array.of_list (parse_list int_of_string rest))
+    | "float" ->
+      Lm.float_array (Array.of_list (parse_list float_of_string rest))
+    | _ -> failwith ("unknown array kind: " ^ kind))
+  | None -> (
+    if s = "true" then Lm.bool true
+    else if s = "false" then Lm.bool false
+    else if
+      String.length s > 1
+      && s.[String.length s - 1] = 'b'
+      && String.for_all
+           (fun c -> c = '0' || c = '1')
+           (String.sub s 0 (String.length s - 1))
+    then Lm.bits (String.sub s 0 (String.length s - 1))
+    else
+      match int_of_string_opt s with
+      | Some i -> Lm.int i
+      | None -> (
+        match float_of_string_opt s with
+        | Some f -> Lm.float f
+        | None -> failwith ("cannot parse argument: " ^ s)))
+
+let policy_conv =
+  let parse = function
+    | "bytecode" -> Ok Runtime.Substitute.Bytecode_only
+    | "accel" -> Ok Runtime.Substitute.Prefer_accelerators
+    | "gpu" -> Ok (Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Gpu ])
+    | "fpga" -> Ok (Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Fpga ])
+    | "native" ->
+      Ok (Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Native ])
+    | "smallest" -> Ok Runtime.Substitute.Smallest_substitution
+    | "adaptive" -> Ok Runtime.Substitute.Adaptive
+    | s -> Error (`Msg ("unknown policy: " ^ s))
+  in
+  let print ppf p =
+    Format.fprintf ppf "%s"
+      (match p with
+      | Runtime.Substitute.Bytecode_only -> "bytecode"
+      | Runtime.Substitute.Prefer_accelerators -> "accel"
+      | Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Gpu ] -> "gpu"
+      | Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Fpga ] -> "fpga"
+      | Runtime.Substitute.Prefer_devices _ -> "devices"
+      | Runtime.Substitute.Smallest_substitution -> "smallest"
+      | Runtime.Substitute.Adaptive -> "adaptive")
+  in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Lime source file")
+
+(* --- compile ---------------------------------------------------------- *)
+
+let emit_artifacts dir (store : Runtime.Store.t)
+    (manifest : Runtime.Artifact.manifest) =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let sanitize s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> c
+        | _ -> '_')
+      s
+  in
+  List.iter
+    (fun (e : Runtime.Artifact.manifest_entry) ->
+      match Runtime.Store.find_on store ~uid:e.me_uid ~device:e.me_device with
+      | Some (Runtime.Artifact.Gpu_kernel g) ->
+        let path = Filename.concat dir (sanitize e.me_uid ^ ".cl") in
+        let oc = open_out path in
+        output_string oc g.ga_opencl;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      | Some (Runtime.Artifact.Fpga_module f) ->
+        let path = Filename.concat dir (sanitize e.me_uid ^ ".v") in
+        let oc = open_out path in
+        output_string oc f.fa_verilog;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      | Some (Runtime.Artifact.Native_binary n) ->
+        let path = Filename.concat dir (sanitize e.me_uid ^ ".c") in
+        let oc = open_out path in
+        output_string oc n.na_c;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      | None -> ())
+    manifest.entries
+
+let compile_cmd =
+  let emit =
+    Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"DIR"
+           ~doc:"write the OpenCL and Verilog artifacts into $(docv)")
+  in
+  let action file emit =
+    handle_compile_errors (fun () ->
+        let compiled = Liquid_metal.Compiler.compile ~file (read_file file) in
+        let manifest = Liquid_metal.Compiler.manifest compiled in
+        Format.printf "%a" Runtime.Artifact.pp_manifest manifest;
+        Printf.printf "compiled functions (bytecode): %d\n"
+          (Ir.String_map.cardinal compiled.unit_.u_funcs);
+        List.iter
+          (fun (phase, s) -> Printf.printf "  %-18s %8.2f ms\n" phase (1000.0 *. s))
+          compiled.phase_seconds;
+        Option.iter
+          (fun dir -> emit_artifacts dir compiled.store manifest)
+          emit)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"compile a Lime file with every backend")
+    Term.(const action $ file_arg $ emit)
+
+(* --- run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let entry =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"ENTRY"
+           ~doc:"entry point, e.g. Bitflip.taskFlip")
+  in
+  let args =
+    Arg.(value & pos_right 1 string [] & info [] ~docv:"ARGS"
+           ~doc:"arguments (42, 3.5, true, 101b, int:1,2,3, float:1,2.5)")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Runtime.Substitute.Prefer_accelerators
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:
+               "substitution policy: bytecode, accel, gpu, fpga, native, \
+                smallest, adaptive")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"print execution metrics")
+  in
+  let action file entry args policy verbose =
+    handle_compile_errors (fun () ->
+        let session = Lm.load ~policy (read_file file) in
+        let values = List.map parse_value args in
+        let result = Lm.run session entry values in
+        Printf.printf "%s\n" (Lm.show result);
+        (match Lm.last_plan session with
+        | Some plan -> Printf.printf "plan: %s\n" plan
+        | None -> ());
+        if verbose then begin
+          let m = Lm.metrics session in
+          Printf.printf
+            "metrics: %d VM instructions, %d GPU kernel(s) (%.1f us), %d FPGA \
+             run(s) (%.1f us), %d+%d crossings (%d+%d bytes)\n"
+            m.vm_instructions m.gpu_kernels
+            (m.gpu_kernel_ns /. 1000.0)
+            m.fpga_runs (m.fpga_ns /. 1000.0) m.marshal.crossings_to_device
+            m.marshal.crossings_to_host m.marshal.bytes_to_device
+            m.marshal.bytes_to_host
+        end)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"compile and co-execute an entry point")
+    Term.(const action $ file_arg $ entry $ args $ policy $ verbose)
+
+(* --- disasm ----------------------------------------------------------- *)
+
+let disasm_cmd =
+  let fn =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FUNCTION"
+           ~doc:"function key (default: all), e.g. Bitflip.flip")
+  in
+  let action file fn =
+    handle_compile_errors (fun () ->
+        let compiled = Liquid_metal.Compiler.compile ~file (read_file file) in
+        let funcs = compiled.unit_.u_funcs in
+        match fn with
+        | Some key -> (
+          match Ir.String_map.find_opt key funcs with
+          | Some code -> print_string (Bytecode.Compile.disassemble code)
+          | None ->
+            prerr_endline ("no function named " ^ key);
+            exit 1)
+        | None ->
+          Ir.String_map.iter
+            (fun _ code -> print_string (Bytecode.Compile.disassemble code))
+            funcs)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"print bytecode disassembly")
+    Term.(const action $ file_arg $ fn)
+
+(* --- workloads --------------------------------------------------------- *)
+
+let workloads_cmd =
+  let workload_name =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"workload to run (omit to list the suite)")
+  in
+  let size =
+    Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N"
+           ~doc:"problem size (defaults to the workload's own)")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Runtime.Substitute.Prefer_accelerators
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"substitution policy (as for run)")
+  in
+  let action name size policy =
+    match (name : string option) with
+    | None ->
+      List.iter
+        (fun (w : Workloads.t) ->
+          Printf.printf "%-14s %s\n" w.name w.description)
+        Workloads.all
+    | Some name ->
+      handle_compile_errors (fun () ->
+          let w =
+            try Workloads.find name
+            with Not_found ->
+              prerr_endline ("unknown workload: " ^ name);
+              exit 1
+          in
+          let size = Option.value size ~default:w.default_size in
+          let session = Lm.load ~policy w.source in
+          let t0 = Unix.gettimeofday () in
+          let result = Lm.run session w.entry (w.args ~size) in
+          let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+          (match w.validate with
+          | Some validate -> (
+            match validate ~size result with
+            | Ok () -> Printf.printf "result: validated (size %d)\n" size
+            | Error msg -> failwith msg)
+          | None -> Printf.printf "result: computed (size %d)\n" size);
+          (match Lm.last_plan session with
+          | Some plan -> Printf.printf "plan: %s\n" plan
+          | None -> ());
+          let m = Lm.metrics session in
+          Printf.printf
+            "metrics: %d VM insns, %d native insns, %d gpu kernel(s), %d \
+             fpga run(s); wall %.1f ms\n"
+            m.vm_instructions m.native_instructions m.gpu_kernels m.fpga_runs
+            wall_ms)
+  in
+  Cmd.v
+    (Cmd.info "workloads" ~doc:"list or run the benchmark workloads")
+    Term.(const action $ workload_name $ size $ policy)
+
+(* --- dump-ir ----------------------------------------------------------- *)
+
+let dump_ir_cmd =
+  let fn =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FUNCTION"
+           ~doc:"function key (default: whole program incl. task graphs)")
+  in
+  let action file fn =
+    handle_compile_errors (fun () ->
+        let prog =
+          Lime_ir.Opt.optimize
+            (Lime_ir.Lower.lower
+               (Lime_types.Typecheck.check
+                  (Lime_syntax.Parser.parse ~file (read_file file))))
+        in
+        match fn with
+        | Some key -> (
+          match Ir.find_func prog key with
+          | Some f -> print_string (Lime_ir.Printer.func_to_string f)
+          | None ->
+            prerr_endline ("no function named " ^ key);
+            exit 1)
+        | None -> print_string (Lime_ir.Printer.program_to_string prog))
+  in
+  Cmd.v
+    (Cmd.info "dump-ir" ~doc:"print the optimized IR")
+    Term.(const action $ file_arg $ fn)
+
+let () =
+  let doc = "the Liquid Metal compiler and runtime (DAC 2012 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "lmc" ~version:"1.0.0" ~doc)
+          [ compile_cmd; run_cmd; disasm_cmd; dump_ir_cmd; workloads_cmd ]))

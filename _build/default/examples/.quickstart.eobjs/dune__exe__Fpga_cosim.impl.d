@@ -1,0 +1,1 @@
+examples/fpga_cosim.ml: Array Bits Lime_ir Liquid_metal List Option Printf Rtl Runtime Unix Wire Workloads

@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: Array Liquid_metal Option Printf Runtime String Workloads

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Liquid_metal List Printf Runtime String Workloads

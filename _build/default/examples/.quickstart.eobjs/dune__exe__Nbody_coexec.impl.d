@@ -1,0 +1,1 @@
+examples/nbody_coexec.ml: Liquid_metal List Printf Runtime Workloads

@@ -1,0 +1,1 @@
+examples/policy_explorer.ml: Liquid_metal List Option Printf Runtime Workloads

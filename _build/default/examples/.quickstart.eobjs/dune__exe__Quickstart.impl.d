@@ -1,0 +1,1 @@
+examples/quickstart.ml: Liquid_metal Option Printf Runtime Workloads

@@ -1,0 +1,41 @@
+(* N-body co-execution: the compute-bound end of the GPU story.
+
+   Runs one force-accumulation step (softened 1/d^2 kernel, O(n^2))
+   for growing body counts under the bytecode-only and accelerated
+   configurations, reporting the modeled end-to-end speedup — the
+   shape behind the paper's 12x-431x claim.
+
+   Run with: dune exec examples/nbody_coexec.exe *)
+
+module Lm = Liquid_metal.Lm
+
+let modeled_total (m : Runtime.Metrics.snapshot) =
+  (float_of_int m.vm_instructions *. 6.0)
+  +. m.native_ns +. m.gpu_kernel_ns +. m.fpga_ns
+  +. m.marshal.modeled_transfer_ns
+  +. m.marshal_native.modeled_transfer_ns
+
+let () =
+  let w = Workloads.find "nbody" in
+  print_endline "=== N-body: CPU-only vs CPU+GPU co-execution ===";
+  Printf.printf "%8s  %14s  %14s  %9s\n" "bodies" "bytecode (us)" "co-exec (us)"
+    "speedup";
+  List.iter
+    (fun size ->
+      let bytecode =
+        Lm.load ~policy:Runtime.Substitute.Bytecode_only w.Workloads.source
+      in
+      let accel = Lm.load w.Workloads.source in
+      let r_bc = Lm.run bytecode w.entry (w.args ~size) in
+      let r_ac = Lm.run accel w.entry (w.args ~size) in
+      (* identical float32 results on both configurations *)
+      assert (Lm.as_float_array r_bc = Lm.as_float_array r_ac);
+      let t_bc = modeled_total (Lm.metrics bytecode) in
+      let t_ac = modeled_total (Lm.metrics accel) in
+      Printf.printf "%8d  %14.1f  %14.1f  %8.1fx\n" size (t_bc /. 1000.0)
+        (t_ac /. 1000.0) (t_bc /. t_ac))
+    [ 32; 64; 128; 256 ];
+  print_newline ();
+  print_endline
+    "The speedup grows with n^2 compute amortizing the fixed launch and";
+  print_endline "transfer costs, the mechanism behind the paper's upper range."

@@ -1,0 +1,123 @@
+type t = { len : int; data : Bytes.t }
+(* Bit [i] lives at byte [i / 8], position [i mod 8]. Unused bits of
+   the final byte are kept at zero so structural equality works. *)
+
+let length t = t.len
+
+let bytes_for len = (len + 7) / 8
+
+let create len b =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  let fill = if b then '\xff' else '\x00' in
+  let data = Bytes.make (bytes_for len) fill in
+  let t = { len; data } in
+  (* Clear padding bits so equality on equal vectors holds. *)
+  if b && len mod 8 <> 0 then begin
+    let last = bytes_for len - 1 in
+    let keep = len mod 8 in
+    let mask = (1 lsl keep) - 1 in
+    Bytes.set data last (Char.chr (Char.code (Bytes.get data last) land mask))
+  end;
+  t
+
+let check_index t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec: index out of bounds"
+
+let get t i =
+  check_index t i;
+  Char.code (Bytes.get t.data (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let set t i b =
+  check_index t i;
+  let data = Bytes.copy t.data in
+  let byte = Char.code (Bytes.get data (i / 8)) in
+  let mask = 1 lsl (i mod 8) in
+  let byte = if b then byte lor mask else byte land lnot mask in
+  Bytes.set data (i / 8) (Char.chr (byte land 0xff));
+  { t with data }
+
+let of_bool_array a =
+  let len = Array.length a in
+  let data = Bytes.make (bytes_for len) '\x00' in
+  Array.iteri
+    (fun i b ->
+      if b then
+        Bytes.set data (i / 8)
+          (Char.chr (Char.code (Bytes.get data (i / 8)) lor (1 lsl (i mod 8)))))
+    a;
+  { len; data }
+
+let to_bool_array t = Array.init t.len (fun i -> get t i)
+
+let of_literal s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bitvec.of_literal: empty literal";
+  of_bool_array
+    (Array.init n (fun i ->
+         (* Bit [i] is character [n - 1 - i]: leftmost char is MSB. *)
+         match s.[n - 1 - i] with
+         | '0' -> false
+         | '1' -> true
+         | c -> invalid_arg (Printf.sprintf "Bitvec.of_literal: bad char %C" c)))
+
+let to_literal t =
+  String.init t.len (fun i -> if get t (t.len - 1 - i) then '1' else '0')
+
+let of_int ~width v =
+  if width < 0 then invalid_arg "Bitvec.of_int: negative width";
+  of_bool_array (Array.init width (fun i -> (v lsr i) land 1 = 1))
+
+let to_int t =
+  if t.len > Sys.int_size - 1 then invalid_arg "Bitvec.to_int: too wide";
+  let v = ref 0 in
+  for i = t.len - 1 downto 0 do
+    v := (!v lsl 1) lor (if get t i then 1 else 0)
+  done;
+  !v
+
+let pointwise name f a b =
+  if a.len <> b.len then invalid_arg (Printf.sprintf "Bitvec.%s: width mismatch" name);
+  of_bool_array (Array.init a.len (fun i -> f (get a i) (get b i)))
+
+let lognot a = of_bool_array (Array.init a.len (fun i -> not (get a i)))
+let logand a b = pointwise "logand" ( && ) a b
+let logor a b = pointwise "logor" ( || ) a b
+let logxor a b = pointwise "logxor" ( <> ) a b
+
+let concat lo hi =
+  of_bool_array
+    (Array.init (lo.len + hi.len) (fun i ->
+         if i < lo.len then get lo i else get hi (i - lo.len)))
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Bitvec.sub";
+  of_bool_array (Array.init len (fun i -> get t (pos + i)))
+
+let popcount t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let compare a b =
+  let c = Int.compare a.len b.len in
+  if c <> 0 then c else Bytes.compare a.data b.data
+
+let pp ppf t = Format.fprintf ppf "%sb" (to_literal t)
+
+let to_packed_bytes t = Bytes.copy t.data
+
+let of_packed_bytes ~length:len data =
+  if Bytes.length data <> bytes_for len then
+    invalid_arg "Bitvec.of_packed_bytes: size mismatch";
+  (* Normalize padding bits to zero. *)
+  let data = Bytes.copy data in
+  if len mod 8 <> 0 && Bytes.length data > 0 then begin
+    let last = Bytes.length data - 1 in
+    let mask = (1 lsl (len mod 8)) - 1 in
+    Bytes.set data last (Char.chr (Char.code (Bytes.get data last) land mask))
+  end;
+  { len; data }

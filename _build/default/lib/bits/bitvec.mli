@@ -1,0 +1,73 @@
+(** Immutable packed bit vectors.
+
+    Lime makes [bit] a first-class type precisely because of its
+    prevalence in FPGA designs (paper sections 2.2 and 6), and provides
+    bit literals as syntactic sugar for bit arrays: the literal [100b]
+    is a 3-bit array with [bit[0] = 0] and [bit[2] = 1] — i.e. the
+    textual literal reads most-significant-bit first while indexing is
+    least-significant-bit first.
+
+    Values are immutable (they are Lime [value] arrays) and packed 8
+    bits per byte, which is also the dense wire representation used
+    when marshaling across the host/device boundary. *)
+
+type t
+
+val length : t -> int
+
+val create : int -> bool -> t
+(** [create n b] is an [n]-bit vector with every bit equal to [b]. *)
+
+val get : t -> int -> bool
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val set : t -> int -> bool -> t
+(** Functional update; the input vector is unchanged. *)
+
+val of_literal : string -> t
+(** Parses a Lime bit literal body, e.g. [of_literal "100"] (the
+    trailing [b] is stripped by the lexer). The leftmost character is
+    the highest-indexed bit.
+    @raise Invalid_argument on characters other than '0'/'1' or on an
+    empty string. *)
+
+val to_literal : t -> string
+(** Inverse of {!of_literal}: [to_literal (of_literal "100") = "100"]. *)
+
+val of_bool_array : bool array -> t
+(** [of_bool_array a] has bit [i] equal to [a.(i)]. *)
+
+val to_bool_array : t -> bool array
+
+val of_int : width:int -> int -> t
+(** Two's-complement truncation of the integer to [width] bits,
+    bit 0 = least significant. *)
+
+val to_int : t -> int
+(** Unsigned interpretation; @raise Invalid_argument when the width
+    exceeds [Sys.int_size - 1]. *)
+
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+(** Pointwise operations; @raise Invalid_argument on width mismatch. *)
+
+val concat : t -> t -> t
+(** [concat lo hi]: bits of [lo] occupy the low indices. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** @raise Invalid_argument when the range is out of bounds. *)
+
+val popcount : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val to_packed_bytes : t -> Bytes.t
+(** Dense little-endian packing, 8 bits per byte; the final byte is
+    zero-padded. This is the wire format for bit arrays. *)
+
+val of_packed_bytes : length:int -> Bytes.t -> t
+(** Inverse of {!to_packed_bytes} for a known bit length.
+    @raise Invalid_argument if the byte count does not match. *)

@@ -1,0 +1,1 @@
+lib/bytecode/compile.ml: Array Buffer Insn Lime_ir List Printf Support Vec

@@ -1,0 +1,1 @@
+lib/bytecode/insn.ml: Lime_ir List Printf

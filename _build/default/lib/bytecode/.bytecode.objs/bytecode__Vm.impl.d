@@ -1,0 +1,1 @@
+lib/bytecode/vm.ml: Array Compile Format Insn Lime_ir List Wire

@@ -1,0 +1,1 @@
+lib/bytecode/vm.mli: Compile Insn Lime_ir

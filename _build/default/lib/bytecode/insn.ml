@@ -1,0 +1,105 @@
+module Ir = Lime_ir.Ir
+
+(* The bytecode instruction set.
+
+   The frontend "generates Java bytecode for executing the entire
+   program in a JVM" (paper section 3); this stack-machine ISA plays
+   that role. Every Lime construct compiles here, so the CPU always has
+   an implementation of every task — the property the runtime's
+   substitution algorithm relies on.
+
+   Branch targets are absolute instruction indices within the code
+   array of one compiled function. *)
+
+type map_desc = {
+  bm_uid : string;  (** artifact label of this map site *)
+  bm_fn : string;
+  bm_flags : bool list;  (** per-argument: [true] = mapped array *)
+  bm_elem_ty : Ir.ty;
+}
+
+type reduce_desc = { br_uid : string; br_fn : string; br_elem_ty : Ir.ty }
+
+type t =
+  | CONST of Ir.const
+  | LOAD of int  (** push local slot *)
+  | STORE of int  (** pop into local slot *)
+  | DUP
+  | POP
+  | UNOP of Ir.unop
+  | BINOP of Ir.binop
+  | ALOAD  (** arr, idx -> elem *)
+  | ASTORE  (** arr, idx, value -> *)
+  | ALEN
+  | NEWARR of Ir.ty  (** length -> arr *)
+  | FREEZE
+  | GETFIELD of int  (** obj -> value *)
+  | PUTFIELD of int  (** obj, value -> *)
+  | NEW of string  (** -> obj with default fields; ctor call follows *)
+  | CALL of string * int  (** function key, argument count *)
+  | RET  (** return top of stack *)
+  | RETVOID
+  | JMP of int
+  | JMPF of int  (** pop a boolean, branch when false *)
+  | MAP of map_desc  (** args on stack in order -> result array *)
+  | REDUCE of reduce_desc  (** array -> scalar *)
+  | MKGRAPH of string * int  (** template uid, operand count -> handle *)
+  | RUNGRAPH of bool  (** handle -> ; [true] = blocking finish *)
+
+let const_to_string (c : Ir.const) =
+  match c with
+  | Ir.C_unit -> "unit"
+  | Ir.C_bool b -> string_of_bool b
+  | Ir.C_i32 i -> string_of_int i
+  | Ir.C_f32 f -> Printf.sprintf "%gf" f
+  | Ir.C_bit b -> if b then "one" else "zero"
+  | Ir.C_enum (e, t) -> Printf.sprintf "%s#%d" e t
+  | Ir.C_bits s -> s ^ "b"
+
+let unop_name (u : Ir.unop) =
+  match u with
+  | Ir.Neg_i -> "ineg"
+  | Ir.Neg_f -> "fneg"
+  | Ir.Not_b -> "not"
+  | Ir.Bnot_i -> "inot"
+  | Ir.I2f -> "i2f"
+
+let binop_name (b : Ir.binop) =
+  match b with
+  | Ir.Add_i -> "iadd" | Ir.Sub_i -> "isub" | Ir.Mul_i -> "imul"
+  | Ir.Div_i -> "idiv" | Ir.Rem_i -> "irem"
+  | Ir.Add_f -> "fadd" | Ir.Sub_f -> "fsub" | Ir.Mul_f -> "fmul"
+  | Ir.Div_f -> "fdiv" | Ir.Rem_f -> "frem"
+  | Ir.Shl_i -> "ishl" | Ir.Shr_i -> "ishr"
+  | Ir.And_i -> "iand" | Ir.Or_i -> "ior" | Ir.Xor_i -> "ixor"
+  | Ir.And_b -> "band" | Ir.Or_b -> "bor" | Ir.Xor_b -> "bxor"
+  | Ir.And_bit -> "bitand" | Ir.Or_bit -> "bitor" | Ir.Xor_bit -> "bitxor"
+  | Ir.Eq -> "eq" | Ir.Neq -> "neq"
+  | Ir.Lt_i -> "ilt" | Ir.Leq_i -> "ileq" | Ir.Gt_i -> "igt" | Ir.Geq_i -> "igeq"
+  | Ir.Lt_f -> "flt" | Ir.Leq_f -> "fleq" | Ir.Gt_f -> "fgt" | Ir.Geq_f -> "fgeq"
+
+let to_string = function
+  | CONST c -> "const " ^ const_to_string c
+  | LOAD n -> Printf.sprintf "load %d" n
+  | STORE n -> Printf.sprintf "store %d" n
+  | DUP -> "dup"
+  | POP -> "pop"
+  | UNOP u -> unop_name u
+  | BINOP b -> binop_name b
+  | ALOAD -> "aload"
+  | ASTORE -> "astore"
+  | ALEN -> "alen"
+  | NEWARR t -> "newarr " ^ Ir.ty_to_string t
+  | FREEZE -> "freeze"
+  | GETFIELD n -> Printf.sprintf "getfield %d" n
+  | PUTFIELD n -> Printf.sprintf "putfield %d" n
+  | NEW c -> "new " ^ c
+  | CALL (f, n) -> Printf.sprintf "call %s/%d" f n
+  | RET -> "ret"
+  | RETVOID -> "retvoid"
+  | JMP t -> Printf.sprintf "jmp %d" t
+  | JMPF t -> Printf.sprintf "jmpf %d" t
+  | MAP m -> Printf.sprintf "map %s/%d" m.bm_fn (List.length m.bm_flags)
+  | REDUCE r -> Printf.sprintf "reduce %s" r.br_fn
+  | MKGRAPH (uid, n) -> Printf.sprintf "mkgraph %s/%d" uid n
+  | RUNGRAPH b -> if b then "rungraph.finish" else "rungraph.start"

@@ -1,0 +1,280 @@
+module Ir = Lime_ir.Ir
+
+module I = Lime_ir.Interp
+module V = Wire.Value
+
+type v = I.v
+
+exception Vm_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Vm_error s)) fmt
+
+type hooks = {
+  on_map : Insn.map_desc -> v list -> v option;
+  on_reduce : Insn.reduce_desc -> v -> v option;
+  on_run_graph : (Ir.graph_template -> v list -> blocking:bool -> bool) option;
+}
+
+let no_hooks =
+  { on_map = (fun _ _ -> None); on_reduce = (fun _ _ -> None); on_run_graph = None }
+
+type result = { value : v; executed : int }
+
+type state = {
+  unit_ : Compile.unit_;
+  hooks : hooks;
+  mutable executed : int;
+  mutable graph_counter : int;
+  mutable pending : (int * (Ir.graph_template * v list)) list;
+}
+
+let prim = I.prim_exn
+
+let as_int (x : v) =
+  match x with
+  | I.Prim (V.Int i) -> i
+  | _ -> fail "expected an int on the operand stack"
+
+let as_bool (x : v) =
+  match x with
+  | I.Prim (V.Bool b) -> b
+  | _ -> fail "expected a boolean on the operand stack"
+
+(* Execute one function activation. The operand stack is a plain list;
+   locals are a dense array indexed by slot. *)
+let rec exec st (code : Compile.code) (args : v list) : v =
+  if List.length args <> code.c_params then
+    fail "%s expects %d argument(s), got %d" code.c_key code.c_params
+      (List.length args);
+  let locals = Array.make (max code.c_slots code.c_params) (I.Prim V.Unit) in
+  List.iteri (fun i a -> locals.(i) <- a) args;
+  let insns = code.c_insns in
+  let n = Array.length insns in
+  let rec step pc stack =
+    if pc >= n then
+      fail "%s fell off the end without returning a value" code.c_key;
+    st.executed <- st.executed + 1;
+    let continue = step (pc + 1) in
+    match insns.(pc), stack with
+    | Insn.CONST c, _ -> continue (I.Prim (I.const_value c) :: stack)
+    | Insn.LOAD slot, _ -> continue (locals.(slot) :: stack)
+    | Insn.STORE slot, x :: rest ->
+      locals.(slot) <- x;
+      continue rest
+    | Insn.DUP, x :: _ -> continue (x :: stack)
+    | Insn.POP, _ :: rest -> continue rest
+    | Insn.UNOP op, x :: rest ->
+      continue (I.Prim (I.eval_unop op (prim x)) :: rest)
+    | Insn.BINOP op, b :: a :: rest ->
+      continue (I.Prim (I.eval_binop op (prim a) (prim b)) :: rest)
+    | Insn.ALOAD, i :: a :: rest ->
+      continue (I.Prim (I.array_get (prim a) (as_int i)) :: rest)
+    | Insn.ASTORE, x :: i :: a :: rest ->
+      I.array_set (prim a) (as_int i) (prim x);
+      continue rest
+    | Insn.ALEN, a :: rest ->
+      continue (I.Prim (V.Int (I.array_length (prim a))) :: rest)
+    | Insn.NEWARR ty, len :: rest ->
+      continue (I.Prim (I.new_array ty (as_int len)) :: rest)
+    | Insn.FREEZE, a :: rest -> continue (I.Prim (I.freeze (prim a)) :: rest)
+    | Insn.GETFIELD slot, o :: rest -> (
+      match o with
+      | I.Obj obj -> continue (obj.I.obj_fields.(slot) :: rest)
+      | _ -> fail "getfield on a non-object")
+    | Insn.PUTFIELD slot, x :: o :: rest -> (
+      match o with
+      | I.Obj obj ->
+        obj.I.obj_fields.(slot) <- x;
+        continue rest
+      | _ -> fail "putfield on a non-object")
+    | Insn.NEW cls, _ -> (
+      match Ir.String_map.find_opt cls st.unit_.u_program.Ir.classes with
+      | None -> fail "no class named %s" cls
+      | Some meta ->
+        let fields =
+          Array.of_list
+            (List.map (fun (_, ty) -> I.default_value ty) meta.Ir.cm_fields)
+        in
+        continue (I.Obj { I.obj_class = cls; obj_fields = fields } :: stack))
+    | Insn.CALL (key, argc), _ ->
+      let rec take k acc rest =
+        if k = 0 then acc, rest
+        else
+          match rest with
+          | x :: rest -> take (k - 1) (x :: acc) rest
+          | [] -> fail "operand stack underflow calling %s" key
+      in
+      let args, rest = take argc [] stack in
+      continue (call st key args :: rest)
+    | Insn.RET, x :: _ -> x
+    | Insn.RETVOID, _ -> I.Prim V.Unit
+    | Insn.JMP t, _ -> step t stack
+    | Insn.JMPF t, c :: rest ->
+      if as_bool c then step (pc + 1) rest else step t rest
+    | Insn.MAP desc, _ ->
+      let argc = List.length desc.Insn.bm_flags in
+      let rec take k acc rest =
+        if k = 0 then acc, rest
+        else
+          match rest with
+          | x :: rest -> take (k - 1) (x :: acc) rest
+          | [] -> fail "operand stack underflow at map"
+      in
+      let args, rest = take argc [] stack in
+      let result =
+        match st.hooks.on_map desc args with
+        | Some r -> r
+        | None -> eval_map st desc args
+      in
+      step (pc + 1) (result :: rest)
+    | Insn.REDUCE desc, a :: rest ->
+      let result =
+        match st.hooks.on_reduce desc a with
+        | Some r -> r
+        | None -> eval_reduce st desc a
+      in
+      continue (result :: rest)
+    | Insn.MKGRAPH (uid, argc), _ ->
+      let template =
+        match Ir.String_map.find_opt uid st.unit_.u_program.Ir.templates with
+        | Some t -> t
+        | None -> fail "no task-graph template %s" uid
+      in
+      let rec take k acc rest =
+        if k = 0 then acc, rest
+        else
+          match rest with
+          | x :: rest -> take (k - 1) (x :: acc) rest
+          | [] -> fail "operand stack underflow at mkgraph"
+      in
+      let ops, rest = take argc [] stack in
+      st.graph_counter <- st.graph_counter + 1;
+      st.pending <- (st.graph_counter, (template, ops)) :: st.pending;
+      step (pc + 1) (I.Graph_handle st.graph_counter :: rest)
+    | Insn.RUNGRAPH blocking, g :: rest ->
+      (match g with
+      | I.Graph_handle h -> run_graph st h ~blocking
+      | _ -> fail "rungraph on a non-graph");
+      continue rest
+    | ( ( Insn.STORE _ | Insn.DUP | Insn.POP | Insn.UNOP _ | Insn.BINOP _
+        | Insn.ALOAD | Insn.ASTORE | Insn.ALEN | Insn.NEWARR _ | Insn.FREEZE
+        | Insn.GETFIELD _ | Insn.PUTFIELD _ | Insn.RET | Insn.JMPF _
+        | Insn.REDUCE _ | Insn.RUNGRAPH _ ),
+        _ ) ->
+      fail "operand stack underflow in %s at %d" code.c_key pc
+  in
+  step 0 []
+
+and call st key args =
+  if Lime_ir.Intrinsics.is_intrinsic key then begin
+    (* one dispatch charge for the intrinsic call *)
+    st.executed <- st.executed + 1;
+    match Lime_ir.Intrinsics.apply key (List.map prim args) with
+    | v -> I.Prim v
+    | exception Lime_ir.Intrinsics.Error m -> fail "%s" m
+  end
+  else
+    match Ir.String_map.find_opt key st.unit_.Compile.u_funcs with
+    | Some code -> exec st code args
+    | None -> fail "no function named %s" key
+
+(* Inline map: a bytecode loop in spirit; each element application is
+   a real VM call so the instruction count reflects interpretation. *)
+and eval_map st (desc : Insn.map_desc) (args : v list) : v =
+  let pairs = List.combine args desc.bm_flags in
+  let lengths =
+    List.filter_map
+      (fun (a, mapped) ->
+        if mapped then Some (I.array_length (prim a)) else None)
+      pairs
+  in
+  let n =
+    match lengths with
+    | [] -> fail "map needs at least one array argument"
+    | n :: rest ->
+      if List.exists (fun m -> m <> n) rest then
+        fail "mapped arrays have different lengths";
+      n
+  in
+  let result = I.new_array desc.bm_elem_ty n in
+  for i = 0 to n - 1 do
+    let call_args =
+      List.map
+        (fun (a, mapped) ->
+          if mapped then I.Prim (I.array_get (prim a) i) else a)
+        pairs
+    in
+    I.array_set result i (prim (call st desc.bm_fn call_args))
+  done;
+  I.Prim (I.freeze result)
+
+and eval_reduce st (desc : Insn.reduce_desc) (arg : v) : v =
+  let p = prim arg in
+  let n = I.array_length p in
+  if n = 0 then fail "reduce of an empty array";
+  let acc = ref (I.Prim (I.array_get p 0)) in
+  for i = 1 to n - 1 do
+    acc := call st desc.br_fn [ !acc; I.Prim (I.array_get p i) ]
+  done;
+  !acc
+
+and run_graph st h ~blocking =
+  match List.assoc_opt h st.pending with
+  | None -> fail "stale task-graph handle"
+  | Some (template, ops) ->
+    st.pending <- List.remove_assoc h st.pending;
+    let handled =
+      match st.hooks.on_run_graph with
+      | Some hook -> hook template ops ~blocking
+      | None -> false
+    in
+    if not handled then run_graph_seq st template ops
+
+(* Default graph execution on the VM: every filter application is a
+   bytecode call (the all-bytecode configuration of section 4.1). *)
+and run_graph_seq st (template : Ir.graph_template) (ops : v list) : unit =
+  let take k ops =
+    let rec go k acc = function
+      | rest when k = 0 -> List.rev acc, rest
+      | x :: rest -> go (k - 1) (x :: acc) rest
+      | [] -> fail "graph template operand underflow"
+    in
+    go k [] ops
+  in
+  let nodes, rest =
+    List.fold_left
+      (fun (acc, ops) node ->
+        let mine, ops = take (Ir.tnode_operand_count node) ops in
+        (node, mine) :: acc, ops)
+      ([], ops) template.Ir.gt_nodes
+  in
+  if rest <> [] then fail "graph template operand overflow";
+  let nodes = List.rev nodes in
+  let source, filters, sink =
+    match nodes with
+    | (Ir.N_source _, [ arr; _rate ]) :: rest -> (
+      let rec split fs = function
+        | [ (Ir.N_sink _, [ dest ]) ] -> List.rev fs, dest
+        | (Ir.N_filter f, fops) :: rest -> split ((f, fops) :: fs) rest
+        | _ -> fail "malformed graph template"
+      in
+      let fs, dest = split [] rest in
+      prim arr, fs, prim dest)
+    | _ -> fail "malformed graph template"
+  in
+  let apply (f : Ir.filter_info) fops x =
+    match f.Ir.target, fops with
+    | Ir.F_static key, [] -> call st key [ x ]
+    | Ir.F_instance (cls, m), [ recv ] -> call st (cls ^ "." ^ m) [ recv; x ]
+    | _ -> fail "malformed filter operands"
+  in
+  for i = 0 to I.array_length source - 1 do
+    let x = ref (I.Prim (I.array_get source i)) in
+    List.iter (fun (f, fops) -> x := apply f fops !x) filters;
+    I.array_set sink i (prim !x)
+  done
+
+let run ?(hooks = no_hooks) (unit_ : Compile.unit_) key args =
+  let st = { unit_; hooks; executed = 0; graph_counter = 0; pending = [] } in
+  let value = call st key args in
+  { value; executed = st.executed }

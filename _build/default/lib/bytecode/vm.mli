@@ -1,0 +1,35 @@
+module Ir = Lime_ir.Ir
+
+(** The bytecode virtual machine (the reproduction's "JVM").
+
+    An interpreting stack machine: per-instruction dispatch is the
+    realistic CPU cost profile of the paper's bytecode execution path,
+    and {!result} therefore reports the executed-instruction count,
+    which the benchmark harness converts into modeled CPU time.
+
+    Task graphs, map sites and reduce sites trap to {!hooks}; the
+    Liquid Metal runtime installs hooks that perform artifact
+    substitution and co-execution. With {!no_hooks} everything runs
+    inline on the VM itself (pure CPU execution). *)
+
+type v = Lime_ir.Interp.v
+
+exception Vm_error of string
+
+type hooks = {
+  on_map : Insn.map_desc -> v list -> v option;
+  on_reduce : Insn.reduce_desc -> v -> v option;
+  on_run_graph : (Ir.graph_template -> v list -> blocking:bool -> bool) option;
+}
+
+val no_hooks : hooks
+
+type result = {
+  value : v;
+  executed : int;  (** dynamic instruction count, including callees *)
+}
+
+val run : ?hooks:hooks -> Compile.unit_ -> string -> v list -> result
+(** [run unit "Class.method" args].
+    @raise Vm_error on stack underflow, missing functions, type
+    confusion, or any semantic trap (bounds, division by zero). *)

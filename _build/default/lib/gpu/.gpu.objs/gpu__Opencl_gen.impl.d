@@ -1,0 +1,1 @@
+lib/gpu/opencl_gen.ml: Hashtbl Lime_ir List Printf String Suitability

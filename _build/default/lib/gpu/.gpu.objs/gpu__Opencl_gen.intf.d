@@ -1,0 +1,1 @@
+lib/gpu/opencl_gen.mli: Lime_ir

@@ -1,0 +1,1 @@
+lib/gpu/simt.ml: Array Device Float Format Hashtbl Lime_ir List Wire

@@ -1,0 +1,1 @@
+lib/gpu/simt.mli: Device Lime_ir Wire

@@ -1,0 +1,1 @@
+lib/gpu/suitability.ml: Format Hashtbl Lime_ir List

@@ -1,0 +1,1 @@
+lib/gpu/suitability.mli: Lime_ir

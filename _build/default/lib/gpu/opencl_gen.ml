@@ -1,0 +1,287 @@
+module Ir = Lime_ir.Ir
+
+(* OpenCL C code generation.
+
+   "The former generates OpenCL for the GPU" (paper section 3). The
+   generated source is the textual artifact stored in the manifest;
+   since no physical GPU exists in this environment, execution is
+   performed by the SIMT simulator (Simt), which consumes the same
+   kernel IR the text was generated from. The text is nevertheless
+   complete, self-contained OpenCL C: a device function per reachable
+   callee plus one [__kernel] entry per map/reduce/filter site. *)
+
+let sanitize key =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    key
+
+let cty = function
+  | Ir.I32 -> "int"
+  | Ir.F32 -> "float"
+  | Ir.Bool -> "int"
+  | Ir.Bit -> "uchar"
+  | Ir.Enum _ -> "int"
+  | Ir.Arr t -> (
+    match t with
+    | Ir.I32 -> "__global int*"
+    | Ir.F32 -> "__global float*"
+    | Ir.Bool -> "__global int*"
+    | Ir.Bit -> "__global uchar*"
+    | Ir.Enum _ -> "__global int*"
+    | _ -> "__global void*")
+  | Ir.Obj _ | Ir.Graph -> "void*"
+  | Ir.Unit -> "void"
+
+let var_name (v : Ir.var) = Printf.sprintf "v%d_%s" v.v_id (sanitize v.v_name)
+
+let const_text (c : Ir.const) =
+  match c with
+  | Ir.C_unit -> "0"
+  | Ir.C_bool b -> if b then "1" else "0"
+  | Ir.C_i32 i -> string_of_int i
+  | Ir.C_f32 f -> Printf.sprintf "%.9gf" f
+  | Ir.C_bit b -> if b then "1" else "0"
+  | Ir.C_enum (_, tag) -> string_of_int tag
+  | Ir.C_bits _ -> "/* bit literal (host only) */ 0"
+
+let operand_text (o : Ir.operand) =
+  match o with
+  | Ir.O_var v -> var_name v
+  | Ir.O_const c -> const_text c
+
+let unop_text (u : Ir.unop) a =
+  match u with
+  | Ir.Neg_i | Ir.Neg_f -> Printf.sprintf "(-%s)" a
+  | Ir.Not_b -> Printf.sprintf "(!%s)" a
+  | Ir.Bnot_i -> Printf.sprintf "(~%s)" a
+  | Ir.I2f -> Printf.sprintf "((float)%s)" a
+
+let binop_text (b : Ir.binop) x y =
+  let infix op = Printf.sprintf "(%s %s %s)" x op y in
+  match b with
+  | Ir.Add_i | Ir.Add_f -> infix "+"
+  | Ir.Sub_i | Ir.Sub_f -> infix "-"
+  | Ir.Mul_i | Ir.Mul_f -> infix "*"
+  | Ir.Div_i | Ir.Div_f -> infix "/"
+  | Ir.Rem_i -> infix "%"
+  | Ir.Rem_f -> Printf.sprintf "fmod(%s, %s)" x y
+  | Ir.Shl_i -> infix "<<"
+  | Ir.Shr_i -> infix ">>"
+  | Ir.And_i -> infix "&"
+  | Ir.Or_i -> infix "|"
+  | Ir.Xor_i -> infix "^"
+  | Ir.And_b | Ir.And_bit -> infix "&&"
+  | Ir.Or_b | Ir.Or_bit -> infix "||"
+  | Ir.Xor_b | Ir.Xor_bit -> infix "^"
+  | Ir.Eq -> infix "=="
+  | Ir.Neq -> infix "!="
+  | Ir.Lt_i | Ir.Lt_f -> infix "<"
+  | Ir.Leq_i | Ir.Leq_f -> infix "<="
+  | Ir.Gt_i | Ir.Gt_f -> infix ">"
+  | Ir.Geq_i | Ir.Geq_f -> infix ">="
+
+let rhs_text (r : Ir.rhs) =
+  match r with
+  | Ir.R_op o -> operand_text o
+  | Ir.R_unop (u, a) -> unop_text u (operand_text a)
+  | Ir.R_binop (b, x, y) -> binop_text b (operand_text x) (operand_text y)
+  | Ir.R_alen _ -> "/* array length passed as kernel argument */ 0"
+  | Ir.R_aload (a, i) ->
+    Printf.sprintf "%s[%s]" (operand_text a) (operand_text i)
+  | Ir.R_call (key, args) ->
+    let callee =
+      if Lime_ir.Intrinsics.is_intrinsic key then
+        Lime_ir.Intrinsics.opencl_name key
+      else sanitize key
+    in
+    Printf.sprintf "%s(%s)" callee
+      (String.concat ", " (List.map operand_text args))
+  | Ir.R_newarr _ | Ir.R_freeze _ | Ir.R_newobj _ | Ir.R_field _ | Ir.R_map _
+  | Ir.R_reduce _ | Ir.R_mkgraph _ ->
+    "/* unsupported on device */ 0"
+
+let rec block_text indent (b : Ir.block) =
+  String.concat "" (List.map (instr_text indent) b)
+
+and instr_text indent (i : Ir.instr) =
+  let pad = String.make indent ' ' in
+  match i with
+  | Ir.I_let (v, r) | Ir.I_set (v, r) ->
+    Printf.sprintf "%s%s = %s;\n" pad (var_name v) (rhs_text r)
+  | Ir.I_astore (a, idx, x) ->
+    Printf.sprintf "%s%s[%s] = %s;\n" pad (operand_text a) (operand_text idx)
+      (operand_text x)
+  | Ir.I_setfield _ -> pad ^ "/* field write: unsupported */\n"
+  | Ir.I_if (c, a, b) ->
+    Printf.sprintf "%sif (%s) {\n%s%s} else {\n%s%s}\n" pad (operand_text c)
+      (block_text (indent + 2) a)
+      pad
+      (block_text (indent + 2) b)
+      pad
+  | Ir.I_while (cond_block, cond_op, body) ->
+    (* The condition block recomputes temporaries each iteration. *)
+    Printf.sprintf "%sfor (;;) {\n%s%sif (!%s) break;\n%s%s}\n" pad
+      (block_text (indent + 2) cond_block)
+      (String.make (indent + 2) ' ')
+      (operand_text cond_op)
+      (block_text (indent + 2) body)
+      pad
+  | Ir.I_return (Some o) -> Printf.sprintf "%sreturn %s;\n" pad (operand_text o)
+  | Ir.I_return None -> pad ^ "return;\n"
+  | Ir.I_run_graph _ -> pad ^ "/* nested graph: unsupported */\n"
+  | Ir.I_do r -> Printf.sprintf "%s(void)(%s);\n" pad (rhs_text r)
+
+(* Declarations for every virtual register assigned in the body. *)
+let local_decls (fn : Ir.func) =
+  let params = List.map (fun (v : Ir.var) -> v.v_id) fn.fn_params in
+  let decls = Hashtbl.create 16 in
+  let rec scan_block b = List.iter scan_instr b
+  and scan_instr = function
+    | Ir.I_let (v, _) | Ir.I_set (v, _) ->
+      if not (List.mem v.Ir.v_id params) then
+        Hashtbl.replace decls v.Ir.v_id v
+    | Ir.I_if (_, a, b) ->
+      scan_block a;
+      scan_block b
+    | Ir.I_while (c, _, body) ->
+      scan_block c;
+      scan_block body
+    | Ir.I_astore _ | Ir.I_setfield _ | Ir.I_return _ | Ir.I_run_graph _
+    | Ir.I_do _ ->
+      ()
+  in
+  scan_block fn.fn_body;
+  Hashtbl.fold (fun _ v acc -> v :: acc) decls []
+  |> List.sort (fun (a : Ir.var) b -> compare a.v_id b.v_id)
+
+let device_function_text (fn : Ir.func) =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (v : Ir.var) -> Printf.sprintf "%s %s" (cty v.v_ty) (var_name v))
+         fn.fn_params)
+  in
+  let decls =
+    String.concat ""
+      (List.map
+         (fun (v : Ir.var) ->
+           Printf.sprintf "  %s %s;\n" (cty v.Ir.v_ty) (var_name v))
+         (local_decls fn))
+  in
+  Printf.sprintf "static %s %s(%s) {\n%s%s}\n" (cty fn.fn_ret)
+    (sanitize fn.fn_key) params decls
+    (block_text 2 fn.fn_body)
+
+(* A map site becomes an elementwise kernel: mapped arguments arrive as
+   global arrays indexed by the work-item id, broadcast arguments as
+   scalars. *)
+let map_kernel_text (prog : Ir.program) (site : Ir.map_site) =
+  let intrinsic = Lime_ir.Intrinsics.is_intrinsic site.map_fn in
+  (* Parameter element types: from the target function when it has a
+     body, all-float for Math intrinsics. *)
+  let param_tys =
+    if intrinsic then List.map (fun _ -> Ir.F32) site.map_args
+    else
+      List.map (fun (p : Ir.var) -> p.v_ty) (Ir.func_exn prog site.map_fn).fn_params
+  in
+  let fns =
+    if intrinsic then ""
+    else
+      String.concat "\n"
+        (List.map
+           (fun key -> device_function_text (Ir.func_exn prog key))
+           (Suitability.callees prog site.map_fn))
+  in
+  let params =
+    List.mapi
+      (fun i ((_, mapped), pty) ->
+        if mapped then Printf.sprintf "__global const %s* a%d" (cty pty) i
+        else Printf.sprintf "const %s a%d" (cty pty) i)
+      (List.combine site.map_args param_tys)
+  in
+  let args =
+    List.mapi
+      (fun i (_, mapped) ->
+        if mapped then Printf.sprintf "a%d[gid]" i else Printf.sprintf "a%d" i)
+      site.map_args
+  in
+  Printf.sprintf
+    "%s\n__kernel void %s(%s, __global %s* out, const int n) {\n\
+    \  int gid = get_global_id(0);\n\
+    \  if (gid < n) {\n\
+    \    out[gid] = %s(%s);\n\
+    \  }\n\
+     }\n"
+    fns (sanitize site.map_uid)
+    (String.concat ", " params)
+    (cty site.map_elem_ty)
+    (if Lime_ir.Intrinsics.is_intrinsic site.map_fn then
+       Lime_ir.Intrinsics.opencl_name site.map_fn
+     else sanitize site.map_fn)
+    (String.concat ", " args)
+
+(* A reduce site becomes the standard two-stage tree reduction. *)
+let reduce_kernel_text (prog : Ir.program) (site : Ir.reduce_site) =
+  let fns =
+    if Lime_ir.Intrinsics.is_intrinsic site.red_fn then ""
+    else
+      String.concat "\n"
+        (List.map
+           (fun key -> device_function_text (Ir.func_exn prog key))
+           (Suitability.callees prog site.red_fn))
+  in
+  let t = cty site.red_elem_ty in
+  Printf.sprintf
+    "%s\n\
+     __kernel void %s(__global const %s* in, __global %s* out, const int n,\n\
+    \                 __local %s* scratch) {\n\
+    \  int gid = get_global_id(0);\n\
+    \  int lid = get_local_id(0);\n\
+    \  scratch[lid] = in[min(gid, n - 1)];\n\
+    \  barrier(CLK_LOCAL_MEM_FENCE);\n\
+    \  for (int stride = get_local_size(0) / 2; stride > 0; stride >>= 1) {\n\
+    \    if (lid < stride && gid + stride < n) {\n\
+    \      scratch[lid] = %s(scratch[lid], scratch[lid + stride]);\n\
+    \    }\n\
+    \    barrier(CLK_LOCAL_MEM_FENCE);\n\
+    \  }\n\
+    \  if (lid == 0) out[get_group_id(0)] = scratch[0];\n\
+     }\n"
+    fns (sanitize site.red_uid) t t t
+    (if Lime_ir.Intrinsics.is_intrinsic site.red_fn then
+       Lime_ir.Intrinsics.opencl_name site.red_fn
+     else sanitize site.red_fn)
+
+(* A relocatable filter (or fused chain of filters) becomes an
+   elementwise kernel over the stream, since pure filters admit
+   data-parallel execution (paper section 2.1). *)
+let filter_kernel_text (prog : Ir.program) ~uid (chain : string list)
+    ~(input : Ir.ty) ~(output : Ir.ty) =
+  let callee_keys =
+    List.concat_map (fun key -> Suitability.callees prog key) chain
+    |> List.fold_left
+         (fun (seen, acc) k ->
+           if List.mem k seen then seen, acc else k :: seen, k :: acc)
+         ([], [])
+    |> fun (_, acc) -> List.rev acc
+  in
+  let fns =
+    String.concat "\n"
+      (List.map (fun key -> device_function_text (Ir.func_exn prog key)) callee_keys)
+  in
+  let composed =
+    List.fold_left
+      (fun acc key -> Printf.sprintf "%s(%s)" (sanitize key) acc)
+      "in[gid]" chain
+  in
+  Printf.sprintf
+    "%s\n__kernel void %s(__global const %s* in, __global %s* out, const int n) {\n\
+    \  int gid = get_global_id(0);\n\
+    \  if (gid < n) {\n\
+    \    out[gid] = %s;\n\
+    \  }\n\
+     }\n"
+    fns (sanitize uid) (cty input) (cty output) composed

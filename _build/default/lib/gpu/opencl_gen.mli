@@ -1,0 +1,31 @@
+(** OpenCL C code generation (paper section 3: "generates OpenCL for
+    the GPU").
+
+    The generated source is the textual artifact stored in the
+    manifest. In this environment no OpenCL runtime exists, so
+    execution is performed by {!Simt} over the same kernel IR; the
+    text is nevertheless complete, self-contained OpenCL C (device
+    functions for every reachable callee plus one [__kernel] per
+    site), with [Math] intrinsics mapped to the native spellings. *)
+
+module Ir = Lime_ir.Ir
+
+val map_kernel_text : Ir.program -> Ir.map_site -> string
+(** Elementwise kernel: mapped arguments as [__global] arrays indexed
+    by the work-item id, broadcast arguments as scalars. *)
+
+val reduce_kernel_text : Ir.program -> Ir.reduce_site -> string
+(** The standard two-stage local-memory tree reduction. *)
+
+val filter_kernel_text :
+  Ir.program ->
+  uid:string ->
+  string list ->
+  input:Ir.ty ->
+  output:Ir.ty ->
+  string
+(** A fused elementwise kernel over a chain of pure filters (the GPU
+    form of a substituted task subgraph). *)
+
+val device_function_text : Ir.func -> string
+(** One [static] device function (exposed for tests). *)

@@ -1,0 +1,286 @@
+module Ir = Lime_ir.Ir
+module I = Lime_ir.Interp
+module V = Wire.Value
+
+exception Device_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Device_error s)) fmt
+
+type timing = {
+  items : int;
+  compute_cycles : float;
+  mem_bytes : int;
+  kernel_ns : float;
+  avg_divergence_groups : float;
+}
+
+(* Per-lane accounting while a work item executes. *)
+type lane = {
+  mutable cycles : float;
+  mutable mem_bytes : int;
+  mutable branch_sig : int;
+}
+
+let elem_bytes = function
+  | Ir.I32 | Ir.F32 | Ir.Enum _ | Ir.Bool -> 4
+  | Ir.Bit -> 1
+  | Ir.Arr _ | Ir.Obj _ | Ir.Graph | Ir.Unit -> 4
+
+let unop_cycles = function
+  | Ir.Neg_i | Ir.Not_b | Ir.Bnot_i | Ir.I2f -> 1.0
+  | Ir.Neg_f -> 1.0
+
+let binop_cycles = function
+  | Ir.Add_i | Ir.Sub_i | Ir.Shl_i | Ir.Shr_i | Ir.And_i | Ir.Or_i | Ir.Xor_i
+  | Ir.And_b | Ir.Or_b | Ir.Xor_b | Ir.And_bit | Ir.Or_bit | Ir.Xor_bit
+  | Ir.Eq | Ir.Neq
+  | Ir.Lt_i | Ir.Leq_i | Ir.Gt_i | Ir.Geq_i
+  | Ir.Lt_f | Ir.Leq_f | Ir.Gt_f | Ir.Geq_f ->
+    1.0
+  | Ir.Mul_i -> 2.0
+  | Ir.Add_f | Ir.Sub_f | Ir.Mul_f -> 1.0
+  | Ir.Div_i | Ir.Rem_i -> 20.0
+  | Ir.Div_f -> 10.0
+  | Ir.Rem_f -> 20.0
+
+let call_overhead = 2.0
+let mem_op_cycles = 4.0
+
+exception Return of V.t
+
+(* Execute [fn key] for one work item, charging the lane. The value
+   semantics delegate to the reference interpreter's primitives. *)
+let exec_lane (prog : Ir.program) (lane : lane) (key : string)
+    (args : V.t list) : V.t =
+  let rec call key args =
+    if Lime_ir.Intrinsics.is_intrinsic key then begin
+      lane.cycles <- lane.cycles +. Lime_ir.Intrinsics.device_cycles key;
+      match Lime_ir.Intrinsics.apply key args with
+      | v -> v
+      | exception Lime_ir.Intrinsics.Error m -> fail "%s" m
+    end
+    else
+    let fn =
+      match Ir.find_func prog key with
+      | Some f -> f
+      | None -> fail "no device function %s" key
+    in
+    lane.cycles <- lane.cycles +. call_overhead;
+    let slots = Array.make (Ir.var_slot_count fn) V.Unit in
+    List.iteri
+      (fun i a ->
+        let p = List.nth fn.fn_params i in
+        slots.(p.Ir.v_id) <- a)
+      args;
+    match exec_block slots fn.fn_body with
+    | () ->
+      if fn.fn_ret = Ir.Unit then V.Unit
+      else fail "%s fell off the end on the device" key
+    | exception Return v -> v
+  and operand slots (o : Ir.operand) =
+    match o with
+    | Ir.O_const c -> I.const_value c
+    | Ir.O_var v -> slots.(v.Ir.v_id)
+  and exec_block slots b = List.iter (exec_instr slots) b
+  and exec_instr slots (i : Ir.instr) =
+    match i with
+    | Ir.I_let (v, r) | Ir.I_set (v, r) -> slots.(v.Ir.v_id) <- eval_rhs slots r
+    | Ir.I_astore (a, idx, x) -> (
+      lane.cycles <- lane.cycles +. mem_op_cycles;
+      match operand slots idx with
+      | V.Int i ->
+        let arr = operand slots a in
+        lane.mem_bytes <- lane.mem_bytes + 4;
+        I.array_set arr i (operand slots x)
+      | _ -> fail "non-integer index")
+    | Ir.I_setfield _ -> fail "field write on the device"
+    | Ir.I_if (c, a, b) -> (
+      match operand slots c with
+      | V.Bool cond ->
+        lane.branch_sig <- (lane.branch_sig * 31) + if cond then 1 else 2;
+        lane.cycles <- lane.cycles +. 1.0;
+        exec_block slots (if cond then a else b)
+      | _ -> fail "non-boolean condition")
+    | Ir.I_while (cond_block, cond_op, body) ->
+      let rec loop () =
+        exec_block slots cond_block;
+        match operand slots cond_op with
+        | V.Bool true ->
+          lane.branch_sig <- (lane.branch_sig * 31) + 1;
+          lane.cycles <- lane.cycles +. 1.0;
+          exec_block slots body;
+          loop ()
+        | V.Bool false ->
+          lane.branch_sig <- (lane.branch_sig * 31) + 2;
+          lane.cycles <- lane.cycles +. 1.0
+        | _ -> fail "non-boolean loop condition"
+      in
+      loop ()
+    | Ir.I_return (Some o) -> raise (Return (operand slots o))
+    | Ir.I_return None -> raise (Return V.Unit)
+    | Ir.I_run_graph _ -> fail "nested graph on the device"
+    | Ir.I_do r -> ignore (eval_rhs slots r)
+  and eval_rhs slots (r : Ir.rhs) : V.t =
+    match r with
+    | Ir.R_op o -> operand slots o
+    | Ir.R_unop (op, a) ->
+      lane.cycles <- lane.cycles +. unop_cycles op;
+      I.eval_unop op (operand slots a)
+    | Ir.R_binop (op, a, b) ->
+      lane.cycles <- lane.cycles +. binop_cycles op;
+      I.eval_binop op (operand slots a) (operand slots b)
+    | Ir.R_alen a ->
+      lane.cycles <- lane.cycles +. 1.0;
+      V.Int (I.array_length (operand slots a))
+    | Ir.R_aload (a, i) -> (
+      lane.cycles <- lane.cycles +. mem_op_cycles;
+      match operand slots i with
+      | V.Int i ->
+        let arr = operand slots a in
+        lane.mem_bytes <- lane.mem_bytes + 4;
+        I.array_get arr i
+      | _ -> fail "non-integer index")
+    | Ir.R_call (key, args) -> call key (List.map (operand slots) args)
+    | Ir.R_newarr _ | Ir.R_freeze _ | Ir.R_newobj _ | Ir.R_field _
+    | Ir.R_map _ | Ir.R_reduce _ | Ir.R_mkgraph _ ->
+      fail "construct not supported on the device (should be excluded)"
+  in
+  call key args
+
+(* Aggregate per-lane traces into device timing. *)
+let aggregate ?(device = Device.gtx580) ~model_divergence
+    (lanes : lane array) : timing =
+  let n = Array.length lanes in
+  let warp = device.Device.lanes_per_warp in
+  let warps = (n + warp - 1) / max warp 1 in
+  let total_cycles = ref 0.0 in
+  let total_groups = ref 0 in
+  for w = 0 to warps - 1 do
+    let lo = w * warp in
+    let hi = min (lo + warp) n - 1 in
+    if model_divergence then begin
+      (* Divergent signatures serialize: the warp pays the max cost of
+         each distinct control-flow group. *)
+      let groups = Hashtbl.create 8 in
+      for i = lo to hi do
+        let l = lanes.(i) in
+        let cur = try Hashtbl.find groups l.branch_sig with Not_found -> 0.0 in
+        Hashtbl.replace groups l.branch_sig (Float.max cur l.cycles)
+      done;
+      Hashtbl.iter (fun _ c -> total_cycles := !total_cycles +. c) groups;
+      total_groups := !total_groups + Hashtbl.length groups
+    end
+    else begin
+      let m = ref 0.0 in
+      for i = lo to hi do
+        if lanes.(i).cycles > !m then m := lanes.(i).cycles
+      done;
+      total_cycles := !total_cycles +. !m;
+      incr total_groups
+    end
+  done;
+  let mem_bytes = Array.fold_left (fun acc l -> acc + l.mem_bytes) 0 lanes in
+  (* Warps spread across SMs; memory traffic is bandwidth-limited. *)
+  let compute_ns =
+    Device.cycles_to_ns device (!total_cycles /. float_of_int device.Device.sms)
+  in
+  let bw_bytes_per_ns = device.Device.mem_bandwidth_gbps /. 1.0 in
+  let mem_ns = float_of_int mem_bytes /. bw_bytes_per_ns in
+  {
+    items = n;
+    compute_cycles = !total_cycles;
+    mem_bytes;
+    kernel_ns = Float.max compute_ns mem_ns +. device.Device.launch_overhead_ns;
+    avg_divergence_groups =
+      (if warps = 0 then 1.0 else float_of_int !total_groups /. float_of_int warps);
+  }
+
+let fresh_lane () = { cycles = 0.0; mem_bytes = 0; branch_sig = 0 }
+
+let run_map ?(device = Device.gtx580) ?(model_divergence = true)
+    (prog : Ir.program) (site : Ir.map_site) (args : V.t list) :
+    V.t * timing =
+  let pairs = List.combine args (List.map snd site.map_args) in
+  let lengths =
+    List.filter_map
+      (fun (a, mapped) -> if mapped then Some (I.array_length a) else None)
+      pairs
+  in
+  let n =
+    match lengths with
+    | [] -> fail "map kernel without array arguments"
+    | n :: rest ->
+      if List.exists (fun m -> m <> n) rest then
+        fail "mapped arrays have different lengths";
+      n
+  in
+  let result = I.new_array site.map_elem_ty n in
+  let lanes = Array.init n (fun _ -> fresh_lane ()) in
+  for i = 0 to n - 1 do
+    let lane = lanes.(i) in
+    let call_args =
+      List.map (fun (a, mapped) -> if mapped then I.array_get a i else a) pairs
+    in
+    let r = exec_lane prog lane site.map_fn call_args in
+    (* input reads + output write *)
+    lane.mem_bytes <-
+      lane.mem_bytes + elem_bytes site.map_elem_ty
+      + List.fold_left
+          (fun acc (_, mapped) -> if mapped then acc + 4 else acc)
+          0 pairs;
+    I.array_set result i r
+  done;
+  I.freeze result, aggregate ~device ~model_divergence lanes
+
+let run_reduce ?(device = Device.gtx580) ?(model_divergence = true)
+    (prog : Ir.program) (site : Ir.reduce_site) (arg : V.t) : V.t * timing =
+  (* Tree reductions keep warps uniform; divergence does not apply. *)
+  ignore model_divergence;
+  let n = I.array_length arg in
+  if n = 0 then fail "reduce of an empty array";
+  (* Values fold left (identical to the CPU), but the device timing is
+     that of a tree: ~2n/lanes combiner applications worth of cycles
+     plus log n synchronization stages. *)
+  let lane = fresh_lane () in
+  let acc = ref (I.array_get arg 0) in
+  for i = 1 to n - 1 do
+    acc := exec_lane prog lane site.red_fn [ !acc; I.array_get arg i ]
+  done;
+  let per_apply =
+    if n > 1 then lane.cycles /. float_of_int (n - 1) else lane.cycles
+  in
+  let lanes_total = float_of_int (Device.total_lanes device) in
+  let stages = ceil (log (float_of_int (max n 2)) /. log 2.0) in
+  let tree_cycles =
+    (2.0 *. float_of_int n /. lanes_total *. per_apply) +. (stages *. 20.0)
+  in
+  let mem_bytes = (n * elem_bytes site.red_elem_ty) + elem_bytes site.red_elem_ty in
+  let compute_ns = Device.cycles_to_ns device tree_cycles in
+  let mem_ns = float_of_int mem_bytes /. device.Device.mem_bandwidth_gbps in
+  let timing =
+    {
+      items = n;
+      compute_cycles = tree_cycles;
+      mem_bytes;
+      kernel_ns =
+        Float.max compute_ns mem_ns +. device.Device.launch_overhead_ns;
+      avg_divergence_groups = 1.0;
+    }
+  in
+  !acc, timing
+
+let run_filter_chain ?(device = Device.gtx580) ?(model_divergence = true)
+    (prog : Ir.program) ~(chain : string list) ~(output_ty : Ir.ty)
+    (input : V.t) : V.t * timing =
+  if chain = [] then fail "empty filter chain";
+  let n = I.array_length input in
+  let result = I.new_array output_ty n in
+  let lanes = Array.init n (fun _ -> fresh_lane ()) in
+  for i = 0 to n - 1 do
+    let lane = lanes.(i) in
+    let x = ref (I.array_get input i) in
+    List.iter (fun key -> x := exec_lane prog lane key [ !x ]) chain;
+    lane.mem_bytes <- lane.mem_bytes + 4 + elem_bytes output_ty;
+    I.array_set result i !x
+  done;
+  I.freeze result, aggregate ~device ~model_divergence lanes

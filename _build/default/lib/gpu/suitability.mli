@@ -1,0 +1,21 @@
+(** GPU backend exclusion analysis (paper section 3).
+
+    "A task containing language constructs that are not suitable for
+    the device is excluded from further compilation by that backend."
+    The GPU accepts pure data-parallel code — local functions over
+    scalars and arrays of scalars (loops included), calling only other
+    suitable functions or [Math] intrinsics. It excludes global
+    methods, object state, dynamic allocation, and nested
+    task/map/reduce constructs. *)
+
+module Ir = Lime_ir.Ir
+
+type verdict = Suitable | Excluded of string
+
+val check_fn : Ir.program -> string -> verdict
+(** Check a function (by key) and everything it transitively calls. *)
+
+val callees : Ir.program -> string -> string list
+(** Transitive callees of a suitable function in dependency order
+    (callees first, the entry last); intrinsics are omitted. Used by
+    the OpenCL generator to emit device functions. *)

@@ -1,0 +1,1 @@
+lib/lime_ir/interp.ml: Array Bits Float Format Intrinsics Ir List Wire

@@ -1,0 +1,1 @@
+lib/lime_ir/interp.mli: Format Ir Wire

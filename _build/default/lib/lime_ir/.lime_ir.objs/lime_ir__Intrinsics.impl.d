@@ -1,0 +1,1 @@
+lib/lime_ir/intrinsics.ml: Float Format List String Wire

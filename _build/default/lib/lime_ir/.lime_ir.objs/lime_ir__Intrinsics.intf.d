@@ -1,0 +1,1 @@
+lib/lime_ir/intrinsics.mli: Wire

@@ -1,0 +1,1 @@
+lib/lime_ir/ir.ml: Format List Map Printf String

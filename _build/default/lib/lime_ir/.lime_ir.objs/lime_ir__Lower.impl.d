@@ -1,0 +1,1 @@
+lib/lime_ir/lower.ml: Diag Intrinsics Ir Lime_syntax Lime_types List Option Printf Srcloc Support Wire

@@ -1,0 +1,1 @@
+lib/lime_ir/lower.mli: Ir Lime_types

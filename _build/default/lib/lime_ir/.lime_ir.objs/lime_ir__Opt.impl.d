@@ -1,0 +1,1 @@
+lib/lime_ir/opt.ml: Int Interp Ir List Map Option Wire

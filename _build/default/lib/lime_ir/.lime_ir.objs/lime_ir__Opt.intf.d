@@ -1,0 +1,1 @@
+lib/lime_ir/opt.mli: Ir

@@ -1,0 +1,1 @@
+lib/lime_ir/printer.ml: Buffer Ir List Printf String

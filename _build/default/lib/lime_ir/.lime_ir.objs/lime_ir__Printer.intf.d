@@ -1,0 +1,1 @@
+lib/lime_ir/printer.mli: Ir

@@ -1,0 +1,77 @@
+module V = Wire.Value
+
+let signatures =
+  [
+    "sqrt", 1; "exp", 1; "log", 1; "sin", 1; "cos", 1; "abs", 1;
+    "floor", 1; "pow", 2; "min", 2; "max", 2;
+  ]
+
+let is_intrinsic key =
+  match String.index_opt key '.' with
+  | Some 4 when String.sub key 0 4 = "Math" ->
+    List.mem_assoc (String.sub key 5 (String.length key - 5)) signatures
+  | _ -> false
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let float1 name f args =
+  match args with
+  | [ V.Float x ] -> V.Float (V.f32 (f x))
+  | _ -> fail "Math.%s expects one float argument" name
+
+let float2 name f args =
+  match args with
+  | [ V.Float x; V.Float y ] -> V.Float (V.f32 (f x y))
+  | _ -> fail "Math.%s expects two float arguments" name
+
+let apply key (args : V.t list) : V.t =
+  let name =
+    match String.index_opt key '.' with
+    | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+    | None -> key
+  in
+  match name with
+  | "sqrt" -> float1 name sqrt args
+  | "exp" -> float1 name exp args
+  | "log" -> float1 name log args
+  | "sin" -> float1 name sin args
+  | "cos" -> float1 name cos args
+  | "abs" -> float1 name Float.abs args
+  | "floor" -> float1 name Float.floor args
+  | "pow" -> float2 name ( ** ) args
+  | "min" -> float2 name Float.min args
+  | "max" -> float2 name Float.max args
+  | _ -> fail "unknown intrinsic Math.%s" name
+
+(* Special-function-unit throughput costs, in cycles. *)
+let device_cycles key =
+  match String.index_opt key '.' with
+  | Some i -> (
+    match String.sub key (i + 1) (String.length key - i - 1) with
+    | "abs" | "min" | "max" | "floor" -> 1.0
+    | "sqrt" -> 8.0
+    | "exp" | "log" | "sin" | "cos" -> 16.0
+    | "pow" -> 32.0
+    | _ -> 16.0)
+  | None -> 16.0
+
+let short key =
+  match String.index_opt key '.' with
+  | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+  | None -> key
+
+let opencl_name key =
+  match short key with
+  | "abs" -> "fabs"
+  | "min" -> "fmin"
+  | "max" -> "fmax"
+  | s -> s
+
+let c_name key =
+  match short key with
+  | "abs" -> "fabsf"
+  | "min" -> "fminf"
+  | "max" -> "fmaxf"
+  | s -> s ^ "f"

@@ -1,0 +1,33 @@
+(** The builtin [Math] class.
+
+    Lime programs call [Math.sqrt(x)], [Math.exp(x)] ... as ordinary
+    static local methods; there is no Lime body behind them — every
+    execution engine maps them to its native operation (OCaml float
+    primitives here, [sqrt]/[exp] in OpenCL C, [sqrtf]/[expf] in
+    generated C), always rounding results to single precision so all
+    engines agree bit-for-bit. The FPGA backend excludes them
+    (transcendental FP cores are beyond its work-in-progress feature
+    set, matching the paper's own FPGA-backend caveats). *)
+
+val is_intrinsic : string -> bool
+(** [is_intrinsic "Math.sqrt"] — recognizes intrinsic function keys. *)
+
+val signatures : (string * int) list
+(** Method name and arity for every [Math] intrinsic (all parameters
+    and results are [float]). *)
+
+exception Error of string
+
+val apply : string -> Wire.Value.t list -> Wire.Value.t
+(** Evaluate an intrinsic by key, e.g.
+    [apply "Math.pow" [Float 2.; Float 10.]].
+    @raise Error on unknown keys or wrong arguments. *)
+
+val device_cycles : string -> float
+(** GPU special-function-unit cost of one application. *)
+
+val opencl_name : string -> string
+(** The OpenCL C spelling, e.g. ["Math.sqrt"] -> ["sqrt"]. *)
+
+val c_name : string -> string
+(** The C spelling (single precision), e.g. ["Math.sqrt"] -> ["sqrtf"]. *)

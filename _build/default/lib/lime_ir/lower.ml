@@ -1,0 +1,618 @@
+open Support
+module T = Lime_types.Tast
+module Ty = Lime_types.Types
+module A = Lime_syntax.Ast
+
+let err ?loc fmt = Diag.error ?loc ~phase:"lower" fmt
+
+let rec ty_of loc (t : Ty.ty) : Ir.ty =
+  match t with
+  | Ty.Int -> Ir.I32
+  | Ty.Float -> Ir.F32
+  | Ty.Bool -> Ir.Bool
+  | Ty.Bit -> Ir.Bit
+  | Ty.Void -> Ir.Unit
+  | Ty.Enum n -> Ir.Enum n
+  | Ty.Array (t, _) -> Ir.Arr (ty_of loc t)
+  | Ty.Instance c -> Ir.Obj c
+  | Ty.Task _ -> err ~loc "a task value cannot be used here"
+
+(* A symbolic task-graph fragment: the statically discovered node
+   chain plus the dynamic operands its nodes consume, in order. *)
+type fragment = { fr_nodes : Ir.tnode list; fr_operands : Ir.operand list }
+
+type binding = B_var of Ir.var | B_fragment of fragment
+
+type ctx = {
+  tprog : T.program;
+  mutable next_var : int;
+  mutable scopes : (string * binding) list list;
+  mutable code : Ir.instr list;  (* reversed *)
+  mutable next_site : int;  (* per-function site counter *)
+  fn_name : string;
+  sites : site_registry;
+}
+
+and site_registry = {
+  mutable templates : Ir.graph_template list;
+  mutable next_template : int;
+}
+
+let fresh_var ctx name ty =
+  let id = ctx.next_var in
+  ctx.next_var <- id + 1;
+  { Ir.v_id = id; v_name = name; v_ty = ty }
+
+let emit ctx i = ctx.code <- i :: ctx.code
+
+(* Run [f] collecting its emissions into a fresh block. *)
+let in_block ctx f =
+  let saved = ctx.code in
+  ctx.code <- [];
+  let result = f () in
+  let block = List.rev ctx.code in
+  ctx.code <- saved;
+  block, result
+
+let push_scope ctx = ctx.scopes <- [] :: ctx.scopes
+
+let pop_scope ctx =
+  match ctx.scopes with
+  | _ :: rest -> ctx.scopes <- rest
+  | [] -> assert false
+
+let bind ctx name b =
+  match ctx.scopes with
+  | scope :: rest -> ctx.scopes <- ((name, b) :: scope) :: rest
+  | [] -> assert false
+
+let lookup ctx name =
+  let rec search = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some b -> Some b
+      | None -> search rest)
+  in
+  search ctx.scopes
+
+let fresh_site ctx base =
+  let n = ctx.next_site in
+  ctx.next_site <- n + 1;
+  Printf.sprintf "%s@%s/%d" base ctx.fn_name n
+
+let method_key (k : T.method_key) = k.mclass ^ "." ^ k.mmethod
+
+(* The result of lowering an expression: a plain operand, or a
+   symbolic graph fragment. *)
+type lowered = L_op of Ir.operand | L_frag of fragment
+
+let as_operand loc = function
+  | L_op o -> o
+  | L_frag _ ->
+    err ~loc
+      "task graphs are compile-time shapes here; they can only be \
+       connected, stored in local variables, relocated, or started"
+
+(* Parameter and return types for a target method; [Math] intrinsics
+   have no Tast body, so their all-float signature is synthesized. *)
+let target_signature ctx loc (key : T.method_key) :
+    (string * Ty.ty) list * Ty.ty =
+  let k = method_key key in
+  if Intrinsics.is_intrinsic k then begin
+    let arity = List.assoc key.T.mmethod Intrinsics.signatures in
+    List.init arity (fun i -> Printf.sprintf "x%d" i, Ty.Float), Ty.Float
+  end
+  else
+    match T.find_method ctx.tprog key with
+    | Some m -> m.mi_params, m.mi_ret
+    | None -> err ~loc "internal: unknown method %s" (method_key key)
+
+let mark_relocatable fragment =
+  {
+    fragment with
+    fr_nodes =
+      List.map
+        (function
+          | Ir.N_filter f -> Ir.N_filter { f with relocatable = true }
+          | (Ir.N_source _ | Ir.N_sink _) as n -> n)
+        fragment.fr_nodes;
+  }
+
+let rec lower_expr ctx (e : T.expr) : lowered =
+  let loc = e.loc in
+  let op o = L_op o in
+  let let_rhs ty rhs =
+    let v = fresh_var ctx "t" ty in
+    emit ctx (Ir.I_let (v, rhs));
+    L_op (Ir.O_var v)
+  in
+  match e.desc with
+  | T.T_int_lit i -> op (Ir.O_const (Ir.C_i32 i))
+  | T.T_float_lit f -> op (Ir.O_const (Ir.C_f32 (Wire.Value.f32 f)))
+  | T.T_bool_lit b -> op (Ir.O_const (Ir.C_bool b))
+  | T.T_bit_lit s -> op (Ir.O_const (Ir.C_bits s))
+  | T.T_enum_lit ("bit", tag) -> op (Ir.O_const (Ir.C_bit (tag = 1)))
+  | T.T_enum_lit (enum, tag) -> op (Ir.O_const (Ir.C_enum (enum, tag)))
+  | T.T_var name -> (
+    match lookup ctx name with
+    | Some (B_var v) -> op (Ir.O_var v)
+    | Some (B_fragment f) -> L_frag f
+    | None -> err ~loc "internal: unbound variable '%s'" name)
+  | T.T_this -> (
+    match lookup ctx "this" with
+    | Some (B_var v) -> op (Ir.O_var v)
+    | _ -> err ~loc "internal: 'this' outside an instance method")
+  | T.T_field_get (_, slot) -> (
+    match lookup ctx "this" with
+    | Some (B_var this) ->
+      let_rhs (ty_of loc e.ty) (Ir.R_field (Ir.O_var this, slot))
+    | _ -> err ~loc "internal: field read outside an instance method")
+  | T.T_int_to_float a ->
+    let a = lower_value ctx a in
+    let_rhs Ir.F32 (Ir.R_unop (Ir.I2f, a))
+  | T.T_unop (uop, a) -> (
+    let ir_ty = ty_of loc e.ty in
+    let a' = lower_value ctx a in
+    match uop, a.ty with
+    | A.Neg, Ty.Int -> let_rhs ir_ty (Ir.R_unop (Ir.Neg_i, a'))
+    | A.Neg, Ty.Float -> let_rhs ir_ty (Ir.R_unop (Ir.Neg_f, a'))
+    | A.Not, _ -> let_rhs ir_ty (Ir.R_unop (Ir.Not_b, a'))
+    | A.Bit_not, Ty.Int -> let_rhs ir_ty (Ir.R_unop (Ir.Bnot_i, a'))
+    | _ -> err ~loc "internal: unexpected unary operator typing")
+  | T.T_binop (bop, a, b) ->
+    let ta = a.ty in
+    let a' = lower_value ctx a in
+    let b' = lower_value ctx b in
+    let ir_op = select_binop loc bop ta in
+    let_rhs (ty_of loc e.ty) (Ir.R_binop (ir_op, a', b'))
+  | T.T_cond (c, a, b) ->
+    let c' = lower_value ctx c in
+    let dest = fresh_var ctx "cond" (ty_of loc e.ty) in
+    let then_block, () =
+      in_block ctx (fun () ->
+          let a' = lower_value ctx a in
+          emit ctx (Ir.I_let (dest, Ir.R_op a')))
+    in
+    let else_block, () =
+      in_block ctx (fun () ->
+          let b' = lower_value ctx b in
+          emit ctx (Ir.I_let (dest, Ir.R_op b')))
+    in
+    emit ctx (Ir.I_if (c', then_block, else_block));
+    op (Ir.O_var dest)
+  | T.T_index (a, i) ->
+    let a' = lower_value ctx a in
+    let i' = lower_value ctx i in
+    let_rhs (ty_of loc e.ty) (Ir.R_aload (a', i'))
+  | T.T_length a ->
+    let a' = lower_value ctx a in
+    let_rhs Ir.I32 (Ir.R_alen a')
+  | T.T_call (key, args) ->
+    let args = List.map (lower_value ctx) args in
+    let_rhs (ty_of loc e.ty) (Ir.R_call (method_key key, args))
+  | T.T_instance_call (cls, m, recv, args) ->
+    let recv = lower_value ctx recv in
+    let args = List.map (lower_value ctx) args in
+    let_rhs (ty_of loc e.ty)
+      (Ir.R_call (cls ^ "." ^ m, recv :: args))
+  | T.T_new_array (elt, n) ->
+    let n = lower_value ctx n in
+    let_rhs (ty_of loc e.ty) (Ir.R_newarr (ty_of loc elt, n))
+  | T.T_freeze a ->
+    let a = lower_value ctx a in
+    let_rhs (ty_of loc e.ty) (Ir.R_freeze a)
+  | T.T_new_instance (cls, args) ->
+    let args = List.map (lower_value ctx) args in
+    let_rhs (Ir.Obj cls) (Ir.R_newobj (cls, args))
+  | T.T_map (key, args) ->
+    let params, ret = target_signature ctx loc key in
+    let lowered =
+      List.map2
+        (fun (_, pty) (a : T.expr) ->
+          let mapped = not (Ty.equal a.ty pty) in
+          lower_value ctx a, mapped)
+        params args
+    in
+    let uid = fresh_site ctx (method_key key ^ ".map") in
+    let_rhs (ty_of loc e.ty)
+      (Ir.R_map
+         {
+           map_uid = uid;
+           map_fn = method_key key;
+           map_args = lowered;
+           map_elem_ty = ty_of loc ret;
+         })
+  | T.T_reduce (key, args) -> (
+    match args with
+    | [ arr ] ->
+      let _, ret = target_signature ctx loc key in
+      let arr = lower_value ctx arr in
+      let uid = fresh_site ctx (method_key key ^ ".reduce") in
+      let_rhs (ty_of loc e.ty)
+        (Ir.R_reduce
+           {
+             red_uid = uid;
+             red_fn = method_key key;
+             red_arg = arr;
+             red_elem_ty = ty_of loc ret;
+           })
+    | _ -> err ~loc "internal: reduce with multiple arguments")
+  | T.T_task_static key -> (
+    let params, ret = target_signature ctx loc key in
+    match params with
+    | [ (_, input) ] ->
+      let uid = fresh_site ctx (method_key key) in
+      L_frag
+        {
+          fr_nodes =
+            [
+              Ir.N_filter
+                {
+                  uid;
+                  target = Ir.F_static (method_key key);
+                  relocatable = false;
+                  input = ty_of loc input;
+                  output = ty_of loc ret;
+                };
+            ];
+          fr_operands = [];
+        }
+    | _ -> err ~loc "internal: static task with wrong arity")
+  | T.T_task_instance (cls, mname, recv) -> (
+    let params, ret =
+      target_signature ctx loc { T.mclass = cls; mmethod = mname }
+    in
+    match params with
+    | [ (_, input) ] ->
+      let recv = lower_value ctx recv in
+      let uid = fresh_site ctx (cls ^ "." ^ mname) in
+      L_frag
+        {
+          fr_nodes =
+            [
+              Ir.N_filter
+                {
+                  uid;
+                  target = Ir.F_instance (cls, mname);
+                  relocatable = false;
+                  input = ty_of loc input;
+                  output = ty_of loc ret;
+                };
+            ];
+          fr_operands = [ recv ];
+        }
+    | _ -> err ~loc "internal: instance task with wrong arity")
+  | T.T_relocate inner -> (
+    match lower_expr ctx inner with
+    | L_frag f -> L_frag (mark_relocatable f)
+    | L_op _ -> err ~loc "internal: relocation brackets on a non-task")
+  | T.T_connect (a, b) -> (
+    let a = lower_expr ctx a in
+    let b = lower_expr ctx b in
+    match a, b with
+    | L_frag fa, L_frag fb ->
+      L_frag
+        {
+          fr_nodes = fa.fr_nodes @ fb.fr_nodes;
+          fr_operands = fa.fr_operands @ fb.fr_operands;
+        }
+    | _ -> err ~loc "cannot determine the static shape of this task graph")
+  | T.T_source (arr, rate) ->
+    let elt =
+      match arr.ty with
+      | Ty.Array (elt, _) -> ty_of loc elt
+      | _ -> err ~loc "internal: source on a non-array"
+    in
+    let arr = lower_value ctx arr in
+    let rate = lower_value ctx rate in
+    L_frag
+      { fr_nodes = [ Ir.N_source { elt } ]; fr_operands = [ arr; rate ] }
+  | T.T_sink (elt, dest) ->
+    let dest = lower_value ctx dest in
+    L_frag
+      {
+        fr_nodes = [ Ir.N_sink { elt = ty_of loc elt } ];
+        fr_operands = [ dest ];
+      }
+  | T.T_graph_run (g, blocking) -> (
+    match lower_expr ctx g with
+    | L_frag f ->
+      validate_chain loc f.fr_nodes;
+      let uid = Printf.sprintf "graph@%d" ctx.sites.next_template in
+      ctx.sites.next_template <- ctx.sites.next_template + 1;
+      ctx.sites.templates <-
+        { Ir.gt_uid = uid; gt_nodes = f.fr_nodes } :: ctx.sites.templates;
+      let v = fresh_var ctx "graph" Ir.Graph in
+      emit ctx (Ir.I_let (v, Ir.R_mkgraph (uid, f.fr_operands)));
+      emit ctx (Ir.I_run_graph (Ir.O_var v, blocking));
+      L_op (Ir.O_const Ir.C_unit)
+    | L_op _ ->
+      err ~loc
+        "the shape of this task graph is not statically discoverable; \
+         build it as a single connected expression")
+
+and validate_chain loc nodes =
+  (* A runnable graph is source, filters, sink. The typechecker
+     guarantees port compatibility; this guards the shape itself. *)
+  match nodes with
+  | Ir.N_source _ :: rest -> (
+    let rec walk = function
+      | [ Ir.N_sink _ ] -> ()
+      | Ir.N_filter _ :: rest -> walk rest
+      | _ -> err ~loc "task graph is not a linear source-to-sink pipeline"
+    in
+    walk rest)
+  | _ -> err ~loc "task graph must begin with a source"
+
+and lower_value ctx (e : T.expr) : Ir.operand =
+  as_operand e.loc (lower_expr ctx e)
+
+and select_binop loc (op : A.binop) (operand_ty : Ty.ty) : Ir.binop =
+  match op, operand_ty with
+  | A.Add, Ty.Int -> Ir.Add_i
+  | A.Add, Ty.Float -> Ir.Add_f
+  | A.Sub, Ty.Int -> Ir.Sub_i
+  | A.Sub, Ty.Float -> Ir.Sub_f
+  | A.Mul, Ty.Int -> Ir.Mul_i
+  | A.Mul, Ty.Float -> Ir.Mul_f
+  | A.Div, Ty.Int -> Ir.Div_i
+  | A.Div, Ty.Float -> Ir.Div_f
+  | A.Rem, Ty.Int -> Ir.Rem_i
+  | A.Rem, Ty.Float -> Ir.Rem_f
+  | A.Shl, Ty.Int -> Ir.Shl_i
+  | A.Shr, Ty.Int -> Ir.Shr_i
+  | A.Band, Ty.Int -> Ir.And_i
+  | A.Bor, Ty.Int -> Ir.Or_i
+  | A.Bxor, Ty.Int -> Ir.Xor_i
+  | A.Band, Ty.Bool -> Ir.And_b
+  | A.Bor, Ty.Bool -> Ir.Or_b
+  | A.Bxor, Ty.Bool -> Ir.Xor_b
+  | A.Band, Ty.Bit -> Ir.And_bit
+  | A.Bor, Ty.Bit -> Ir.Or_bit
+  | A.Bxor, Ty.Bit -> Ir.Xor_bit
+  | (A.And | A.Or), Ty.Bool -> (
+    (* Short-circuit operators were checked to Bool; lower as strict
+       boolean ops (operands are side-effect-free value computations
+       in this subset). *)
+    match op with A.And -> Ir.And_b | _ -> Ir.Or_b)
+  | A.Eq, _ -> Ir.Eq
+  | A.Neq, _ -> Ir.Neq
+  | A.Lt, Ty.Int -> Ir.Lt_i
+  | A.Leq, Ty.Int -> Ir.Leq_i
+  | A.Gt, Ty.Int -> Ir.Gt_i
+  | A.Geq, Ty.Int -> Ir.Geq_i
+  | A.Lt, Ty.Float -> Ir.Lt_f
+  | A.Leq, Ty.Float -> Ir.Leq_f
+  | A.Gt, Ty.Float -> Ir.Gt_f
+  | A.Geq, Ty.Float -> Ir.Geq_f
+  | _, t ->
+    err ~loc "internal: no IR operator for this combination on %s"
+      (Ty.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt ctx (s : T.stmt) : unit =
+  let loc = s.sloc in
+  match s.sdesc with
+  | T.TS_decl (name, Ty.Task _, init) -> (
+    match lower_expr ctx init with
+    | L_frag f -> bind ctx name (B_fragment f)
+    | L_op _ -> err ~loc "internal: task variable bound to a non-task")
+  | T.TS_decl (name, ty, init) ->
+    let rhs =
+      match lower_expr ctx init with
+      | L_op o -> Ir.R_op o
+      | L_frag _ -> err ~loc "a task graph cannot be stored in a %s variable"
+                      (Ty.to_string ty)
+    in
+    let v = fresh_var ctx name (ty_of loc ty) in
+    emit ctx (Ir.I_let (v, rhs));
+    bind ctx name (B_var v)
+  | T.TS_assign (T.TLv_var (name, _), e) -> (
+    match lookup ctx name with
+    | Some (B_var v) ->
+      let o = lower_value ctx e in
+      emit ctx (Ir.I_set (v, Ir.R_op o))
+    | Some (B_fragment _) ->
+      err ~loc "task-graph variables cannot be reassigned (static shape)"
+    | None -> err ~loc "internal: unbound variable '%s'" name)
+  | T.TS_assign (T.TLv_index (a, i), e) ->
+    let a = lower_value ctx a in
+    let i = lower_value ctx i in
+    let o = lower_value ctx e in
+    emit ctx (Ir.I_astore (a, i, o))
+  | T.TS_assign (T.TLv_field (_, slot, _), e) -> (
+    match lookup ctx "this" with
+    | Some (B_var this) ->
+      let o = lower_value ctx e in
+      emit ctx (Ir.I_setfield (Ir.O_var this, slot, o))
+    | _ -> err ~loc "internal: field write outside an instance method")
+  | T.TS_if (c, then_, else_) ->
+    let c = lower_value ctx c in
+    let then_block, () = in_block ctx (fun () -> lower_block ctx then_) in
+    let else_block, () = in_block ctx (fun () -> lower_block ctx else_) in
+    emit ctx (Ir.I_if (c, then_block, else_block))
+  | T.TS_while (c, body) ->
+    let cond_block, cond_op =
+      in_block ctx (fun () -> lower_value ctx c)
+    in
+    let body_block, () = in_block ctx (fun () -> lower_block ctx body) in
+    emit ctx (Ir.I_while (cond_block, cond_op, body_block))
+  | T.TS_for (init, cond, update, body) ->
+    push_scope ctx;
+    Option.iter (lower_stmt ctx) init;
+    let cond_block, cond_op =
+      in_block ctx (fun () ->
+          match cond with
+          | Some c -> lower_value ctx c
+          | None -> Ir.O_const (Ir.C_bool true))
+    in
+    let body_block, () =
+      in_block ctx (fun () ->
+          lower_block ctx body;
+          Option.iter (lower_stmt ctx) update)
+    in
+    emit ctx (Ir.I_while (cond_block, cond_op, body_block));
+    pop_scope ctx
+  | T.TS_return None -> emit ctx (Ir.I_return None)
+  | T.TS_return (Some e) ->
+    let o = lower_value ctx e in
+    emit ctx (Ir.I_return (Some o))
+  | T.TS_expr e -> (
+    match lower_expr ctx e with
+    | L_op (Ir.O_const Ir.C_unit) -> ()
+    | L_op _ -> ()
+    | L_frag _ ->
+      err ~loc "a task graph expression has no effect unless started")
+  | T.TS_block b ->
+    push_scope ctx;
+    lower_block ctx b;
+    pop_scope ctx
+
+and lower_block ctx (b : T.stmt list) : unit = List.iter (lower_stmt ctx) b
+
+(* ------------------------------------------------------------------ *)
+(* Functions, classes, programs                                       *)
+(* ------------------------------------------------------------------ *)
+
+let lower_method tprog sites ~owner ~receiver_ty (m : T.method_info) : Ir.func =
+  let fn_name = method_key m.mi_key in
+  let ctx =
+    {
+      tprog;
+      next_var = 0;
+      scopes = [ [] ];
+      code = [];
+      next_site = 0;
+      fn_name;
+      sites;
+    }
+  in
+  let this_params =
+    if m.mi_static then []
+    else begin
+      let this = fresh_var ctx "this" receiver_ty in
+      bind ctx "this" (B_var this);
+      [ this ]
+    end
+  in
+  let params =
+    List.map
+      (fun (name, ty) ->
+        let v = fresh_var ctx name (ty_of m.mi_loc ty) in
+        bind ctx name (B_var v);
+        v)
+      m.mi_params
+  in
+  lower_block ctx m.mi_body;
+  {
+    Ir.fn_key = fn_name;
+    fn_kind = (if m.mi_static then Ir.K_static else Ir.K_instance owner);
+    fn_params = this_params @ params;
+    fn_ret = ty_of m.mi_loc m.mi_ret;
+    fn_body = List.rev ctx.code;
+    fn_local = m.mi_local;
+    fn_pure = m.mi_pure;
+  }
+
+let lower_ctor tprog sites ~cls (fields : T.field_info list)
+    (c : T.ctor_info) : Ir.func =
+  let fn_name = cls ^ ".<init>" in
+  let ctx =
+    {
+      tprog;
+      next_var = 0;
+      scopes = [ [] ];
+      code = [];
+      next_site = 0;
+      fn_name;
+      sites;
+    }
+  in
+  let this = fresh_var ctx "this" (Ir.Obj cls) in
+  bind ctx "this" (B_var this);
+  let params =
+    List.map
+      (fun (name, ty) ->
+        let v = fresh_var ctx name (ty_of Srcloc.dummy ty) in
+        bind ctx name (B_var v);
+        v)
+      c.ci_params
+  in
+  (* Field initializers run before the constructor body. *)
+  List.iter
+    (fun (f : T.field_info) ->
+      match f.fi_init with
+      | Some e ->
+        let o = lower_value ctx e in
+        emit ctx (Ir.I_setfield (Ir.O_var this, f.fi_slot, o))
+      | None -> ())
+    fields;
+  lower_block ctx c.ci_body;
+  {
+    Ir.fn_key = fn_name;
+    fn_kind = Ir.K_ctor cls;
+    fn_params = this :: params;
+    fn_ret = Ir.Unit;
+    fn_body = List.rev ctx.code;
+    fn_local = c.ci_local;
+    fn_pure = false;
+  }
+
+let lower (tprog : T.program) : Ir.program =
+  let sites = { templates = []; next_template = 0 } in
+  let funcs = ref Ir.String_map.empty in
+  let add_func f = funcs := Ir.String_map.add f.Ir.fn_key f !funcs in
+  T.String_map.iter
+    (fun _ (e : T.enum_info) ->
+      let receiver_ty =
+        if e.ei_name = "bit" then Ir.Bit else Ir.Enum e.ei_name
+      in
+      List.iter
+        (fun m -> add_func (lower_method tprog sites ~owner:e.ei_name ~receiver_ty m))
+        e.ei_methods)
+    tprog.enums;
+  let classes = ref Ir.String_map.empty in
+  T.String_map.iter
+    (fun _ (k : T.class_info) ->
+      List.iter
+        (fun m ->
+          add_func
+            (lower_method tprog sites ~owner:k.ki_name
+               ~receiver_ty:(Ir.Obj k.ki_name) m))
+        k.ki_methods;
+      let ctor_key =
+        match k.ki_ctors with
+        | [] -> None
+        | c :: _ ->
+          (* Our subset allows one constructor per class. *)
+          add_func (lower_ctor tprog sites ~cls:k.ki_name k.ki_fields c);
+          Some (k.ki_name ^ ".<init>")
+      in
+      classes :=
+        Ir.String_map.add k.ki_name
+          {
+            Ir.cm_name = k.ki_name;
+            cm_fields =
+              List.map
+                (fun (f : T.field_info) ->
+                  f.fi_name, ty_of Srcloc.dummy f.fi_ty)
+                k.ki_fields;
+            cm_ctor = ctor_key;
+          }
+          !classes)
+    tprog.classes;
+  let enums =
+    T.String_map.fold
+      (fun name (e : T.enum_info) acc -> Ir.String_map.add name e.ei_cases acc)
+      tprog.enums Ir.String_map.empty
+  in
+  let templates =
+    List.fold_left
+      (fun acc (gt : Ir.graph_template) -> Ir.String_map.add gt.gt_uid gt acc)
+      Ir.String_map.empty sites.templates
+  in
+  { Ir.funcs = !funcs; classes = !classes; enums; templates }

@@ -1,0 +1,18 @@
+(** Lowering from the typed AST to the IR.
+
+    Besides the usual flattening to virtual registers, this pass
+    performs the paper's static task-graph shape discovery (section 3):
+    task expressions are evaluated symbolically at compile time into
+    linear pipeline fragments; fragments may flow through local
+    variables but not through control flow or method boundaries. When a
+    graph's shape cannot be determined, lowering fails with a compile
+    error, exactly as the paper prescribes ("the programmer is informed
+    at compile time with an appropriate error message").
+
+    Every filter creation site and every map/reduce site receives a
+    unique task identifier; the backends label artifacts with these
+    UIDs and the generated host code passes the same UIDs to the
+    runtime (sections 3 and 4.1). *)
+
+val lower : Lime_types.Tast.program -> Ir.program
+(** @raise Support.Diag.Compile_error on undiscoverable graph shapes. *)

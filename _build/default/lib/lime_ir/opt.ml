@@ -1,0 +1,246 @@
+module V = Wire.Value
+
+(* Constant environment: virtual registers known to hold a constant or
+   to be a copy of another register. Conservative: any register
+   assigned in a branch or loop is invalidated. *)
+
+type binding = K_const of Ir.const | K_copy of Ir.var
+
+let const_of_value (v : V.t) : Ir.const option =
+  match v with
+  | V.Unit -> Some Ir.C_unit
+  | V.Bool b -> Some (Ir.C_bool b)
+  | V.Int i -> Some (Ir.C_i32 i)
+  | V.Float f -> Some (Ir.C_f32 f)
+  | V.Bit b -> Some (Ir.C_bit b)
+  | V.Enum { enum; tag } -> Some (Ir.C_enum (enum, tag))
+  | V.Bits _ | V.Int_array _ | V.Float_array _ | V.Bool_array _ | V.Array _
+  | V.Tuple _ ->
+    None
+
+(* Division and remainder can trap; fold only when safe. *)
+let foldable_binop (op : Ir.binop) (b : Ir.const) =
+  match op, b with
+  | (Ir.Div_i | Ir.Rem_i), Ir.C_i32 0 -> false
+  | _ -> true
+
+module Int_map = Map.Make (Int)
+
+type env = binding Int_map.t
+
+let rec resolve_operand (env : env) (o : Ir.operand) : Ir.operand =
+  match o with
+  | Ir.O_const _ -> o
+  | Ir.O_var v -> (
+    match Int_map.find_opt v.Ir.v_id env with
+    | Some (K_const c) -> Ir.O_const c
+    | Some (K_copy v') -> resolve_operand (Int_map.remove v.Ir.v_id env) (Ir.O_var v')
+    | None -> o)
+
+let fold_rhs (env : env) (rhs : Ir.rhs) : Ir.rhs =
+  let r = resolve_operand env in
+  match rhs with
+  | Ir.R_op o -> Ir.R_op (r o)
+  | Ir.R_unop (op, a) -> (
+    match r a with
+    | Ir.O_const c as a' -> (
+      match const_of_value (Interp.eval_unop op (Interp.const_value c)) with
+      | Some folded -> Ir.R_op (Ir.O_const folded)
+      | None -> Ir.R_unop (op, a')
+      | exception Interp.Runtime_error _ -> Ir.R_unop (op, a'))
+    | a' -> Ir.R_unop (op, a'))
+  | Ir.R_binop (op, a, b) -> (
+    match r a, r b with
+    | (Ir.O_const ca as a'), (Ir.O_const cb as b') when foldable_binop op cb
+      -> (
+      match
+        const_of_value
+          (Interp.eval_binop op (Interp.const_value ca) (Interp.const_value cb))
+      with
+      | Some folded -> Ir.R_op (Ir.O_const folded)
+      | None -> Ir.R_binop (op, a', b')
+      | exception Interp.Runtime_error _ -> Ir.R_binop (op, a', b'))
+    | a', b' -> Ir.R_binop (op, a', b'))
+  | Ir.R_alen a -> Ir.R_alen (r a)
+  | Ir.R_aload (a, i) -> Ir.R_aload (r a, r i)
+  | Ir.R_call (key, args) -> Ir.R_call (key, List.map r args)
+  | Ir.R_newarr (ty, n) -> Ir.R_newarr (ty, r n)
+  | Ir.R_freeze a -> Ir.R_freeze (r a)
+  | Ir.R_newobj (cls, args) -> Ir.R_newobj (cls, List.map r args)
+  | Ir.R_field (o, slot) -> Ir.R_field (r o, slot)
+  | Ir.R_map m -> Ir.R_map { m with map_args = List.map (fun (o, f) -> r o, f) m.map_args }
+  | Ir.R_reduce red -> Ir.R_reduce { red with red_arg = r red.red_arg }
+  | Ir.R_mkgraph (uid, ops) -> Ir.R_mkgraph (uid, List.map r ops)
+
+(* Registers assigned anywhere in a block (to invalidate across
+   branches and loop bodies). *)
+let rec assigned_in (b : Ir.block) : Int_map.key list =
+  List.concat_map
+    (function
+      | Ir.I_let (v, _) | Ir.I_set (v, _) -> [ v.Ir.v_id ]
+      | Ir.I_if (_, a, b) -> assigned_in a @ assigned_in b
+      | Ir.I_while (c, _, body) -> assigned_in c @ assigned_in body
+      | Ir.I_astore _ | Ir.I_setfield _ | Ir.I_return _ | Ir.I_run_graph _
+      | Ir.I_do _ ->
+        [])
+    b
+
+let invalidate env ids = List.fold_left (fun e k -> Int_map.remove k e) env ids
+
+(* Constant folding + copy propagation + branch folding, threading the
+   environment linearly through the block. *)
+let rec fold_block (env : env) (b : Ir.block) : Ir.block * env =
+  match b with
+  | [] -> [], env
+  | i :: rest ->
+    let folded, env = fold_instr env i in
+    let rest', env = fold_block env rest in
+    folded @ rest', env
+
+and fold_instr (env : env) (i : Ir.instr) : Ir.block * env =
+  match i with
+  | Ir.I_let (v, rhs) | Ir.I_set (v, rhs) -> (
+    let rhs = fold_rhs env rhs in
+    let env = Int_map.remove v.Ir.v_id env in
+    match rhs with
+    | Ir.R_op (Ir.O_const c) ->
+      [ Ir.I_let (v, rhs) ], Int_map.add v.Ir.v_id (K_const c) env
+    | Ir.R_op (Ir.O_var src) when src.Ir.v_id <> v.Ir.v_id ->
+      [ Ir.I_let (v, rhs) ], Int_map.add v.Ir.v_id (K_copy src) env
+    | _ -> [ Ir.I_let (v, rhs) ], env)
+  | Ir.I_astore (a, idx, x) ->
+    let r = resolve_operand env in
+    [ Ir.I_astore (r a, r idx, r x) ], env
+  | Ir.I_setfield (o, slot, x) ->
+    let r = resolve_operand env in
+    [ Ir.I_setfield (r o, slot, r x) ], env
+  | Ir.I_if (c, a, b) -> (
+    match resolve_operand env c with
+    | Ir.O_const (Ir.C_bool true) -> fold_block env a
+    | Ir.O_const (Ir.C_bool false) -> fold_block env b
+    | c' ->
+      (* Each branch folds with the entry environment; afterwards any
+         register either branch assigned is unknown. *)
+      let a', _ = fold_block env a in
+      let b', _ = fold_block env b in
+      let env = invalidate env (assigned_in a @ assigned_in b) in
+      [ Ir.I_if (c', a', b') ], env)
+  | Ir.I_while (cond_block, cond_op, body) -> (
+    (* Loop-carried registers are unknown inside and after the loop. *)
+    let carried = assigned_in cond_block @ assigned_in body in
+    let env_in = invalidate env carried in
+    let cond_block', env_cond = fold_block env_in cond_block in
+    match resolve_operand env_cond cond_op with
+    | Ir.O_const (Ir.C_bool false) ->
+      (* The condition is false on entry and the condition block's
+         effects are pure register writes: drop the loop but keep the
+         condition computation's bindings. *)
+      cond_block', env_cond
+    | cond_op' ->
+      let body', _ = fold_block env_in body in
+      [ Ir.I_while (cond_block', cond_op', body') ], env_in)
+  | Ir.I_return o ->
+    [ Ir.I_return (Option.map (resolve_operand env) o) ], env
+  | Ir.I_run_graph (g, blocking) ->
+    [ Ir.I_run_graph (resolve_operand env g, blocking) ], env
+  | Ir.I_do rhs -> [ Ir.I_do (fold_rhs env rhs) ], env
+
+(* --- dead code elimination ------------------------------------------- *)
+
+(* An rhs whose evaluation has no side effects and cannot trap. *)
+let pure_rhs = function
+  | Ir.R_op _ | Ir.R_unop _ | Ir.R_freeze _ | Ir.R_field _ -> true
+  | Ir.R_binop ((Ir.Div_i | Ir.Rem_i | Ir.Div_f | Ir.Rem_f), _, Ir.O_const (Ir.C_i32 n))
+    ->
+    n <> 0
+  | Ir.R_binop ((Ir.Div_i | Ir.Rem_i), _, _) -> false
+  | Ir.R_binop _ -> true
+  | Ir.R_alen _ | Ir.R_aload _ -> false  (* may trap *)
+  | Ir.R_newarr _ -> false  (* negative length traps *)
+  | Ir.R_call _ | Ir.R_newobj _ | Ir.R_map _ | Ir.R_reduce _ | Ir.R_mkgraph _
+    ->
+    false
+
+let rec used_vars_block (b : Ir.block) acc =
+  List.fold_left (fun acc i -> used_vars_instr i acc) acc b
+
+and used_vars_instr (i : Ir.instr) acc =
+  let op acc = function
+    | Ir.O_var v -> Int_map.add v.Ir.v_id () acc
+    | Ir.O_const _ -> acc
+  in
+  let rhs acc = function
+    | Ir.R_op o | Ir.R_unop (_, o) | Ir.R_alen o | Ir.R_freeze o
+    | Ir.R_field (o, _) ->
+      op acc o
+    | Ir.R_binop (_, a, b) | Ir.R_aload (a, b) -> op (op acc a) b
+    | Ir.R_call (_, os) | Ir.R_newobj (_, os) | Ir.R_mkgraph (_, os) ->
+      List.fold_left op acc os
+    | Ir.R_newarr (_, o) -> op acc o
+    | Ir.R_map m -> List.fold_left (fun acc (o, _) -> op acc o) acc m.map_args
+    | Ir.R_reduce r -> op acc r.red_arg
+  in
+  match i with
+  | Ir.I_let (_, r) | Ir.I_set (_, r) | Ir.I_do r -> rhs acc r
+  | Ir.I_astore (a, b, c) -> op (op (op acc a) b) c
+  | Ir.I_setfield (a, _, b) -> op (op acc a) b
+  | Ir.I_if (c, x, y) -> used_vars_block y (used_vars_block x (op acc c))
+  | Ir.I_while (c, o, body) ->
+    used_vars_block body (op (used_vars_block c acc) o)
+  | Ir.I_return (Some o) | Ir.I_run_graph (o, _) -> op acc o
+  | Ir.I_return None -> acc
+
+let rec dce_block (used : unit Int_map.t) (b : Ir.block) : Ir.block =
+  List.filter_map
+    (fun i ->
+      match i with
+      | Ir.I_let (v, rhs) | Ir.I_set (v, rhs) ->
+        if (not (Int_map.mem v.Ir.v_id used)) && pure_rhs rhs then None
+        else Some i
+      | Ir.I_if (c, a, b) ->
+        Some (Ir.I_if (c, dce_block used a, dce_block used b))
+      | Ir.I_while (c, o, body) ->
+        Some (Ir.I_while (dce_block used c, o, dce_block used body))
+      | Ir.I_astore _ | Ir.I_setfield _ | Ir.I_return _ | Ir.I_run_graph _
+      | Ir.I_do _ ->
+        Some i)
+    b
+
+let dce (f : Ir.func) : Ir.func =
+  (* The while-condition operand must stay live even if it is only
+     written in the condition block itself; used_vars covers it. *)
+  let used = used_vars_block f.fn_body Int_map.empty in
+  { f with fn_body = dce_block used f.fn_body }
+
+(* --- driver ------------------------------------------------------------ *)
+
+let rec instr_count_block (b : Ir.block) =
+  List.fold_left
+    (fun acc i ->
+      acc
+      +
+      match i with
+      | Ir.I_if (_, a, b) -> 1 + instr_count_block a + instr_count_block b
+      | Ir.I_while (c, _, body) ->
+        1 + instr_count_block c + instr_count_block body
+      | Ir.I_let _ | Ir.I_set _ | Ir.I_astore _ | Ir.I_setfield _
+      | Ir.I_return _ | Ir.I_run_graph _ | Ir.I_do _ ->
+        1)
+    0 b
+
+let stats (f : Ir.func) = instr_count_block f.fn_body
+
+let optimize_function (f : Ir.func) : Ir.func =
+  let rec fixpoint f n =
+    if n = 0 then f
+    else begin
+      let body, _ = fold_block Int_map.empty f.Ir.fn_body in
+      let f' = dce { f with fn_body = body } in
+      if stats f' = stats f && f'.fn_body = f.fn_body then f'
+      else fixpoint f' (n - 1)
+    end
+  in
+  fixpoint f 8
+
+let optimize (p : Ir.program) : Ir.program =
+  { p with funcs = Ir.String_map.map optimize_function p.funcs }

@@ -1,0 +1,20 @@
+(** Shallow IR optimizations.
+
+    The frontend "performs shallow optimizations" before generating
+    bytecode (paper section 3); these are they:
+
+    - constant folding of unary/binary operators on constants (with
+      the exact Java 32-bit / IEEE-single semantics of the VM);
+    - copy propagation of [let x = y];
+    - branch folding of [if true/false] and [while false];
+    - dead-code elimination of unused pure bindings.
+
+    Passes run to a fixed point. They never change observable
+    behaviour: folding uses the interpreter's own operator evaluators,
+    and anything that can trap (division, array access, calls) is kept. *)
+
+val optimize_function : Ir.func -> Ir.func
+val optimize : Ir.program -> Ir.program
+
+val stats : Ir.func -> int
+(** Instruction count of a function body (for before/after reporting). *)

@@ -1,0 +1,151 @@
+let const_text (c : Ir.const) =
+  match c with
+  | Ir.C_unit -> "()"
+  | Ir.C_bool b -> string_of_bool b
+  | Ir.C_i32 i -> string_of_int i
+  | Ir.C_f32 f -> Printf.sprintf "%gf" f
+  | Ir.C_bit b -> if b then "one" else "zero"
+  | Ir.C_enum (e, tag) -> Printf.sprintf "%s#%d" e tag
+  | Ir.C_bits s -> s ^ "b"
+
+let operand_text (o : Ir.operand) =
+  match o with
+  | Ir.O_var v -> Printf.sprintf "%%%d:%s" v.v_id v.v_name
+  | Ir.O_const c -> const_text c
+
+let unop_name (u : Ir.unop) =
+  match u with
+  | Ir.Neg_i -> "neg.i"
+  | Ir.Neg_f -> "neg.f"
+  | Ir.Not_b -> "not"
+  | Ir.Bnot_i -> "bnot.i"
+  | Ir.I2f -> "i2f"
+
+let binop_name (b : Ir.binop) =
+  match b with
+  | Ir.Add_i -> "add.i" | Ir.Sub_i -> "sub.i" | Ir.Mul_i -> "mul.i"
+  | Ir.Div_i -> "div.i" | Ir.Rem_i -> "rem.i"
+  | Ir.Add_f -> "add.f" | Ir.Sub_f -> "sub.f" | Ir.Mul_f -> "mul.f"
+  | Ir.Div_f -> "div.f" | Ir.Rem_f -> "rem.f"
+  | Ir.Shl_i -> "shl" | Ir.Shr_i -> "shr"
+  | Ir.And_i -> "and.i" | Ir.Or_i -> "or.i" | Ir.Xor_i -> "xor.i"
+  | Ir.And_b -> "and.b" | Ir.Or_b -> "or.b" | Ir.Xor_b -> "xor.b"
+  | Ir.And_bit -> "and.bit" | Ir.Or_bit -> "or.bit" | Ir.Xor_bit -> "xor.bit"
+  | Ir.Eq -> "eq" | Ir.Neq -> "neq"
+  | Ir.Lt_i -> "lt.i" | Ir.Leq_i -> "leq.i" | Ir.Gt_i -> "gt.i"
+  | Ir.Geq_i -> "geq.i"
+  | Ir.Lt_f -> "lt.f" | Ir.Leq_f -> "leq.f" | Ir.Gt_f -> "gt.f"
+  | Ir.Geq_f -> "geq.f"
+
+let rhs_text (r : Ir.rhs) =
+  match r with
+  | Ir.R_op o -> operand_text o
+  | Ir.R_unop (u, a) -> Printf.sprintf "%s %s" (unop_name u) (operand_text a)
+  | Ir.R_binop (b, x, y) ->
+    Printf.sprintf "%s %s, %s" (binop_name b) (operand_text x) (operand_text y)
+  | Ir.R_alen a -> Printf.sprintf "alen %s" (operand_text a)
+  | Ir.R_aload (a, i) ->
+    Printf.sprintf "aload %s[%s]" (operand_text a) (operand_text i)
+  | Ir.R_call (key, args) ->
+    Printf.sprintf "call %s(%s)" key
+      (String.concat ", " (List.map operand_text args))
+  | Ir.R_newarr (ty, n) ->
+    Printf.sprintf "newarr %s[%s]" (Ir.ty_to_string ty) (operand_text n)
+  | Ir.R_freeze a -> Printf.sprintf "freeze %s" (operand_text a)
+  | Ir.R_newobj (cls, args) ->
+    Printf.sprintf "new %s(%s)" cls
+      (String.concat ", " (List.map operand_text args))
+  | Ir.R_field (o, slot) -> Printf.sprintf "field %s.%d" (operand_text o) slot
+  | Ir.R_map m ->
+    Printf.sprintf "map[%s] %s(%s)" m.map_uid m.map_fn
+      (String.concat ", "
+         (List.map
+            (fun (o, mapped) -> operand_text o ^ if mapped then "[]" else "")
+            m.map_args))
+  | Ir.R_reduce r ->
+    Printf.sprintf "reduce[%s] %s(%s)" r.red_uid r.red_fn
+      (operand_text r.red_arg)
+  | Ir.R_mkgraph (uid, ops) ->
+    Printf.sprintf "mkgraph %s(%s)" uid
+      (String.concat ", " (List.map operand_text ops))
+
+let rec block_text indent (b : Ir.block) =
+  String.concat "" (List.map (instr_text indent) b)
+
+and instr_text indent (i : Ir.instr) =
+  let pad = String.make indent ' ' in
+  match i with
+  | Ir.I_let (v, r) ->
+    Printf.sprintf "%slet %%%d:%s = %s\n" pad v.v_id v.v_name (rhs_text r)
+  | Ir.I_set (v, r) ->
+    Printf.sprintf "%sset %%%d:%s = %s\n" pad v.v_id v.v_name (rhs_text r)
+  | Ir.I_astore (a, idx, x) ->
+    Printf.sprintf "%sastore %s[%s] = %s\n" pad (operand_text a)
+      (operand_text idx) (operand_text x)
+  | Ir.I_setfield (o, slot, x) ->
+    Printf.sprintf "%ssetfield %s.%d = %s\n" pad (operand_text o) slot
+      (operand_text x)
+  | Ir.I_if (c, a, b) ->
+    Printf.sprintf "%sif %s {\n%s%s} else {\n%s%s}\n" pad (operand_text c)
+      (block_text (indent + 2) a)
+      pad
+      (block_text (indent + 2) b)
+      pad
+  | Ir.I_while (cond_block, cond_op, body) ->
+    Printf.sprintf "%swhile {\n%s%s  test %s\n%s} do {\n%s%s}\n" pad
+      (block_text (indent + 2) cond_block)
+      pad (operand_text cond_op) pad
+      (block_text (indent + 2) body)
+      pad
+  | Ir.I_return None -> pad ^ "ret\n"
+  | Ir.I_return (Some o) -> Printf.sprintf "%sret %s\n" pad (operand_text o)
+  | Ir.I_run_graph (g, blocking) ->
+    Printf.sprintf "%srun_graph %s %s\n" pad (operand_text g)
+      (if blocking then "finish" else "start")
+  | Ir.I_do r -> Printf.sprintf "%sdo %s\n" pad (rhs_text r)
+
+let func_to_string (f : Ir.func) =
+  let kind =
+    match f.fn_kind with
+    | Ir.K_static -> "static"
+    | Ir.K_instance cls -> "instance of " ^ cls
+    | Ir.K_ctor cls -> "constructor of " ^ cls
+  in
+  Printf.sprintf "func %s (%s%s%s) : %s {  // %s\n%s}\n" f.fn_key
+    (String.concat ", "
+       (List.map
+          (fun (v : Ir.var) ->
+            Printf.sprintf "%%%d:%s %s" v.v_id v.v_name (Ir.ty_to_string v.v_ty))
+          f.fn_params))
+    (if f.fn_local then " local" else "")
+    (if f.fn_pure then " pure" else "")
+    (Ir.ty_to_string f.fn_ret)
+    kind
+    (block_text 2 f.fn_body)
+
+let template_to_string (gt : Ir.graph_template) =
+  let node_text (n : Ir.tnode) =
+    match n with
+    | Ir.N_source { elt } -> Printf.sprintf "source<%s>" (Ir.ty_to_string elt)
+    | Ir.N_filter f ->
+      Printf.sprintf "%sfilter %s [%s -> %s] uid=%s"
+        (if f.relocatable then "[reloc] " else "")
+        (match f.target with
+        | Ir.F_static key -> key
+        | Ir.F_instance (cls, m) -> cls ^ "." ^ m ^ " (stateful)")
+        (Ir.ty_to_string f.input) (Ir.ty_to_string f.output) f.uid
+    | Ir.N_sink { elt } -> Printf.sprintf "sink<%s>" (Ir.ty_to_string elt)
+  in
+  Printf.sprintf "graph %s:\n%s" gt.gt_uid
+    (String.concat ""
+       (List.map (fun n -> "  " ^ node_text n ^ "\n") gt.gt_nodes))
+
+let program_to_string (p : Ir.program) =
+  let buf = Buffer.create 1024 in
+  Ir.String_map.iter
+    (fun _ gt -> Buffer.add_string buf (template_to_string gt ^ "\n"))
+    p.templates;
+  Ir.String_map.iter
+    (fun _ f -> Buffer.add_string buf (func_to_string f ^ "\n"))
+    p.funcs;
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Human-readable IR dumps, for compiler debugging and the
+    [lmc dump-ir] command. *)
+
+val func_to_string : Ir.func -> string
+val template_to_string : Ir.graph_template -> string
+val program_to_string : Ir.program -> string

@@ -1,0 +1,1 @@
+lib/lime_syntax/ast.ml: Format Srcloc Support

@@ -1,0 +1,1 @@
+lib/lime_syntax/lexer.ml: Diag List Srcloc String Support Token

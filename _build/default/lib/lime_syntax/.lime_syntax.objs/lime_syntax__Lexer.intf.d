@@ -1,0 +1,1 @@
+lib/lime_syntax/lexer.mli: Support Token

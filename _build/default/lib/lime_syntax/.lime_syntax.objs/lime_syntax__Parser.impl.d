@@ -1,0 +1,1 @@
+lib/lime_syntax/parser.ml: Array Ast Diag Lexer List String Support Token

@@ -1,0 +1,1 @@
+lib/lime_syntax/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/lime_syntax/pretty.ml: Ast List Option Printf Srcloc String Support

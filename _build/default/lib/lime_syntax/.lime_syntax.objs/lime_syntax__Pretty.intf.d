@@ -1,0 +1,1 @@
+lib/lime_syntax/pretty.mli: Ast

@@ -1,0 +1,1 @@
+lib/lime_syntax/token.ml: Format

@@ -1,0 +1,178 @@
+(* Abstract syntax of the Lime subset (paper section 2).
+
+   The subset covers everything Figure 1 exercises plus the features
+   the backends need: value enums with operator methods, classes with
+   static and instance methods, value arrays [[]], bit literals, the
+   map (@) and reduce (@@) operators, task-graph construction
+   (source / task / sink / =>), relocation brackets, and
+   start()/finish(). *)
+
+open Support
+
+type mutability =
+  | Mut  (** ordinary array type [t\[\]] *)
+  | Immut  (** value array type [t\[\[\]\]] *)
+
+type ty =
+  | T_int
+  | T_float
+  | T_bool
+  | T_bit
+  | T_void
+  | T_named of string  (** a value enum or class name *)
+  | T_array of ty * mutability
+
+type unop =
+  | Neg  (** arithmetic negation *)
+  | Not  (** boolean ! *)
+  | Bit_not  (** [~]; on a value enum this resolves to its [~] method *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | And  (** && , short-circuit *)
+  | Or  (** || , short-circuit *)
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+
+type expr = { desc : expr_desc; loc : Srcloc.t }
+
+and expr_desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Bit_lit of string  (** literal body, e.g. "100" *)
+  | Name of string  (** variable, enum case, or class (resolved later) *)
+  | Qualified of string * string  (** [Enum.case] or [Class.member] *)
+  | This
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+  | Index of expr * expr
+  | Length of expr  (** [e.length] *)
+  | Call of call_target * expr list
+  | New_array of ty * expr  (** [new t\[n\]] *)
+  | New_instance of string * expr list
+      (** [new C(args)]: construct an object; a [local] constructor
+          with value arguments is an isolating constructor and makes
+          the instance usable as a stateful task (paper section 2.1) *)
+  | New_value_array of ty * expr
+      (** [new t\[\[\]\](e)]: freeze a mutable array into a value array *)
+  | Map of string option * string * expr list
+      (** [C @ m(args)]: apply method [m] (of class [C], or the
+          enclosing class when [None]) elementwise *)
+  | Reduce of string option * string * expr list
+      (** [C @@ m(e)]: fold the array with associative binary [m] *)
+  | Task of string option * string
+      (** [task m] / [task C.m]: a dataflow actor repeatedly applying
+          the named method *)
+  | Relocate of expr
+      (** relocation brackets [\[ e \]] around a task expression *)
+  | Connect of expr * expr  (** [a => b] *)
+  | Source of expr * expr  (** [arr.source(rate)] *)
+  | Sink of ty * expr  (** [dest.<t>sink()] *)
+
+and call_target =
+  | Unresolved_call of string  (** [m(args)] within the current class *)
+  | Qualified_call of string * string  (** [C.m(args)] *)
+  | Method_call of expr * string
+      (** [e.m(args)] — graph methods like [finish], or enum instance
+          methods *)
+
+type lvalue =
+  | Lv_name of string
+  | Lv_index of expr * expr  (** [a\[i\] = ...] *)
+
+type stmt = { sdesc : stmt_desc; sloc : Srcloc.t }
+
+and stmt_desc =
+  | Var_decl of ty option * string * expr option
+      (** [ty x = e;], [var x = e;] (type inferred), or [ty x;]
+          (default-initialized) *)
+  | Assign of lvalue * expr
+  | Op_assign of binop * lvalue * expr  (** [+=], [-=], [*=] *)
+  | Incr of lvalue  (** [x++] *)
+  | Decr of lvalue  (** [x--] *)
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Return of expr option
+  | Expr_stmt of expr
+  | Block of block
+
+and block = stmt list
+
+type locality =
+  | L_local  (** declared [local], or defaulted local in a value type *)
+  | L_global  (** may perform side effects including I/O *)
+  | L_default  (** unannotated; resolved by the typechecker *)
+
+type method_decl = {
+  m_name : string;  (** ["~"] names the unary operator method *)
+  m_static : bool;
+  m_locality : locality;
+  m_ret : ty;
+  m_params : (string * ty) list;
+  m_body : block;
+  m_loc : Srcloc.t;
+}
+
+type field_decl = {
+  f_name : string;
+  f_ty : ty;
+  f_init : expr option;
+  f_loc : Srcloc.t;
+}
+
+type ctor_decl = {
+  c_locality : locality;
+  c_params : (string * ty) list;
+  c_body : block;
+  c_loc : Srcloc.t;
+}
+
+type enum_decl = {
+  e_name : string;
+  e_cases : string list;
+  e_methods : method_decl list;
+  e_loc : Srcloc.t;
+}
+
+type class_decl = {
+  k_name : string;
+  k_is_value : bool;
+  k_fields : field_decl list;
+  k_ctors : ctor_decl list;
+  k_methods : method_decl list;
+  k_loc : Srcloc.t;
+}
+
+type decl = D_enum of enum_decl | D_class of class_decl
+
+type program = { decls : decl list }
+
+let rec ty_to_string = function
+  | T_int -> "int"
+  | T_float -> "float"
+  | T_bool -> "boolean"
+  | T_bit -> "bit"
+  | T_void -> "void"
+  | T_named n -> n
+  | T_array (t, Mut) -> ty_to_string t ^ "[]"
+  | T_array (t, Immut) -> ty_to_string t ^ "[[]]"
+
+let pp_ty ppf t = Format.fprintf ppf "%s" (ty_to_string t)
+
+let ty_equal (a : ty) (b : ty) = a = b

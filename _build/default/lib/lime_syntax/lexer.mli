@@ -1,0 +1,14 @@
+(** Hand-written lexer for the Lime subset.
+
+    Notable lexical features from the paper:
+    - bit literals: a run of [0]/[1] digits immediately followed by
+      [b], e.g. [100b] (section 2.2);
+    - the two-character value-array brackets [[[] and []]] used in
+      types such as [bit[[]]];
+    - the operators [@] (map), [@@] (reduce) and [=>] (connect). *)
+
+type spanned = { token : Token.t; loc : Support.Srcloc.t }
+
+val tokenize : file:string -> string -> spanned list
+(** Tokenizes a whole compilation unit, ending with an [EOF] token.
+    @raise Support.Diag.Compile_error on lexical errors. *)

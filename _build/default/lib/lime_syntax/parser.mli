@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the Lime subset.
+
+    Dialect rules (documented deviations from full Lime are listed in
+    DESIGN.md section 5):
+    - class names start with an uppercase letter; variables and method
+      names start lowercase (the Java convention), which disambiguates
+      [C.m(args)] static calls from [x.m(args)] instance calls;
+    - [bit] is the builtin value enum; a user declaration
+      [value enum bit { zero, one; ... }] (as in the paper's Figure 1)
+      is accepted and must agree with the builtin;
+    - reduce is spelled [C @@ m(e)] (the paper leaves reduce syntax
+      unshown). *)
+
+val parse : file:string -> string -> Ast.program
+(** Parses a compilation unit.
+    @raise Support.Diag.Compile_error on syntax errors. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parses a single expression; used by tests. *)

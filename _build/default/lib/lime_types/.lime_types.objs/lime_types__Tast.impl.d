@@ -1,0 +1,1 @@
+lib/lime_types/tast.ml: Lime_syntax List Map Srcloc String Support Types

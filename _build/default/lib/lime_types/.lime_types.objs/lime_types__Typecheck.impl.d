@@ -1,0 +1,1 @@
+lib/lime_types/typecheck.ml: Array Diag Lime_syntax List Option Printf Srcloc String Support Tast Types Wire

@@ -1,0 +1,1 @@
+lib/lime_types/typecheck.mli: Lime_syntax Tast

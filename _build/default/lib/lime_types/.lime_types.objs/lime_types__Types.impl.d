@@ -1,0 +1,1 @@
+lib/lime_types/types.ml: Format Option String

@@ -1,0 +1,1 @@
+lib/lime_types/types.mli: Format

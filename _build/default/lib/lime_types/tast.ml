@@ -1,0 +1,124 @@
+(* Typed abstract syntax: names resolved, every expression annotated
+   with its semantic type. This is what lowering to IR consumes. *)
+
+open Support
+
+(* A static method is identified by class and method name; the same
+   key labels artifacts in the backend manifests. *)
+type method_key = { mclass : string; mmethod : string }
+
+let method_key_to_string k = k.mclass ^ "." ^ k.mmethod
+
+type expr = { ty : Types.ty; desc : expr_desc; loc : Srcloc.t }
+
+and expr_desc =
+  | T_int_lit of int
+  | T_float_lit of float
+  | T_bool_lit of bool
+  | T_bit_lit of string  (** literal body; type is [bit\[\[\]\]] *)
+  | T_enum_lit of string * int  (** enum name, case tag *)
+  | T_var of string
+  | T_field_get of string * int  (** field name and slot, on [this] *)
+  | T_this
+  | T_int_to_float of expr  (** implicit Java widening conversion *)
+  | T_unop of Lime_syntax.Ast.unop * expr
+  | T_binop of Lime_syntax.Ast.binop * expr * expr
+  | T_cond of expr * expr * expr
+  | T_index of expr * expr
+  | T_length of expr
+  | T_call of method_key * expr list  (** static method call *)
+  | T_instance_call of string * string * expr * expr list
+      (** class, method, receiver, args — includes enum methods such
+          as the builtin [bit.~] *)
+  | T_new_array of Types.ty * expr  (** element type, length *)
+  | T_freeze of expr  (** [new t\[\[\]\](e)] *)
+  | T_new_instance of string * expr list
+  | T_map of method_key * expr list
+  | T_reduce of method_key * expr list
+  | T_task_static of method_key
+  | T_task_instance of string * string * expr  (** class, method, receiver *)
+  | T_relocate of expr
+  | T_connect of expr * expr
+  | T_source of expr * expr  (** array, rate *)
+  | T_sink of Types.ty * expr  (** element type, destination array *)
+  | T_graph_run of expr * bool  (** graph, [true] = finish (blocking) *)
+
+type lvalue =
+  | TLv_var of string * Types.ty
+  | TLv_index of expr * expr
+  | TLv_field of string * int * Types.ty  (** field name, slot, type *)
+
+type stmt = { sdesc : stmt_desc; sloc : Srcloc.t }
+
+and stmt_desc =
+  | TS_decl of string * Types.ty * expr
+  | TS_assign of lvalue * expr
+  | TS_if of expr * stmt list * stmt list
+  | TS_while of expr * stmt list
+  | TS_for of stmt option * expr option * stmt option * stmt list
+  | TS_return of expr option
+  | TS_expr of expr
+  | TS_block of stmt list
+
+type method_info = {
+  mi_key : method_key;
+  mi_static : bool;
+  mi_local : bool;  (** resolved locality *)
+  mi_pure : bool;
+      (** static, local, value parameters and return: freely relocatable *)
+  mi_params : (string * Types.ty) list;
+  mi_ret : Types.ty;
+  mi_body : stmt list;
+  mi_loc : Srcloc.t;
+}
+
+type field_info = {
+  fi_name : string;
+  fi_ty : Types.ty;
+  fi_slot : int;
+  fi_init : expr option;
+}
+
+type ctor_info = {
+  ci_local : bool;
+  ci_isolating : bool;  (** local constructor with value arguments *)
+  ci_params : (string * Types.ty) list;
+  ci_body : stmt list;
+}
+
+type enum_info = {
+  ei_name : string;
+  ei_cases : string array;
+  ei_methods : method_info list;
+}
+
+type class_info = {
+  ki_name : string;
+  ki_is_value : bool;
+  ki_fields : field_info list;
+  ki_ctors : ctor_info list;
+  ki_methods : method_info list;
+}
+
+module String_map = Map.Make (String)
+
+type program = {
+  enums : enum_info String_map.t;
+  classes : class_info String_map.t;
+}
+
+let find_enum p name = String_map.find_opt name p.enums
+let find_class p name = String_map.find_opt name p.classes
+
+let find_method p (key : method_key) =
+  match String_map.find_opt key.mclass p.classes with
+  | Some k -> List.find_opt (fun m -> m.mi_key.mmethod = key.mmethod) k.ki_methods
+  | None -> (
+    match String_map.find_opt key.mclass p.enums with
+    | Some e ->
+      List.find_opt (fun m -> m.mi_key.mmethod = key.mmethod) e.ei_methods
+    | None -> None)
+
+let iter_methods p f =
+  String_map.iter (fun _ e -> List.iter f e.ei_methods) p.enums;
+  String_map.iter (fun _ k -> List.iter f k.ki_methods) p.classes

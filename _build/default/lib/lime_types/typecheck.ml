@@ -1,0 +1,1091 @@
+open Support
+module A = Lime_syntax.Ast
+
+let err ?loc fmt = Diag.error ?loc ~phase:"typecheck" fmt
+
+module String_map = Tast.String_map
+
+(* ------------------------------------------------------------------ *)
+(* Signatures collected in a first pass                               *)
+(* ------------------------------------------------------------------ *)
+
+type msig = {
+  sg_key : Tast.method_key;
+  sg_static : bool;
+  sg_local : bool;
+  sg_params : (string * Types.ty) list;
+  sg_ret : Types.ty;
+}
+
+type csig = {
+  cg_local : bool;
+  cg_params : (string * Types.ty) list;
+}
+
+type owner_kind = Owner_enum of string array | Owner_class of A.class_decl
+
+type owner = {
+  ow_name : string;
+  ow_kind : owner_kind;
+  ow_is_value : bool;
+  ow_methods : msig list;
+  ow_ctors : csig list;
+  ow_fields : (string * Types.ty) list;  (* declaration order *)
+}
+
+type genv = {
+  owners : owner String_map.t;
+  enum_cases : string array String_map.t;  (* includes builtin "bit" *)
+}
+
+let resolve_locality ~in_value (l : A.locality) =
+  match l with
+  | A.L_local -> true
+  | A.L_global -> false
+  | A.L_default -> in_value
+(* Methods of a value type are local by default; a global method may
+   perform side-effecting operations (paper section 2.1). *)
+
+let rec resolve_ty genv loc (t : A.ty) : Types.ty =
+  match t with
+  | A.T_int -> Types.Int
+  | A.T_float -> Types.Float
+  | A.T_bool -> Types.Bool
+  | A.T_bit -> Types.Bit
+  | A.T_void -> Types.Void
+  | A.T_named "bit" -> Types.Bit
+  | A.T_named n -> (
+    match String_map.find_opt n genv.enum_cases with
+    | Some _ -> Types.Enum n
+    | None ->
+      if String_map.mem n genv.owners then Types.Instance n
+      else err ~loc "unknown type '%s'" n)
+  | A.T_array (t, A.Mut) -> Types.Array (resolve_ty genv loc t, Types.Mut)
+  | A.T_array (t, A.Immut) -> Types.Array (resolve_ty genv loc t, Types.Immut)
+
+let builtin_bit_cases = [| "zero"; "one" |]
+
+let collect_signatures (prog : A.program) : genv =
+  (* First register all type names so signatures can refer to them. *)
+  let user_enums = ref Tast.String_map.empty in
+  let enum_cases =
+    List.fold_left
+      (fun acc -> function
+        | A.D_enum e ->
+          if String_map.mem e.e_name !user_enums then
+            err ~loc:e.e_loc "duplicate enum '%s'" e.e_name;
+          user_enums := String_map.add e.e_name () !user_enums;
+          if e.e_name = "bit" && e.e_cases <> [ "zero"; "one" ] then
+            err ~loc:e.e_loc
+              "enum 'bit' must declare exactly the cases zero, one";
+          String_map.add e.e_name (Array.of_list e.e_cases) acc
+        | A.D_class _ -> acc)
+      (String_map.singleton "bit" builtin_bit_cases)
+      prog.decls
+  in
+  let class_names =
+    List.filter_map
+      (function
+        | A.D_class k -> Some k.k_name
+        | A.D_enum _ -> None)
+      prog.decls
+  in
+  let pre_owners =
+    List.fold_left
+      (fun acc name -> String_map.add name () acc)
+      String_map.empty class_names
+  in
+  let genv0 =
+    {
+      owners =
+        String_map.map
+          (fun () ->
+            {
+              ow_name = "";
+              ow_kind = Owner_enum [||];
+              ow_is_value = false;
+              ow_methods = [];
+              ow_ctors = [];
+              ow_fields = [];
+            })
+          pre_owners;
+      enum_cases;
+    }
+  in
+  let method_sig owner_name in_value (m : A.method_decl) =
+    {
+      sg_key = { Tast.mclass = owner_name; mmethod = m.m_name };
+      sg_static = m.m_static;
+      sg_local = resolve_locality ~in_value m.m_locality;
+      sg_params =
+        List.map (fun (n, t) -> n, resolve_ty genv0 m.m_loc t) m.m_params;
+      sg_ret = resolve_ty genv0 m.m_loc m.m_ret;
+    }
+  in
+  let owners =
+    List.fold_left
+      (fun acc decl ->
+        match decl with
+        | A.D_enum e ->
+          let cases = String_map.find e.e_name enum_cases in
+          let owner =
+            {
+              ow_name = e.e_name;
+              ow_kind = Owner_enum cases;
+              ow_is_value = true;
+              ow_methods = List.map (method_sig e.e_name true) e.e_methods;
+              ow_ctors = [];
+              ow_fields = [];
+            }
+          in
+          if String_map.mem e.e_name acc then
+            err ~loc:e.e_loc "duplicate declaration of '%s'" e.e_name;
+          String_map.add e.e_name owner acc
+        | A.D_class k ->
+          if String_map.mem k.k_name acc then
+            err ~loc:k.k_loc "duplicate declaration of '%s'" k.k_name;
+          let owner =
+            {
+              ow_name = k.k_name;
+              ow_kind = Owner_class k;
+              ow_is_value = k.k_is_value;
+              ow_methods =
+                List.map (method_sig k.k_name k.k_is_value) k.k_methods;
+              ow_ctors =
+                List.map
+                  (fun (c : A.ctor_decl) ->
+                    {
+                      cg_local =
+                        resolve_locality ~in_value:k.k_is_value c.c_locality;
+                      cg_params =
+                        List.map
+                          (fun (n, t) -> n, resolve_ty genv0 c.c_loc t)
+                          c.c_params;
+                    })
+                  k.k_ctors;
+              ow_fields =
+                List.map
+                  (fun (f : A.field_decl) ->
+                    f.f_name, resolve_ty genv0 f.f_loc f.f_ty)
+                  k.k_fields;
+            }
+          in
+          String_map.add k.k_name owner acc)
+      String_map.empty prog.decls
+  in
+  (* The builtin Math class: static local float intrinsics. *)
+  let owners =
+    let math_sig name arity =
+      {
+        sg_key = { Tast.mclass = "Math"; mmethod = name };
+        sg_static = true;
+        sg_local = true;
+        sg_params =
+          List.init arity (fun i -> Printf.sprintf "x%d" i, Types.Float);
+        sg_ret = Types.Float;
+      }
+    in
+    if String_map.mem "Math" owners then owners
+    else
+      String_map.add "Math"
+        {
+          ow_name = "Math";
+          ow_kind = Owner_enum [||];
+          ow_is_value = true;
+          ow_methods =
+            List.map
+              (fun (name, arity) -> math_sig name arity)
+              [
+                "sqrt", 1; "exp", 1; "log", 1; "sin", 1; "cos", 1; "abs", 1;
+                "floor", 1; "pow", 2; "min", 2; "max", 2;
+              ];
+          ow_ctors = [];
+          ow_fields = [];
+        }
+        owners
+  in
+  (* The builtin bit enum, unless the program declares it itself. *)
+  let owners =
+    if String_map.mem "bit" owners then owners
+    else
+      String_map.add "bit"
+        {
+          ow_name = "bit";
+          ow_kind = Owner_enum builtin_bit_cases;
+          ow_is_value = true;
+          ow_methods =
+            [
+              {
+                sg_key = { Tast.mclass = "bit"; mmethod = "~" };
+                sg_static = false;
+                sg_local = true;
+                sg_params = [];
+                sg_ret = Types.Bit;
+              };
+            ];
+          ow_ctors = [];
+          ow_fields = [];
+        }
+        owners
+  in
+  { owners; enum_cases }
+
+let find_owner genv name = String_map.find_opt name genv.owners
+
+let find_msig genv cls name =
+  match find_owner genv cls with
+  | None -> None
+  | Some ow -> List.find_opt (fun s -> s.sg_key.Tast.mmethod = name) ow.ow_methods
+
+(* ------------------------------------------------------------------ *)
+(* Expression and statement checking                                  *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  genv : genv;
+  cur_owner : owner;
+  cur_static : bool;
+  cur_local : bool;  (* the enclosing method's resolved locality *)
+  cur_ret : Types.ty;
+  mutable scopes : (string * Types.ty) list list;
+}
+
+let lookup_var ctx name =
+  let rec search = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some t -> Some t
+      | None -> search rest)
+  in
+  search ctx.scopes
+
+let declare_var ctx loc name ty =
+  match ctx.scopes with
+  | scope :: rest ->
+    if List.mem_assoc name scope then
+      err ~loc "variable '%s' is already declared in this scope" name;
+    ctx.scopes <- ((name, ty) :: scope) :: rest
+  | [] -> assert false
+
+let push_scope ctx = ctx.scopes <- [] :: ctx.scopes
+
+let pop_scope ctx =
+  match ctx.scopes with
+  | _ :: rest -> ctx.scopes <- rest
+  | [] -> assert false
+
+let field_slot ctx name =
+  let rec search i = function
+    | [] -> None
+    | (n, t) :: _ when String.equal n name -> Some (i, t)
+    | _ :: rest -> search (i + 1) rest
+  in
+  search 0 ctx.cur_owner.ow_fields
+
+let mk ty loc desc : Tast.expr = { ty; desc; loc }
+
+(* Insert the implicit int-to-float widening when needed. *)
+let coerce loc (e : Tast.expr) (want : Types.ty) : Tast.expr =
+  if Types.equal e.ty want then e
+  else if Types.equal e.ty Types.Int && Types.equal want Types.Float then
+    mk Types.Float loc (Tast.T_int_to_float e)
+  else
+    err ~loc "expected type %s but found %s" (Types.to_string want)
+      (Types.to_string e.ty)
+
+(* The paper's purity condition for map/reduce/static-task targets. *)
+let require_relocatable_target genv loc (s : msig) ~what =
+  if not s.sg_static then
+    err ~loc "%s target '%s' must be static" what
+      (Tast.method_key_to_string s.sg_key);
+  if not s.sg_local then
+    err ~loc "%s target '%s' must be local" what
+      (Tast.method_key_to_string s.sg_key);
+  List.iter
+    (fun (n, t) ->
+      if not (Types.is_value t) then
+        err ~loc "%s target '%s': parameter '%s' has non-value type %s" what
+          (Tast.method_key_to_string s.sg_key)
+          n (Types.to_string t))
+    s.sg_params;
+  if not (Types.is_value s.sg_ret) then
+    err ~loc "%s target '%s': return type %s is not a value type" what
+      (Tast.method_key_to_string s.sg_key)
+      (Types.to_string s.sg_ret);
+  ignore genv
+
+let rec check_expr ctx (e : A.expr) : Tast.expr =
+  let loc = e.loc in
+  match e.desc with
+  | A.Int_lit i -> mk Types.Int loc (Tast.T_int_lit (Wire.Value.norm32 i))
+  | A.Float_lit f -> mk Types.Float loc (Tast.T_float_lit f)
+  | A.Bool_lit b -> mk Types.Bool loc (Tast.T_bool_lit b)
+  | A.Bit_lit s ->
+    mk (Types.Array (Types.Bit, Types.Immut)) loc (Tast.T_bit_lit s)
+  | A.This ->
+    if ctx.cur_static then err ~loc "'this' cannot appear in a static method";
+    let ty =
+      match ctx.cur_owner.ow_kind with
+      | Owner_enum _ ->
+        if ctx.cur_owner.ow_name = "bit" then Types.Bit
+        else Types.Enum ctx.cur_owner.ow_name
+      | Owner_class _ -> Types.Instance ctx.cur_owner.ow_name
+    in
+    mk ty loc Tast.T_this
+  | A.Name s -> (
+    match lookup_var ctx s with
+    | Some ty -> mk ty loc (Tast.T_var s)
+    | None -> (
+      (* Enum case of the enclosing enum, then a globally unique case. *)
+      match resolve_enum_case ctx loc s with
+      | Some e -> e
+      | None -> (
+        match field_slot ctx s with
+        | Some (slot, ty) when not ctx.cur_static ->
+          mk ty loc (Tast.T_field_get (s, slot))
+        | Some _ -> err ~loc "field '%s' cannot be read from a static method" s
+        | None -> err ~loc "unknown name '%s'" s)))
+  | A.Qualified (q, m) -> (
+    match String_map.find_opt q ctx.genv.enum_cases with
+    | Some cases -> (
+      match Array.find_index (String.equal m) cases with
+      | Some tag ->
+        let ty = if q = "bit" then Types.Bit else Types.Enum q in
+        mk ty loc (Tast.T_enum_lit (q, tag))
+      | None -> err ~loc "enum '%s' has no case '%s'" q m)
+    | None -> err ~loc "'%s.%s': '%s' is not an enum" q m q)
+  | A.Unop (op, a) -> check_unop ctx loc op a
+  | A.Binop (op, a, b) -> check_binop ctx loc op a b
+  | A.Cond (c, a, b) ->
+    let c = coerce loc (check_expr ctx c) Types.Bool in
+    let a = check_expr ctx a in
+    let b = check_expr ctx b in
+    let a, b =
+      if Types.equal a.ty b.ty then a, b
+      else if Types.equal a.ty Types.Int && Types.equal b.ty Types.Float then
+        coerce loc a Types.Float, b
+      else if Types.equal a.ty Types.Float && Types.equal b.ty Types.Int then
+        a, coerce loc b Types.Float
+      else
+        err ~loc "branches of '?:' have different types %s and %s"
+          (Types.to_string a.ty) (Types.to_string b.ty)
+    in
+    mk a.ty loc (Tast.T_cond (c, a, b))
+  | A.Index (a, i) -> (
+    let a = check_expr ctx a in
+    let i = coerce loc (check_expr ctx i) Types.Int in
+    match a.ty with
+    | Types.Array (elt, _) -> mk elt loc (Tast.T_index (a, i))
+    | t -> err ~loc "cannot index a value of type %s" (Types.to_string t))
+  | A.Length a -> (
+    let a = check_expr ctx a in
+    match a.ty with
+    | Types.Array _ -> mk Types.Int loc (Tast.T_length a)
+    | t -> err ~loc "'.length' needs an array, found %s" (Types.to_string t))
+  | A.Call (target, args) -> check_call ctx loc target args
+  | A.New_array (elt_ast, n) -> (
+    let elt = resolve_ty ctx.genv loc elt_ast in
+    let n = coerce loc (check_expr ctx n) Types.Int in
+    match elt with
+    | Types.Void | Types.Task _ -> err ~loc "invalid array element type"
+    | _ -> mk (Types.Array (elt, Types.Mut)) loc (Tast.T_new_array (elt, n)))
+  | A.New_value_array (elt_ast, src) -> (
+    let elt = resolve_ty ctx.genv loc elt_ast in
+    let src = check_expr ctx src in
+    match src.ty with
+    | Types.Array (e, _) when Types.equal e elt ->
+      mk (Types.Array (elt, Types.Immut)) loc (Tast.T_freeze src)
+    | t ->
+      err ~loc "new %s[[]](e) expects a %s array argument, found %s"
+        (Types.to_string elt) (Types.to_string elt) (Types.to_string t))
+  | A.New_instance (cls, args) -> (
+    match find_owner ctx.genv cls with
+    | Some { ow_kind = Owner_class _; ow_ctors; _ } -> (
+      let args = List.map (check_expr ctx) args in
+      let matching =
+        List.find_opt
+          (fun c ->
+            List.length c.cg_params = List.length args
+            && List.for_all2
+                 (fun (_, p) (a : Tast.expr) -> Types.widens_to a.ty p)
+                 c.cg_params args)
+          ow_ctors
+      in
+      match matching with
+      | None -> err ~loc "no constructor of '%s' matches these arguments" cls
+      | Some c ->
+        if ctx.cur_local && not c.cg_local then
+          err ~loc "local method cannot call the global constructor of '%s'" cls;
+        let args =
+          List.map2 (fun (_, p) a -> coerce loc a p) c.cg_params args
+        in
+        mk (Types.Instance cls) loc (Tast.T_new_instance (cls, args)))
+    | Some _ -> err ~loc "'%s' is an enum, not a constructible class" cls
+    | None -> err ~loc "unknown class '%s'" cls)
+  | A.Map (cls, m, args) ->
+    let cls = Option.value cls ~default:ctx.cur_owner.ow_name in
+    check_map ctx loc cls m args
+  | A.Reduce (cls, m, args) ->
+    let cls = Option.value cls ~default:ctx.cur_owner.ow_name in
+    check_reduce ctx loc cls m args
+  | A.Task (receiver, m) -> check_task ctx loc receiver m
+  | A.Relocate inner -> (
+    let inner = check_expr ctx inner in
+    match inner.ty with
+    | Types.Task _ -> mk inner.ty loc (Tast.T_relocate inner)
+    | t ->
+      err ~loc "relocation brackets need a task expression, found %s"
+        (Types.to_string t))
+  | A.Connect (a, b) -> (
+    let a = check_expr ctx a in
+    let b = check_expr ctx b in
+    match a.ty, b.ty with
+    | Types.Task (i, Some out), Types.Task (Some inp, o) ->
+      if not (Types.equal out inp) then
+        err ~loc "connected ports disagree: %s flows into %s"
+          (Types.to_string out) (Types.to_string inp);
+      mk (Types.Task (i, o)) loc (Tast.T_connect (a, b))
+    | Types.Task (_, None), Types.Task _ ->
+      err ~loc "left side of '=>' has no output port"
+    | Types.Task _, Types.Task (None, _) ->
+      err ~loc "right side of '=>' has no input port"
+    | ta, tb ->
+      err ~loc "'=>' connects tasks, found %s and %s" (Types.to_string ta)
+        (Types.to_string tb))
+  | A.Source (arr, rate) -> (
+    let arr = check_expr ctx arr in
+    let rate = coerce loc (check_expr ctx rate) Types.Int in
+    match arr.ty with
+    | Types.Array (elt, _) when Types.is_value elt ->
+      mk (Types.Task (None, Some elt)) loc (Tast.T_source (arr, rate))
+    | Types.Array (elt, _) ->
+      err ~loc "source elements must be values, found %s" (Types.to_string elt)
+    | t -> err ~loc "'.source' needs an array, found %s" (Types.to_string t))
+  | A.Sink (elt_ast, dest) -> (
+    let elt = resolve_ty ctx.genv loc elt_ast in
+    let dest = check_expr ctx dest in
+    match dest.ty with
+    | Types.Array (e, Types.Mut) when Types.equal e elt ->
+      if not (Types.is_value elt) then
+        err ~loc "sink elements must be values, found %s" (Types.to_string elt);
+      mk (Types.Task (Some elt, None)) loc (Tast.T_sink (elt, dest))
+    | Types.Array (_, Types.Immut) ->
+      err ~loc "a sink needs a mutable destination array"
+    | t ->
+      err ~loc "'.<%s>sink()' needs a %s[] destination, found %s"
+        (Types.to_string elt) (Types.to_string elt) (Types.to_string t))
+
+and resolve_enum_case ctx loc name : Tast.expr option =
+  (* Bare case names: the enclosing enum's cases first, then any
+     globally unique case. *)
+  let of_enum enum_name cases =
+    match Array.find_index (String.equal name) cases with
+    | Some tag ->
+      let ty = if enum_name = "bit" then Types.Bit else Types.Enum enum_name in
+      Some (mk ty loc (Tast.T_enum_lit (enum_name, tag)))
+    | None -> None
+  in
+  match ctx.cur_owner.ow_kind with
+  | Owner_enum cases when Option.is_some (of_enum ctx.cur_owner.ow_name cases)
+    ->
+    of_enum ctx.cur_owner.ow_name cases
+  | Owner_enum _ | Owner_class _ -> (
+    let hits =
+      String_map.fold
+        (fun enum_name cases acc ->
+          match of_enum enum_name cases with
+          | Some e -> (enum_name, e) :: acc
+          | None -> acc)
+        ctx.genv.enum_cases []
+    in
+    match hits with
+    | [ (_, e) ] -> Some e
+    | [] -> None
+    | _ :: _ :: _ ->
+      err ~loc "enum case '%s' is ambiguous; qualify it as Enum.%s" name name)
+
+and check_unop ctx loc (op : A.unop) a : Tast.expr =
+  let a = check_expr ctx a in
+  match op, a.ty with
+  | A.Neg, (Types.Int | Types.Float) -> mk a.ty loc (Tast.T_unop (A.Neg, a))
+  | A.Not, Types.Bool -> mk Types.Bool loc (Tast.T_unop (A.Not, a))
+  | A.Bit_not, Types.Int -> mk Types.Int loc (Tast.T_unop (A.Bit_not, a))
+  | A.Bit_not, (Types.Bit | Types.Enum _) -> (
+    (* [~e] resolves to the enum's operator method (Figure 1). *)
+    let enum_name =
+      match a.ty with Types.Bit -> "bit" | Types.Enum n -> n | _ -> assert false
+    in
+    match find_msig ctx.genv enum_name "~" with
+    | Some s ->
+      if ctx.cur_local && not s.sg_local then
+        err ~loc "local method cannot call global operator '~' of %s" enum_name;
+      mk s.sg_ret loc (Tast.T_instance_call (enum_name, "~", a, []))
+    | None -> err ~loc "enum '%s' does not define operator '~'" enum_name)
+  | (A.Neg | A.Not | A.Bit_not), t ->
+    err ~loc "operator cannot be applied to %s" (Types.to_string t)
+
+and check_binop ctx loc (op : A.binop) a b : Tast.expr =
+  let a = check_expr ctx a in
+  let b = check_expr ctx b in
+  let promote () =
+    match a.ty, b.ty with
+    | Types.Int, Types.Int -> a, b, Types.Int
+    | Types.Float, Types.Float -> a, b, Types.Float
+    | Types.Int, Types.Float -> coerce loc a Types.Float, b, Types.Float
+    | Types.Float, Types.Int -> a, coerce loc b Types.Float, Types.Float
+    | ta, tb ->
+      err ~loc "arithmetic on %s and %s" (Types.to_string ta)
+        (Types.to_string tb)
+  in
+  match op with
+  | A.Add | A.Sub | A.Mul | A.Div | A.Rem ->
+    let a, b, ty = promote () in
+    mk ty loc (Tast.T_binop (op, a, b))
+  | A.Shl | A.Shr ->
+    let a = coerce loc a Types.Int and b = coerce loc b Types.Int in
+    mk Types.Int loc (Tast.T_binop (op, a, b))
+  | A.Band | A.Bor | A.Bxor -> (
+    match a.ty, b.ty with
+    | Types.Int, Types.Int -> mk Types.Int loc (Tast.T_binop (op, a, b))
+    | Types.Bool, Types.Bool -> mk Types.Bool loc (Tast.T_binop (op, a, b))
+    | Types.Bit, Types.Bit -> mk Types.Bit loc (Tast.T_binop (op, a, b))
+    | ta, tb ->
+      err ~loc "bitwise operator on %s and %s" (Types.to_string ta)
+        (Types.to_string tb))
+  | A.And | A.Or ->
+    let a = coerce loc a Types.Bool and b = coerce loc b Types.Bool in
+    mk Types.Bool loc (Tast.T_binop (op, a, b))
+  | A.Eq | A.Neq -> (
+    match a.ty, b.ty with
+    | ta, tb when Types.equal ta tb && Types.is_value ta ->
+      mk Types.Bool loc (Tast.T_binop (op, a, b))
+    | (Types.Int | Types.Float), (Types.Int | Types.Float) ->
+      let a, b, _ = promote () in
+      mk Types.Bool loc (Tast.T_binop (op, a, b))
+    | ta, tb ->
+      err ~loc "cannot compare %s with %s" (Types.to_string ta)
+        (Types.to_string tb))
+  | A.Lt | A.Leq | A.Gt | A.Geq ->
+    let a, b, _ = promote () in
+    mk Types.Bool loc (Tast.T_binop (op, a, b))
+
+and check_args ctx loc (params : (string * Types.ty) list) args =
+  if List.length params <> List.length args then
+    err ~loc "expected %d argument(s) but found %d" (List.length params)
+      (List.length args);
+  List.map2
+    (fun (_, p) a -> coerce loc (check_expr ctx a) p)
+    params args
+
+and check_call ctx loc (target : A.call_target) args : Tast.expr =
+  match target with
+  | A.Unresolved_call m -> (
+    match find_msig ctx.genv ctx.cur_owner.ow_name m with
+    | Some s -> finish_static_or_self_call ctx loc s args
+    | None ->
+      err ~loc "unknown method '%s' in %s" m ctx.cur_owner.ow_name)
+  | A.Qualified_call (cls, m) -> (
+    match find_msig ctx.genv cls m with
+    | Some s when s.sg_static ->
+      let args = check_args ctx loc s.sg_params args in
+      require_local_ok ctx loc s;
+      mk s.sg_ret loc (Tast.T_call (s.sg_key, args))
+    | Some _ -> err ~loc "'%s.%s' is an instance method; call it on a receiver" cls m
+    | None -> (
+      match lookup_var ctx cls with
+      | Some _ ->
+        check_call ctx loc
+          (A.Method_call ({ desc = A.Name cls; loc }, m))
+          args
+      | None -> err ~loc "unknown method '%s.%s'" cls m))
+  | A.Method_call (recv, m) -> (
+    let recv = check_expr ctx recv in
+    match recv.ty, m with
+    | Types.Task (None, None), ("finish" | "start") ->
+      if args <> [] then err ~loc "%s() takes no arguments" m;
+      mk Types.Void loc (Tast.T_graph_run (recv, m = "finish"))
+    | Types.Task _, ("finish" | "start") ->
+      err ~loc "only a complete task graph (no open ports) can be %sed" m
+    | (Types.Bit | Types.Enum _ | Types.Instance _), _ -> (
+      let owner_name =
+        match recv.ty with
+        | Types.Bit -> "bit"
+        | Types.Enum n | Types.Instance n -> n
+        | _ -> assert false
+      in
+      match find_msig ctx.genv owner_name m with
+      | Some s when not s.sg_static ->
+        let args = check_args ctx loc s.sg_params args in
+        require_local_ok ctx loc s;
+        mk s.sg_ret loc (Tast.T_instance_call (owner_name, m, recv, args))
+      | Some _ ->
+        err ~loc "'%s.%s' is static; call it without a receiver object"
+          owner_name m
+      | None -> err ~loc "'%s' has no method '%s'" owner_name m)
+    | t, _ ->
+      err ~loc "cannot call '%s' on a value of type %s" m (Types.to_string t))
+
+and require_local_ok ctx loc (s : msig) =
+  if ctx.cur_local && not s.sg_local then
+    err ~loc "local method may only call local methods, but '%s' is global"
+      (Tast.method_key_to_string s.sg_key)
+
+and finish_static_or_self_call ctx loc (s : msig) args : Tast.expr =
+  let args = check_args ctx loc s.sg_params args in
+  require_local_ok ctx loc s;
+  if s.sg_static then mk s.sg_ret loc (Tast.T_call (s.sg_key, args))
+  else begin
+    if ctx.cur_static then
+      err ~loc "instance method '%s' called without a receiver"
+        (Tast.method_key_to_string s.sg_key);
+    let this =
+      mk
+        (match ctx.cur_owner.ow_kind with
+        | Owner_enum _ ->
+          if ctx.cur_owner.ow_name = "bit" then Types.Bit
+          else Types.Enum ctx.cur_owner.ow_name
+        | Owner_class _ -> Types.Instance ctx.cur_owner.ow_name)
+        loc Tast.T_this
+    in
+    mk s.sg_ret loc
+      (Tast.T_instance_call (ctx.cur_owner.ow_name, s.sg_key.Tast.mmethod, this, args))
+  end
+
+and check_map ctx loc cls m args : Tast.expr =
+  match find_msig ctx.genv cls m with
+  | None -> err ~loc "unknown map target '%s.%s'" cls m
+  | Some s ->
+    require_relocatable_target ctx.genv loc s ~what:"map";
+    if List.length s.sg_params <> List.length args then
+      err ~loc "map target takes %d argument(s) but %d were supplied"
+        (List.length s.sg_params) (List.length args);
+    let targs =
+      List.map2
+        (fun (_, p) a ->
+          let a = check_expr ctx a in
+          match a.ty with
+          | Types.Array (elt, _) when Types.equal elt p -> a
+          | t when Types.widens_to t p -> coerce loc a p  (* broadcast *)
+          | t ->
+            err ~loc
+              "map argument has type %s; expected %s[] (mapped) or %s \
+               (broadcast)"
+              (Types.to_string t) (Types.to_string p) (Types.to_string p))
+        s.sg_params args
+    in
+    if
+      not
+        (List.exists
+           (fun (a : Tast.expr) ->
+             match a.ty with Types.Array _ -> true | _ -> false)
+           targs)
+    then err ~loc "map needs at least one array argument";
+    mk (Types.Array (s.sg_ret, Types.Immut)) loc (Tast.T_map (s.sg_key, targs))
+
+and check_reduce ctx loc cls m args : Tast.expr =
+  match find_msig ctx.genv cls m with
+  | None -> err ~loc "unknown reduce target '%s.%s'" cls m
+  | Some s -> (
+    require_relocatable_target ctx.genv loc s ~what:"reduce";
+    match s.sg_params, args with
+    | [ (_, p1); (_, p2) ], [ arr ] ->
+      if not (Types.equal p1 p2 && Types.equal p1 s.sg_ret) then
+        err ~loc "reduce target must have type (t, t) -> t";
+      let arr = check_expr ctx arr in
+      (match arr.ty with
+      | Types.Array (elt, _) when Types.equal elt p1 -> ()
+      | t ->
+        err ~loc "reduce argument must be a %s array, found %s"
+          (Types.to_string p1) (Types.to_string t));
+      mk s.sg_ret loc (Tast.T_reduce (s.sg_key, [ arr ]))
+    | _ ->
+      err ~loc
+        "reduce target must be a binary method applied to a single array")
+
+and check_task ctx loc (receiver : string option) m : Tast.expr =
+  let static_task cls =
+    match find_msig ctx.genv cls m with
+    | None -> err ~loc "unknown task target '%s.%s'" cls m
+    | Some s -> (
+      require_relocatable_target ctx.genv loc s ~what:"task";
+      match s.sg_params with
+      | [ (_, input) ] ->
+        mk (Types.Task (Some input, Some s.sg_ret)) loc
+          (Tast.T_task_static s.sg_key)
+      | _ -> err ~loc "a task filter takes exactly one argument")
+  in
+  match receiver with
+  | None -> static_task ctx.cur_owner.ow_name
+  | Some r -> (
+    match lookup_var ctx r with
+    | None -> static_task r
+    | Some (Types.Instance cls) -> (
+      let ow =
+        match find_owner ctx.genv cls with
+        | Some ow -> ow
+        | None -> assert false
+      in
+      (* Stateful tasks need isolation: the object must come from an
+         isolating constructor, so require every constructor of the
+         class to be local with value arguments (paper section 2.1). *)
+      if ow.ow_ctors = [] then
+        err ~loc "class '%s' has no constructors; stateful tasks need an \
+                  isolating constructor" cls;
+      List.iter
+        (fun c ->
+          if not c.cg_local then
+            err ~loc "class '%s' has a non-local constructor; its instances \
+                      cannot be tasks" cls;
+          List.iter
+            (fun (n, t) ->
+              if not (Types.is_value t) then
+                err ~loc "constructor of '%s': parameter '%s' has non-value \
+                          type %s, so the constructor is not isolating" cls n
+                  (Types.to_string t))
+            c.cg_params)
+        ow.ow_ctors;
+      match find_msig ctx.genv cls m with
+      | None -> err ~loc "'%s' has no method '%s'" cls m
+      | Some s when s.sg_static ->
+        err ~loc "'task %s.%s' on an instance needs an instance method" r m
+      | Some s -> (
+        if not s.sg_local then
+          err ~loc "stateful task method '%s.%s' must be local" cls m;
+        match s.sg_params with
+        | [ (_, input) ] when Types.is_value input && Types.is_value s.sg_ret
+          ->
+          mk
+            (Types.Task (Some input, Some s.sg_ret))
+            loc
+            (Tast.T_task_instance
+               (cls, m, mk (Types.Instance cls) loc (Tast.T_var r)))
+        | [ _ ] -> err ~loc "stateful task ports must be value types"
+        | _ -> err ~loc "a task filter takes exactly one argument"))
+    | Some t ->
+      err ~loc "task receiver '%s' has type %s, not a class instance" r
+        (Types.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let default_init loc (ty : Types.ty) : Tast.expr =
+  match ty with
+  | Types.Int -> mk Types.Int loc (Tast.T_int_lit 0)
+  | Types.Float -> mk Types.Float loc (Tast.T_float_lit 0.0)
+  | Types.Bool -> mk Types.Bool loc (Tast.T_bool_lit false)
+  | Types.Bit -> mk Types.Bit loc (Tast.T_enum_lit ("bit", 0))
+  | Types.Void | Types.Enum _ | Types.Array _ | Types.Instance _ | Types.Task _
+    ->
+    err ~loc "a variable of type %s must be initialized" (Types.to_string ty)
+
+let check_lvalue ctx loc (lv : A.lvalue) : Tast.lvalue * Types.ty =
+  match lv with
+  | A.Lv_name s -> (
+    match lookup_var ctx s with
+    | Some ty -> Tast.TLv_var (s, ty), ty
+    | None -> (
+      match field_slot ctx s with
+      | Some (slot, ty) ->
+        if ctx.cur_static then
+          err ~loc "field '%s' cannot be assigned from a static method" s;
+        Tast.TLv_field (s, slot, ty), ty
+      | None -> err ~loc "unknown variable '%s'" s))
+  | A.Lv_index (a, i) -> (
+    let a = check_expr ctx a in
+    let i = coerce loc (check_expr ctx i) Types.Int in
+    match a.ty with
+    | Types.Array (elt, Types.Mut) -> Tast.TLv_index (a, i), elt
+    | Types.Array (_, Types.Immut) ->
+      err ~loc "value arrays are immutable and cannot be assigned"
+    | t -> err ~loc "cannot index-assign a value of type %s" (Types.to_string t))
+
+let lvalue_as_expr loc (lv : Tast.lvalue) : Tast.expr =
+  match lv with
+  | Tast.TLv_var (s, ty) -> mk ty loc (Tast.T_var s)
+  | Tast.TLv_index (a, i) -> (
+    match a.ty with
+    | Types.Array (elt, _) -> mk elt loc (Tast.T_index (a, i))
+    | _ -> assert false)
+  | Tast.TLv_field (name, slot, ty) -> mk ty loc (Tast.T_field_get (name, slot))
+
+let rec check_stmt ctx (s : A.stmt) : Tast.stmt =
+  let loc = s.sloc in
+  let st d : Tast.stmt = { sdesc = d; sloc = loc } in
+  match s.sdesc with
+  | A.Var_decl (ty_ast, name, init) ->
+    let init_t, ty =
+      match ty_ast, init with
+      | Some ty_ast, Some e ->
+        let ty = resolve_ty ctx.genv loc ty_ast in
+        coerce loc (check_expr ctx e) ty, ty
+      | Some ty_ast, None ->
+        let ty = resolve_ty ctx.genv loc ty_ast in
+        default_init loc ty, ty
+      | None, Some e ->
+        let e = check_expr ctx e in
+        if Types.equal e.ty Types.Void then
+          err ~loc "cannot bind 'var %s' to a void expression" name;
+        e, e.ty
+      | None, None -> err ~loc "'var %s' needs an initializer" name
+    in
+    declare_var ctx loc name ty;
+    st (Tast.TS_decl (name, ty, init_t))
+  | A.Assign (lv, e) ->
+    let lv, ty = check_lvalue ctx loc lv in
+    st (Tast.TS_assign (lv, coerce loc (check_expr ctx e) ty))
+  | A.Op_assign (op, lv, e) ->
+    let tlv, _ty = check_lvalue ctx loc lv in
+    let cur = lvalue_as_expr loc tlv in
+    let rhs =
+      check_binop_t ctx loc op cur (check_expr ctx e)
+    in
+    st (Tast.TS_assign (tlv, coerce loc rhs cur.ty))
+  | A.Incr lv ->
+    let tlv, ty = check_lvalue ctx loc lv in
+    if not (Types.equal ty Types.Int) then err ~loc "'++' needs an int";
+    let cur = lvalue_as_expr loc tlv in
+    let one = mk Types.Int loc (Tast.T_int_lit 1) in
+    st (Tast.TS_assign (tlv, mk Types.Int loc (Tast.T_binop (A.Add, cur, one))))
+  | A.Decr lv ->
+    let tlv, ty = check_lvalue ctx loc lv in
+    if not (Types.equal ty Types.Int) then err ~loc "'--' needs an int";
+    let cur = lvalue_as_expr loc tlv in
+    let one = mk Types.Int loc (Tast.T_int_lit 1) in
+    st (Tast.TS_assign (tlv, mk Types.Int loc (Tast.T_binop (A.Sub, cur, one))))
+  | A.If (c, then_, else_) ->
+    let c = coerce loc (check_expr ctx c) Types.Bool in
+    let then_ = check_block ctx then_ in
+    let else_ = match else_ with None -> [] | Some b -> check_block ctx b in
+    st (Tast.TS_if (c, then_, else_))
+  | A.While (c, body) ->
+    let c = coerce loc (check_expr ctx c) Types.Bool in
+    st (Tast.TS_while (c, check_block ctx body))
+  | A.For (init, cond, update, body) ->
+    push_scope ctx;
+    let init = Option.map (check_stmt ctx) init in
+    let cond =
+      Option.map (fun c -> coerce loc (check_expr ctx c) Types.Bool) cond
+    in
+    let update = Option.map (check_stmt ctx) update in
+    let body = check_block ctx body in
+    pop_scope ctx;
+    st (Tast.TS_for (init, cond, update, body))
+  | A.Return None ->
+    if not (Types.equal ctx.cur_ret Types.Void) then
+      err ~loc "this method must return a %s" (Types.to_string ctx.cur_ret);
+    st (Tast.TS_return None)
+  | A.Return (Some e) ->
+    if Types.equal ctx.cur_ret Types.Void then
+      err ~loc "a void method cannot return a value";
+    st (Tast.TS_return (Some (coerce loc (check_expr ctx e) ctx.cur_ret)))
+  | A.Expr_stmt e -> st (Tast.TS_expr (check_expr ctx e))
+  | A.Block b -> st (Tast.TS_block (check_block ctx b))
+
+and check_binop_t ctx loc op (a : Tast.expr) (b : Tast.expr) : Tast.expr =
+  (* Re-type a binop whose operands are already typed (op-assign). *)
+  ignore ctx;
+  match op with
+  | A.Add | A.Sub | A.Mul | A.Div | A.Rem -> (
+    match a.ty, b.ty with
+    | Types.Int, Types.Int -> mk Types.Int loc (Tast.T_binop (op, a, b))
+    | Types.Float, Types.Float -> mk Types.Float loc (Tast.T_binop (op, a, b))
+    | Types.Float, Types.Int ->
+      mk Types.Float loc (Tast.T_binop (op, a, coerce loc b Types.Float))
+    | Types.Int, Types.Float ->
+      mk Types.Float loc (Tast.T_binop (op, coerce loc a Types.Float, b))
+    | ta, tb ->
+      err ~loc "arithmetic on %s and %s" (Types.to_string ta)
+        (Types.to_string tb))
+  | _ -> err ~loc "unsupported compound assignment operator"
+
+and check_block ctx (b : A.block) : Tast.stmt list =
+  push_scope ctx;
+  let stmts = List.map (check_stmt ctx) b in
+  pop_scope ctx;
+  stmts
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_method genv owner (sigs : msig) (m : A.method_decl) : Tast.method_info
+    =
+  let ctx =
+    {
+      genv;
+      cur_owner = owner;
+      cur_static = sigs.sg_static;
+      cur_local = sigs.sg_local;
+      cur_ret = sigs.sg_ret;
+      scopes = [ sigs.sg_params ];
+    }
+  in
+  let body = check_block ctx m.m_body in
+  let pure =
+    sigs.sg_static && sigs.sg_local
+    && List.for_all (fun (_, t) -> Types.is_value t) sigs.sg_params
+    && Types.is_value sigs.sg_ret
+  in
+  {
+    mi_key = sigs.sg_key;
+    mi_static = sigs.sg_static;
+    mi_local = sigs.sg_local;
+    mi_pure = pure;
+    mi_params = sigs.sg_params;
+    mi_ret = sigs.sg_ret;
+    mi_body = body;
+    mi_loc = m.m_loc;
+  }
+
+(* The builtin [~] of bit: [return this == zero ? one : zero]. *)
+let builtin_bit_not : Tast.method_info =
+  let loc = Srcloc.dummy in
+  let this = mk Types.Bit loc Tast.T_this in
+  let zero = mk Types.Bit loc (Tast.T_enum_lit ("bit", 0)) in
+  let one = mk Types.Bit loc (Tast.T_enum_lit ("bit", 1)) in
+  let cond =
+    mk Types.Bool loc (Tast.T_binop (Lime_syntax.Ast.Eq, this, zero))
+  in
+  {
+    mi_key = { Tast.mclass = "bit"; mmethod = "~" };
+    mi_static = false;
+    mi_local = true;
+    mi_pure = false;
+    mi_params = [];
+    mi_ret = Types.Bit;
+    mi_body =
+      [
+        {
+          Tast.sdesc =
+            Tast.TS_return (Some (mk Types.Bit loc (Tast.T_cond (cond, one, zero))));
+          sloc = loc;
+        };
+      ];
+    mi_loc = loc;
+  }
+
+let check (prog : A.program) : Tast.program =
+  let genv = collect_signatures prog in
+  let enums = ref String_map.empty in
+  let classes = ref String_map.empty in
+  List.iter
+    (fun decl ->
+      match decl with
+      | A.D_enum e ->
+        let owner = String_map.find e.e_name genv.owners in
+        let methods =
+          List.map
+            (fun (m : A.method_decl) ->
+              let s =
+                List.find
+                  (fun s -> s.sg_key.Tast.mmethod = m.m_name)
+                  owner.ow_methods
+              in
+              check_method genv owner s m)
+            e.e_methods
+        in
+        enums :=
+          String_map.add e.e_name
+            {
+              Tast.ei_name = e.e_name;
+              ei_cases = String_map.find e.e_name genv.enum_cases;
+              ei_methods = methods;
+            }
+            !enums
+      | A.D_class k ->
+        let owner = String_map.find k.k_name genv.owners in
+        let methods =
+          List.map
+            (fun (m : A.method_decl) ->
+              let s =
+                List.find
+                  (fun s -> s.sg_key.Tast.mmethod = m.m_name)
+                  owner.ow_methods
+              in
+              check_method genv owner s m)
+            k.k_methods
+        in
+        let fields =
+          List.mapi
+            (fun slot (f : A.field_decl) ->
+              let ty = resolve_ty genv f.f_loc f.f_ty in
+              let ctx =
+                {
+                  genv;
+                  cur_owner = owner;
+                  cur_static = false;
+                  cur_local = false;
+                  cur_ret = Types.Void;
+                  scopes = [ [] ];
+                }
+              in
+              {
+                Tast.fi_name = f.f_name;
+                fi_ty = ty;
+                fi_slot = slot;
+                fi_init =
+                  Option.map
+                    (fun e -> coerce f.f_loc (check_expr ctx e) ty)
+                    f.f_init;
+              })
+            k.k_fields
+        in
+        let ctors =
+          List.map2
+            (fun (c : A.ctor_decl) (cs : csig) ->
+              let ctx =
+                {
+                  genv;
+                  cur_owner = owner;
+                  cur_static = false;
+                  cur_local = cs.cg_local;
+                  cur_ret = Types.Void;
+                  scopes = [ cs.cg_params ];
+                }
+              in
+              let body = check_block ctx c.c_body in
+              {
+                Tast.ci_local = cs.cg_local;
+                ci_isolating =
+                  cs.cg_local
+                  && List.for_all (fun (_, t) -> Types.is_value t) cs.cg_params;
+                ci_params = cs.cg_params;
+                ci_body = body;
+              })
+            k.k_ctors owner.ow_ctors
+        in
+        classes :=
+          String_map.add k.k_name
+            {
+              Tast.ki_name = k.k_name;
+              ki_is_value = k.k_is_value;
+              ki_fields = fields;
+              ki_ctors = ctors;
+              ki_methods = methods;
+            }
+            !classes)
+    prog.decls;
+  (* Install the builtin bit enum when the program did not declare it;
+     when it did, make sure the operator method is present. *)
+  (match String_map.find_opt "bit" !enums with
+  | None ->
+    enums :=
+      String_map.add "bit"
+        {
+          Tast.ei_name = "bit";
+          ei_cases = builtin_bit_cases;
+          ei_methods = [ builtin_bit_not ];
+        }
+        !enums
+  | Some e ->
+    if
+      not
+        (List.exists (fun m -> m.Tast.mi_key.Tast.mmethod = "~") e.ei_methods)
+    then
+      enums :=
+        String_map.add "bit"
+          { e with ei_methods = builtin_bit_not :: e.ei_methods }
+          !enums);
+  { Tast.enums = !enums; classes = !classes }

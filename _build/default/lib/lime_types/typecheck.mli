@@ -1,0 +1,28 @@
+(** The Lime typechecker.
+
+    Beyond conventional Java-style typing (32-bit ints, int-to-float
+    widening, boolean conditions), this enforces the paper's isolation
+    rules (section 2.1):
+
+    - [value] types are recursively immutable: elements of value
+      arrays ([t\[\[\]\]]) cannot be assigned;
+    - [local] methods may only call other [local] methods; methods of
+      value enums are local by default, class methods global by default;
+    - map ([@]), reduce ([@@]) and static [task] targets must be local
+      static methods whose parameters and results are value types
+      (hence pure and freely relocatable);
+    - instance [task] targets must be local methods of classes whose
+      constructors are all isolating (local constructors with value
+      arguments);
+    - only values flow between tasks: source elements, filter ports
+      and sink elements must be value types;
+    - connected ports must agree: [a => b] requires the output element
+      type of [a] to equal the input element type of [b].
+
+    The builtin value enum [bit { zero, one }] with its [~] operator is
+    predeclared; a user declaration of [bit] (as in the paper's
+    Figure 1) must agree with the builtin and may override the [~]
+    method body with an equivalent one. *)
+
+val check : Lime_syntax.Ast.program -> Tast.program
+(** @raise Support.Diag.Compile_error on any type or isolation error. *)

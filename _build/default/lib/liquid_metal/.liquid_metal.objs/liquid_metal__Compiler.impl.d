@@ -1,0 +1,1 @@
+lib/liquid_metal/compiler.ml: Array Bytecode Gpu Lime_ir Lime_syntax Lime_types List Native_cpu Rtl Runtime Unix

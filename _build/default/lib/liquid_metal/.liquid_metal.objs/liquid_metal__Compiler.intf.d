@@ -1,0 +1,1 @@
+lib/liquid_metal/compiler.mli: Bytecode Gpu Lime_ir Runtime Wire

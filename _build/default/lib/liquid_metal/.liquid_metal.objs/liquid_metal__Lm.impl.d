@@ -1,0 +1,1 @@
+lib/liquid_metal/lm.ml: Array Bits Compiler Format Lime_ir Printf Runtime Wire

@@ -1,0 +1,1 @@
+lib/liquid_metal/lm.mli: Compiler Gpu Lime_ir Runtime

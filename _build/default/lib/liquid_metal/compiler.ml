@@ -1,0 +1,223 @@
+module Ir = Lime_ir.Ir
+
+type compiled = {
+  unit_ : Bytecode.Compile.unit_;
+  store : Runtime.Store.t;
+  phase_seconds : (string * float) list;
+}
+
+let timed phases name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  phases := (name, Unix.gettimeofday () -. t0) :: !phases;
+  r
+
+(* Contiguous subchains of a run of filters, longest first — the
+   runtime's substitution prefers larger, so larger artifacts are the
+   interesting ones, but every size exists for the smaller policies. *)
+let subchains (run : Ir.filter_info list) =
+  let arr = Array.of_list run in
+  let n = Array.length arr in
+  let out = ref [] in
+  for len = 1 to n do
+    for start = 0 to n - len do
+      out := Array.to_list (Array.sub arr start len) :: !out
+    done
+  done;
+  !out
+
+(* Maximal runs of relocatable filters satisfying [suitable], paired
+   with per-filter exclusion reasons for the rest. *)
+let relocatable_runs ~suitable (filters : Ir.filter_info list) =
+  let rec go acc current = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | (f : Ir.filter_info) :: rest -> (
+      if not f.relocatable then
+        go (if current = [] then acc else List.rev current :: acc) [] rest
+      else
+        match suitable f with
+        | Ok () -> go acc (f :: current) rest
+        | Error _ ->
+          go (if current = [] then acc else List.rev current :: acc) [] rest)
+  in
+  go [] [] filters
+
+let gpu_backend (prog : Ir.program) (store : Runtime.Store.t) =
+  (* Map and reduce sites. *)
+  List.iter
+    (fun site ->
+      match site with
+      | `Map (m : Ir.map_site) -> (
+        match Gpu.Suitability.check_fn prog m.map_fn with
+        | Gpu.Suitability.Suitable ->
+          Runtime.Store.add store
+            (Runtime.Artifact.Gpu_kernel
+               {
+                 ga_uid = m.map_uid;
+                 ga_kind = Runtime.Artifact.G_map m;
+                 ga_opencl = Gpu.Opencl_gen.map_kernel_text prog m;
+               })
+        | Gpu.Suitability.Excluded reason ->
+          Runtime.Store.record_exclusion store ~uid:m.map_uid
+            ~device:Runtime.Artifact.Gpu ~reason)
+      | `Reduce (r : Ir.reduce_site) -> (
+        match Gpu.Suitability.check_fn prog r.red_fn with
+        | Gpu.Suitability.Suitable ->
+          Runtime.Store.add store
+            (Runtime.Artifact.Gpu_kernel
+               {
+                 ga_uid = r.red_uid;
+                 ga_kind = Runtime.Artifact.G_reduce r;
+                 ga_opencl = Gpu.Opencl_gen.reduce_kernel_text prog r;
+               })
+        | Gpu.Suitability.Excluded reason ->
+          Runtime.Store.record_exclusion store ~uid:r.red_uid
+            ~device:Runtime.Artifact.Gpu ~reason))
+    (Ir.kernel_sites prog);
+  (* Filter chains of the task graphs: the GPU runs pure (static)
+     filters only. *)
+  let gpu_suitable (f : Ir.filter_info) =
+    match f.target with
+    | Ir.F_instance _ -> Error "stateful filters do not map to OpenCL kernels"
+    | Ir.F_static key -> (
+      match Gpu.Suitability.check_fn prog key with
+      | Gpu.Suitability.Suitable -> Ok ()
+      | Gpu.Suitability.Excluded reason -> Error reason)
+  in
+  Ir.String_map.iter
+    (fun _ (gt : Ir.graph_template) ->
+      let filters =
+        List.filter_map
+          (function Ir.N_filter f -> Some f | Ir.N_source _ | Ir.N_sink _ -> None)
+          gt.gt_nodes
+      in
+      (* Record exclusions for relocatable-but-unsuitable filters. *)
+      List.iter
+        (fun (f : Ir.filter_info) ->
+          if f.relocatable then
+            match gpu_suitable f with
+            | Ok () -> ()
+            | Error reason ->
+              Runtime.Store.record_exclusion store ~uid:f.uid
+                ~device:Runtime.Artifact.Gpu ~reason)
+        filters;
+      List.iter
+        (fun run ->
+          List.iter
+            (fun chain ->
+              let uid = Runtime.Artifact.chain_uid chain in
+              let keys =
+                List.map
+                  (fun (f : Ir.filter_info) ->
+                    match f.target with
+                    | Ir.F_static key -> key
+                    | Ir.F_instance (cls, m) -> cls ^ "." ^ m)
+                  chain
+              in
+              let first = List.hd chain in
+              let last = List.nth chain (List.length chain - 1) in
+              Runtime.Store.add store
+                (Runtime.Artifact.Gpu_kernel
+                   {
+                     ga_uid = uid;
+                     ga_kind = Runtime.Artifact.G_filter_chain chain;
+                     ga_opencl =
+                       Gpu.Opencl_gen.filter_kernel_text prog ~uid keys
+                         ~input:first.Ir.input ~output:last.Ir.output;
+                   }))
+            (subchains run))
+        (relocatable_runs ~suitable:gpu_suitable filters))
+    prog.Ir.templates
+
+let fpga_backend (prog : Ir.program) (store : Runtime.Store.t) =
+  let fpga_suitable (f : Ir.filter_info) =
+    match Rtl.Synth.check_filter prog f with
+    | Rtl.Synth.Suitable -> Ok ()
+    | Rtl.Synth.Excluded reason -> Error reason
+  in
+  Ir.String_map.iter
+    (fun _ (gt : Ir.graph_template) ->
+      let filters =
+        List.filter_map
+          (function Ir.N_filter f -> Some f | Ir.N_source _ | Ir.N_sink _ -> None)
+          gt.gt_nodes
+      in
+      List.iter
+        (fun (f : Ir.filter_info) ->
+          if f.relocatable then
+            match fpga_suitable f with
+            | Ok () -> ()
+            | Error reason ->
+              Runtime.Store.record_exclusion store ~uid:f.uid
+                ~device:Runtime.Artifact.Fpga ~reason)
+        filters;
+      List.iter
+        (fun run ->
+          List.iter
+            (fun chain ->
+              let uid = Runtime.Artifact.chain_uid chain in
+              let pipeline =
+                Rtl.Synth.pipeline_of_chain prog ~name:uid
+                  (List.map (fun f -> f, None) chain)
+              in
+              Runtime.Store.add store
+                (Runtime.Artifact.Fpga_module
+                   {
+                     fa_uid = uid;
+                     fa_filters = chain;
+                     fa_verilog = Rtl.Verilog_gen.pipeline_text prog pipeline;
+                   }))
+            (subchains run))
+        (relocatable_runs ~suitable:fpga_suitable filters))
+    prog.Ir.templates
+
+(* "In the case of native binaries, the compiler generates C code and
+   builds shared libraries that are dynamically loaded by the Liquid
+   Metal runtime" (paper section 5). C places no constraint on the IR,
+   so every relocatable chain gets a native artifact. *)
+let native_backend (prog : Ir.program) (store : Runtime.Store.t) =
+  Ir.String_map.iter
+    (fun _ (gt : Ir.graph_template) ->
+      let filters =
+        List.filter_map
+          (function Ir.N_filter f -> Some f | Ir.N_source _ | Ir.N_sink _ -> None)
+          gt.gt_nodes
+      in
+      List.iter
+        (fun run ->
+          List.iter
+            (fun chain ->
+              let uid = Runtime.Artifact.chain_uid chain in
+              Runtime.Store.add store
+                (Runtime.Artifact.Native_binary
+                   {
+                     na_uid = uid;
+                     na_filters = chain;
+                     na_c = Native_cpu.C_gen.chain_source_text prog ~uid chain;
+                   }))
+            (subchains run))
+        (relocatable_runs ~suitable:(fun _ -> Ok ()) filters))
+    prog.Ir.templates
+
+let compile ?(file = "<lime>") source : compiled =
+  let phases = ref [] in
+  let ast = timed phases "parse" (fun () -> Lime_syntax.Parser.parse ~file source) in
+  let tast = timed phases "typecheck" (fun () -> Lime_types.Typecheck.check ast) in
+  let prog = timed phases "lower" (fun () -> Lime_ir.Lower.lower tast) in
+  (* the paper's "shallow optimizations" (section 3) *)
+  let prog = timed phases "optimize" (fun () -> Lime_ir.Opt.optimize prog) in
+  let unit_ =
+    timed phases "bytecode-backend" (fun () -> Bytecode.Compile.compile_program prog)
+  in
+  let store = Runtime.Store.create () in
+  timed phases "native-backend" (fun () -> native_backend prog store);
+  timed phases "gpu-backend" (fun () -> gpu_backend prog store);
+  timed phases "fpga-backend" (fun () -> fpga_backend prog store);
+  { unit_; store; phase_seconds = List.rev !phases }
+
+let manifest (c : compiled) = Runtime.Store.manifest c.store
+
+let engine ?policy ?gpu_device ?fifo_capacity ?boundary ?model_divergence
+    ?chunk_elements (c : compiled) =
+  Runtime.Exec.create ?policy ?gpu_device ?fifo_capacity ?boundary
+    ?model_divergence ?chunk_elements c.unit_ c.store

@@ -1,0 +1,43 @@
+module Ir = Lime_ir.Ir
+
+(** The Liquid Metal compiler driver (the toolchain of Figure 2).
+
+    [compile] runs the frontend (lex, parse, typecheck, lower) and then
+    gives each quasi-independent backend compiler a chance to produce
+    artifacts:
+
+    - the bytecode backend always compiles the entire program, so every
+      task has at least one implementation;
+    - the OpenCL/GPU backend compiles suitable map sites, reduce sites
+      and every contiguous subchain of suitable relocatable pure
+      filters (fused elementwise kernels);
+    - the Verilog/FPGA backend compiles every contiguous subchain of
+      synthesizable relocatable filters (pipelines of unpipelined
+      modules with FIFOs), including stateful filters whose fields
+      become registers.
+
+    Tasks a backend cannot handle are excluded and the reason recorded
+    in the manifest (paper section 3). *)
+
+type compiled = {
+  unit_ : Bytecode.Compile.unit_;  (** the bytecode artifact (whole program) *)
+  store : Runtime.Store.t;  (** backend artifacts, keyed by task UID *)
+  phase_seconds : (string * float) list;
+      (** wall time per compiler phase, frontend and backends *)
+}
+
+val compile : ?file:string -> string -> compiled
+(** @raise Support.Diag.Compile_error on frontend errors. *)
+
+val manifest : compiled -> Runtime.Artifact.manifest
+
+val engine :
+  ?policy:Runtime.Substitute.policy ->
+  ?gpu_device:Gpu.Device.t ->
+  ?fifo_capacity:int ->
+  ?boundary:Wire.Boundary.t ->
+  ?model_divergence:bool ->
+  ?chunk_elements:int ->
+  compiled ->
+  Runtime.Exec.t
+(** A co-execution engine over the compiled artifacts. *)

@@ -1,0 +1,1 @@
+lib/native_cpu/c_gen.ml: Hashtbl Lime_ir List Option Printf String

@@ -1,0 +1,1 @@
+lib/native_cpu/c_gen.mli: Lime_ir

@@ -1,0 +1,302 @@
+module Ir = Lime_ir.Ir
+
+(* C code generation for native CPU artifacts.
+
+   "In the case of native binaries, the compiler generates C code and
+   builds shared libraries that are dynamically loaded by the Liquid
+   Metal runtime to co-execute with the remaining Lime bytecodes"
+   (paper section 5). The generated C is the artifact text; in this
+   environment execution is performed by the bytecode VM under the
+   native cost model (no C toolchain in the sealed container — see
+   DESIGN.md section 2).
+
+   Unlike the OpenCL backend, C supports the full IR: loops, dynamic
+   allocation, and stateful filters (fields become a state struct). *)
+
+let sanitize key =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    key
+
+let cty = function
+  | Ir.I32 -> "int32_t"
+  | Ir.F32 -> "float"
+  | Ir.Bool -> "int32_t"
+  | Ir.Bit -> "uint8_t"
+  | Ir.Enum _ -> "int32_t"
+  | Ir.Arr Ir.F32 -> "float*"
+  | Ir.Arr Ir.Bit -> "uint8_t*"
+  | Ir.Arr _ -> "int32_t*"
+  | Ir.Obj cls -> "struct " ^ sanitize cls ^ "_state*"
+  | Ir.Graph -> "void*"
+  | Ir.Unit -> "void"
+
+let var_name (v : Ir.var) = Printf.sprintf "v%d_%s" v.v_id (sanitize v.v_name)
+
+let const_text (c : Ir.const) =
+  match c with
+  | Ir.C_unit -> "0"
+  | Ir.C_bool b | Ir.C_bit b -> if b then "1" else "0"
+  | Ir.C_i32 i -> Printf.sprintf "INT32_C(%d)" i
+  | Ir.C_f32 f -> Printf.sprintf "%.9gf" f
+  | Ir.C_enum (_, tag) -> string_of_int tag
+  | Ir.C_bits _ -> "/* bit literal: host-side value */ 0"
+
+let operand_text = function
+  | Ir.O_var v -> var_name v
+  | Ir.O_const c -> const_text c
+
+let unop_text (u : Ir.unop) a =
+  match u with
+  | Ir.Neg_i | Ir.Neg_f -> Printf.sprintf "(-%s)" a
+  | Ir.Not_b -> Printf.sprintf "(!%s)" a
+  | Ir.Bnot_i -> Printf.sprintf "(~%s)" a
+  | Ir.I2f -> Printf.sprintf "((float)%s)" a
+
+let binop_text (b : Ir.binop) x y =
+  let infix op = Printf.sprintf "(%s %s %s)" x op y in
+  match b with
+  | Ir.Add_i | Ir.Add_f -> infix "+"
+  | Ir.Sub_i | Ir.Sub_f -> infix "-"
+  | Ir.Mul_i | Ir.Mul_f -> infix "*"
+  | Ir.Div_i | Ir.Div_f -> infix "/"
+  | Ir.Rem_i -> infix "%"
+  | Ir.Rem_f -> Printf.sprintf "fmodf(%s, %s)" x y
+  | Ir.Shl_i -> infix "<<"
+  | Ir.Shr_i -> infix ">>"
+  | Ir.And_i -> infix "&"
+  | Ir.Or_i -> infix "|"
+  | Ir.Xor_i -> infix "^"
+  | Ir.And_b | Ir.And_bit -> infix "&&"
+  | Ir.Or_b | Ir.Or_bit -> infix "||"
+  | Ir.Xor_b | Ir.Xor_bit -> infix "^"
+  | Ir.Eq -> infix "=="
+  | Ir.Neq -> infix "!="
+  | Ir.Lt_i | Ir.Lt_f -> infix "<"
+  | Ir.Leq_i | Ir.Leq_f -> infix "<="
+  | Ir.Gt_i | Ir.Gt_f -> infix ">"
+  | Ir.Geq_i | Ir.Geq_f -> infix ">="
+
+(* Field accesses compile against the state struct of the enclosing
+   instance method ([this] is always parameter 0 when present). *)
+let rhs_text (fn : Ir.func) (r : Ir.rhs) =
+  let this_text () =
+    match fn.fn_params with
+    | this :: _ -> var_name this
+    | [] -> "state"
+  in
+  match r with
+  | Ir.R_op o -> operand_text o
+  | Ir.R_unop (u, a) -> unop_text u (operand_text a)
+  | Ir.R_binop (b, x, y) -> binop_text b (operand_text x) (operand_text y)
+  | Ir.R_alen a -> Printf.sprintf "%s_len" (operand_text a)
+  | Ir.R_aload (a, i) ->
+    Printf.sprintf "%s[%s]" (operand_text a) (operand_text i)
+  | Ir.R_call (key, args) ->
+    let callee =
+      if Lime_ir.Intrinsics.is_intrinsic key then
+        Lime_ir.Intrinsics.c_name key
+      else sanitize key
+    in
+    Printf.sprintf "%s(%s)" callee
+      (String.concat ", " (List.map operand_text args))
+  | Ir.R_newarr (ty, n) ->
+    Printf.sprintf "(%s)calloc(%s, sizeof(*(%s)0))" (cty (Ir.Arr ty))
+      (operand_text n) (cty (Ir.Arr ty))
+  | Ir.R_freeze a -> operand_text a
+  | Ir.R_newobj (cls, _) ->
+    Printf.sprintf "calloc(1, sizeof(struct %s_state))" (sanitize cls)
+  | Ir.R_field (_, slot) -> Printf.sprintf "%s->field_%d" (this_text ()) slot
+  | Ir.R_map _ -> "/* nested map lowered by the host */ 0"
+  | Ir.R_reduce _ -> "/* nested reduce lowered by the host */ 0"
+  | Ir.R_mkgraph _ -> "/* task graphs stay on the host */ 0"
+
+let rec block_text fn indent (b : Ir.block) =
+  String.concat "" (List.map (instr_text fn indent) b)
+
+and instr_text fn indent (i : Ir.instr) =
+  let pad = String.make indent ' ' in
+  match i with
+  | Ir.I_let (v, r) | Ir.I_set (v, r) ->
+    Printf.sprintf "%s%s = %s;\n" pad (var_name v) (rhs_text fn r)
+  | Ir.I_astore (a, idx, x) ->
+    Printf.sprintf "%s%s[%s] = %s;\n" pad (operand_text a) (operand_text idx)
+      (operand_text x)
+  | Ir.I_setfield (o, slot, x) ->
+    Printf.sprintf "%s%s->field_%d = %s;\n" pad (operand_text o) slot
+      (operand_text x)
+  | Ir.I_if (c, a, b) ->
+    Printf.sprintf "%sif (%s) {\n%s%s} else {\n%s%s}\n" pad (operand_text c)
+      (block_text fn (indent + 2) a)
+      pad
+      (block_text fn (indent + 2) b)
+      pad
+  | Ir.I_while (cond_block, cond_op, body) ->
+    Printf.sprintf "%sfor (;;) {\n%s%sif (!%s) break;\n%s%s}\n" pad
+      (block_text fn (indent + 2) cond_block)
+      (String.make (indent + 2) ' ')
+      (operand_text cond_op)
+      (block_text fn (indent + 2) body)
+      pad
+  | Ir.I_return (Some o) -> Printf.sprintf "%sreturn %s;\n" pad (operand_text o)
+  | Ir.I_return None -> pad ^ "return;\n"
+  | Ir.I_run_graph _ -> pad ^ "/* task graphs stay on the host */\n"
+  | Ir.I_do r -> Printf.sprintf "%s(void)(%s);\n" pad (rhs_text fn r)
+
+let local_decls (fn : Ir.func) =
+  let params = List.map (fun (v : Ir.var) -> v.v_id) fn.fn_params in
+  let decls = Hashtbl.create 16 in
+  let rec scan_block b = List.iter scan_instr b
+  and scan_instr = function
+    | Ir.I_let (v, _) | Ir.I_set (v, _) ->
+      if not (List.mem v.Ir.v_id params) then Hashtbl.replace decls v.Ir.v_id v
+    | Ir.I_if (_, a, b) ->
+      scan_block a;
+      scan_block b
+    | Ir.I_while (c, _, body) ->
+      scan_block c;
+      scan_block body
+    | Ir.I_astore _ | Ir.I_setfield _ | Ir.I_return _ | Ir.I_run_graph _
+    | Ir.I_do _ ->
+      ()
+  in
+  scan_block fn.fn_body;
+  Hashtbl.fold (fun _ v acc -> v :: acc) decls []
+  |> List.sort (fun (a : Ir.var) b -> compare a.v_id b.v_id)
+
+let state_struct_text (prog : Ir.program) cls =
+  match Ir.String_map.find_opt cls prog.Ir.classes with
+  | None -> ""
+  | Some meta ->
+    Printf.sprintf "struct %s_state {\n%s};\n" (sanitize cls)
+      (String.concat ""
+         (List.mapi
+            (fun slot (name, ty) ->
+              Printf.sprintf "  %s field_%d; /* %s */\n" (cty ty) slot name)
+            meta.cm_fields))
+
+let function_text (fn : Ir.func) =
+  let params =
+    match fn.fn_params with
+    | [] -> "void"
+    | ps ->
+      String.concat ", "
+        (List.map
+           (fun (v : Ir.var) -> Printf.sprintf "%s %s" (cty v.v_ty) (var_name v))
+           ps)
+  in
+  let decls =
+    String.concat ""
+      (List.map
+         (fun (v : Ir.var) ->
+           Printf.sprintf "  %s %s;\n" (cty v.Ir.v_ty) (var_name v))
+         (local_decls fn))
+  in
+  Printf.sprintf "static %s %s(%s) {\n%s%s}\n" (cty fn.fn_ret)
+    (sanitize fn.fn_key) params decls
+    (block_text fn 2 fn.fn_body)
+
+(* Transitive callees, callees first. *)
+let callees (prog : Ir.program) (keys : string list) : string list =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec visit key =
+    if
+      (not (Lime_ir.Intrinsics.is_intrinsic key))
+      && not (Hashtbl.mem seen key)
+    then begin
+      Hashtbl.add seen key ();
+      (match Ir.find_func prog key with
+      | None -> ()
+      | Some fn -> visit_block fn.fn_body);
+      order := key :: !order
+    end
+  and visit_block b = List.iter visit_instr b
+  and visit_instr = function
+    | Ir.I_let (_, r) | Ir.I_set (_, r) | Ir.I_do r -> visit_rhs r
+    | Ir.I_if (_, a, b) ->
+      visit_block a;
+      visit_block b
+    | Ir.I_while (c, _, body) ->
+      visit_block c;
+      visit_block body
+    | Ir.I_astore _ | Ir.I_setfield _ | Ir.I_return _ | Ir.I_run_graph _ -> ()
+  and visit_rhs = function
+    | Ir.R_call (callee, _) | Ir.R_newobj (callee, _) -> visit callee
+    | Ir.R_op _ | Ir.R_unop _ | Ir.R_binop _ | Ir.R_alen _ | Ir.R_aload _
+    | Ir.R_newarr _ | Ir.R_freeze _ | Ir.R_field _ | Ir.R_map _
+    | Ir.R_reduce _ | Ir.R_mkgraph _ ->
+      ()
+  in
+  List.iter visit keys;
+  List.rev !order
+
+(* The shared-library source for a chain of filters: state structs,
+   device functions, and one exported entry that streams the chain. *)
+let chain_source_text (prog : Ir.program) ~uid
+    (chain : Ir.filter_info list) : string =
+  let keys =
+    List.map
+      (fun (f : Ir.filter_info) ->
+        match f.target with
+        | Ir.F_static key -> key
+        | Ir.F_instance (cls, m) -> cls ^ "." ^ m)
+      chain
+  in
+  let structs =
+    List.filter_map
+      (fun (f : Ir.filter_info) ->
+        match f.target with
+        | Ir.F_instance (cls, _) -> Some (state_struct_text prog cls)
+        | Ir.F_static _ -> None)
+      chain
+    |> List.sort_uniq compare |> String.concat "\n"
+  in
+  let fns =
+    String.concat "\n"
+      (List.filter_map
+         (fun key -> Option.map function_text (Ir.find_func prog key))
+         (callees prog keys))
+  in
+  let first = List.hd chain in
+  let last = List.nth chain (List.length chain - 1) in
+  let composed =
+    List.fold_left
+      (fun (acc, idx) ((f : Ir.filter_info), key) ->
+        match f.target with
+        | Ir.F_static _ -> Printf.sprintf "%s(%s)" (sanitize key) acc, idx
+        | Ir.F_instance _ ->
+          Printf.sprintf "%s(state%d, %s)" (sanitize key) idx acc, idx + 1)
+      ("in[i]", 0)
+      (List.combine chain keys)
+    |> fst
+  in
+  let state_params =
+    List.filteri (fun _ (f : Ir.filter_info) ->
+        match f.target with Ir.F_instance _ -> true | Ir.F_static _ -> false)
+      chain
+    |> List.mapi (fun i (f : Ir.filter_info) ->
+           match f.target with
+           | Ir.F_instance (cls, _) ->
+             Printf.sprintf ", struct %s_state* state%d" (sanitize cls) i
+           | Ir.F_static _ -> "")
+    |> String.concat ""
+  in
+  Printf.sprintf
+    "/* Task %s: native CPU artifact generated by the Liquid Metal\n\
+    \   compiler (paper section 5). Loaded by the runtime via JNI. */\n\
+     #include <stdint.h>\n\
+     #include <stdlib.h>\n\
+     #include <math.h>\n\n\
+     %s\n\
+     %s\n\
+     void %s(const %s in[], %s out[], int32_t n%s) {\n\
+    \  for (int32_t i = 0; i < n; i++) {\n\
+    \    out[i] = %s;\n\
+    \  }\n\
+     }\n"
+    uid structs fns (sanitize uid)
+    (cty first.Ir.input) (cty last.Ir.output) state_params composed

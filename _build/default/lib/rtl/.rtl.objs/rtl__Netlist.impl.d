@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Format Int32 Lime_ir Wire

@@ -1,0 +1,1 @@
+lib/rtl/sim.ml: Format Lime_ir List Netlist Option Queue Vcd Wire

@@ -1,0 +1,1 @@
+lib/rtl/sim.mli: Lime_ir Netlist Vcd Wire

@@ -1,0 +1,1 @@
+lib/rtl/synth.ml: Float Format Lime_ir List Netlist Printf String

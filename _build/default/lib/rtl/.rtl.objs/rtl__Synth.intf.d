@@ -1,0 +1,1 @@
+lib/rtl/synth.mli: Lime_ir Netlist

@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/vcd_reader.ml: Buffer Char Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/rtl/vcd_reader.mli:

@@ -1,0 +1,1 @@
+lib/rtl/verilog_gen.ml: Buffer Format Int32 Lime_ir List Netlist Option Printf String

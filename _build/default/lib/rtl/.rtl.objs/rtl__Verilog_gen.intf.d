@@ -1,0 +1,1 @@
+lib/rtl/verilog_gen.mli: Lime_ir Netlist

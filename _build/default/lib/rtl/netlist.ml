@@ -1,0 +1,68 @@
+module Ir = Lime_ir.Ir
+module I = Lime_ir.Interp
+module V = Wire.Value
+
+(* Structural description of a synthesized task pipeline.
+
+   The FPGA backend turns each relocatable filter into a hardware
+   module with a FIFO on its input, exactly the structure visible in
+   the paper's Figure 4 waveform: "the generated logic uses a FIFO
+   which produces a value on the next rising edge of the clock", and
+   the unpipelined module takes "one cycle to read, one cycle to
+   compute, and one cycle to publish the result". *)
+
+exception Synthesis_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Synthesis_error s)) fmt
+
+(* --- scalar <-> bit-vector encodings ------------------------------- *)
+
+let width_of_ty = function
+  | Ir.Bit | Ir.Bool -> 1
+  | Ir.I32 -> 32
+  | Ir.F32 -> 32
+  | Ir.Enum _ -> 8
+  | (Ir.Arr _ | Ir.Obj _ | Ir.Graph | Ir.Unit) as t ->
+    fail "type %s has no hardware representation" (Ir.ty_to_string t)
+
+let bits_of_value (ty : Ir.ty) (v : V.t) : int =
+  match ty, v with
+  | Ir.Bit, V.Bit b -> if b then 1 else 0
+  | Ir.Bool, V.Bool b -> if b then 1 else 0
+  | Ir.I32, V.Int i -> i land 0xffffffff
+  | Ir.F32, V.Float f -> Int32.to_int (Int32.bits_of_float f) land 0xffffffff
+  | Ir.Enum _, V.Enum { tag; _ } -> tag land 0xff
+  | _ -> fail "cannot encode %s as %s bits" (V.type_name v) (Ir.ty_to_string ty)
+
+let value_of_bits (ty : Ir.ty) (bits : int) : V.t =
+  match ty with
+  | Ir.Bit -> V.Bit (bits land 1 = 1)
+  | Ir.Bool -> V.Bool (bits land 1 = 1)
+  | Ir.I32 -> V.Int (V.norm32 bits)
+  | Ir.F32 -> V.Float (Int32.float_of_bits (Int32.of_int bits))
+  | Ir.Enum e -> V.Enum { enum = e; tag = bits land 0xff }
+  | Ir.Arr _ | Ir.Obj _ | Ir.Graph | Ir.Unit ->
+    fail "type %s has no hardware representation" (Ir.ty_to_string ty)
+
+(* --- pipeline structure --------------------------------------------- *)
+
+type stage = {
+  st_name : string;  (** instance name, e.g. ["flip_0"] *)
+  st_uid : string;  (** the task UID this module implements *)
+  st_fn : string;  (** filter function key *)
+  st_state : I.v option;  (** receiver object for stateful filters *)
+  st_latency : int;  (** compute cycles (>= 1) *)
+  st_input_ty : Ir.ty;
+  st_output_ty : Ir.ty;
+}
+
+type pipeline = {
+  pl_name : string;
+  pl_stages : stage list;
+  pl_input_ty : Ir.ty;
+  pl_output_ty : Ir.ty;
+  pl_fifo_depth : int;
+}
+
+let input_ty pl = pl.pl_input_ty
+let output_ty pl = pl.pl_output_ty

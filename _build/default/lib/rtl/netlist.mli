@@ -1,0 +1,48 @@
+(** Structural description of synthesized task pipelines.
+
+    The FPGA backend turns each relocatable filter into a hardware
+    stage with a FIFO on its input — exactly the structure in the
+    paper's Figure 4 waveform: the FIFO "produces a value on the next
+    rising edge of the clock" and the unpipelined stage takes one
+    cycle to read, [st_latency] to compute, one to publish. *)
+
+module Ir = Lime_ir.Ir
+module I = Lime_ir.Interp
+module V = Wire.Value
+
+exception Synthesis_error of string
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Synthesis_error} with a formatted message. *)
+
+(** {2 Scalar <-> bit-vector encodings} *)
+
+val width_of_ty : Ir.ty -> int
+(** Hardware width: bit/bool 1, int/float 32, enum 8.
+    @raise Synthesis_error for types with no hardware representation. *)
+
+val bits_of_value : Ir.ty -> V.t -> int
+val value_of_bits : Ir.ty -> int -> V.t
+
+(** {2 Pipeline structure} *)
+
+type stage = {
+  st_name : string;  (** instance name, e.g. ["flip_0"] *)
+  st_uid : string;  (** the task UID this module implements *)
+  st_fn : string;  (** filter function key *)
+  st_state : I.v option;  (** receiver object for stateful filters *)
+  st_latency : int;  (** compute cycles (>= 1) *)
+  st_input_ty : Ir.ty;
+  st_output_ty : Ir.ty;
+}
+
+type pipeline = {
+  pl_name : string;
+  pl_stages : stage list;
+  pl_input_ty : Ir.ty;
+  pl_output_ty : Ir.ty;
+  pl_fifo_depth : int;
+}
+
+val input_ty : pipeline -> Ir.ty
+val output_ty : pipeline -> Ir.ty

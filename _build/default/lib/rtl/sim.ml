@@ -1,0 +1,176 @@
+module Ir = Lime_ir.Ir
+module I = Lime_ir.Interp
+module V = Wire.Value
+
+type stats = {
+  cycles : int;
+  items : int;
+  stalls : int;
+  max_fifo_occupancy : int;
+}
+
+exception Simulation_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Simulation_error s)) fmt
+
+(* A hardware FIFO with a registered output: an element written at
+   cycle [t] first appears at the output at cycle [t + 1] — "the
+   generated logic uses a FIFO which produces a value on the next
+   rising edge of the clock" (paper section 5). *)
+module Fifo = struct
+  type t = {
+    depth : int;
+    q : (V.t * int) Queue.t;  (* value, cycle it becomes visible *)
+  }
+
+  let create depth = { depth; q = Queue.create () }
+  let length t = Queue.length t.q
+  let has_space t = Queue.length t.q < t.depth
+
+  let push t ~cycle v =
+    if not (has_space t) then invalid_arg "Fifo.push: full";
+    Queue.push (v, cycle + 1) t.q
+
+  let peek t ~cycle =
+    match Queue.peek_opt t.q with
+    | Some (v, visible) when visible <= cycle -> Some v
+    | Some _ | None -> None
+
+  let pop t = ignore (Queue.pop t.q)
+end
+
+(* The unpipelined stage FSM: read (1 cycle), compute (latency
+   cycles), publish (1 cycle). *)
+type fsm =
+  | Idle
+  | Computing of V.t * int  (* latched input, remaining cycles *)
+  | Publishing of V.t
+
+type stage_state = {
+  stage : Netlist.stage;
+  mutable fsm : fsm;
+  input_fifo : Fifo.t;
+  (* waveform vars (None when no VCD requested) *)
+  w_in_ready : Vcd.var option;
+  w_in_data : Vcd.var option;
+  w_out_ready : Vcd.var option;
+  w_out_data : Vcd.var option;
+}
+
+let apply_filter prog (st : Netlist.stage) (x : V.t) : V.t =
+  let args =
+    match st.st_state with
+    | Some receiver -> [ receiver; I.Prim x ]
+    | None -> [ I.Prim x ]
+  in
+  match I.call prog st.st_fn args with
+  | I.Prim v -> v
+  | v -> fail "filter %s produced a non-value result %a" st.st_fn I.pp v
+
+let run ?vcd ?(clock_ns = 4) ?(max_cycles = 10_000_000) (prog : Ir.program)
+    (pl : Netlist.pipeline) (inputs : V.t list) : V.t list * stats =
+  let mkvar name width =
+    Option.map (fun v -> Vcd.add_var v ~name ~width) vcd
+  in
+  let clk_var = mkvar "clk" 1 in
+  let stages =
+    List.map
+      (fun (st : Netlist.stage) ->
+        {
+          stage = st;
+          fsm = Idle;
+          input_fifo = Fifo.create pl.Netlist.pl_fifo_depth;
+          w_in_ready = mkvar (st.st_name ^ "_inReady") 1;
+          w_in_data = mkvar (st.st_name ^ "_inData")
+              (Netlist.width_of_ty st.st_input_ty);
+          w_out_ready = mkvar (st.st_name ^ "_outReady") 1;
+          w_out_data = mkvar (st.st_name ^ "_outData")
+              (Netlist.width_of_ty st.st_output_ty);
+        })
+      pl.Netlist.pl_stages
+  in
+  let sink_fifo = Fifo.create pl.Netlist.pl_fifo_depth in
+  Option.iter Vcd.finalize_header vcd;
+  let pending = ref inputs in
+  let outputs = ref [] in
+  let stalls = ref 0 in
+  let max_occ = ref 0 in
+  let cycle = ref 0 in
+  let vset_at time var v =
+    match vcd, var with
+    | Some w, Some var -> Vcd.set w ~time_ns:time var v
+    | _, _ -> ()
+  in
+  let vset var v = vset_at (!cycle * clock_ns) var v in
+  let downstream_of i =
+    if i + 1 < List.length stages then
+      (List.nth stages (i + 1)).input_fifo
+    else sink_fifo
+  in
+  let quiescent () =
+    !pending = []
+    && List.for_all (fun s -> s.fsm = Idle && Fifo.length s.input_fifo = 0) stages
+    && Fifo.length sink_fifo = 0
+  in
+  while not (quiescent ()) do
+    if !cycle > max_cycles then fail "pipeline wedged after %d cycles" max_cycles;
+    (* rising edge *)
+    vset clk_var 1;
+    (* Sink drains first so a full FIFO frees within the cycle order
+       downstream-to-upstream (registered visibility still enforces the
+       one-cycle FIFO delay). *)
+    (match Fifo.peek sink_fifo ~cycle:!cycle with
+    | Some v ->
+      Fifo.pop sink_fifo;
+      outputs := v :: !outputs
+    | None -> ());
+    List.iteri
+      (fun i s ->
+        let down = downstream_of i in
+        (* default waveform levels each cycle *)
+        vset s.w_in_ready 0;
+        vset s.w_out_ready 0;
+        match s.fsm with
+        | Publishing y ->
+          if Fifo.has_space down then begin
+            Fifo.push down ~cycle:!cycle y;
+            vset s.w_out_ready 1;
+            vset s.w_out_data (Netlist.bits_of_value s.stage.st_output_ty y);
+            s.fsm <- Idle
+          end
+          else incr stalls
+        | Computing (x, remaining) ->
+          if remaining > 1 then s.fsm <- Computing (x, remaining - 1)
+          else s.fsm <- Publishing (apply_filter prog s.stage x)
+        | Idle -> (
+          match Fifo.peek s.input_fifo ~cycle:!cycle with
+          | Some x ->
+            Fifo.pop s.input_fifo;
+            vset s.w_in_ready 1;
+            vset s.w_in_data (Netlist.bits_of_value s.stage.st_input_ty x);
+            s.fsm <- Computing (x, s.stage.st_latency)
+          | None -> ()))
+      stages;
+    (* Source feeds the first stage, one element per cycle. *)
+    (match stages, !pending with
+    | first :: _, x :: rest ->
+      if Fifo.has_space first.input_fifo then begin
+        Fifo.push first.input_fifo ~cycle:!cycle x;
+        pending := rest
+      end
+    | _, [] | [], _ -> ());
+    List.iter
+      (fun s -> max_occ := max !max_occ (Fifo.length s.input_fifo))
+      stages;
+    max_occ := max !max_occ (Fifo.length sink_fifo);
+    (* falling edge *)
+    vset_at ((!cycle * clock_ns) + (clock_ns / 2)) clk_var 0;
+    incr cycle
+  done;
+  ( List.rev !outputs,
+    {
+      cycles = !cycle;
+      items = List.length !outputs;
+      stalls = !stalls;
+      max_fifo_occupancy = !max_occ;
+    } )

@@ -1,0 +1,146 @@
+module Ir = Lime_ir.Ir
+module I = Lime_ir.Interp
+
+(* Behavioral synthesis: deciding which filters the FPGA backend can
+   implement, estimating their compute latency, and assembling
+   pipelines.
+
+   The paper is explicit that its FPGA device compiler is "a work in
+   progress" with a narrower feature set than the GPU backend
+   (sections 5 and 7); our exclusion rules mirror that: scalar port
+   types only, no arrays, no unbounded loops (no FSM inference yet),
+   no dynamic allocation. Stateful filters with scalar fields are
+   allowed — fields become registers. *)
+
+type verdict = Suitable | Excluded of string
+
+exception Unsuitable of string
+
+let reject fmt = Format.kasprintf (fun s -> raise (Unsuitable s)) fmt
+
+let scalar_ty = function
+  | Ir.I32 | Ir.F32 | Ir.Bool | Ir.Bit | Ir.Enum _ -> true
+  | Ir.Arr _ | Ir.Obj _ | Ir.Graph | Ir.Unit -> false
+
+(* Walk a function (inlining callees) verifying synthesizability and
+   computing the maximum operation count along any path — the datapath
+   depth that determines compute latency. *)
+let rec analyze_fn (prog : Ir.program) ~stack (key : string) : float =
+  if Lime_ir.Intrinsics.is_intrinsic key then
+    reject "%s needs a floating-point IP core (transcendental intrinsics \
+            are beyond the work-in-progress FPGA backend)" key;
+  if List.mem key stack then reject "%s is recursive" key;
+  match Ir.find_func prog key with
+  | None -> reject "unknown function %s" key
+  | Some fn ->
+    if not fn.fn_local then reject "%s is global" key;
+    List.iter
+      (fun (p : Ir.var) ->
+        match p.v_ty with
+        | t when scalar_ty t -> ()
+        | Ir.Obj _ when fn.fn_kind <> Ir.K_static -> ()
+          (* the receiver of a stateful filter is the register file *)
+        | t -> reject "%s: port type %s not synthesizable" key (Ir.ty_to_string t))
+      fn.fn_params;
+    analyze_block prog ~stack:(key :: stack) fn.fn_body
+
+and analyze_block prog ~stack (b : Ir.block) : float =
+  List.fold_left (fun acc i -> acc +. analyze_instr prog ~stack i) 0.0 b
+
+and analyze_instr prog ~stack (i : Ir.instr) : float =
+  match i with
+  | Ir.I_let (_, r) | Ir.I_set (_, r) | Ir.I_do r -> analyze_rhs prog ~stack r
+  | Ir.I_astore _ -> reject "array stores are not synthesizable"
+  | Ir.I_setfield _ -> 1.0  (* register write *)
+  | Ir.I_if (_, a, b) ->
+    (* A mux: both sides are elaborated; latency is the deeper path. *)
+    1.0 +. Float.max (analyze_block prog ~stack a) (analyze_block prog ~stack b)
+  | Ir.I_while _ ->
+    reject "loops need FSM inference (FPGA backend work in progress)"
+  | Ir.I_return _ -> 0.0
+  | Ir.I_run_graph _ -> reject "nested task graphs are not synthesizable"
+
+and analyze_rhs prog ~stack (r : Ir.rhs) : float =
+  match r with
+  | Ir.R_op _ -> 0.0
+  | Ir.R_unop _ -> 1.0
+  | Ir.R_binop ((Ir.Div_i | Ir.Rem_i | Ir.Div_f | Ir.Rem_f), _, _) -> 8.0
+  | Ir.R_binop ((Ir.Mul_i | Ir.Mul_f), _, _) -> 2.0
+  | Ir.R_binop (_, _, _) -> 1.0
+  | Ir.R_alen _ | Ir.R_aload _ -> reject "array access is not synthesizable"
+  | Ir.R_call (key, _) -> 1.0 +. analyze_fn prog ~stack key
+  | Ir.R_field _ -> 0.5  (* register read *)
+  | Ir.R_newarr _ | Ir.R_freeze _ -> reject "dynamic allocation on the FPGA"
+  | Ir.R_newobj _ -> reject "object allocation on the FPGA"
+  | Ir.R_map _ | Ir.R_reduce _ -> reject "nested data parallelism on the FPGA"
+  | Ir.R_mkgraph _ -> reject "nested task graphs are not synthesizable"
+
+let check_filter (prog : Ir.program) (f : Ir.filter_info) : verdict =
+  let key =
+    match f.target with
+    | Ir.F_static key -> key
+    | Ir.F_instance (cls, m) -> cls ^ "." ^ m
+  in
+  match
+    if not (scalar_ty f.input) then
+      reject "input port %s is not scalar" (Ir.ty_to_string f.input)
+    else if not (scalar_ty f.output) then
+      reject "output port %s is not scalar" (Ir.ty_to_string f.output)
+    else ignore (analyze_fn prog ~stack:[] key)
+  with
+  | () -> Suitable
+  | exception Unsuitable reason -> Excluded reason
+
+(* Datapath operations per clock cycle at the target frequency. *)
+let ops_per_cycle = 4.0
+
+let latency_of prog (f : Ir.filter_info) : int =
+  let key =
+    match f.target with
+    | Ir.F_static key -> key
+    | Ir.F_instance (cls, m) -> cls ^ "." ^ m
+  in
+  let ops = analyze_fn prog ~stack:[] key in
+  max 1 (int_of_float (ceil (ops /. ops_per_cycle)))
+
+(* Build a pipeline netlist for a chain of suitable filters. Instance
+   receivers (register state) are supplied by the runtime at
+   substitution time. *)
+let pipeline_of_chain (prog : Ir.program) ~name ?(fifo_depth = 2)
+    (filters : (Ir.filter_info * I.v option) list) : Netlist.pipeline =
+  if filters = [] then Netlist.fail "empty filter chain";
+  List.iteri
+    (fun _i (f, _) ->
+      match check_filter prog f with
+      | Suitable -> ()
+      | Excluded reason -> Netlist.fail "filter %s excluded: %s" f.Ir.uid reason)
+    filters;
+  let stages =
+    List.mapi
+      (fun i ((f : Ir.filter_info), state) ->
+        let key =
+          match f.target with
+          | Ir.F_static key -> key
+          | Ir.F_instance (cls, m) -> cls ^ "." ^ m
+        in
+        {
+          Netlist.st_name = Printf.sprintf "%s_%d" (String.map (fun c ->
+            if c = '.' || c = '@' || c = '/' then '_' else c) key) i;
+          st_uid = f.uid;
+          st_fn = key;
+          st_state = state;
+          st_latency = latency_of prog f;
+          st_input_ty = f.input;
+          st_output_ty = f.output;
+        })
+      filters
+  in
+  let first = List.hd stages in
+  let last = List.nth stages (List.length stages - 1) in
+  {
+    Netlist.pl_name = name;
+    pl_stages = stages;
+    pl_input_ty = first.Netlist.st_input_ty;
+    pl_output_ty = last.Netlist.st_output_ty;
+    pl_fifo_depth = fifo_depth;
+  }

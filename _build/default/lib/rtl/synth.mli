@@ -1,0 +1,33 @@
+(** Behavioral synthesis feasibility, latency estimation, and pipeline
+    assembly for the FPGA backend.
+
+    The paper is explicit that its FPGA device compiler is "a work in
+    progress" with a narrower feature set (sections 5 and 7); the
+    exclusion rules mirror that: scalar port types only, no arrays, no
+    loops (no FSM inference), no dynamic allocation, no transcendental
+    intrinsics (no FP IP cores). Stateful filters with scalar fields
+    are supported — fields become registers. *)
+
+module Ir = Lime_ir.Ir
+module I = Lime_ir.Interp
+
+type verdict = Suitable | Excluded of string
+
+val check_filter : Ir.program -> Ir.filter_info -> verdict
+
+val latency_of : Ir.program -> Ir.filter_info -> int
+(** Compute cycles of the unpipelined stage: the maximum operation
+    count along any path, at {!ops_per_cycle} datapath operations per
+    clock, minimum 1. *)
+
+val ops_per_cycle : float
+
+val pipeline_of_chain :
+  Ir.program ->
+  name:string ->
+  ?fifo_depth:int ->
+  (Ir.filter_info * I.v option) list ->
+  Netlist.pipeline
+(** Assemble a pipeline netlist for a chain of suitable filters; the
+    optional receiver objects become the stages' register state.
+    @raise Netlist.Synthesis_error if a filter is excluded. *)

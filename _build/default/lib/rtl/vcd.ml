@@ -1,0 +1,79 @@
+type var = { code : string; width : int; mutable last : int }
+
+type t = {
+  buf : Buffer.t;
+  mutable vars : var list;
+  mutable header_done : bool;
+  mutable current_time : int;
+  mutable time_written : bool;
+}
+
+let create ?(timescale_ns = 1) () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "$timescale %dns $end\n" timescale_ns);
+  Buffer.add_string buf "$scope module top $end\n";
+  {
+    buf;
+    vars = [];
+    header_done = false;
+    current_time = -1;
+    time_written = false;
+  }
+
+(* VCD identifier codes: printable ASCII starting at '!'. *)
+let code_of_index i =
+  let base = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let add_var t ~name ~width =
+  if t.header_done then invalid_arg "Vcd.add_var: header already finalized";
+  let var = { code = code_of_index (List.length t.vars); width; last = -1 } in
+  Buffer.add_string t.buf
+    (Printf.sprintf "$var wire %d %s %s $end\n" width var.code name);
+  t.vars <- var :: t.vars;
+  var
+
+let write_value buf (v : var) value =
+  if v.width = 1 then
+    Buffer.add_string buf (Printf.sprintf "%d%s\n" (value land 1) v.code)
+  else begin
+    let bits =
+      String.init v.width (fun i ->
+          if (value lsr (v.width - 1 - i)) land 1 = 1 then '1' else '0')
+    in
+    Buffer.add_string buf (Printf.sprintf "b%s %s\n" bits v.code)
+  end
+
+let finalize_header t =
+  if not t.header_done then begin
+    Buffer.add_string t.buf "$upscope $end\n$enddefinitions $end\n";
+    Buffer.add_string t.buf "#0\n";
+    List.iter
+      (fun v ->
+        v.last <- 0;
+        write_value t.buf v 0)
+      (List.rev t.vars);
+    t.header_done <- true;
+    t.current_time <- 0;
+    t.time_written <- true
+  end
+
+let set t ~time_ns var value =
+  if not t.header_done then finalize_header t;
+  if var.last <> value then begin
+    if time_ns <> t.current_time then begin
+      Buffer.add_string t.buf (Printf.sprintf "#%d\n" time_ns);
+      t.current_time <- time_ns
+    end;
+    var.last <- value;
+    write_value t.buf var value
+  end
+
+let contents t =
+  if not t.header_done then finalize_header t;
+  Buffer.contents t.buf

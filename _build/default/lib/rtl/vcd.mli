@@ -1,0 +1,23 @@
+(** Value Change Dump (VCD) waveform writer.
+
+    The design flow of the paper's section 5 inspects co-simulation
+    results in a waveform viewer (Figure 4); the simulator emits
+    standard VCD so any viewer (GTKWave et al.) can display our runs
+    the same way. *)
+
+type t
+type var
+
+val create : ?timescale_ns:int -> unit -> t
+
+val add_var : t -> name:string -> width:int -> var
+(** Declare a wire before {!finalize_header}. *)
+
+val finalize_header : t -> unit
+(** Close the declarations section; all variables dump an initial 0. *)
+
+val set : t -> time_ns:int -> var -> int -> unit
+(** Record a value change; writes nothing if the value is unchanged. *)
+
+val contents : t -> string
+(** The complete VCD document so far. *)

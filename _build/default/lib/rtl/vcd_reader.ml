@@ -1,0 +1,133 @@
+type event = { time : int; value : int }
+
+type signal = { name : string; width : int; events : event list }
+
+type t = { signals_ : signal list; end_time : int }
+
+let parse (text : string) : t =
+  let lines = String.split_on_char '\n' text in
+  let vars = Hashtbl.create 16 in (* code -> name, width *)
+  let order = ref [] in
+  let events = Hashtbl.create 16 in (* code -> event list (reversed) *)
+  let time = ref 0 in
+  let end_time = ref 0 in
+  let record code value =
+    let existing = Option.value (Hashtbl.find_opt events code) ~default:[] in
+    Hashtbl.replace events code ({ time = !time; value } :: existing)
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if String.length line >= 4 && String.sub line 0 4 = "$var" then begin
+        match String.split_on_char ' ' line with
+        | [ "$var"; "wire"; w; code; name; "$end" ] ->
+          Hashtbl.replace vars code (name, int_of_string w);
+          order := code :: !order
+        | _ -> failwith ("Vcd_reader: bad $var line: " ^ line)
+      end
+      else if line.[0] = '$' then ()  (* other directives *)
+      else if line.[0] = '#' then begin
+        time := int_of_string (String.sub line 1 (String.length line - 1));
+        end_time := max !end_time !time
+      end
+      else if line.[0] = 'b' then begin
+        match String.index_opt line ' ' with
+        | Some i ->
+          let bits = String.sub line 1 (i - 1) in
+          let code = String.sub line (i + 1) (String.length line - i - 1) in
+          let value =
+            String.fold_left
+              (fun acc c -> (acc lsl 1) lor (if c = '1' then 1 else 0))
+              0 bits
+          in
+          record code value
+        | None -> failwith ("Vcd_reader: bad vector change: " ^ line)
+      end
+      else if line.[0] = '0' || line.[0] = '1' then
+        record
+          (String.sub line 1 (String.length line - 1))
+          (Char.code line.[0] - Char.code '0')
+      else failwith ("Vcd_reader: unsupported line: " ^ line))
+    lines;
+  let signals_ =
+    List.rev_map
+      (fun code ->
+        let name, width = Hashtbl.find vars code in
+        let evs =
+          List.rev (Option.value (Hashtbl.find_opt events code) ~default:[])
+        in
+        { name; width; events = evs })
+      !order
+  in
+  { signals_; end_time = !end_time }
+
+let signals t = t.signals_
+
+let signal t name =
+  match List.find_opt (fun s -> s.name = name) t.signals_ with
+  | Some s -> s
+  | None -> raise Not_found
+
+let value_at (s : signal) (at : int) =
+  List.fold_left
+    (fun acc (e : event) -> if e.time <= at then e.value else acc)
+    0 s.events
+
+let rises (s : signal) =
+  let _, out =
+    List.fold_left
+      (fun (prev, acc) (e : event) ->
+        if prev = 0 && e.value = 1 then e.value, e.time :: acc
+        else e.value, acc)
+      (0, []) s.events
+  in
+  List.rev out
+
+let render_ascii ?signals:(wanted = []) ?(from_ns = 0) ?until_ns
+    ?(step_ns = 1) t : string =
+  let until_ns = Option.value until_ns ~default:t.end_time in
+  let chosen =
+    if wanted = [] then t.signals_
+    else
+      List.filter_map
+        (fun n -> List.find_opt (fun s -> s.name = n) t.signals_)
+        wanted
+  in
+  let name_w =
+    List.fold_left (fun w s -> max w (String.length s.name)) 0 chosen
+  in
+  let buf = Buffer.create 1024 in
+  let steps = ((until_ns - from_ns) / step_ns) + 1 in
+  (* time ruler *)
+  Buffer.add_string buf (String.make name_w ' ');
+  Buffer.add_string buf "  ";
+  for i = 0 to steps - 1 do
+    let tns = from_ns + (i * step_ns) in
+    Buffer.add_char buf (if tns mod (10 * step_ns) = 0 then '|' else ' ')
+  done;
+  Buffer.add_string buf "\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (s.name ^ String.make (name_w - String.length s.name) ' ' ^ "  ");
+      if s.width = 1 then
+        for i = 0 to steps - 1 do
+          let v = value_at s (from_ns + (i * step_ns)) in
+          Buffer.add_char buf (if v = 1 then '#' else '_')
+        done
+      else begin
+        (* vector: print the value in hex at each change, dots between *)
+        let last = ref min_int in
+        for i = 0 to steps - 1 do
+          let v = value_at s (from_ns + (i * step_ns)) in
+          if v <> !last then begin
+            last := v;
+            Buffer.add_string buf (Printf.sprintf "%x" (v land 0xf))
+          end
+          else Buffer.add_char buf '.'
+        done
+      end;
+      Buffer.add_string buf "\n")
+    chosen;
+  Buffer.contents buf

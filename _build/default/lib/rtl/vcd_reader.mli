@@ -1,0 +1,40 @@
+(** Reading VCD documents back.
+
+    The simulator writes standard VCD; this module parses it into
+    per-signal event series and renders ASCII waveforms, so the
+    Figure-4 inspection workflow (paper section 5) works without an
+    external viewer. Only the subset the writer produces is supported
+    (one scope, wire variables, [#time] marks, scalar and vector
+    changes). *)
+
+type event = { time : int; value : int }
+
+type signal = {
+  name : string;
+  width : int;
+  events : event list;  (** chronological; first event at the dump start *)
+}
+
+type t
+
+val parse : string -> t
+(** @raise Failure on malformed documents. *)
+
+val signals : t -> signal list
+
+val signal : t -> string -> signal
+(** @raise Not_found for unknown names. *)
+
+val value_at : signal -> int -> int
+(** The signal's value at a time (last change at or before it; 0
+    before the first event). *)
+
+val rises : signal -> int list
+(** Times at which a 1-bit signal transitions to 1. *)
+
+val render_ascii :
+  ?signals:string list -> ?from_ns:int -> ?until_ns:int -> ?step_ns:int ->
+  t -> string
+(** A textual waveform, one row per signal: 1-bit signals draw
+    [_]/[#] level traces, vector signals print hex values on change.
+    Defaults: all signals, full time range, 1ns resolution. *)

@@ -1,0 +1,1 @@
+lib/runtime/actor.ml: Lime_ir List Queue Wire

@@ -1,0 +1,1 @@
+lib/runtime/actor.mli: Queue Wire

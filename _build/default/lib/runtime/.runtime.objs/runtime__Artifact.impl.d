@@ -1,0 +1,1 @@
+lib/runtime/artifact.ml: Format Lime_ir List Printf String

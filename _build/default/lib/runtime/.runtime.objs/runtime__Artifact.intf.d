@@ -1,0 +1,1 @@
+lib/runtime/artifact.mli: Format Lime_ir

@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Actor Array Artifact Bytecode Format Gpu Lime_ir List Metrics Option Rtl Scheduler Store Substitute Wire

@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Bytecode Gpu Lime_ir Metrics Store Substitute Wire

@@ -1,0 +1,1 @@
+lib/runtime/metrics.ml: Artifact List Wire

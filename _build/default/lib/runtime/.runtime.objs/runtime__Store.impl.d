@@ -1,0 +1,1 @@
+lib/runtime/store.ml: Artifact Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/runtime/substitute.ml: Array Artifact Lime_ir List Printf Store String

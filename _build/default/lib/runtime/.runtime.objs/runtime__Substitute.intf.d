@@ -1,0 +1,1 @@
+lib/runtime/substitute.mli: Artifact Lime_ir Store

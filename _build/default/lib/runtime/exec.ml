@@ -1,0 +1,428 @@
+module Ir = Lime_ir.Ir
+module I = Lime_ir.Interp
+module V = Wire.Value
+module Codec = Wire.Codec
+module Boundary = Wire.Boundary
+
+exception Engine_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
+
+type t = {
+  unit_ : Bytecode.Compile.unit_;
+  store_ : Store.t;
+  mutable policy_ : Substitute.policy;
+  gpu_device : Gpu.Device.t;
+  fpga_clock_ns : int;
+  fifo_capacity : int;
+  metrics_ : Metrics.t;
+  model_divergence : bool;
+  chunk_elements : int option;
+      (** device-launch granularity; [None] batches the whole stream *)
+  mutable last_plan_ : string option;
+}
+
+let create ?(policy = Substitute.Prefer_accelerators)
+    ?(gpu_device = Gpu.Device.gtx580) ?(fpga_clock_ns = 4)
+    ?(fifo_capacity = 16) ?boundary ?(model_divergence = true) ?chunk_elements
+    unit_ store_ =
+  {
+    unit_;
+    store_;
+    policy_ = policy;
+    gpu_device;
+    fpga_clock_ns;
+    fifo_capacity;
+    metrics_ = Metrics.create ?boundary ();
+    model_divergence;
+    chunk_elements;
+    last_plan_ = None;
+  }
+
+let set_policy t p = t.policy_ <- p
+let policy t = t.policy_
+let metrics t = t.metrics_
+let store t = t.store_
+let program t = t.unit_.Bytecode.Compile.u_program
+let last_plan t = t.last_plan_
+
+(* --- wire helpers ---------------------------------------------------- *)
+
+let rec wire_ty_of_value (v : V.t) : Codec.ty =
+  match v with
+  | V.Unit -> Codec.W_unit
+  | V.Bool _ -> Codec.W_bool
+  | V.Int _ -> Codec.W_int
+  | V.Float _ -> Codec.W_float
+  | V.Bit _ -> Codec.W_bit
+  | V.Enum { enum; _ } -> Codec.W_enum enum
+  | V.Bits _ -> Codec.W_bits
+  | V.Int_array _ -> Codec.W_array Codec.W_int
+  | V.Float_array _ -> Codec.W_array Codec.W_float
+  | V.Bool_array _ -> Codec.W_array Codec.W_bool
+  | V.Array [||] -> Codec.W_array Codec.W_int
+  | V.Array a -> (
+    match wire_ty_of_value a.(0) with
+    | Codec.W_bit -> Codec.W_bits_boxed
+    | elt -> Codec.W_array elt)
+  | V.Tuple vs -> Codec.W_tuple (List.map wire_ty_of_value vs)
+
+let pack_stream (elt : Ir.ty) (xs : V.t list) : V.t =
+  let n = List.length xs in
+  let arr = I.new_array elt n in
+  List.iteri (fun i x -> I.array_set arr i x) xs;
+  I.freeze arr
+
+let unpack_stream (v : V.t) : V.t list =
+  List.init (I.array_length v) (fun i -> I.array_get v i)
+
+(* --- device dispatch -------------------------------------------------- *)
+
+(* Ship a value to the device through the full Figure-3 path and hand
+   back the device-side copy. *)
+let ship_to_device ?boundary t (v : V.t) : V.t =
+  let b = Option.value boundary ~default:(Metrics.boundary t.metrics_) in
+  let ty = wire_ty_of_value v in
+  let native = Boundary.to_device b ty v in
+  Boundary.Native.to_value native
+
+(* Mirror path: pack the device result densely, cross, deserialize. *)
+let ship_to_host ?boundary t (v : V.t) : V.t =
+  let b = Option.value boundary ~default:(Metrics.boundary t.metrics_) in
+  let ty = wire_ty_of_value v in
+  let native = Boundary.native_of_value ty v in
+  Boundary.to_host b native
+
+let gpu_allowed t =
+  List.mem Artifact.Gpu (Substitute.device_order t.policy_)
+
+let run_gpu_map t (site : Ir.map_site) (args : I.v list) : I.v =
+  let host_args = List.map I.prim_exn args in
+  let dev_args = List.map (ship_to_device t) host_args in
+  let result, timing =
+    Gpu.Simt.run_map ~device:t.gpu_device
+      ~model_divergence:t.model_divergence (program t) site dev_args
+  in
+  Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
+  Metrics.add_substitution t.metrics_ site.map_uid Artifact.Gpu;
+  I.Prim (ship_to_host t result)
+
+let run_gpu_reduce t (site : Ir.reduce_site) (arg : I.v) : I.v =
+  let dev_arg = ship_to_device t (I.prim_exn arg) in
+  let result, timing =
+    Gpu.Simt.run_reduce ~device:t.gpu_device
+      ~model_divergence:t.model_divergence (program t) site dev_arg
+  in
+  Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
+  Metrics.add_substitution t.metrics_ site.red_uid Artifact.Gpu;
+  I.Prim (ship_to_host t result)
+
+(* --- task-graph co-execution ------------------------------------------ *)
+
+(* Pair each template node with its dynamic operands. *)
+let bind_operands (template : Ir.graph_template) (ops : I.v list) =
+  let take k ops =
+    let rec go k acc = function
+      | rest when k = 0 -> List.rev acc, rest
+      | x :: rest -> go (k - 1) (x :: acc) rest
+      | [] -> fail "graph template operand underflow"
+    in
+    go k [] ops
+  in
+  let nodes, rest =
+    List.fold_left
+      (fun (acc, ops) node ->
+        let mine, ops = take (Ir.tnode_operand_count node) ops in
+        (node, mine) :: acc, ops)
+      ([], ops) template.Ir.gt_nodes
+  in
+  if rest <> [] then fail "graph template operand overflow";
+  List.rev nodes
+
+type bound_graph = {
+  bg_source : V.t;  (* source array *)
+  bg_rate : int;
+  bg_filters : (Ir.filter_info * I.v option) list;
+  bg_sink : V.t;  (* destination array *)
+}
+
+let bound_graph_of template ops : bound_graph =
+  match bind_operands template ops with
+  | (Ir.N_source _, [ arr; rate ]) :: rest -> (
+    let rate = match I.prim_exn rate with V.Int r -> r | _ -> 1 in
+    let rec split fs = function
+      | [ (Ir.N_sink _, [ dest ]) ] -> List.rev fs, dest
+      | (Ir.N_filter f, []) :: rest -> split ((f, None) :: fs) rest
+      | (Ir.N_filter f, [ recv ]) :: rest -> split ((f, Some recv) :: fs) rest
+      | _ -> fail "malformed graph template"
+    in
+    let fs, dest = split [] rest in
+    {
+      bg_source = I.prim_exn arr;
+      bg_rate = rate;
+      bg_filters = fs;
+      bg_sink = I.prim_exn dest;
+    })
+  | _ -> fail "malformed graph template"
+
+let filter_fn_key (f : Ir.filter_info) =
+  match f.target with
+  | Ir.F_static key -> key
+  | Ir.F_instance (cls, m) -> cls ^ "." ^ m
+
+(* One bytecode filter actor: every element application is a VM call,
+   charged to the CPU model. *)
+let bytecode_filter_actor t ((f : Ir.filter_info), receiver) inp out =
+  let key = filter_fn_key f in
+  let apply x =
+    let args =
+      match receiver with
+      | Some r -> [ r; I.Prim x ]
+      | None -> [ I.Prim x ]
+    in
+    let r = Bytecode.Vm.run t.unit_ key args in
+    Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
+    I.prim_exn r.Bytecode.Vm.value
+  in
+  Actor.filter ~name:("bc:" ^ f.uid) ~f:apply inp out
+
+(* A GPU-substituted segment: batch the stream across the boundary and
+   run the fused elementwise kernel. *)
+let gpu_segment_actor t (artifact : Artifact.gpu_artifact)
+    (filters : (Ir.filter_info * I.v option) list) inp out =
+  let chain_filters =
+    match artifact.ga_kind with
+    | Artifact.G_filter_chain fs -> fs
+    | Artifact.G_map _ | Artifact.G_reduce _ ->
+      fail "artifact %s is not a filter chain" artifact.ga_uid
+  in
+  let chain = List.map filter_fn_key chain_filters in
+  let input_ty = (List.hd chain_filters).Ir.input in
+  let output_ty =
+    (List.nth chain_filters (List.length chain_filters - 1)).Ir.output
+  in
+  let launch xs =
+    let packed = pack_stream input_ty xs in
+    let dev_input = ship_to_device t packed in
+    let result, timing =
+      Gpu.Simt.run_filter_chain ~device:t.gpu_device
+        ~model_divergence:t.model_divergence (program t) ~chain ~output_ty
+        dev_input
+    in
+    Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
+    unpack_stream (ship_to_host t result)
+  in
+  ignore filters;
+  Actor.device_segment ?chunk:t.chunk_elements
+    ~name:("gpu:" ^ artifact.ga_uid) ~launch inp out
+
+(* An FPGA-substituted segment: synthesize the pipeline (stateful
+   receivers become register files) and run it in the RTL simulator. *)
+let fpga_segment_actor t (artifact : Artifact.fpga_artifact)
+    (filters : (Ir.filter_info * I.v option) list) inp out =
+  let launch xs =
+    let pipeline =
+      Rtl.Synth.pipeline_of_chain (program t) ~name:artifact.fa_uid
+        ~fifo_depth:t.fifo_capacity filters
+    in
+    let input_ty = Rtl.Netlist.input_ty pipeline in
+    let packed = pack_stream input_ty xs in
+    let dev_input = unpack_stream (ship_to_device t packed) in
+    let outputs, stats = Rtl.Sim.run (program t) pipeline dev_input in
+    Metrics.add_fpga_run t.metrics_ ~cycles:stats.Rtl.Sim.cycles
+      ~ns:(float_of_int (stats.Rtl.Sim.cycles * t.fpga_clock_ns));
+    let out_packed = pack_stream (Rtl.Netlist.output_ty pipeline) outputs in
+    unpack_stream (ship_to_host t out_packed)
+  in
+  Actor.device_segment ?chunk:t.chunk_elements
+    ~name:("fpga:" ^ artifact.fa_uid) ~launch inp out
+
+(* A native-substituted segment: the chain runs as a compiled shared
+   library loaded into the process (paper section 5). Functionally the
+   code is the same bytecode (identical results); the cost model
+   charges the compiled-C rate, and marshaling crosses the cheap
+   JNI-only boundary rather than PCIe. *)
+let native_segment_actor t (artifact : Artifact.native_artifact)
+    (filters : (Ir.filter_info * I.v option) list) inp out =
+  let nb = Metrics.native_boundary t.metrics_ in
+  let input_ty = (List.hd artifact.na_filters).Ir.input in
+  let output_ty =
+    (List.nth artifact.na_filters (List.length artifact.na_filters - 1))
+      .Ir.output
+  in
+  let launch xs =
+    let packed = pack_stream input_ty xs in
+    let dev_input = unpack_stream (ship_to_device ~boundary:nb t packed) in
+    let apply x ((f : Ir.filter_info), receiver) =
+      let args =
+        match receiver with
+        | Some r -> [ r; I.Prim x ]
+        | None -> [ I.Prim x ]
+      in
+      let r = Bytecode.Vm.run t.unit_ (filter_fn_key f) args in
+      Metrics.add_native_instructions t.metrics_ r.Bytecode.Vm.executed;
+      I.prim_exn r.Bytecode.Vm.value
+    in
+    let outputs =
+      List.map (fun x -> List.fold_left apply x filters) dev_input
+    in
+    unpack_stream (ship_to_host ~boundary:nb t (pack_stream output_ty outputs))
+  in
+  Actor.device_segment ?chunk:t.chunk_elements
+    ~name:("native:" ^ artifact.na_uid) ~launch inp out
+
+(* Cost model for adaptive placement (paper section 7, future work:
+   "runtime introspection and adaptation of the task-graph partitioning
+   so that tasks run where they are best suited"). Static code size
+   stands in for per-element dynamic instructions; [n] is the observed
+   stream length. *)
+let estimate_cost t ~n (artifact : Artifact.t option)
+    (chain : Ir.filter_info list) : float =
+  let nf = float_of_int n in
+  let chain_insns =
+    List.fold_left
+      (fun acc f ->
+        match Ir.String_map.find_opt (filter_fn_key f) t.unit_.Bytecode.Compile.u_funcs with
+        | Some code -> acc + Array.length code.Bytecode.Compile.c_insns
+        | None -> acc + 16)
+      0 chain
+    |> float_of_int
+  in
+  let elem_bytes = 4.0 in
+  match artifact with
+  | None ->
+    (* interpreted bytecode, no boundary *)
+    nf *. chain_insns *. 6.0
+  | Some (Artifact.Native_binary _) ->
+    let b = Metrics.native_boundary t.metrics_ in
+    (2.0 *. Boundary.transfer_ns b (int_of_float (nf *. elem_bytes)))
+    +. (nf *. chain_insns *. 0.75)
+  | Some (Artifact.Gpu_kernel _) ->
+    let b = Metrics.boundary t.metrics_ in
+    let lanes = float_of_int (Gpu.Device.total_lanes t.gpu_device) in
+    (2.0 *. Boundary.transfer_ns b (int_of_float (nf *. elem_bytes)))
+    +. t.gpu_device.Gpu.Device.launch_overhead_ns
+    +. Gpu.Device.cycles_to_ns t.gpu_device (nf *. chain_insns /. lanes)
+  | Some (Artifact.Fpga_module _) ->
+    let b = Metrics.boundary t.metrics_ in
+    (* ~3 cycles per element per unpipelined stage, pipelined overlap *)
+    let cycles = nf *. 3.0 +. (3.0 *. float_of_int (List.length chain)) in
+    (2.0 *. Boundary.transfer_ns b (int_of_float (nf *. elem_bytes)))
+    +. (cycles *. float_of_int t.fpga_clock_ns)
+
+let run_bound_graph t (bg : bound_graph) : unit =
+  let filters_info = List.map fst bg.bg_filters in
+  let n = I.array_length bg.bg_source in
+  let plan =
+    match t.policy_ with
+    | Substitute.Adaptive ->
+      Substitute.plan_adaptive ~cost:(estimate_cost t ~n) t.store_ filters_info
+    | _ -> Substitute.plan t.policy_ t.store_ filters_info
+  in
+  t.last_plan_ <- Some (Substitute.describe_plan plan);
+  (* Record chosen substitutions. *)
+  List.iter
+    (function
+      | Substitute.S_device (a, fs) ->
+        Metrics.add_substitution t.metrics_ (Artifact.chain_uid fs)
+          (Artifact.device a)
+      | Substitute.S_bytecode _ -> ())
+    plan;
+  (* Walk the plan, consuming (filter, receiver) pairs in order. *)
+  let remaining = ref bg.bg_filters in
+  let take n =
+    let rec go n acc =
+      if n = 0 then List.rev acc
+      else
+        match !remaining with
+        | x :: rest ->
+          remaining := rest;
+          go (n - 1) (x :: acc)
+        | [] -> fail "substitution plan misaligned with graph"
+    in
+    go n []
+  in
+  let channels = ref [] in
+  let new_channel () =
+    let c = Actor.Channel.create ~capacity:t.fifo_capacity in
+    channels := c :: !channels;
+    c
+  in
+  let src_ch = new_channel () in
+  let elements = unpack_stream bg.bg_source in
+  let source = Actor.source ~name:"source" ~rate:bg.bg_rate elements src_ch in
+  let actors = ref [ source ] in
+  let cur_ch = ref src_ch in
+  List.iter
+    (fun segment ->
+      match segment with
+      | Substitute.S_bytecode fs ->
+        List.iter
+          (fun f_info ->
+            let pair = List.hd (take 1) in
+            ignore f_info;
+            let out = new_channel () in
+            actors := bytecode_filter_actor t pair !cur_ch out :: !actors;
+            cur_ch := out)
+          fs
+      | Substitute.S_device (Artifact.Gpu_kernel g, fs) ->
+        let pairs = take (List.length fs) in
+        let out = new_channel () in
+        actors := gpu_segment_actor t g pairs !cur_ch out :: !actors;
+        cur_ch := out
+      | Substitute.S_device (Artifact.Fpga_module f, fs) ->
+        let pairs = take (List.length fs) in
+        let out = new_channel () in
+        actors := fpga_segment_actor t f pairs !cur_ch out :: !actors;
+        cur_ch := out
+      | Substitute.S_device (Artifact.Native_binary n, fs) ->
+        let pairs = take (List.length fs) in
+        let out = new_channel () in
+        actors := native_segment_actor t n pairs !cur_ch out :: !actors;
+        cur_ch := out)
+    plan;
+  let sink = Actor.sink ~name:"sink" bg.bg_sink !cur_ch in
+  actors := sink :: !actors;
+  ignore (Scheduler.run (List.rev !actors))
+
+(* --- VM hooks ---------------------------------------------------------- *)
+
+let hooks t : Bytecode.Vm.hooks =
+  {
+    Bytecode.Vm.on_map =
+      (fun desc args ->
+        if not (gpu_allowed t) then None
+        else
+          match
+            Store.find_on t.store_ ~uid:desc.Bytecode.Insn.bm_uid
+              ~device:Artifact.Gpu
+          with
+          | Some (Artifact.Gpu_kernel { ga_kind = Artifact.G_map site; _ }) ->
+            Some (run_gpu_map t site args)
+          | Some _ | None -> None);
+    on_reduce =
+      (fun desc arg ->
+        if not (gpu_allowed t) then None
+        else
+          match
+            Store.find_on t.store_ ~uid:desc.Bytecode.Insn.br_uid
+              ~device:Artifact.Gpu
+          with
+          | Some (Artifact.Gpu_kernel { ga_kind = Artifact.G_reduce site; _ })
+            ->
+            Some (run_gpu_reduce t site arg)
+          | Some _ | None -> None);
+    on_run_graph =
+      Some
+        (fun template ops ~blocking ->
+          (* start() and finish() both run the graph to completion in
+             this cooperative runtime; see DESIGN.md section 5. *)
+          ignore blocking;
+          run_bound_graph t (bound_graph_of template ops);
+          true);
+  }
+
+let call t key args =
+  let r = Bytecode.Vm.run ~hooks:(hooks t) t.unit_ key args in
+  Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
+  r.Bytecode.Vm.value

@@ -1,0 +1,49 @@
+module Ir = Lime_ir.Ir
+module I = Lime_ir.Interp
+
+(** The co-execution engine: the externally visible face of the
+    Liquid Metal runtime.
+
+    [call] runs a host method on the bytecode VM with hooks installed
+    so that task graphs, map sites and reduce sites consult the
+    artifact store, perform task substitution under the current
+    {!Substitute.policy}, marshal values across the host/device
+    boundary (Figure 3), and dispatch to the GPU and FPGA substrates.
+    Everything is accounted in {!Metrics}. *)
+
+type t
+
+val create :
+  ?policy:Substitute.policy ->
+  ?gpu_device:Gpu.Device.t ->
+  ?fpga_clock_ns:int ->
+  ?fifo_capacity:int ->
+  ?boundary:Wire.Boundary.t ->
+  ?model_divergence:bool ->
+  ?chunk_elements:int ->
+  Bytecode.Compile.unit_ ->
+  Store.t ->
+  t
+(** Defaults: [Prefer_accelerators], GTX580-class GPU, 4ns FPGA clock
+    (250 MHz), FIFO capacity 16, divergence modeling on,
+    whole-stream device batching ([chunk_elements] bounds the staging
+    buffer and launches the device every that-many elements). *)
+
+val call : t -> string -> I.v list -> I.v
+(** Run a host method end to end under the engine's policy. *)
+
+val set_policy : t -> Substitute.policy -> unit
+val policy : t -> Substitute.policy
+val metrics : t -> Metrics.t
+val store : t -> Store.t
+val program : t -> Ir.program
+
+val last_plan : t -> string option
+(** Human-readable description of the substitution plan chosen for the
+    most recently executed task graph. *)
+
+(** {2 Wire-format helpers} (exposed for the benches and tests) *)
+
+val wire_ty_of_value : Wire.Value.t -> Wire.Codec.ty
+val pack_stream : Ir.ty -> Wire.Value.t list -> Wire.Value.t
+val unpack_stream : Wire.Value.t -> Wire.Value.t list

@@ -1,0 +1,46 @@
+(** Execution metrics and the cost models.
+
+    Everything the evaluation needs: VM and native instruction counts,
+    device kernel times, marshaling traffic on both boundaries
+    (PCIe-class for accelerators, JNI-only for native shared
+    libraries), and the substitutions that were performed. *)
+
+type snapshot = {
+  vm_instructions : int;
+  native_instructions : int;
+      (** instructions executed inside native (compiled C) segments *)
+  native_ns : float;  (** those instructions under the native cost model *)
+  gpu_kernels : int;
+  gpu_kernel_ns : float;
+  fpga_runs : int;
+  fpga_cycles : int;
+  fpga_ns : float;
+  marshal : Wire.Boundary.stats;  (** the accelerator (PCIe-class) boundary *)
+  marshal_native : Wire.Boundary.stats;  (** the JNI-only boundary *)
+  substitutions : (string * Artifact.device) list;
+      (** chain uid, chosen device — in execution order *)
+}
+
+type t
+
+val create : ?boundary:Wire.Boundary.t -> unit -> t
+val add_vm_instructions : t -> int -> unit
+val add_native_instructions : t -> int -> unit
+val add_gpu_kernel : t -> ns:float -> unit
+val add_fpga_run : t -> cycles:int -> ns:float -> unit
+val add_substitution : t -> string -> Artifact.device -> unit
+val boundary : t -> Wire.Boundary.t
+val native_boundary : t -> Wire.Boundary.t
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val cpu_ns_per_instruction : float
+(** ~6ns: a ~2GHz core spending a dozen cycles per interpreted
+    bytecode instruction — the paper's JVM execution regime. *)
+
+val native_ns_per_instruction : float
+(** ~0.75ns: the same operation compiled to native code. *)
+
+val modeled_cpu_ns : t -> float
+val modeled_accelerator_ns : t -> float
+(** Device kernels + native execution + all boundary transfers. *)

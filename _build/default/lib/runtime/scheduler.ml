@@ -1,0 +1,48 @@
+(* The cooperative task scheduler.
+
+   Steps every live actor in round-robin order; a round in which no
+   actor progresses and none finished means the graph is wedged
+   (a cycle of full/empty queues), which is reported rather than
+   spinning forever. *)
+
+exception Deadlock of string
+
+type stats = {
+  rounds : int;  (** scheduling rounds until quiescence *)
+  steps : int;  (** total actor steps taken *)
+  blocked_steps : int;  (** steps that found the actor blocked *)
+}
+
+let run (actors : Actor.t list) : stats =
+  let live = ref actors in
+  let rounds = ref 0 in
+  let steps = ref 0 in
+  let blocked = ref 0 in
+  while !live <> [] do
+    incr rounds;
+    let progressed = ref false in
+    let still_live =
+      List.filter
+        (fun (a : Actor.t) ->
+          incr steps;
+          match a.step () with
+          | Actor.Progress ->
+            progressed := true;
+            true
+          | Actor.Blocked ->
+            incr blocked;
+            true
+          | Actor.Done ->
+            progressed := true;
+            false)
+        !live
+    in
+    live := still_live;
+    if (not !progressed) && !live <> [] then
+      raise
+        (Deadlock
+           (Printf.sprintf "task graph wedged; blocked actors: %s"
+              (String.concat ", "
+                 (List.map (fun (a : Actor.t) -> a.name) !live))))
+  done;
+  { rounds = !rounds; steps = !steps; blocked_steps = !blocked }

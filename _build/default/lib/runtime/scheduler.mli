@@ -1,0 +1,15 @@
+(** The cooperative task scheduler.
+
+    Steps every live actor round-robin until all have finished. A full
+    round in which nothing progresses is a wedged graph (a cycle of
+    full/empty queues) and raises {!Deadlock} instead of spinning. *)
+
+exception Deadlock of string
+
+type stats = {
+  rounds : int;  (** scheduling rounds until quiescence *)
+  steps : int;  (** total actor steps taken *)
+  blocked_steps : int;  (** steps that found the actor blocked *)
+}
+
+val run : Actor.t list -> stats

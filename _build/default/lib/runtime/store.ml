@@ -1,0 +1,42 @@
+(* The artifact store.
+
+   "the unique identifiers of tasks, which are stored in the task
+   runtime objects, can be looked up efficiently in the artifact store
+   populated by the backends" (paper section 4.2). *)
+
+type t = {
+  by_uid : (string, Artifact.t list) Hashtbl.t;
+  mutable manifest : Artifact.manifest;
+}
+
+let create () =
+  { by_uid = Hashtbl.create 64; manifest = { entries = []; exclusions = [] } }
+
+let add t artifact =
+  let uid = Artifact.uid artifact in
+  let existing = Option.value (Hashtbl.find_opt t.by_uid uid) ~default:[] in
+  Hashtbl.replace t.by_uid uid (artifact :: existing);
+  t.manifest <-
+    {
+      t.manifest with
+      entries = t.manifest.entries @ [ Artifact.manifest_entry_of artifact ];
+    }
+
+let record_exclusion t ~uid ~device ~reason =
+  t.manifest <-
+    {
+      t.manifest with
+      exclusions =
+        t.manifest.exclusions
+        @ [ { Artifact.ex_uid = uid; ex_device = device; ex_reason = reason } ];
+    }
+
+let find t ~uid = Option.value (Hashtbl.find_opt t.by_uid uid) ~default:[]
+
+let find_on t ~uid ~device =
+  List.find_opt (fun a -> Artifact.device a = device) (find t ~uid)
+
+let manifest t = t.manifest
+
+let artifact_count t =
+  Hashtbl.fold (fun _ l acc -> acc + List.length l) t.by_uid 0

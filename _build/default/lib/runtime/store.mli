@@ -1,0 +1,23 @@
+(** The artifact store (paper section 4.2).
+
+    Task UIDs "can be looked up efficiently in the artifact store
+    populated by the backends"; the store also accumulates the
+    manifest, including per-backend exclusions. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Artifact.t -> unit
+(** Register an artifact and append it to the manifest. *)
+
+val record_exclusion :
+  t -> uid:string -> device:Artifact.device -> reason:string -> unit
+
+val find : t -> uid:string -> Artifact.t list
+(** Every implementation of a task UID, newest first. *)
+
+val find_on : t -> uid:string -> device:Artifact.device -> Artifact.t option
+
+val manifest : t -> Artifact.manifest
+val artifact_count : t -> int

@@ -1,0 +1,157 @@
+module Ir = Lime_ir.Ir
+
+(* Task substitution.
+
+   "For each task (sub)graph that has an alternative implementation,
+   the runtime is in a position to perform a substitution. At present,
+   the runtime algorithm for doing this substitution is primitive: it
+   prefers a larger substitution to a smaller one. It also favors GPU
+   and FPGA artifacts to bytecode although that choice can be manually
+   directed as well." (paper section 4.2) *)
+
+type policy =
+  | Bytecode_only  (** manual direction: never substitute *)
+  | Prefer_accelerators
+      (** the paper's default: largest substitution first, accelerator
+          over bytecode, GPU preferred over FPGA when both exist *)
+  | Prefer_devices of Artifact.device list
+      (** manual direction of the device preference order *)
+  | Smallest_substitution
+      (** ablation A1: only single-filter substitutions *)
+  | Adaptive
+      (** the paper's future work (section 7): pick the placement with
+          the lowest estimated end-to-end cost for the observed stream
+          length, instead of a fixed device preference *)
+
+let device_order = function
+  | Bytecode_only -> []
+  | Prefer_accelerators ->
+    (* "It also favors GPU and FPGA artifacts to bytecode" (section
+       4.2); native shared libraries beat interpretation but lose to
+       the accelerators. *)
+    [ Artifact.Gpu; Artifact.Fpga; Artifact.Native ]
+  | Prefer_devices ds -> List.filter (fun d -> d <> Artifact.Cpu) ds
+  | Smallest_substitution | Adaptive ->
+    [ Artifact.Gpu; Artifact.Fpga; Artifact.Native ]
+
+(* An execution segment: a maximal run of filters with one chosen
+   implementation. *)
+type segment =
+  | S_bytecode of Ir.filter_info list
+  | S_device of Artifact.t * Ir.filter_info list
+
+let segment_filters = function S_bytecode fs | S_device (_, fs) -> fs
+
+(* Choose implementations for the filter chain of one task graph.
+   Greedy left-to-right: at each relocatable filter, try the longest
+   chain with an artifact on the most preferred device. *)
+let plan (policy : policy) (store : Store.t) (filters : Ir.filter_info list) :
+    segment list =
+  let devices = device_order policy in
+  let filters = Array.of_list filters in
+  let n = Array.length filters in
+  let find_chain start =
+    (* Longest relocatable run [start, stop) with an artifact. *)
+    let max_len =
+      let rec run i = if i < n && filters.(i).Ir.relocatable then run (i + 1) else i in
+      run start - start
+    in
+    let try_len len =
+      if len = 0 then None
+      else
+        let chain = Array.to_list (Array.sub filters start len) in
+        let uid = Artifact.chain_uid chain in
+        let rec try_devices = function
+          | [] -> None
+          | d :: rest -> (
+            match Store.find_on store ~uid ~device:d with
+            | Some a -> Some (a, chain)
+            | None -> try_devices rest)
+        in
+        try_devices devices
+    in
+    match policy with
+    | Bytecode_only -> None
+    | Smallest_substitution -> try_len (min 1 max_len)
+    | Prefer_accelerators | Prefer_devices _ | Adaptive ->
+      let rec search len =
+        if len = 0 then None
+        else
+          match try_len len with
+          | Some r -> Some r
+          | None -> search (len - 1)
+      in
+      search max_len
+  in
+  let rec go i acc_bc acc =
+    let flush_bc acc =
+      if acc_bc = [] then acc else S_bytecode (List.rev acc_bc) :: acc
+    in
+    if i >= n then List.rev (flush_bc acc)
+    else
+      match find_chain i with
+      | Some (artifact, chain) ->
+        go (i + List.length chain) []
+          (S_device (artifact, chain) :: flush_bc acc)
+      | None -> go_bc i acc_bc acc
+  and go_bc i acc_bc acc = go_next i (filters.(i) :: acc_bc) acc
+  and go_next i acc_bc acc = go (i + 1) acc_bc acc in
+  go 0 [] []
+
+(* Adaptive planning: for every maximal relocatable run, compare the
+   estimated cost of each whole-run device artifact against staying on
+   bytecode, and keep the cheapest. [cost None fs] estimates the
+   bytecode path; [cost (Some artifact) fs] a device substitution. *)
+let plan_adaptive ~(cost : Artifact.t option -> Ir.filter_info list -> float)
+    (store : Store.t) (filters : Ir.filter_info list) : segment list =
+  let filters = Array.of_list filters in
+  let n = Array.length filters in
+  let rec go i acc_bc acc =
+    let flush_bc acc =
+      if acc_bc = [] then acc else S_bytecode (List.rev acc_bc) :: acc
+    in
+    if i >= n then List.rev (flush_bc acc)
+    else if not filters.(i).Ir.relocatable then
+      go (i + 1) (filters.(i) :: acc_bc) acc
+    else begin
+      (* the maximal relocatable run starting here *)
+      let stop =
+        let rec run j = if j < n && filters.(j).Ir.relocatable then run (j + 1) else j in
+        run i
+      in
+      let chain = Array.to_list (Array.sub filters i (stop - i)) in
+      let uid = Artifact.chain_uid chain in
+      let candidates =
+        List.filter_map
+          (fun d -> Store.find_on store ~uid ~device:d)
+          [ Artifact.Gpu; Artifact.Fpga; Artifact.Native ]
+      in
+      let best =
+        List.fold_left
+          (fun (best_cost, best) a ->
+            let c = cost (Some a) chain in
+            if c < best_cost then c, Some a else best_cost, best)
+          (cost None chain, None)
+          candidates
+        |> snd
+      in
+      match best with
+      | Some artifact ->
+        go stop [] (S_device (artifact, chain) :: flush_bc acc)
+      | None ->
+        (* bytecode wins: fall through filter by filter *)
+        go stop (List.rev_append chain acc_bc) acc
+    end
+  in
+  go 0 [] []
+
+let describe_plan (segments : segment list) =
+  String.concat " | "
+    (List.map
+       (function
+         | S_bytecode fs -> Printf.sprintf "bytecode(%d)" (List.length fs)
+         | S_device (a, fs) ->
+           Printf.sprintf "%s(%d)"
+             (Artifact.device_name (Artifact.device a))
+             (List.length fs))
+       segments)

@@ -1,0 +1,48 @@
+(** Task substitution (paper section 4.2).
+
+    "At present, the runtime algorithm for doing this substitution is
+    primitive: it prefers a larger substitution to a smaller one. It
+    also favors GPU and FPGA artifacts to bytecode although that choice
+    can be manually directed as well." All of those behaviours are
+    policies here, together with the ablation policies and the
+    section-7 adaptive extension. *)
+
+module Ir = Lime_ir.Ir
+
+type policy =
+  | Bytecode_only  (** manual direction: never substitute *)
+  | Prefer_accelerators
+      (** the paper's default: largest substitution first; GPU, then
+          FPGA, then native shared libraries *)
+  | Prefer_devices of Artifact.device list
+      (** manual direction of the device preference order *)
+  | Smallest_substitution  (** ablation A1: single-filter substitutions *)
+  | Adaptive
+      (** paper section 7 (future work): pick the placement with the
+          lowest estimated cost for the observed stream length *)
+
+val device_order : policy -> Artifact.device list
+
+(** A maximal run of consecutive filters with one chosen
+    implementation. *)
+type segment =
+  | S_bytecode of Ir.filter_info list
+  | S_device of Artifact.t * Ir.filter_info list
+
+val segment_filters : segment -> Ir.filter_info list
+
+val plan : policy -> Store.t -> Ir.filter_info list -> segment list
+(** Choose implementations for a task graph's filter chain, greedy
+    left-to-right. Non-relocatable filters always stay on bytecode. *)
+
+val plan_adaptive :
+  cost:(Artifact.t option -> Ir.filter_info list -> float) ->
+  Store.t ->
+  Ir.filter_info list ->
+  segment list
+(** Adaptive planning: per maximal relocatable run, compare the
+    estimated cost of each whole-run device artifact against bytecode
+    ([cost None]) and keep the cheapest. *)
+
+val describe_plan : segment list -> string
+(** e.g. ["bytecode(1) | gpu(2)"]. *)

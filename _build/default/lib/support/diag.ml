@@ -1,0 +1,36 @@
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  loc : Srcloc.t;
+  phase : string;
+  message : string;
+}
+
+exception Compile_error of t
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp ppf t =
+  Format.fprintf ppf "%a: %s: [%s] %s" Srcloc.pp t.loc
+    (severity_label t.severity)
+    t.phase t.message
+
+let to_string t = Format.asprintf "%a" pp t
+
+let errorf ?(loc = Srcloc.dummy) ~phase message =
+  raise (Compile_error { severity = Error; loc; phase; message })
+
+let error ?(loc = Srcloc.dummy) ~phase fmt =
+  Format.kasprintf (fun message -> errorf ~loc ~phase message) fmt
+
+let warning ?(loc = Srcloc.dummy) ~phase message =
+  { severity = Warning; loc; phase; message }
+
+let () =
+  Printexc.register_printer (function
+    | Compile_error t -> Some (to_string t)
+    | _ -> None)

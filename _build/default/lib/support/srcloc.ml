@@ -1,0 +1,11 @@
+type t = { file : string; line : int; col : int; start : int; stop : int }
+
+let dummy = { file = "<none>"; line = 0; col = 0; start = 0; stop = 0 }
+
+let make ~file ~line ~col ~start ~stop = { file; line; col; start; stop }
+
+let merge a b = { a with stop = max a.stop b.stop }
+
+let pp ppf t = Format.fprintf ppf "%s:%d:%d" t.file t.line t.col
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,27 @@
+(** Source locations for Lime programs.
+
+    A location identifies a half-open character span [(start, stop)]
+    within a named compilation unit, together with line/column of the
+    start for human-readable messages. *)
+
+type t = {
+  file : string;  (** compilation-unit name, e.g. ["Bitflip.lime"] *)
+  line : int;     (** 1-based line of the span start *)
+  col : int;      (** 1-based column of the span start *)
+  start : int;    (** 0-based character offset of the span start *)
+  stop : int;     (** 0-based character offset just past the span end *)
+}
+
+val dummy : t
+(** Placeholder location for synthesized nodes. *)
+
+val make : file:string -> line:int -> col:int -> start:int -> stop:int -> t
+
+val merge : t -> t -> t
+(** [merge a b] spans from the start of [a] to the end of [b];
+    the file and line/column are taken from [a]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["file:line:col"]. *)
+
+val to_string : t -> string

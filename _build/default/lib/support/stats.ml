@@ -1,0 +1,73 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let summarize = function
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | xs ->
+    let count = List.length xs in
+    let n = float_of_int count in
+    let mean = List.fold_left ( +. ) 0.0 xs /. n in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n
+    in
+    {
+      count;
+      mean;
+      stddev = sqrt var;
+      min = List.fold_left min infinity xs;
+      max = List.fold_left max neg_infinity xs;
+    }
+
+let geomean = function
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | xs ->
+    if List.exists (fun x -> x <= 0.0) xs then
+      invalid_arg "Stats.geomean: non-positive entry";
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+module Table = struct
+  type t = { columns : string list; mutable rows : string list list }
+
+  let create ~columns = { columns; rows = [] }
+
+  let add_row t row =
+    if List.length row <> List.length t.columns then
+      invalid_arg "Stats.Table.add_row: column count mismatch";
+    t.rows <- row :: t.rows
+
+  let render t =
+    let rows = List.rev t.rows in
+    let widths =
+      List.mapi
+        (fun i col ->
+          List.fold_left
+            (fun w row -> max w (String.length (List.nth row i)))
+            (String.length col) rows)
+        t.columns
+    in
+    let buf = Buffer.create 256 in
+    let pad s w = s ^ String.make (w - String.length s) ' ' in
+    let emit_row cells =
+      List.iteri
+        (fun i cell ->
+          if i > 0 then Buffer.add_string buf "  ";
+          Buffer.add_string buf (pad cell (List.nth widths i)))
+        cells;
+      Buffer.add_char buf '\n'
+    in
+    emit_row t.columns;
+    List.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n';
+    List.iter emit_row rows;
+    Buffer.contents buf
+end

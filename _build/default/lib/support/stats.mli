@@ -1,0 +1,29 @@
+(** Running summary statistics and fixed-format result tables.
+
+    The benchmark harness prints paper-style tables; keeping the layout
+    code here keeps `bench/main.ml` about experiments, not formatting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; [Invalid_argument] on empty input or non-positive
+    entries. *)
+
+(** Fixed-width text tables. *)
+module Table : sig
+  type t
+
+  val create : columns:string list -> t
+  val add_row : t -> string list -> unit
+  val render : t -> string
+  (** Renders with a header rule, columns padded to content width. *)
+end

@@ -1,0 +1,76 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create ?(capacity = 8) () = { data = [||]; len = -capacity }
+(* A vector starts with no storage; [len < 0] encodes the requested
+   initial capacity so we can allocate lazily on first push without a
+   dummy element. *)
+
+let length t = max t.len 0
+
+let is_empty t = length t = 0
+
+let check_bounds t i =
+  if i < 0 || i >= length t then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check_bounds t i;
+  t.data.(i)
+
+let set t i x =
+  check_bounds t i;
+  t.data.(i) <- x
+
+let grow t x =
+  let cap = if t.len < 0 then max 1 (-t.len) else max 1 (2 * Array.length t.data) in
+  let data = Array.make cap x in
+  Array.blit t.data 0 data 0 (length t);
+  t.data <- data
+
+let push t x =
+  let n = length t in
+  if n >= Array.length t.data then grow t x;
+  t.data.(n) <- x;
+  t.len <- n + 1
+
+let pop t =
+  if is_empty t then invalid_arg "Vec.pop: empty";
+  let n = t.len - 1 in
+  let x = t.data.(n) in
+  t.len <- n;
+  x
+
+let top t =
+  if is_empty t then invalid_arg "Vec.top: empty";
+  t.data.(t.len - 1)
+
+let clear t = t.len <- 0
+
+let truncate t n =
+  if n < 0 || n > length t then invalid_arg "Vec.truncate";
+  t.len <- n
+
+let iter f t =
+  for i = 0 to length t - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to length t - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to length t - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_array t = Array.sub t.data 0 (length t)
+
+let to_list t = Array.to_list (to_array t)
+
+let of_list xs =
+  let t = create () in
+  List.iter (push t) xs;
+  t

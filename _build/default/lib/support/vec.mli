@@ -1,0 +1,40 @@
+(** Growable arrays.
+
+    Used by the assembler (instruction emission), the RTL simulator
+    (signal tables) and the VM (operand stacks) where amortized O(1)
+    append plus O(1) random access matters. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element.
+    @raise Invalid_argument if empty. *)
+
+val top : 'a t -> 'a
+(** Returns the last element without removing it.
+    @raise Invalid_argument if empty. *)
+
+val clear : 'a t -> unit
+
+val truncate : 'a t -> int -> unit
+(** [truncate v n] drops elements so that [length v = n].
+    @raise Invalid_argument if [n] exceeds the current length. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t

@@ -1,0 +1,1 @@
+lib/wire/boundary.ml: Bytes Codec

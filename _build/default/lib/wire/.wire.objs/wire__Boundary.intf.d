@@ -1,0 +1,1 @@
+lib/wire/boundary.mli: Bytes Codec Value

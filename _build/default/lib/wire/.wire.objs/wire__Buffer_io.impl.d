@@ -1,0 +1,1 @@
+lib/wire/buffer_io.ml: Buffer Bytes Char Int32 Int64 Value

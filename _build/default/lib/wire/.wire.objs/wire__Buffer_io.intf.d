@@ -1,0 +1,1 @@
+lib/wire/buffer_io.mli: Bytes

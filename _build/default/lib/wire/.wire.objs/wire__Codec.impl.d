@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Array Bits Buffer_io Format List Value

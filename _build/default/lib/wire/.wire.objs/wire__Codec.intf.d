@@ -1,0 +1,1 @@
+lib/wire/codec.mli: Buffer_io Bytes Format Value

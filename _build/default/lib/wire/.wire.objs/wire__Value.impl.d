@@ -1,0 +1,1 @@
+lib/wire/value.ml: Array Bits Float Format Int32 List String

@@ -1,0 +1,77 @@
+module Native = struct
+  type t = { ty : Codec.ty; data : Bytes.t }
+
+  let ty t = t.ty
+  let data t = t.data
+  let byte_length t = Bytes.length t.data
+  let to_value t = Codec.decode_bytes t.ty t.data
+end
+
+type stats = {
+  crossings_to_device : int;
+  crossings_to_host : int;
+  bytes_to_device : int;
+  bytes_to_host : int;
+  modeled_transfer_ns : float;
+}
+
+type t = {
+  latency_ns : float;
+  bandwidth_bytes_per_ns : float;
+  mutable crossings_to_device : int;
+  mutable crossings_to_host : int;
+  mutable bytes_to_device : int;
+  mutable bytes_to_host : int;
+  mutable modeled_transfer_ns : float;
+}
+
+let create ?(latency_ns = 10_000.0) ?(bandwidth_bytes_per_ns = 8.0) () =
+  {
+    latency_ns;
+    bandwidth_bytes_per_ns;
+    crossings_to_device = 0;
+    crossings_to_host = 0;
+    bytes_to_device = 0;
+    bytes_to_host = 0;
+    modeled_transfer_ns = 0.0;
+  }
+
+let transfer_ns t bytes =
+  t.latency_ns +. (float_of_int bytes /. t.bandwidth_bytes_per_ns)
+
+let to_device t ty v =
+  (* Step 1: serialize the Lime value to a byte array. *)
+  let data = Codec.encode_bytes ty v in
+  (* Step 2: cross the JNI boundary (modeled). *)
+  let n = Bytes.length data in
+  t.crossings_to_device <- t.crossings_to_device + 1;
+  t.bytes_to_device <- t.bytes_to_device + n;
+  t.modeled_transfer_ns <- t.modeled_transfer_ns +. transfer_ns t n;
+  (* Step 3: the C side keeps the densely packed form directly. *)
+  { Native.ty; data }
+
+let native_of_value ty v = { Native.ty; data = Codec.encode_bytes ty v }
+
+let to_host t (native : Native.t) =
+  let n = Bytes.length native.data in
+  t.crossings_to_host <- t.crossings_to_host + 1;
+  t.bytes_to_host <- t.bytes_to_host + n;
+  t.modeled_transfer_ns <- t.modeled_transfer_ns +. transfer_ns t n;
+  (* Deserialize from the byte array back into a heap-resident value. *)
+  Native.to_value native
+
+let stats t =
+  {
+    crossings_to_device = t.crossings_to_device;
+    crossings_to_host = t.crossings_to_host;
+    bytes_to_device = t.bytes_to_device;
+    bytes_to_host = t.bytes_to_host;
+    modeled_transfer_ns = t.modeled_transfer_ns;
+  }
+
+let reset_stats t =
+  t.crossings_to_device <- 0;
+  t.crossings_to_host <- 0;
+  t.bytes_to_device <- 0;
+  t.bytes_to_host <- 0;
+  t.modeled_transfer_ns <- 0.0

@@ -1,0 +1,57 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 64) () = Buffer.create capacity
+  let length = Buffer.length
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let i32 t v =
+    u8 t v;
+    u8 t (v asr 8);
+    u8 t (v asr 16);
+    u8 t (v asr 24)
+
+  let i64 t v = Buffer.add_int64_le t v
+  let f32 t v = i32 t (Int32.to_int (Int32.bits_of_float v))
+  let f64 t v = i64 t (Int64.bits_of_float v)
+  let bytes t b = Buffer.add_bytes t b
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { data : Bytes.t; mutable pos : int }
+
+  exception Underflow
+
+  let of_bytes data = { data; pos = 0 }
+  let remaining t = Bytes.length t.data - t.pos
+  let pos t = t.pos
+
+  let u8 t =
+    if remaining t < 1 then raise Underflow;
+    let v = Char.code (Bytes.get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let i32 t =
+    let b0 = u8 t in
+    let b1 = u8 t in
+    let b2 = u8 t in
+    let b3 = u8 t in
+    Value.norm32 (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24))
+
+  let i64 t =
+    if remaining t < 8 then raise Underflow;
+    let v = Bytes.get_int64_le t.data t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let f32 t = Int32.float_of_bits (Int32.of_int (i32 t))
+  let f64 t = Int64.float_of_bits (i64 t)
+
+  let bytes t n =
+    if n < 0 || remaining t < n then raise Underflow;
+    let b = Bytes.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    b
+end

@@ -1,0 +1,45 @@
+(** Little-endian byte-stream writer and reader.
+
+    The runtime "adopts a universal wire format that relies only on
+    sending a byte stream" (paper section 4.3); this module is that
+    byte stream. All multi-byte quantities are little-endian. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val i32 : t -> int -> unit
+  (** Writes the low 32 bits. *)
+
+  val i64 : t -> int64 -> unit
+  val f32 : t -> float -> unit
+  (** IEEE single precision; precision beyond 32 bits is dropped,
+      matching a Java [float] on the wire. *)
+
+  val f64 : t -> float -> unit
+  val bytes : t -> Bytes.t -> unit
+  (** Raw bytes, no length prefix. *)
+
+  val contents : t -> Bytes.t
+end
+
+module Reader : sig
+  type t
+
+  exception Underflow
+  (** Raised when a read runs past the end of the stream. *)
+
+  val of_bytes : Bytes.t -> t
+  val remaining : t -> int
+  val pos : t -> int
+  val u8 : t -> int
+  val i32 : t -> int
+  (** Sign-extended to a 32-bit value. *)
+
+  val i64 : t -> int64
+  val f32 : t -> float
+  val f64 : t -> float
+  val bytes : t -> int -> Bytes.t
+end

@@ -1,0 +1,133 @@
+type ty =
+  | W_unit
+  | W_bool
+  | W_int
+  | W_float
+  | W_bit
+  | W_enum of string
+  | W_bits
+  | W_bits_boxed
+  | W_array of ty
+  | W_tuple of ty list
+
+exception Type_mismatch of { expected : ty; got : Value.t }
+
+let mismatch expected got = raise (Type_mismatch { expected; got })
+
+let rec pp_ty ppf = function
+  | W_unit -> Format.fprintf ppf "void"
+  | W_bool -> Format.fprintf ppf "boolean"
+  | W_int -> Format.fprintf ppf "int"
+  | W_float -> Format.fprintf ppf "float"
+  | W_bit -> Format.fprintf ppf "bit"
+  | W_enum name -> Format.fprintf ppf "%s" name
+  | W_bits -> Format.fprintf ppf "bit[]"
+  | W_bits_boxed -> Format.fprintf ppf "bit[](boxed)"
+  | W_array t -> Format.fprintf ppf "%a[]" pp_ty t
+  | W_tuple ts ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_ty)
+      ts
+
+let ty_to_string t = Format.asprintf "%a" pp_ty t
+
+let rec encode ty w (v : Value.t) =
+  let module W = Buffer_io.Writer in
+  match ty, v with
+  | W_unit, Unit -> ()
+  | W_bool, Bool b | W_bit, Bit b -> W.u8 w (if b then 1 else 0)
+  | W_int, Int i -> W.i32 w i
+  | W_float, Float f -> W.f32 w f
+  | W_enum _, Enum { tag; _ } -> W.i32 w tag
+  | W_bits, Bits bv ->
+    W.i32 w (Bits.Bitvec.length bv);
+    W.bytes w (Bits.Bitvec.to_packed_bytes bv)
+  | W_bits_boxed, Bits bv ->
+    let n = Bits.Bitvec.length bv in
+    W.i32 w n;
+    for i = 0 to n - 1 do
+      W.u8 w (if Bits.Bitvec.get bv i then 1 else 0)
+    done
+  | W_array W_int, Int_array a ->
+    W.i32 w (Array.length a);
+    Array.iter (W.i32 w) a
+  | W_array W_float, Float_array a ->
+    W.i32 w (Array.length a);
+    Array.iter (W.f32 w) a
+  | W_array W_bool, Bool_array a ->
+    W.i32 w (Array.length a);
+    Array.iter (fun b -> W.u8 w (if b then 1 else 0)) a
+  | W_array elt, Array a ->
+    W.i32 w (Array.length a);
+    Array.iter (encode elt w) a
+  | W_array W_bit, Bits bv -> encode W_bits_boxed w (Bits bv)
+  | W_tuple tys, Tuple vs when List.length tys = List.length vs ->
+    List.iter2 (fun ty v -> encode ty w v) tys vs
+  | ( ( W_unit | W_bool | W_int | W_float | W_bit | W_enum _ | W_bits
+      | W_bits_boxed | W_array _ | W_tuple _ ),
+      _ ) ->
+    mismatch ty v
+
+let rec decode ty r : Value.t =
+  let module R = Buffer_io.Reader in
+  match ty with
+  | W_unit -> Unit
+  | W_bool -> Bool (R.u8 r <> 0)
+  | W_bit -> Bit (R.u8 r <> 0)
+  | W_int -> Int (R.i32 r)
+  | W_float -> Float (R.f32 r)
+  | W_enum enum -> Enum { enum; tag = R.i32 r }
+  | W_bits ->
+    let len = R.i32 r in
+    let data = R.bytes r ((len + 7) / 8) in
+    Bits (Bits.Bitvec.of_packed_bytes ~length:len data)
+  | W_bits_boxed ->
+    let len = R.i32 r in
+    Bits (Bits.Bitvec.of_bool_array (Array.init len (fun _ -> R.u8 r <> 0)))
+  | W_array W_int ->
+    let n = R.i32 r in
+    Int_array (Array.init n (fun _ -> R.i32 r))
+  | W_array W_float ->
+    let n = R.i32 r in
+    Float_array (Array.init n (fun _ -> R.f32 r))
+  | W_array W_bool ->
+    let n = R.i32 r in
+    Bool_array (Array.init n (fun _ -> R.u8 r <> 0))
+  | W_array W_bit -> decode W_bits_boxed r
+  | W_array elt ->
+    let n = R.i32 r in
+    Array (Array.init n (fun _ -> decode elt r))
+  | W_tuple tys -> Tuple (List.map (fun ty -> decode ty r) tys)
+
+let encode_bytes ty v =
+  let w = Buffer_io.Writer.create () in
+  encode ty w v;
+  Buffer_io.Writer.contents w
+
+let decode_bytes ty data =
+  let r = Buffer_io.Reader.of_bytes data in
+  let v = decode ty r in
+  if Buffer_io.Reader.remaining r <> 0 then
+    failwith "Codec.decode_bytes: trailing bytes";
+  v
+
+let rec byte_size ty (v : Value.t) =
+  match ty, v with
+  | W_unit, Unit -> 0
+  | (W_bool | W_bit), (Bool _ | Bit _) -> 1
+  | (W_int | W_float | W_enum _), (Int _ | Float _ | Enum _) -> 4
+  | W_bits, Bits bv -> 4 + ((Bits.Bitvec.length bv + 7) / 8)
+  | (W_bits_boxed | W_array W_bit), Bits bv -> 4 + Bits.Bitvec.length bv
+  | W_array W_int, Int_array a -> 4 + (4 * Array.length a)
+  | W_array W_float, Float_array a -> 4 + (4 * Array.length a)
+  | W_array W_bool, Bool_array a -> 4 + Array.length a
+  | W_array elt, Array a ->
+    Array.fold_left (fun acc x -> acc + byte_size elt x) 4 a
+  | W_tuple tys, Tuple vs ->
+    List.fold_left2 (fun acc ty x -> acc + byte_size ty x) 0 tys vs
+  | ( ( W_unit | W_bool | W_int | W_float | W_bit | W_enum _ | W_bits
+      | W_bits_boxed | W_array _ | W_tuple _ ),
+      _ ) ->
+    mismatch ty v

@@ -1,0 +1,45 @@
+(** Serializers from Lime values to the universal wire format.
+
+    During task substitution "the runtime will find a custom serializer
+    based on the task I/O data type" (paper section 4.3); a {!ty} is
+    that data type and {!encode}/{!decode} are the serializer pair.
+
+    Wire layout (all little-endian):
+    - [boolean], [bit]: 1 byte (0 or 1)
+    - [int]: 4 bytes two's complement
+    - [float]: 4 bytes IEEE single
+    - enum: 4 bytes declaration-index tag
+    - [bit\[\]]: 4-byte bit count, then densely packed bytes (8 bits per
+      byte) — the packing ablated in experiment A4
+    - other arrays: 4-byte element count, then elements
+    - tuples: fields in declaration order, no header *)
+
+type ty =
+  | W_unit
+  | W_bool
+  | W_int
+  | W_float
+  | W_bit
+  | W_enum of string
+  | W_bits  (** bit array, dense packing *)
+  | W_bits_boxed  (** bit array, one byte per bit (ablation A4) *)
+  | W_array of ty
+  | W_tuple of ty list
+
+exception Type_mismatch of { expected : ty; got : Value.t }
+
+val encode : ty -> Buffer_io.Writer.t -> Value.t -> unit
+val decode : ty -> Buffer_io.Reader.t -> Value.t
+
+val encode_bytes : ty -> Value.t -> Bytes.t
+(** One-shot serialize to a fresh byte array. *)
+
+val decode_bytes : ty -> Bytes.t -> Value.t
+(** One-shot deserialize; @raise Buffer_io.Reader.Underflow or
+    [Failure] if trailing bytes remain. *)
+
+val byte_size : ty -> Value.t -> int
+(** Number of bytes {!encode} will produce, without encoding. *)
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string

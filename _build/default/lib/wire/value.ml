@@ -1,0 +1,116 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Bit of bool
+  | Enum of { enum : string; tag : int }
+  | Bits of Bits.Bitvec.t
+  | Int_array of int array
+  | Float_array of float array
+  | Bool_array of bool array
+  | Array of t array
+  | Tuple of t list
+
+let norm32 v =
+  let v = v land 0xffffffff in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let add_f32 a b = f32 (a +. b)
+let sub_f32 a b = f32 (a -. b)
+let mul_f32 a b = f32 (a *. b)
+let div_f32 a b = f32 (a /. b)
+
+let add32 a b = norm32 (a + b)
+let sub32 a b = norm32 (a - b)
+let mul32 a b = norm32 (a * b)
+
+let div32 a b =
+  if b = 0 then raise Division_by_zero;
+  (* OCaml's (/) already truncates toward zero, matching Java. *)
+  norm32 (a / b)
+
+let rem32 a b =
+  if b = 0 then raise Division_by_zero;
+  norm32 (a mod b)
+
+let shl32 a b = norm32 (a lsl (b land 31))
+
+let shr32 a b = norm32 (norm32 a asr (b land 31))
+
+let ushr32 a b = norm32 ((norm32 a land 0xffffffff) lsr (b land 31))
+
+let rec equal a b =
+  match a, b with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | Bit x, Bit y -> x = y
+  | Enum a, Enum b -> String.equal a.enum b.enum && a.tag = b.tag
+  | Bits x, Bits y -> Bits.Bitvec.equal x y
+  | Int_array x, Int_array y -> x = y
+  | Float_array x, Float_array y ->
+    Array.length x = Array.length y
+    && Array.for_all2 (fun u v -> equal (Float u) (Float v)) x y
+  | Bool_array x, Bool_array y -> x = y
+  | Array x, Array y ->
+    Array.length x = Array.length y && Array.for_all2 equal x y
+  | Tuple x, Tuple y -> List.length x = List.length y && List.for_all2 equal x y
+  | ( ( Unit | Bool _ | Int _ | Float _ | Bit _ | Enum _ | Bits _
+      | Int_array _ | Float_array _ | Bool_array _ | Array _ | Tuple _ ),
+      _ ) ->
+    false
+
+let rec pp ppf = function
+  | Unit -> Format.fprintf ppf "()"
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Bit b -> Format.fprintf ppf "%s" (if b then "one" else "zero")
+  | Enum { enum; tag } -> Format.fprintf ppf "%s.%d" enum tag
+  | Bits bv -> Bits.Bitvec.pp ppf bv
+  | Int_array a ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_array
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         Format.pp_print_int)
+      a
+  | Float_array a ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_array
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf f -> Format.fprintf ppf "%g" f))
+      a
+  | Bool_array a ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_array
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         Format.pp_print_bool)
+      a
+  | Array a ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+      a
+  | Tuple xs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      xs
+
+let to_string v = Format.asprintf "%a" pp v
+
+let type_name = function
+  | Unit -> "void"
+  | Bool _ -> "boolean"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Bit _ -> "bit"
+  | Enum { enum; _ } -> enum
+  | Bits _ -> "bit[]"
+  | Int_array _ -> "int[]"
+  | Float_array _ -> "float[]"
+  | Bool_array _ -> "boolean[]"
+  | Array _ -> "array"
+  | Tuple _ -> "tuple"

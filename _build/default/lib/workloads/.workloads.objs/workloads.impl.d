@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Array Bits Float Liquid_metal List Printf Rng String Wire

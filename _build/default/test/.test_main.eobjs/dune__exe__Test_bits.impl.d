@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Array Bits Bitvec Bytes List QCheck2 QCheck_alcotest String

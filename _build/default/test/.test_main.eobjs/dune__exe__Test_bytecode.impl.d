@@ -1,0 +1,1 @@
+test/test_bytecode.ml: Alcotest Bits Bytecode Lime_ir Lime_syntax Lime_types QCheck2 QCheck_alcotest Test_ir Test_syntax Test_types Wire

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Lime_ir Lime_syntax Lime_types Liquid_metal List Printf Runtime Support Wire Workloads

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Bytecode Gpu Lime_ir Lime_syntax Lime_types Liquid_metal List Rtl Runtime Support Test_syntax Test_types Wire

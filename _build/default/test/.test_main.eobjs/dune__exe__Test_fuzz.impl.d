@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Bytecode Lime_ir Lime_syntax Lime_types List Printf QCheck2 QCheck_alcotest String Support Wire

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array Gpu Lime_ir Lime_syntax Lime_types List QCheck2 QCheck_alcotest Test_types Wire

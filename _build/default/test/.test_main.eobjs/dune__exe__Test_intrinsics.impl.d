@@ -1,0 +1,1 @@
+test/test_intrinsics.ml: Alcotest Lime_ir Liquid_metal List Option Runtime Test_types Wire Workloads

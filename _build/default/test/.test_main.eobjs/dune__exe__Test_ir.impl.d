@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Bits Interp Ir Lime_ir Lime_syntax Lime_types List Lower Support Test_syntax Wire

@@ -1,0 +1,1 @@
+test/test_liquid_metal.ml: Alcotest Array Compiler Liquid_metal List Lm Option Runtime Test_syntax Test_types

@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Liquid_metal List Option Runtime Test_types Wire Workloads

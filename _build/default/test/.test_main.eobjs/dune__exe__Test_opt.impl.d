@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Bits Bytecode Lime_ir Lime_syntax Lime_types Lower Opt QCheck2 QCheck_alcotest Test_bytecode Test_syntax Wire

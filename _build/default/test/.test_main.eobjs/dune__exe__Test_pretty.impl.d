@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Lime_ir Lime_syntax Lime_types List Parser Pretty Printf QCheck2 QCheck_alcotest Support Test_bytecode Test_ir Test_syntax Wire Workloads

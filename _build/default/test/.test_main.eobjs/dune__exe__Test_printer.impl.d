@@ -1,0 +1,1 @@
+test/test_printer.ml: Alcotest Lime_ir Lime_syntax Lime_types List Test_syntax Test_types

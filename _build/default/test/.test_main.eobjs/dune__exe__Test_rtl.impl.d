@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Bits Char Lime_ir Lime_syntax Lime_types List QCheck2 QCheck_alcotest Rtl String Test_syntax Test_types Wire

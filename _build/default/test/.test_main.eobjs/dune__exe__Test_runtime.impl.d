@@ -1,0 +1,1 @@
+test/test_runtime.ml: Actor Alcotest Array Artifact Lime_ir List Runtime Scheduler Store Substitute Wire

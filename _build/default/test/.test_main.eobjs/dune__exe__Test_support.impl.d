@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Diag Ident List QCheck2 QCheck_alcotest Srcloc Stats String Support Test_types Vec

@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Ast Lexer Lime_syntax List Parser Printf Support Token

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Lime_syntax Lime_types List Option String Support Tast Test_syntax Typecheck

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Bits Boundary Buffer_io Bytes Codec List QCheck2 QCheck_alcotest Value Wire

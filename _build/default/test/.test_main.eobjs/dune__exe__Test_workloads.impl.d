@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Liquid_metal List Runtime Wire Workloads

@@ -1,0 +1,31 @@
+  $ cat > bitflip.lime <<'LIME'
+  > public value enum bit {
+  >   zero, one;
+  >   public bit ~ this {
+  >     return this == zero ? one : zero;
+  >   }
+  > }
+  > public class Bitflip {
+  >   local static bit flip(bit b) {
+  >     return ~b;
+  >   }
+  >   static bit[[]] taskFlip(bit[[]] input) {
+  >     bit[] result = new bit[input.length];
+  >     var flipit = input.source(1)
+  >       => ([ task flip ])
+  >       => result.<bit>sink();
+  >     flipit.finish();
+  >     return new bit[[]](result);
+  >   }
+  > }
+  > LIME
+  $ ../../bin/lmc.exe compile bitflip.lime | grep -E '^(artifacts|  \[)'
+  $ ../../bin/lmc.exe run bitflip.lime Bitflip.taskFlip 101010101b
+  $ ../../bin/lmc.exe run bitflip.lime Bitflip.taskFlip 101010101b --policy fpga
+  $ ../../bin/lmc.exe run bitflip.lime Bitflip.taskFlip 101010101b --policy bytecode
+  $ ../../bin/lmc.exe disasm bitflip.lime Bitflip.flip
+  $ ../../bin/lmc.exe compile bitflip.lime --emit out | grep wrote | sort
+  $ head -1 out/Bitflip.flip_Bitflip.taskFlip_0.cl
+  $ ../../bin/lmc.exe run bitflip.lime Bitflip.taskFlip 42
+  $ ../../bin/lmc.exe dump-ir bitflip.lime Bitflip.flip
+  $ ../../bin/lmc.exe dump-ir bitflip.lime | head -4

@@ -1,0 +1,4 @@
+  $ ../../bin/lmc.exe workloads
+  $ ../../bin/lmc.exe workloads dsp_chain --size 64 | grep -v wall
+  $ ../../bin/lmc.exe workloads dsp_chain --size 64 --policy fpga | grep -v wall
+  $ ../../bin/lmc.exe workloads nope

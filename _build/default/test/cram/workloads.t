@@ -1,0 +1,30 @@
+The benchmark suite is available from the CLI.
+
+  $ ../../bin/lmc.exe workloads
+  saxpy          y' = a*x + y over float arrays (map, bandwidth-bound)
+  dotproduct     map multiply + reduce add over float arrays
+  matmul         n x n single-precision matrix multiply (map over cells)
+  conv2d         3x3 sharpen convolution over a grayscale image (map)
+  nbody          n-body force accumulation, softened 1/d^2 (map, O(n^2))
+  blackscholes   European option pricing, Abramowitz-Stegun CND (map, transcendental)
+  mandelbrot     escape-time fractal (map, branch-divergent, compute-bound)
+  bitflip        Figure 1: bit-stream inverter task graph
+  dsp_chain      scale -> offset -> clamp integer pipeline (FPGA-ready)
+  prefix_sum     stateful running-sum filter (registers on the FPGA)
+  fir4           4-tap FIR filter, delay line in registers (FPGA stream)
+  crc8           rolling CRC-8 (poly 0x07), 8 unrolled steps (FPGA stream)
+
+Running one validates against its reference (wall time varies, so keep
+the stable lines):
+
+  $ ../../bin/lmc.exe workloads dsp_chain --size 64 | grep -v wall
+  result: validated (size 64)
+  plan: gpu(3)
+
+  $ ../../bin/lmc.exe workloads dsp_chain --size 64 --policy fpga | grep -v wall
+  result: validated (size 64)
+  plan: fpga(3)
+
+  $ ../../bin/lmc.exe workloads nope
+  unknown workload: nope
+  [1]

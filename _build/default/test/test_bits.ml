@@ -1,0 +1,140 @@
+(* Unit and property tests for the packed bit-vector substrate. *)
+
+open Bits
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let test_literal_fig1 () =
+  (* Paper section 2.2: "the bit literal 100b is a 3-bit array where
+     bit[0]=0 and bit[2]=1". *)
+  let v = Bitvec.of_literal "100" in
+  check_int "length" 3 (Bitvec.length v);
+  check_bool "bit[0]" false (Bitvec.get v 0);
+  check_bool "bit[1]" false (Bitvec.get v 1);
+  check_bool "bit[2]" true (Bitvec.get v 2)
+
+let test_literal_roundtrip () =
+  List.iter
+    (fun s -> check_string s s (Bitvec.to_literal (Bitvec.of_literal s)))
+    [ "0"; "1"; "100"; "001"; "10101010"; "111111111"; "0000000000000001" ]
+
+let test_mapflip_result () =
+  (* Elementwise flip of 100b = 011b (the paper prints 001b, an
+     erratum; see EXPERIMENTS.md). *)
+  let v = Bitvec.of_literal "100" in
+  check_string "flip" "011" (Bitvec.to_literal (Bitvec.lognot v))
+
+let test_create () =
+  let z = Bitvec.create 10 false in
+  let o = Bitvec.create 10 true in
+  check_int "popcount zeros" 0 (Bitvec.popcount z);
+  check_int "popcount ones" 10 (Bitvec.popcount o);
+  check_bool "distinct" false (Bitvec.equal z o)
+
+let test_set_functional () =
+  let v = Bitvec.create 8 false in
+  let w = Bitvec.set v 3 true in
+  check_bool "original unchanged" false (Bitvec.get v 3);
+  check_bool "copy updated" true (Bitvec.get w 3)
+
+let test_int_roundtrip () =
+  List.iter
+    (fun n -> check_int (string_of_int n) n (Bitvec.to_int (Bitvec.of_int ~width:16 n)))
+    [ 0; 1; 2; 255; 256; 65535 ]
+
+let test_of_int_truncates () =
+  check_int "truncated" 0xcd (Bitvec.to_int (Bitvec.of_int ~width:8 0xabcd))
+
+let test_concat_sub () =
+  let lo = Bitvec.of_literal "01" (* bit0=1 *) in
+  let hi = Bitvec.of_literal "10" (* bit1=1 *) in
+  let c = Bitvec.concat lo hi in
+  check_int "concat length" 4 (Bitvec.length c);
+  check_bool "bit0" true (Bitvec.get c 0);
+  check_bool "bit3" true (Bitvec.get c 3);
+  let s = Bitvec.sub c ~pos:1 ~len:2 in
+  check_int "sub length" 2 (Bitvec.length s);
+  check_bool "sub bit0 = c bit1" (Bitvec.get c 1) (Bitvec.get s 0)
+
+let test_logic_ops () =
+  let a = Bitvec.of_literal "1100" in
+  let b = Bitvec.of_literal "1010" in
+  check_string "and" "1000" (Bitvec.to_literal (Bitvec.logand a b));
+  check_string "or" "1110" (Bitvec.to_literal (Bitvec.logor a b));
+  check_string "xor" "0110" (Bitvec.to_literal (Bitvec.logxor a b))
+
+let test_packed_roundtrip_unaligned () =
+  (* 9 bits exercises the padding byte; Figure 4 drives 9 input bits. *)
+  let v = Bitvec.of_literal "101010101" in
+  let packed = Bitvec.to_packed_bytes v in
+  check_int "bytes" 2 (Bytes.length packed);
+  let w = Bitvec.of_packed_bytes ~length:9 packed in
+  check_bool "roundtrip equal" true (Bitvec.equal v w)
+
+let test_errors () =
+  Alcotest.check_raises "empty literal"
+    (Invalid_argument "Bitvec.of_literal: empty literal") (fun () ->
+      ignore (Bitvec.of_literal ""));
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Bitvec: index out of bounds") (fun () ->
+      ignore (Bitvec.get (Bitvec.create 3 false) 3));
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Bitvec.logand: width mismatch") (fun () ->
+      ignore (Bitvec.logand (Bitvec.create 3 false) (Bitvec.create 4 false)))
+
+(* Property tests *)
+
+let gen_bits =
+  QCheck2.Gen.(
+    let* len = int_range 0 200 in
+    let* bools = list_size (return len) bool in
+    return (Bitvec.of_bool_array (Array.of_list bools)))
+
+let prop_pack_roundtrip =
+  QCheck2.Test.make ~name:"bitvec: packed-bytes roundtrip" ~count:300 gen_bits
+    (fun v ->
+      Bitvec.equal v
+        (Bitvec.of_packed_bytes ~length:(Bitvec.length v)
+           (Bitvec.to_packed_bytes v)))
+
+let prop_lognot_involution =
+  QCheck2.Test.make ~name:"bitvec: lognot involution" ~count:300 gen_bits
+    (fun v -> Bitvec.equal v (Bitvec.lognot (Bitvec.lognot v)))
+
+let prop_literal_roundtrip =
+  QCheck2.Test.make ~name:"bitvec: literal roundtrip" ~count:300
+    QCheck2.Gen.(string_size ~gen:(oneofl [ '0'; '1' ]) (int_range 1 64))
+    (fun s -> String.equal s (Bitvec.to_literal (Bitvec.of_literal s)))
+
+let prop_popcount_xor_self =
+  QCheck2.Test.make ~name:"bitvec: v xor v = 0" ~count:300 gen_bits (fun v ->
+      Bitvec.popcount (Bitvec.logxor v v) = 0)
+
+let prop_concat_length =
+  QCheck2.Test.make ~name:"bitvec: concat length adds" ~count:300
+    QCheck2.Gen.(pair gen_bits gen_bits)
+    (fun (a, b) ->
+      Bitvec.length (Bitvec.concat a b) = Bitvec.length a + Bitvec.length b)
+
+let suite =
+  ( "bits",
+    [
+      Alcotest.test_case "figure-1 literal indexing" `Quick test_literal_fig1;
+      Alcotest.test_case "literal roundtrip" `Quick test_literal_roundtrip;
+      Alcotest.test_case "mapFlip(100b) bits" `Quick test_mapflip_result;
+      Alcotest.test_case "create" `Quick test_create;
+      Alcotest.test_case "functional set" `Quick test_set_functional;
+      Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+      Alcotest.test_case "of_int truncates" `Quick test_of_int_truncates;
+      Alcotest.test_case "concat and sub" `Quick test_concat_sub;
+      Alcotest.test_case "logic ops" `Quick test_logic_ops;
+      Alcotest.test_case "unaligned packing" `Quick test_packed_roundtrip_unaligned;
+      Alcotest.test_case "error cases" `Quick test_errors;
+      QCheck_alcotest.to_alcotest prop_pack_roundtrip;
+      QCheck_alcotest.to_alcotest prop_lognot_involution;
+      QCheck_alcotest.to_alcotest prop_literal_roundtrip;
+      QCheck_alcotest.to_alcotest prop_popcount_xor_self;
+      QCheck_alcotest.to_alcotest prop_concat_length;
+    ] )

@@ -1,0 +1,208 @@
+module Ir = Lime_ir.Ir
+(* Bytecode compiler + VM tests, including differential tests against
+   the reference interpreter: the two execution engines must agree
+   bit-for-bit on every program (the "functionally-equivalent
+   configurations" property of paper section 1). *)
+
+module I = Lime_ir.Interp
+module V = Wire.Value
+
+let check_int = Alcotest.(check int)
+
+let compile src =
+  Bytecode.Compile.compile_program
+    (Lime_ir.Lower.lower
+       (Lime_types.Typecheck.check (Lime_syntax.Parser.parse ~file:"t" src)))
+
+let prim v = I.Prim v
+
+let interp_value = Alcotest.testable I.pp (fun a b ->
+    match a, b with
+    | I.Prim x, I.Prim y -> V.equal x y
+    | _ -> a == b)
+
+(* Run the same entry point on the VM and the interpreter and require
+   identical results. *)
+let differential unit_ key args =
+  let vm = (Bytecode.Vm.run unit_ key args).value in
+  let ref_ = I.call unit_.Bytecode.Compile.u_program key args in
+  Alcotest.check interp_value (key ^ " (vm = interp)") ref_ vm;
+  vm
+
+let fig1 = compile Test_syntax.figure1_source
+
+let test_fig1_on_vm () =
+  let input = prim (V.Bits (Bits.Bitvec.of_literal "101010101")) in
+  (match differential fig1 "Bitflip.mapFlip" [ input ] with
+  | I.Prim (V.Bits b) ->
+    Alcotest.(check string) "mapFlip" "010101010" (Bits.Bitvec.to_literal b)
+  | v -> Alcotest.failf "got %a" I.pp v);
+  match differential fig1 "Bitflip.taskFlip" [ input ] with
+  | I.Prim (V.Bits b) ->
+    Alcotest.(check string) "taskFlip" "010101010" (Bits.Bitvec.to_literal b)
+  | v -> Alcotest.failf "got %a" I.pp v
+
+let test_sum_program () =
+  let u = compile Test_ir.sum_src in
+  let xs = prim (V.Int_array [| 5; 6; 7 |]) in
+  (match differential u "Sum.sumOfSquares" [ xs ] with
+  | I.Prim (V.Int 110) -> ()
+  | v -> Alcotest.failf "sumOfSquares: %a" I.pp v);
+  match differential u "Sum.loopSum" [ xs ] with
+  | I.Prim (V.Int 18) -> ()
+  | v -> Alcotest.failf "loopSum: %a" I.pp v
+
+let test_control_flow () =
+  let u =
+    compile
+      {|
+class C {
+  local static int collatzSteps(int n) {
+    int steps = 0;
+    while (n != 1) {
+      if (n % 2 == 0) {
+        n = n / 2;
+      } else {
+        n = 3 * n + 1;
+      }
+      steps++;
+    }
+    return steps;
+  }
+  local static int gcd(int a, int b) {
+    while (b != 0) {
+      int t = b;
+      b = a % b;
+      a = t;
+    }
+    return a;
+  }
+}
+|}
+  in
+  (match differential u "C.collatzSteps" [ prim (V.Int 27) ] with
+  | I.Prim (V.Int 111) -> ()
+  | v -> Alcotest.failf "collatz: %a" I.pp v);
+  match differential u "C.gcd" [ prim (V.Int 1071); prim (V.Int 462) ] with
+  | I.Prim (V.Int 21) -> ()
+  | v -> Alcotest.failf "gcd: %a" I.pp v
+
+let test_stateful_pipeline_on_vm () =
+  let u =
+    compile
+      {|
+class Acc {
+  int total;
+  local Acc(int start) { total = start; }
+  local int push(int x) { total += x; return total; }
+}
+class Main {
+  static int[[]] prefixSums(int[[]] xs) {
+    int[] out = new int[xs.length];
+    var acc = new Acc(0);
+    var g = xs.source(1) => ([ task acc.push ]) => out.<int>sink();
+    g.finish();
+    return new int[[]](out);
+  }
+}
+|}
+  in
+  match differential u "Main.prefixSums" [ prim (V.Int_array [| 2; 4; 8 |]) ] with
+  | I.Prim (V.Int_array [| 2; 6; 14 |]) -> ()
+  | v -> Alcotest.failf "prefixSums: %a" I.pp v
+
+let test_instruction_counting () =
+  let u =
+    compile
+      {|
+class C {
+  local static int sumTo(int n) {
+    int acc = 0;
+    for (int i = 1; i <= n; i++) {
+      acc += i;
+    }
+    return acc;
+  }
+}
+|}
+  in
+  let r10 = Bytecode.Vm.run u "C.sumTo" [ prim (V.Int 10) ] in
+  let r100 = Bytecode.Vm.run u "C.sumTo" [ prim (V.Int 100) ] in
+  (match r100.value with
+  | I.Prim (V.Int 5050) -> ()
+  | v -> Alcotest.failf "sumTo(100): %a" I.pp v);
+  Alcotest.(check bool)
+    "instruction count scales with work" true
+    (r100.executed > 5 * r10.executed);
+  check_int "deterministic count" r10.executed
+    (Bytecode.Vm.run u "C.sumTo" [ prim (V.Int 10) ]).executed
+
+let test_disassembler () =
+  let code =
+    Ir.String_map.find "Bitflip.flip" fig1.Bytecode.Compile.u_funcs
+  in
+  let text = Bytecode.Compile.disassemble code in
+  Alcotest.(check bool) "mentions call" true
+    (Test_types.contains text "call bit");
+  Alcotest.(check bool) "one-instruction body has load" true
+    (Test_types.contains text "load 0")
+
+let test_vm_errors () =
+  let u =
+    compile
+      {|
+class C {
+  local static int div(int a, int b) { return a / b; }
+}
+|}
+  in
+  (match Bytecode.Vm.run u "C.div" [ prim (V.Int 1); prim (V.Int 0) ] with
+  | exception I.Runtime_error _ -> ()
+  | exception Bytecode.Vm.Vm_error _ -> ()
+  | _ -> Alcotest.fail "expected a trap");
+  match Bytecode.Vm.run u "C.nothere" [] with
+  | exception Bytecode.Vm.Vm_error _ -> ()
+  | _ -> Alcotest.fail "expected missing-function error"
+
+(* Property: for random inputs, VM and interpreter agree on a small
+   arithmetic-heavy kernel. *)
+let mix_src =
+  {|
+class Mix {
+  local static int mix(int a, int b) {
+    int x = a ^ (b << 3);
+    x = x + (a * 7) - (b / (1 + (a & 15)));
+    if (x > 1000) {
+      x = x % 1001;
+    } else {
+      x = -x;
+    }
+    return x ^ (x >> 2);
+  }
+}
+|}
+
+let prop_vm_matches_interp =
+  let u = compile mix_src in
+  QCheck2.Test.make ~name:"vm: agrees with interpreter on Mix.mix" ~count:300
+    QCheck2.Gen.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+    (fun (a, b) ->
+      let args = [ prim (V.Int a); prim (V.Int b) ] in
+      let vm = (Bytecode.Vm.run u "Mix.mix" args).value in
+      let ref_ = I.call u.Bytecode.Compile.u_program "Mix.mix" args in
+      match vm, ref_ with
+      | I.Prim x, I.Prim y -> V.equal x y
+      | _ -> false)
+
+let suite =
+  ( "bytecode",
+    [
+      Alcotest.test_case "figure 1 on the VM" `Quick test_fig1_on_vm;
+      Alcotest.test_case "map/reduce program" `Quick test_sum_program;
+      Alcotest.test_case "control flow" `Quick test_control_flow;
+      Alcotest.test_case "stateful pipeline" `Quick test_stateful_pipeline_on_vm;
+      Alcotest.test_case "instruction counting" `Quick test_instruction_counting;
+      Alcotest.test_case "disassembler" `Quick test_disassembler;
+      Alcotest.test_case "vm traps" `Quick test_vm_errors;
+      QCheck_alcotest.to_alcotest prop_vm_matches_interp;
+    ] )

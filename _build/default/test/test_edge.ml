@@ -1,0 +1,218 @@
+(* Edge-case coverage across the stack: multiple graphs per method,
+   source rates, long pipelines, value-class declarations, parser
+   corner cases, and graph re-execution. *)
+
+module Lm = Liquid_metal.Lm
+module I = Lime_ir.Interp
+module Ir = Lime_ir.Ir
+module V = Wire.Value
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_two_graphs_in_one_method () =
+  let src =
+    {|
+class P {
+  local static int dbl(int x) { return x * 2; }
+  local static int neg(int x) { return 0 - x; }
+  static int[[]] run(int[[]] xs) {
+    int[] mid = new int[xs.length];
+    var g1 = xs.source(1) => ([ task dbl ]) => mid.<int>sink();
+    g1.finish();
+    var frozen = new int[[]](mid);
+    int[] out = new int[xs.length];
+    var g2 = frozen.source(1) => ([ task neg ]) => out.<int>sink();
+    g2.finish();
+    return new int[[]](out);
+  }
+}
+|}
+  in
+  let s = Lm.load src in
+  let r = Lm.run s "P.run" [ Lm.int_array [| 1; 2; 3 |] ] in
+  Alcotest.(check (array int)) "two graphs chained" [| -2; -4; -6 |]
+    (Lm.as_int_array r);
+  (* both graphs registered as templates with distinct UIDs *)
+  check_int "two templates" 2
+    (Ir.String_map.cardinal (Lm.program s).Ir.templates)
+
+let test_graph_reexecution () =
+  (* The same method (and so the same template) runs repeatedly with
+     fresh dynamic operands. *)
+  let s = Lm.load (Workloads.find "dsp_chain").Workloads.source in
+  List.iter
+    (fun n ->
+      let r = Lm.run s "Dsp.run" [ Lm.int_array (Array.make n 10) ] in
+      check_int (Printf.sprintf "size %d" n) n
+        (Array.length (Lm.as_int_array r)))
+    [ 1; 7; 31; 64 ]
+
+let test_source_rates () =
+  (* rate only changes chunking, never results *)
+  let src rate =
+    Printf.sprintf
+      {|
+class P {
+  local static int inc(int x) { return x + 1; }
+  static int[[]] run(int[[]] xs) {
+    int[] out = new int[xs.length];
+    var g = xs.source(%d) => ([ task inc ]) => out.<int>sink();
+    g.finish();
+    return new int[[]](out);
+  }
+}
+|}
+      rate
+  in
+  let input = Lm.int_array (Array.init 20 (fun i -> i)) in
+  let expected = Array.init 20 (fun i -> i + 1) in
+  List.iter
+    (fun rate ->
+      let s = Lm.load ~policy:Runtime.Substitute.Bytecode_only (src rate) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "rate %d" rate)
+        expected
+        (Lm.as_int_array (Lm.run s "P.run" [ input ])))
+    [ 1; 3; 16; 100 ]
+
+let test_five_stage_pipeline () =
+  let src =
+    {|
+class P {
+  local static int a(int x) { return x + 1; }
+  local static int b(int x) { return x * 2; }
+  local static int c(int x) { return x - 3; }
+  local static int d(int x) { return x ^ 5; }
+  local static int e(int x) { return x & 1023; }
+  static int[[]] run(int[[]] xs) {
+    int[] out = new int[xs.length];
+    var g = xs.source(1)
+      => ([ task a ]) => ([ task b ]) => ([ task c ]) => ([ task d ])
+      => ([ task e ])
+      => out.<int>sink();
+    g.finish();
+    return new int[[]](out);
+  }
+}
+|}
+  in
+  let model x = (((x + 1) * 2) - 3) lxor 5 land 1023 in
+  let input = [| 0; 7; 100; 999 |] in
+  List.iter
+    (fun policy ->
+      let s = Lm.load ~policy src in
+      Alcotest.(check (array int))
+        "five stages" (Array.map model input)
+        (Lm.as_int_array (Lm.run s "P.run" [ Lm.int_array input ])))
+    [
+      Runtime.Substitute.Bytecode_only;
+      Runtime.Substitute.Prefer_accelerators;
+      Runtime.Substitute.Smallest_substitution;
+    ];
+  (* the compiler generated all 15 gpu subchains of the 5-filter run *)
+  let s = Lm.load src in
+  let gpu_chains =
+    List.length
+      (List.filter
+         (fun (e : Runtime.Artifact.manifest_entry) ->
+           e.me_device = Runtime.Artifact.Gpu)
+         (Lm.manifest s).entries)
+  in
+  check_int "15 contiguous subchains" 15 gpu_chains
+
+let test_empty_stream () =
+  let s = Lm.load (Workloads.find "dsp_chain").Workloads.source in
+  let r = Lm.run s "Dsp.run" [ Lm.int_array [||] ] in
+  check_int "empty in, empty out" 0 (Array.length (Lm.as_int_array r))
+
+let test_single_element_stream () =
+  List.iter
+    (fun policy ->
+      let s = Lm.load ~policy (Workloads.find "dsp_chain").Workloads.source in
+      let r = Lm.run s "Dsp.run" [ Lm.int_array [| 40 |] ] in
+      Alcotest.(check (array int)) "one element" [| 248 |] (Lm.as_int_array r))
+    [
+      Runtime.Substitute.Bytecode_only;
+      Runtime.Substitute.Prefer_accelerators;
+      Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Fpga ];
+    ]
+
+let test_value_class_declaration () =
+  (* value classes default their methods to local *)
+  let p =
+    Lime_types.Typecheck.check
+      (Lime_syntax.Parser.parse ~file:"t"
+         {|
+value class Pairish {
+  static int mix(int a, int b) { return a * 31 + b; }
+}
+|})
+  in
+  match
+    Lime_types.Tast.find_method p { Lime_types.Tast.mclass = "Pairish"; mmethod = "mix" }
+  with
+  | Some m ->
+    check_bool "value-class method defaults to local" true m.mi_local;
+    check_bool "and is pure" true m.mi_pure
+  | None -> Alcotest.fail "method not found"
+
+let test_parser_corner_cases () =
+  let parses src =
+    match Lime_syntax.Parser.parse ~file:"t" src with
+    | _ -> true
+    | exception Support.Diag.Compile_error _ -> false
+  in
+  check_bool "comment at eof" true (parses "class C { } // trailing");
+  check_bool "nested block comment text" true
+    (parses "class C { /* a * b */ }");
+  check_bool "empty class" true (parses "class C { }");
+  check_bool "deeply nested parens" true
+    (parses
+       "class C { local static int f(int x) { return ((((x)))); } }");
+  check_bool "block statement" true
+    (parses "class C { static void f() { { int x = 1; } { int x = 2; } } }");
+  check_bool "else-if chain" true
+    (parses
+       "class C { local static int f(int x) { if (x > 0) { return 1; } else \
+        if (x < 0) { return 2; } else { return 3; } } }");
+  check_bool "missing semicolon rejected" false
+    (parses "class C { local static int f(int x) { return x } }");
+  check_bool "unbalanced brace rejected" false (parses "class C { ")
+
+let test_shadowing_in_blocks () =
+  let s =
+    Lm.load
+      {|
+class C {
+  local static int f(int x) {
+    int y = 1;
+    if (x > 0) {
+      int z = y + x;
+      y = z;
+    } else {
+      int z = y - x;
+      y = z;
+    }
+    return y;
+  }
+}
+|}
+  in
+  check_int "positive branch" 6 (Lm.as_int (Lm.run s "C.f" [ Lm.int 5 ]));
+  check_int "negative branch" 6 (Lm.as_int (Lm.run s "C.f" [ Lm.int (-5) ]))
+
+let suite =
+  ( "edge-cases",
+    [
+      Alcotest.test_case "two graphs in one method" `Quick
+        test_two_graphs_in_one_method;
+      Alcotest.test_case "graph re-execution" `Quick test_graph_reexecution;
+      Alcotest.test_case "source rates" `Quick test_source_rates;
+      Alcotest.test_case "five-stage pipeline" `Quick test_five_stage_pipeline;
+      Alcotest.test_case "empty stream" `Quick test_empty_stream;
+      Alcotest.test_case "single element" `Quick test_single_element_stream;
+      Alcotest.test_case "value class" `Quick test_value_class_declaration;
+      Alcotest.test_case "parser corners" `Quick test_parser_corner_cases;
+      Alcotest.test_case "block shadowing" `Quick test_shadowing_in_blocks;
+    ] )

@@ -1,0 +1,261 @@
+(* End-to-end tests through the public Lm facade: compile Lime source
+   with all backends, co-execute under different substitution policies,
+   and require every configuration to produce identical results — the
+   paper's core property that artifacts are semantic equivalents. *)
+
+open Liquid_metal
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_fig1_end_to_end () =
+  let s = Lm.load Test_syntax.figure1_source in
+  let input = Lm.bits "101010101" in
+  let r = Lm.run s "Bitflip.taskFlip" [ input ] in
+  check_string "taskFlip co-executed" "010101010" (Lm.as_bits_literal r);
+  let r2 = Lm.run s "Bitflip.mapFlip" [ input ] in
+  check_string "mapFlip" "010101010" (Lm.as_bits_literal r2)
+
+let test_fig1_artifacts_generated () =
+  let s = Lm.load Test_syntax.figure1_source in
+  let m = Lm.manifest s in
+  (* flip is pure, scalar, straight-line: both backends accept it, and
+     the map site gets a GPU kernel too. *)
+  let devices =
+    List.map (fun e -> e.Runtime.Artifact.me_device) m.entries
+  in
+  check_bool "has gpu artifact" true (List.mem Runtime.Artifact.Gpu devices);
+  check_bool "has fpga artifact" true (List.mem Runtime.Artifact.Fpga devices);
+  check_int "no exclusions for figure 1" 0 (List.length m.exclusions)
+
+let test_policies_agree () =
+  let input = Lm.bits "110010111010110" in
+  let run policy =
+    let s = Lm.load ~policy Test_syntax.figure1_source in
+    Lm.as_bits_literal (Lm.run s "Bitflip.taskFlip" [ input ])
+  in
+  let bytecode = run Runtime.Substitute.Bytecode_only in
+  let accel = run Runtime.Substitute.Prefer_accelerators in
+  let fpga = run (Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Fpga ]) in
+  let small = run Runtime.Substitute.Smallest_substitution in
+  check_string "accelerator = bytecode" bytecode accel;
+  check_string "fpga = bytecode" bytecode fpga;
+  check_string "smallest = bytecode" bytecode small
+
+let test_plan_reflects_policy () =
+  let input = Lm.bits "1010" in
+  let s = Lm.load ~policy:Runtime.Substitute.Bytecode_only Test_syntax.figure1_source in
+  ignore (Lm.run s "Bitflip.taskFlip" [ input ]);
+  check_string "bytecode plan" "bytecode(1)" (Option.get (Lm.last_plan s));
+  Lm.set_policy s Runtime.Substitute.Prefer_accelerators;
+  ignore (Lm.run s "Bitflip.taskFlip" [ input ]);
+  check_string "accelerated plan" "gpu(1)" (Option.get (Lm.last_plan s))
+
+let test_metrics_account_devices () =
+  let s = Lm.load Test_syntax.figure1_source in
+  Lm.reset_metrics s;
+  ignore (Lm.run s "Bitflip.taskFlip" [ Lm.bits "10101010" ]);
+  let m = Lm.metrics s in
+  check_bool "vm ran host code" true (m.vm_instructions > 0);
+  check_int "one gpu kernel" 1 m.gpu_kernels;
+  check_bool "kernel time modeled" true (m.gpu_kernel_ns > 0.0);
+  check_bool "marshaling crossed the boundary" true
+    (m.marshal.crossings_to_device > 0 && m.marshal.crossings_to_host > 0);
+  check_bool "substitution recorded" true (m.substitutions <> [])
+
+let test_fpga_direction_uses_rtl () =
+  let s =
+    Lm.load ~policy:(Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Fpga ])
+      Test_syntax.figure1_source
+  in
+  Lm.reset_metrics s;
+  ignore (Lm.run s "Bitflip.taskFlip" [ Lm.bits "101010101" ]);
+  let m = Lm.metrics s in
+  check_int "one fpga run" 1 m.fpga_runs;
+  check_bool "cycles counted" true (m.fpga_cycles > 0);
+  check_int "no gpu kernels" 0 m.gpu_kernels
+
+(* A multi-stage pipeline mixing suitable and unsuitable filters. *)
+let mixed_src =
+  {|
+class P {
+  local static int dbl(int x) { return x * 2; }
+  local static int inc(int x) { return x + 1; }
+  local static int weird(int x) {
+    int acc = 0;
+    while (acc < x) {
+      acc = acc + 3;
+    }
+    return acc;
+  }
+  static int[[]] run(int[[]] xs) {
+    int[] out = new int[xs.length];
+    var g = xs.source(1)
+      => ([ task dbl ]) => ([ task weird ]) => ([ task inc ])
+      => out.<int>sink();
+    g.finish();
+    return new int[[]](out);
+  }
+}
+|}
+
+let test_mixed_pipeline () =
+  let s = Lm.load mixed_src in
+  let xs = Lm.int_array [| 1; 5; 10 |] in
+  let r = Lm.run s "P.run" [ xs ] in
+  (* dbl: 2,10,20; weird: ceil to multiple of 3: 3,12,21; inc: 4,13,22 *)
+  Alcotest.(check (array int)) "values" [| 4; 13; 22 |] (Lm.as_int_array r);
+  (* weird has a loop: excluded by the FPGA backend, accepted by GPU. *)
+  let m = Lm.manifest s in
+  check_bool "fpga excluded the loop filter" true
+    (List.exists
+       (fun (x : Runtime.Artifact.exclusion) ->
+         x.ex_device = Runtime.Artifact.Fpga
+         && Test_types.contains x.ex_reason "FSM")
+       m.exclusions)
+
+let test_stateful_pipeline_fpga () =
+  (* A stateful accumulator filter: FPGA-suitable (fields become
+     registers), GPU-excluded. *)
+  let src =
+    {|
+class Acc {
+  int total;
+  local Acc(int start) { total = start; }
+  local int push(int x) { total += x; return total; }
+}
+class Main {
+  static int[[]] prefixSums(int[[]] xs) {
+    int[] out = new int[xs.length];
+    var acc = new Acc(0);
+    var g = xs.source(1) => ([ task acc.push ]) => out.<int>sink();
+    g.finish();
+    return new int[[]](out);
+  }
+}
+|}
+  in
+  let s =
+    Lm.load ~policy:(Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Fpga ])
+      src
+  in
+  let r = Lm.run s "Main.prefixSums" [ Lm.int_array [| 1; 2; 3; 4 |] ] in
+  Alcotest.(check (array int)) "prefix sums on fpga" [| 1; 3; 6; 10 |]
+    (Lm.as_int_array r);
+  let m = Lm.metrics s in
+  check_int "ran on the rtl simulator" 1 m.fpga_runs
+
+let test_map_offload_to_gpu () =
+  let src =
+    {|
+class M {
+  local static float axpy(float a, float x, float y) { return a * x + y; }
+  static float[[]] saxpy(float a, float[[]] xs, float[[]] ys) {
+    return M @ axpy(a, xs, ys);
+  }
+}
+|}
+  in
+  let s = Lm.load src in
+  Lm.reset_metrics s;
+  let xs = Lm.float_array [| 1.0; 2.0; 3.0 |] in
+  let ys = Lm.float_array [| 10.0; 20.0; 30.0 |] in
+  let r = Lm.run s "M.saxpy" [ Lm.float 2.0; xs; ys ] in
+  Alcotest.(check (array (float 0.0)))
+    "saxpy" [| 12.0; 24.0; 36.0 |] (Lm.as_float_array r);
+  let m = Lm.metrics s in
+  check_int "map ran as a gpu kernel" 1 m.gpu_kernels;
+  (* identical result without the GPU *)
+  Lm.set_policy s Runtime.Substitute.Bytecode_only;
+  let r2 = Lm.run s "M.saxpy" [ Lm.float 2.0; xs; ys ] in
+  Alcotest.(check (array (float 0.0)))
+    "bytecode agrees" (Lm.as_float_array r) (Lm.as_float_array r2)
+
+let test_reduce_offload_to_gpu () =
+  let src =
+    {|
+class R {
+  local static int add(int a, int b) { return a + b; }
+  static int sum(int[[]] xs) { return R @@ add(xs); }
+}
+|}
+  in
+  let s = Lm.load src in
+  Lm.reset_metrics s;
+  let r = Lm.run s "R.sum" [ Lm.int_array (Array.init 100 (fun i -> i)) ] in
+  check_int "sum" 4950 (Lm.as_int r);
+  check_int "reduce kernel" 1 (Lm.metrics s).gpu_kernels
+
+let test_opencl_artifact_text () =
+  let s = Lm.load Test_syntax.figure1_source in
+  let store = Runtime.Exec.store (Lm.engine s) in
+  let gpu_texts =
+    List.filter_map
+      (fun (e : Runtime.Artifact.manifest_entry) ->
+        if e.me_device = Runtime.Artifact.Gpu then
+          match Runtime.Store.find_on store ~uid:e.me_uid ~device:e.me_device with
+          | Some (Runtime.Artifact.Gpu_kernel g) -> Some g.ga_opencl
+          | _ -> None
+        else None)
+      (Lm.manifest s).entries
+  in
+  check_bool "opencl sources exist" true (gpu_texts <> []);
+  List.iter
+    (fun text ->
+      check_bool "has __kernel" true (Test_types.contains text "__kernel");
+      check_bool "has get_global_id" true
+        (Test_types.contains text "get_global_id"))
+    gpu_texts
+
+let test_verilog_artifact_text () =
+  let s = Lm.load Test_syntax.figure1_source in
+  let store = Runtime.Exec.store (Lm.engine s) in
+  let texts =
+    List.filter_map
+      (fun (e : Runtime.Artifact.manifest_entry) ->
+        if e.me_device = Runtime.Artifact.Fpga then
+          match Runtime.Store.find_on store ~uid:e.me_uid ~device:e.me_device with
+          | Some (Runtime.Artifact.Fpga_module f) -> Some f.fa_verilog
+          | _ -> None
+        else None)
+      (Lm.manifest s).entries
+  in
+  check_bool "verilog sources exist" true (texts <> []);
+  List.iter
+    (fun text ->
+      check_bool "has module" true (Test_types.contains text "module");
+      check_bool "has fifo" true (Test_types.contains text "lm_fifo");
+      check_bool "read/compute/publish FSM" true
+        (Test_types.contains text "PUBLISH"))
+    texts
+
+let test_compile_phases_reported () =
+  let c = Compiler.compile Test_syntax.figure1_source in
+  let names = List.map fst c.phase_seconds in
+  List.iter
+    (fun phase ->
+      check_bool (phase ^ " present") true (List.mem phase names))
+    [ "parse"; "typecheck"; "lower"; "bytecode-backend"; "gpu-backend";
+      "fpga-backend" ]
+
+let suite =
+  ( "liquid-metal",
+    [
+      Alcotest.test_case "figure 1 end to end" `Quick test_fig1_end_to_end;
+      Alcotest.test_case "figure 1 artifacts" `Quick test_fig1_artifacts_generated;
+      Alcotest.test_case "all policies agree" `Quick test_policies_agree;
+      Alcotest.test_case "plan reflects policy" `Quick test_plan_reflects_policy;
+      Alcotest.test_case "metrics account devices" `Quick
+        test_metrics_account_devices;
+      Alcotest.test_case "fpga direction uses rtl" `Quick
+        test_fpga_direction_uses_rtl;
+      Alcotest.test_case "mixed pipeline" `Quick test_mixed_pipeline;
+      Alcotest.test_case "stateful pipeline on fpga" `Quick
+        test_stateful_pipeline_fpga;
+      Alcotest.test_case "map offload" `Quick test_map_offload_to_gpu;
+      Alcotest.test_case "reduce offload" `Quick test_reduce_offload_to_gpu;
+      Alcotest.test_case "opencl artifact text" `Quick test_opencl_artifact_text;
+      Alcotest.test_case "verilog artifact text" `Quick test_verilog_artifact_text;
+      Alcotest.test_case "compile phases" `Quick test_compile_phases_reported;
+    ] )

@@ -1,0 +1,194 @@
+(* Native C backend + adaptive policy tests (paper section 5 native
+   binaries; section 7 adaptive placement). *)
+
+module Lm = Liquid_metal.Lm
+module V = Wire.Value
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let dsp = Workloads.find "dsp_chain"
+
+let test_native_artifacts_generated () =
+  let s = Lm.load dsp.Workloads.source in
+  let native_entries =
+    List.filter
+      (fun (e : Runtime.Artifact.manifest_entry) ->
+        e.me_device = Runtime.Artifact.Native)
+      (Lm.manifest s).entries
+  in
+  (* all 6 contiguous subchains of the 3-filter pipeline *)
+  check_int "native chains" 6 (List.length native_entries)
+
+let test_native_execution_agrees () =
+  let size = 128 in
+  let native =
+    Lm.load ~policy:(Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Native ])
+      dsp.Workloads.source
+  in
+  let r = Lm.run native dsp.entry (dsp.args ~size) in
+  (match dsp.validate with
+  | Some validate -> (
+    match validate ~size r with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg)
+  | None -> ());
+  check_string "plan used native" "native(3)" (Option.get (Lm.last_plan native));
+  let m = Lm.metrics native in
+  check_bool "native instructions charged" true (m.native_instructions > 0);
+  check_bool "JNI boundary crossed" true
+    (m.marshal_native.crossings_to_device > 0);
+  check_int "no PCIe crossings" 0 m.marshal.crossings_to_device
+
+let test_native_handles_stateful_and_loops () =
+  (* C has no device restrictions: stateful filters and loop-bearing
+     filters both get native artifacts (unlike GPU and FPGA). *)
+  let prefix = Workloads.find "prefix_sum" in
+  let s =
+    Lm.load ~policy:(Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Native ])
+      prefix.Workloads.source
+  in
+  let size = 64 in
+  let r = Lm.run s prefix.entry (prefix.args ~size) in
+  (match prefix.validate with
+  | Some validate -> (
+    match validate ~size r with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg)
+  | None -> ());
+  check_string "stateful chain on native" "native(1)"
+    (Option.get (Lm.last_plan s))
+
+let test_c_artifact_text () =
+  let s = Lm.load dsp.Workloads.source in
+  let store = Runtime.Exec.store (Lm.engine s) in
+  let texts =
+    List.filter_map
+      (fun (e : Runtime.Artifact.manifest_entry) ->
+        if e.me_device = Runtime.Artifact.Native then
+          match
+            Runtime.Store.find_on store ~uid:e.me_uid ~device:e.me_device
+          with
+          | Some (Runtime.Artifact.Native_binary n) -> Some n.na_c
+          | _ -> None
+        else None)
+      (Lm.manifest s).entries
+  in
+  check_bool "c sources exist" true (texts <> []);
+  List.iter
+    (fun text ->
+      List.iter
+        (fun needle ->
+          check_bool needle true (Test_types.contains text needle))
+        [ "#include <stdint.h>"; "void "; "for (int32_t i = 0; i < n; i++)" ])
+    texts
+
+let test_c_artifact_stateful_struct () =
+  let prefix = Workloads.find "prefix_sum" in
+  let s = Lm.load prefix.Workloads.source in
+  let store = Runtime.Exec.store (Lm.engine s) in
+  let text =
+    List.find_map
+      (fun (e : Runtime.Artifact.manifest_entry) ->
+        if e.me_device = Runtime.Artifact.Native then
+          match
+            Runtime.Store.find_on store ~uid:e.me_uid ~device:e.me_device
+          with
+          | Some (Runtime.Artifact.Native_binary n) -> Some n.na_c
+          | _ -> None
+        else None)
+      (Lm.manifest s).entries
+  in
+  match text with
+  | Some text ->
+    check_bool "state struct" true (Test_types.contains text "struct Acc_state");
+    check_bool "field member" true (Test_types.contains text "field_0")
+  | None -> Alcotest.fail "no native artifact for prefix_sum"
+
+let test_adaptive_policy_switches () =
+  let run size =
+    let s = Lm.load ~policy:Runtime.Substitute.Adaptive dsp.Workloads.source in
+    ignore (Lm.run s dsp.entry (dsp.args ~size));
+    Option.get (Lm.last_plan s)
+  in
+  check_string "tiny stream stays on bytecode" "bytecode(3)" (run 4);
+  check_string "small stream goes native" "native(3)" (run 64);
+  check_string "large stream goes gpu" "gpu(3)" (run 4096)
+
+let test_adaptive_results_correct () =
+  List.iter
+    (fun size ->
+      let s = Lm.load ~policy:Runtime.Substitute.Adaptive dsp.Workloads.source in
+      let r = Lm.run s dsp.entry (dsp.args ~size) in
+      match dsp.validate with
+      | Some validate -> (
+        match validate ~size r with
+        | Ok () -> ()
+        | Error msg -> Alcotest.fail msg)
+      | None -> ())
+    [ 4; 64; 4096 ]
+
+let test_accelerators_beat_native_in_preference () =
+  (* Prefer_accelerators: GPU first, native only when nothing else
+     exists. *)
+  let s = Lm.load dsp.Workloads.source in
+  ignore (Lm.run s dsp.entry (dsp.args ~size:64));
+  check_string "gpu chosen over native" "gpu(3)" (Option.get (Lm.last_plan s))
+
+let test_chunked_engine_agrees () =
+  (* chunked device launches must be invisible in the results *)
+  let size = 200 in
+  let whole =
+    Lm.load ~policy:(Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Gpu ])
+      dsp.Workloads.source
+  in
+  let chunked =
+    Lm.load ~policy:(Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Gpu ])
+      ~chunk_elements:16 dsp.Workloads.source
+  in
+  let r1 = Lm.run whole dsp.entry (dsp.args ~size) in
+  let r2 = Lm.run chunked dsp.entry (dsp.args ~size) in
+  Alcotest.(check (array int)) "same samples" (Lm.as_int_array r1)
+    (Lm.as_int_array r2);
+  check_int "one launch unchunked" 1 (Lm.metrics whole).gpu_kernels;
+  check_int "13 launches at chunk 16" 13 (Lm.metrics chunked).gpu_kernels
+
+let test_chunked_stateful_fpga () =
+  (* chunking must preserve cross-chunk state in stateful filters *)
+  let prefix = Workloads.find "prefix_sum" in
+  let size = 100 in
+  let s =
+    Lm.load ~policy:(Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Fpga ])
+      ~chunk_elements:8 prefix.Workloads.source
+  in
+  let r = Lm.run s prefix.entry (prefix.args ~size) in
+  (match prefix.validate with
+  | Some validate -> (
+    match validate ~size r with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg)
+  | None -> ());
+  check_bool "multiple fpga launches" true ((Lm.metrics s).fpga_runs > 1)
+
+let suite =
+  ( "native",
+    [
+      Alcotest.test_case "artifacts generated" `Quick test_native_artifacts_generated;
+      Alcotest.test_case "execution agrees" `Quick test_native_execution_agrees;
+      Alcotest.test_case "stateful and loops accepted" `Quick
+        test_native_handles_stateful_and_loops;
+      Alcotest.test_case "c artifact text" `Quick test_c_artifact_text;
+      Alcotest.test_case "stateful state struct" `Quick
+        test_c_artifact_stateful_struct;
+      Alcotest.test_case "adaptive switches placement" `Quick
+        test_adaptive_policy_switches;
+      Alcotest.test_case "adaptive results correct" `Quick
+        test_adaptive_results_correct;
+      Alcotest.test_case "accelerators preferred" `Quick
+        test_accelerators_beat_native_in_preference;
+      Alcotest.test_case "chunked launches agree" `Quick
+        test_chunked_engine_agrees;
+      Alcotest.test_case "chunked stateful fpga" `Quick
+        test_chunked_stateful_fpga;
+    ] )

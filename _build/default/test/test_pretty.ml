@@ -1,0 +1,151 @@
+(* Pretty-printer tests: print/reparse roundtrips on every program in
+   the repository plus randomly generated expressions, and a semantic
+   fuzz comparing the original and reprinted programs end to end. *)
+
+module I = Lime_ir.Interp
+module V = Wire.Value
+open Lime_syntax
+
+let check_bool = Alcotest.(check bool)
+
+let parse src = Parser.parse ~file:"pp" src
+
+let roundtrip_program src =
+  let p1 = parse src in
+  let printed = Pretty.program_to_string p1 in
+  let p2 =
+    try parse printed
+    with Support.Diag.Compile_error d ->
+      Alcotest.failf "reparse failed: %s\n--- printed ---\n%s"
+        (Support.Diag.to_string d) printed
+  in
+  if Pretty.strip_locations p1 <> Pretty.strip_locations p2 then
+    Alcotest.failf "roundtrip changed the AST\n--- printed ---\n%s" printed
+
+let test_roundtrip_figure1 () = roundtrip_program Test_syntax.figure1_source
+
+let test_roundtrip_workloads () =
+  List.iter
+    (fun (w : Workloads.t) -> roundtrip_program w.source)
+    Workloads.all
+
+let test_roundtrip_misc () =
+  List.iter roundtrip_program
+    [
+      Test_ir.sum_src;
+      Test_bytecode.mix_src;
+      {|
+class Edge {
+  local static float mixed(int i, float f) {
+    return i + f * 2 - 0.5;
+  }
+  local static int shifty(int x) {
+    return (x << 3 >> 1 & 255 | 16) ^ 42;
+  }
+  local static boolean logic(int a, int b) {
+    return a < b && (a != 0 || b >= 10);
+  }
+  static void uninit() {
+    int x;
+    float y;
+    x++;
+    y += 1.5;
+  }
+}
+|};
+    ]
+
+let test_expr_printing () =
+  let cases =
+    [
+      "1 + 2 * 3", "(1 + (2 * 3))";
+      "a[i]", "a[i]";
+      "x.length", "x.length";
+      "~b", "~b";
+      "bit.zero", "bit.zero";
+      "new bit[n]", "new bit[n]";
+      "new bit[[]](r)", "new bit[[]](r)";
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      Alcotest.(check string)
+        src expected
+        (Pretty.expr_to_string (Parser.parse_expr_string src)))
+    cases
+
+(* Random expression generator over a fixed environment: int variables
+   a, b and float variable f. Returns (source text, is_int). *)
+let gen_int_expr =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map string_of_int (int_range 0 1000);
+              oneofl [ "a"; "b" ];
+            ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              map2 (fun x y -> Printf.sprintf "(%s + %s)" x y) sub sub;
+              map2 (fun x y -> Printf.sprintf "(%s - %s)" x y) sub sub;
+              map2 (fun x y -> Printf.sprintf "(%s * %s)" x y) sub sub;
+              map2
+                (fun x y -> Printf.sprintf "(%s / (1 + (%s & 7)))" x y)
+                sub sub;
+              map2 (fun x y -> Printf.sprintf "(%s ^ %s)" x y) sub sub;
+              map (fun x -> Printf.sprintf "(~%s)" x) sub;
+              map (fun x -> Printf.sprintf "(-%s)" x) sub;
+              map3
+                (fun c x y -> Printf.sprintf "(%s < %s ? %s : 7)" c x y)
+                sub sub sub;
+            ]))
+
+(* For each random expression: the printed form of the parsed tree
+   must reparse to the same tree, and the wrapped function must give
+   identical results before and after printing. *)
+let prop_random_expr_roundtrip =
+  QCheck2.Test.make ~name:"pretty: random expression roundtrip" ~count:200
+    gen_int_expr (fun src ->
+      let e1 = Parser.parse_expr_string src in
+      let printed = Pretty.expr_to_string e1 in
+      let e2 = Parser.parse_expr_string printed in
+      Pretty.expr_to_string e2 = printed)
+
+let prop_random_expr_semantics =
+  QCheck2.Test.make ~name:"pretty: reprinted programs compute the same"
+    ~count:100
+    QCheck2.Gen.(pair gen_int_expr (pair (int_range (-50) 50) (int_range (-50) 50)))
+    (fun (body, (a, b)) ->
+      let wrap body =
+        Printf.sprintf
+          "class F { local static int f(int a, int b) { return %s; } }" body
+      in
+      let compile src =
+        Lime_ir.Lower.lower
+          (Lime_types.Typecheck.check (Parser.parse ~file:"fuzz" src))
+      in
+      let p1 = compile (wrap body) in
+      let printed =
+        Pretty.program_to_string (Parser.parse ~file:"fuzz" (wrap body))
+      in
+      let p2 = compile printed in
+      let args = [ I.Prim (V.Int a); I.Prim (V.Int b) ] in
+      let run p = try Ok (I.call p "F.f" args) with I.Runtime_error m -> Error m in
+      match run p1, run p2 with
+      | Ok (I.Prim x), Ok (I.Prim y) -> V.equal x y
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let suite =
+  ( "pretty",
+    [
+      Alcotest.test_case "figure 1 roundtrip" `Quick test_roundtrip_figure1;
+      Alcotest.test_case "workload roundtrips" `Quick test_roundtrip_workloads;
+      Alcotest.test_case "misc roundtrips" `Quick test_roundtrip_misc;
+      Alcotest.test_case "expression printing" `Quick test_expr_printing;
+      QCheck_alcotest.to_alcotest prop_random_expr_roundtrip;
+      QCheck_alcotest.to_alcotest prop_random_expr_semantics;
+    ] )

@@ -1,0 +1,81 @@
+(* IR printer tests: dumps are stable, complete, and name every
+   construct (used by `lmc dump-ir`). *)
+
+module Ir = Lime_ir.Ir
+module P = Lime_ir.Printer
+
+let check_bool = Alcotest.(check bool)
+
+let compile src =
+  Lime_ir.Lower.lower
+    (Lime_types.Typecheck.check (Lime_syntax.Parser.parse ~file:"t" src))
+
+let fig1 = compile Test_syntax.figure1_source
+
+let test_func_dump () =
+  let text = P.func_to_string (Ir.func_exn fig1 "Bitflip.flip") in
+  List.iter
+    (fun needle -> check_bool needle true (Test_types.contains text needle))
+    [ "func Bitflip.flip"; "call bit.~"; "ret"; "pure" ]
+
+let test_template_dump () =
+  let gt = Ir.template_exn fig1 "graph@0" in
+  let text = P.template_to_string gt in
+  List.iter
+    (fun needle -> check_bool needle true (Test_types.contains text needle))
+    [ "graph graph@0"; "source<bit>"; "[reloc] filter Bitflip.flip";
+      "sink<bit>" ]
+
+let test_program_dump_covers_everything () =
+  let text = P.program_to_string fig1 in
+  List.iter
+    (fun needle -> check_bool needle true (Test_types.contains text needle))
+    [ "Bitflip.flip"; "Bitflip.mapFlip"; "Bitflip.taskFlip"; "bit.~";
+      "mkgraph"; "run_graph"; "map[" ]
+
+let test_control_flow_dump () =
+  let p =
+    compile
+      {|
+class C {
+  local static int f(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+      if (i % 2 == 0) { acc += i; } else { acc -= 1; }
+    }
+    return acc;
+  }
+}
+|}
+  in
+  let text = P.func_to_string (Ir.func_exn p "C.f") in
+  List.iter
+    (fun needle -> check_bool needle true (Test_types.contains text needle))
+    [ "while {"; "test "; "} do {"; "if "; "} else {"; "rem.i"; "add.i" ]
+
+let test_stateful_dump () =
+  let p =
+    compile
+      {|
+class Acc {
+  int total;
+  local Acc(int s) { total = s; }
+  local int push(int x) { total += x; return total; }
+}
+|}
+  in
+  let text = P.func_to_string (Ir.func_exn p "Acc.push") in
+  check_bool "field read" true (Test_types.contains text "field ");
+  check_bool "field write" true (Test_types.contains text "setfield ");
+  let ctor = P.func_to_string (Ir.func_exn p "Acc.<init>") in
+  check_bool "ctor kind" true (Test_types.contains ctor "constructor of Acc")
+
+let suite =
+  ( "ir-printer",
+    [
+      Alcotest.test_case "function dump" `Quick test_func_dump;
+      Alcotest.test_case "template dump" `Quick test_template_dump;
+      Alcotest.test_case "program dump" `Quick test_program_dump_covers_everything;
+      Alcotest.test_case "control flow dump" `Quick test_control_flow_dump;
+      Alcotest.test_case "stateful dump" `Quick test_stateful_dump;
+    ] )

@@ -1,0 +1,238 @@
+module Ir = Lime_ir.Ir
+(* Runtime-layer unit tests: channels, the cooperative scheduler, the
+   artifact store, and the substitution planner (paper section 4.2). *)
+
+module V = Wire.Value
+open Runtime
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let test_channel_fifo_order () =
+  let c = Actor.Channel.create ~capacity:4 in
+  Actor.Channel.push c (V.Int 1);
+  Actor.Channel.push c (V.Int 2);
+  (match Actor.Channel.pop_opt c with
+  | Some (V.Int 1) -> ()
+  | _ -> Alcotest.fail "fifo order");
+  Actor.Channel.push c (V.Int 3);
+  (match Actor.Channel.pop_opt c, Actor.Channel.pop_opt c with
+  | Some (V.Int 2), Some (V.Int 3) -> ()
+  | _ -> Alcotest.fail "fifo order 2");
+  Alcotest.(check bool) "empty" true (Actor.Channel.pop_opt c = None)
+
+let test_channel_capacity () =
+  let c = Actor.Channel.create ~capacity:2 in
+  Actor.Channel.push c (V.Int 1);
+  Actor.Channel.push c (V.Int 2);
+  Alcotest.(check bool) "full" true (Actor.Channel.is_full c);
+  Alcotest.check_raises "push full"
+    (Invalid_argument "Channel.push: full") (fun () ->
+      Actor.Channel.push c (V.Int 3))
+
+let test_pipeline_of_actors () =
+  (* source -> double -> sink over a bounded channel of capacity 1:
+     forces fine-grained interleaving. *)
+  let a = Actor.Channel.create ~capacity:1 in
+  let b = Actor.Channel.create ~capacity:1 in
+  let dest = V.Int_array (Array.make 5 0) in
+  let actors =
+    [
+      Actor.source ~name:"src" ~rate:1
+        (List.map (fun i -> V.Int i) [ 1; 2; 3; 4; 5 ])
+        a;
+      Actor.filter ~name:"dbl"
+        ~f:(function V.Int i -> V.Int (2 * i) | v -> v)
+        a b;
+      Actor.sink ~name:"snk" dest b;
+    ]
+  in
+  let stats = Scheduler.run actors in
+  (match dest with
+  | V.Int_array [| 2; 4; 6; 8; 10 |] -> ()
+  | _ -> Alcotest.failf "bad sink contents %s" (V.to_string dest));
+  Alcotest.(check bool) "took multiple rounds" true (stats.rounds > 3)
+
+let test_device_segment_batches () =
+  let a = Actor.Channel.create ~capacity:2 in
+  let b = Actor.Channel.create ~capacity:2 in
+  let dest = V.Int_array (Array.make 4 0) in
+  let launches = ref 0 in
+  let launch xs =
+    incr launches;
+    List.map (function V.Int i -> V.Int (i + 100) | v -> v) xs
+  in
+  let actors =
+    [
+      Actor.source ~name:"src" ~rate:1
+        (List.map (fun i -> V.Int i) [ 1; 2; 3; 4 ])
+        a;
+      Actor.device_segment ~name:"dev" ~launch a b;
+      Actor.sink ~name:"snk" dest b;
+    ]
+  in
+  ignore (Scheduler.run actors);
+  check_int "single batched launch" 1 !launches;
+  match dest with
+  | V.Int_array [| 101; 102; 103; 104 |] -> ()
+  | _ -> Alcotest.failf "bad contents %s" (V.to_string dest)
+
+let test_device_segment_chunked () =
+  let a = Actor.Channel.create ~capacity:4 in
+  let b = Actor.Channel.create ~capacity:4 in
+  let dest = V.Int_array (Array.make 10 0) in
+  let launches = ref [] in
+  let launch xs =
+    launches := List.length xs :: !launches;
+    List.map (function V.Int i -> V.Int (i * 10) | v -> v) xs
+  in
+  let actors =
+    [
+      Actor.source ~name:"src" ~rate:1
+        (List.init 10 (fun i -> V.Int i))
+        a;
+      Actor.device_segment ~chunk:4 ~name:"dev" ~launch a b;
+      Actor.sink ~name:"snk" dest b;
+    ]
+  in
+  ignore (Scheduler.run actors);
+  Alcotest.(check (list int)) "chunk sizes (4,4, then the 2 leftover)"
+    [ 4; 4; 2 ] (List.rev !launches);
+  match dest with
+  | V.Int_array got ->
+    Alcotest.(check (array int)) "values in order"
+      (Array.init 10 (fun i -> i * 10))
+      got
+  | _ -> Alcotest.fail "bad sink"
+
+let test_scheduler_deadlock_detection () =
+  let never_progresses = Actor.make ~name:"stuck" (fun () -> Actor.Blocked) in
+  match Scheduler.run [ never_progresses ] with
+  | exception Scheduler.Deadlock _ -> ()
+  | _ -> Alcotest.fail "expected deadlock"
+
+(* --- substitution planning ------------------------------------------- *)
+
+let dummy_filter ?(relocatable = true) uid =
+  {
+    Ir.uid;
+    target = Ir.F_static ("C." ^ uid);
+    relocatable;
+    input = Ir.I32;
+    output = Ir.I32;
+  }
+
+let gpu_artifact_for chain =
+  Artifact.Gpu_kernel
+    {
+      ga_uid = Artifact.chain_uid chain;
+      ga_kind = Artifact.G_filter_chain chain;
+      ga_opencl = "// test";
+    }
+
+let fpga_artifact_for chain =
+  Artifact.Fpga_module
+    {
+      fa_uid = Artifact.chain_uid chain;
+      fa_filters = chain;
+      fa_verilog = "// test";
+    }
+
+let test_substitution_prefers_larger () =
+  let f1 = dummy_filter "a" and f2 = dummy_filter "b" in
+  let store = Store.create () in
+  Store.add store (gpu_artifact_for [ f1 ]);
+  Store.add store (gpu_artifact_for [ f2 ]);
+  Store.add store (gpu_artifact_for [ f1; f2 ]);
+  let plan = Substitute.plan Substitute.Prefer_accelerators store [ f1; f2 ] in
+  check_string "one fused segment" "gpu(2)" (Substitute.describe_plan plan)
+
+let test_substitution_smallest_policy () =
+  let f1 = dummy_filter "a" and f2 = dummy_filter "b" in
+  let store = Store.create () in
+  Store.add store (gpu_artifact_for [ f1 ]);
+  Store.add store (gpu_artifact_for [ f2 ]);
+  Store.add store (gpu_artifact_for [ f1; f2 ]);
+  let plan = Substitute.plan Substitute.Smallest_substitution store [ f1; f2 ] in
+  check_string "two single segments" "gpu(1) | gpu(1)"
+    (Substitute.describe_plan plan)
+
+let test_substitution_bytecode_only () =
+  let f1 = dummy_filter "a" in
+  let store = Store.create () in
+  Store.add store (gpu_artifact_for [ f1 ]);
+  let plan = Substitute.plan Substitute.Bytecode_only store [ f1 ] in
+  check_string "bytecode" "bytecode(1)" (Substitute.describe_plan plan)
+
+let test_substitution_device_preference () =
+  let f1 = dummy_filter "a" in
+  let store = Store.create () in
+  Store.add store (gpu_artifact_for [ f1 ]);
+  Store.add store (fpga_artifact_for [ f1 ]);
+  let gpu_first =
+    Substitute.plan Substitute.Prefer_accelerators store [ f1 ]
+  in
+  check_string "gpu preferred" "gpu(1)" (Substitute.describe_plan gpu_first);
+  let fpga_first =
+    Substitute.plan (Substitute.Prefer_devices [ Artifact.Fpga ]) store [ f1 ]
+  in
+  check_string "manual direction" "fpga(1)"
+    (Substitute.describe_plan fpga_first)
+
+let test_substitution_skips_nonrelocatable () =
+  let f1 = dummy_filter ~relocatable:false "a" in
+  let f2 = dummy_filter "b" in
+  let store = Store.create () in
+  Store.add store (gpu_artifact_for [ f1 ]);
+  Store.add store (gpu_artifact_for [ f2 ]);
+  let plan = Substitute.plan Substitute.Prefer_accelerators store [ f1; f2 ] in
+  check_string "non-relocatable stays on bytecode" "bytecode(1) | gpu(1)"
+    (Substitute.describe_plan plan)
+
+let test_substitution_mixed_run () =
+  (* a b c with artifacts for [a] and [b;c]: greedy left-to-right finds
+     [a] then [b;c]. *)
+  let fa = dummy_filter "a" and fb = dummy_filter "b" and fc = dummy_filter "c" in
+  let store = Store.create () in
+  Store.add store (gpu_artifact_for [ fa ]);
+  Store.add store (gpu_artifact_for [ fb; fc ]);
+  let plan = Substitute.plan Substitute.Prefer_accelerators store [ fa; fb; fc ] in
+  check_string "a then bc" "gpu(1) | gpu(2)" (Substitute.describe_plan plan)
+
+let test_store_manifest () =
+  let f1 = dummy_filter "a" in
+  let store = Store.create () in
+  Store.add store (gpu_artifact_for [ f1 ]);
+  Store.record_exclusion store ~uid:"x" ~device:Artifact.Fpga ~reason:"loops";
+  let m = Store.manifest store in
+  check_int "entries" 1 (List.length m.entries);
+  check_int "exclusions" 1 (List.length m.exclusions);
+  check_int "artifact count" 1 (Store.artifact_count store);
+  Alcotest.(check bool) "find on gpu" true
+    (Store.find_on store ~uid:"a" ~device:Artifact.Gpu <> None);
+  Alcotest.(check bool) "absent on fpga" true
+    (Store.find_on store ~uid:"a" ~device:Artifact.Fpga = None)
+
+let suite =
+  ( "runtime",
+    [
+      Alcotest.test_case "channel order" `Quick test_channel_fifo_order;
+      Alcotest.test_case "channel capacity" `Quick test_channel_capacity;
+      Alcotest.test_case "actor pipeline" `Quick test_pipeline_of_actors;
+      Alcotest.test_case "device segment batches" `Quick test_device_segment_batches;
+      Alcotest.test_case "device segment chunked" `Quick
+        test_device_segment_chunked;
+      Alcotest.test_case "deadlock detection" `Quick
+        test_scheduler_deadlock_detection;
+      Alcotest.test_case "substitution prefers larger" `Quick
+        test_substitution_prefers_larger;
+      Alcotest.test_case "smallest policy" `Quick test_substitution_smallest_policy;
+      Alcotest.test_case "bytecode-only policy" `Quick
+        test_substitution_bytecode_only;
+      Alcotest.test_case "device preference" `Quick
+        test_substitution_device_preference;
+      Alcotest.test_case "non-relocatable kept local" `Quick
+        test_substitution_skips_nonrelocatable;
+      Alcotest.test_case "mixed runs" `Quick test_substitution_mixed_run;
+      Alcotest.test_case "store and manifest" `Quick test_store_manifest;
+    ] )

@@ -1,0 +1,145 @@
+(* Tests for the support substrate: growable vectors, statistics,
+   unique identifiers, source locations, diagnostics. *)
+
+open Support
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- Vec -------------------------------------------------------------- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  check_bool "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get 0" 0 (Vec.get v 0);
+  check_int "get 99" 9801 (Vec.get v 99);
+  Vec.set v 10 (-1);
+  check_int "set" (-1) (Vec.get v 10)
+
+let test_vec_stack_ops () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check_int "top" 3 (Vec.top v);
+  check_int "pop" 3 (Vec.pop v);
+  check_int "length after pop" 2 (Vec.length v);
+  Vec.truncate v 1;
+  check_int "after truncate" 1 (Vec.length v);
+  Vec.clear v;
+  check_bool "cleared" true (Vec.is_empty v)
+
+let test_vec_iteration () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  check_int "fold sum" 10 (Vec.fold_left ( + ) 0 v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  check_int "iteri count" 4 (List.length !seen);
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3; 4 ] (Vec.to_list v);
+  check_int "to_array" 4 (Array.length (Vec.to_array v))
+
+let test_vec_errors () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "bad get" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty")
+    (fun () ->
+      ignore (Vec.pop v);
+      ignore (Vec.pop v))
+
+let prop_vec_roundtrip =
+  QCheck2.Test.make ~name:"vec: of_list/to_list roundtrip" ~count:200
+    QCheck2.Gen.(list int)
+    (fun xs -> Vec.to_list (Vec.of_list xs) = xs)
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_int "count" 4 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.max;
+  Alcotest.(check (float 1e-6)) "stddev" 1.118034 s.stddev;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive entry") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stats_table () =
+  let t = Stats.Table.create ~columns:[ "name"; "value" ] in
+  Stats.Table.add_row t [ "alpha"; "1" ];
+  Stats.Table.add_row t [ "b"; "22" ];
+  let rendered = Stats.Table.render t in
+  check_bool "header" true (Test_types.contains rendered "name");
+  check_bool "rule" true (Test_types.contains rendered "-----");
+  check_bool "row order" true
+    (String.index rendered 'a' < String.index rendered 'b');
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Stats.Table.add_row: column count mismatch") (fun () ->
+      Stats.Table.add_row t [ "only-one" ])
+
+(* --- Ident ------------------------------------------------------------ *)
+
+let test_ident_uniqueness () =
+  let a = Ident.fresh "x" in
+  let b = Ident.fresh "x" in
+  check_bool "distinct stamps" false (Ident.equal a b);
+  check_bool "same base" true (Ident.base a = Ident.base b);
+  check_bool "name embeds base" true (Test_types.contains (Ident.name a) "x");
+  check_bool "ordered" true (Ident.compare a b <> 0)
+
+let test_ident_containers () =
+  let a = Ident.fresh "m" and b = Ident.fresh "m" in
+  let m = Ident.Map.(empty |> add a 1 |> add b 2) in
+  check_int "map size" 2 (Ident.Map.cardinal m);
+  check_int "lookup" 1 (Ident.Map.find a m);
+  let s = Ident.Set.of_list [ a; b; a ] in
+  check_int "set size" 2 (Ident.Set.cardinal s);
+  let t = Ident.Tbl.create 4 in
+  Ident.Tbl.add t a "first";
+  check_string "tbl" "first" (Ident.Tbl.find t a)
+
+(* --- Srcloc / Diag ------------------------------------------------------ *)
+
+let test_srcloc () =
+  let a = Srcloc.make ~file:"f.lime" ~line:3 ~col:7 ~start:20 ~stop:25 in
+  let b = Srcloc.make ~file:"f.lime" ~line:4 ~col:1 ~start:30 ~stop:42 in
+  check_string "pp" "f.lime:3:7" (Srcloc.to_string a);
+  let m = Srcloc.merge a b in
+  check_int "merge keeps start" 20 m.start;
+  check_int "merge extends stop" 42 m.stop;
+  check_int "merge keeps line" 3 m.line
+
+let test_diag () =
+  (match Diag.error ~phase:"test" "bad thing %d" 42 with
+  | exception Diag.Compile_error d ->
+    check_string "message" "bad thing 42" d.message;
+    check_string "phase" "test" d.phase;
+    check_bool "formats" true (Test_types.contains (Diag.to_string d) "[test]")
+  | _ -> Alcotest.fail "expected Compile_error");
+  let w = Diag.warning ~phase:"test" "heads up" in
+  check_bool "warning severity" true (w.severity = Diag.Warning)
+
+let suite =
+  ( "support",
+    [
+      Alcotest.test_case "vec push/get" `Quick test_vec_push_get;
+      Alcotest.test_case "vec stack ops" `Quick test_vec_stack_ops;
+      Alcotest.test_case "vec iteration" `Quick test_vec_iteration;
+      Alcotest.test_case "vec errors" `Quick test_vec_errors;
+      QCheck_alcotest.to_alcotest prop_vec_roundtrip;
+      Alcotest.test_case "stats summary" `Quick test_stats_summary;
+      Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
+      Alcotest.test_case "stats table" `Quick test_stats_table;
+      Alcotest.test_case "ident uniqueness" `Quick test_ident_uniqueness;
+      Alcotest.test_case "ident containers" `Quick test_ident_containers;
+      Alcotest.test_case "srcloc" `Quick test_srcloc;
+      Alcotest.test_case "diag" `Quick test_diag;
+    ] )

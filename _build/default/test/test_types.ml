@@ -1,0 +1,293 @@
+(* Typechecker tests: Figure 1 acceptance plus the isolation rules of
+   paper section 2.1 (value immutability, local-calls-local, value-only
+   task ports, isolating constructors). *)
+
+open Lime_types
+
+let check_bool = Alcotest.(check bool)
+
+let compile src = Typecheck.check (Lime_syntax.Parser.parse ~file:"t" src)
+
+(* A tiny substring check (no extra deps). *)
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let rejects ?(substring = "") src =
+  match compile src with
+  | exception Support.Diag.Compile_error d ->
+    if substring <> "" && not (contains d.message substring) then
+      Alcotest.failf "error %S does not mention %S" d.message substring
+  | _ -> Alcotest.fail "expected a compile error"
+
+let test_figure1_accepts () =
+  let p = compile Test_syntax.figure1_source in
+  check_bool "has Bitflip" true (Option.is_some (Tast.find_class p "Bitflip"));
+  let flip = Tast.find_method p { Tast.mclass = "Bitflip"; mmethod = "flip" } in
+  (match flip with
+  | Some m ->
+    check_bool "flip pure" true m.mi_pure;
+    check_bool "flip local" true m.mi_local
+  | None -> Alcotest.fail "flip not found");
+  let task_flip =
+    Tast.find_method p { Tast.mclass = "Bitflip"; mmethod = "taskFlip" }
+  in
+  match task_flip with
+  | Some m ->
+    check_bool "taskFlip global" true (not m.mi_local);
+    check_bool "taskFlip not pure" true (not m.mi_pure)
+  | None -> Alcotest.fail "taskFlip not found"
+
+let test_builtin_bit () =
+  let p = compile "class Empty { }" in
+  match Tast.find_enum p "bit" with
+  | Some e ->
+    Alcotest.(check (array string)) "cases" [| "zero"; "one" |] e.ei_cases;
+    check_bool "has ~" true
+      (List.exists (fun m -> m.Tast.mi_key.mmethod = "~") e.ei_methods)
+  | None -> Alcotest.fail "builtin bit missing"
+
+let test_value_array_immutable () =
+  rejects ~substring:"immutable"
+    {|
+class C {
+  local static int f(int[[]] xs) {
+    xs[0] = 1;
+    return 0;
+  }
+}
+|}
+
+let test_local_calls_local () =
+  rejects ~substring:"global"
+    {|
+class C {
+  global static int g(int x) { return x; }
+  local static int f(int x) { return g(x); }
+}
+|}
+
+let test_global_may_call_local () =
+  ignore
+    (compile
+       {|
+class C {
+  local static int f(int x) { return x; }
+  global static int g(int x) { return f(x); }
+}
+|})
+
+let test_map_target_must_be_local () =
+  rejects ~substring:"local"
+    {|
+class C {
+  global static int f(int x) { return x; }
+  static int[[]] m(int[[]] xs) { return C @ f(xs); }
+}
+|}
+
+let test_task_port_must_be_value () =
+  rejects ~substring:"value"
+    {|
+class C {
+  local static int[] f(int[] xs) { return xs; }
+  static void m(int[[]] xs) {
+    int[] out = new int[1];
+    var g = xs.source(1) => ([ task f ]) => out.<int>sink();
+    g.finish();
+  }
+}
+|}
+
+let test_connect_type_mismatch () =
+  rejects ~substring:"flows into"
+    {|
+class C {
+  local static float f(int x) { return 1.0; }
+  local static int g(int x) { return x; }
+  static void m(int[[]] xs) {
+    int[] out = new int[1];
+    var gg = xs.source(1) => (task f) => (task g) => out.<int>sink();
+    gg.finish();
+  }
+}
+|}
+
+let test_finish_requires_complete_graph () =
+  rejects ~substring:"complete"
+    {|
+class C {
+  local static int f(int x) { return x; }
+  static void m(int[[]] xs) {
+    var g = xs.source(1) => (task f);
+    g.finish();
+  }
+}
+|}
+
+let test_sink_needs_mutable_array () =
+  rejects ~substring:"mutable"
+    {|
+class C {
+  local static int f(int x) { return x; }
+  static void m(int[[]] xs, int[[]] out) {
+    var g = xs.source(1) => (task f) => out.<int>sink();
+    g.finish();
+  }
+}
+|}
+
+let test_int_float_promotion () =
+  ignore
+    (compile
+       {|
+class C {
+  local static float f(int x, float y) { return x + y; }
+  local static float g(float y) { return 1 + y * 2; }
+}
+|})
+
+let test_arith_type_error () =
+  rejects ~substring:"arithmetic"
+    {|
+class C {
+  local static int f(boolean b) { return b + 1; }
+}
+|}
+
+let test_condition_must_be_bool () =
+  rejects
+    {|
+class C {
+  local static int f(int x) {
+    if (x) { return 1; }
+    return 0;
+  }
+}
+|}
+
+let test_stateful_task_requires_isolating_ctor () =
+  rejects ~substring:"constructor"
+    {|
+class Avg {
+  float total;
+  Avg(int[] w) { total = 0.0; }
+  local float push(float x) { total += x; return total; }
+}
+class Main {
+  static void m(float[[]] xs) {
+    float[] out = new float[xs.length];
+    var a = new Avg(new int[3]);
+    var g = xs.source(1) => ([ task a.push ]) => out.<float>sink();
+    g.finish();
+  }
+}
+|}
+
+let test_stateful_task_accepted () =
+  ignore
+    (compile
+       {|
+class Avg {
+  float total;
+  local Avg(float init) { total = init; }
+  local float push(float x) { total += x; return total; }
+}
+class Main {
+  static void m(float[[]] xs) {
+    float[] out = new float[xs.length];
+    var a = new Avg(0.0);
+    var g = xs.source(1) => ([ task a.push ]) => out.<float>sink();
+    g.finish();
+  }
+}
+|})
+
+let test_reduce_signature () =
+  ignore
+    (compile
+       {|
+class C {
+  local static int add(int a, int b) { return a + b; }
+  static int sum(int[[]] xs) { return C @@ add(xs); }
+}
+|});
+  rejects ~substring:"binary"
+    {|
+class C {
+  local static int inc(int a) { return a + 1; }
+  static int sum(int[[]] xs) { return C @@ inc(xs); }
+}
+|}
+
+let test_duplicate_var () =
+  rejects ~substring:"already declared"
+    {|
+class C {
+  local static int f(int x) {
+    int y = 1;
+    int y = 2;
+    return y;
+  }
+}
+|}
+
+let test_unknown_name () =
+  rejects ~substring:"unknown"
+    {|
+class C {
+  local static int f(int x) { return nope; }
+}
+|}
+
+let test_this_in_static () =
+  rejects ~substring:"static"
+    {|
+class C {
+  static int f(int x) { return this.g(x); }
+  local int g(int x) { return x; }
+}
+|}
+
+let test_bare_enum_case_resolution () =
+  ignore
+    (compile
+       {|
+value enum color { red, green, blue;
+  public color next(color c) {
+    return c == red ? green : blue;
+  }
+}
+class C {
+  local static boolean isRed(color c) { return c == red; }
+}
+|})
+
+let suite =
+  ( "lime-types",
+    [
+      Alcotest.test_case "figure 1 typechecks" `Quick test_figure1_accepts;
+      Alcotest.test_case "builtin bit enum" `Quick test_builtin_bit;
+      Alcotest.test_case "value arrays immutable" `Quick test_value_array_immutable;
+      Alcotest.test_case "local calls local" `Quick test_local_calls_local;
+      Alcotest.test_case "global may call local" `Quick test_global_may_call_local;
+      Alcotest.test_case "map target local" `Quick test_map_target_must_be_local;
+      Alcotest.test_case "task ports are values" `Quick test_task_port_must_be_value;
+      Alcotest.test_case "connect type mismatch" `Quick test_connect_type_mismatch;
+      Alcotest.test_case "finish needs complete graph" `Quick
+        test_finish_requires_complete_graph;
+      Alcotest.test_case "sink needs mutable array" `Quick
+        test_sink_needs_mutable_array;
+      Alcotest.test_case "int to float widening" `Quick test_int_float_promotion;
+      Alcotest.test_case "arithmetic type error" `Quick test_arith_type_error;
+      Alcotest.test_case "boolean conditions" `Quick test_condition_must_be_bool;
+      Alcotest.test_case "isolating ctor required" `Quick
+        test_stateful_task_requires_isolating_ctor;
+      Alcotest.test_case "stateful task accepted" `Quick test_stateful_task_accepted;
+      Alcotest.test_case "reduce signature" `Quick test_reduce_signature;
+      Alcotest.test_case "duplicate variable" `Quick test_duplicate_var;
+      Alcotest.test_case "unknown name" `Quick test_unknown_name;
+      Alcotest.test_case "this in static" `Quick test_this_in_static;
+      Alcotest.test_case "bare enum cases" `Quick test_bare_enum_case_resolution;
+    ] )

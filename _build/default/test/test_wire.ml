@@ -1,0 +1,210 @@
+(* Tests for the wire format: byte-stream IO, codecs, and the
+   host/device boundary model (paper Figure 3). *)
+
+open Wire
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+let test_writer_reader_scalars () =
+  let w = Buffer_io.Writer.create () in
+  Buffer_io.Writer.u8 w 0xab;
+  Buffer_io.Writer.i32 w (-123456);
+  Buffer_io.Writer.i64 w 0x1122334455667788L;
+  Buffer_io.Writer.f64 w 3.25;
+  Buffer_io.Writer.f32 w 1.5;
+  let r = Buffer_io.Reader.of_bytes (Buffer_io.Writer.contents w) in
+  check_int "u8" 0xab (Buffer_io.Reader.u8 r);
+  check_int "i32" (-123456) (Buffer_io.Reader.i32 r);
+  Alcotest.(check int64) "i64" 0x1122334455667788L (Buffer_io.Reader.i64 r);
+  Alcotest.(check (float 0.0)) "f64" 3.25 (Buffer_io.Reader.f64 r);
+  Alcotest.(check (float 0.0)) "f32" 1.5 (Buffer_io.Reader.f32 r);
+  check_int "exhausted" 0 (Buffer_io.Reader.remaining r)
+
+let test_reader_underflow () =
+  let r = Buffer_io.Reader.of_bytes (Bytes.make 2 '\x00') in
+  Alcotest.check_raises "underflow" Buffer_io.Reader.Underflow (fun () ->
+      ignore (Buffer_io.Reader.i32 r))
+
+let test_norm32 () =
+  check_int "identity" 42 (Value.norm32 42);
+  check_int "wrap max" (-2147483648) (Value.norm32 2147483648);
+  check_int "wrap add" (-2147483648) (Value.add32 2147483647 1);
+  check_int "mul wrap" 0 (Value.mul32 65536 65536);
+  check_int "div toward zero" (-2) (Value.div32 (-7) 3);
+  check_int "rem sign" (-1) (Value.rem32 (-7) 3);
+  check_int "shl" 16 (Value.shl32 1 4);
+  check_int "shl masks count" 2 (Value.shl32 1 33);
+  check_int "shr arithmetic" (-1) (Value.shr32 (-2) 1);
+  check_int "ushr" 0x7fffffff (Value.ushr32 (-1) 1)
+
+let test_f32_idempotent () =
+  let x = Value.f32 0.1 in
+  Alcotest.(check (float 0.0)) "idempotent" x (Value.f32 x);
+  check_bool "lossy vs double" true (x <> 0.1)
+
+let roundtrip ty v =
+  Alcotest.check value_testable
+    (Codec.ty_to_string ty)
+    v
+    (Codec.decode_bytes ty (Codec.encode_bytes ty v))
+
+let test_codec_roundtrips () =
+  roundtrip Codec.W_unit Value.Unit;
+  roundtrip Codec.W_bool (Value.Bool true);
+  roundtrip Codec.W_int (Value.Int (-2147483648));
+  roundtrip Codec.W_float (Value.Float (Value.f32 3.14159));
+  roundtrip Codec.W_bit (Value.Bit true);
+  roundtrip (Codec.W_enum "bit") (Value.Enum { enum = "bit"; tag = 1 });
+  roundtrip Codec.W_bits (Value.Bits (Bits.Bitvec.of_literal "101010101"));
+  roundtrip Codec.W_bits_boxed (Value.Bits (Bits.Bitvec.of_literal "110"));
+  roundtrip (Codec.W_array Codec.W_int) (Value.Int_array [| 1; -2; 3 |]);
+  roundtrip
+    (Codec.W_array Codec.W_float)
+    (Value.Float_array [| 0.5; -1.25; 1e10 |]);
+  roundtrip (Codec.W_array Codec.W_bool) (Value.Bool_array [| true; false |]);
+  roundtrip
+    (Codec.W_array (Codec.W_enum "bit"))
+    (Value.Array [| Value.Enum { enum = "bit"; tag = 0 } |]);
+  roundtrip
+    (Codec.W_tuple [ Codec.W_int; Codec.W_float ])
+    (Value.Tuple [ Value.Int 7; Value.Float 2.0 ])
+
+let test_codec_byte_size_matches () =
+  let cases =
+    [
+      Codec.W_int, Value.Int 5;
+      Codec.W_bits, Value.Bits (Bits.Bitvec.of_literal "101010101");
+      Codec.W_bits_boxed, Value.Bits (Bits.Bitvec.of_literal "101010101");
+      Codec.W_array Codec.W_float, Value.Float_array (Array.make 17 1.0);
+    ]
+  in
+  List.iter
+    (fun (ty, v) ->
+      check_int (Codec.ty_to_string ty)
+        (Bytes.length (Codec.encode_bytes ty v))
+        (Codec.byte_size ty v))
+    cases
+
+let test_codec_dense_packing_wins () =
+  (* Ablation A4 precondition: dense bit packing is ~8x smaller. *)
+  let v = Value.Bits (Bits.Bitvec.create 1024 true) in
+  let dense = Codec.byte_size Codec.W_bits v in
+  let boxed = Codec.byte_size Codec.W_bits_boxed v in
+  check_int "dense" (4 + 128) dense;
+  check_int "boxed" (4 + 1024) boxed
+
+let test_codec_mismatch () =
+  match Codec.encode_bytes Codec.W_int (Value.Bool true) with
+  | exception Codec.Type_mismatch _ -> ()
+  | _ -> Alcotest.fail "expected Type_mismatch"
+
+let test_boundary_fig3_path () =
+  (* Figure 3: float array in, int array out. *)
+  let b = Boundary.create () in
+  let input = Value.Float_array [| 1.0; 2.5; -3.0 |] in
+  let native = Boundary.to_device b (Codec.W_array Codec.W_float) input in
+  check_int "native bytes" (4 + 12) (Boundary.Native.byte_length native);
+  Alcotest.check value_testable "device sees the same value" input
+    (Boundary.Native.to_value native);
+  let output = Value.Int_array [| 1; 2; -3 |] in
+  let native_out = Boundary.to_device b (Codec.W_array Codec.W_int) output in
+  let back = Boundary.to_host b native_out in
+  Alcotest.check value_testable "mirror path" output back;
+  let stats = Boundary.stats b in
+  check_int "crossings to device" 2 stats.crossings_to_device;
+  check_int "crossings to host" 1 stats.crossings_to_host;
+  check_int "bytes to device" (16 + 16) stats.bytes_to_device;
+  check_int "bytes to host" 16 stats.bytes_to_host;
+  check_bool "transfer cost accumulated" true (stats.modeled_transfer_ns > 0.0)
+
+let test_boundary_transfer_model () =
+  let b = Boundary.create ~latency_ns:100.0 ~bandwidth_bytes_per_ns:2.0 () in
+  Alcotest.(check (float 1e-9)) "latency+bytes" 150.0 (Boundary.transfer_ns b 100)
+
+let test_boundary_reset () =
+  let b = Boundary.create () in
+  ignore (Boundary.to_device b Codec.W_int (Value.Int 1));
+  Boundary.reset_stats b;
+  let stats = Boundary.stats b in
+  check_int "reset crossings" 0 stats.crossings_to_device;
+  check_int "reset bytes" 0 stats.bytes_to_device
+
+(* Property tests *)
+
+let gen_value_and_ty =
+  QCheck2.Gen.(
+    let scalar =
+      oneof
+        [
+          map (fun b -> Codec.W_bool, Value.Bool b) bool;
+          map (fun i -> Codec.W_int, Value.Int (Value.norm32 i)) int;
+          map (fun f -> Codec.W_float, Value.Float (Value.f32 f)) float;
+          map (fun b -> Codec.W_bit, Value.Bit b) bool;
+        ]
+    in
+    let int_array =
+      map
+        (fun xs ->
+          ( Codec.W_array Codec.W_int,
+            Value.Int_array (Array.of_list (List.map Value.norm32 xs)) ))
+        (list_size (int_range 0 50) int)
+    in
+    let float_array =
+      map
+        (fun xs ->
+          ( Codec.W_array Codec.W_float,
+            Value.Float_array (Array.of_list (List.map Value.f32 xs)) ))
+        (list_size (int_range 0 50) float)
+    in
+    let bits =
+      map
+        (fun bools ->
+          Codec.W_bits, Value.Bits (Bits.Bitvec.of_bool_array (Array.of_list bools)))
+        (list_size (int_range 0 100) bool)
+    in
+    let* ty_v = oneof [ scalar; int_array; float_array; bits ] in
+    let a, b = ty_v in
+    (* tuples of two generated values *)
+    oneof
+      [
+        return ty_v;
+        return (Codec.W_tuple [ a; a ], Value.Tuple [ b; b ]);
+      ])
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"codec: encode/decode roundtrip" ~count:500
+    gen_value_and_ty (fun (ty, v) ->
+      Value.equal v (Codec.decode_bytes ty (Codec.encode_bytes ty v)))
+
+let prop_codec_size =
+  QCheck2.Test.make ~name:"codec: byte_size = encoded length" ~count:500
+    gen_value_and_ty (fun (ty, v) ->
+      Codec.byte_size ty v = Bytes.length (Codec.encode_bytes ty v))
+
+let prop_boundary_roundtrip =
+  QCheck2.Test.make ~name:"boundary: to_device/to_host identity" ~count:200
+    gen_value_and_ty (fun (ty, v) ->
+      let b = Boundary.create () in
+      Value.equal v (Boundary.to_host b (Boundary.to_device b ty v)))
+
+let suite =
+  ( "wire",
+    [
+      Alcotest.test_case "writer/reader scalars" `Quick test_writer_reader_scalars;
+      Alcotest.test_case "reader underflow" `Quick test_reader_underflow;
+      Alcotest.test_case "32-bit int semantics" `Quick test_norm32;
+      Alcotest.test_case "float32 rounding" `Quick test_f32_idempotent;
+      Alcotest.test_case "codec roundtrips" `Quick test_codec_roundtrips;
+      Alcotest.test_case "codec byte sizes" `Quick test_codec_byte_size_matches;
+      Alcotest.test_case "dense vs boxed packing" `Quick test_codec_dense_packing_wins;
+      Alcotest.test_case "codec type mismatch" `Quick test_codec_mismatch;
+      Alcotest.test_case "figure-3 transfer path" `Quick test_boundary_fig3_path;
+      Alcotest.test_case "transfer cost model" `Quick test_boundary_transfer_model;
+      Alcotest.test_case "stats reset" `Quick test_boundary_reset;
+      QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+      QCheck_alcotest.to_alcotest prop_codec_size;
+      QCheck_alcotest.to_alcotest prop_boundary_roundtrip;
+    ] )

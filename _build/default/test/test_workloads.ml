@@ -1,0 +1,105 @@
+(* Workload-suite tests: every benchmark program compiles through all
+   backends, validates against its OCaml reference, and produces
+   identical results under every substitution policy. *)
+
+module Lm = Liquid_metal.Lm
+module V = Wire.Value
+open Workloads
+
+let check_bool = Alcotest.(check bool)
+
+let small_size (w : Workloads.t) =
+  match w.name with
+  | "matmul" -> 8
+  | "conv2d" -> 8
+  | "nbody" -> 16
+  | "mandelbrot" -> 12
+  | "blackscholes" -> 64
+  | _ -> 64
+
+let value_equal (a : Lm.I.v) (b : Lm.I.v) =
+  match a, b with
+  | Lm.I.Prim x, Lm.I.Prim y -> V.equal x y
+  | _ -> false
+
+let test_workload (w : Workloads.t) () =
+  let size = small_size w in
+  let bytecode = Lm.load ~policy:Runtime.Substitute.Bytecode_only w.source in
+  let accel = Lm.load ~policy:Runtime.Substitute.Prefer_accelerators w.source in
+  let r_bc = Lm.run bytecode w.entry (w.args ~size) in
+  let r_ac = Lm.run accel w.entry (w.args ~size) in
+  check_bool
+    (w.name ^ ": bytecode and accelerated results identical")
+    true (value_equal r_bc r_ac);
+  (match w.validate with
+  | Some validate -> (
+    match validate ~size r_ac with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg)
+  | None -> ());
+  (* the GPU-class workloads must actually reach the accelerator *)
+  match w.category with
+  | Gpu_map ->
+    check_bool (w.name ^ ": gpu kernel launched") true
+      ((Lm.metrics accel).gpu_kernels > 0)
+  | Pipeline | Fpga_stream ->
+    check_bool (w.name ^ ": substitution happened") true
+      ((Lm.metrics accel).substitutions <> [])
+
+let test_fpga_stream_on_fpga (w : Workloads.t) () =
+  let size = small_size w in
+  let s =
+    Lm.load ~policy:(Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Fpga ])
+      w.source
+  in
+  let r = Lm.run s w.entry (w.args ~size) in
+  (match w.validate with
+  | Some validate -> (
+    match validate ~size r with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg)
+  | None -> ());
+  check_bool (w.name ^ ": ran on the rtl simulator") true
+    ((Lm.metrics s).fpga_runs > 0)
+
+let test_catalog () =
+  Alcotest.(check int) "twelve workloads" 12 (List.length Workloads.all);
+  check_bool "find works" true (Workloads.find "saxpy" == Workloads.saxpy);
+  (match Workloads.find "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "find of unknown should raise");
+  List.iter
+    (fun (w : Workloads.t) ->
+      check_bool (w.name ^ " has description") true (w.description <> "");
+      check_bool (w.name ^ " default size positive") true (w.default_size > 0))
+    Workloads.all
+
+let test_rng_determinism () =
+  let a = Workloads.Rng.create () in
+  let b = Workloads.Rng.create () in
+  check_bool "same stream" true
+    (List.init 20 (fun _ -> Workloads.Rng.int a 1000)
+    = List.init 20 (fun _ -> Workloads.Rng.int b 1000));
+  let arr = Workloads.Rng.float_array (Workloads.Rng.create ()) 100 ~lo:0.0 ~hi:1.0 in
+  check_bool "floats in range" true
+    (Array.for_all (fun f -> f >= 0.0 && f < 1.0) arr);
+  check_bool "floats are f32" true
+    (Array.for_all (fun f -> f = V.f32 f) arr)
+
+let suite =
+  ( "workloads",
+    Alcotest.test_case "catalog" `Quick test_catalog
+    :: Alcotest.test_case "rng determinism" `Quick test_rng_determinism
+    :: List.map
+         (fun (w : Workloads.t) ->
+           Alcotest.test_case (w.name ^ " validates") `Quick (test_workload w))
+         Workloads.all
+    @ List.filter_map
+        (fun (w : Workloads.t) ->
+          match w.category with
+          | Fpga_stream | Pipeline ->
+            Some
+              (Alcotest.test_case (w.name ^ " on fpga") `Quick
+                 (test_fpga_stream_on_fpga w))
+          | Gpu_map -> None)
+        Workloads.all )
