@@ -743,7 +743,23 @@ let run_micro_suite () =
     (List.rev !micro_tests);
   print_string (Table.render t)
 
+(* `bench --trace FILE` records every experiment into one Chrome trace
+   (a large ring: the full suite emits far more than the default
+   capacity). Tracing stays off otherwise, so the published numbers are
+   unaffected. *)
+let trace_file =
+  let rec scan = function
+    | "--trace" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
+  (match trace_file with
+  | Some _ ->
+    Support.Trace.set_sink (Support.Trace.ring ~capacity:1_048_576 ())
+  | None -> ());
   Printf.printf "Liquid Metal reproduction benchmark harness\n";
   Printf.printf "(paper: A Compiler and Runtime for Heterogeneous Computing, \
                  DAC 2012)\n";
@@ -760,4 +776,15 @@ let () =
   a6_chunking ();
   a7_device_models ();
   run_micro_suite ();
+  (match trace_file with
+  | Some path ->
+    let sink = Support.Trace.current () in
+    let oc = open_out path in
+    output_string oc
+      (Support.Trace.Chrome.to_json ~process_name:"bench" sink);
+    close_out oc;
+    Printf.printf "\ntrace: wrote %s (%d event(s), %d dropped)\n" path
+      (Support.Trace.event_count sink)
+      (Support.Trace.dropped sink)
+  | None -> ());
   Printf.printf "\nAll experiments completed.\n"

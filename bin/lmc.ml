@@ -96,6 +96,44 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
          ~doc:"Lime source file")
 
+(* --- tracing / profiling ---------------------------------------------- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:
+           "record an execution trace and write Chrome trace_event JSON \
+            to $(docv) (open in Perfetto or about:tracing)")
+
+let profile_arg =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:
+           "print a profile report: span timings with p50/p95/p99, channel \
+            occupancy and boundary traffic, plus the metrics snapshot")
+
+(* Install the ring sink before anything compiles so the compiler-phase
+   spans land in the trace too. *)
+let setup_tracing ~trace ~profile =
+  if trace <> None || profile then
+    Support.Trace.set_sink (Support.Trace.ring ())
+
+let finish_tracing ~trace ~profile metrics_snapshot =
+  let sink = Support.Trace.current () in
+  (match trace with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Support.Trace.Chrome.to_json ~process_name:"lmc" sink);
+    close_out oc;
+    Printf.printf "trace: wrote %s (%d event(s), %d dropped)\n" path
+      (Support.Trace.event_count sink)
+      (Support.Trace.dropped sink));
+  if profile then begin
+    print_string (Support.Trace.Profile.report sink);
+    Option.iter
+      (fun m -> Format.printf "%a@." Runtime.Metrics.pp m)
+      metrics_snapshot
+  end
+
 (* --- compile ---------------------------------------------------------- *)
 
 let emit_artifacts dir (store : Runtime.Store.t)
@@ -176,8 +214,9 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "metrics" ] ~doc:"print execution metrics")
   in
-  let action file entry args policy verbose =
+  let action file entry args policy verbose trace profile =
     handle_compile_errors (fun () ->
+        setup_tracing ~trace ~profile;
         let session = Lm.load ~policy (read_file file) in
         let values = List.map parse_value args in
         let result = Lm.run session entry values in
@@ -195,11 +234,14 @@ let run_cmd =
             m.fpga_runs (m.fpga_ns /. 1000.0) m.marshal.crossings_to_device
             m.marshal.crossings_to_host m.marshal.bytes_to_device
             m.marshal.bytes_to_host
-        end)
+        end;
+        finish_tracing ~trace ~profile (Some (Lm.metrics session)))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"compile and co-execute an entry point")
-    Term.(const action $ file_arg $ entry $ args $ policy $ verbose)
+    Term.(
+      const action $ file_arg $ entry $ args $ policy $ verbose $ trace_arg
+      $ profile_arg)
 
 (* --- disasm ----------------------------------------------------------- *)
 
@@ -244,7 +286,7 @@ let workloads_cmd =
          & info [ "policy" ] ~docv:"POLICY"
              ~doc:"substitution policy (as for run)")
   in
-  let action name size policy =
+  let action name size policy trace profile =
     match (name : string option) with
     | None ->
       List.iter
@@ -259,6 +301,7 @@ let workloads_cmd =
               prerr_endline ("unknown workload: " ^ name);
               exit 1
           in
+          setup_tracing ~trace ~profile;
           let size = Option.value size ~default:w.default_size in
           let session = Lm.load ~policy w.source in
           let t0 = Unix.gettimeofday () in
@@ -278,11 +321,13 @@ let workloads_cmd =
             "metrics: %d VM insns, %d native insns, %d gpu kernel(s), %d \
              fpga run(s); wall %.1f ms\n"
             m.vm_instructions m.native_instructions m.gpu_kernels m.fpga_runs
-            wall_ms)
+            wall_ms;
+          finish_tracing ~trace ~profile (Some m))
   in
   Cmd.v
     (Cmd.info "workloads" ~doc:"list or run the benchmark workloads")
-    Term.(const action $ workload_name $ size $ policy)
+    Term.(
+      const action $ workload_name $ size $ policy $ trace_arg $ profile_arg)
 
 (* --- dump-ir ----------------------------------------------------------- *)
 

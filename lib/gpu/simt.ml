@@ -197,9 +197,35 @@ let aggregate ?(device = Device.gtx580) ~model_divergence
 
 let fresh_lane () = { cycles = 0.0; mem_bytes = 0; branch_sig = 0 }
 
+(* Device-model telemetry: each simulated kernel launch becomes a span
+   (category ["gpu"]) whose end carries the item count and modeled
+   kernel time. Free when tracing is off. *)
+let traced kind name (f : unit -> V.t * timing) =
+  if not (Support.Trace.enabled ()) then f ()
+  else
+    let sp =
+      Support.Trace.begin_span ~cat:"gpu"
+        ~args:[ "kind", Support.Trace.Str kind ]
+        name
+    in
+    match f () with
+    | (_, t) as r ->
+      Support.Trace.end_span
+        ~args:
+          [
+            "items", Support.Trace.Int t.items;
+            "kernel_ns", Support.Trace.Float t.kernel_ns;
+          ]
+        sp;
+      r
+    | exception e ->
+      Support.Trace.end_span sp;
+      raise e
+
 let run_map ?(device = Device.gtx580) ?(model_divergence = true)
     (prog : Ir.program) (site : Ir.map_site) (args : V.t list) :
     V.t * timing =
+  traced "map" site.map_uid @@ fun () ->
   let pairs = List.combine args (List.map snd site.map_args) in
   let lengths =
     List.filter_map
@@ -234,6 +260,7 @@ let run_map ?(device = Device.gtx580) ?(model_divergence = true)
 
 let run_reduce ?(device = Device.gtx580) ?(model_divergence = true)
     (prog : Ir.program) (site : Ir.reduce_site) (arg : V.t) : V.t * timing =
+  traced "reduce" site.red_uid @@ fun () ->
   (* Tree reductions keep warps uniform; divergence does not apply. *)
   ignore model_divergence;
   let n = I.array_length arg in
@@ -273,6 +300,7 @@ let run_filter_chain ?(device = Device.gtx580) ?(model_divergence = true)
     (prog : Ir.program) ~(chain : string list) ~(output_ty : Ir.ty)
     (input : V.t) : V.t * timing =
   if chain = [] then fail "empty filter chain";
+  traced "filter-chain" (String.concat "|" chain) @@ fun () ->
   let n = I.array_length input in
   let result = I.new_array output_ty n in
   let lanes = Array.init n (fun _ -> fresh_lane ()) in

@@ -6,10 +6,28 @@ type compiled = {
   phase_seconds : (string * float) list;
 }
 
-let timed phases name f =
+let timed ?args phases name f =
+  Support.Trace.with_span ?args ~cat:"compiler" name (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      phases := (name, Unix.gettimeofday () -. t0) :: !phases;
+      r)
+
+(* A backend phase additionally records how many artifacts it produced
+   (span arg [artifacts]), read off the store before and after. *)
+let timed_backend phases store name f =
+  let before = Runtime.Store.artifact_count store in
+  let sp = Support.Trace.begin_span ~cat:"compiler" name in
   let t0 = Unix.gettimeofday () in
   let r = f () in
   phases := (name, Unix.gettimeofday () -. t0) :: !phases;
+  Support.Trace.end_span
+    ~args:
+      [
+        ( "artifacts",
+          Support.Trace.Int (Runtime.Store.artifact_count store - before) );
+      ]
+    sp;
   r
 
 (* Contiguous subchains of a run of filters, longest first — the
@@ -210,9 +228,10 @@ let compile ?(file = "<lime>") source : compiled =
     timed phases "bytecode-backend" (fun () -> Bytecode.Compile.compile_program prog)
   in
   let store = Runtime.Store.create () in
-  timed phases "native-backend" (fun () -> native_backend prog store);
-  timed phases "gpu-backend" (fun () -> gpu_backend prog store);
-  timed phases "fpga-backend" (fun () -> fpga_backend prog store);
+  timed_backend phases store "native-backend" (fun () ->
+      native_backend prog store);
+  timed_backend phases store "gpu-backend" (fun () -> gpu_backend prog store);
+  timed_backend phases store "fpga-backend" (fun () -> fpga_backend prog store);
   { unit_; store; phase_seconds = List.rev !phases }
 
 let manifest (c : compiled) = Runtime.Store.manifest c.store

@@ -69,6 +69,28 @@ let apply_filter prog (st : Netlist.stage) (x : V.t) : V.t =
 
 let run ?vcd ?(clock_ns = 4) ?(max_cycles = 10_000_000) (prog : Ir.program)
     (pl : Netlist.pipeline) (inputs : V.t list) : V.t list * stats =
+  (* Device-model telemetry: one span (category ["fpga"]) per RTL
+     simulation, closed with cycle/item/stall counts. *)
+  let traced f =
+    if not (Support.Trace.enabled ()) then f ()
+    else
+      let sp = Support.Trace.begin_span ~cat:"fpga" pl.Netlist.pl_name in
+      match f () with
+      | (_, (st : stats)) as r ->
+        Support.Trace.end_span
+          ~args:
+            [
+              "cycles", Support.Trace.Int st.cycles;
+              "items", Support.Trace.Int st.items;
+              "stalls", Support.Trace.Int st.stalls;
+            ]
+          sp;
+        r
+      | exception e ->
+        Support.Trace.end_span sp;
+        raise e
+  in
+  traced @@ fun () ->
   let mkvar name width =
     Option.map (fun v -> Vcd.add_var v ~name ~width) vcd
   in

@@ -47,9 +47,35 @@ end
 
 type status = Progress | Blocked | Done
 
-type t = { name : string; step : unit -> status }
+type t = {
+  name : string;
+  step : unit -> status;
+  ports : (string * Channel.t) list;
+      (** named connections, for diagnostics: which FIFO is this actor
+          reading/writing, and in what state is it *)
+}
 
-let make ~name step = { name; step }
+let make ~name ?(ports = []) step = { name; step; ports }
+
+(* e.g. "full", "empty", "3/16", "drained" — the states that matter
+   when diagnosing a wedged graph. *)
+let port_state (c : Channel.t) =
+  let occupancy = Queue.length c.Channel.q in
+  let base =
+    if Channel.is_full c then "full"
+    else if occupancy = 0 then "empty"
+    else Printf.sprintf "%d/%d" occupancy c.Channel.capacity
+  in
+  if c.Channel.closed then base ^ ",closed" else base
+
+let describe_ports (t : t) =
+  match t.ports with
+  | [] -> ""
+  | ports ->
+    "["
+    ^ String.concat " "
+        (List.map (fun (name, c) -> name ^ "=" ^ port_state c) ports)
+    ^ "]"
 
 (* --- the standard actors -------------------------------------------- *)
 
@@ -75,7 +101,7 @@ let source ~name ~(rate : int) (elements : V.t list) (out : Channel.t) : t =
       if !pushed > 0 then Progress else Blocked
     end
   in
-  make ~name step
+  make ~name ~ports:[ "out", out ] step
 
 (* Applies [f] to each element; one element per step. *)
 let filter ~name ~(f : V.t -> V.t) (inp : Channel.t) (out : Channel.t) : t =
@@ -92,7 +118,7 @@ let filter ~name ~(f : V.t -> V.t) (inp : Channel.t) (out : Channel.t) : t =
         Progress
       | None -> Blocked
   in
-  make ~name step
+  make ~name ~ports:[ "in", inp; "out", out ] step
 
 (* A device segment: collects input, launches the device, then emits
    the results. With [chunk = None] the whole stream is batched into a
@@ -147,7 +173,7 @@ let device_segment ?(chunk : int option) ~name
           else Blocked
       end
   in
-  make ~name step
+  make ~name ~ports:[ "in", inp; "out", out ] step
 
 (* Stores arriving elements into a destination array in order. *)
 let sink ~name (dest : V.t) (inp : Channel.t) : t =
@@ -160,4 +186,4 @@ let sink ~name (dest : V.t) (inp : Channel.t) : t =
       Progress
     | None -> if Channel.drained inp then Done else Blocked
   in
-  make ~name step
+  make ~name ~ports:[ "in", inp ] step

@@ -36,9 +36,23 @@ end
 
 type status = Progress | Blocked | Done
 
-type t = { name : string; step : unit -> status }
+type t = {
+  name : string;
+  step : unit -> status;
+  ports : (string * Channel.t) list;
+      (** named connections for diagnostics (e.g. [["in", c1; "out", c2]]);
+          the standard actors below declare theirs *)
+}
 
-val make : name:string -> (unit -> status) -> t
+val make : name:string -> ?ports:(string * Channel.t) list -> (unit -> status) -> t
+
+val port_state : Channel.t -> string
+(** ["full"], ["empty"], ["3/16"], with [",closed"] appended once the
+    producer has closed the channel. *)
+
+val describe_ports : t -> string
+(** E.g. ["[in=empty out=full]"]; [""] when the actor declared no
+    ports. Used by the scheduler's deadlock report. *)
 
 val source : name:string -> rate:int -> V.t list -> Channel.t -> t
 (** Produces the elements of a stream, up to [rate] per step (the

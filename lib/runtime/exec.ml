@@ -3,6 +3,7 @@ module I = Lime_ir.Interp
 module V = Wire.Value
 module Codec = Wire.Codec
 module Boundary = Wire.Boundary
+module Trace = Support.Trace
 
 exception Engine_error of string
 
@@ -201,41 +202,49 @@ let gpu_segment_actor t (artifact : Artifact.gpu_artifact)
   let output_ty =
     (List.nth chain_filters (List.length chain_filters - 1)).Ir.output
   in
+  let name = "gpu:" ^ artifact.ga_uid in
   let launch xs =
-    let packed = pack_stream input_ty xs in
-    let dev_input = ship_to_device t packed in
-    let result, timing =
-      Gpu.Simt.run_filter_chain ~device:t.gpu_device
-        ~model_divergence:t.model_divergence (program t) ~chain ~output_ty
-        dev_input
-    in
-    Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
-    unpack_stream (ship_to_host t result)
+    Trace.with_span ~cat:"launch"
+      ~args:[ "elements", Trace.Int (List.length xs) ]
+      name
+      (fun () ->
+        let packed = pack_stream input_ty xs in
+        let dev_input = ship_to_device t packed in
+        let result, timing =
+          Gpu.Simt.run_filter_chain ~device:t.gpu_device
+            ~model_divergence:t.model_divergence (program t) ~chain ~output_ty
+            dev_input
+        in
+        Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
+        unpack_stream (ship_to_host t result))
   in
   ignore filters;
-  Actor.device_segment ?chunk:t.chunk_elements
-    ~name:("gpu:" ^ artifact.ga_uid) ~launch inp out
+  Actor.device_segment ?chunk:t.chunk_elements ~name ~launch inp out
 
 (* An FPGA-substituted segment: synthesize the pipeline (stateful
    receivers become register files) and run it in the RTL simulator. *)
 let fpga_segment_actor t (artifact : Artifact.fpga_artifact)
     (filters : (Ir.filter_info * I.v option) list) inp out =
+  let name = "fpga:" ^ artifact.fa_uid in
   let launch xs =
-    let pipeline =
-      Rtl.Synth.pipeline_of_chain (program t) ~name:artifact.fa_uid
-        ~fifo_depth:t.fifo_capacity filters
-    in
-    let input_ty = Rtl.Netlist.input_ty pipeline in
-    let packed = pack_stream input_ty xs in
-    let dev_input = unpack_stream (ship_to_device t packed) in
-    let outputs, stats = Rtl.Sim.run (program t) pipeline dev_input in
-    Metrics.add_fpga_run t.metrics_ ~cycles:stats.Rtl.Sim.cycles
-      ~ns:(float_of_int (stats.Rtl.Sim.cycles * t.fpga_clock_ns));
-    let out_packed = pack_stream (Rtl.Netlist.output_ty pipeline) outputs in
-    unpack_stream (ship_to_host t out_packed)
+    Trace.with_span ~cat:"launch"
+      ~args:[ "elements", Trace.Int (List.length xs) ]
+      name
+      (fun () ->
+        let pipeline =
+          Rtl.Synth.pipeline_of_chain (program t) ~name:artifact.fa_uid
+            ~fifo_depth:t.fifo_capacity filters
+        in
+        let input_ty = Rtl.Netlist.input_ty pipeline in
+        let packed = pack_stream input_ty xs in
+        let dev_input = unpack_stream (ship_to_device t packed) in
+        let outputs, stats = Rtl.Sim.run (program t) pipeline dev_input in
+        Metrics.add_fpga_run t.metrics_ ~cycles:stats.Rtl.Sim.cycles
+          ~ns:(float_of_int (stats.Rtl.Sim.cycles * t.fpga_clock_ns));
+        let out_packed = pack_stream (Rtl.Netlist.output_ty pipeline) outputs in
+        unpack_stream (ship_to_host t out_packed))
   in
-  Actor.device_segment ?chunk:t.chunk_elements
-    ~name:("fpga:" ^ artifact.fa_uid) ~launch inp out
+  Actor.device_segment ?chunk:t.chunk_elements ~name ~launch inp out
 
 (* A native-substituted segment: the chain runs as a compiled shared
    library loaded into the process (paper section 5). Functionally the
@@ -250,26 +259,31 @@ let native_segment_actor t (artifact : Artifact.native_artifact)
     (List.nth artifact.na_filters (List.length artifact.na_filters - 1))
       .Ir.output
   in
+  let name = "native:" ^ artifact.na_uid in
   let launch xs =
-    let packed = pack_stream input_ty xs in
-    let dev_input = unpack_stream (ship_to_device ~boundary:nb t packed) in
-    let apply x ((f : Ir.filter_info), receiver) =
-      let args =
-        match receiver with
-        | Some r -> [ r; I.Prim x ]
-        | None -> [ I.Prim x ]
-      in
-      let r = Bytecode.Vm.run t.unit_ (filter_fn_key f) args in
-      Metrics.add_native_instructions t.metrics_ r.Bytecode.Vm.executed;
-      I.prim_exn r.Bytecode.Vm.value
-    in
-    let outputs =
-      List.map (fun x -> List.fold_left apply x filters) dev_input
-    in
-    unpack_stream (ship_to_host ~boundary:nb t (pack_stream output_ty outputs))
+    Trace.with_span ~cat:"launch"
+      ~args:[ "elements", Trace.Int (List.length xs) ]
+      name
+      (fun () ->
+        let packed = pack_stream input_ty xs in
+        let dev_input = unpack_stream (ship_to_device ~boundary:nb t packed) in
+        let apply x ((f : Ir.filter_info), receiver) =
+          let args =
+            match receiver with
+            | Some r -> [ r; I.Prim x ]
+            | None -> [ I.Prim x ]
+          in
+          let r = Bytecode.Vm.run t.unit_ (filter_fn_key f) args in
+          Metrics.add_native_instructions t.metrics_ r.Bytecode.Vm.executed;
+          I.prim_exn r.Bytecode.Vm.value
+        in
+        let outputs =
+          List.map (fun x -> List.fold_left apply x filters) dev_input
+        in
+        unpack_stream
+          (ship_to_host ~boundary:nb t (pack_stream output_ty outputs)))
   in
-  Actor.device_segment ?chunk:t.chunk_elements
-    ~name:("native:" ^ artifact.na_uid) ~launch inp out
+  Actor.device_segment ?chunk:t.chunk_elements ~name ~launch inp out
 
 (* Cost model for adaptive placement (paper section 7, future work:
    "runtime introspection and adaptation of the task-graph partitioning
@@ -310,6 +324,38 @@ let estimate_cost t ~n (artifact : Artifact.t option)
     (2.0 *. Boundary.transfer_ns b (int_of_float (nf *. elem_bytes)))
     +. (cycles *. float_of_int t.fpga_clock_ns)
 
+(* The trace record of one substitution decision: the chosen device
+   plus, for each alternative device, whether an artifact existed and
+   lost the preference order or was never produced — the "why did my
+   chain not run on X" answer. *)
+let trace_substitution t ~uid ~filters chosen =
+  let chosen_name =
+    match chosen with
+    | Some d -> Artifact.device_name d
+    | None -> "bytecode"
+  in
+  let rejected =
+    List.filter_map
+      (fun d ->
+        if chosen = Some d then None
+        else
+          Some
+            (Artifact.device_name d ^ ":"
+            ^
+            match Store.find_on t.store_ ~uid ~device:d with
+            | Some _ -> "available"
+            | None -> "no-artifact"))
+      [ Artifact.Gpu; Artifact.Fpga; Artifact.Native ]
+  in
+  Trace.instant ~cat:"substitute"
+    ~args:
+      [
+        "device", Trace.Str chosen_name;
+        "filters", Trace.Int filters;
+        "rejected", Trace.Str (String.concat " " rejected);
+      ]
+    uid
+
 let run_bound_graph t (bg : bound_graph) : unit =
   let filters_info = List.map fst bg.bg_filters in
   let n = I.array_length bg.bg_source in
@@ -324,9 +370,15 @@ let run_bound_graph t (bg : bound_graph) : unit =
   List.iter
     (function
       | Substitute.S_device (a, fs) ->
-        Metrics.add_substitution t.metrics_ (Artifact.chain_uid fs)
-          (Artifact.device a)
-      | Substitute.S_bytecode _ -> ())
+        let uid = Artifact.chain_uid fs in
+        Metrics.add_substitution t.metrics_ uid (Artifact.device a);
+        if Trace.enabled () then
+          trace_substitution t ~uid ~filters:(List.length fs)
+            (Some (Artifact.device a))
+      | Substitute.S_bytecode fs ->
+        if Trace.enabled () then
+          trace_substitution t ~uid:(Artifact.chain_uid fs)
+            ~filters:(List.length fs) None)
     plan;
   (* Walk the plan, consuming (filter, receiver) pairs in order. *)
   let remaining = ref bg.bg_filters in
@@ -345,7 +397,7 @@ let run_bound_graph t (bg : bound_graph) : unit =
   let channels = ref [] in
   let new_channel () =
     let c = Actor.Channel.create ~capacity:t.fifo_capacity in
-    channels := c :: !channels;
+    channels := (Printf.sprintf "ch%d" (List.length !channels), c) :: !channels;
     c
   in
   let src_ch = new_channel () in
@@ -383,7 +435,28 @@ let run_bound_graph t (bg : bound_graph) : unit =
     plan;
   let sink = Actor.sink ~name:"sink" bg.bg_sink !cur_ch in
   actors := sink :: !actors;
-  ignore (Scheduler.run (List.rev !actors))
+  (* Sample every FIFO's occupancy each scheduling round, so the trace
+     shows where back-pressure builds up over time. *)
+  let sample_channels =
+    if not (Trace.enabled ()) then fun _ -> ()
+    else
+      let named = List.rev !channels in
+      fun _round ->
+        List.iter
+          (fun (name, (c : Actor.Channel.t)) ->
+            Trace.counter ("fifo:" ^ name)
+              [ "occupancy", float_of_int (Queue.length c.Actor.Channel.q) ])
+          named
+  in
+  Trace.with_span ~cat:"runtime"
+    ~args:
+      [
+        "elements", Trace.Int n;
+        "plan", Trace.Str (Substitute.describe_plan plan);
+      ]
+    "task-graph"
+    (fun () ->
+      ignore (Scheduler.run ~on_round:sample_channels (List.rev !actors)))
 
 (* --- VM hooks ---------------------------------------------------------- *)
 

@@ -39,7 +39,8 @@ type t = {
 (* Crossing into a dynamically loaded shared library is a JNI call:
    sub-microsecond latency and memcpy-class bandwidth, no PCIe. *)
 let native_boundary_model () =
-  Wire.Boundary.create ~latency_ns:800.0 ~bandwidth_bytes_per_ns:24.0 ()
+  Wire.Boundary.create ~label:"jni" ~latency_ns:800.0
+    ~bandwidth_bytes_per_ns:24.0 ()
 
 let create ?boundary () =
   {
@@ -51,7 +52,9 @@ let create ?boundary () =
     fpga_cycles = 0;
     fpga_ns = 0.0;
     boundary =
-      (match boundary with Some b -> b | None -> Wire.Boundary.create ());
+      (match boundary with
+      | Some b -> b
+      | None -> Wire.Boundary.create ~label:"pcie" ());
     native_boundary = native_boundary_model ();
     substitutions = [];
   }
@@ -110,6 +113,74 @@ let reset t =
   Wire.Boundary.reset_stats t.boundary;
   Wire.Boundary.reset_stats t.native_boundary;
   t.substitutions <- []
+
+(* --- snapshot presentation -------------------------------------------- *)
+
+(* Callers used to hand-format snapshot fields; these are the one
+   shared pretty-printer and JSON form (lmc --profile, tooling). *)
+
+let pp_boundary ppf (name, (b : Wire.Boundary.stats)) =
+  Format.fprintf ppf
+    "@[%-8s %d+%d crossing(s), %d+%d byte(s) to device+host, %.1f us \
+     modeled@]"
+    name b.crossings_to_device b.crossings_to_host b.bytes_to_device
+    b.bytes_to_host
+    (b.modeled_transfer_ns /. 1000.0)
+
+let pp ppf (s : snapshot) =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "vm:       %d instruction(s)@," s.vm_instructions;
+  Format.fprintf ppf "native:   %d instruction(s), %.1f us modeled@,"
+    s.native_instructions (s.native_ns /. 1000.0);
+  Format.fprintf ppf "gpu:      %d kernel(s), %.1f us modeled@," s.gpu_kernels
+    (s.gpu_kernel_ns /. 1000.0);
+  Format.fprintf ppf "fpga:     %d run(s), %d cycle(s), %.1f us modeled@,"
+    s.fpga_runs s.fpga_cycles (s.fpga_ns /. 1000.0);
+  Format.fprintf ppf "%a@," pp_boundary ("pcie", s.marshal);
+  Format.fprintf ppf "%a@," pp_boundary ("jni", s.marshal_native);
+  Format.fprintf ppf "substitutions: %s"
+    (if s.substitutions = [] then "none"
+     else
+       String.concat ", "
+         (List.map
+            (fun (uid, d) -> uid ^ " -> " ^ Artifact.device_name d)
+            s.substitutions));
+  Format.fprintf ppf "@]"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let boundary_json (b : Wire.Boundary.stats) =
+  Printf.sprintf
+    "{\"crossings_to_device\":%d,\"crossings_to_host\":%d,\"bytes_to_device\":%d,\"bytes_to_host\":%d,\"modeled_transfer_ns\":%.1f}"
+    b.crossings_to_device b.crossings_to_host b.bytes_to_device
+    b.bytes_to_host b.modeled_transfer_ns
+
+let to_json (s : snapshot) =
+  Printf.sprintf
+    "{\"vm_instructions\":%d,\"native_instructions\":%d,\"native_ns\":%.1f,\"gpu_kernels\":%d,\"gpu_kernel_ns\":%.1f,\"fpga_runs\":%d,\"fpga_cycles\":%d,\"fpga_ns\":%.1f,\"marshal\":%s,\"marshal_native\":%s,\"substitutions\":[%s]}"
+    s.vm_instructions s.native_instructions s.native_ns s.gpu_kernels
+    s.gpu_kernel_ns s.fpga_runs s.fpga_cycles s.fpga_ns
+    (boundary_json s.marshal)
+    (boundary_json s.marshal_native)
+    (String.concat ","
+       (List.map
+          (fun (uid, d) ->
+            Printf.sprintf "{\"uid\":\"%s\",\"device\":\"%s\"}"
+              (json_escape uid)
+              (Artifact.device_name d))
+          s.substitutions))
 
 let modeled_cpu_ns t = float_of_int t.vm_instructions *. cpu_ns_per_instruction
 

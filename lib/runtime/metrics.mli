@@ -34,6 +34,14 @@ val native_boundary : t -> Wire.Boundary.t
 val snapshot : t -> snapshot
 val reset : t -> unit
 
+val pp : Format.formatter -> snapshot -> unit
+(** Multi-line human-readable rendering of a snapshot (instruction
+    counts, device activity, both boundaries, the substitution list) —
+    the one shared formatter, so callers stop hand-formatting fields. *)
+
+val to_json : snapshot -> string
+(** The same snapshot as a self-contained JSON object. *)
+
 val cpu_ns_per_instruction : float
 (** ~6ns: a ~2GHz core spending a dozen cycles per interpreted
     bytecode instruction — the paper's JVM execution regime. *)

@@ -5,6 +5,8 @@
    (a cycle of full/empty queues), which is reported rather than
    spinning forever. *)
 
+module Trace = Support.Trace
+
 exception Deadlock of string
 
 type stats = {
@@ -13,11 +15,27 @@ type stats = {
   blocked_steps : int;  (** steps that found the actor blocked *)
 }
 
-let run (actors : Actor.t list) : stats =
+(* The deadlock report names every wedged actor together with its
+   channel states, so the full/empty cycle is visible in the message
+   itself (e.g. "bc:f[in=empty out=full]"). *)
+let deadlock_message (live : Actor.t list) =
+  Printf.sprintf "task graph wedged; blocked actors: %s"
+    (String.concat ", "
+       (List.map
+          (fun (a : Actor.t) -> a.name ^ Actor.describe_ports a)
+          live))
+
+let status_name = function
+  | Actor.Progress -> "progress"
+  | Actor.Blocked -> "blocked"
+  | Actor.Done -> "done"
+
+let run ?(on_round = fun _ -> ()) (actors : Actor.t list) : stats =
   let live = ref actors in
   let rounds = ref 0 in
   let steps = ref 0 in
   let blocked = ref 0 in
+  let tracing = Trace.enabled () in
   while !live <> [] do
     incr rounds;
     let progressed = ref false in
@@ -25,7 +43,16 @@ let run (actors : Actor.t list) : stats =
       List.filter
         (fun (a : Actor.t) ->
           incr steps;
-          match a.step () with
+          let status = a.step () in
+          if tracing then
+            Trace.instant ~cat:"sched"
+              ~args:
+                [
+                  "status", Trace.Str (status_name status);
+                  "round", Trace.Int !rounds;
+                ]
+              a.name;
+          match status with
           | Actor.Progress ->
             progressed := true;
             true
@@ -38,11 +65,8 @@ let run (actors : Actor.t list) : stats =
         !live
     in
     live := still_live;
+    on_round !rounds;
     if (not !progressed) && !live <> [] then
-      raise
-        (Deadlock
-           (Printf.sprintf "task graph wedged; blocked actors: %s"
-              (String.concat ", "
-                 (List.map (fun (a : Actor.t) -> a.name) !live))))
+      raise (Deadlock (deadlock_message !live))
   done;
   { rounds = !rounds; steps = !steps; blocked_steps = !blocked }

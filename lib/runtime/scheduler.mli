@@ -2,7 +2,14 @@
 
     Steps every live actor round-robin until all have finished. A full
     round in which nothing progresses is a wedged graph (a cycle of
-    full/empty queues) and raises {!Deadlock} instead of spinning. *)
+    full/empty queues) and raises {!Deadlock} instead of spinning; the
+    message lists every wedged actor with its channel states
+    ([name[in=empty out=full]]) so the cycle is debuggable from the
+    error alone.
+
+    When tracing is enabled ({!Support.Trace.enabled}), every actor
+    step emits an instant event (category ["sched"]) carrying the
+    step's outcome and round number. *)
 
 exception Deadlock of string
 
@@ -12,4 +19,7 @@ type stats = {
   blocked_steps : int;  (** steps that found the actor blocked *)
 }
 
-val run : Actor.t list -> stats
+val run : ?on_round:(int -> unit) -> Actor.t list -> stats
+(** [on_round] is called after each completed round with the round
+    number — the runtime uses it to sample channel occupancy into the
+    trace. *)

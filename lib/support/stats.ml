@@ -4,7 +4,26 @@ type summary = {
   stddev : float;
   min : float;
   max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
 }
+
+(* Percentile by linear interpolation between closest ranks on the
+   sorted sample (the h = q*(n-1) convention, as numpy's default). *)
+let percentile_sorted (sorted : float array) q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q outside [0,1]";
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = min (lo + 1) (n - 1) in
+  sorted.(lo) +. ((h -. float_of_int lo) *. (sorted.(hi) -. sorted.(lo)))
+
+let percentile xs q =
+  let sorted = Array.of_list xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted q
 
 let summarize = function
   | [] -> invalid_arg "Stats.summarize: empty"
@@ -15,12 +34,17 @@ let summarize = function
     let var =
       List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n
     in
+    let sorted = Array.of_list xs in
+    Array.sort compare sorted;
     {
       count;
       mean;
       stddev = sqrt var;
       min = List.fold_left min infinity xs;
       max = List.fold_left max neg_infinity xs;
+      p50 = percentile_sorted sorted 0.50;
+      p95 = percentile_sorted sorted 0.95;
+      p99 = percentile_sorted sorted 0.99;
     }
 
 let geomean = function

@@ -9,10 +9,18 @@ type summary = {
   stddev : float;
   min : float;
   max : float;
+  p50 : float;  (** median *)
+  p95 : float;
+  p99 : float;
 }
 
 val summarize : float list -> summary
 (** @raise Invalid_argument on an empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs q] for [q] in [[0,1]], by linear interpolation
+    between closest ranks of the sorted sample.
+    @raise Invalid_argument on an empty list or [q] outside [[0,1]]. *)
 
 val geomean : float list -> float
 (** Geometric mean; [Invalid_argument] on empty input or non-positive

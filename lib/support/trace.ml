@@ -1,0 +1,330 @@
+(* Event/span collection for the whole toolchain and runtime.
+
+   The collector is deliberately primitive: a bounded FIFO of already-
+   built events, drop-oldest on overflow. Everything interesting —
+   aggregation, percentiles, JSON — happens at export time, so the
+   emission path stays cheap enough to leave compiled in everywhere. *)
+
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      dur_us : float;
+      args : (string * arg) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      args : (string * arg) list;
+    }
+  | Counter of { name : string; ts_us : float; values : (string * float) list }
+
+type ring_state = {
+  capacity : int;
+  q : event Queue.t;
+  mutable dropped : int;
+  t0 : float;  (* gettimeofday at sink creation; timestamps are relative *)
+}
+
+type sink = Null | Ring of ring_state
+
+let null = Null
+
+let ring ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.ring: capacity < 1";
+  Ring
+    { capacity; q = Queue.create (); dropped = 0; t0 = Unix.gettimeofday () }
+
+let sink_ = ref Null
+let set_sink s = sink_ := s
+let current () = !sink_
+let enabled () = match !sink_ with Null -> false | Ring _ -> true
+
+let now_us (r : ring_state) = (Unix.gettimeofday () -. r.t0) *. 1e6
+
+let emit (e : event) =
+  match !sink_ with
+  | Null -> ()
+  | Ring r ->
+    if Queue.length r.q >= r.capacity then begin
+      ignore (Queue.pop r.q);
+      r.dropped <- r.dropped + 1
+    end;
+    Queue.push e r.q
+
+(* --- emission --------------------------------------------------------- *)
+
+type span =
+  | S_disabled
+  | S_open of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      args : (string * arg) list;
+    }
+
+let begin_span ?(args = []) ~cat name =
+  match !sink_ with
+  | Null -> S_disabled
+  | Ring r -> S_open { name; cat; ts_us = now_us r; args }
+
+let end_span ?(args = []) span =
+  match span, !sink_ with
+  | S_disabled, _ | _, Null -> ()
+  | S_open s, Ring r ->
+    emit
+      (Span
+         {
+           name = s.name;
+           cat = s.cat;
+           ts_us = s.ts_us;
+           dur_us = now_us r -. s.ts_us;
+           args = s.args @ args;
+         })
+
+let with_span ?args ~cat name f =
+  match !sink_ with
+  | Null -> f ()
+  | Ring _ ->
+    let sp = begin_span ?args ~cat name in
+    let r = try f () with e -> end_span sp; raise e in
+    end_span sp;
+    r
+
+let instant ?(args = []) ~cat name =
+  match !sink_ with
+  | Null -> ()
+  | Ring r -> emit (Instant { name; cat; ts_us = now_us r; args })
+
+let counter name values =
+  match !sink_ with
+  | Null -> ()
+  | Ring r -> emit (Counter { name; ts_us = now_us r; values })
+
+(* --- inspection ------------------------------------------------------- *)
+
+let events = function
+  | Null -> []
+  | Ring r -> List.of_seq (Queue.to_seq r.q)
+
+let event_count = function Null -> 0 | Ring r -> Queue.length r.q
+let dropped = function Null -> 0 | Ring r -> r.dropped
+
+let clear = function
+  | Null -> ()
+  | Ring r ->
+    Queue.clear r.q;
+    r.dropped <- 0
+
+(* --- Chrome trace_event JSON ------------------------------------------ *)
+
+module Chrome = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let str s = "\"" ^ escape s ^ "\""
+
+  (* %.3f keeps nanosecond resolution on the microsecond timeline and
+     never produces NaN/inf or exponent notation (invalid JSON risks). *)
+  let num f = Printf.sprintf "%.3f" f
+
+  let arg_json = function
+    | Str s -> str s
+    | Int i -> string_of_int i
+    | Float f -> num f
+    | Bool b -> if b then "true" else "false"
+
+  let args_json args =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> str k ^ ":" ^ arg_json v) args)
+    ^ "}"
+
+  let event_json = function
+    | Span { name; cat; ts_us; dur_us; args } ->
+      Printf.sprintf
+        "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":%s}"
+        (str name) (str cat) (num ts_us) (num dur_us) (args_json args)
+    | Instant { name; cat; ts_us; args } ->
+      Printf.sprintf
+        "{\"name\":%s,\"cat\":%s,\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":1,\"tid\":1,\"args\":%s}"
+        (str name) (str cat) (num ts_us) (args_json args)
+    | Counter { name; ts_us; values } ->
+      Printf.sprintf
+        "{\"name\":%s,\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"tid\":1,\"args\":%s}"
+        (str name) (num ts_us)
+        (args_json (List.map (fun (k, v) -> k, Float v) values))
+
+  let to_json ?(process_name = "liquid-metal") sink =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":%s}}"
+         (str process_name));
+    List.iter
+      (fun e ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (event_json e))
+      (events sink);
+    Buffer.add_string buf "],\"displayTimeUnit\":\"ns\",";
+    Buffer.add_string buf
+      (Printf.sprintf "\"otherData\":{\"droppedEvents\":%d}}" (dropped sink));
+    Buffer.contents buf
+end
+
+(* --- profile report --------------------------------------------------- *)
+
+module Profile = struct
+  (* Group in first-seen order: the report reads top-to-bottom in the
+     order work actually happened. *)
+  let group_fold key_of add init es =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun e ->
+        match key_of e with
+        | None -> ()
+        | Some key ->
+          let acc =
+            match Hashtbl.find_opt tbl key with
+            | Some acc -> acc
+            | None ->
+              order := key :: !order;
+              init
+          in
+          Hashtbl.replace tbl key (add acc e))
+      es;
+    List.rev_map (fun key -> key, Hashtbl.find tbl key) !order
+
+  let us f = Printf.sprintf "%.1f" f
+
+  let report sink =
+    let es = events sink in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "profile: %d event(s) collected, %d dropped\n"
+         (List.length es) (dropped sink));
+    (* spans: wall-time breakdown with percentiles *)
+    let spans =
+      group_fold
+        (function
+          | Span { name; cat; _ } -> Some (cat, name)
+          | Instant _ | Counter _ -> None)
+        (fun acc e ->
+          match e with
+          | Span { dur_us; _ } -> dur_us :: acc
+          | Instant _ | Counter _ -> acc)
+        [] es
+      |> List.map (fun (key, durs_rev) -> key, List.rev durs_rev)
+    in
+    if spans <> [] then begin
+      Buffer.add_string buf "\nspans (wall time, us):\n";
+      let t =
+        Stats.Table.create
+          ~columns:
+            [ "cat"; "span"; "count"; "total"; "mean"; "p50"; "p95"; "p99" ]
+      in
+      List.iter
+        (fun ((cat, name), durs) ->
+          let s = Stats.summarize durs in
+          Stats.Table.add_row t
+            [
+              cat;
+              name;
+              string_of_int s.Stats.count;
+              us (s.Stats.mean *. float_of_int s.Stats.count);
+              us s.Stats.mean;
+              us s.Stats.p50;
+              us s.Stats.p95;
+              us s.Stats.p99;
+            ])
+        spans;
+      Buffer.add_string buf (Stats.Table.render t)
+    end;
+    (* instants: substitution decisions, scheduler steps, ... *)
+    let instants =
+      group_fold
+        (function
+          | Instant { name; cat; _ } -> Some (cat, name)
+          | Span _ | Counter _ -> None)
+        (fun acc _ -> acc + 1)
+        0 es
+    in
+    if instants <> [] then begin
+      Buffer.add_string buf "\nevents:\n";
+      let t = Stats.Table.create ~columns:[ "cat"; "event"; "count" ] in
+      List.iter
+        (fun ((cat, name), count) ->
+          Stats.Table.add_row t [ cat; name; string_of_int count ])
+        instants;
+      Buffer.add_string buf (Stats.Table.render t)
+    end;
+    (* counters: channel occupancy, boundary traffic, ... *)
+    let counters =
+      group_fold
+        (function Counter { name; _ } -> Some name | Span _ | Instant _ -> None)
+        (fun acc e ->
+          match e with
+          | Counter { values; _ } -> values :: acc
+          | Span _ | Instant _ -> acc)
+        [] es
+    in
+    if counters <> [] then begin
+      Buffer.add_string buf "\ncounters:\n";
+      let t =
+        Stats.Table.create
+          ~columns:[ "counter"; "key"; "samples"; "mean"; "peak"; "last" ]
+      in
+      List.iter
+        (fun (name, samples_rev) ->
+          let samples = List.rev samples_rev in
+          (* keys in first-seen order within the series *)
+          let keys =
+            List.fold_left
+              (fun keys values ->
+                List.fold_left
+                  (fun keys (k, _) ->
+                    if List.mem k keys then keys else keys @ [ k ])
+                  keys values)
+              [] samples
+          in
+          List.iter
+            (fun key ->
+              let xs = List.filter_map (List.assoc_opt key) samples in
+              if xs <> [] then begin
+                let s = Stats.summarize xs in
+                let last = List.nth xs (List.length xs - 1) in
+                Stats.Table.add_row t
+                  [
+                    name;
+                    key;
+                    string_of_int s.Stats.count;
+                    Printf.sprintf "%.1f" s.Stats.mean;
+                    Printf.sprintf "%.1f" s.Stats.max;
+                    Printf.sprintf "%.1f" last;
+                  ]
+              end)
+            keys)
+        counters;
+      Buffer.add_string buf (Stats.Table.render t)
+    end;
+    Buffer.contents buf
+end

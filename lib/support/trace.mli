@@ -1,0 +1,105 @@
+(** End-to-end tracing: spans, instants and counters from every layer.
+
+    The compiler phases, the runtime (substitution decisions, scheduler
+    steps, channel occupancy, device launches, boundary crossings) and
+    the device simulators all emit events here. Collection is a bounded
+    in-memory ring buffer (drop-oldest, counting drops) with two
+    exporters: Chrome [trace_event] JSON — loadable in [about:tracing]
+    or Perfetto — and a human-readable profile report built on
+    {!Stats.Table}.
+
+    Tracing is off by default: the installed sink is {!null} and every
+    emission point first checks {!enabled}, so the disabled cost is one
+    branch. Nothing here touches {!Stats} accumulation elsewhere —
+    metrics keep their existing meaning whether or not a trace is being
+    collected. See [docs/OBSERVABILITY.md]. *)
+
+(** A typed event argument (rendered into the Chrome [args] object). *)
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      ts_us : float;  (** start, microseconds since the sink was created *)
+      dur_us : float;
+      args : (string * arg) list;
+    }  (** a completed duration span (Chrome phase ["X"]) *)
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      args : (string * arg) list;
+    }  (** a point event (Chrome phase ["i"]) *)
+  | Counter of { name : string; ts_us : float; values : (string * float) list }
+      (** a sampled counter series (Chrome phase ["C"]) *)
+
+type sink
+
+val null : sink
+(** The no-op sink: every emission is dropped before being built. *)
+
+val ring : ?capacity:int -> unit -> sink
+(** A bounded in-memory collector (default capacity 65536 events).
+    When full, the oldest event is dropped and counted. *)
+
+val set_sink : sink -> unit
+(** Install the process-wide sink. The default is {!null}. *)
+
+val current : unit -> sink
+val enabled : unit -> bool
+(** [false] iff the current sink is {!null} — the fast-path check every
+    instrumentation point performs first. *)
+
+(** {2 Emission} *)
+
+type span
+(** An open span handle from {!begin_span}; closed by {!end_span}. *)
+
+val begin_span : ?args:(string * arg) list -> cat:string -> string -> span
+
+val end_span : ?args:(string * arg) list -> span -> unit
+(** Records the completed span into the current sink; [args] given here
+    are appended to those from {!begin_span} (for results only known at
+    the end, e.g. artifact counts). *)
+
+val with_span :
+  ?args:(string * arg) list -> cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span ~cat name f] runs [f] inside a span; the span is
+    recorded even when [f] raises. When tracing is disabled this is a
+    single branch and a call to [f]. *)
+
+val instant : ?args:(string * arg) list -> cat:string -> string -> unit
+val counter : string -> (string * float) list -> unit
+
+(** {2 Inspection (ring sinks; the null sink is always empty)} *)
+
+val events : sink -> event list
+(** Oldest first. *)
+
+val event_count : sink -> int
+val dropped : sink -> int
+val clear : sink -> unit
+(** Drops all buffered events and resets the drop counter. *)
+
+(** {2 Exporters} *)
+
+(** Chrome [trace_event] JSON (the "JSON Array Format" wrapped in an
+    object), loadable in [about:tracing] and {{:https://ui.perfetto.dev}
+    Perfetto}. *)
+module Chrome : sig
+  val to_json : ?process_name:string -> sink -> string
+  (** All buffered events as one JSON document. Timestamps are
+      microseconds; spans are phase ["X"], instants ["i"], counters
+      ["C"]. The drop count is recorded under [otherData]. *)
+end
+
+(** The human-readable profile: per-span wall-time breakdown with
+    percentiles, and per-counter (channel occupancy, boundary traffic)
+    peak/mean summaries. *)
+module Profile : sig
+  val report : sink -> string
+  (** Two {!Stats.Table}s — spans (count, total, mean, p50/p95/p99) and
+      counters (samples, mean, peak, last) — preceded by an event/drop
+      header line. *)
+end

@@ -16,6 +16,7 @@ type stats = {
 }
 
 type t = {
+  label : string;
   latency_ns : float;
   bandwidth_bytes_per_ns : float;
   mutable crossings_to_device : int;
@@ -25,8 +26,10 @@ type t = {
   mutable modeled_transfer_ns : float;
 }
 
-let create ?(latency_ns = 10_000.0) ?(bandwidth_bytes_per_ns = 8.0) () =
+let create ?(label = "boundary") ?(latency_ns = 10_000.0)
+    ?(bandwidth_bytes_per_ns = 8.0) () =
   {
+    label;
     latency_ns;
     bandwidth_bytes_per_ns;
     crossings_to_device = 0;
@@ -36,8 +39,21 @@ let create ?(latency_ns = 10_000.0) ?(bandwidth_bytes_per_ns = 8.0) () =
     modeled_transfer_ns = 0.0;
   }
 
+let label t = t.label
+
 let transfer_ns t bytes =
   t.latency_ns +. (float_of_int bytes /. t.bandwidth_bytes_per_ns)
+
+(* Each crossing samples the cumulative byte counters into the trace,
+   so a Chrome viewer shows the traffic on each boundary over time. *)
+let trace_crossing t =
+  if Support.Trace.enabled () then
+    Support.Trace.counter
+      ("boundary:" ^ t.label)
+      [
+        "bytes_to_device", float_of_int t.bytes_to_device;
+        "bytes_to_host", float_of_int t.bytes_to_host;
+      ]
 
 let to_device t ty v =
   (* Step 1: serialize the Lime value to a byte array. *)
@@ -47,6 +63,7 @@ let to_device t ty v =
   t.crossings_to_device <- t.crossings_to_device + 1;
   t.bytes_to_device <- t.bytes_to_device + n;
   t.modeled_transfer_ns <- t.modeled_transfer_ns +. transfer_ns t n;
+  trace_crossing t;
   (* Step 3: the C side keeps the densely packed form directly. *)
   { Native.ty; data }
 
@@ -57,6 +74,7 @@ let to_host t (native : Native.t) =
   t.crossings_to_host <- t.crossings_to_host + 1;
   t.bytes_to_host <- t.bytes_to_host + n;
   t.modeled_transfer_ns <- t.modeled_transfer_ns +. transfer_ns t n;
+  trace_crossing t;
   (* Deserialize from the byte array back into a heap-resident value. *)
   Native.to_value native
 

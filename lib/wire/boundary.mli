@@ -31,9 +31,17 @@ type stats = {
 
 type t
 
-val create : ?latency_ns:float -> ?bandwidth_bytes_per_ns:float -> unit -> t
+val create :
+  ?label:string ->
+  ?latency_ns:float ->
+  ?bandwidth_bytes_per_ns:float ->
+  unit ->
+  t
 (** Defaults model a PCIe 2.0 x16-class link: 10_000 ns per crossing
-    and 8 bytes/ns (~8 GB/s). *)
+    and 8 bytes/ns (~8 GB/s). [label] (default ["boundary"]) names the
+    boundary in trace counter events ([boundary:<label>]). *)
+
+val label : t -> string
 
 val to_device : t -> Codec.ty -> Value.t -> Native.t
 (** Full host-to-device path: serialize, cross, convert to dense. *)

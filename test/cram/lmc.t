@@ -74,6 +74,84 @@ Compile errors carry a location and phase:
   runtime error: '.length' on a non-array int
   [1]
 
+--trace records the whole run — compiler phases, the substitution
+decision, device launches, scheduler steps, channel occupancy and
+boundary traffic — as Chrome trace_event JSON (event count is
+control-flow determined; normalize it anyway to stay robust):
+
+  $ ../../bin/lmc.exe run bitflip.lime Bitflip.taskFlip 101010101b --trace out.json | sed 's/([0-9]* event/(N event/'
+  010101010b
+  plan: gpu(1)
+  trace: wrote out.json (N event(s), 0 dropped)
+
+The file is one JSON object holding the event array plus drop metadata,
+and carries every acceptance-relevant event kind:
+
+  $ grep -c '"traceEvents"' out.json
+  1
+  $ grep -c '"droppedEvents":0' out.json
+  1
+  $ grep -o '"name":"parse"' out.json
+  "name":"parse"
+  $ grep -o '"name":"typecheck"' out.json
+  "name":"typecheck"
+  $ grep -o '"cat":"substitute"' out.json
+  "cat":"substitute"
+  $ grep -o '"cat":"launch"' out.json | sort -u
+  "cat":"launch"
+  $ grep -o '"name":"task-graph"' out.json
+  "name":"task-graph"
+  $ grep -o '"name":"boundary:pcie"' out.json | sort -u
+  "name":"boundary:pcie"
+  $ grep -o '"name":"fifo:ch0"' out.json | sort -u
+  "name":"fifo:ch0"
+
+--profile prints the span/counter breakdown with percentiles and the
+metrics snapshot (timings vary run to run, so digits are normalized):
+
+  $ ../../bin/lmc.exe run bitflip.lime Bitflip.taskFlip 101010101b --profile | tr -s ' ' | sed 's/[0-9][0-9.]*/N/g; s/--*/-/g; s/ *$//'
+  Nb
+  plan: gpu(N)
+  profile: N event(s) collected, N dropped
+  
+  spans (wall time, us):
+  cat span count total mean pN pN pN
+  - - - - - - - -
+  compiler parse N N N N N N
+  compiler typecheck N N N N N N
+  compiler lower N N N N N N
+  compiler optimize N N N N N N
+  compiler bytecode-backend N N N N N N
+  compiler native-backend N N N N N N
+  compiler gpu-backend N N N N N N
+  compiler fpga-backend N N N N N N
+  gpu Bitflip.flip N N N N N N
+  launch gpu:Bitflip.flip@Bitflip.taskFlip/N N N N N N N
+  runtime task-graph N N N N N N
+  
+  events:
+  cat event count
+  - - -
+  substitute Bitflip.flip@Bitflip.taskFlip/N N
+  sched source N
+  sched gpu:Bitflip.flip@Bitflip.taskFlip/N N
+  sched sink N
+  
+  counters:
+  counter key samples mean peak last
+  - - - - - -
+  fifo:chN occupancy N N N N
+  fifo:chN occupancy N N N N
+  boundary:pcie bytes_to_device N N N N
+  boundary:pcie bytes_to_host N N N N
+  vm: N instruction(s)
+  native: N instruction(s), N us modeled
+  gpu: N kernel(s), N us modeled
+  fpga: N run(s), N cycle(s), N us modeled
+  pcie N+N crossing(s), N+N byte(s) to device+host, N us modeled
+  jni N+N crossing(s), N+N byte(s) to device+host, N us modeled
+  substitutions: Bitflip.flip@Bitflip.taskFlip/N -> gpu
+
 The IR dump shows the discovered task graph and the lowered filter:
 
   $ ../../bin/lmc.exe dump-ir bitflip.lime Bitflip.flip

@@ -108,8 +108,58 @@ let test_device_segment_chunked () =
 let test_scheduler_deadlock_detection () =
   let never_progresses = Actor.make ~name:"stuck" (fun () -> Actor.Blocked) in
   match Scheduler.run [ never_progresses ] with
-  | exception Scheduler.Deadlock _ -> ()
+  | exception Scheduler.Deadlock msg ->
+    Alcotest.(check bool) "names the actor" true
+      (Test_types.contains msg "stuck")
   | _ -> Alcotest.fail "expected deadlock"
+
+(* A wedged graph's report carries each blocked actor's channel state
+   (full/empty/occupancy) so the cycle is visible in the message. *)
+let test_deadlock_reports_channel_states () =
+  let full = Actor.Channel.create ~capacity:1 in
+  Actor.Channel.push full (V.Int 1);
+  let empty = Actor.Channel.create ~capacity:4 in
+  let producer =
+    Actor.make ~name:"producer"
+      ~ports:[ "out", full ]
+      (fun () -> Actor.Blocked)
+  in
+  let consumer =
+    Actor.make ~name:"consumer"
+      ~ports:[ "in", empty ]
+      (fun () -> Actor.Blocked)
+  in
+  match Scheduler.run [ producer; consumer ] with
+  | exception Scheduler.Deadlock msg ->
+    let has = Test_types.contains msg in
+    Alcotest.(check bool) "producer's full port" true (has "producer[out=full]");
+    Alcotest.(check bool) "consumer's empty port" true
+      (has "consumer[in=empty]")
+  | _ -> Alcotest.fail "expected deadlock"
+
+(* --- metrics presentation --------------------------------------------- *)
+
+let test_metrics_pp_and_json () =
+  let m = Metrics.create () in
+  Metrics.add_vm_instructions m 12;
+  Metrics.add_gpu_kernel m ~ns:5000.0;
+  Metrics.add_substitution m "C.f@g/0" Artifact.Gpu;
+  let s = Metrics.snapshot m in
+  let rendered = Format.asprintf "%a" Metrics.pp s in
+  let has = Test_types.contains rendered in
+  Alcotest.(check bool) "vm count" true (has "12 instruction(s)");
+  Alcotest.(check bool) "gpu line" true (has "1 kernel(s)");
+  Alcotest.(check bool) "substitution" true (has "C.f@g/0 -> gpu");
+  let json = Metrics.to_json s in
+  let hasj = Test_types.contains json in
+  Alcotest.(check bool) "json vm" true (hasj "\"vm_instructions\":12");
+  Alcotest.(check bool) "json gpu ns" true (hasj "\"gpu_kernel_ns\":5000.0");
+  Alcotest.(check bool) "json substitution" true
+    (hasj "{\"uid\":\"C.f@g/0\",\"device\":\"gpu\"}");
+  (* no substitutions renders as an empty array, not a dangling comma *)
+  let empty = Metrics.to_json (Metrics.snapshot (Metrics.create ())) in
+  Alcotest.(check bool) "empty substitutions" true
+    (Test_types.contains empty "\"substitutions\":[]")
 
 (* --- substitution planning ------------------------------------------- *)
 
@@ -224,6 +274,9 @@ let suite =
         test_device_segment_chunked;
       Alcotest.test_case "deadlock detection" `Quick
         test_scheduler_deadlock_detection;
+      Alcotest.test_case "deadlock channel states" `Quick
+        test_deadlock_reports_channel_states;
+      Alcotest.test_case "metrics pp/json" `Quick test_metrics_pp_and_json;
       Alcotest.test_case "substitution prefers larger" `Quick
         test_substitution_prefers_larger;
       Alcotest.test_case "smallest policy" `Quick test_substitution_smallest_policy;

@@ -63,8 +63,30 @@ let test_stats_summary () =
   Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
   Alcotest.(check (float 1e-9)) "max" 4.0 s.max;
   Alcotest.(check (float 1e-6)) "stddev" 1.118034 s.stddev;
+  (* linear interpolation between closest ranks, h = q(n-1) *)
+  Alcotest.(check (float 1e-9)) "p50" 2.5 s.p50;
+  Alcotest.(check (float 1e-9)) "p95" 3.85 s.p95;
+  Alcotest.(check (float 1e-9)) "p99" 3.97 s.p99;
   Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty")
     (fun () -> ignore (Stats.summarize []))
+
+let test_stats_percentile () =
+  let xs = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.percentile xs 0.5);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.percentile xs 1.0);
+  Alcotest.(check (float 1e-9)) "interpolated" 1.4 (Stats.percentile xs 0.1);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Stats.percentile [ 7.0 ] 0.95);
+  (* order-insensitive: the input need not be sorted *)
+  Alcotest.(check (float 1e-9)) "unsorted = sorted"
+    (Stats.percentile [ 1.0; 2.0; 3.0 ] 0.75)
+    (Stats.percentile [ 3.0; 1.0; 2.0 ] 0.75);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile [] 0.5));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: q outside [0,1]") (fun () ->
+      ignore (Stats.percentile [ 1.0 ] 1.5))
 
 let test_stats_geomean () =
   Alcotest.(check (float 1e-9)) "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
@@ -136,6 +158,7 @@ let suite =
       Alcotest.test_case "vec errors" `Quick test_vec_errors;
       QCheck_alcotest.to_alcotest prop_vec_roundtrip;
       Alcotest.test_case "stats summary" `Quick test_stats_summary;
+      Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
       Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
       Alcotest.test_case "stats table" `Quick test_stats_table;
       Alcotest.test_case "ident uniqueness" `Quick test_ident_uniqueness;

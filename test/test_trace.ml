@@ -1,0 +1,312 @@
+(* Tests for the tracing subsystem: span nesting, ring-buffer overflow
+   accounting, Chrome trace_event export (validated by an actual JSON
+   round-trip parse — no JSON library in the tree, so a minimal parser
+   lives here), and the disabled fast path. *)
+
+module Trace = Support.Trace
+
+(* Every test installs its own sink; make sure the process-wide default
+   is restored even on failure so later suites see tracing disabled. *)
+let with_ring ?capacity f =
+  let sink = Trace.ring ?capacity () in
+  Trace.set_sink sink;
+  Fun.protect ~finally:(fun () -> Trace.set_sink Trace.null) (fun () -> f sink)
+
+(* --- a minimal JSON parser (objects, arrays, strings, numbers,
+       booleans, null) — just enough to round-trip the exporter ------- *)
+
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of float
+  | J_bool of bool
+  | J_null
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+          in
+          (* events only contain ASCII control characters here *)
+          Buffer.add_char buf (Char.chr (code land 0x7f));
+          pos := !pos + 4;
+          go ()
+        | Some c -> Buffer.add_char buf c; advance (); go ()
+        | None -> fail "unterminated escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    if start = !pos then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let literal lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); J_obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((key, v) :: acc)
+          | Some '}' -> advance (); J_obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); J_arr [])
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elems (v :: acc)
+          | Some ']' -> advance (); J_arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elems []
+      end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | J_obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let as_str = function Some (J_str s) -> s | _ -> Alcotest.fail "not a string"
+let as_num = function Some (J_num f) -> f | _ -> Alcotest.fail "not a number"
+
+(* --- span nesting ------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_ring (fun sink ->
+      let r =
+        Trace.with_span ~cat:"t" "outer" (fun () ->
+            Trace.with_span ~cat:"t" "inner" (fun () -> 41) + 1)
+      in
+      Alcotest.(check int) "result" 42 r;
+      match Trace.events sink with
+      (* inner closes first: ring order is completion order *)
+      | [ Trace.Span inner; Trace.Span outer ] ->
+        Alcotest.(check string) "inner name" "inner" inner.name;
+        Alcotest.(check string) "outer name" "outer" outer.name;
+        Alcotest.(check bool) "inner starts after outer" true
+          (inner.ts_us >= outer.ts_us);
+        Alcotest.(check bool) "inner ends before outer" true
+          (inner.ts_us +. inner.dur_us
+          <= outer.ts_us +. outer.dur_us +. 1e-6)
+      | evs ->
+        Alcotest.failf "expected exactly 2 spans, got %d" (List.length evs))
+
+let test_span_survives_exception () =
+  with_ring (fun sink ->
+      (try
+         Trace.with_span ~cat:"t" "boom" (fun () -> failwith "expected")
+       with Failure _ -> ());
+      match Trace.events sink with
+      | [ Trace.Span sp ] -> Alcotest.(check string) "recorded" "boom" sp.name
+      | _ -> Alcotest.fail "span not recorded on exception")
+
+(* --- ring overflow ----------------------------------------------------- *)
+
+let test_ring_overflow () =
+  with_ring ~capacity:4 (fun sink ->
+      for i = 0 to 9 do
+        Trace.instant ~cat:"t" (string_of_int i)
+      done;
+      Alcotest.(check int) "kept" 4 (Trace.event_count sink);
+      Alcotest.(check int) "dropped" 6 (Trace.dropped sink);
+      let names =
+        List.map
+          (function Trace.Instant { name; _ } -> name | _ -> "?")
+          (Trace.events sink)
+      in
+      Alcotest.(check (list string)) "oldest dropped first"
+        [ "6"; "7"; "8"; "9" ] names;
+      Trace.clear sink;
+      Alcotest.(check int) "cleared" 0 (Trace.event_count sink);
+      Alcotest.(check int) "drop counter reset" 0 (Trace.dropped sink))
+
+(* --- Chrome export ----------------------------------------------------- *)
+
+let test_chrome_json_roundtrip () =
+  with_ring (fun sink ->
+      Trace.with_span ~cat:"compiler"
+        ~args:[ "file", Trace.Str "a\"b\\c\nd" ]
+        "parse"
+        (fun () -> ());
+      Trace.instant ~cat:"substitute"
+        ~args:[ "device", Trace.Str "gpu"; "filters", Trace.Int 2 ]
+        "C.f@g/0";
+      Trace.counter "fifo:ch0" [ "occupancy", 3.0 ];
+      let json = parse_json (Trace.Chrome.to_json ~process_name:"test" sink) in
+      let events =
+        match member "traceEvents" json with
+        | Some (J_arr evs) -> evs
+        | _ -> Alcotest.fail "traceEvents missing"
+      in
+      (* metadata + 3 events *)
+      Alcotest.(check int) "event count" 4 (List.length events);
+      let find name =
+        match
+          List.find_opt (fun e -> as_str (member "name" e) = name) events
+        with
+        | Some e -> e
+        | None -> Alcotest.failf "no event named %s" name
+      in
+      let meta = find "process_name" in
+      Alcotest.(check string) "metadata phase" "M" (as_str (member "ph" meta));
+      let span = find "parse" in
+      Alcotest.(check string) "span phase" "X" (as_str (member "ph" span));
+      Alcotest.(check bool) "span has dur" true
+        (as_num (member "dur" span) >= 0.0);
+      Alcotest.(check string) "escaped arg survives" "a\"b\\c\nd"
+        (as_str (member "file" (Option.get (member "args" span))));
+      let inst = find "C.f@g/0" in
+      Alcotest.(check string) "instant phase" "i" (as_str (member "ph" inst));
+      Alcotest.(check (float 0.0)) "int arg" 2.0
+        (as_num (member "filters" (Option.get (member "args" inst))));
+      let ctr = find "fifo:ch0" in
+      Alcotest.(check string) "counter phase" "C" (as_str (member "ph" ctr));
+      Alcotest.(check (float 0.0)) "counter value" 3.0
+        (as_num (member "occupancy" (Option.get (member "args" ctr))));
+      match member "otherData" json with
+      | Some other ->
+        Alcotest.(check (float 0.0)) "dropped recorded" 0.0
+          (as_num (member "droppedEvents" other))
+      | None -> Alcotest.fail "otherData missing")
+
+let test_chrome_json_reports_drops () =
+  with_ring ~capacity:2 (fun sink ->
+      for _ = 1 to 5 do
+        Trace.instant ~cat:"t" "x"
+      done;
+      let json = parse_json (Trace.Chrome.to_json sink) in
+      let other = Option.get (member "otherData" json) in
+      Alcotest.(check (float 0.0)) "drop count exported" 3.0
+        (as_num (member "droppedEvents" other)))
+
+(* --- profile report ---------------------------------------------------- *)
+
+let test_profile_report () =
+  with_ring (fun sink ->
+      Trace.with_span ~cat:"compiler" "parse" (fun () -> ());
+      Trace.with_span ~cat:"compiler" "parse" (fun () -> ());
+      Trace.counter "fifo:ch0" [ "occupancy", 1.0 ];
+      Trace.counter "fifo:ch0" [ "occupancy", 5.0 ];
+      let report = Trace.Profile.report sink in
+      let has = Test_types.contains report in
+      Alcotest.(check bool) "header" true (has "4 event(s) collected");
+      Alcotest.(check bool) "span row" true (has "parse");
+      Alcotest.(check bool) "percentile columns" true (has "p95");
+      Alcotest.(check bool) "counter row" true (has "fifo:ch0");
+      Alcotest.(check bool) "peak column" true (has "peak"))
+
+(* --- the disabled fast path -------------------------------------------- *)
+
+let test_noop_fast_path () =
+  Trace.set_sink Trace.null;
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  let r = Trace.with_span ~cat:"t" "ignored" (fun () -> 7) in
+  Alcotest.(check int) "value flows through" 7 r;
+  Trace.instant ~cat:"t" "ignored";
+  Trace.counter "ignored" [ "v", 1.0 ];
+  let sp = Trace.begin_span ~cat:"t" "ignored" in
+  Trace.end_span sp;
+  Alcotest.(check int) "null sink stays empty" 0
+    (Trace.event_count Trace.null);
+  Alcotest.(check int) "null sink drops nothing" 0 (Trace.dropped Trace.null)
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "span nesting" `Quick test_span_nesting;
+      Alcotest.test_case "span survives exception" `Quick
+        test_span_survives_exception;
+      Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+      Alcotest.test_case "chrome json roundtrip" `Quick
+        test_chrome_json_roundtrip;
+      Alcotest.test_case "chrome json reports drops" `Quick
+        test_chrome_json_reports_drops;
+      Alcotest.test_case "profile report" `Quick test_profile_report;
+      Alcotest.test_case "no-op fast path" `Quick test_noop_fast_path;
+    ] )
