@@ -1,0 +1,26 @@
+# Convenience entry points; dune is the real build system.
+
+QCHECK_SEED ?= 20260805
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The full gate: build everything, run the whole suite (unit, property,
+# cram), then re-run the differential fault-tolerance suite — including
+# its `Slow` workload x policy x schedule matrix — under a fixed QCheck
+# seed so the randomized schedules are reproducible.
+check: build test
+	QCHECK_SEED=$(QCHECK_SEED) dune exec test/test_main.exe -- test differential -e
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -708,6 +708,109 @@ let a7_device_models () =
      part because transfers dominate either way.\n"
 
 (* ------------------------------------------------------------------ *)
+(* A8: fault tolerance (degraded-mode overhead)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* `bench --inject-faults SPEC [--max-retries N]` overrides the fault
+   schedule this experiment uses for its "custom" row; the built-in
+   rows always run, so BENCH_faults.json tracks a fixed trajectory. *)
+let faults_flag =
+  let rec scan = function
+    | "--inject-faults" :: spec :: _ -> Some spec
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let retries_flag =
+  let rec scan = function
+    | "--max-retries" :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let a8_fault_tolerance () =
+  section "A8 (extension): fault tolerance - degraded-mode overhead";
+  Printf.printf
+    "the runtime's safety story: device artifacts are optimizations,\n\
+     never requirements. Under an injected fault schedule a device\n\
+     launch is retried with exponential backoff, then the device is\n\
+     quarantined and the segment re-substituted — bottoming out at\n\
+     bytecode, which always exists. The overhead of that degradation\n\
+     is the price of the paper's 'every task always has a CPU\n\
+     implementation' guarantee.\n\n";
+  let scenarios =
+    [
+      "healthy", None;
+      "transient gpu (1 fault)", Some "gpu:*:n=1";
+      "gpu dead", Some "gpu:*:always";
+      "all devices dead", Some "gpu:*:always,fpga:*:always,native:*:always";
+    ]
+    @
+    match faults_flag with
+    | Some spec -> [ "custom (--inject-faults)", Some spec ]
+    | None -> []
+  in
+  let t =
+    Table.create
+      ~columns:
+        [ "workload"; "scenario"; "faults"; "retries"; "resubs";
+          "modeled us"; "overhead" ]
+  in
+  let json_rows = ref [] in
+  List.iter
+    (fun (name, size) ->
+      let w = Workloads.find name in
+      let healthy_ns = ref 0.0 in
+      List.iter
+        (fun (scenario, spec) ->
+          (match spec with
+          | Some s -> (
+            match Support.Fault.parse_spec s with
+            | Ok schedule -> Support.Fault.install schedule
+            | Error e -> failwith ("bad fault spec: " ^ e))
+          | None -> Support.Fault.clear ());
+          let s = Lm.load ?max_retries:retries_flag w.Workloads.source in
+          ignore (Lm.run s w.entry (w.args ~size));
+          Support.Fault.clear ();
+          let m = Lm.metrics s in
+          let ns = modeled_total m +. m.backoff_ns in
+          if spec = None then healthy_ns := ns;
+          let overhead =
+            if spec = None then "-"
+            else Printf.sprintf "%.2fx" (ns /. !healthy_ns)
+          in
+          Table.add_row t
+            [
+              name; scenario;
+              string_of_int m.device_faults;
+              string_of_int m.retries;
+              string_of_int m.resubstitutions;
+              us ns; overhead;
+            ];
+          json_rows :=
+            Printf.sprintf
+              "{\"workload\":\"%s\",\"scenario\":\"%s\",\"faults\":%d,\"retries\":%d,\"resubstitutions\":%d,\"backoff_ns\":%.1f,\"modeled_ns\":%.1f}"
+              name scenario m.device_faults m.retries m.resubstitutions
+              m.backoff_ns ns
+            :: !json_rows)
+        scenarios)
+    [ "bitflip", 256; "dsp_chain", 2048; "conv2d", 32 ];
+  print_string (Table.render t);
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc
+    ("[\n  " ^ String.concat ",\n  " (List.rev !json_rows) ^ "\n]\n");
+  close_out oc;
+  Printf.printf "\nwrote BENCH_faults.json\n";
+  Printf.printf
+    "\nshape check: transient faults cost one retry (backoff only);\n\
+     a dead device costs its retries once, then quarantine makes every\n\
+     later launch re-plan straight to the next device; with every\n\
+     device dead the run degrades to bytecode-only plus the one-time\n\
+     retry/quarantine tax.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmark suite                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -775,6 +878,7 @@ let () =
   a5_adaptive_placement ();
   a6_chunking ();
   a7_device_models ();
+  a8_fault_tolerance ();
   run_micro_suite ();
   (match trace_file with
   | Some path ->

@@ -33,6 +33,11 @@ let handle_compile_errors f =
   | Lime_ir.Interp.Runtime_error msg | Bytecode.Vm.Vm_error msg ->
     prerr_endline ("runtime error: " ^ msg);
     exit 1
+  | Runtime.Scheduler.Deadlock (msg, stats) ->
+    Printf.eprintf "deadlock: %s (%d round(s), %d step(s), %d blocked)\n" msg
+      stats.Runtime.Scheduler.rounds stats.Runtime.Scheduler.steps
+      stats.Runtime.Scheduler.blocked_steps;
+    exit 1
 
 (* --- argument parsing for `run` -------------------------------------- *)
 
@@ -95,6 +100,35 @@ let policy_conv =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
          ~doc:"Lime source file")
+
+(* --- fault injection --------------------------------------------------- *)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject-faults" ] ~docv:"SPEC"
+        ~doc:
+          "inject deterministic device faults, e.g. $(b,gpu:*:always), \
+           $(b,fpga:Dsp*:p=0.25,seed=42), $(b,wire:pcie:at=0/2); the \
+           runtime retries with backoff and re-substitutes down to \
+           bytecode (see docs/FAULT_TOLERANCE.md)")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:"device-launch retries before re-substitution (default 2)")
+
+let setup_faults = function
+  | None -> ()
+  | Some spec -> (
+    match Support.Fault.parse_spec spec with
+    | Ok schedule -> Support.Fault.install schedule
+    | Error msg ->
+      prerr_endline ("bad --inject-faults spec: " ^ msg);
+      exit 2)
 
 (* --- tracing / profiling ---------------------------------------------- *)
 
@@ -214,18 +248,19 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "metrics" ] ~doc:"print execution metrics")
   in
-  let action file entry args policy verbose trace profile =
+  let action file entry args policy verbose faults max_retries trace profile =
     handle_compile_errors (fun () ->
         setup_tracing ~trace ~profile;
-        let session = Lm.load ~policy (read_file file) in
+        let session = Lm.load ~policy ?max_retries (read_file file) in
+        setup_faults faults;
         let values = List.map parse_value args in
         let result = Lm.run session entry values in
         Printf.printf "%s\n" (Lm.show result);
         (match Lm.last_plan session with
         | Some plan -> Printf.printf "plan: %s\n" plan
         | None -> ());
-        if verbose then begin
-          let m = Lm.metrics session in
+        let m = Lm.metrics session in
+        if verbose then
           Printf.printf
             "metrics: %d VM instructions, %d GPU kernel(s) (%.1f us), %d FPGA \
              run(s) (%.1f us), %d+%d crossings (%d+%d bytes)\n"
@@ -233,15 +268,19 @@ let run_cmd =
             (m.gpu_kernel_ns /. 1000.0)
             m.fpga_runs (m.fpga_ns /. 1000.0) m.marshal.crossings_to_device
             m.marshal.crossings_to_host m.marshal.bytes_to_device
-            m.marshal.bytes_to_host
-        end;
-        finish_tracing ~trace ~profile (Some (Lm.metrics session)))
+            m.marshal.bytes_to_host;
+        if faults <> None then
+          Printf.printf
+            "faults: %d fault(s), %d retry(s), %d resubstitution(s)\n"
+            m.device_faults m.retries m.resubstitutions;
+        finish_tracing ~trace ~profile (Some m);
+        Support.Fault.clear ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"compile and co-execute an entry point")
     Term.(
-      const action $ file_arg $ entry $ args $ policy $ verbose $ trace_arg
-      $ profile_arg)
+      const action $ file_arg $ entry $ args $ policy $ verbose $ faults_arg
+      $ retries_arg $ trace_arg $ profile_arg)
 
 (* --- disasm ----------------------------------------------------------- *)
 
@@ -286,7 +325,7 @@ let workloads_cmd =
          & info [ "policy" ] ~docv:"POLICY"
              ~doc:"substitution policy (as for run)")
   in
-  let action name size policy trace profile =
+  let action name size policy faults max_retries trace profile =
     match (name : string option) with
     | None ->
       List.iter
@@ -303,7 +342,8 @@ let workloads_cmd =
           in
           setup_tracing ~trace ~profile;
           let size = Option.value size ~default:w.default_size in
-          let session = Lm.load ~policy w.source in
+          let session = Lm.load ~policy ?max_retries w.source in
+          setup_faults faults;
           let t0 = Unix.gettimeofday () in
           let result = Lm.run session w.entry (w.args ~size) in
           let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
@@ -322,12 +362,18 @@ let workloads_cmd =
              fpga run(s); wall %.1f ms\n"
             m.vm_instructions m.native_instructions m.gpu_kernels m.fpga_runs
             wall_ms;
-          finish_tracing ~trace ~profile (Some m))
+          if faults <> None then
+            Printf.printf
+              "faults: %d fault(s), %d retry(s), %d resubstitution(s)\n"
+              m.device_faults m.retries m.resubstitutions;
+          finish_tracing ~trace ~profile (Some m);
+          Support.Fault.clear ())
   in
   Cmd.v
     (Cmd.info "workloads" ~doc:"list or run the benchmark workloads")
     Term.(
-      const action $ workload_name $ size $ policy $ trace_arg $ profile_arg)
+      const action $ workload_name $ size $ policy $ faults_arg $ retries_arg
+      $ trace_arg $ profile_arg)
 
 (* --- dump-ir ----------------------------------------------------------- *)
 

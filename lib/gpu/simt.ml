@@ -225,6 +225,7 @@ let traced kind name (f : unit -> V.t * timing) =
 let run_map ?(device = Device.gtx580) ?(model_divergence = true)
     (prog : Ir.program) (site : Ir.map_site) (args : V.t list) :
     V.t * timing =
+  Support.Fault.check ~device:"gpu" ~segment:site.map_uid;
   traced "map" site.map_uid @@ fun () ->
   let pairs = List.combine args (List.map snd site.map_args) in
   let lengths =
@@ -260,6 +261,7 @@ let run_map ?(device = Device.gtx580) ?(model_divergence = true)
 
 let run_reduce ?(device = Device.gtx580) ?(model_divergence = true)
     (prog : Ir.program) (site : Ir.reduce_site) (arg : V.t) : V.t * timing =
+  Support.Fault.check ~device:"gpu" ~segment:site.red_uid;
   traced "reduce" site.red_uid @@ fun () ->
   (* Tree reductions keep warps uniform; divergence does not apply. *)
   ignore model_divergence;
@@ -297,10 +299,12 @@ let run_reduce ?(device = Device.gtx580) ?(model_divergence = true)
   !acc, timing
 
 let run_filter_chain ?(device = Device.gtx580) ?(model_divergence = true)
-    (prog : Ir.program) ~(chain : string list) ~(output_ty : Ir.ty)
+    ?uid (prog : Ir.program) ~(chain : string list) ~(output_ty : Ir.ty)
     (input : V.t) : V.t * timing =
   if chain = [] then fail "empty filter chain";
-  traced "filter-chain" (String.concat "|" chain) @@ fun () ->
+  let name = Option.value uid ~default:(String.concat "|" chain) in
+  Support.Fault.check ~device:"gpu" ~segment:name;
+  traced "filter-chain" name @@ fun () ->
   let n = I.array_length input in
   let result = I.new_array output_ty n in
   let lanes = Array.init n (fun _ -> fresh_lane ()) in

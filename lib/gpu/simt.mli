@@ -49,10 +49,13 @@ val run_reduce :
 val run_filter_chain :
   ?device:Device.t ->
   ?model_divergence:bool ->
+  ?uid:string ->
   Ir.program ->
   chain:string list ->
   output_ty:Ir.ty ->
   Wire.Value.t ->
   Wire.Value.t * timing
 (** Execute a fused chain of pure filters elementwise over a stream
-    array: the GPU form of a substituted task subgraph. *)
+    array: the GPU form of a substituted task subgraph. [uid] names
+    the launch for tracing and fault injection (defaults to the
+    joined chain). *)

@@ -237,6 +237,7 @@ let compile ?(file = "<lime>") source : compiled =
 let manifest (c : compiled) = Runtime.Store.manifest c.store
 
 let engine ?policy ?gpu_device ?fifo_capacity ?boundary ?model_divergence
-    ?chunk_elements (c : compiled) =
+    ?chunk_elements ?max_retries ?retry_backoff_ns (c : compiled) =
   Runtime.Exec.create ?policy ?gpu_device ?fifo_capacity ?boundary
-    ?model_divergence ?chunk_elements c.unit_ c.store
+    ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns c.unit_
+    c.store

@@ -38,6 +38,10 @@ val engine :
   ?boundary:Wire.Boundary.t ->
   ?model_divergence:bool ->
   ?chunk_elements:int ->
+  ?max_retries:int ->
+  ?retry_backoff_ns:float ->
   compiled ->
   Runtime.Exec.t
-(** A co-execution engine over the compiled artifacts. *)
+(** A co-execution engine over the compiled artifacts.
+    [max_retries]/[retry_backoff_ns] configure the failure protocol
+    (see {!Runtime.Exec.create}). *)

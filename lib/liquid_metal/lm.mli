@@ -18,11 +18,14 @@ val load :
   ?fifo_capacity:int ->
   ?model_divergence:bool ->
   ?chunk_elements:int ->
+  ?max_retries:int ->
+  ?retry_backoff_ns:float ->
   string ->
   session
 (** Compile a Lime compilation unit (all backends) and attach a
     co-execution engine. Default policy is the paper's
-    [Prefer_accelerators]. *)
+    [Prefer_accelerators]; [max_retries]/[retry_backoff_ns] configure
+    the failure protocol (see {!Runtime.Exec.create}). *)
 
 val run : session -> string -> I.v list -> I.v
 (** [run session "Class.method" args]. *)

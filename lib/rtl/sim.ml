@@ -69,6 +69,7 @@ let apply_filter prog (st : Netlist.stage) (x : V.t) : V.t =
 
 let run ?vcd ?(clock_ns = 4) ?(max_cycles = 10_000_000) (prog : Ir.program)
     (pl : Netlist.pipeline) (inputs : V.t list) : V.t list * stats =
+  Support.Fault.check ~device:"fpga" ~segment:pl.Netlist.pl_name;
   (* Device-model telemetry: one span (category ["fpga"]) per RTL
      simulation, closed with cycle/item/stall counts. *)
   let traced f =

@@ -20,13 +20,16 @@ type t = {
   model_divergence : bool;
   chunk_elements : int option;
       (** device-launch granularity; [None] batches the whole stream *)
+  max_retries : int;
+      (** device-launch retries after a fault, before re-substitution *)
+  retry_backoff_ns : float;  (** base of the exponential backoff *)
   mutable last_plan_ : string option;
 }
 
 let create ?(policy = Substitute.Prefer_accelerators)
     ?(gpu_device = Gpu.Device.gtx580) ?(fpga_clock_ns = 4)
     ?(fifo_capacity = 16) ?boundary ?(model_divergence = true) ?chunk_elements
-    unit_ store_ =
+    ?(max_retries = 2) ?(retry_backoff_ns = 1000.0) unit_ store_ =
   {
     unit_;
     store_;
@@ -37,6 +40,8 @@ let create ?(policy = Substitute.Prefer_accelerators)
     metrics_ = Metrics.create ?boundary ();
     model_divergence;
     chunk_elements;
+    max_retries;
+    retry_backoff_ns;
     last_plan_ = None;
   }
 
@@ -76,6 +81,45 @@ let pack_stream (elt : Ir.ty) (xs : V.t list) : V.t =
 
 let unpack_stream (v : V.t) : V.t list =
   List.init (I.array_length v) (fun i -> I.array_get v i)
+
+(* --- receiver-state snapshots ----------------------------------------- *)
+
+(* A device launch over a stateful chain mutates receiver objects
+   (register files, accumulators) in place. To retry a launch after a
+   mid-flight fault — e.g. the result is lost crossing back to the
+   host — the runtime must first rewind that state, or the retry would
+   double-apply it and diverge from the bytecode reference. A snapshot
+   deep-copies every mutable leaf; restore writes the copies back into
+   the original object graph (in place, because the filter closures
+   alias the original receivers). *)
+
+let rec copy_value (v : V.t) : V.t =
+  match v with
+  | V.Int_array a -> V.Int_array (Array.copy a)
+  | V.Float_array a -> V.Float_array (Array.copy a)
+  | V.Bool_array a -> V.Bool_array (Array.copy a)
+  | V.Array a -> V.Array (Array.map copy_value a)
+  | V.Tuple vs -> V.Tuple (List.map copy_value vs)
+  | ( V.Unit | V.Bool _ | V.Int _ | V.Float _ | V.Bit _ | V.Enum _
+    | V.Bits _ ) as v ->
+    v
+
+let rec snapshot_v (v : I.v) : I.v =
+  match v with
+  | I.Prim p -> I.Prim (copy_value p)
+  | I.Obj o -> I.Obj { o with I.obj_fields = Array.map snapshot_v o.I.obj_fields }
+  | I.Graph_handle _ -> v
+
+let rec restore_v ~(snap : I.v) ~(into : I.v) : unit =
+  match snap, into with
+  | I.Obj s, I.Obj o ->
+    Array.iteri
+      (fun i sv ->
+        match sv, o.I.obj_fields.(i) with
+        | I.Obj _, (I.Obj _ as ov) -> restore_v ~snap:sv ~into:ov
+        | _ -> o.I.obj_fields.(i) <- snapshot_v sv)
+      s.I.obj_fields
+  | _ -> ()
 
 (* --- device dispatch -------------------------------------------------- *)
 
@@ -189,8 +233,8 @@ let bytecode_filter_actor t ((f : Ir.filter_info), receiver) inp out =
 
 (* A GPU-substituted segment: batch the stream across the boundary and
    run the fused elementwise kernel. *)
-let gpu_segment_actor t (artifact : Artifact.gpu_artifact)
-    (filters : (Ir.filter_info * I.v option) list) inp out =
+let gpu_batch t (artifact : Artifact.gpu_artifact)
+    (filters : (Ir.filter_info * I.v option) list) (xs : V.t list) : V.t list =
   let chain_filters =
     match artifact.ga_kind with
     | Artifact.G_filter_chain fs -> fs
@@ -202,88 +246,83 @@ let gpu_segment_actor t (artifact : Artifact.gpu_artifact)
   let output_ty =
     (List.nth chain_filters (List.length chain_filters - 1)).Ir.output
   in
-  let name = "gpu:" ^ artifact.ga_uid in
-  let launch xs =
-    Trace.with_span ~cat:"launch"
-      ~args:[ "elements", Trace.Int (List.length xs) ]
-      name
-      (fun () ->
-        let packed = pack_stream input_ty xs in
-        let dev_input = ship_to_device t packed in
-        let result, timing =
-          Gpu.Simt.run_filter_chain ~device:t.gpu_device
-            ~model_divergence:t.model_divergence (program t) ~chain ~output_ty
-            dev_input
-        in
-        Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
-        unpack_stream (ship_to_host t result))
-  in
   ignore filters;
-  Actor.device_segment ?chunk:t.chunk_elements ~name ~launch inp out
+  Trace.with_span ~cat:"launch"
+    ~args:[ "elements", Trace.Int (List.length xs) ]
+    ("gpu:" ^ artifact.ga_uid)
+    (fun () ->
+      let packed = pack_stream input_ty xs in
+      let dev_input = ship_to_device t packed in
+      let result, timing =
+        Gpu.Simt.run_filter_chain ~device:t.gpu_device
+          ~model_divergence:t.model_divergence ~uid:artifact.ga_uid (program t)
+          ~chain ~output_ty dev_input
+      in
+      Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
+      unpack_stream (ship_to_host t result))
 
 (* An FPGA-substituted segment: synthesize the pipeline (stateful
    receivers become register files) and run it in the RTL simulator. *)
-let fpga_segment_actor t (artifact : Artifact.fpga_artifact)
-    (filters : (Ir.filter_info * I.v option) list) inp out =
-  let name = "fpga:" ^ artifact.fa_uid in
-  let launch xs =
-    Trace.with_span ~cat:"launch"
-      ~args:[ "elements", Trace.Int (List.length xs) ]
-      name
-      (fun () ->
-        let pipeline =
-          Rtl.Synth.pipeline_of_chain (program t) ~name:artifact.fa_uid
-            ~fifo_depth:t.fifo_capacity filters
-        in
-        let input_ty = Rtl.Netlist.input_ty pipeline in
-        let packed = pack_stream input_ty xs in
-        let dev_input = unpack_stream (ship_to_device t packed) in
-        let outputs, stats = Rtl.Sim.run (program t) pipeline dev_input in
-        Metrics.add_fpga_run t.metrics_ ~cycles:stats.Rtl.Sim.cycles
-          ~ns:(float_of_int (stats.Rtl.Sim.cycles * t.fpga_clock_ns));
-        let out_packed = pack_stream (Rtl.Netlist.output_ty pipeline) outputs in
-        unpack_stream (ship_to_host t out_packed))
-  in
-  Actor.device_segment ?chunk:t.chunk_elements ~name ~launch inp out
+let fpga_batch t (artifact : Artifact.fpga_artifact)
+    (filters : (Ir.filter_info * I.v option) list) (xs : V.t list) : V.t list =
+  Trace.with_span ~cat:"launch"
+    ~args:[ "elements", Trace.Int (List.length xs) ]
+    ("fpga:" ^ artifact.fa_uid)
+    (fun () ->
+      let pipeline =
+        Rtl.Synth.pipeline_of_chain (program t) ~name:artifact.fa_uid
+          ~fifo_depth:t.fifo_capacity filters
+      in
+      let input_ty = Rtl.Netlist.input_ty pipeline in
+      let packed = pack_stream input_ty xs in
+      let dev_input = unpack_stream (ship_to_device t packed) in
+      let outputs, stats = Rtl.Sim.run (program t) pipeline dev_input in
+      Metrics.add_fpga_run t.metrics_ ~cycles:stats.Rtl.Sim.cycles
+        ~ns:(float_of_int (stats.Rtl.Sim.cycles * t.fpga_clock_ns));
+      let out_packed = pack_stream (Rtl.Netlist.output_ty pipeline) outputs in
+      unpack_stream (ship_to_host t out_packed))
 
 (* A native-substituted segment: the chain runs as a compiled shared
    library loaded into the process (paper section 5). Functionally the
    code is the same bytecode (identical results); the cost model
    charges the compiled-C rate, and marshaling crosses the cheap
    JNI-only boundary rather than PCIe. *)
-let native_segment_actor t (artifact : Artifact.native_artifact)
-    (filters : (Ir.filter_info * I.v option) list) inp out =
+let native_batch t (artifact : Artifact.native_artifact)
+    (filters : (Ir.filter_info * I.v option) list) (xs : V.t list) : V.t list =
+  Support.Fault.check ~device:"native" ~segment:artifact.na_uid;
   let nb = Metrics.native_boundary t.metrics_ in
   let input_ty = (List.hd artifact.na_filters).Ir.input in
   let output_ty =
     (List.nth artifact.na_filters (List.length artifact.na_filters - 1))
       .Ir.output
   in
-  let name = "native:" ^ artifact.na_uid in
-  let launch xs =
-    Trace.with_span ~cat:"launch"
-      ~args:[ "elements", Trace.Int (List.length xs) ]
-      name
-      (fun () ->
-        let packed = pack_stream input_ty xs in
-        let dev_input = unpack_stream (ship_to_device ~boundary:nb t packed) in
-        let apply x ((f : Ir.filter_info), receiver) =
-          let args =
-            match receiver with
-            | Some r -> [ r; I.Prim x ]
-            | None -> [ I.Prim x ]
-          in
-          let r = Bytecode.Vm.run t.unit_ (filter_fn_key f) args in
-          Metrics.add_native_instructions t.metrics_ r.Bytecode.Vm.executed;
-          I.prim_exn r.Bytecode.Vm.value
+  Trace.with_span ~cat:"launch"
+    ~args:[ "elements", Trace.Int (List.length xs) ]
+    ("native:" ^ artifact.na_uid)
+    (fun () ->
+      let packed = pack_stream input_ty xs in
+      let dev_input = unpack_stream (ship_to_device ~boundary:nb t packed) in
+      let apply x ((f : Ir.filter_info), receiver) =
+        let args =
+          match receiver with
+          | Some r -> [ r; I.Prim x ]
+          | None -> [ I.Prim x ]
         in
-        let outputs =
-          List.map (fun x -> List.fold_left apply x filters) dev_input
-        in
-        unpack_stream
-          (ship_to_host ~boundary:nb t (pack_stream output_ty outputs)))
-  in
-  Actor.device_segment ?chunk:t.chunk_elements ~name ~launch inp out
+        let r = Bytecode.Vm.run t.unit_ (filter_fn_key f) args in
+        Metrics.add_native_instructions t.metrics_ r.Bytecode.Vm.executed;
+        I.prim_exn r.Bytecode.Vm.value
+      in
+      let outputs =
+        List.map (fun x -> List.fold_left apply x filters) dev_input
+      in
+      unpack_stream
+        (ship_to_host ~boundary:nb t (pack_stream output_ty outputs)))
+
+let batch_of_artifact t (artifact : Artifact.t) pairs xs =
+  match artifact with
+  | Artifact.Gpu_kernel g -> gpu_batch t g pairs xs
+  | Artifact.Fpga_module f -> fpga_batch t f pairs xs
+  | Artifact.Native_binary n -> native_batch t n pairs xs
 
 (* Cost model for adaptive placement (paper section 7, future work:
    "runtime introspection and adaptation of the task-graph partitioning
@@ -324,6 +363,132 @@ let estimate_cost t ~n (artifact : Artifact.t option)
     (2.0 *. Boundary.transfer_ns b (int_of_float (nf *. elem_bytes)))
     +. (cycles *. float_of_int t.fpga_clock_ns)
 
+let plan_for t ~n filters_info =
+  match t.policy_ with
+  | Substitute.Adaptive ->
+    Substitute.plan_adaptive ~cost:(estimate_cost t ~n) t.store_ filters_info
+  | _ -> Substitute.plan t.policy_ t.store_ filters_info
+
+(* --- the failure protocol ---------------------------------------------- *)
+
+(* The paper's safety invariant — "every task always has a CPU
+   implementation" (the frontend lowers the whole program to bytecode)
+   — makes device artifacts optimizations, never requirements. The
+   protocol that enforces it at runtime:
+
+     1. a device launch that raises {!Support.Fault.Device_fault} is
+        retried up to [max_retries] times, after rewinding receiver
+        state and a modeled exponential backoff;
+     2. when retries are exhausted the faulty device is quarantined in
+        the store and the segment's filters are re-planned under the
+        same policy — the re-plan can only choose still-healthy
+        devices, and falls out at bytecode;
+     3. re-planned device segments get the same protection, so a run
+        terminates even when every device model is failing: each
+        fallback removes one device, and the bytecode base case cannot
+        fault.
+
+   Real device errors ([Gpu.Simt.Device_error],
+   [Rtl.Sim.Simulation_error]) are not retried — they indicate a
+   broken artifact, not a transient launch failure, and keep
+   propagating to the caller. *)
+
+let trace_fault_event name ~uid ~attempt extra =
+  if Trace.enabled () then
+    Trace.instant ~cat:"fault"
+      ~args:([ "segment", Trace.Str uid; "attempt", Trace.Int attempt ] @ extra)
+      name
+
+(* Apply one bytecode filter to a whole batch, in stream order —
+   element order is what stateful receivers observe, and a linear
+   chain makes filter-at-a-time equivalent to the pipelined actor
+   schedule. *)
+let bytecode_apply_batch t ((f : Ir.filter_info), receiver) xs =
+  let key = filter_fn_key f in
+  List.map
+    (fun x ->
+      let args =
+        match receiver with
+        | Some r -> [ r; I.Prim x ]
+        | None -> [ I.Prim x ]
+      in
+      let r = Bytecode.Vm.run t.unit_ key args in
+      Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
+      I.prim_exn r.Bytecode.Vm.value)
+    xs
+
+(* Run one device segment over a batch with retries; on exhaustion,
+   quarantine the device and re-substitute the segment's filters. *)
+let rec run_segment_with_recovery t (artifact : Artifact.t)
+    (pairs : (Ir.filter_info * I.v option) list) (xs : V.t list) : V.t list =
+  let uid = Artifact.uid artifact in
+  let device = Artifact.device artifact in
+  let receivers = List.filter_map snd pairs in
+  let snaps = List.map snapshot_v receivers in
+  let rewind () =
+    List.iter2 (fun snap into -> restore_v ~snap ~into) snaps receivers
+  in
+  let rec attempt k =
+    match batch_of_artifact t artifact pairs xs with
+    | outputs -> outputs
+    | exception Support.Fault.Device_fault info ->
+      Metrics.add_device_fault t.metrics_;
+      rewind ();
+      if k < t.max_retries then begin
+        let backoff = t.retry_backoff_ns *. (2.0 ** float_of_int k) in
+        Metrics.add_retry t.metrics_ ~backoff_ns:backoff;
+        trace_fault_event
+          ("retry:" ^ Artifact.device_name device)
+          ~uid ~attempt:(k + 1)
+          [ "backoff_ns", Trace.Float backoff ];
+        attempt (k + 1)
+      end
+      else begin
+        Store.quarantine t.store_ ~device ~reason:info.Support.Fault.f_reason;
+        Metrics.add_resubstitution t.metrics_;
+        trace_fault_event "resubstitute" ~uid ~attempt:k
+          [
+            "quarantined", Trace.Str (Artifact.device_name device);
+            "reason", Trace.Str info.Support.Fault.f_reason;
+          ];
+        run_resubstituted t pairs xs
+      end
+  in
+  attempt 0
+
+(* Re-plan a failed segment's filters against the quarantined store
+   and execute the new plan inline over the collected batch. *)
+and run_resubstituted t (pairs : (Ir.filter_info * I.v option) list)
+    (xs : V.t list) : V.t list =
+  let filters_info = List.map fst pairs in
+  let plan = plan_for t ~n:(List.length xs) filters_info in
+  let remaining = ref pairs in
+  let take n =
+    let rec go n acc =
+      if n = 0 then List.rev acc
+      else
+        match !remaining with
+        | x :: rest ->
+          remaining := rest;
+          go (n - 1) (x :: acc)
+        | [] -> fail "re-substitution plan misaligned with segment"
+    in
+    go n []
+  in
+  List.fold_left
+    (fun vals segment ->
+      match segment with
+      | Substitute.S_bytecode fs ->
+        let pairs' = take (List.length fs) in
+        List.fold_left (fun vs pair -> bytecode_apply_batch t pair vs) vals
+          pairs'
+      | Substitute.S_device (a, fs) ->
+        let pairs' = take (List.length fs) in
+        Metrics.add_substitution t.metrics_ (Artifact.chain_uid fs)
+          (Artifact.device a);
+        run_segment_with_recovery t a pairs' vals)
+    xs plan
+
 (* The trace record of one substitution decision: the chosen device
    plus, for each alternative device, whether an artifact existed and
    lost the preference order or was never produced — the "why did my
@@ -359,12 +524,7 @@ let trace_substitution t ~uid ~filters chosen =
 let run_bound_graph t (bg : bound_graph) : unit =
   let filters_info = List.map fst bg.bg_filters in
   let n = I.array_length bg.bg_source in
-  let plan =
-    match t.policy_ with
-    | Substitute.Adaptive ->
-      Substitute.plan_adaptive ~cost:(estimate_cost t ~n) t.store_ filters_info
-    | _ -> Substitute.plan t.policy_ t.store_ filters_info
-  in
+  let plan = plan_for t ~n filters_info in
   t.last_plan_ <- Some (Substitute.describe_plan plan);
   (* Record chosen substitutions. *)
   List.iter
@@ -417,20 +577,20 @@ let run_bound_graph t (bg : bound_graph) : unit =
             actors := bytecode_filter_actor t pair !cur_ch out :: !actors;
             cur_ch := out)
           fs
-      | Substitute.S_device (Artifact.Gpu_kernel g, fs) ->
+      | Substitute.S_device (a, fs) ->
         let pairs = take (List.length fs) in
         let out = new_channel () in
-        actors := gpu_segment_actor t g pairs !cur_ch out :: !actors;
-        cur_ch := out
-      | Substitute.S_device (Artifact.Fpga_module f, fs) ->
-        let pairs = take (List.length fs) in
-        let out = new_channel () in
-        actors := fpga_segment_actor t f pairs !cur_ch out :: !actors;
-        cur_ch := out
-      | Substitute.S_device (Artifact.Native_binary n, fs) ->
-        let pairs = take (List.length fs) in
-        let out = new_channel () in
-        actors := native_segment_actor t n pairs !cur_ch out :: !actors;
+        let name =
+          Artifact.device_name (Artifact.device a) ^ ":" ^ Artifact.uid a
+        in
+        (* The launch carries the full failure protocol: retries with
+           backoff, then quarantine + re-substitution down to
+           bytecode — so a faulty device never wedges the graph. *)
+        let launch xs = run_segment_with_recovery t a pairs xs in
+        actors :=
+          Actor.device_segment ?chunk:t.chunk_elements ~name ~launch !cur_ch
+            out
+          :: !actors;
         cur_ch := out)
     plan;
   let sink = Actor.sink ~name:"sink" bg.bg_sink !cur_ch in
@@ -460,30 +620,58 @@ let run_bound_graph t (bg : bound_graph) : unit =
 
 (* --- VM hooks ---------------------------------------------------------- *)
 
+(* The hook-path version of the failure protocol: a faulting GPU
+   map/reduce launch is retried with backoff, and on exhaustion the
+   device is quarantined and the hook answers [None] — the VM then
+   interprets the site inline, which is exactly the bytecode
+   fallback. *)
+let hook_with_recovery t ~uid (f : unit -> I.v) : I.v option =
+  let rec attempt k =
+    match f () with
+    | r -> Some r
+    | exception Support.Fault.Device_fault info ->
+      Metrics.add_device_fault t.metrics_;
+      if k < t.max_retries then begin
+        let backoff = t.retry_backoff_ns *. (2.0 ** float_of_int k) in
+        Metrics.add_retry t.metrics_ ~backoff_ns:backoff;
+        trace_fault_event "retry:gpu" ~uid ~attempt:(k + 1)
+          [ "backoff_ns", Trace.Float backoff ];
+        attempt (k + 1)
+      end
+      else begin
+        Store.quarantine t.store_ ~device:Artifact.Gpu
+          ~reason:info.Support.Fault.f_reason;
+        Metrics.add_resubstitution t.metrics_;
+        trace_fault_event "resubstitute" ~uid ~attempt:k
+          [
+            "quarantined", Trace.Str "gpu";
+            "reason", Trace.Str info.Support.Fault.f_reason;
+          ];
+        None
+      end
+  in
+  attempt 0
+
 let hooks t : Bytecode.Vm.hooks =
   {
     Bytecode.Vm.on_map =
       (fun desc args ->
         if not (gpu_allowed t) then None
         else
-          match
-            Store.find_on t.store_ ~uid:desc.Bytecode.Insn.bm_uid
-              ~device:Artifact.Gpu
-          with
+          let uid = desc.Bytecode.Insn.bm_uid in
+          match Store.find_on t.store_ ~uid ~device:Artifact.Gpu with
           | Some (Artifact.Gpu_kernel { ga_kind = Artifact.G_map site; _ }) ->
-            Some (run_gpu_map t site args)
+            hook_with_recovery t ~uid (fun () -> run_gpu_map t site args)
           | Some _ | None -> None);
     on_reduce =
       (fun desc arg ->
         if not (gpu_allowed t) then None
         else
-          match
-            Store.find_on t.store_ ~uid:desc.Bytecode.Insn.br_uid
-              ~device:Artifact.Gpu
-          with
+          let uid = desc.Bytecode.Insn.br_uid in
+          match Store.find_on t.store_ ~uid ~device:Artifact.Gpu with
           | Some (Artifact.Gpu_kernel { ga_kind = Artifact.G_reduce site; _ })
             ->
-            Some (run_gpu_reduce t site arg)
+            hook_with_recovery t ~uid (fun () -> run_gpu_reduce t site arg)
           | Some _ | None -> None);
     on_run_graph =
       Some

@@ -9,7 +9,15 @@ module I = Lime_ir.Interp
     artifact store, perform task substitution under the current
     {!Substitute.policy}, marshal values across the host/device
     boundary (Figure 3), and dispatch to the GPU and FPGA substrates.
-    Everything is accounted in {!Metrics}. *)
+    Everything is accounted in {!Metrics}.
+
+    Device launches are fault-tolerant: a launch that raises
+    {!Support.Fault.Device_fault} is retried up to [max_retries] times
+    with exponential backoff (receiver state is rewound first), and on
+    exhaustion the device is quarantined in the {!Store} and the
+    segment is dynamically re-substituted — re-planned over the
+    remaining healthy devices, bottoming out at bytecode, which always
+    exists and cannot fault. See [docs/FAULT_TOLERANCE.md]. *)
 
 type t
 
@@ -21,13 +29,17 @@ val create :
   ?boundary:Wire.Boundary.t ->
   ?model_divergence:bool ->
   ?chunk_elements:int ->
+  ?max_retries:int ->
+  ?retry_backoff_ns:float ->
   Bytecode.Compile.unit_ ->
   Store.t ->
   t
 (** Defaults: [Prefer_accelerators], GTX580-class GPU, 4ns FPGA clock
     (250 MHz), FIFO capacity 16, divergence modeling on,
     whole-stream device batching ([chunk_elements] bounds the staging
-    buffer and launches the device every that-many elements). *)
+    buffer and launches the device every that-many elements),
+    [max_retries] 2 with a 1000ns backoff base (attempt [k] waits
+    [retry_backoff_ns * 2^k] modeled nanoseconds). *)
 
 val call : t -> string -> I.v list -> I.v
 (** Run a host method end to end under the engine's policy. *)

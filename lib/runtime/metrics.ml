@@ -21,6 +21,10 @@ type snapshot = {
       (** the JNI-only boundary used by native shared libraries *)
   substitutions : (string * Artifact.device) list;
       (** chain uid, chosen device — in execution order *)
+  device_faults : int;  (** faults observed (injected or real) *)
+  retries : int;  (** launch retries after a fault *)
+  resubstitutions : int;  (** dynamic re-plans after retry exhaustion *)
+  backoff_ns : float;  (** modeled time spent backing off before retries *)
 }
 
 type t = {
@@ -34,6 +38,10 @@ type t = {
   boundary : Wire.Boundary.t;
   native_boundary : Wire.Boundary.t;
   mutable substitutions : (string * Artifact.device) list;
+  mutable device_faults : int;
+  mutable retries : int;
+  mutable resubstitutions : int;
+  mutable backoff_ns : float;
 }
 
 (* Crossing into a dynamically loaded shared library is a JNI call:
@@ -57,6 +65,10 @@ let create ?boundary () =
       | None -> Wire.Boundary.create ~label:"pcie" ());
     native_boundary = native_boundary_model ();
     substitutions = [];
+    device_faults = 0;
+    retries = 0;
+    resubstitutions = 0;
+    backoff_ns = 0.0;
   }
 
 let add_vm_instructions t n = t.vm_instructions <- t.vm_instructions + n
@@ -75,6 +87,14 @@ let add_fpga_run t ~cycles ~ns =
 
 let add_substitution t uid device =
   t.substitutions <- (uid, device) :: t.substitutions
+
+let add_device_fault t = t.device_faults <- t.device_faults + 1
+
+let add_retry t ~backoff_ns =
+  t.retries <- t.retries + 1;
+  t.backoff_ns <- t.backoff_ns +. backoff_ns
+
+let add_resubstitution t = t.resubstitutions <- t.resubstitutions + 1
 
 let boundary t = t.boundary
 let native_boundary t = t.native_boundary
@@ -100,6 +120,10 @@ let snapshot t : snapshot =
     marshal = Wire.Boundary.stats t.boundary;
     marshal_native = Wire.Boundary.stats t.native_boundary;
     substitutions = List.rev t.substitutions;
+    device_faults = t.device_faults;
+    retries = t.retries;
+    resubstitutions = t.resubstitutions;
+    backoff_ns = t.backoff_ns;
   }
 
 let reset t =
@@ -112,7 +136,11 @@ let reset t =
   t.fpga_ns <- 0.0;
   Wire.Boundary.reset_stats t.boundary;
   Wire.Boundary.reset_stats t.native_boundary;
-  t.substitutions <- []
+  t.substitutions <- [];
+  t.device_faults <- 0;
+  t.retries <- 0;
+  t.resubstitutions <- 0;
+  t.backoff_ns <- 0.0
 
 (* --- snapshot presentation -------------------------------------------- *)
 
@@ -138,6 +166,10 @@ let pp ppf (s : snapshot) =
     s.fpga_runs s.fpga_cycles (s.fpga_ns /. 1000.0);
   Format.fprintf ppf "%a@," pp_boundary ("pcie", s.marshal);
   Format.fprintf ppf "%a@," pp_boundary ("jni", s.marshal_native);
+  Format.fprintf ppf
+    "faults:   %d fault(s), %d retry(s), %d resubstitution(s), %.1f us \
+     backoff@,"
+    s.device_faults s.retries s.resubstitutions (s.backoff_ns /. 1000.0);
   Format.fprintf ppf "substitutions: %s"
     (if s.substitutions = [] then "none"
      else
@@ -169,11 +201,12 @@ let boundary_json (b : Wire.Boundary.stats) =
 
 let to_json (s : snapshot) =
   Printf.sprintf
-    "{\"vm_instructions\":%d,\"native_instructions\":%d,\"native_ns\":%.1f,\"gpu_kernels\":%d,\"gpu_kernel_ns\":%.1f,\"fpga_runs\":%d,\"fpga_cycles\":%d,\"fpga_ns\":%.1f,\"marshal\":%s,\"marshal_native\":%s,\"substitutions\":[%s]}"
+    "{\"vm_instructions\":%d,\"native_instructions\":%d,\"native_ns\":%.1f,\"gpu_kernels\":%d,\"gpu_kernel_ns\":%.1f,\"fpga_runs\":%d,\"fpga_cycles\":%d,\"fpga_ns\":%.1f,\"marshal\":%s,\"marshal_native\":%s,\"device_faults\":%d,\"retries\":%d,\"resubstitutions\":%d,\"backoff_ns\":%.1f,\"substitutions\":[%s]}"
     s.vm_instructions s.native_instructions s.native_ns s.gpu_kernels
     s.gpu_kernel_ns s.fpga_runs s.fpga_cycles s.fpga_ns
     (boundary_json s.marshal)
     (boundary_json s.marshal_native)
+    s.device_faults s.retries s.resubstitutions s.backoff_ns
     (String.concat ","
        (List.map
           (fun (uid, d) ->

@@ -19,6 +19,10 @@ type snapshot = {
   marshal_native : Wire.Boundary.stats;  (** the JNI-only boundary *)
   substitutions : (string * Artifact.device) list;
       (** chain uid, chosen device — in execution order *)
+  device_faults : int;  (** faults observed (injected or real) *)
+  retries : int;  (** launch retries after a fault *)
+  resubstitutions : int;  (** dynamic re-plans after retry exhaustion *)
+  backoff_ns : float;  (** modeled time spent backing off before retries *)
 }
 
 type t
@@ -29,6 +33,12 @@ val add_native_instructions : t -> int -> unit
 val add_gpu_kernel : t -> ns:float -> unit
 val add_fpga_run : t -> cycles:int -> ns:float -> unit
 val add_substitution : t -> string -> Artifact.device -> unit
+val add_device_fault : t -> unit
+
+val add_retry : t -> backoff_ns:float -> unit
+(** One retry, accumulating the modeled backoff delay before it. *)
+
+val add_resubstitution : t -> unit
 val boundary : t -> Wire.Boundary.t
 val native_boundary : t -> Wire.Boundary.t
 val snapshot : t -> snapshot

@@ -7,13 +7,13 @@
 
 module Trace = Support.Trace
 
-exception Deadlock of string
-
 type stats = {
   rounds : int;  (** scheduling rounds until quiescence *)
   steps : int;  (** total actor steps taken *)
   blocked_steps : int;  (** steps that found the actor blocked *)
 }
+
+exception Deadlock of string * stats
 
 (* The deadlock report names every wedged actor together with its
    channel states, so the full/empty cycle is visible in the message
@@ -67,6 +67,9 @@ let run ?(on_round = fun _ -> ()) (actors : Actor.t list) : stats =
     live := still_live;
     on_round !rounds;
     if (not !progressed) && !live <> [] then
-      raise (Deadlock (deadlock_message !live))
+      raise
+        (Deadlock
+           ( deadlock_message !live,
+             { rounds = !rounds; steps = !steps; blocked_steps = !blocked } ))
   done;
   { rounds = !rounds; steps = !steps; blocked_steps = !blocked }

@@ -11,13 +11,16 @@
     step emits an instant event (category ["sched"]) carrying the
     step's outcome and round number. *)
 
-exception Deadlock of string
-
 type stats = {
   rounds : int;  (** scheduling rounds until quiescence *)
   steps : int;  (** total actor steps taken *)
   blocked_steps : int;  (** steps that found the actor blocked *)
 }
+
+exception Deadlock of string * stats
+(** The wedged-graph report plus the scheduler's partial stats at the
+    moment of the wedge (rounds run, steps taken, blocked steps), so a
+    deadlock is diagnosable without re-running under a profiler. *)
 
 val run : ?on_round:(int -> unit) -> Actor.t list -> stats
 (** [on_round] is called after each completed round with the round

@@ -7,10 +7,18 @@
 type t = {
   by_uid : (string, Artifact.t list) Hashtbl.t;
   mutable manifest : Artifact.manifest;
+  mutable quarantined : (Artifact.device * string) list;
+      (* devices pulled out of service at runtime after a fault, with
+         the reason; lookups treat their artifacts as absent so
+         re-planning never picks them again *)
 }
 
 let create () =
-  { by_uid = Hashtbl.create 64; manifest = { entries = []; exclusions = [] } }
+  {
+    by_uid = Hashtbl.create 64;
+    manifest = { entries = []; exclusions = [] };
+    quarantined = [];
+  }
 
 let add t artifact =
   let uid = Artifact.uid artifact in
@@ -31,7 +39,18 @@ let record_exclusion t ~uid ~device ~reason =
         @ [ { Artifact.ex_uid = uid; ex_device = device; ex_reason = reason } ];
     }
 
-let find t ~uid = Option.value (Hashtbl.find_opt t.by_uid uid) ~default:[]
+let quarantine t ~device ~reason =
+  if not (List.mem_assoc device t.quarantined) then
+    t.quarantined <- (device, reason) :: t.quarantined
+
+let is_quarantined t ~device = List.mem_assoc device t.quarantined
+let quarantined t = List.rev t.quarantined
+let clear_quarantine t = t.quarantined <- []
+
+let find t ~uid =
+  List.filter
+    (fun a -> not (is_quarantined t ~device:(Artifact.device a)))
+    (Option.value (Hashtbl.find_opt t.by_uid uid) ~default:[])
 
 let find_on t ~uid ~device =
   List.find_opt (fun a -> Artifact.device a = device) (find t ~uid)

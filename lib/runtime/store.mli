@@ -15,9 +15,24 @@ val record_exclusion :
   t -> uid:string -> device:Artifact.device -> reason:string -> unit
 
 val find : t -> uid:string -> Artifact.t list
-(** Every implementation of a task UID, newest first. *)
+(** Every implementation of a task UID, newest first. Artifacts on
+    quarantined devices are omitted. *)
 
 val find_on : t -> uid:string -> device:Artifact.device -> Artifact.t option
+
+val quarantine : t -> device:Artifact.device -> reason:string -> unit
+(** Pull a device out of service: its artifacts disappear from
+    {!find}/{!find_on}, so {!Substitute.plan} never selects it again.
+    The runtime quarantines a device when its retries are exhausted. *)
+
+val is_quarantined : t -> device:Artifact.device -> bool
+
+val quarantined : t -> (Artifact.device * string) list
+(** Quarantined devices with reasons, oldest first. *)
+
+val clear_quarantine : t -> unit
+(** Return all quarantined devices to service (used by tests that
+    reuse a compiled store across fault schedules). *)
 
 val manifest : t -> Artifact.manifest
 val artifact_count : t -> int

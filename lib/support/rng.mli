@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random generation (xorshift64).
+
+    The single generator behind {!Workloads.Rng} (which re-exports it
+    and adds wire-value helpers) and the {!Fault} injection schedule:
+    both need reproducible streams that are independent of the OCaml
+    stdlib [Random] state, so that every benchmark run and every
+    injected fault sequence is identical across runs. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val next : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] with 30 bits of entropy. *)
+
+val float_range : t -> float -> float -> float
+val int_array : t -> int -> bound:int -> int array
+val bool_array : t -> int -> bool array

@@ -56,6 +56,7 @@ let trace_crossing t =
       ]
 
 let to_device t ty v =
+  Support.Fault.check ~device:"wire" ~segment:t.label;
   (* Step 1: serialize the Lime value to a byte array. *)
   let data = Codec.encode_bytes ty v in
   (* Step 2: cross the JNI boundary (modeled). *)
@@ -70,6 +71,7 @@ let to_device t ty v =
 let native_of_value ty v = { Native.ty; data = Codec.encode_bytes ty v }
 
 let to_host t (native : Native.t) =
+  Support.Fault.check ~device:"wire" ~segment:t.label;
   let n = Bytes.length native.data in
   t.crossings_to_host <- t.crossings_to_host + 1;
   t.bytes_to_host <- t.bytes_to_host + n;

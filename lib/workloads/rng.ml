@@ -1,34 +1,8 @@
-(* A tiny deterministic generator (xorshift) so every benchmark and
-   test sees identical inputs on every run, independent of the OCaml
-   stdlib Random state. *)
+(* The deterministic xorshift generator lives in Support.Rng (the
+   fault-injection schedule shares it); this module re-exports it and
+   adds the wire-value helpers the workloads need. *)
 
-type t = { mutable state : int64 }
-
-let create ?(seed = 0x9E3779B97F4A7C15L) () =
-  { state = (if seed = 0L then 1L else seed) }
-
-let next t =
-  let x = t.state in
-  let x = Int64.logxor x (Int64.shift_left x 13) in
-  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
-  let x = Int64.logxor x (Int64.shift_left x 17) in
-  t.state <- x;
-  x
-
-let int t bound =
-  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
-
-let float t =
-  (* uniform in [0, 1) with 30 bits of entropy, exactly representable
-     in single precision terms after Value.f32 *)
-  float_of_int (int t (1 lsl 30)) /. float_of_int (1 lsl 30)
-
-let float_range t lo hi = lo +. ((hi -. lo) *. float t)
+include Support.Rng
 
 let float_array t n ~lo ~hi =
   Array.init n (fun _ -> Wire.Value.f32 (float_range t lo hi))
-
-let int_array t n ~bound = Array.init n (fun _ -> int t bound)
-
-let bool_array t n = Array.init n (fun _ -> int t 2 = 1)

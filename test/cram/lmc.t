@@ -125,7 +125,7 @@ metrics snapshot (timings vary run to run, so digits are normalized):
   compiler native-backend N N N N N N
   compiler gpu-backend N N N N N N
   compiler fpga-backend N N N N N N
-  gpu Bitflip.flip N N N N N N
+  gpu Bitflip.flip@Bitflip.taskFlip/N N N N N N N
   launch gpu:Bitflip.flip@Bitflip.taskFlip/N N N N N N N
   runtime task-graph N N N N N N
   
@@ -150,6 +150,7 @@ metrics snapshot (timings vary run to run, so digits are normalized):
   fpga: N run(s), N cycle(s), N us modeled
   pcie N+N crossing(s), N+N byte(s) to device+host, N us modeled
   jni N+N crossing(s), N+N byte(s) to device+host, N us modeled
+  faults: N fault(s), N retry(s), N resubstitution(s), N us backoff
   substitutions: Bitflip.flip@Bitflip.taskFlip/N -> gpu
 
 The IR dump shows the discovered task graph and the lowered filter:

@@ -1,0 +1,300 @@
+(* The differential fault-tolerance harness.
+
+   The paper's safety claim — "every task always has a CPU
+   implementation", so device artifacts are optimizations, never
+   requirements — is only worth anything if a device-degraded run
+   produces *exactly* the output of the bytecode path. This suite
+   proves it by brute force: every workload runs under every
+   substitution policy, healthy and under seeded fault schedules, and
+   each result is compared bit-for-bit ([Stdlib.compare] on the
+   interpreter value, which also treats NaN = NaN) against the
+   Bytecode_only reference. *)
+
+module Compiler = Liquid_metal.Compiler
+module Exec = Runtime.Exec
+module Store = Runtime.Store
+module Substitute = Runtime.Substitute
+module Metrics = Runtime.Metrics
+module Fault = Support.Fault
+module I = Lime_ir.Interp
+
+(* Small sizes: the matrix is 12 workloads x 5 policies x 4 schedules,
+   and bitwise equality doesn't get stronger with bigger inputs. *)
+let test_sizes =
+  [
+    "saxpy", 256; "dotproduct", 256; "matmul", 8; "conv2d", 8; "nbody", 16;
+    "mandelbrot", 12; "bitflip", 64; "dsp_chain", 128; "prefix_sum", 128;
+    "blackscholes", 128; "fir4", 128; "crc8", 64;
+  ]
+
+let policies =
+  [
+    "bytecode", Substitute.Bytecode_only;
+    "accel", Substitute.Prefer_accelerators;
+    ( "devices(fpga,native)",
+      Substitute.Prefer_devices [ Runtime.Artifact.Fpga; Runtime.Artifact.Native ]
+    );
+    "smallest", Substitute.Smallest_substitution;
+    "adaptive", Substitute.Adaptive;
+  ]
+
+(* Seeded fault schedules: a healthy baseline, every device dead (full
+   degradation to bytecode), a transient first-launch failure (the
+   retry path), and a probabilistic mix across all devices including
+   the wire (the re-substitution and snapshot/rewind paths, chosen by
+   seed so every run of the suite exercises the same faults). *)
+let schedules =
+  [
+    "healthy", None;
+    "all-dead", Some "gpu:*:always,fpga:*:always,native:*:always";
+    "transient", Some "gpu:*:n=1,fpga:*:n=1,native:*:n=1,wire:*:at=1";
+    "p=0.4", Some "*:*:p=0.4,seed=20260805";
+  ]
+
+let parse_exn spec =
+  match Fault.parse_spec spec with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e
+
+(* One compile per workload; engines are cheap, compiles are not. *)
+let compiled_cache : (string, Compiler.compiled) Hashtbl.t = Hashtbl.create 16
+
+let compiled_of (w : Workloads.t) =
+  match Hashtbl.find_opt compiled_cache w.name with
+  | Some c -> c
+  | None ->
+    let c = Compiler.compile w.source in
+    Hashtbl.add compiled_cache w.name c;
+    c
+
+(* Run a workload on a fresh engine under (policy, schedule). The
+   store is shared across engines of the same workload, so quarantine
+   state must be wiped between runs; the fault schedule is process
+   global, so it is cleared even on failure. *)
+let run_once (w : Workloads.t) ~size ~policy ~schedule : I.v =
+  let c = compiled_of w in
+  Store.clear_quarantine c.Compiler.store;
+  let engine = Compiler.engine ~policy ~max_retries:1 c in
+  (match schedule with
+  | None -> Fault.clear ()
+  | Some spec -> Fault.install (parse_exn spec));
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Store.clear_quarantine c.Compiler.store)
+    (fun () -> Exec.call engine w.entry (w.args ~size))
+
+let reference (w : Workloads.t) ~size =
+  run_once w ~size ~policy:Substitute.Bytecode_only ~schedule:None
+
+let check_identical ~ctx expected got =
+  if Stdlib.compare expected got <> 0 then
+    Alcotest.failf "%s: output diverged from bytecode reference\n  ref: %s\n  got: %s"
+      ctx
+      (Format.asprintf "%a" I.pp expected)
+      (Format.asprintf "%a" I.pp got)
+
+(* --- the full matrix --------------------------------------------------- *)
+
+let test_workload_matrix name () =
+  let w = Workloads.find name in
+  let size = List.assoc name test_sizes in
+  let expected = reference w ~size in
+  List.iter
+    (fun (pname, policy) ->
+      List.iter
+        (fun (sname, schedule) ->
+          let got = run_once w ~size ~policy ~schedule in
+          check_identical
+            ~ctx:(Printf.sprintf "%s / %s / %s" name pname sname)
+            expected got)
+        schedules)
+    policies
+
+(* --- targeted protocol checks ------------------------------------------ *)
+
+(* An always-failing accelerator set must complete via bytecode
+   fallback and say so in the metrics: faults were observed, retries
+   were spent, the re-substitution happened, and the quarantine list
+   names the failed device. *)
+let test_fallback_is_observable () =
+  let w = Workloads.find "bitflip" in
+  (* compute the reference first: [run_once] wipes the shared store's
+     quarantine list, which this test asserts on afterwards *)
+  let expected = reference w ~size:64 in
+  let c = compiled_of w in
+  Store.clear_quarantine c.Compiler.store;
+  let engine = Compiler.engine ~policy:Substitute.Prefer_accelerators c in
+  Fault.install (parse_exn "gpu:*:always,fpga:*:always,native:*:always");
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Fault.clear ())
+      (fun () -> Exec.call engine w.entry (w.args ~size:64))
+  in
+  check_identical ~ctx:"bitflip full fallback" expected result;
+  let m = Metrics.snapshot (Exec.metrics engine) in
+  Alcotest.(check bool) "faults observed" true (m.device_faults > 0);
+  Alcotest.(check bool) "retries spent" true (m.retries > 0);
+  Alcotest.(check bool) "re-substituted" true (m.resubstitutions > 0);
+  Alcotest.(check bool) "backoff accumulated" true (m.backoff_ns > 0.0);
+  Alcotest.(check bool) "gpu quarantined" true
+    (Store.is_quarantined c.Compiler.store ~device:Runtime.Artifact.Gpu);
+  Store.clear_quarantine c.Compiler.store;
+  Alcotest.(check bool) "quarantine cleared" false
+    (Store.is_quarantined c.Compiler.store ~device:Runtime.Artifact.Gpu)
+
+(* A transient fault must be absorbed by a retry: no re-substitution,
+   no quarantine, and the device still does the work. *)
+let test_transient_fault_retries () =
+  let w = Workloads.find "saxpy" in
+  let c = compiled_of w in
+  Store.clear_quarantine c.Compiler.store;
+  let engine = Compiler.engine ~policy:Substitute.Prefer_accelerators c in
+  Fault.install (parse_exn "gpu:*:n=1");
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Fault.clear ())
+      (fun () -> Exec.call engine w.entry (w.args ~size:128))
+  in
+  check_identical ~ctx:"saxpy transient" (reference w ~size:128) result;
+  let m = Metrics.snapshot (Exec.metrics engine) in
+  Alcotest.(check int) "one fault" 1 m.device_faults;
+  Alcotest.(check int) "one retry" 1 m.retries;
+  Alcotest.(check int) "no re-substitution" 0 m.resubstitutions;
+  Alcotest.(check bool) "gpu still in service" false
+    (Store.is_quarantined c.Compiler.store ~device:Runtime.Artifact.Gpu);
+  Alcotest.(check bool) "gpu did the work" true (m.gpu_kernels > 0)
+
+(* max_retries = 0 must skip straight to re-substitution. *)
+let test_zero_retries_resubstitutes () =
+  let w = Workloads.find "bitflip" in
+  let c = compiled_of w in
+  Store.clear_quarantine c.Compiler.store;
+  let engine =
+    Compiler.engine
+      ~policy:(Substitute.Prefer_devices [ Runtime.Artifact.Gpu ])
+      ~max_retries:0 c
+  in
+  Fault.install (parse_exn "gpu:*:always");
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Fault.clear ();
+        Store.clear_quarantine c.Compiler.store)
+      (fun () -> Exec.call engine w.entry (w.args ~size:32))
+  in
+  check_identical ~ctx:"bitflip no retries" (reference w ~size:32) result;
+  let m = Metrics.snapshot (Exec.metrics engine) in
+  Alcotest.(check int) "one fault" 1 m.device_faults;
+  Alcotest.(check int) "no retries" 0 m.retries;
+  Alcotest.(check int) "one re-substitution" 1 m.resubstitutions
+
+(* --- fault spec grammar ------------------------------------------------- *)
+
+let test_spec_parsing () =
+  let roundtrip spec =
+    match Fault.parse_spec spec with
+    | Error e -> Alcotest.failf "parse %S: %s" spec e
+    | Ok s -> (
+      match Fault.parse_spec (Fault.describe s) with
+      | Ok s' ->
+        Alcotest.(check string) ("canonical " ^ spec) (Fault.describe s)
+          (Fault.describe s')
+      | Error e -> Alcotest.failf "reparse %S: %s" (Fault.describe s) e)
+  in
+  List.iter roundtrip
+    [
+      "gpu:*:always"; "fpga:Dsp*:p=0.25,seed=42"; "wire:pcie:at=0/2";
+      "*:*:p=1"; "native:X:n=3"; "gpu:a,fpga:b:at=1/2/3,seed=-1";
+    ];
+  let bad =
+    [ ""; "gpu"; "gpu:"; "cpu:x"; "gpu:*:sometimes"; "gpu:*:p=1.5";
+      "gpu:*:n=-2"; "seed=5"; "gpu:*:at=" ]
+  in
+  List.iter
+    (fun spec ->
+      match Fault.parse_spec spec with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" spec
+      | Error _ -> ())
+    bad;
+  Alcotest.(check bool) "exact" true (Fault.segment_matches "abc" "abc");
+  Alcotest.(check bool) "star" true (Fault.segment_matches "*" "anything");
+  Alcotest.(check bool) "prefix" true (Fault.segment_matches "Dsp*" "Dsp.f@g/0");
+  Alcotest.(check bool) "prefix miss" false (Fault.segment_matches "Dsp*" "Fir.f");
+  Alcotest.(check bool) "no substring" false (Fault.segment_matches "p*" "Dsp")
+
+(* Probabilistic decisions are a pure function of the seed: the same
+   schedule injects the identical fault sequence every time, and a
+   different seed gives a different sequence. *)
+let test_probabilistic_determinism () =
+  let w = Workloads.find "dsp_chain" in
+  let counts spec =
+    let c = compiled_of w in
+    Store.clear_quarantine c.Compiler.store;
+    let engine = Compiler.engine ~policy:Substitute.Prefer_accelerators c in
+    Fault.install (parse_exn spec);
+    ignore
+      (Fun.protect
+         ~finally:(fun () ->
+           Fault.clear ();
+           Store.clear_quarantine c.Compiler.store)
+         (fun () -> Exec.call engine w.entry (w.args ~size:64)));
+    (Metrics.snapshot (Exec.metrics engine)).Metrics.device_faults
+  in
+  let spec = "*:*:p=0.5,seed=1234" in
+  Alcotest.(check int) "same seed, same faults" (counts spec) (counts spec);
+  (* across many seeds, at least one must differ from seed=1234 — p=0.5
+     decisions that never vary would mean the seed is ignored *)
+  let base = counts spec in
+  let varies =
+    List.exists
+      (fun seed -> counts (Printf.sprintf "*:*:p=0.5,seed=%d" seed) <> base)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "different seeds vary" true varies
+
+(* --- property: random schedules never break equivalence ---------------- *)
+
+let qcheck_random_schedules =
+  let open QCheck2 in
+  let pool = [ "bitflip"; "dsp_chain"; "saxpy"; "prefix_sum"; "crc8" ] in
+  let gen =
+    Gen.tup4 (Gen.oneofl pool)
+      (Gen.oneofl (List.map snd policies))
+      (* clause pool crossed with a random seed *)
+      (Gen.oneofl
+         [
+           "gpu:*:always"; "fpga:*:always"; "native:*:always"; "wire:*:at=0";
+           "wire:*:at=1/3"; "gpu:*:n=1,fpga:*:n=2"; "*:*:p=0.3"; "*:*:p=0.7";
+           "gpu:*:p=0.5,wire:*:at=2";
+         ])
+      (Gen.int_bound 1_000_000)
+  in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:40 ~name:"random fault schedules preserve outputs" gen
+       (fun (name, policy, clauses, seed) ->
+         let w = Workloads.find name in
+         let size = 48 in
+         let schedule = Some (Printf.sprintf "%s,seed=%d" clauses seed) in
+         let expected = reference w ~size in
+         let got = run_once w ~size ~policy ~schedule in
+         Stdlib.compare expected got = 0))
+
+let suite =
+  ( "differential",
+    List.map
+      (fun (name, _) ->
+        Alcotest.test_case ("matrix: " ^ name) `Slow (test_workload_matrix name))
+      test_sizes
+    @ [
+        Alcotest.test_case "full fallback is observable" `Quick
+          test_fallback_is_observable;
+        Alcotest.test_case "transient fault absorbed by retry" `Quick
+          test_transient_fault_retries;
+        Alcotest.test_case "zero retries re-substitutes at once" `Quick
+          test_zero_retries_resubstitutes;
+        Alcotest.test_case "fault spec grammar" `Quick test_spec_parsing;
+        Alcotest.test_case "probabilistic schedules are seeded" `Quick
+          test_probabilistic_determinism;
+        qcheck_random_schedules;
+      ] )

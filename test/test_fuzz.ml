@@ -200,10 +200,91 @@ let prop_fuzz_pretty_roundtrip =
       in
       run_engines src inputs = run_engines printed inputs)
 
+(* --- fault-schedule fuzzing -------------------------------------------- *)
+
+(* Random seeds x random fault points over the quickstart (Figure 1
+   bitflip) and image-pipeline (conv2d) task graphs: whatever the
+   schedule, a run must terminate (no deadlock — the scheduler only
+   returns once every actor is done, so a normal return also means no
+   actor leaked) and produce the bytecode reference output. *)
+
+let gen_fault_clause : string t =
+  let* device = oneofl [ "gpu"; "fpga"; "native"; "wire"; "*" ] in
+  let* when_ =
+    oneof
+      [
+        return "always";
+        map (Printf.sprintf "n=%d") (int_range 0 4);
+        map
+          (fun xs ->
+            "at=" ^ String.concat "/" (List.map string_of_int xs))
+          (list_size (int_range 1 3) (int_range 0 5));
+        map (Printf.sprintf "p=%.2f") (float_range 0.0 1.0);
+      ]
+  in
+  return (Printf.sprintf "%s:*:%s" device when_)
+
+let gen_fault_schedule : Support.Fault.schedule t =
+  let* clauses = list_size (int_range 1 3) gen_fault_clause in
+  let* seed = int_range 0 1_000_000 in
+  let spec = Printf.sprintf "%s,seed=%d" (String.concat "," clauses) seed in
+  match Support.Fault.parse_spec spec with
+  | Ok s -> return s
+  | Error e -> failwith ("generator produced a bad spec: " ^ e)
+
+let fuzz_graphs =
+  lazy
+    (List.map
+       (fun name ->
+         let w = Workloads.find name in
+         name, w, Liquid_metal.Compiler.compile w.Workloads.source)
+       [ "bitflip"; "conv2d" ])
+
+let fuzz_policies =
+  [
+    Runtime.Substitute.Prefer_accelerators;
+    Runtime.Substitute.Prefer_devices [ Runtime.Artifact.Fpga ];
+    Runtime.Substitute.Smallest_substitution;
+    Runtime.Substitute.Adaptive;
+  ]
+
+let run_graph_under ?schedule compiled (w : Workloads.t) policy =
+  Runtime.Store.clear_quarantine compiled.Liquid_metal.Compiler.store;
+  let engine =
+    Liquid_metal.Compiler.engine ~policy ~max_retries:1 compiled
+  in
+  (match schedule with
+  | None -> Support.Fault.clear ()
+  | Some s -> Support.Fault.install s);
+  Fun.protect
+    ~finally:(fun () ->
+      Support.Fault.clear ();
+      Runtime.Store.clear_quarantine compiled.Liquid_metal.Compiler.store)
+    (fun () -> Runtime.Exec.call engine w.Workloads.entry (w.args ~size:24))
+
+let prop_fault_schedules_are_harmless =
+  QCheck2.Test.make
+    ~name:"fuzz: fault schedules never deadlock or diverge (bitflip, conv2d)"
+    ~count:60
+    ~print:(fun (i, schedule, j) ->
+      Printf.sprintf "graph #%d policy #%d schedule %s" i j
+        (Support.Fault.describe schedule))
+    (triple (int_bound 1) gen_fault_schedule
+       (int_bound (List.length fuzz_policies - 1)))
+    (fun (i, schedule, j) ->
+      let _, w, compiled = List.nth (Lazy.force fuzz_graphs) i in
+      let policy = List.nth fuzz_policies j in
+      let expected =
+        run_graph_under compiled w Runtime.Substitute.Bytecode_only
+      in
+      let got = run_graph_under ~schedule compiled w policy in
+      Stdlib.compare expected got = 0)
+
 let suite =
   ( "fuzz",
     [
       QCheck_alcotest.to_alcotest prop_generated_programs_compile;
       QCheck_alcotest.to_alcotest prop_engines_agree;
       QCheck_alcotest.to_alcotest prop_fuzz_pretty_roundtrip;
+      QCheck_alcotest.to_alcotest prop_fault_schedules_are_harmless;
     ] )

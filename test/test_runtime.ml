@@ -108,9 +108,13 @@ let test_device_segment_chunked () =
 let test_scheduler_deadlock_detection () =
   let never_progresses = Actor.make ~name:"stuck" (fun () -> Actor.Blocked) in
   match Scheduler.run [ never_progresses ] with
-  | exception Scheduler.Deadlock msg ->
+  | exception Scheduler.Deadlock (msg, stats) ->
     Alcotest.(check bool) "names the actor" true
-      (Test_types.contains msg "stuck")
+      (Test_types.contains msg "stuck");
+    (* the exception carries the scheduler's partial stats *)
+    Alcotest.(check int) "one wedged round" 1 stats.Scheduler.rounds;
+    Alcotest.(check int) "one step taken" 1 stats.Scheduler.steps;
+    Alcotest.(check int) "the step was blocked" 1 stats.Scheduler.blocked_steps
   | _ -> Alcotest.fail "expected deadlock"
 
 (* A wedged graph's report carries each blocked actor's channel state
@@ -130,7 +134,7 @@ let test_deadlock_reports_channel_states () =
       (fun () -> Actor.Blocked)
   in
   match Scheduler.run [ producer; consumer ] with
-  | exception Scheduler.Deadlock msg ->
+  | exception Scheduler.Deadlock (msg, _) ->
     let has = Test_types.contains msg in
     Alcotest.(check bool) "producer's full port" true (has "producer[out=full]");
     Alcotest.(check bool) "consumer's empty port" true
@@ -263,6 +267,60 @@ let test_store_manifest () =
   Alcotest.(check bool) "absent on fpga" true
     (Store.find_on store ~uid:"a" ~device:Artifact.Fpga = None)
 
+(* Quarantine pulls a whole device out of service: its artifacts
+   vanish from lookups, so a re-plan can only pick healthy devices —
+   and clearing the quarantine brings them back. *)
+let test_store_quarantine () =
+  let f1 = dummy_filter "a" in
+  let store = Store.create () in
+  Store.add store (gpu_artifact_for [ f1 ]);
+  Store.add store (fpga_artifact_for [ f1 ]);
+  Store.quarantine store ~device:Artifact.Gpu ~reason:"injected fault";
+  Alcotest.(check bool) "gpu quarantined" true
+    (Store.is_quarantined store ~device:Artifact.Gpu);
+  Alcotest.(check bool) "gpu artifact hidden" true
+    (Store.find_on store ~uid:"a" ~device:Artifact.Gpu = None);
+  Alcotest.(check bool) "fpga still visible" true
+    (Store.find_on store ~uid:"a" ~device:Artifact.Fpga <> None);
+  let plan = Substitute.plan Substitute.Prefer_accelerators store [ f1 ] in
+  check_string "re-plan avoids gpu" "fpga(1)" (Substitute.describe_plan plan);
+  Store.quarantine store ~device:Artifact.Fpga ~reason:"injected fault";
+  let plan = Substitute.plan Substitute.Prefer_accelerators store [ f1 ] in
+  check_string "all quarantined -> bytecode" "bytecode(1)"
+    (Substitute.describe_plan plan);
+  check_int "quarantine list" 2 (List.length (Store.quarantined store));
+  (* quarantining twice does not duplicate the entry *)
+  Store.quarantine store ~device:Artifact.Gpu ~reason:"again";
+  check_int "no duplicates" 2 (List.length (Store.quarantined store));
+  Store.clear_quarantine store;
+  Alcotest.(check bool) "back in service" true
+    (Store.find_on store ~uid:"a" ~device:Artifact.Gpu <> None)
+
+let test_metrics_fault_counters () =
+  let m = Metrics.create () in
+  Metrics.add_device_fault m;
+  Metrics.add_device_fault m;
+  Metrics.add_retry m ~backoff_ns:1000.0;
+  Metrics.add_retry m ~backoff_ns:2000.0;
+  Metrics.add_resubstitution m;
+  let s = Metrics.snapshot m in
+  check_int "faults" 2 s.Metrics.device_faults;
+  check_int "retries" 2 s.Metrics.retries;
+  check_int "resubstitutions" 1 s.Metrics.resubstitutions;
+  Alcotest.(check (float 0.01)) "backoff" 3000.0 s.Metrics.backoff_ns;
+  let rendered = Format.asprintf "%a" Metrics.pp s in
+  Alcotest.(check bool) "pp line" true
+    (Test_types.contains rendered
+       "faults:   2 fault(s), 2 retry(s), 1 resubstitution(s), 3.0 us backoff");
+  let json = Metrics.to_json s in
+  Alcotest.(check bool) "json counters" true
+    (Test_types.contains json
+       "\"device_faults\":2,\"retries\":2,\"resubstitutions\":1,\"backoff_ns\":3000.0");
+  Metrics.reset m;
+  let s = Metrics.snapshot m in
+  check_int "reset faults" 0 s.Metrics.device_faults;
+  Alcotest.(check (float 0.01)) "reset backoff" 0.0 s.Metrics.backoff_ns
+
 let suite =
   ( "runtime",
     [
@@ -288,4 +346,7 @@ let suite =
         test_substitution_skips_nonrelocatable;
       Alcotest.test_case "mixed runs" `Quick test_substitution_mixed_run;
       Alcotest.test_case "store and manifest" `Quick test_store_manifest;
+      Alcotest.test_case "store quarantine" `Quick test_store_quarantine;
+      Alcotest.test_case "metrics fault counters" `Quick
+        test_metrics_fault_counters;
     ] )
