@@ -2,7 +2,7 @@
 
 QCHECK_SEED ?= 20260805
 
-.PHONY: all build test check bench clean
+.PHONY: all build test lint check bench clean
 
 all: build
 
@@ -12,11 +12,21 @@ build:
 test:
 	dune runtest
 
+# Static analysis over the example programs: `lmc analyze` exits
+# nonzero on any error-severity finding (deadlocking graphs, provably
+# out-of-bounds accesses), so a bad example fails the build.
+lint: build
+	@for f in examples/lime/*.lime; do \
+	  echo "== lmc analyze $$f"; \
+	  dune exec bin/lmc.exe -- analyze $$f || exit 1; \
+	done
+
 # The full gate: build everything, run the whole suite (unit, property,
-# cram), then re-run the differential fault-tolerance suite — including
-# its `Slow` workload x policy x schedule matrix — under a fixed QCheck
-# seed so the randomized schedules are reproducible.
-check: build test
+# cram), lint the examples, then re-run the differential
+# fault-tolerance suite — including its `Slow` workload x policy x
+# schedule matrix — under a fixed QCheck seed so the randomized
+# schedules are reproducible.
+check: build test lint
 	QCHECK_SEED=$(QCHECK_SEED) dune exec test/test_main.exe -- test differential -e
 
 bench:

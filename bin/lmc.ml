@@ -5,6 +5,7 @@
      lmc disasm FILE [FUNCTION]       print bytecode disassembly
      lmc workloads [NAME]             list the benchmark suite / run one
      lmc dump-ir FILE [FUNCTION]      print the intermediate representation
+     lmc analyze FILE [--json]        static analysis: purity, ranges, graph lint
 
    Argument syntax for `run`:
      42            int
@@ -403,9 +404,49 @@ let dump_ir_cmd =
     (Cmd.info "dump-ir" ~doc:"print the optimized IR")
     Term.(const action $ file_arg $ fn)
 
+(* --- analyze ----------------------------------------------------------- *)
+
+let analyze_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"print the diagnostics as a JSON object")
+  in
+  let fifo_capacity =
+    Arg.(value & opt int 16 & info [ "fifo-capacity" ] ~docv:"N"
+           ~doc:
+             "FIFO capacity assumed by the task-graph lint (matches the \
+              runtime's default; rates above it warn)")
+  in
+  let action file json fifo_capacity =
+    handle_compile_errors (fun () ->
+        let prog =
+          Lime_ir.Opt.optimize
+            (Lime_ir.Lower.lower
+               (Lime_types.Typecheck.check
+                  (Lime_syntax.Parser.parse ~file (read_file file))))
+        in
+        let report = Analysis.Report.analyze ~fifo_capacity prog in
+        let diags = report.Analysis.Report.diags in
+        if json then print_endline (Analysis.Report.to_json diags)
+        else begin
+          Analysis.Report.render Format.std_formatter diags;
+          print_endline (Analysis.Report.summary_line diags)
+        end;
+        if Analysis.Report.error_count diags > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "run the static analyses (purity/effects, value ranges and array \
+          bounds, task-graph deadlock lint) and print diagnostics")
+    Term.(const action $ file_arg $ json $ fifo_capacity)
+
 let () =
   let doc = "the Liquid Metal compiler and runtime (DAC 2012 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "lmc" ~version:"1.0.0" ~doc)
-          [ compile_cmd; run_cmd; disasm_cmd; dump_ir_cmd; workloads_cmd ]))
+          [
+            compile_cmd; run_cmd; disasm_cmd; dump_ir_cmd; workloads_cmd;
+            analyze_cmd;
+          ]))

@@ -1,0 +1,113 @@
+(* Control-flow graph construction over the structured Lime IR.
+
+   [Ir.block] is a statement tree (ifs and whiles nest); the dataflow
+   analyses want a flat graph of straight-line nodes with explicit
+   edges. Each node holds the instructions executed unconditionally in
+   sequence and ends in a terminator. Loop heads are marked so the
+   fixpoint engine knows where to widen. *)
+
+module Ir = Lime_ir.Ir
+
+type terminator =
+  | T_jump of int
+  | T_branch of Ir.operand * int * int  (** condition, then, else *)
+  | T_return of Ir.operand option
+  | T_exit  (** fell off the end of the function *)
+
+type node = {
+  mutable instrs : Ir.instr list;  (** straight-line code, in order *)
+  mutable term : terminator;
+}
+
+type t = {
+  nodes : node array;
+  entry : int;
+  loop_heads : bool array;
+  loop_branches : bool array;
+      (** nodes whose branch is a loop condition (not source-level
+          [if]); dead-code lint skips these *)
+  preds : int list array;
+}
+
+let succs_of_term = function
+  | T_jump n -> [ n ]
+  | T_branch (_, a, b) -> if a = b then [ a ] else [ a; b ]
+  | T_return _ | T_exit -> []
+
+let succs g n = succs_of_term g.nodes.(n).term
+
+let build (body : Ir.block) : t =
+  let tbl : (int, node) Hashtbl.t = Hashtbl.create 16 in
+  let heads : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let loop_branch : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let count = ref 0 in
+  let fresh () =
+    let id = !count in
+    incr count;
+    Hashtbl.add tbl id { instrs = []; term = T_exit };
+    id
+  in
+  let node id = Hashtbl.find tbl id in
+  let push id i =
+    let nd = node id in
+    nd.instrs <- i :: nd.instrs
+  in
+  (* Close a node with [t] unless it already ended (in a return). *)
+  let seal id t =
+    let nd = node id in
+    match nd.term with T_exit -> nd.term <- t | _ -> ()
+  in
+  let rec go cur (b : Ir.block) : int =
+    match b with
+    | [] -> cur
+    | Ir.I_if (c, then_b, else_b) :: rest ->
+      let tn = fresh () and en = fresh () in
+      seal cur (T_branch (c, tn, en));
+      let t_end = go tn then_b in
+      let e_end = go en else_b in
+      let join = fresh () in
+      seal t_end (T_jump join);
+      seal e_end (T_jump join);
+      go join rest
+    | Ir.I_while (cond_b, c, body_b) :: rest ->
+      let head = fresh () in
+      Hashtbl.replace heads head ();
+      seal cur (T_jump head);
+      let head_end = go head cond_b in
+      Hashtbl.replace loop_branch head_end ();
+      let bn = fresh () and exit_n = fresh () in
+      seal head_end (T_branch (c, bn, exit_n));
+      let b_end = go bn body_b in
+      seal b_end (T_jump head);
+      go exit_n rest
+    | Ir.I_return o :: rest ->
+      seal cur (T_return o);
+      (* anything after a return is dead code: park it in a node with
+         no predecessors so reachability analysis sees it as dead *)
+      let dead = fresh () in
+      go dead rest
+    | i :: rest ->
+      push cur i;
+      go cur rest
+  in
+  let entry = fresh () in
+  ignore (go entry body);
+  let nodes =
+    Array.init !count (fun i ->
+        let nd = node i in
+        { nd with instrs = List.rev nd.instrs })
+  in
+  let preds = Array.make !count [] in
+  Array.iteri
+    (fun i nd ->
+      List.iter (fun s -> preds.(s) <- i :: preds.(s)) (succs_of_term nd.term))
+    nodes;
+  {
+    nodes;
+    entry;
+    loop_heads = Array.init !count (Hashtbl.mem heads);
+    loop_branches = Array.init !count (Hashtbl.mem loop_branch);
+    preds;
+  }
+
+let size g = Array.length g.nodes

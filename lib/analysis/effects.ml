@@ -1,0 +1,174 @@
+(* Interprocedural effect and purity inference.
+
+   Each function gets a summary: the set of side effects it may
+   perform, directly or through any callee, with a witness call chain
+   for each effect so a backend exclusion can name the concrete
+   offender ("writes field Acc.total, via S.run -> Acc.add") instead
+   of a blanket "is global". Summaries are computed by a fixpoint over
+   the call graph: a function's summary is its direct effects joined
+   with the lifted summaries of its callees. The effect alphabet is
+   finite, so plain set union terminates without widening. *)
+
+module Ir = Lime_ir.Ir
+
+type effect_ =
+  | Reads_field of string  (** "Class.field" *)
+  | Writes_field of string
+  | Writes_array
+  | Allocates_array
+  | Freezes_array  (** host-side value conversion *)
+  | Allocates of string  (** class name *)
+  | Nested_parallel  (** contains a map or reduce site *)
+  | Builds_graph
+  | Runs_graph
+  | Calls_unknown of string
+
+type witness = {
+  w_effect : effect_;
+  w_chain : string list;
+      (** call path, entry first; the last element performs the effect *)
+  w_loc : Support.Srcloc.t;  (** declaration of the performing function *)
+}
+
+type summary = witness list  (* at most one witness per distinct effect *)
+type t = (string, summary) Hashtbl.t
+
+let describe = function
+  | Reads_field f -> Printf.sprintf "reads field %s" f
+  | Writes_field f -> Printf.sprintf "writes field %s" f
+  | Writes_array -> "writes array elements"
+  | Allocates_array -> "allocates an array"
+  | Freezes_array -> "freezes an array (host-side value conversion)"
+  | Allocates c -> Printf.sprintf "allocates %s objects" c
+  | Nested_parallel -> "contains a nested map/reduce"
+  | Builds_graph -> "constructs a task graph"
+  | Runs_graph -> "starts a task graph"
+  | Calls_unknown f -> Printf.sprintf "calls unknown function %s" f
+
+let describe_witness (w : witness) =
+  let chain =
+    match w.w_chain with
+    | [] | [ _ ] -> ""
+    | chain -> Printf.sprintf " (via %s)" (String.concat " -> " chain)
+  in
+  let loc =
+    if w.w_loc = Support.Srcloc.dummy then ""
+    else
+      Printf.sprintf " at %s:%d" w.w_loc.Support.Srcloc.file
+        w.w_loc.Support.Srcloc.line
+  in
+  describe w.w_effect ^ loc ^ chain
+
+(* Name of field [slot] of the class behind [obj], for messages. *)
+let field_name (prog : Ir.program) (obj : Ir.operand) slot =
+  match Ir.operand_ty obj with
+  | Ir.Obj cls -> (
+    match Ir.String_map.find_opt cls prog.classes with
+    | Some cm -> (
+      match List.nth_opt cm.cm_fields slot with
+      | Some (name, _) -> cls ^ "." ^ name
+      | None -> Printf.sprintf "%s.<slot %d>" cls slot)
+    | None -> Printf.sprintf "%s.<slot %d>" cls slot)
+  | _ -> Printf.sprintf "<slot %d>" slot
+
+(* Direct effects and callees of one function body. *)
+let direct (prog : Ir.program) (fn : Ir.func) : effect_ list * string list =
+  let effects = ref [] and callees = ref [] in
+  let eff e = if not (List.mem e !effects) then effects := e :: !effects in
+  let callee k = if not (List.mem k !callees) then callees := k :: !callees in
+  let rec block b = List.iter instr b
+  and instr = function
+    | Ir.I_let (_, r) | Ir.I_set (_, r) | Ir.I_do r -> rhs r
+    | Ir.I_astore _ -> eff Writes_array
+    | Ir.I_setfield (obj, slot, _) -> eff (Writes_field (field_name prog obj slot))
+    | Ir.I_if (_, a, b) ->
+      block a;
+      block b
+    | Ir.I_while (c, _, body) ->
+      block c;
+      block body
+    | Ir.I_return _ -> ()
+    | Ir.I_run_graph _ -> eff Runs_graph
+  and rhs = function
+    | Ir.R_op _ | Ir.R_unop _ | Ir.R_binop _ | Ir.R_alen _ | Ir.R_aload _ -> ()
+    | Ir.R_call (k, _) ->
+      if Lime_ir.Intrinsics.is_intrinsic k then ()
+      else if Ir.find_func prog k = None then eff (Calls_unknown k)
+      else callee k
+    | Ir.R_newarr _ -> eff Allocates_array
+    | Ir.R_freeze _ -> eff Freezes_array
+    | Ir.R_newobj (cls, _) -> eff (Allocates cls)
+    | Ir.R_field (obj, slot) -> eff (Reads_field (field_name prog obj slot))
+    | Ir.R_map m ->
+      eff Nested_parallel;
+      if Ir.find_func prog m.map_fn <> None then callee m.map_fn
+    | Ir.R_reduce r ->
+      eff Nested_parallel;
+      if Ir.find_func prog r.red_fn <> None then callee r.red_fn
+    | Ir.R_mkgraph _ -> eff Builds_graph
+  in
+  block fn.fn_body;
+  List.rev !effects, List.rev !callees
+
+let infer (prog : Ir.program) : t =
+  let summaries : t = Hashtbl.create 32 in
+  let directs = Hashtbl.create 32 in
+  let callers = Hashtbl.create 32 in
+  Ir.String_map.iter
+    (fun key fn ->
+      let effs, callees = direct prog fn in
+      Hashtbl.replace directs key (fn, effs, callees);
+      List.iter
+        (fun callee ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt callers callee) in
+          if not (List.mem key cur) then Hashtbl.replace callers callee (key :: cur))
+        callees;
+      Hashtbl.replace summaries key [])
+    prog.funcs;
+  let queue = Queue.create () in
+  Ir.String_map.iter (fun key _ -> Queue.push key queue) prog.funcs;
+  while not (Queue.is_empty queue) do
+    let key = Queue.pop queue in
+    let fn, effs, callees = Hashtbl.find directs key in
+    let own =
+      List.map
+        (fun e -> { w_effect = e; w_chain = [ key ]; w_loc = fn.Ir.fn_loc })
+        effs
+    in
+    let inherited =
+      List.concat_map
+        (fun callee ->
+          List.map
+            (fun w -> { w with w_chain = key :: w.w_chain })
+            (Option.value ~default:[] (Hashtbl.find_opt summaries callee)))
+        callees
+    in
+    (* keep the first witness per effect kind; order is stable, so the
+       fixpoint terminates once the kind set stops growing *)
+    let merged =
+      List.fold_left
+        (fun acc w ->
+          if List.exists (fun w' -> w'.w_effect = w.w_effect) acc then acc
+          else w :: acc)
+        [] (own @ inherited)
+      |> List.rev
+    in
+    let current = Hashtbl.find summaries key in
+    if
+      List.map (fun w -> w.w_effect) merged
+      <> List.map (fun w -> w.w_effect) current
+    then begin
+      Hashtbl.replace summaries key merged;
+      List.iter
+        (fun caller -> Queue.push caller queue)
+        (Option.value ~default:[] (Hashtbl.find_opt callers key))
+    end
+  done;
+  summaries
+
+let summary (t : t) key : summary =
+  Option.value ~default:[] (Hashtbl.find_opt t key)
+
+(* A function is pure if it performs no effect at all (reading its
+   arguments and returning a value). *)
+let is_pure (t : t) key = summary t key = []

@@ -1,0 +1,93 @@
+(* A generic monotone dataflow framework.
+
+   The device compilers need several fixpoint computations — interval
+   analysis over control-flow graphs, effect inference over the call
+   graph — and they all share the same skeleton: a lattice of facts, a
+   graph of nodes, a monotone transfer function, and a worklist that
+   iterates to a fixed point. [Make] packages that skeleton once.
+
+   Termination: for finite-height lattices the worklist terminates on
+   its own; for infinite-ascending-chain lattices (intervals) the
+   caller marks widening points (loop heads) and supplies [widen],
+   which the solver applies after a node has been visited more than
+   [widen_after] times. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen old new_] must yield an upper bound of both and guarantee
+      that repeated widening stabilizes. Finite-height lattices can
+      use [join]. *)
+end
+
+type stats = { iterations : int; widenings : int }
+
+(* Visits before widening kicks in at a widening point: lets a loop
+   body contribute a couple of concrete bounds before extrapolating. *)
+let widen_after = 2
+
+module Make (L : LATTICE) = struct
+  type problem = {
+    size : int;  (** nodes are [0 .. size-1] *)
+    entries : (int * L.t) list;  (** seed nodes with their initial facts *)
+    succs : int -> int list;
+    transfer : int -> L.t -> L.t;  (** out-fact of a node from its in-fact *)
+    edge : int -> int -> L.t -> L.t;
+        (** refinement applied to a fact flowing along [src -> dst]
+            (e.g. branch-condition narrowing); identity if none *)
+    widen_at : int -> bool;  (** widening points (loop heads) *)
+  }
+
+  (* Solve to a fixpoint; returns the in-fact of every node. Nodes
+     never reached from an entry keep [L.bottom] — callers use that
+     for reachability. *)
+  let solve (p : problem) : L.t array * stats =
+    let in_fact = Array.make p.size L.bottom in
+    let visits = Array.make p.size 0 in
+    let on_queue = Array.make p.size false in
+    let queue = Queue.create () in
+    let iterations = ref 0 and widenings = ref 0 in
+    let enqueue n =
+      if not on_queue.(n) then begin
+        on_queue.(n) <- true;
+        Queue.push n queue
+      end
+    in
+    List.iter
+      (fun (n, fact) ->
+        in_fact.(n) <- L.join in_fact.(n) fact;
+        enqueue n)
+      p.entries;
+    while not (Queue.is_empty queue) do
+      let n = Queue.pop queue in
+      on_queue.(n) <- false;
+      incr iterations;
+      if !iterations > 200_000 then
+        failwith "Fixpoint.solve: iteration budget exceeded";
+      let out = p.transfer n in_fact.(n) in
+      List.iter
+        (fun s ->
+          let incoming = p.edge n s out in
+          let cur = in_fact.(s) in
+          visits.(s) <- visits.(s) + 1;
+          let merged =
+            if p.widen_at s && visits.(s) > widen_after then begin
+              let w = L.widen cur (L.join cur incoming) in
+              if not (L.equal w cur) then incr widenings;
+              w
+            end
+            else L.join cur incoming
+          in
+          if not (L.equal merged cur) then begin
+            in_fact.(s) <- merged;
+            enqueue s
+          end)
+        (p.succs n)
+    done;
+    in_fact, { iterations = !iterations; widenings = !widenings }
+end

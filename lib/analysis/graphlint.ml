@@ -1,0 +1,88 @@
+(* Static checks over task-graph templates.
+
+   The scheduler detects a wedged graph at run time ([Scheduler.Deadlock]
+   fires when a whole round makes no progress while actors still hold
+   or await data). Several of those wedges are statically decidable
+   from the template shape plus the intervals of the [R_mkgraph]
+   operands the range analysis computed:
+
+   - a source whose rate is never positive can never push an element,
+     so every FIFO in the source-to-sink cycle stays empty forever;
+   - a rate provably larger than the FIFO capacity can never complete
+     a full burst in one scheduling step (throughput hazard);
+   - a template constructed only in unreachable code means its filters
+     are dead weight for every backend. *)
+
+module Ir = Lime_ir.Ir
+module Iv = Interval
+
+type severity = [ `Error | `Warning | `Note ]
+
+type finding = {
+  g_sev : severity;
+  g_loc : Support.Srcloc.t;
+  g_code : string;
+  g_msg : string;
+}
+
+let template_loc (gt : Ir.graph_template) =
+  let rec first = function
+    | Ir.N_filter f :: _ -> f.Ir.floc
+    | _ :: rest -> first rest
+    | [] -> Support.Srcloc.dummy
+  in
+  first gt.gt_nodes
+
+(* The interval of the source rate operand: walk the node list
+   consuming dynamic operands the same way the VM does. *)
+let source_rate (gt : Ir.graph_template) (ops : Iv.t list) : Iv.t option =
+  let rec walk idx = function
+    | [] -> None
+    | Ir.N_source _ :: _ -> List.nth_opt ops (idx + 1)
+    | n :: rest -> walk (idx + Ir.tnode_operand_count n) rest
+  in
+  walk 0 gt.gt_nodes
+
+let check (prog : Ir.program) ~fifo_capacity
+    ~(graph_args : (string * Iv.t list) list) : finding list =
+  let findings = ref [] in
+  let add sev loc code fmt =
+    Printf.ksprintf
+      (fun msg ->
+        findings := { g_sev = sev; g_loc = loc; g_code = code; g_msg = msg } :: !findings)
+      fmt
+  in
+  Ir.String_map.iter
+    (fun uid (gt : Ir.graph_template) ->
+      let loc = template_loc gt in
+      match List.assoc_opt uid graph_args with
+      | None ->
+        add `Warning loc "LMA004"
+          "task graph %s is constructed only in unreachable code; its \
+           filters are dead"
+          uid
+      | Some ops -> (
+        match source_rate gt ops with
+        | None -> ()
+        | Some rate -> (
+          match Iv.upper rate, Iv.lower rate with
+          | Some hi, _ when hi <= 0 ->
+            add `Error loc "LMA002"
+              "task graph %s: source rate %s is never positive — the \
+               source can never push an element, every FIFO in the \
+               source-to-sink cycle stays empty, and the graph wedges \
+               (runtime Scheduler.Deadlock)"
+              uid (Iv.to_string rate)
+          | _, Some lo when lo <= 0 ->
+            add `Warning loc "LMA005"
+              "task graph %s: source rate %s may be non-positive; a \
+               non-positive rate wedges the graph" uid (Iv.to_string rate)
+          | _, Some lo when lo > fifo_capacity ->
+            add `Warning loc "LMA003"
+              "task graph %s: source rate %s exceeds the FIFO capacity \
+               %d; the source can never complete a full burst per \
+               scheduling step"
+              uid (Iv.to_string rate) fifo_capacity
+          | _ -> ())))
+    prog.templates;
+  List.rev !findings

@@ -1,0 +1,242 @@
+(* The interval abstract domain over 32-bit integers.
+
+   Bounds are OCaml native ints (comfortably wider than 32 bits), with
+   [None] standing for the corresponding infinity. Any arithmetic
+   result that could leave the 32-bit range goes to [top]: the VM
+   normalizes to 32-bit wraparound semantics, so a potential overflow
+   destroys all bound information rather than saturating. *)
+
+type t =
+  | Bot  (** unreachable / no value *)
+  | Itv of int option * int option
+      (** [lo, hi]; [None] is -inf / +inf respectively *)
+
+let i32_min = -0x8000_0000
+let i32_max = 0x7fff_ffff
+let top = Itv (None, None)
+let of_int n = Itv (Some n, Some n)
+let of_bounds lo hi = if lo > hi then Bot else Itv (Some lo, Some hi)
+let nonneg = Itv (Some 0, None)
+let boolean = Itv (Some 0, Some 1)
+let is_bot t = t = Bot
+
+let to_string = function
+  | Bot -> "bot"
+  | Itv (lo, hi) ->
+    let b = function Some n -> string_of_int n | None -> "" in
+    Printf.sprintf "[%s%s, %s%s]"
+      (match lo with Some _ -> "" | None -> "-inf")
+      (b lo)
+      (match hi with Some _ -> "" | None -> "+inf")
+      (b hi)
+
+(* Wraparound guard: a finite bound outside the 32-bit range means the
+   concrete value may have wrapped, so the whole interval is unknown. *)
+let norm = function
+  | Bot -> Bot
+  | Itv (Some lo, Some hi) when lo > hi -> Bot
+  | Itv (lo, hi) ->
+    let out_low = match lo with Some l -> l < i32_min | None -> false in
+    let out_high = match hi with Some h -> h > i32_max | None -> false in
+    if out_low || out_high then top else Itv (lo, hi)
+
+let equal a b = a = b
+
+let join a b =
+  match a, b with
+  | Bot, x | x, Bot -> x
+  | Itv (l1, h1), Itv (l2, h2) ->
+    let lo = match l1, l2 with Some a, Some b -> Some (min a b) | _ -> None in
+    let hi = match h1, h2 with Some a, Some b -> Some (max a b) | _ -> None in
+    Itv (lo, hi)
+
+let meet a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (l1, h1), Itv (l2, h2) ->
+    let lo =
+      match l1, l2 with
+      | Some a, Some b -> Some (max a b)
+      | (Some _ as s), None | None, (Some _ as s) -> s
+      | None, None -> None
+    in
+    let hi =
+      match h1, h2 with
+      | Some a, Some b -> Some (min a b)
+      | (Some _ as s), None | None, (Some _ as s) -> s
+      | None, None -> None
+    in
+    (match lo, hi with
+    | Some l, Some h when l > h -> Bot
+    | _ -> Itv (lo, hi))
+
+(* Standard interval widening: any bound that moved jumps to infinity. *)
+let widen old incoming =
+  match old, incoming with
+  | Bot, x | x, Bot -> x
+  | Itv (l1, h1), Itv (l2, h2) ->
+    let lo =
+      match l1, l2 with
+      | Some a, Some b when b < a -> None
+      | None, _ | _, None -> None
+      | _ -> l1
+    in
+    let hi =
+      match h1, h2 with
+      | Some a, Some b when b > a -> None
+      | None, _ | _, None -> None
+      | _ -> h1
+    in
+    Itv (lo, hi)
+
+(* --- arithmetic transfer functions -------------------------------- *)
+
+let lift2 f a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (l1, h1), Itv (l2, h2) -> norm (f (l1, h1) (l2, h2))
+
+let badd a b = match a, b with Some x, Some y -> Some (x + y) | _ -> None
+let bneg = Option.map (fun x -> -x)
+
+let add = lift2 (fun (l1, h1) (l2, h2) -> Itv (badd l1 l2, badd h1 h2))
+
+let neg = function
+  | Bot -> Bot
+  | Itv (lo, hi) -> norm (Itv (bneg hi, bneg lo))
+
+let sub a b = add a (neg b)
+
+let mul =
+  lift2 (fun (l1, h1) (l2, h2) ->
+      match l1, h1, l2, h2 with
+      | Some l1, Some h1, Some l2, Some h2 ->
+        let products = [ l1 * l2; l1 * h2; h1 * l2; h1 * h2 ] in
+        Itv
+          ( Some (List.fold_left min max_int products),
+            Some (List.fold_left max min_int products) )
+      | _ -> top)
+
+(* Truncating division; a divisor interval containing 0 may trap, so
+   no bound survives. *)
+let div =
+  lift2 (fun (l1, h1) (l2, h2) ->
+      match l1, h1, l2, h2 with
+      | Some l1, Some h1, Some l2, Some h2 when l2 > 0 || h2 < 0 ->
+        let quotients = [ l1 / l2; l1 / h2; h1 / l2; h1 / h2 ] in
+        Itv
+          ( Some (List.fold_left min max_int quotients),
+            Some (List.fold_left max min_int quotients) )
+      | _ -> top)
+
+(* OCaml / C-style remainder takes the dividend's sign and satisfies
+   |x rem m| < |m|. *)
+let rem a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (l1, _h1), Itv (l2, h2) -> (
+    match l2, h2 with
+    | Some l2, Some h2 when l2 > 0 || h2 < 0 ->
+      let m = max (abs l2) (abs h2) - 1 in
+      let lo = match l1 with Some l when l >= 0 -> 0 | _ -> -m in
+      let hi =
+        match a with Itv (_, Some h) when h <= 0 -> 0 | _ -> m
+      in
+      norm (Itv (Some lo, Some hi))
+    | _ -> top)
+
+(* x land m with m >= 0 yields a value in [0, m]; symmetric in x. *)
+let band a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (l1, h1), Itv (l2, h2) ->
+    let bound_from (lo, hi) =
+      match lo, hi with
+      | Some l, Some h when l >= 0 -> Some h
+      | _ -> None
+    in
+    (match bound_from (l1, h1), bound_from (l2, h2) with
+    | Some m1, Some m2 -> of_bounds 0 (min m1 m2)
+    | Some m, None | None, Some m -> of_bounds 0 m
+    | None, None -> top)
+
+(* or/xor of two non-negative values stays under the next power of
+   two covering both. *)
+let bor_like a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (Some l1, Some h1), Itv (Some l2, Some h2) when l1 >= 0 && l2 >= 0 ->
+    let m = max h1 h2 in
+    let rec pow2 p = if p - 1 >= m then p - 1 else pow2 (p * 2) in
+    of_bounds 0 (pow2 1)
+  | _ -> top
+
+let shl a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (Some l, Some h), Itv (Some k, Some k') when k = k' && k >= 0 && k < 32
+    ->
+    norm (Itv (Some (l lsl k), Some (h lsl k)))
+  | _ -> top
+
+(* Arithmetic shift right is monotone in the shifted value. *)
+let shr a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (Some l, Some h), Itv (Some k, Some k') when k = k' && k >= 0 && k < 32
+    ->
+    norm (Itv (Some (l asr k), Some (h asr k)))
+  | Itv (Some l, _), Itv (Some k, _) when l >= 0 && k >= 0 ->
+    Itv (Some 0, match a with Itv (_, Some h) -> Some h | _ -> None)
+  | _ -> top
+
+let bnot a = sub (of_int (-1)) a
+
+(* --- comparisons: return a boolean interval, constant when the
+   operand intervals are disjoint / ordered ------------------------- *)
+
+let bool_itv b = if b then of_int 1 else of_int 0
+
+let cmp_lt a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (_, Some h1), Itv (Some l2, _) when h1 < l2 -> bool_itv true
+  | Itv (Some l1, _), Itv (_, Some h2) when l1 >= h2 -> bool_itv false
+  | _ -> boolean
+
+let cmp_leq a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (_, Some h1), Itv (Some l2, _) when h1 <= l2 -> bool_itv true
+  | Itv (Some l1, _), Itv (_, Some h2) when l1 > h2 -> bool_itv false
+  | _ -> boolean
+
+let cmp_eq a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (Some l1, Some h1), Itv (Some l2, Some h2)
+    when l1 = h1 && l2 = h2 && l1 = l2 ->
+    bool_itv true
+  | _ -> if is_bot (meet a b) then bool_itv false else boolean
+
+(* --- queries ------------------------------------------------------- *)
+
+let const_of = function Itv (Some l, Some h) when l = h -> Some l | _ -> None
+let lower = function Itv (Some l, _) -> Some l | _ -> None
+let upper = function Itv (_, Some h) -> Some h | _ -> None
+
+(* Bits needed for an unsigned value in [0, n]. *)
+let rec unsigned_bits n = if n <= 1 then 1 else 1 + unsigned_bits (n / 2)
+
+(* Smallest two's-complement width holding every value of the
+   interval; [None] when a bound is infinite (no narrowing). *)
+let width = function
+  | Bot -> Some 1
+  | Itv (Some lo, Some hi) when lo >= 0 -> Some (unsigned_bits hi)
+  | Itv (Some lo, Some hi) ->
+    let rec signed_bits w =
+      if -(1 lsl (w - 1)) <= lo && hi <= (1 lsl (w - 1)) - 1 then w
+      else signed_bits (w + 1)
+    in
+    Some (signed_bits 2)
+  | _ -> None

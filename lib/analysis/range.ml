@@ -1,0 +1,497 @@
+(* Value-range analysis over the Lime IR.
+
+   An intraprocedural interval analysis (with memoized interprocedural
+   return summaries) run on the CFG of each function by the generic
+   fixpoint engine. Per virtual register it tracks the interval of the
+   register's value and, for array-typed registers, the interval of
+   the array's length. Clients:
+
+   - [Rtl.Synth] narrows FPGA register/wire widths from the return
+     interval of filter functions;
+   - the GPU path marks provably in-bounds array accesses;
+   - the task-graph lint reads the intervals of [R_mkgraph] operands
+     (source rates) to detect graphs that can never make progress. *)
+
+module Ir = Lime_ir.Ir
+module Iv = Interval
+
+type state = { vals : Iv.t array; lens : Iv.t array }
+
+module Env = struct
+  type t = state option  (* [None] = unreachable *)
+
+  let bottom = None
+
+  let lift2 f a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b ->
+      Some
+        {
+          vals = Array.map2 f a.vals b.vals;
+          lens = Array.map2 f a.lens b.lens;
+        }
+
+  let equal a b =
+    match a, b with
+    | None, None -> true
+    | Some a, Some b -> a.vals = b.vals && a.lens = b.lens
+    | _ -> false
+
+  let join = lift2 Iv.join
+  let widen = lift2 Iv.widen
+end
+
+module Solver = Fixpoint.Make (Env)
+
+(* --- type-derived intervals ---------------------------------------- *)
+
+let of_ty (prog : Ir.program) = function
+  | Ir.Bool | Ir.Bit -> Iv.boolean
+  | Ir.Enum e -> (
+    match Ir.String_map.find_opt e prog.enums with
+    | Some cases -> Iv.of_bounds 0 (max 0 (Array.length cases - 1))
+    | None -> Iv.top)
+  | Ir.I32 | Ir.F32 | Ir.Arr _ | Ir.Obj _ | Ir.Graph | Ir.Unit -> Iv.top
+
+let len_of_ty = function Ir.Arr _ -> Iv.nonneg | _ -> Iv.top
+
+let eval_const = function
+  | Ir.C_i32 n -> Iv.of_int n
+  | Ir.C_bool b | Ir.C_bit b -> Iv.of_int (if b then 1 else 0)
+  | Ir.C_enum (_, tag) -> Iv.of_int tag
+  | Ir.C_unit | Ir.C_f32 _ | Ir.C_bits _ -> Iv.top
+
+(* --- operator transfer --------------------------------------------- *)
+
+let bool_not v =
+  match Iv.const_of v with
+  | Some 0 -> Iv.of_int 1
+  | Some _ -> Iv.of_int 0
+  | None -> Iv.boolean
+
+let bool_and a b =
+  match Iv.const_of a, Iv.const_of b with
+  | Some 0, _ | _, Some 0 -> Iv.of_int 0
+  | Some x, Some y when x <> 0 && y <> 0 -> Iv.of_int 1
+  | _ -> Iv.boolean
+
+let bool_or a b =
+  match Iv.const_of a, Iv.const_of b with
+  | Some x, _ when x <> 0 -> Iv.of_int 1
+  | _, Some y when y <> 0 -> Iv.of_int 1
+  | Some 0, Some 0 -> Iv.of_int 0
+  | _ -> Iv.boolean
+
+let bool_xor a b =
+  match Iv.const_of a, Iv.const_of b with
+  | Some x, Some y -> Iv.of_int (if (x <> 0) <> (y <> 0) then 1 else 0)
+  | _ -> Iv.boolean
+
+let eval_binop (op : Ir.binop) a b =
+  match op with
+  | Ir.Add_i -> Iv.add a b
+  | Ir.Sub_i -> Iv.sub a b
+  | Ir.Mul_i -> Iv.mul a b
+  | Ir.Div_i -> Iv.div a b
+  | Ir.Rem_i -> Iv.rem a b
+  | Ir.Shl_i -> Iv.shl a b
+  | Ir.Shr_i -> Iv.shr a b
+  | Ir.And_i -> Iv.band a b
+  | Ir.Or_i | Ir.Xor_i -> Iv.bor_like a b
+  | Ir.And_b | Ir.And_bit -> bool_and a b
+  | Ir.Or_b | Ir.Or_bit -> bool_or a b
+  | Ir.Xor_b | Ir.Xor_bit -> bool_xor a b
+  | Ir.Eq -> Iv.cmp_eq a b
+  | Ir.Neq -> bool_not (Iv.cmp_eq a b)
+  | Ir.Lt_i -> Iv.cmp_lt a b
+  | Ir.Leq_i -> Iv.cmp_leq a b
+  | Ir.Gt_i -> Iv.cmp_lt b a
+  | Ir.Geq_i -> Iv.cmp_leq b a
+  | Ir.Add_f | Ir.Sub_f | Ir.Mul_f | Ir.Div_f | Ir.Rem_f -> Iv.top
+  | Ir.Lt_f | Ir.Leq_f | Ir.Gt_f | Ir.Geq_f -> Iv.boolean
+
+let eval_unop (op : Ir.unop) a =
+  match op with
+  | Ir.Neg_i -> Iv.neg a
+  | Ir.Bnot_i -> Iv.bnot a
+  | Ir.Not_b -> bool_not a
+  | Ir.Neg_f | Ir.I2f -> Iv.top
+
+(* --- recorded facts ------------------------------------------------ *)
+
+type bounds = Proven | Unknown | Out_of_bounds
+
+type event =
+  | Ev_graph of string * Iv.t list  (** mkgraph uid, operand intervals *)
+  | Ev_access of [ `Load | `Store ] * bounds
+
+type fn_facts = {
+  ff_ret : Iv.t;  (** join over reachable returns; [Bot] if none *)
+  ff_graph_args : (string * Iv.t list) list;
+  ff_accesses : ([ `Load | `Store ] * bounds) list;
+  ff_dead_branches : int;  (** non-loop branches decided statically *)
+  ff_stats : Fixpoint.stats;
+}
+
+type ctx = {
+  prog : Ir.program;
+  call_memo : (string * Iv.t list, Iv.t) Hashtbl.t;
+  mutable visiting : string list;
+}
+
+let make_ctx prog = { prog; call_memo = Hashtbl.create 16; visiting = [] }
+
+(* --- state transfer ------------------------------------------------ *)
+
+let operand_itv st = function
+  | Ir.O_const c -> eval_const c
+  | Ir.O_var v -> st.vals.(v.Ir.v_id)
+
+let operand_len st = function
+  | Ir.O_const (Ir.C_bits body) ->
+    (* bit literal: length = number of binary digits *)
+    let n =
+      String.fold_left
+        (fun n c -> if c = '0' || c = '1' then n + 1 else n)
+        0 body
+    in
+    Iv.of_int n
+  | Ir.O_const _ -> Iv.top
+  | Ir.O_var v -> st.lens.(v.Ir.v_id)
+
+let bounds_verdict ~index ~len =
+  let nonneg = match Iv.lower index with Some l -> l >= 0 | None -> false in
+  match Iv.upper index, Iv.lower len with
+  | Some hi, Some min_len when nonneg && hi < min_len -> Proven
+  | _ -> (
+    (* definitely out of bounds: every index is negative, or no index
+       can be below any possible length *)
+    match Iv.upper index, Iv.lower index, Iv.upper len with
+    | Some hi, _, _ when hi < 0 -> Out_of_bounds
+    | _, Some lo, Some max_len when lo >= max_len -> Out_of_bounds
+    | _ -> Unknown)
+
+let rec eval_rhs ctx st ~record (r : Ir.rhs) : Iv.t * Iv.t =
+  let scalar v = v, Iv.top in
+  match r with
+  | Ir.R_op o -> operand_itv st o, operand_len st o
+  | Ir.R_unop (op, a) -> scalar (eval_unop op (operand_itv st a))
+  | Ir.R_binop (op, a, b) ->
+    scalar (eval_binop op (operand_itv st a) (operand_itv st b))
+  | Ir.R_alen a -> scalar (Iv.meet (operand_len st a) Iv.nonneg)
+  | Ir.R_aload (a, i) ->
+    record
+      (Ev_access
+         ( `Load,
+           bounds_verdict ~index:(operand_itv st i) ~len:(operand_len st a) ));
+    let elem =
+      match Ir.operand_ty a with
+      | Ir.Arr t -> of_ty ctx.prog t
+      | _ -> Iv.top
+    in
+    scalar elem
+  | Ir.R_call (key, args) ->
+    let arg_itvs = List.map (operand_itv st) args in
+    scalar (call_summary ctx key arg_itvs)
+  | Ir.R_newarr (_, n) -> Iv.top, Iv.meet (operand_itv st n) Iv.nonneg
+  | Ir.R_freeze a -> Iv.top, operand_len st a
+  | Ir.R_newobj _ -> Iv.top, Iv.top
+  | Ir.R_field (o, slot) ->
+    let field_ty =
+      match Ir.operand_ty o with
+      | Ir.Obj cls -> (
+        match Ir.String_map.find_opt cls ctx.prog.classes with
+        | Some cm -> Option.map snd (List.nth_opt cm.cm_fields slot)
+        | None -> None)
+      | _ -> None
+    in
+    (match field_ty with
+    | Some t -> of_ty ctx.prog t, len_of_ty t
+    | None -> Iv.top, Iv.top)
+  | Ir.R_map m ->
+    (* elementwise: the result has the length of the mapped array *)
+    let lens =
+      List.filter_map
+        (fun (o, mapped) -> if mapped then Some (operand_len st o) else None)
+        m.map_args
+    in
+    Iv.top, List.fold_left Iv.join Iv.Bot lens
+  | Ir.R_reduce r -> of_ty ctx.prog r.red_elem_ty, Iv.top
+  | Ir.R_mkgraph (uid, ops) ->
+    record (Ev_graph (uid, List.map (operand_itv st) ops));
+    Iv.top, Iv.top
+
+and exec ctx ~record (instrs : Ir.instr list) (st : state option) :
+    state option =
+  match st with
+  | None -> None
+  | Some s ->
+    let s = { vals = Array.copy s.vals; lens = Array.copy s.lens } in
+    List.iter
+      (fun (i : Ir.instr) ->
+        match i with
+        | Ir.I_let (v, r) | Ir.I_set (v, r) ->
+          let value, len = eval_rhs ctx s ~record r in
+          s.vals.(v.Ir.v_id) <- value;
+          s.lens.(v.Ir.v_id) <- len
+        | Ir.I_astore (a, i, _) ->
+          record
+            (Ev_access
+               ( `Store,
+                 bounds_verdict ~index:(operand_itv s i)
+                   ~len:(operand_len s a) ))
+        | Ir.I_do r -> ignore (eval_rhs ctx s ~record r)
+        | Ir.I_setfield _ | Ir.I_run_graph _ -> ()
+        | Ir.I_if _ | Ir.I_while _ | Ir.I_return _ ->
+          (* structured control flow was dissolved by Cfg.build *)
+          assert false)
+      instrs;
+    Some s
+
+(* --- branch refinement --------------------------------------------- *)
+
+(* Registers with exactly one textual definition; branch refinement
+   looks through them to recover the comparison behind a condition. *)
+and collect_defs (fn : Ir.func) : (int, Ir.rhs option) Hashtbl.t =
+  let defs = Hashtbl.create 16 in
+  let def (v : Ir.var) r =
+    match Hashtbl.find_opt defs v.Ir.v_id with
+    | None -> Hashtbl.replace defs v.Ir.v_id (Some r)
+    | Some _ -> Hashtbl.replace defs v.Ir.v_id None
+  in
+  let rec block b = List.iter instr b
+  and instr = function
+    | Ir.I_let (v, r) | Ir.I_set (v, r) -> def v r
+    | Ir.I_if (_, a, b) ->
+      block a;
+      block b
+    | Ir.I_while (c, _, body) ->
+      block c;
+      block body
+    | Ir.I_astore _ | Ir.I_setfield _ | Ir.I_return _ | Ir.I_run_graph _
+    | Ir.I_do _ ->
+      ()
+  in
+  block fn.fn_body;
+  defs
+
+and below ~strict other =
+  match Iv.upper other with
+  | Some h -> Iv.Itv (None, Some (if strict then h - 1 else h))
+  | None -> Iv.top
+
+and above ~strict other =
+  match Iv.lower other with
+  | Some l -> Iv.Itv (Some (if strict then l + 1 else l), None)
+  | None -> Iv.top
+
+and constrain s truth (op : Ir.binop) x y =
+  let ix = operand_itv s x and iy = operand_itv s y in
+  let narrow o itv =
+    match o with
+    | Ir.O_var v -> s.vals.(v.Ir.v_id) <- Iv.meet s.vals.(v.Ir.v_id) itv
+    | Ir.O_const _ -> ()
+  in
+  let apply kind =
+    match kind with
+    | `Lt ->
+      narrow x (below ~strict:true iy);
+      narrow y (above ~strict:true ix)
+    | `Leq ->
+      narrow x (below ~strict:false iy);
+      narrow y (above ~strict:false ix)
+    | `Gt ->
+      narrow x (above ~strict:true iy);
+      narrow y (below ~strict:true ix)
+    | `Geq ->
+      narrow x (above ~strict:false iy);
+      narrow y (below ~strict:false ix)
+    | `Eq ->
+      narrow x iy;
+      narrow y ix
+    | `Noop -> ()
+  in
+  match op, truth with
+  | Ir.Lt_i, true | Ir.Geq_i, false -> apply `Lt
+  | Ir.Leq_i, true | Ir.Gt_i, false -> apply `Leq
+  | Ir.Gt_i, true | Ir.Leq_i, false -> apply `Gt
+  | Ir.Geq_i, true | Ir.Lt_i, false -> apply `Geq
+  | Ir.Eq, true | Ir.Neq, false -> apply `Eq
+  | _ -> apply `Noop
+
+and refine ctx defs (g : Cfg.t) src dst (st : state option) : state option =
+  ignore ctx;
+  match st with
+  | None -> None
+  | Some s -> (
+    match g.Cfg.nodes.(src).Cfg.term with
+    | Cfg.T_branch (c, tn, en) when tn <> en && (dst = tn || dst = en) -> (
+      let truth = dst = tn in
+      match c with
+      | Ir.O_const k -> (
+        match Iv.const_of (eval_const k) with
+        | Some n -> if (n <> 0) = truth then st else None
+        | None -> st)
+      | Ir.O_var v -> (
+        let s = { vals = Array.copy s.vals; lens = Array.copy s.lens } in
+        s.vals.(v.Ir.v_id) <-
+          Iv.meet s.vals.(v.Ir.v_id) (if truth then Iv.of_int 1 else Iv.of_int 0);
+        (match Hashtbl.find_opt defs v.Ir.v_id with
+        | Some (Some (Ir.R_binop (op, x, y))) -> constrain s truth op x y
+        | _ -> ());
+        if Array.exists Iv.is_bot s.vals then None else Some s))
+    | _ -> st)
+
+(* --- per-function analysis ----------------------------------------- *)
+
+and analyze_fn_args ctx (fn : Ir.func) ~(args : Iv.t list) : fn_facts =
+  let g = Cfg.build fn.Ir.fn_body in
+  let nslots = max 1 (Ir.var_slot_count fn) in
+  let defs = collect_defs fn in
+  let init =
+    { vals = Array.make nslots Iv.top; lens = Array.make nslots Iv.top }
+  in
+  let rec seed params args =
+    match params, args with
+    | [], _ -> ()
+    | (p : Ir.var) :: ps, [] ->
+      init.vals.(p.Ir.v_id) <- of_ty ctx.prog p.Ir.v_ty;
+      init.lens.(p.Ir.v_id) <- len_of_ty p.Ir.v_ty;
+      seed ps []
+    | (p : Ir.var) :: ps, a :: rest ->
+      init.vals.(p.Ir.v_id) <- Iv.meet (of_ty ctx.prog p.Ir.v_ty) a;
+      init.lens.(p.Ir.v_id) <- len_of_ty p.Ir.v_ty;
+      seed ps rest
+  in
+  seed fn.Ir.fn_params args;
+  let ignore_event _ = () in
+  let facts, stats =
+    Solver.solve
+      {
+        Solver.size = Cfg.size g;
+        entries = [ g.Cfg.entry, Some init ];
+        succs = Cfg.succs g;
+        transfer =
+          (fun n st -> exec ctx ~record:ignore_event g.Cfg.nodes.(n).Cfg.instrs st);
+        edge = refine ctx defs g;
+        widen_at = (fun n -> g.Cfg.loop_heads.(n));
+      }
+  in
+  (* Stabilized: replay each reachable node once, recording facts. *)
+  let graphs = ref [] and accesses = ref [] in
+  let ret = ref Iv.Bot and dead = ref 0 in
+  let record = function
+    | Ev_graph (uid, ops) ->
+      let merged =
+        match List.assoc_opt uid !graphs with
+        | None -> ops
+        | Some prev -> (
+          try List.map2 Iv.join prev ops with Invalid_argument _ -> ops)
+      in
+      graphs := (uid, merged) :: List.remove_assoc uid !graphs
+    | Ev_access (kind, verdict) -> accesses := (kind, verdict) :: !accesses
+  in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | None -> ()
+      | Some _ -> (
+        let out = exec ctx ~record g.Cfg.nodes.(i).Cfg.instrs st in
+        match out, g.Cfg.nodes.(i).Cfg.term with
+        | Some s, Cfg.T_return (Some o) ->
+          ret := Iv.join !ret (operand_itv s o)
+        | Some s, Cfg.T_branch (c, tn, en) when tn <> en ->
+          if
+            (not g.Cfg.loop_branches.(i))
+            && Iv.const_of (operand_itv s c) <> None
+          then incr dead
+        | _ -> ()))
+    facts;
+  {
+    ff_ret = !ret;
+    ff_graph_args = List.rev !graphs;
+    ff_accesses = List.rev !accesses;
+    ff_dead_branches = !dead;
+    ff_stats = stats;
+  }
+
+(* --- interprocedural return summaries ------------------------------ *)
+
+and call_summary ctx key (args : Iv.t list) : Iv.t =
+  if Lime_ir.Intrinsics.is_intrinsic key then Iv.top
+  else
+    match Ir.find_func ctx.prog key with
+    | None -> Iv.top
+    | Some fn -> (
+      let fallback = of_ty ctx.prog fn.Ir.fn_ret in
+      if List.mem key ctx.visiting || List.length ctx.visiting > 24 then
+        fallback
+      else
+        match Hashtbl.find_opt ctx.call_memo (key, args) with
+        | Some r -> r
+        | None ->
+          ctx.visiting <- key :: ctx.visiting;
+          let facts = analyze_fn_args ctx fn ~args in
+          ctx.visiting <- List.tl ctx.visiting;
+          let r =
+            if Iv.is_bot facts.ff_ret then fallback
+            else Iv.meet facts.ff_ret fallback
+          in
+          Hashtbl.replace ctx.call_memo (key, args) r;
+          r)
+
+(* --- public entry points ------------------------------------------- *)
+
+(* Return interval of [key] given argument intervals — used by the
+   FPGA backend to size output ports. *)
+let return_interval (prog : Ir.program) key ~(args : Iv.t list) : Iv.t =
+  call_summary (make_ctx prog) key args
+
+let analyze_fn (prog : Ir.program) (fn : Ir.func) : fn_facts =
+  let ctx = make_ctx prog in
+  ctx.visiting <- [ fn.Ir.fn_key ];
+  analyze_fn_args ctx fn
+    ~args:(List.map (fun (p : Ir.var) -> of_ty prog p.Ir.v_ty) fn.Ir.fn_params)
+
+type program_facts = {
+  pf_fns : (string * fn_facts) list;  (** sorted by function key *)
+  pf_graph_args : (string * Iv.t list) list;
+      (** mkgraph operand intervals, joined over every reachable site *)
+}
+
+let analyze_program (prog : Ir.program) : program_facts =
+  let ctx = make_ctx prog in
+  let fns =
+    Ir.String_map.fold
+      (fun key (fn : Ir.func) acc ->
+        ctx.visiting <- [ key ];
+        let facts =
+          analyze_fn_args ctx fn
+            ~args:
+              (List.map
+                 (fun (p : Ir.var) -> of_ty prog p.Ir.v_ty)
+                 fn.Ir.fn_params)
+        in
+        ctx.visiting <- [];
+        (key, facts) :: acc)
+      prog.funcs []
+    |> List.rev
+  in
+  let graph_args =
+    List.fold_left
+      (fun acc (_, facts) ->
+        List.fold_left
+          (fun acc (uid, ops) ->
+            match List.assoc_opt uid acc with
+            | None -> (uid, ops) :: acc
+            | Some prev ->
+              let merged =
+                try List.map2 Iv.join prev ops
+                with Invalid_argument _ -> ops
+              in
+              (uid, merged) :: List.remove_assoc uid acc)
+          acc facts.ff_graph_args)
+      [] fns
+  in
+  { pf_fns = fns; pf_graph_args = List.rev graph_args }

@@ -1,0 +1,169 @@
+(* Aggregated analysis report: runs every client analysis over a
+   lowered program and collects diagnostics for `lmc analyze` and the
+   compiler driver.
+
+   Diagnostic codes:
+   - LMA001  note     global function is provably pure
+   - LMA002  error    source rate never positive (graph wedges)
+   - LMA003  warning  source rate exceeds FIFO capacity
+   - LMA004  warning  task graph constructed only in unreachable code
+   - LMA005  warning  source rate may be non-positive
+   - LMA006  error    array access provably out of bounds
+   - LMA007  note     all array accesses provably in bounds
+   - LMA008  note     effects of a global function
+   - LMA009  warning  branch decided at compile time (dead code) *)
+
+module Ir = Lime_ir.Ir
+
+type severity = Error | Warning | Note
+
+type diag = {
+  d_sev : severity;
+  d_loc : Support.Srcloc.t;
+  d_code : string;
+  d_msg : string;
+}
+
+type t = {
+  diags : diag list;
+  effects : Effects.t;  (** reusable by the device backends *)
+  ranges : Range.program_facts;
+}
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp_diag ppf d =
+  Format.fprintf ppf "%a: %s: [%s] %s" Support.Srcloc.pp d.d_loc
+    (severity_label d.d_sev) d.d_code d.d_msg
+
+let count sev diags = List.length (List.filter (fun d -> d.d_sev = sev) diags)
+let error_count = count Error
+
+let summary_line diags =
+  Printf.sprintf "%d error(s), %d warning(s), %d note(s)" (count Error diags)
+    (count Warning diags) (count Note diags)
+
+let render ppf (diags : diag list) =
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp_diag d) diags
+
+(* --- JSON ---------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json (diags : diag list) =
+  let item d =
+    Printf.sprintf
+      "{\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"code\":\"%s\",\"message\":\"%s\"}"
+      (severity_label d.d_sev)
+      (json_escape d.d_loc.Support.Srcloc.file)
+      d.d_loc.Support.Srcloc.line d.d_loc.Support.Srcloc.col
+      (json_escape d.d_code) (json_escape d.d_msg)
+  in
+  Printf.sprintf
+    "{\"diagnostics\":[%s],\"errors\":%d,\"warnings\":%d,\"notes\":%d}"
+    (String.concat "," (List.map item diags))
+    (count Error diags) (count Warning diags) (count Note diags)
+
+(* --- analysis ------------------------------------------------------ *)
+
+let analyze ?(fifo_capacity = 16) (prog : Ir.program) : t =
+  let effects = Effects.infer prog in
+  let ranges = Range.analyze_program prog in
+  let diags = ref [] in
+  let add sev loc code msg =
+    diags := { d_sev = sev; d_loc = loc; d_code = code; d_msg = msg } :: !diags
+  in
+  (* Purity and effects of global functions: these drive device
+     eligibility, so surface them. *)
+  Ir.String_map.iter
+    (fun key (fn : Ir.func) ->
+      if not fn.Ir.fn_local then
+        match Effects.summary effects key with
+        | [] ->
+          add Note fn.Ir.fn_loc "LMA001"
+            (Printf.sprintf
+               "global function %s is provably pure (eligible for device \
+                compilation)"
+               key)
+        | witnesses ->
+          add Note fn.Ir.fn_loc "LMA008"
+            (Printf.sprintf "global function %s: %s" key
+               (String.concat "; "
+                  (List.map Effects.describe
+                     (List.map (fun (w : Effects.witness) -> w.Effects.w_effect)
+                        witnesses)))))
+    prog.funcs;
+  (* Range-analysis findings per function. *)
+  List.iter
+    (fun (key, (facts : Range.fn_facts)) ->
+      let fn = Ir.func_exn prog key in
+      let total = List.length facts.Range.ff_accesses in
+      let oob =
+        List.length
+          (List.filter
+             (fun (_, v) -> v = Range.Out_of_bounds)
+             facts.Range.ff_accesses)
+      in
+      let proven =
+        List.length
+          (List.filter (fun (_, v) -> v = Range.Proven) facts.Range.ff_accesses)
+      in
+      if oob > 0 then
+        add Error fn.Ir.fn_loc "LMA006"
+          (Printf.sprintf
+             "%s: %d array access(es) provably out of bounds (always traps)"
+             key oob);
+      if total > 0 && proven = total then
+        add Note fn.Ir.fn_loc "LMA007"
+          (Printf.sprintf "%s: all %d array access(es) provably in bounds" key
+             total);
+      if facts.Range.ff_dead_branches > 0 then
+        add Warning fn.Ir.fn_loc "LMA009"
+          (Printf.sprintf "%s: %d branch(es) decided at compile time (dead code)"
+             key facts.Range.ff_dead_branches))
+    ranges.Range.pf_fns;
+  (* Task-graph lint. *)
+  List.iter
+    (fun (f : Graphlint.finding) ->
+      let sev =
+        match f.Graphlint.g_sev with
+        | `Error -> Error
+        | `Warning -> Warning
+        | `Note -> Note
+      in
+      add sev f.Graphlint.g_loc f.Graphlint.g_code f.Graphlint.g_msg)
+    (Graphlint.check prog ~fifo_capacity
+       ~graph_args:ranges.Range.pf_graph_args);
+  let ordered =
+    List.sort
+      (fun a b ->
+        let la = a.d_loc and lb = b.d_loc in
+        let c = compare la.Support.Srcloc.file lb.Support.Srcloc.file in
+        if c <> 0 then c
+        else
+          let c = compare la.Support.Srcloc.line lb.Support.Srcloc.line in
+          if c <> 0 then c
+          else
+            let c = compare la.Support.Srcloc.col lb.Support.Srcloc.col in
+            if c <> 0 then c
+            else
+              let c = compare a.d_code b.d_code in
+              if c <> 0 then c else compare a.d_msg b.d_msg)
+      (List.rev !diags)
+  in
+  { diags = ordered; effects; ranges }

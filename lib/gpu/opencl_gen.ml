@@ -157,7 +157,21 @@ let local_decls (fn : Ir.func) =
   Hashtbl.fold (fun _ v acc -> v :: acc) decls []
   |> List.sort (fun (a : Ir.var) b -> compare a.v_id b.v_id)
 
-let device_function_text (fn : Ir.func) =
+(* When the range analysis proves every array access of the function
+   in bounds, say so in the artifact: the kernel needs no host-side
+   guard and a real driver could skip bounds instrumentation. *)
+let bounds_banner (prog : Ir.program) (fn : Ir.func) =
+  let facts = Analysis.Range.analyze_fn prog fn in
+  let accesses = facts.Analysis.Range.ff_accesses in
+  if
+    accesses <> []
+    && List.for_all (fun (_, v) -> v = Analysis.Range.Proven) accesses
+  then
+    Printf.sprintf "/* bounds: all %d array access(es) proven in bounds */\n"
+      (List.length accesses)
+  else ""
+
+let device_function_text (prog : Ir.program) (fn : Ir.func) =
   let params =
     String.concat ", "
       (List.map
@@ -171,8 +185,8 @@ let device_function_text (fn : Ir.func) =
            Printf.sprintf "  %s %s;\n" (cty v.Ir.v_ty) (var_name v))
          (local_decls fn))
   in
-  Printf.sprintf "static %s %s(%s) {\n%s%s}\n" (cty fn.fn_ret)
-    (sanitize fn.fn_key) params decls
+  Printf.sprintf "%sstatic %s %s(%s) {\n%s%s}\n" (bounds_banner prog fn)
+    (cty fn.fn_ret) (sanitize fn.fn_key) params decls
     (block_text 2 fn.fn_body)
 
 (* A map site becomes an elementwise kernel: mapped arguments arrive as
@@ -192,7 +206,7 @@ let map_kernel_text (prog : Ir.program) (site : Ir.map_site) =
     else
       String.concat "\n"
         (List.map
-           (fun key -> device_function_text (Ir.func_exn prog key))
+           (fun key -> device_function_text prog (Ir.func_exn prog key))
            (Suitability.callees prog site.map_fn))
   in
   let params =
@@ -230,7 +244,7 @@ let reduce_kernel_text (prog : Ir.program) (site : Ir.reduce_site) =
     else
       String.concat "\n"
         (List.map
-           (fun key -> device_function_text (Ir.func_exn prog key))
+           (fun key -> device_function_text prog (Ir.func_exn prog key))
            (Suitability.callees prog site.red_fn))
   in
   let t = cty site.red_elem_ty in
@@ -270,7 +284,9 @@ let filter_kernel_text (prog : Ir.program) ~uid (chain : string list)
   in
   let fns =
     String.concat "\n"
-      (List.map (fun key -> device_function_text (Ir.func_exn prog key)) callee_keys)
+      (List.map
+         (fun key -> device_function_text prog (Ir.func_exn prog key))
+         callee_keys)
   in
   let composed =
     List.fold_left

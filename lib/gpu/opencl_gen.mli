@@ -27,5 +27,7 @@ val filter_kernel_text :
 (** A fused elementwise kernel over a chain of pure filters (the GPU
     form of a substituted task subgraph). *)
 
-val device_function_text : Ir.func -> string
-(** One [static] device function (exposed for tests). *)
+val device_function_text : Ir.program -> Ir.func -> string
+(** One [static] device function (exposed for tests). Prefixed with a
+    bounds banner when the range analysis proves every array access of
+    the function in bounds. *)

@@ -8,91 +8,27 @@ module Ir = Lime_ir.Ir
    constructs that are not suitable for the device is excluded from
    further compilation by that backend." (paper section 3)
 
-   The GPU backend accepts pure data-parallel code: local functions
-   over scalars and arrays of scalars, calling only other suitable
-   functions. It excludes state (objects, fields), nested task graphs
-   and nested map/reduce, mirroring the OpenCL restrictions of the
-   era. *)
+   The GPU backend accepts data-parallel code: functions over scalars
+   and arrays of scalars, calling only other suitable functions.
+   Eligibility is decided by the interprocedural effect inference
+   ([Analysis.Effects]), not by the declared locality: a [global]
+   method that provably performs no side effect is as suitable as a
+   [local] one, and every exclusion names the concrete offending
+   effect and its witness call chain. Writing array elements is the
+   one effect a kernel is allowed (that is what the output buffer is
+   for); state (objects, fields), allocation, nested task graphs and
+   nested map/reduce remain excluded, mirroring the OpenCL
+   restrictions of the era. *)
 
 type verdict = Suitable | Excluded of string
-
-let rec scalar_ty = function
-  | Ir.I32 | Ir.F32 | Ir.Bool | Ir.Bit | Ir.Enum _ -> true
-  | Ir.Arr _ | Ir.Obj _ | Ir.Graph | Ir.Unit -> false
-
-and data_ty = function
-  | t when scalar_ty t -> true
-  | Ir.Arr t -> scalar_ty t
-  | _ -> false
 
 exception Unsuitable of string
 
 let reject fmt = Format.kasprintf (fun s -> raise (Unsuitable s)) fmt
 
-let check_fn (prog : Ir.program) (key : string) : verdict =
-  let seen = Hashtbl.create 8 in
-  let rec check key =
-    if Lime_ir.Intrinsics.is_intrinsic key then ()
-    else if not (Hashtbl.mem seen key) then begin
-      Hashtbl.add seen key ();
-      match Ir.find_func prog key with
-      | None -> reject "calls unknown function %s" key
-      | Some fn ->
-        if not fn.fn_local then
-          reject "%s is global (may perform side effects or I/O)" key;
-        (match fn.fn_kind with
-        | Ir.K_static -> ()
-        | Ir.K_instance owner when not (Ir.String_map.mem owner prog.classes)
-          ->
-          (* value-enum methods are pure: the receiver is a scalar *)
-          ()
-        | Ir.K_instance _ | Ir.K_ctor _ ->
-          reject "%s is stateful (instance method or constructor)" key);
-        List.iter
-          (fun (p : Ir.var) ->
-            if not (data_ty p.v_ty) then
-              reject "%s: parameter %s has device-unsupported type %s" key
-                p.v_name (Ir.ty_to_string p.v_ty))
-          fn.fn_params;
-        if not (data_ty fn.fn_ret || fn.fn_ret = Ir.Unit) then
-          reject "%s: return type %s not supported on the device" key
-            (Ir.ty_to_string fn.fn_ret);
-        check_block key fn.fn_body
-    end
-  and check_block key b = List.iter (check_instr key) b
-  and check_instr key = function
-    | Ir.I_let (_, r) | Ir.I_set (_, r) | Ir.I_do r -> check_rhs key r
-    | Ir.I_astore _ -> ()
-    | Ir.I_setfield _ -> reject "%s writes object fields" key
-    | Ir.I_if (_, a, b) ->
-      check_block key a;
-      check_block key b
-    | Ir.I_while (c, _, body) ->
-      check_block key c;
-      check_block key body
-    | Ir.I_return _ -> ()
-    | Ir.I_run_graph _ -> reject "%s starts a nested task graph" key
-  and check_rhs key = function
-    | Ir.R_op _ | Ir.R_unop _ | Ir.R_binop _ | Ir.R_alen _ | Ir.R_aload _ ->
-      ()
-    | Ir.R_call (callee, _) -> check callee
-    | Ir.R_newarr _ ->
-      reject "%s allocates an array (no dynamic allocation on the device)" key
-    | Ir.R_freeze _ ->
-      reject "%s freezes an array (host-side value conversion)" key
-    | Ir.R_newobj _ -> reject "%s allocates objects" key
-    | Ir.R_field _ -> reject "%s reads object fields" key
-    | Ir.R_map _ -> reject "%s contains a nested map" key
-    | Ir.R_reduce _ -> reject "%s contains a nested reduce" key
-    | Ir.R_mkgraph _ -> reject "%s constructs a nested task graph" key
-  in
-  match check key with
-  | () -> Suitable
-  | exception Unsuitable reason -> Excluded reason
-
-(* Transitive callees of a suitable function, in dependency order
-   (callees first); the OpenCL generator emits them as device
-   functions. *)
+(* Transitive callees of a function, in dependency order (callees
+   first); the OpenCL generator emits them as device functions, and
+   the suitability check vets each one's signature. *)
 let callees (prog : Ir.program) (key : string) : string list =
   let seen = Hashtbl.create 8 in
   let order = ref [] in
@@ -128,3 +64,50 @@ let callees (prog : Ir.program) (key : string) : string list =
   (* Keys are pushed post-order, so the entry is at the head; reversing
      yields callees first with the entry last. *)
   List.rev !order
+
+(* Per-function signature/kind checks that are about the device's
+   calling convention rather than about effects. *)
+let check_shape (prog : Ir.program) (fn : Ir.func) =
+  let key = fn.Ir.fn_key in
+  (match fn.fn_kind with
+  | Ir.K_static -> ()
+  | Ir.K_instance owner when not (Ir.String_map.mem owner prog.classes) ->
+    (* value-enum methods are pure: the receiver is a scalar *)
+    ()
+  | Ir.K_instance _ | Ir.K_ctor _ ->
+    reject "%s is stateful (instance method or constructor)" key);
+  List.iter
+    (fun (p : Ir.var) ->
+      if not (Ir.data_ty p.v_ty) then
+        reject "%s: parameter %s has device-unsupported type %s" key p.v_name
+          (Ir.ty_to_string p.v_ty))
+    fn.fn_params;
+  if not (Ir.data_ty fn.fn_ret || fn.fn_ret = Ir.Unit) then
+    reject "%s: return type %s not supported on the device" key
+      (Ir.ty_to_string fn.fn_ret)
+
+(* [effects] lets the compiler driver share one inference across every
+   site; standalone callers get a fresh one. *)
+let check_fn ?effects (prog : Ir.program) (key : string) : verdict =
+  let summaries =
+    match effects with Some e -> e | None -> Analysis.Effects.infer prog
+  in
+  match
+    List.iter
+      (fun k ->
+        if not (Lime_ir.Intrinsics.is_intrinsic k) then
+          match Ir.find_func prog k with
+          | None -> reject "calls unknown function %s" k
+          | Some fn -> check_shape prog fn)
+      (callees prog key);
+    List.iter
+      (fun (w : Analysis.Effects.witness) ->
+        match w.Analysis.Effects.w_effect with
+        | Analysis.Effects.Writes_array ->
+          (* kernels write their output buffers *)
+          ()
+        | _ -> reject "%s %s" key (Analysis.Effects.describe_witness w))
+      (Analysis.Effects.summary summaries key)
+  with
+  | () -> Suitable
+  | exception Unsuitable reason -> Excluded reason

@@ -2,18 +2,24 @@
 
     "A task containing language constructs that are not suitable for
     the device is excluded from further compilation by that backend."
-    The GPU accepts pure data-parallel code — local functions over
-    scalars and arrays of scalars (loops included), calling only other
-    suitable functions or [Math] intrinsics. It excludes global
-    methods, object state, dynamic allocation, and nested
-    task/map/reduce constructs. *)
+    The GPU accepts data-parallel code — functions over scalars and
+    arrays of scalars (loops included), calling only other suitable
+    functions or [Math] intrinsics. Eligibility is effect-driven
+    ({!Analysis.Effects}): a [global] method that provably performs no
+    side effect is accepted, and every exclusion reason names the
+    offending effect with its witness call chain and source location.
+    Object state, dynamic allocation, and nested task/map/reduce
+    constructs remain excluded. *)
 
 module Ir = Lime_ir.Ir
 
 type verdict = Suitable | Excluded of string
 
-val check_fn : Ir.program -> string -> verdict
-(** Check a function (by key) and everything it transitively calls. *)
+val check_fn : ?effects:Analysis.Effects.t -> Ir.program -> string -> verdict
+(** Check a function (by key) and everything it transitively calls.
+    [effects] shares a precomputed effect inference (the compiler
+    driver runs it once per program); omitted, a fresh one is
+    computed. *)
 
 val callees : Ir.program -> string -> string list
 (** Transitive callees of a suitable function in dependency order

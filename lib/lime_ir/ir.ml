@@ -38,6 +38,18 @@ let rec ty_to_string = function
 
 let pp_ty ppf t = Format.fprintf ppf "%s" (ty_to_string t)
 
+(* Shared device-type predicates: every device backend agrees on what
+   a scalar is (fits a register / an OpenCL value) and what data is
+   (scalars and arrays of scalars). Both [Gpu.Suitability] and
+   [Rtl.Synth] consult these. *)
+let scalar_ty = function
+  | I32 | F32 | Bool | Bit | Enum _ -> true
+  | Arr _ | Obj _ | Graph | Unit -> false
+
+let data_ty = function
+  | Arr t -> scalar_ty t
+  | t -> scalar_ty t
+
 type const =
   | C_unit
   | C_bool of bool
@@ -108,6 +120,7 @@ and map_site = {
   map_fn : string;
   map_args : (operand * bool) list;  (** operand, [true] = mapped array *)
   map_elem_ty : ty;  (** result element type *)
+  map_loc : Support.Srcloc.t;  (** source position of the map expression *)
 }
 
 and reduce_site = {
@@ -115,6 +128,7 @@ and reduce_site = {
   red_fn : string;
   red_arg : operand;
   red_elem_ty : ty;
+  red_loc : Support.Srcloc.t;
 }
 
 type instr =
@@ -141,6 +155,7 @@ type func = {
   fn_body : block;
   fn_local : bool;
   fn_pure : bool;
+  fn_loc : Support.Srcloc.t;  (** declaration site, for diagnostics *)
 }
 
 (* --- Task-graph templates (static shape, paper section 3) --------- *)
@@ -157,6 +172,7 @@ type filter_info = {
   relocatable : bool;  (** inside relocation brackets *)
   input : ty;
   output : ty;
+  floc : Support.Srcloc.t;  (** source position of the task expression *)
 }
 
 type tnode =

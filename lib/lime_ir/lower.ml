@@ -222,6 +222,7 @@ let rec lower_expr ctx (e : T.expr) : lowered =
            map_fn = method_key key;
            map_args = lowered;
            map_elem_ty = ty_of loc ret;
+           map_loc = loc;
          })
   | T.T_reduce (key, args) -> (
     match args with
@@ -236,6 +237,7 @@ let rec lower_expr ctx (e : T.expr) : lowered =
              red_fn = method_key key;
              red_arg = arr;
              red_elem_ty = ty_of loc ret;
+             red_loc = loc;
            })
     | _ -> err ~loc "internal: reduce with multiple arguments")
   | T.T_task_static key -> (
@@ -254,6 +256,7 @@ let rec lower_expr ctx (e : T.expr) : lowered =
                   relocatable = false;
                   input = ty_of loc input;
                   output = ty_of loc ret;
+                  floc = loc;
                 };
             ];
           fr_operands = [];
@@ -278,6 +281,7 @@ let rec lower_expr ctx (e : T.expr) : lowered =
                   relocatable = false;
                   input = ty_of loc input;
                   output = ty_of loc ret;
+                  floc = loc;
                 };
             ];
           fr_operands = [ recv ];
@@ -516,6 +520,7 @@ let lower_method tprog sites ~owner ~receiver_ty (m : T.method_info) : Ir.func =
     fn_body = List.rev ctx.code;
     fn_local = m.mi_local;
     fn_pure = m.mi_pure;
+    fn_loc = m.mi_loc;
   }
 
 let lower_ctor tprog sites ~cls (fields : T.field_info list)
@@ -560,6 +565,10 @@ let lower_ctor tprog sites ~cls (fields : T.field_info list)
     fn_body = List.rev ctx.code;
     fn_local = c.ci_local;
     fn_pure = false;
+    fn_loc =
+      (match c.ci_body with
+      | s :: _ -> s.T.sloc
+      | [] -> Srcloc.dummy);
   }
 
 let lower (tprog : T.program) : Ir.program =

@@ -294,13 +294,14 @@ let coerce loc (e : Tast.expr) (want : Types.ty) : Tast.expr =
     err ~loc "expected type %s but found %s" (Types.to_string want)
       (Types.to_string e.ty)
 
-(* The paper's purity condition for map/reduce/static-task targets. *)
+(* The paper's purity condition for map/reduce/static-task targets.
+   Locality is deliberately NOT required here: a [global] target is
+   admitted by the typechecker and judged by the interprocedural
+   effect inference ([Analysis.Effects]) instead, so a provably pure
+   global function can still be relocated to a device backend. *)
 let require_relocatable_target genv loc (s : msig) ~what =
   if not s.sg_static then
     err ~loc "%s target '%s' must be static" what
-      (Tast.method_key_to_string s.sg_key);
-  if not s.sg_local then
-    err ~loc "%s target '%s' must be local" what
       (Tast.method_key_to_string s.sg_key);
   List.iter
     (fun (n, t) ->

@@ -3,6 +3,8 @@ module Ir = Lime_ir.Ir
 type compiled = {
   unit_ : Bytecode.Compile.unit_;
   store : Runtime.Store.t;
+  ir : Ir.program;
+  report : Analysis.Report.t;
   phase_seconds : (string * float) list;
 }
 
@@ -60,13 +62,13 @@ let relocatable_runs ~suitable (filters : Ir.filter_info list) =
   in
   go [] [] filters
 
-let gpu_backend (prog : Ir.program) (store : Runtime.Store.t) =
+let gpu_backend ~effects (prog : Ir.program) (store : Runtime.Store.t) =
   (* Map and reduce sites. *)
   List.iter
     (fun site ->
       match site with
       | `Map (m : Ir.map_site) -> (
-        match Gpu.Suitability.check_fn prog m.map_fn with
+        match Gpu.Suitability.check_fn ~effects prog m.map_fn with
         | Gpu.Suitability.Suitable ->
           Runtime.Store.add store
             (Runtime.Artifact.Gpu_kernel
@@ -79,7 +81,7 @@ let gpu_backend (prog : Ir.program) (store : Runtime.Store.t) =
           Runtime.Store.record_exclusion store ~uid:m.map_uid
             ~device:Runtime.Artifact.Gpu ~reason)
       | `Reduce (r : Ir.reduce_site) -> (
-        match Gpu.Suitability.check_fn prog r.red_fn with
+        match Gpu.Suitability.check_fn ~effects prog r.red_fn with
         | Gpu.Suitability.Suitable ->
           Runtime.Store.add store
             (Runtime.Artifact.Gpu_kernel
@@ -98,7 +100,7 @@ let gpu_backend (prog : Ir.program) (store : Runtime.Store.t) =
     match f.target with
     | Ir.F_instance _ -> Error "stateful filters do not map to OpenCL kernels"
     | Ir.F_static key -> (
-      match Gpu.Suitability.check_fn prog key with
+      match Gpu.Suitability.check_fn ~effects prog key with
       | Gpu.Suitability.Suitable -> Ok ()
       | Gpu.Suitability.Excluded reason -> Error reason)
   in
@@ -224,15 +226,19 @@ let compile ?(file = "<lime>") source : compiled =
   let prog = timed phases "lower" (fun () -> Lime_ir.Lower.lower tast) in
   (* the paper's "shallow optimizations" (section 3) *)
   let prog = timed phases "optimize" (fun () -> Lime_ir.Opt.optimize prog) in
+  (* Static analysis over the optimized IR: effect inference (shared
+     with the GPU backend below), value ranges, task-graph lint. *)
+  let report = timed phases "analyze" (fun () -> Analysis.Report.analyze prog) in
   let unit_ =
     timed phases "bytecode-backend" (fun () -> Bytecode.Compile.compile_program prog)
   in
   let store = Runtime.Store.create () in
   timed_backend phases store "native-backend" (fun () ->
       native_backend prog store);
-  timed_backend phases store "gpu-backend" (fun () -> gpu_backend prog store);
+  timed_backend phases store "gpu-backend" (fun () ->
+      gpu_backend ~effects:report.Analysis.Report.effects prog store);
   timed_backend phases store "fpga-backend" (fun () -> fpga_backend prog store);
-  { unit_; store; phase_seconds = List.rev !phases }
+  { unit_; store; ir = prog; report; phase_seconds = List.rev !phases }
 
 let manifest (c : compiled) = Runtime.Store.manifest c.store
 

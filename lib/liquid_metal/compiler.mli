@@ -22,6 +22,10 @@ module Ir = Lime_ir.Ir
 type compiled = {
   unit_ : Bytecode.Compile.unit_;  (** the bytecode artifact (whole program) *)
   store : Runtime.Store.t;  (** backend artifacts, keyed by task UID *)
+  ir : Ir.program;  (** the optimized IR the backends consumed *)
+  report : Analysis.Report.t;
+      (** static-analysis results: effect summaries, value ranges,
+          task-graph lint ([lmc analyze] renders these) *)
   phase_seconds : (string * float) list;
       (** wall time per compiler phase, frontend and backends *)
 }

@@ -54,6 +54,10 @@ type stage = {
   st_latency : int;  (** compute cycles (>= 1) *)
   st_input_ty : Ir.ty;
   st_output_ty : Ir.ty;
+  st_in_width : int;
+      (** data-port width in bits; at most [width_of_ty st_input_ty],
+          narrower when the range analysis bounds the values *)
+  st_out_width : int;
 }
 
 type pipeline = {

@@ -18,9 +18,7 @@ exception Unsuitable of string
 
 let reject fmt = Format.kasprintf (fun s -> raise (Unsuitable s)) fmt
 
-let scalar_ty = function
-  | Ir.I32 | Ir.F32 | Ir.Bool | Ir.Bit | Ir.Enum _ -> true
-  | Ir.Arr _ | Ir.Obj _ | Ir.Graph | Ir.Unit -> false
+let scalar_ty = Ir.scalar_ty
 
 (* Walk a function (inlining callees) verifying synthesizability and
    computing the maximum operation count along any path — the datapath
@@ -33,7 +31,9 @@ let rec analyze_fn (prog : Ir.program) ~stack (key : string) : float =
   match Ir.find_func prog key with
   | None -> reject "unknown function %s" key
   | Some fn ->
-    if not fn.fn_local then reject "%s is global" key;
+    (* locality is no constraint here: a global function that passes
+       the structural checks below has no way left to perform an
+       unsynthesizable effect *)
     List.iter
       (fun (p : Ir.var) ->
         match p.v_ty with
@@ -103,9 +103,23 @@ let latency_of prog (f : Ir.filter_info) : int =
   let ops = analyze_fn prog ~stack:[] key in
   max 1 (int_of_float (ceil (ops /. ops_per_cycle)))
 
+(* Data-port width: the declared type's width, narrowed when the range
+   analysis proves the values fit fewer bits. Only I32 ports can
+   narrow — Bit/Bool/Enum widths are already tight and F32 is an
+   opaque bit pattern. *)
+let port_width (ty : Ir.ty) (itv : Analysis.Interval.t) =
+  let type_width = Netlist.width_of_ty ty in
+  match ty with
+  | Ir.I32 -> (
+    match Analysis.Interval.width itv with
+    | Some w -> max 1 (min type_width w)
+    | None -> type_width)
+  | _ -> type_width
+
 (* Build a pipeline netlist for a chain of suitable filters. Instance
    receivers (register state) are supplied by the runtime at
-   substitution time. *)
+   substitution time. Value intervals flow stage to stage, so a
+   narrowing filter (say [x & 255]) shrinks every downstream wire. *)
 let pipeline_of_chain (prog : Ir.program) ~name ?(fifo_depth = 2)
     (filters : (Ir.filter_info * I.v option) list) : Netlist.pipeline =
   if filters = [] then Netlist.fail "empty filter chain";
@@ -115,26 +129,43 @@ let pipeline_of_chain (prog : Ir.program) ~name ?(fifo_depth = 2)
       | Suitable -> ()
       | Excluded reason -> Netlist.fail "filter %s excluded: %s" f.Ir.uid reason)
     filters;
-  let stages =
-    List.mapi
-      (fun i ((f : Ir.filter_info), state) ->
+  let first_input =
+    match filters with ((f : Ir.filter_info), _) :: _ -> f.input | [] -> Ir.Unit
+  in
+  let rev_stages, _, _ =
+    List.fold_left
+      (fun (acc, in_itv, i) ((f : Ir.filter_info), state) ->
         let key =
           match f.target with
           | Ir.F_static key -> key
           | Ir.F_instance (cls, m) -> cls ^ "." ^ m
         in
-        {
-          Netlist.st_name = Printf.sprintf "%s_%d" (String.map (fun c ->
-            if c = '.' || c = '@' || c = '/' then '_' else c) key) i;
-          st_uid = f.uid;
-          st_fn = key;
-          st_state = state;
-          st_latency = latency_of prog f;
-          st_input_ty = f.input;
-          st_output_ty = f.output;
-        })
+        let args =
+          match Ir.find_func prog key with
+          | Some fn when fn.Ir.fn_kind <> Ir.K_static ->
+            [ Analysis.Interval.top; in_itv ]
+          | _ -> [ in_itv ]
+        in
+        let out_itv = Analysis.Range.return_interval prog key ~args in
+        let stage =
+          {
+            Netlist.st_name = Printf.sprintf "%s_%d" (String.map (fun c ->
+              if c = '.' || c = '@' || c = '/' then '_' else c) key) i;
+            st_uid = f.uid;
+            st_fn = key;
+            st_state = state;
+            st_latency = latency_of prog f;
+            st_input_ty = f.input;
+            st_output_ty = f.output;
+            st_in_width = port_width f.input in_itv;
+            st_out_width = port_width f.output out_itv;
+          }
+        in
+        stage :: acc, out_itv, i + 1)
+      ([], Analysis.Range.of_ty prog first_input, 0)
       filters
   in
+  let stages = List.rev rev_stages in
   let first = List.hd stages in
   let last = List.nth stages (List.length stages - 1) in
   {

@@ -241,8 +241,10 @@ and sym_rhs prog env (r : Ir.rhs) : string * env =
 (* --- module text ----------------------------------------------------- *)
 
 let filter_module_text (prog : Ir.program) (st : Netlist.stage) : string =
-  let in_w = width_of_ty st.st_input_ty in
-  let out_w = width_of_ty st.st_output_ty in
+  (* Port widths come from the netlist stage: the declared type's
+     width, or narrower when the range analysis proved a bound. *)
+  let in_w = st.st_in_width in
+  let out_w = st.st_out_width in
   let fn =
     match Ir.find_func prog st.st_fn with
     | Some f -> f
@@ -376,8 +378,16 @@ let pipeline_text (prog : Ir.program) (pl : Netlist.pipeline) : string =
       Buffer.add_char buf '\n')
     pl.Netlist.pl_stages;
   (* top-level wiring *)
-  let w_in = width_of_ty pl.Netlist.pl_input_ty in
-  let w_out = width_of_ty pl.Netlist.pl_output_ty in
+  let stage_arr = Array.of_list pl.Netlist.pl_stages in
+  let w_in =
+    if Array.length stage_arr > 0 then stage_arr.(0).Netlist.st_in_width
+    else width_of_ty pl.Netlist.pl_input_ty
+  in
+  let w_out =
+    if Array.length stage_arr > 0 then
+      stage_arr.(Array.length stage_arr - 1).Netlist.st_out_width
+    else width_of_ty pl.Netlist.pl_output_ty
+  in
   Buffer.add_string buf
     (Printf.sprintf
        "module %s_top (\n\
@@ -405,14 +415,12 @@ let pipeline_text (prog : Ir.program) (pl : Netlist.pipeline) : string =
            \    .out_valid(s%d_valid), .out_data(s%d_data), .out_ready(1'b1));\n\
            \  wire s%d_valid; wire [%d:0] s%d_data;\n"
            i
-           (width_of_ty st.Netlist.st_input_ty - 1)
-           i i
-           (width_of_ty st.Netlist.st_input_ty)
-           i
+           (st.Netlist.st_in_width - 1)
+           i i st.Netlist.st_in_width i
            (if i = 0 then "in_valid" else Printf.sprintf "s%d_valid" (i - 1))
            (if i = 0 then "in_data" else Printf.sprintf "s%d_data" (i - 1))
            i i i n n i i i i i i
-           (width_of_ty st.Netlist.st_output_ty - 1)
+           (st.Netlist.st_out_width - 1)
            i))
     pl.Netlist.pl_stages;
   let last = List.length pl.Netlist.pl_stages - 1 in

@@ -80,9 +80,11 @@ let describe_ports (t : t) =
 (* --- the standard actors -------------------------------------------- *)
 
 (* Produces the elements of an array, [rate] per step. *)
+(* A rate <= 0 source never pushes while elements remain, so the graph
+   wedges — the scheduler reports [Deadlock]. [Analysis.Graphlint]
+   flags this statically (LMA002) before the graph ever runs. *)
 let source ~name ~(rate : int) (elements : V.t list) (out : Channel.t) : t =
   let remaining = ref elements in
-  let rate = max rate 1 in
   let step () =
     if !remaining = [] then begin
       if not out.Channel.closed then Channel.close out;

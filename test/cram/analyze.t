@@ -1,0 +1,74 @@
+The `lmc analyze` subcommand: purity/effect notes, array-bounds facts
+and the task-graph deadlock lint, in human and JSON form.
+
+A clean program: a provably pure global function (LMA001, promoted to
+the device backends) next to effectful ones (LMA008).
+
+  $ cat > clean.lime <<'LIME'
+  > public class G {
+  >   global static int scale(int x) {
+  >     return x * 3;
+  >   }
+  >   static int[[]] run(int[[]] xs) {
+  >     return G @ scale(xs);
+  >   }
+  > }
+  > LIME
+
+  $ ../../bin/lmc.exe analyze clean.lime
+  clean.lime:2:3: note: [LMA001] global function G.scale is provably pure (eligible for device compilation)
+  clean.lime:5:3: note: [LMA008] global function G.run: contains a nested map/reduce
+  0 error(s), 0 warning(s), 2 note(s)
+
+And the promotion is visible in the manifest: the pure global becomes
+a GPU map kernel rather than an exclusion.
+
+  $ ../../bin/lmc.exe compile clean.lime | grep -E '^(artifacts|exclusions|  \[)'
+  artifacts:
+    [gpu] G.scale.map@G.run/0: map kernel for G.scale
+
+A task graph whose source rate is never positive can never push an
+element: the lint reports the wedge statically (LMA002) instead of
+leaving it to the runtime's Scheduler.Deadlock, and the exit code is
+nonzero.
+
+  $ cat > wedge.lime <<'LIME'
+  > public class P {
+  >   local static int id(int x) {
+  >     return x;
+  >   }
+  >   static void go(int[[]] xs) {
+  >     int[] out = new int[4];
+  >     var g = xs.source(0) => ([ task id ]) => out.<int>sink();
+  >     g.finish();
+  >   }
+  > }
+  > LIME
+
+  $ ../../bin/lmc.exe analyze wedge.lime
+  wedge.lime:5:3: note: [LMA008] global function P.go: allocates an array; constructs a task graph; starts a task graph
+  wedge.lime:7:32: error: [LMA002] task graph graph@0: source rate [0, 0] is never positive — the source can never push an element, every FIFO in the source-to-sink cycle stays empty, and the graph wedges (runtime Scheduler.Deadlock)
+  1 error(s), 0 warning(s), 1 note(s)
+  [1]
+
+The same diagnostics as JSON for tooling:
+
+  $ ../../bin/lmc.exe analyze --json wedge.lime
+  {"diagnostics":[{"severity":"note","file":"wedge.lime","line":5,"col":3,"code":"LMA008","message":"global function P.go: allocates an array; constructs a task graph; starts a task graph"},{"severity":"error","file":"wedge.lime","line":7,"col":32,"code":"LMA002","message":"task graph graph@0: source rate [0, 0] is never positive — the source can never push an element, every FIFO in the source-to-sink cycle stays empty, and the graph wedges (runtime Scheduler.Deadlock)"}],"errors":1,"warnings":0,"notes":1}
+  [1]
+
+An out-of-bounds array access that always traps is an error too:
+
+  $ cat > oob.lime <<'LIME'
+  > public class B {
+  >   local static int bad(int n) {
+  >     int[] a = new int[4];
+  >     return a[5];
+  >   }
+  > }
+  > LIME
+
+  $ ../../bin/lmc.exe analyze oob.lime
+  oob.lime:2:3: error: [LMA006] B.bad: 1 array access(es) provably out of bounds (always traps)
+  1 error(s), 0 warning(s), 0 note(s)
+  [1]

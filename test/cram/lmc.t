@@ -121,6 +121,7 @@ metrics snapshot (timings vary run to run, so digits are normalized):
   compiler typecheck N N N N N N
   compiler lower N N N N N N
   compiler optimize N N N N N N
+  compiler analyze N N N N N N
   compiler bytecode-backend N N N N N N
   compiler native-backend N N N N N N
   compiler gpu-backend N N N N N N

@@ -157,6 +157,7 @@ class S {
     for (int i = 0; i < x; i++) { acc += i; }
     return acc;
   }
+  global static int chained(int x) { return S.allocates(x); }
 }
 class Obj {
   int v;
@@ -175,11 +176,15 @@ class Obj {
         check_bool (key ^ " reason") true (Test_types.contains reason substr)
   in
   check "S.pure" true "";
-  check "S.effectful" false "global";
+  (* global but provably pure: the effect inference promotes it *)
+  check "S.effectful" true "";
   check "S.allocates" false "alloc";
   (* loops are fine on a GPU, unlike the FPGA backend *)
   check "S.looped" true "";
-  check "Obj.get" false "stateful"
+  check "Obj.get" false "stateful";
+  (* the effect and its witness call chain travel to the caller *)
+  check "S.chained" false "alloc";
+  check "S.chained" false "via S.chained"
 
 let test_opencl_map_text () =
   let text = Gpu.Opencl_gen.map_kernel_text saxpy_prog (map_site saxpy_prog) in

@@ -321,6 +321,47 @@ class Main {
   check_bool "field register" true (Test_types.contains text "reg [31:0] field_0");
   check_bool "register commit" true (Test_types.contains text "field_0 <=")
 
+(* The range analysis narrows the data ports of a masking filter:
+   [x & 255] provably fits 8 unsigned bits, so the output register,
+   the inter-stage wire, and the downstream stage's input all shrink
+   from the 32 bits the int type would dictate. *)
+let test_verilog_range_narrowing () =
+  let prog =
+    compile
+      {|
+class N {
+  local static int mask(int x) { return x & 255; }
+  local static int half(int x) { return x / 2; }
+  static int[[]] run(int[[]] xs) {
+    int[] out = new int[xs.length];
+    var g = xs.source(1) => ([ task mask ]) => ([ task half ]) => out.<int>sink();
+    g.finish();
+    return new int[[]](out);
+  }
+}
+|}
+  in
+  let filters = List.map snd (Ir.filter_sites prog) in
+  let pl =
+    Rtl.Synth.pipeline_of_chain prog ~name:"narrow"
+      (List.map (fun f -> f, None) filters)
+  in
+  (match pl.Rtl.Netlist.pl_stages with
+  | [ mask; half ] ->
+    check_int "mask in 32" 32 mask.Rtl.Netlist.st_in_width;
+    check_int "mask out 8" 8 mask.Rtl.Netlist.st_out_width;
+    (* the interval chains: half sees [0,255], returns [0,127] *)
+    check_int "half in 8" 8 half.Rtl.Netlist.st_in_width;
+    check_int "half out 7" 7 half.Rtl.Netlist.st_out_width
+  | _ -> Alcotest.fail "expected two stages");
+  let text = Rtl.Verilog_gen.pipeline_text prog pl in
+  check_bool "narrowed output reg" true
+    (Test_types.contains text "output reg  [7:0] out_data");
+  check_bool "top output narrowed" true
+    (Test_types.contains text "output wire [6:0] out_data");
+  check_bool "full-width input survives" true
+    (Test_types.contains text "input  wire [31:0] in_data")
+
 
 (* --- VCD reader -------------------------------------------------------- *)
 
@@ -388,6 +429,8 @@ let suite =
       Alcotest.test_case "verilog text shape" `Quick test_verilog_text_shape;
       Alcotest.test_case "verilog stateful registers" `Quick
         test_verilog_stateful_has_registers;
+      Alcotest.test_case "verilog range narrowing" `Quick
+        test_verilog_range_narrowing;
       Alcotest.test_case "vcd reader roundtrip" `Quick test_vcd_reader_roundtrip;
       Alcotest.test_case "vcd reader value_at" `Quick test_vcd_reader_value_at;
       Alcotest.test_case "vcd ascii render" `Quick test_vcd_ascii_render;

@@ -174,6 +174,7 @@ let dummy_filter ?(relocatable = true) uid =
     relocatable;
     input = Ir.I32;
     output = Ir.I32;
+    floc = Support.Srcloc.dummy;
   }
 
 let gpu_artifact_for chain =

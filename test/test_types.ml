@@ -78,11 +78,26 @@ class C {
 }
 |})
 
-let test_map_target_must_be_local () =
-  rejects ~substring:"local"
-    {|
+(* Locality is no longer a type-level requirement for map targets: a
+   global target is admitted and judged by the effect inference
+   (Analysis.Effects) instead. Non-static targets are still rejected. *)
+let test_map_target_may_be_global () =
+  let p =
+    compile
+      {|
 class C {
   global static int f(int x) { return x; }
+  static int[[]] m(int[[]] xs) { return C @ f(xs); }
+}
+|}
+  in
+  check_bool "global map target accepted" true
+    (Option.is_some (Tast.find_class p "C"));
+  rejects ~substring:"static"
+    {|
+class C {
+  int g;
+  local int f(int x) { return x + g; }
   static int[[]] m(int[[]] xs) { return C @ f(xs); }
 }
 |}
@@ -272,7 +287,8 @@ let suite =
       Alcotest.test_case "value arrays immutable" `Quick test_value_array_immutable;
       Alcotest.test_case "local calls local" `Quick test_local_calls_local;
       Alcotest.test_case "global may call local" `Quick test_global_may_call_local;
-      Alcotest.test_case "map target local" `Quick test_map_target_must_be_local;
+      Alcotest.test_case "map target may be global" `Quick
+        test_map_target_may_be_global;
       Alcotest.test_case "task ports are values" `Quick test_task_port_must_be_value;
       Alcotest.test_case "connect type mismatch" `Quick test_connect_type_mismatch;
       Alcotest.test_case "finish needs complete graph" `Quick
