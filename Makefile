@@ -2,7 +2,7 @@
 
 QCHECK_SEED ?= 20260805
 
-.PHONY: all build test lint check bench clean
+.PHONY: all build test lint check bench bench-sched clean
 
 all: build
 
@@ -26,11 +26,17 @@ lint: build
 # fault-tolerance suite — including its `Slow` workload x policy x
 # schedule matrix — under a fixed QCheck seed so the randomized
 # schedules are reproducible.
-check: build test lint
+check: build test lint bench-sched
 	QCHECK_SEED=$(QCHECK_SEED) dune exec test/test_main.exe -- test differential -e
 
 bench:
 	dune exec bench/main.exe
+
+# Steady-state vs round-robin scheduling regression gate: writes
+# BENCH_sched.json and fails if any steady run blocks more than its
+# round-robin counterpart (or the outputs diverge).
+bench-sched: build
+	dune exec bench/sched.exe -- BENCH_sched.json
 
 clean:
 	dune clean

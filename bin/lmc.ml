@@ -34,10 +34,12 @@ let handle_compile_errors f =
   | Lime_ir.Interp.Runtime_error msg | Bytecode.Vm.Vm_error msg ->
     prerr_endline ("runtime error: " ^ msg);
     exit 1
-  | Runtime.Scheduler.Deadlock (msg, stats) ->
-    Printf.eprintf "deadlock: %s (%d round(s), %d step(s), %d blocked)\n" msg
-      stats.Runtime.Scheduler.rounds stats.Runtime.Scheduler.steps
-      stats.Runtime.Scheduler.blocked_steps;
+  | Runtime.Scheduler.Deadlock (msg, _stats) ->
+    (* the message already embeds the final round/step/blocked counts *)
+    prerr_endline ("deadlock: " ^ msg);
+    exit 1
+  | Runtime.Exec.Engine_error msg ->
+    prerr_endline ("engine error: " ^ msg);
     exit 1
 
 (* --- argument parsing for `run` -------------------------------------- *)
@@ -97,6 +99,44 @@ let policy_conv =
       | Runtime.Substitute.Adaptive -> "adaptive")
   in
   Arg.conv (parse, print)
+
+let schedule_conv =
+  let parse = function
+    | "steady" -> Ok Runtime.Scheduler.Steady_state
+    | "roundrobin" | "rr" -> Ok Runtime.Scheduler.Round_robin
+    | s -> Error (`Msg ("unknown schedule: " ^ s ^ " (steady|roundrobin)"))
+  in
+  let print ppf m =
+    Format.fprintf ppf "%s" (Runtime.Scheduler.mode_name m)
+  in
+  Arg.conv (parse, print)
+
+let schedule_arg =
+  Arg.(
+    value
+    & opt schedule_conv Runtime.Scheduler.Round_robin
+    & info [ "schedule" ] ~docv:"MODE"
+        ~doc:
+          "task-graph scheduling mode: $(b,roundrobin) (default) or \
+           $(b,steady) — solve the SDF balance equations and fire actors \
+           in steady-state batches (falls back to round-robin when the \
+           rates are dynamic or unsolvable)")
+
+let positive_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "must be at least 1 (got %d)" n))
+    | None -> Error (`Msg ("not an integer: " ^ s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let fifo_capacity_arg =
+  Arg.(
+    value
+    & opt (some positive_int_conv) None
+    & info [ "fifo-capacity" ] ~docv:"N"
+        ~doc:"task-graph FIFO capacity, at least 1 (default 16)")
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
@@ -249,10 +289,14 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "metrics" ] ~doc:"print execution metrics")
   in
-  let action file entry args policy verbose faults max_retries trace profile =
+  let action file entry args policy schedule fifo_capacity verbose faults
+      max_retries trace profile =
     handle_compile_errors (fun () ->
         setup_tracing ~trace ~profile;
-        let session = Lm.load ~policy ?max_retries (read_file file) in
+        let session =
+          Lm.load ~policy ~schedule ?fifo_capacity ?max_retries
+            (read_file file)
+        in
         setup_faults faults;
         let values = List.map parse_value args in
         let result = Lm.run session entry values in
@@ -274,14 +318,21 @@ let run_cmd =
           Printf.printf
             "faults: %d fault(s), %d retry(s), %d resubstitution(s)\n"
             m.device_faults m.retries m.resubstitutions;
+        if schedule = Runtime.Scheduler.Steady_state then
+          Printf.printf
+            "sched: %d run(s) (%d steady, %d fallback(s)), %d step(s), %d \
+             blocked\n"
+            m.sched_runs m.sched_steady m.sched_fallbacks m.sched_steps
+            m.sched_blocked_steps;
         finish_tracing ~trace ~profile (Some m);
         Support.Fault.clear ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"compile and co-execute an entry point")
     Term.(
-      const action $ file_arg $ entry $ args $ policy $ verbose $ faults_arg
-      $ retries_arg $ trace_arg $ profile_arg)
+      const action $ file_arg $ entry $ args $ policy $ schedule_arg
+      $ fifo_capacity_arg $ verbose $ faults_arg $ retries_arg $ trace_arg
+      $ profile_arg)
 
 (* --- disasm ----------------------------------------------------------- *)
 
@@ -326,7 +377,8 @@ let workloads_cmd =
          & info [ "policy" ] ~docv:"POLICY"
              ~doc:"substitution policy (as for run)")
   in
-  let action name size policy faults max_retries trace profile =
+  let action name size policy schedule fifo_capacity faults max_retries trace
+      profile =
     match (name : string option) with
     | None ->
       List.iter
@@ -343,7 +395,9 @@ let workloads_cmd =
           in
           setup_tracing ~trace ~profile;
           let size = Option.value size ~default:w.default_size in
-          let session = Lm.load ~policy ?max_retries w.source in
+          let session =
+            Lm.load ~policy ~schedule ?fifo_capacity ?max_retries w.source
+          in
           setup_faults faults;
           let t0 = Unix.gettimeofday () in
           let result = Lm.run session w.entry (w.args ~size) in
@@ -367,14 +421,21 @@ let workloads_cmd =
             Printf.printf
               "faults: %d fault(s), %d retry(s), %d resubstitution(s)\n"
               m.device_faults m.retries m.resubstitutions;
+          if schedule = Runtime.Scheduler.Steady_state then
+            Printf.printf
+              "sched: %d run(s) (%d steady, %d fallback(s)), %d step(s), %d \
+               blocked\n"
+              m.sched_runs m.sched_steady m.sched_fallbacks m.sched_steps
+              m.sched_blocked_steps;
           finish_tracing ~trace ~profile (Some m);
           Support.Fault.clear ())
   in
   Cmd.v
     (Cmd.info "workloads" ~doc:"list or run the benchmark workloads")
     Term.(
-      const action $ workload_name $ size $ policy $ faults_arg $ retries_arg
-      $ trace_arg $ profile_arg)
+      const action $ workload_name $ size $ policy $ schedule_arg
+      $ fifo_capacity_arg $ faults_arg $ retries_arg $ trace_arg
+      $ profile_arg)
 
 (* --- dump-ir ----------------------------------------------------------- *)
 
@@ -412,10 +473,10 @@ let analyze_cmd =
            ~doc:"print the diagnostics as a JSON object")
   in
   let fifo_capacity =
-    Arg.(value & opt int 16 & info [ "fifo-capacity" ] ~docv:"N"
+    Arg.(value & opt positive_int_conv 16 & info [ "fifo-capacity" ] ~docv:"N"
            ~doc:
              "FIFO capacity assumed by the task-graph lint (matches the \
-              runtime's default; rates above it warn)")
+              runtime's default; per-firing bursts above it warn)")
   in
   let action file json fifo_capacity =
     handle_compile_errors (fun () ->

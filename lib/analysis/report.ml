@@ -5,13 +5,16 @@
    Diagnostic codes:
    - LMA001  note     global function is provably pure
    - LMA002  error    source rate never positive (graph wedges)
-   - LMA003  warning  source rate exceeds FIFO capacity
+   - LMA003  warning  an edge's per-firing burst exceeds the FIFO capacity
    - LMA004  warning  task graph constructed only in unreachable code
    - LMA005  warning  source rate may be non-positive
    - LMA006  error    array access provably out of bounds
    - LMA007  note     all array accesses provably in bounds
    - LMA008  note     effects of a global function
-   - LMA009  warning  branch decided at compile time (dead code) *)
+   - LMA009  warning  branch decided at compile time (dead code)
+   - LMA010  error    balance equations unsolvable (no steady state exists)
+   - LMA011  note     dynamic rates: no static schedule, round-robin fallback
+   - LMA012  note     balance equations solved (repetition vector reported) *)
 
 module Ir = Lime_ir.Ir
 

@@ -242,8 +242,9 @@ let compile ?(file = "<lime>") source : compiled =
 
 let manifest (c : compiled) = Runtime.Store.manifest c.store
 
-let engine ?policy ?gpu_device ?fifo_capacity ?boundary ?model_divergence
-    ?chunk_elements ?max_retries ?retry_backoff_ns (c : compiled) =
-  Runtime.Exec.create ?policy ?gpu_device ?fifo_capacity ?boundary
+let engine ?policy ?gpu_device ?fifo_capacity ?schedule ?boundary
+    ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns
+    (c : compiled) =
+  Runtime.Exec.create ?policy ?gpu_device ?fifo_capacity ?schedule ?boundary
     ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns c.unit_
     c.store

@@ -39,6 +39,7 @@ val engine :
   ?policy:Runtime.Substitute.policy ->
   ?gpu_device:Gpu.Device.t ->
   ?fifo_capacity:int ->
+  ?schedule:Runtime.Scheduler.mode ->
   ?boundary:Wire.Boundary.t ->
   ?model_divergence:bool ->
   ?chunk_elements:int ->

@@ -16,6 +16,7 @@ val load :
   ?policy:Runtime.Substitute.policy ->
   ?gpu_device:Gpu.Device.t ->
   ?fifo_capacity:int ->
+  ?schedule:Runtime.Scheduler.mode ->
   ?model_divergence:bool ->
   ?chunk_elements:int ->
   ?max_retries:int ->

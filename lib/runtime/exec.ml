@@ -16,6 +16,7 @@ type t = {
   gpu_device : Gpu.Device.t;
   fpga_clock_ns : int;
   fifo_capacity : int;
+  schedule : Scheduler.mode;
   metrics_ : Metrics.t;
   model_divergence : bool;
   chunk_elements : int option;
@@ -28,8 +29,13 @@ type t = {
 
 let create ?(policy = Substitute.Prefer_accelerators)
     ?(gpu_device = Gpu.Device.gtx580) ?(fpga_clock_ns = 4)
-    ?(fifo_capacity = 16) ?boundary ?(model_divergence = true) ?chunk_elements
-    ?(max_retries = 2) ?(retry_backoff_ns = 1000.0) unit_ store_ =
+    ?(fifo_capacity = 16) ?(schedule = Scheduler.Round_robin) ?boundary
+    ?(model_divergence = true) ?chunk_elements ?(max_retries = 2)
+    ?(retry_backoff_ns = 1000.0) unit_ store_ =
+  (* Validate at the boundary: [Actor.Channel.create] would otherwise
+     raise [Invalid_argument] from deep inside graph construction. *)
+  if fifo_capacity < 1 then
+    fail "fifo_capacity must be at least 1 (got %d)" fifo_capacity;
   {
     unit_;
     store_;
@@ -37,6 +43,7 @@ let create ?(policy = Substitute.Prefer_accelerators)
     gpu_device;
     fpga_clock_ns;
     fifo_capacity;
+    schedule;
     metrics_ = Metrics.create ?boundary ();
     model_divergence;
     chunk_elements;
@@ -47,6 +54,7 @@ let create ?(policy = Substitute.Prefer_accelerators)
 
 let set_policy t p = t.policy_ <- p
 let policy t = t.policy_
+let schedule t = t.schedule
 let metrics t = t.metrics_
 let store t = t.store_
 let program t = t.unit_.Bytecode.Compile.u_program
@@ -540,6 +548,90 @@ let run_bound_graph t (bg : bound_graph) : unit =
           trace_substitution t ~uid:(Artifact.chain_uid fs)
             ~filters:(List.length fs) None)
     plan;
+  (* The planned chain's rate signature. Steady-state mode solves its
+     SDF balance equations ([Analysis.Rates]) and turns the repetition
+     vector into per-actor step budgets plus a schedule-sized FIFO
+     capacity, so one sweep drains the whole pipeline without blocked
+     probes. Unsolvable graphs (a non-positive rate), empty streams
+     and fault-injection runs (re-substitution changes the effective
+     rates mid-flight) keep the dynamic round-robin scheduler. *)
+  let kinds =
+    (`Source
+    :: List.concat_map
+         (function
+           | Substitute.S_bytecode fs -> List.map (fun _ -> `Filter) fs
+           | Substitute.S_device _ -> [ `Device ])
+         plan)
+    @ [ `Sink ]
+  in
+  let steady_budgets =
+    if t.schedule <> Scheduler.Steady_state || n = 0 || Support.Fault.enabled ()
+    then None
+    else begin
+      let module R = Analysis.Rates in
+      let burst_of = function
+        | `Source -> bg.bg_rate
+        | `Filter | `Sink -> 1
+        | `Device -> (
+          match t.chunk_elements with Some k -> max k 1 | None -> n)
+      in
+      let stage = Array.of_list kinds in
+      let name i = "s" ^ string_of_int i in
+      let edges =
+        List.init
+          (Array.length stage - 1)
+          (fun i ->
+            {
+              R.e_src = name i;
+              e_dst = name (i + 1);
+              e_push = Analysis.Interval.of_int (burst_of stage.(i));
+              e_pop =
+                Analysis.Interval.of_int
+                  (match stage.(i + 1) with
+                  | `Sink -> 1
+                  | k -> burst_of k);
+              e_init = 0;
+            })
+      in
+      let g =
+        { R.g_actors = List.mapi (fun i _ -> name i) kinds; g_edges = edges }
+      in
+      match R.solve g with
+      | Error _ -> None
+      | Ok sched ->
+        let reps = Array.of_list (List.map snd sched.R.s_reps) in
+        (* Iterations of the steady schedule to move the whole stream:
+           the source pushes reps(source) * rate tokens per iteration. *)
+        let per_iter = reps.(0) * max bg.bg_rate 1 in
+        let iterations = (n + per_iter - 1) / per_iter in
+        let budget i kind =
+          (* Steps one firing costs in the actor model: sources,
+             filters and sinks move one burst per step; a device
+             segment collects its pop burst one element per step,
+             fires, then emits one element per step. The +4 slack
+             absorbs the drain/close steps at end of stream. *)
+          let per_firing =
+            match kind with
+            | `Source | `Filter | `Sink -> 1
+            | `Device -> (
+              match t.chunk_elements with
+              | Some k -> (2 * max k 1) + 1
+              | None -> (2 * n) + 1)
+          in
+          (iterations * reps.(i) * per_firing) + 4
+        in
+        Some (List.mapi budget kinds)
+    end
+  in
+  let capacity =
+    match steady_budgets with
+    | Some _ ->
+      (* Size the FIFOs from the schedule so a steady sweep's batched
+         bursts fit; the clamp bounds memory on huge streams (the
+         sweep then just takes a few extra rounds). *)
+      max t.fifo_capacity (min n 4096)
+    | None -> t.fifo_capacity
+  in
   (* Walk the plan, consuming (filter, receiver) pairs in order. *)
   let remaining = ref bg.bg_filters in
   let take n =
@@ -556,7 +648,7 @@ let run_bound_graph t (bg : bound_graph) : unit =
   in
   let channels = ref [] in
   let new_channel () =
-    let c = Actor.Channel.create ~capacity:t.fifo_capacity in
+    let c = Actor.Channel.create ~capacity in
     channels := (Printf.sprintf "ch%d" (List.length !channels), c) :: !channels;
     c
   in
@@ -613,10 +705,27 @@ let run_bound_graph t (bg : bound_graph) : unit =
       [
         "elements", Trace.Int n;
         "plan", Trace.Str (Substitute.describe_plan plan);
+        ( "schedule",
+          Trace.Str
+            (match steady_budgets with
+            | Some _ -> Scheduler.mode_name Scheduler.Steady_state
+            | None -> Scheduler.mode_name Scheduler.Round_robin) );
       ]
     "task-graph"
     (fun () ->
-      ignore (Scheduler.run ~on_round:sample_channels (List.rev !actors)))
+      let ordered = List.rev !actors in
+      let stats, steady =
+        match steady_budgets with
+        | Some budgets ->
+          ( Scheduler.run_steady ~on_round:sample_channels
+              (List.combine ordered budgets),
+            true )
+        | None -> Scheduler.run ~on_round:sample_channels ordered, false
+      in
+      Metrics.add_scheduler_run t.metrics_ ~steady
+        ~fallback:(t.schedule = Scheduler.Steady_state && not steady)
+        ~rounds:stats.Scheduler.rounds ~steps:stats.Scheduler.steps
+        ~blocked_steps:stats.Scheduler.blocked_steps)
 
 (* --- VM hooks ---------------------------------------------------------- *)
 

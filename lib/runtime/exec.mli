@@ -21,11 +21,16 @@ module I = Lime_ir.Interp
 
 type t
 
+exception Engine_error of string
+(** Raised on invalid engine configuration (e.g. a non-positive
+    [fifo_capacity]). *)
+
 val create :
   ?policy:Substitute.policy ->
   ?gpu_device:Gpu.Device.t ->
   ?fpga_clock_ns:int ->
   ?fifo_capacity:int ->
+  ?schedule:Scheduler.mode ->
   ?boundary:Wire.Boundary.t ->
   ?model_divergence:bool ->
   ?chunk_elements:int ->
@@ -35,17 +40,30 @@ val create :
   Store.t ->
   t
 (** Defaults: [Prefer_accelerators], GTX580-class GPU, 4ns FPGA clock
-    (250 MHz), FIFO capacity 16, divergence modeling on,
-    whole-stream device batching ([chunk_elements] bounds the staging
-    buffer and launches the device every that-many elements),
-    [max_retries] 2 with a 1000ns backoff base (attempt [k] waits
-    [retry_backoff_ns * 2^k] modeled nanoseconds). *)
+    (250 MHz), FIFO capacity 16, round-robin scheduling, divergence
+    modeling on, whole-stream device batching ([chunk_elements] bounds
+    the staging buffer and launches the device every that-many
+    elements), [max_retries] 2 with a 1000ns backoff base (attempt [k]
+    waits [retry_backoff_ns * 2^k] modeled nanoseconds).
+
+    [schedule = Steady_state] solves each task graph's SDF balance
+    equations ([Analysis.Rates]) and fires actors in the steady-state
+    batched order with FIFO capacities sized from the schedule instead
+    of the blanket [fifo_capacity]; graphs the algebra cannot solve
+    (non-positive or dynamic rates) and fault-injection runs fall back
+    to round-robin. Scheduler outcomes are recorded in {!Metrics}.
+
+    @raise Engine_error if [fifo_capacity < 1]. *)
 
 val call : t -> string -> I.v list -> I.v
 (** Run a host method end to end under the engine's policy. *)
 
 val set_policy : t -> Substitute.policy -> unit
 val policy : t -> Substitute.policy
+
+val schedule : t -> Scheduler.mode
+(** The scheduling mode the engine was created with. *)
+
 val metrics : t -> Metrics.t
 val store : t -> Store.t
 val program : t -> Ir.program

@@ -25,6 +25,13 @@ type snapshot = {
   retries : int;  (** launch retries after a fault *)
   resubstitutions : int;  (** dynamic re-plans after retry exhaustion *)
   backoff_ns : float;  (** modeled time spent backing off before retries *)
+  sched_runs : int;  (** task-graph scheduler invocations *)
+  sched_steady : int;  (** of which ran the steady-state schedule *)
+  sched_fallbacks : int;
+      (** steady-state requested but fell back to round-robin *)
+  sched_rounds : int;  (** cumulative scheduling rounds *)
+  sched_steps : int;  (** cumulative actor steps *)
+  sched_blocked_steps : int;  (** cumulative blocked steps *)
 }
 
 type t = {
@@ -42,6 +49,12 @@ type t = {
   mutable retries : int;
   mutable resubstitutions : int;
   mutable backoff_ns : float;
+  mutable sched_runs : int;
+  mutable sched_steady : int;
+  mutable sched_fallbacks : int;
+  mutable sched_rounds : int;
+  mutable sched_steps : int;
+  mutable sched_blocked_steps : int;
 }
 
 (* Crossing into a dynamically loaded shared library is a JNI call:
@@ -69,6 +82,12 @@ let create ?boundary () =
     retries = 0;
     resubstitutions = 0;
     backoff_ns = 0.0;
+    sched_runs = 0;
+    sched_steady = 0;
+    sched_fallbacks = 0;
+    sched_rounds = 0;
+    sched_steps = 0;
+    sched_blocked_steps = 0;
   }
 
 let add_vm_instructions t n = t.vm_instructions <- t.vm_instructions + n
@@ -95,6 +114,14 @@ let add_retry t ~backoff_ns =
   t.backoff_ns <- t.backoff_ns +. backoff_ns
 
 let add_resubstitution t = t.resubstitutions <- t.resubstitutions + 1
+
+let add_scheduler_run t ~steady ~fallback ~rounds ~steps ~blocked_steps =
+  t.sched_runs <- t.sched_runs + 1;
+  if steady then t.sched_steady <- t.sched_steady + 1;
+  if fallback then t.sched_fallbacks <- t.sched_fallbacks + 1;
+  t.sched_rounds <- t.sched_rounds + rounds;
+  t.sched_steps <- t.sched_steps + steps;
+  t.sched_blocked_steps <- t.sched_blocked_steps + blocked_steps
 
 let boundary t = t.boundary
 let native_boundary t = t.native_boundary
@@ -124,6 +151,12 @@ let snapshot t : snapshot =
     retries = t.retries;
     resubstitutions = t.resubstitutions;
     backoff_ns = t.backoff_ns;
+    sched_runs = t.sched_runs;
+    sched_steady = t.sched_steady;
+    sched_fallbacks = t.sched_fallbacks;
+    sched_rounds = t.sched_rounds;
+    sched_steps = t.sched_steps;
+    sched_blocked_steps = t.sched_blocked_steps;
   }
 
 let reset t =
@@ -140,7 +173,13 @@ let reset t =
   t.device_faults <- 0;
   t.retries <- 0;
   t.resubstitutions <- 0;
-  t.backoff_ns <- 0.0
+  t.backoff_ns <- 0.0;
+  t.sched_runs <- 0;
+  t.sched_steady <- 0;
+  t.sched_fallbacks <- 0;
+  t.sched_rounds <- 0;
+  t.sched_steps <- 0;
+  t.sched_blocked_steps <- 0
 
 (* --- snapshot presentation -------------------------------------------- *)
 
@@ -170,6 +209,11 @@ let pp ppf (s : snapshot) =
     "faults:   %d fault(s), %d retry(s), %d resubstitution(s), %.1f us \
      backoff@,"
     s.device_faults s.retries s.resubstitutions (s.backoff_ns /. 1000.0);
+  Format.fprintf ppf
+    "sched:    %d run(s) (%d steady, %d fallback(s)), %d round(s), %d \
+     step(s), %d blocked@,"
+    s.sched_runs s.sched_steady s.sched_fallbacks s.sched_rounds s.sched_steps
+    s.sched_blocked_steps;
   Format.fprintf ppf "substitutions: %s"
     (if s.substitutions = [] then "none"
      else
@@ -201,12 +245,14 @@ let boundary_json (b : Wire.Boundary.stats) =
 
 let to_json (s : snapshot) =
   Printf.sprintf
-    "{\"vm_instructions\":%d,\"native_instructions\":%d,\"native_ns\":%.1f,\"gpu_kernels\":%d,\"gpu_kernel_ns\":%.1f,\"fpga_runs\":%d,\"fpga_cycles\":%d,\"fpga_ns\":%.1f,\"marshal\":%s,\"marshal_native\":%s,\"device_faults\":%d,\"retries\":%d,\"resubstitutions\":%d,\"backoff_ns\":%.1f,\"substitutions\":[%s]}"
+    "{\"vm_instructions\":%d,\"native_instructions\":%d,\"native_ns\":%.1f,\"gpu_kernels\":%d,\"gpu_kernel_ns\":%.1f,\"fpga_runs\":%d,\"fpga_cycles\":%d,\"fpga_ns\":%.1f,\"marshal\":%s,\"marshal_native\":%s,\"device_faults\":%d,\"retries\":%d,\"resubstitutions\":%d,\"backoff_ns\":%.1f,\"sched\":{\"runs\":%d,\"steady\":%d,\"fallbacks\":%d,\"rounds\":%d,\"steps\":%d,\"blocked_steps\":%d},\"substitutions\":[%s]}"
     s.vm_instructions s.native_instructions s.native_ns s.gpu_kernels
     s.gpu_kernel_ns s.fpga_runs s.fpga_cycles s.fpga_ns
     (boundary_json s.marshal)
     (boundary_json s.marshal_native)
-    s.device_faults s.retries s.resubstitutions s.backoff_ns
+    s.device_faults s.retries s.resubstitutions s.backoff_ns s.sched_runs
+    s.sched_steady s.sched_fallbacks s.sched_rounds s.sched_steps
+    s.sched_blocked_steps
     (String.concat ","
        (List.map
           (fun (uid, d) ->

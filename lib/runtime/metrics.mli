@@ -23,6 +23,13 @@ type snapshot = {
   retries : int;  (** launch retries after a fault *)
   resubstitutions : int;  (** dynamic re-plans after retry exhaustion *)
   backoff_ns : float;  (** modeled time spent backing off before retries *)
+  sched_runs : int;  (** task-graph scheduler invocations *)
+  sched_steady : int;  (** of which ran the steady-state schedule *)
+  sched_fallbacks : int;
+      (** steady-state requested but fell back to round-robin *)
+  sched_rounds : int;  (** cumulative scheduling rounds *)
+  sched_steps : int;  (** cumulative actor steps *)
+  sched_blocked_steps : int;  (** cumulative blocked steps *)
 }
 
 type t
@@ -39,6 +46,18 @@ val add_retry : t -> backoff_ns:float -> unit
 (** One retry, accumulating the modeled backoff delay before it. *)
 
 val add_resubstitution : t -> unit
+
+(** One task-graph scheduler invocation: which mode actually ran
+    ([steady]), whether a requested steady-state schedule fell back to
+    round-robin ([fallback]), and the run's {!Scheduler.stats}. *)
+val add_scheduler_run :
+  t ->
+  steady:bool ->
+  fallback:bool ->
+  rounds:int ->
+  steps:int ->
+  blocked_steps:int ->
+  unit
 val boundary : t -> Wire.Boundary.t
 val native_boundary : t -> Wire.Boundary.t
 val snapshot : t -> snapshot

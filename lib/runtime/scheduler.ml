@@ -1,9 +1,21 @@
 (* The cooperative task scheduler.
 
-   Steps every live actor in round-robin order; a round in which no
-   actor progresses and none finished means the graph is wedged
-   (a cycle of full/empty queues), which is reported rather than
-   spinning forever. *)
+   Two modes:
+
+   - [run] steps every live actor in round-robin order — blind
+     demand-driven discovery, one step per actor per round;
+   - [run_steady] fires actors in a precomputed steady-state order:
+     each actor gets a per-sweep step *budget* derived from the solved
+     SDF repetition vector ([Analysis.Rates]), so the scheduler never
+     probes an actor that provably has nothing to do — the probes are
+     exactly the blocked steps that dominate round-robin on deep or
+     batching pipelines.
+
+   In both modes, a round (or sweep) in which no actor progresses and
+   none finished means the graph is wedged (a cycle of full/empty
+   queues), which is reported rather than spinning forever. An actor's
+   final [Done] return is bookkeeping, not work: it is neither counted
+   as a step nor traced. *)
 
 module Trace = Support.Trace
 
@@ -13,13 +25,23 @@ type stats = {
   blocked_steps : int;  (** steps that found the actor blocked *)
 }
 
+type mode = Round_robin | Steady_state
+
+let mode_name = function
+  | Round_robin -> "roundrobin"
+  | Steady_state -> "steady"
+
 exception Deadlock of string * stats
 
-(* The deadlock report names every wedged actor together with its
-   channel states, so the full/empty cycle is visible in the message
-   itself (e.g. "bc:f[in=empty out=full]"). *)
-let deadlock_message (live : Actor.t list) =
-  Printf.sprintf "task graph wedged; blocked actors: %s"
+(* The deadlock report embeds the scheduler's final stats and names
+   every wedged actor together with its channel states, so the
+   full/empty cycle is diagnosable from the message alone
+   (e.g. "bc:f[in=empty out=full]"). *)
+let deadlock_message (live : Actor.t list) (s : stats) =
+  Printf.sprintf
+    "task graph wedged after %d round(s), %d step(s), %d blocked; blocked \
+     actors: %s"
+    s.rounds s.steps s.blocked_steps
     (String.concat ", "
        (List.map
           (fun (a : Actor.t) -> a.name ^ Actor.describe_ports a)
@@ -42,16 +64,20 @@ let run ?(on_round = fun _ -> ()) (actors : Actor.t list) : stats =
     let still_live =
       List.filter
         (fun (a : Actor.t) ->
-          incr steps;
           let status = a.step () in
-          if tracing then
-            Trace.instant ~cat:"sched"
-              ~args:
-                [
-                  "status", Trace.Str (status_name status);
-                  "round", Trace.Int !rounds;
-                ]
-              a.name;
+          (* A final [Done] return is not useful work: don't count it
+             as a step, don't trace it. *)
+          if status <> Actor.Done then begin
+            incr steps;
+            if tracing then
+              Trace.instant ~cat:"sched"
+                ~args:
+                  [
+                    "status", Trace.Str (status_name status);
+                    "round", Trace.Int !rounds;
+                  ]
+                a.name
+          end;
           match status with
           | Actor.Progress ->
             progressed := true;
@@ -66,10 +92,60 @@ let run ?(on_round = fun _ -> ()) (actors : Actor.t list) : stats =
     in
     live := still_live;
     on_round !rounds;
-    if (not !progressed) && !live <> [] then
-      raise
-        (Deadlock
-           ( deadlock_message !live,
-             { rounds = !rounds; steps = !steps; blocked_steps = !blocked } ))
+    if (not !progressed) && !live <> [] then begin
+      let s = { rounds = !rounds; steps = !steps; blocked_steps = !blocked } in
+      raise (Deadlock (deadlock_message !live s, s))
+    end
+  done;
+  { rounds = !rounds; steps = !steps; blocked_steps = !blocked }
+
+let run_steady ?(on_round = fun _ -> ())
+    (budgeted : (Actor.t * int) list) : stats =
+  let live = ref (List.map (fun (a, b) -> a, max b 1) budgeted) in
+  let rounds = ref 0 in
+  let steps = ref 0 in
+  let blocked = ref 0 in
+  let tracing = Trace.enabled () in
+  while !live <> [] do
+    incr rounds;
+    let progressed = ref false in
+    live :=
+      List.filter
+        (fun ((a : Actor.t), budget) ->
+          (* One burst: fire up to [budget] times, stopping early on
+             the first block (the burst found the FIFO limit) or on
+             completion. The budget is this actor's share of the
+             steady-state schedule, so a well-sized graph runs the
+             whole sweep without a single blocked probe. *)
+          let fired = ref 0 in
+          let keep = ref true in
+          let running = ref true in
+          while !running do
+            match a.step () with
+            | Actor.Progress ->
+              progressed := true;
+              incr steps;
+              incr fired;
+              if !fired >= budget then running := false
+            | Actor.Blocked ->
+              incr steps;
+              incr blocked;
+              running := false
+            | Actor.Done ->
+              progressed := true;
+              keep := false;
+              running := false
+          done;
+          if tracing && (!fired > 0 || !keep) then
+            Trace.instant ~cat:"sched"
+              ~args:[ "fired", Trace.Int !fired; "round", Trace.Int !rounds ]
+              a.name;
+          !keep)
+        !live;
+    on_round !rounds;
+    if (not !progressed) && !live <> [] then begin
+      let s = { rounds = !rounds; steps = !steps; blocked_steps = !blocked } in
+      raise (Deadlock (deadlock_message (List.map fst !live) s, s))
+    end
   done;
   { rounds = !rounds; steps = !steps; blocked_steps = !blocked }

@@ -1,15 +1,23 @@
 (** The cooperative task scheduler.
 
-    Steps every live actor round-robin until all have finished. A full
-    round in which nothing progresses is a wedged graph (a cycle of
-    full/empty queues) and raises {!Deadlock} instead of spinning; the
-    message lists every wedged actor with its channel states
-    ([name[in=empty out=full]]) so the cycle is debuggable from the
+    Two modes. {!run} steps every live actor round-robin until all
+    have finished — blind demand-driven discovery. {!run_steady} fires
+    actors in a precomputed steady-state order with per-sweep step
+    budgets derived from the solved SDF repetition vector
+    ([Analysis.Rates]), eliminating the blocked probes that dominate
+    round-robin on deep or batching pipelines.
+
+    In both modes, a full round in which nothing progresses is a
+    wedged graph (a cycle of full/empty queues) and raises {!Deadlock}
+    instead of spinning; the message embeds the final stats and lists
+    every wedged actor with its channel states
+    ([name[in=empty out=full]]) so the wedge is diagnosable from the
     error alone.
 
-    When tracing is enabled ({!Support.Trace.enabled}), every actor
-    step emits an instant event (category ["sched"]) carrying the
-    step's outcome and round number. *)
+    When tracing is enabled ({!Support.Trace.enabled}), actor steps
+    emit instant events (category ["sched"]). An actor's final [Done]
+    return is bookkeeping, not work: it is neither counted as a step
+    nor traced. *)
 
 type stats = {
   rounds : int;  (** scheduling rounds until quiescence *)
@@ -17,12 +25,28 @@ type stats = {
   blocked_steps : int;  (** steps that found the actor blocked *)
 }
 
+(** How the runtime drives a task graph: blind round-robin stepping,
+    or the steady-state batched order when the rate algebra solved the
+    graph's balance equations. *)
+type mode = Round_robin | Steady_state
+
+val mode_name : mode -> string
+(** ["roundrobin"] / ["steady"] — the CLI spelling. *)
+
 exception Deadlock of string * stats
 (** The wedged-graph report plus the scheduler's partial stats at the
-    moment of the wedge (rounds run, steps taken, blocked steps), so a
-    deadlock is diagnosable without re-running under a profiler. *)
+    moment of the wedge (rounds run, steps taken, blocked steps). The
+    message itself embeds the same stats, so the report is
+    self-contained even where only the string survives. *)
 
 val run : ?on_round:(int -> unit) -> Actor.t list -> stats
-(** [on_round] is called after each completed round with the round
-    number — the runtime uses it to sample channel occupancy into the
-    trace. *)
+(** Round-robin: one step per live actor per round. [on_round] is
+    called after each completed round with the round number — the
+    runtime uses it to sample channel occupancy into the trace. *)
+
+val run_steady : ?on_round:(int -> unit) -> (Actor.t * int) list -> stats
+(** Steady-state: each sweep gives every actor a burst of up to its
+    budget steps (budgets below 1 are clamped to 1), ending the burst
+    early on the first blocked step. Actors should be listed in
+    topological (source-to-sink) order so one sweep can drain the
+    whole pipeline. *)

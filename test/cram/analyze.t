@@ -48,13 +48,14 @@ nonzero.
   $ ../../bin/lmc.exe analyze wedge.lime
   wedge.lime:5:3: note: [LMA008] global function P.go: allocates an array; constructs a task graph; starts a task graph
   wedge.lime:7:32: error: [LMA002] task graph graph@0: source rate [0, 0] is never positive — the source can never push an element, every FIFO in the source-to-sink cycle stays empty, and the graph wedges (runtime Scheduler.Deadlock)
-  1 error(s), 0 warning(s), 1 note(s)
+  wedge.lime:7:32: error: [LMA010] task graph graph@0: balance equations unsolvable (push rate [0, 0] on edge source -> P.id@P.go/0 is never positive) — no steady state exists at any FIFO capacity
+  2 error(s), 0 warning(s), 1 note(s)
   [1]
 
 The same diagnostics as JSON for tooling:
 
   $ ../../bin/lmc.exe analyze --json wedge.lime
-  {"diagnostics":[{"severity":"note","file":"wedge.lime","line":5,"col":3,"code":"LMA008","message":"global function P.go: allocates an array; constructs a task graph; starts a task graph"},{"severity":"error","file":"wedge.lime","line":7,"col":32,"code":"LMA002","message":"task graph graph@0: source rate [0, 0] is never positive — the source can never push an element, every FIFO in the source-to-sink cycle stays empty, and the graph wedges (runtime Scheduler.Deadlock)"}],"errors":1,"warnings":0,"notes":1}
+  {"diagnostics":[{"severity":"note","file":"wedge.lime","line":5,"col":3,"code":"LMA008","message":"global function P.go: allocates an array; constructs a task graph; starts a task graph"},{"severity":"error","file":"wedge.lime","line":7,"col":32,"code":"LMA002","message":"task graph graph@0: source rate [0, 0] is never positive — the source can never push an element, every FIFO in the source-to-sink cycle stays empty, and the graph wedges (runtime Scheduler.Deadlock)"},{"severity":"error","file":"wedge.lime","line":7,"col":32,"code":"LMA010","message":"task graph graph@0: balance equations unsolvable (push rate [0, 0] on edge source -> P.id@P.go/0 is never positive) — no steady state exists at any FIFO capacity"}],"errors":2,"warnings":0,"notes":1}
   [1]
 
 An out-of-bounds array access that always traps is an error too:

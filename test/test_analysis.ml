@@ -264,7 +264,13 @@ let test_report_json_shape () =
   let json = Report.to_json report.Report.diags in
   List.iter
     (fun needle -> check_bool needle true (Test_types.contains json needle))
-    [ "\"diagnostics\":["; "\"LMA002\""; "\"errors\":1"; "\"severity\":\"error\"" ]
+    [
+      "\"diagnostics\":[";
+      "\"LMA002\"";
+      "\"LMA010\"";
+      "\"errors\":2";
+      "\"severity\":\"error\"";
+    ]
 
 let suite =
   ( "analysis",

@@ -1,0 +1,338 @@
+(* The rate algebra and steady-state scheduler.
+
+   Three layers: unit tests of the balance-equation solver
+   ([Analysis.Rates.solve]) over hand-built graphs covering every
+   verdict; scheduler-level checks of the [Done] accounting fix and
+   the budgeted steady sweep; and a differential harness proving that
+   [~schedule:Steady_state] produces bitwise-identical outputs to
+   round-robin on every workload while cutting blocked steps on deep
+   pipelines. *)
+
+module Rates = Analysis.Rates
+module Iv = Analysis.Interval
+module Actor = Runtime.Actor
+module Scheduler = Runtime.Scheduler
+module Compiler = Liquid_metal.Compiler
+module Exec = Runtime.Exec
+module Substitute = Runtime.Substitute
+module Metrics = Runtime.Metrics
+module I = Lime_ir.Interp
+module V = Wire.Value
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let const n = Iv.of_int n
+
+let edge ?(init = 0) src dst push pop =
+  {
+    Rates.e_src = src;
+    e_dst = dst;
+    e_push = const push;
+    e_pop = const pop;
+    e_init = init;
+  }
+
+let reps_of = function
+  | Ok (s : Rates.schedule) -> s.Rates.s_reps
+  | Error why -> Alcotest.failf "unsolvable: %s" (Rates.describe_unsolvable why)
+
+(* --- solver ----------------------------------------------------------- *)
+
+let test_solve_chain () =
+  (* source pushes 4 per firing, everything downstream is 1:1 — the
+     shape [Exec] builds for a rate-4 task graph. *)
+  let g =
+    {
+      Rates.g_actors = [ "src"; "f"; "snk" ];
+      g_edges = [ edge "src" "f" 4 1; edge "f" "snk" 1 1 ];
+    }
+  in
+  check_bool "reps src=1 f=4 snk=4" true
+    (reps_of (Rates.solve g) = [ "src", 1; "f", 4; "snk", 4 ])
+
+let test_solve_multirate () =
+  (* push 2 / pop 3 then 1:1 — classic SDF fractions. *)
+  let g =
+    {
+      Rates.g_actors = [ "a"; "b"; "c" ];
+      g_edges = [ edge "a" "b" 2 3; edge "b" "c" 1 1 ];
+    }
+  in
+  match Rates.solve g with
+  | Ok s ->
+    check_bool "reps a=3 b=2 c=2" true
+      (s.Rates.s_reps = [ "a", 3; "b", 2; "c", 2 ]);
+    (* peak occupancy on a->b is the full 3*2 = 6 tokens *)
+    let burst_ab =
+      List.assoc "b"
+        (List.map
+           (fun ((e : Rates.edge), b) -> e.Rates.e_dst, b)
+           s.Rates.s_bursts)
+    in
+    check_int "burst a->b" 6 burst_ab
+  | Error why -> Alcotest.failf "unsolvable: %s" (Rates.describe_unsolvable why)
+
+let test_solve_mismatch_diamond () =
+  (* Two paths from a to d demanding different repetition ratios:
+     balance equations have no solution. *)
+  let g =
+    {
+      Rates.g_actors = [ "a"; "b"; "c"; "d" ];
+      g_edges =
+        [
+          edge "a" "b" 1 1; edge "a" "c" 1 1; edge "b" "d" 1 1;
+          edge "c" "d" 2 1;
+        ];
+    }
+  in
+  match Rates.solve g with
+  | Error (Rates.Mismatch _) -> ()
+  | Error why ->
+    Alcotest.failf "wrong verdict: %s" (Rates.describe_unsolvable why)
+  | Ok _ -> Alcotest.fail "diamond with conflicting rates solved"
+
+let test_solve_tokenfree_cycle () =
+  (* a <-> b with no initial tokens: the equations balance (reps 1,1)
+     but neither actor can ever fire first. *)
+  let g =
+    {
+      Rates.g_actors = [ "a"; "b" ];
+      g_edges = [ edge "a" "b" 1 1; edge "b" "a" 1 1 ];
+    }
+  in
+  (match Rates.solve g with
+  | Error (Rates.Deadlocked _) -> ()
+  | Error why ->
+    Alcotest.failf "wrong verdict: %s" (Rates.describe_unsolvable why)
+  | Ok _ -> Alcotest.fail "token-free cycle scheduled");
+  (* one initial token breaks the tie and the cycle schedules *)
+  let primed =
+    { g with Rates.g_edges = [ edge "a" "b" 1 1; edge ~init:1 "b" "a" 1 1 ] }
+  in
+  check_bool "primed cycle solves" true
+    (reps_of (Rates.solve primed) = [ "a", 1; "b", 1 ])
+
+let test_solve_starved () =
+  let g =
+    {
+      Rates.g_actors = [ "src"; "snk" ];
+      g_edges = [ edge "src" "snk" 0 1 ];
+    }
+  in
+  match Rates.solve g with
+  | Error (Rates.Starved _) -> ()
+  | Error why ->
+    Alcotest.failf "wrong verdict: %s" (Rates.describe_unsolvable why)
+  | Ok _ -> Alcotest.fail "zero-rate edge solved"
+
+let test_solve_dynamic () =
+  let g =
+    {
+      Rates.g_actors = [ "src"; "snk" ];
+      g_edges =
+        [
+          {
+            Rates.e_src = "src";
+            e_dst = "snk";
+            e_push = Iv.of_bounds 1 4;
+            e_pop = const 1;
+            e_init = 0;
+          };
+        ];
+    }
+  in
+  match Rates.solve g with
+  | Error (Rates.Dynamic _) -> ()
+  | Error why ->
+    Alcotest.failf "wrong verdict: %s" (Rates.describe_unsolvable why)
+  | Ok _ -> Alcotest.fail "interval rate solved"
+
+let test_min_edge_capacity () =
+  check_int "burst lower bound" 7 (Rates.min_edge_capacity (edge "a" "b" 7 2));
+  check_int "pop side dominates" 5 (Rates.min_edge_capacity (edge "a" "b" 1 5));
+  check_int "unknown rates floor at 1" 1
+    (Rates.min_edge_capacity
+       {
+         Rates.e_src = "a";
+         e_dst = "b";
+         e_push = Iv.top;
+         e_pop = Iv.top;
+         e_init = 0;
+       })
+
+(* --- scheduler accounting --------------------------------------------- *)
+
+(* An actor that is Done on its very first step used to be charged one
+   scheduling step (and one trace event). The final Done return is
+   bookkeeping, not work. *)
+let test_done_is_not_a_step () =
+  let a = Actor.make ~name:"noop" (fun () -> Actor.Done) in
+  let stats = Scheduler.run [ a ] in
+  check_int "steps" 0 stats.Scheduler.steps;
+  check_int "blocked" 0 stats.Scheduler.blocked_steps;
+  check_int "rounds" 1 stats.Scheduler.rounds
+
+let test_deadlock_message_has_stats () =
+  let a = Actor.make ~name:"stuck" (fun () -> Actor.Blocked) in
+  match Scheduler.run [ a ] with
+  | exception Scheduler.Deadlock (msg, stats) ->
+    check_bool "message embeds rounds" true
+      (Test_types.contains msg "round(s)");
+    check_bool "message names actor" true (Test_types.contains msg "stuck");
+    check_int "blocked" 1 stats.Scheduler.blocked_steps
+  | _ -> Alcotest.fail "expected Deadlock"
+
+let test_steady_sweep_runs_pipeline () =
+  (* A 3-stage pipeline with capacity >= n and per-actor budgets drains
+     in one sweep with zero blocked steps. *)
+  let n = 32 in
+  let a = Actor.Channel.create ~capacity:n in
+  let b = Actor.Channel.create ~capacity:n in
+  let out = Array.make n 0 in
+  let dest = V.Int_array out in
+  let elements = List.init n (fun i -> V.Int i) in
+  let actors =
+    [
+      Actor.source ~name:"src" ~rate:1 elements a;
+      Actor.filter ~name:"dbl"
+        ~f:(function V.Int x -> V.Int (2 * x) | v -> v)
+        a b;
+      Actor.sink ~name:"snk" dest b;
+    ]
+  in
+  let budget = n + 4 in
+  let stats =
+    Scheduler.run_steady (List.map (fun a -> a, budget) actors)
+  in
+  check_int "one sweep" 1 stats.Scheduler.rounds;
+  check_int "no blocked steps" 0 stats.Scheduler.blocked_steps;
+  check_bool "pipeline output" true (out = Array.init n (fun i -> 2 * i))
+
+let test_steady_deadlock_detected () =
+  let a = Actor.make ~name:"wedged" (fun () -> Actor.Blocked) in
+  match Scheduler.run_steady [ a, 8 ] with
+  | exception Scheduler.Deadlock (msg, _) ->
+    check_bool "names actor" true (Test_types.contains msg "wedged")
+  | _ -> Alcotest.fail "expected Deadlock"
+
+(* --- engine boundary --------------------------------------------------- *)
+
+let test_fifo_capacity_validated () =
+  let w = Workloads.find "bitflip" in
+  let c = Compiler.compile w.Workloads.source in
+  match Compiler.engine ~fifo_capacity:0 c with
+  | exception Exec.Engine_error msg ->
+    check_bool "mentions fifo_capacity" true
+      (Test_types.contains msg "fifo_capacity")
+  | _ -> Alcotest.fail "fifo_capacity 0 accepted"
+
+(* --- steady vs round-robin differential -------------------------------- *)
+
+let test_sizes =
+  [
+    "saxpy", 256; "dotproduct", 256; "matmul", 8; "conv2d", 8; "nbody", 16;
+    "mandelbrot", 12; "bitflip", 64; "dsp_chain", 128; "prefix_sum", 128;
+    "blackscholes", 128; "fir4", 128; "crc8", 64;
+  ]
+
+let run_with (w : Workloads.t) ~size ~policy ~schedule =
+  let c = Compiler.compile w.Workloads.source in
+  let engine = Compiler.engine ~policy ~schedule c in
+  let result = Exec.call engine w.Workloads.entry (w.Workloads.args ~size) in
+  result, Metrics.snapshot (Exec.metrics engine)
+
+let test_steady_matches_roundrobin () =
+  List.iter
+    (fun ((name, size) : string * int) ->
+      let w = Workloads.find name in
+      List.iter
+        (fun policy ->
+          let expected, _ =
+            run_with w ~size ~policy ~schedule:Scheduler.Round_robin
+          in
+          let got, m =
+            run_with w ~size ~policy ~schedule:Scheduler.Steady_state
+          in
+          if Stdlib.compare expected got <> 0 then
+            Alcotest.failf "%s: steady output diverged from round-robin" name;
+          (* any graph the algebra solved must never have produced a
+             worse blocked count than a solved steady run can: zero *)
+          if m.Metrics.sched_steady > 0 && m.Metrics.sched_fallbacks = 0 then
+            check_int (name ^ " steady blocked") 0 m.Metrics.sched_blocked_steps)
+        [ Substitute.Bytecode_only; Substitute.Prefer_accelerators ])
+    test_sizes
+
+(* The headline regression: on a >= 4-stage pipeline the steady
+   schedule must cut blocked steps by at least half (in practice to
+   zero). Pins the ISSUE acceptance criterion. *)
+let test_steady_cuts_blocked_steps () =
+  let w = Workloads.find "dsp_chain" in
+  let size = 512 in
+  let policy = Substitute.Prefer_accelerators in
+  let rr, m_rr = run_with w ~size ~policy ~schedule:Scheduler.Round_robin in
+  let st, m_st = run_with w ~size ~policy ~schedule:Scheduler.Steady_state in
+  check_bool "outputs identical" true (Stdlib.compare rr st = 0);
+  check_int "steady actually ran" 1 m_st.Metrics.sched_steady;
+  check_int "no fallback" 0 m_st.Metrics.sched_fallbacks;
+  check_bool "round-robin blocks" true (m_rr.Metrics.sched_blocked_steps > 0);
+  check_bool
+    (Printf.sprintf "blocked halved (rr=%d steady=%d)"
+       m_rr.Metrics.sched_blocked_steps m_st.Metrics.sched_blocked_steps)
+    true
+    (2 * m_st.Metrics.sched_blocked_steps <= m_rr.Metrics.sched_blocked_steps)
+
+(* Fault-injection runs keep the dynamic scheduler: a steady engine
+   under an installed fault schedule must fall back, not wedge. *)
+let test_steady_falls_back_under_faults () =
+  let w = Workloads.find "dsp_chain" in
+  let size = 64 in
+  (match Support.Fault.parse_spec "gpu:*:n=1" with
+  | Ok s -> Support.Fault.install s
+  | Error e -> Alcotest.failf "bad spec: %s" e);
+  Fun.protect
+    ~finally:(fun () -> Support.Fault.clear ())
+    (fun () ->
+      let got, m =
+        run_with w ~size ~policy:Substitute.Prefer_accelerators
+          ~schedule:Scheduler.Steady_state
+      in
+      Support.Fault.clear ();
+      let expected, _ =
+        run_with w ~size ~policy:Substitute.Bytecode_only
+          ~schedule:Scheduler.Round_robin
+      in
+      check_bool "output still correct" true
+        (Stdlib.compare expected got = 0);
+      check_bool "fell back to round-robin" true
+        (m.Metrics.sched_fallbacks > 0 && m.Metrics.sched_steady = 0))
+
+let suite =
+  ( "sched",
+    [
+      Alcotest.test_case "solve: linear chain" `Quick test_solve_chain;
+      Alcotest.test_case "solve: multirate fractions" `Quick
+        test_solve_multirate;
+      Alcotest.test_case "solve: mismatch diamond" `Quick
+        test_solve_mismatch_diamond;
+      Alcotest.test_case "solve: token-free cycle" `Quick
+        test_solve_tokenfree_cycle;
+      Alcotest.test_case "solve: starved edge" `Quick test_solve_starved;
+      Alcotest.test_case "solve: dynamic rates" `Quick test_solve_dynamic;
+      Alcotest.test_case "min edge capacity" `Quick test_min_edge_capacity;
+      Alcotest.test_case "done is not a step" `Quick test_done_is_not_a_step;
+      Alcotest.test_case "deadlock message embeds stats" `Quick
+        test_deadlock_message_has_stats;
+      Alcotest.test_case "steady sweep drains pipeline" `Quick
+        test_steady_sweep_runs_pipeline;
+      Alcotest.test_case "steady deadlock detected" `Quick
+        test_steady_deadlock_detected;
+      Alcotest.test_case "fifo capacity validated" `Quick
+        test_fifo_capacity_validated;
+      Alcotest.test_case "steady matches round-robin (all workloads)" `Quick
+        test_steady_matches_roundrobin;
+      Alcotest.test_case "steady cuts blocked steps on dsp_chain" `Quick
+        test_steady_cuts_blocked_steps;
+      Alcotest.test_case "steady falls back under faults" `Quick
+        test_steady_falls_back_under_faults;
+    ] )
