@@ -2,7 +2,7 @@
 
 QCHECK_SEED ?= 20260805
 
-.PHONY: all build test lint check bench bench-sched clean
+.PHONY: all build test lint check bench bench-sched bench-placement clean
 
 all: build
 
@@ -26,7 +26,7 @@ lint: build
 # fault-tolerance suite — including its `Slow` workload x policy x
 # schedule matrix — under a fixed QCheck seed so the randomized
 # schedules are reproducible.
-check: build test lint bench-sched
+check: build test lint bench-sched bench-placement
 	QCHECK_SEED=$(QCHECK_SEED) dune exec test/test_main.exe -- test differential -e
 
 bench:
@@ -37,6 +37,13 @@ bench:
 # round-robin counterpart (or the outputs diverge).
 bench-sched: build
 	dune exec bench/sched.exe -- BENCH_sched.json
+
+# Profile-guided placement regression gate: writes
+# BENCH_placement.json and fails if the calibrated planner ever models
+# slower than the static Prefer_accelerators default (or the outputs
+# diverge, or dsp_chain fails to improve strictly).
+bench-placement: build
+	dune exec bench/placement_bench.exe -- BENCH_placement.json
 
 clean:
 	dune clean

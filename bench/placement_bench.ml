@@ -1,0 +1,96 @@
+(* Profile-guided placement vs the static default.
+
+   For every workload this compiles the program once, runs it under
+   the static Prefer_accelerators policy and again under the Adaptive
+   policy driven by the calibrated placement cost model
+   (Placement.Planner.cost_fn), checks the outputs are bitwise
+   identical, and records both modeled costs in BENCH_placement.json
+   (path overridable as argv 1).
+
+   Exits nonzero if any planned run models slower than its static
+   counterpart (beyond a 2% tolerance for calibration noise), or if
+   dsp_chain — the workload whose accelerator-first default is known
+   to be dominated by the PCIe boundary — fails to improve strictly.
+   `make check` uses this as the placement regression gate. *)
+
+module Compiler = Liquid_metal.Compiler
+module Exec = Runtime.Exec
+module Substitute = Runtime.Substitute
+
+let tolerance = 1.02
+
+let run_once (w : Workloads.t) c ~size ~policy ~cost_model =
+  let engine =
+    match cost_model with
+    | None -> Compiler.engine ~policy c
+    | Some cm -> Compiler.engine ~policy ~cost_model:cm c
+  in
+  let result = Exec.call engine w.Workloads.entry (w.Workloads.args ~size) in
+  (result, Exec.modeled_ns engine, Exec.last_plan engine)
+
+let () =
+  let out_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_placement.json"
+  in
+  let rows = ref [] in
+  let failures = ref 0 in
+  Printf.printf "%-12s %6s  %14s %14s  %8s  %s\n" "workload" "size"
+    "static ns" "planned ns" "speedup" "planned placement";
+  List.iter
+    (fun (w : Workloads.t) ->
+      let size = w.Workloads.default_size in
+      let c = Compiler.compile w.Workloads.source in
+      let static_r, static_ns, _ =
+        run_once w c ~size ~policy:Substitute.Prefer_accelerators
+          ~cost_model:None
+      in
+      (* A private, unsaved store: the bench always calibrates from
+         scratch so its numbers cannot depend on a stale lm.profiles
+         left in the working directory. *)
+      let store = Placement.Profile.load "BENCH_placement.profiles" in
+      let ctx = Placement.Calibrate.create ~profile_store:store c in
+      let planned_r, planned_ns, plan =
+        run_once w c ~size ~policy:Substitute.Adaptive
+          ~cost_model:(Some (Placement.Planner.cost_fn ctx))
+      in
+      if Stdlib.compare static_r planned_r <> 0 then begin
+        Printf.eprintf "FAIL %s: planned output diverged from static\n"
+          w.Workloads.name;
+        incr failures
+      end;
+      if planned_ns > static_ns *. tolerance then begin
+        Printf.eprintf
+          "FAIL %s: planned placement modeled %.0fns > static %.0fns\n"
+          w.Workloads.name planned_ns static_ns;
+        incr failures
+      end;
+      if w.Workloads.name = "dsp_chain" && planned_ns >= static_ns then begin
+        Printf.eprintf
+          "FAIL dsp_chain: planned %.0fns must beat the accelerator-first \
+           default %.0fns\n"
+          planned_ns static_ns;
+        incr failures
+      end;
+      let speedup =
+        if planned_ns > 0.0 then static_ns /. planned_ns else 1.0
+      in
+      let plan_text = Option.value plan ~default:"(no task graphs)" in
+      Printf.printf "%-12s %6d  %14.0f %14.0f  %7.2fx  %s\n" w.Workloads.name
+        size static_ns planned_ns speedup plan_text;
+      rows :=
+        Printf.sprintf
+          "{\"workload\":%S,\"size\":%d,\"static_modeled_ns\":%.1f,\"planned_modeled_ns\":%.1f,\"speedup\":%.3f,\"plan\":%S,\"calibrated\":%d}"
+          w.Workloads.name size static_ns planned_ns speedup plan_text
+          (Placement.Calibrate.calibrated ctx)
+        :: !rows)
+    Workloads.all;
+  let oc = open_out out_path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !rows));
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_path;
+  if !failures > 0 then begin
+    Printf.eprintf "%d placement regression(s)\n" !failures;
+    exit 1
+  end

@@ -6,6 +6,7 @@
      lmc workloads [NAME]             list the benchmark suite / run one
      lmc dump-ir FILE [FUNCTION]      print the intermediate representation
      lmc analyze FILE [--json]        static analysis: purity, ranges, graph lint
+     lmc plan TARGET [--n N]          profile-guided placement planning
 
    Argument syntax for `run`:
      42            int
@@ -162,6 +163,17 @@ let retries_arg =
     & info [ "max-retries" ] ~docv:"N"
         ~doc:"device-launch retries before re-substitution (default 2)")
 
+let replan_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "replan" ] ~docv:"FACTOR"
+        ~doc:
+          "arm online re-planning: a device launch whose measured modeled \
+           service time exceeds the cost model's prediction by more than \
+           $(docv) demotes the device and re-substitutes the segment \
+           mid-run (see docs/PLACEMENT.md)")
+
 let setup_faults = function
   | None -> ()
   | Some spec -> (
@@ -290,11 +302,11 @@ let run_cmd =
     Arg.(value & flag & info [ "metrics" ] ~doc:"print execution metrics")
   in
   let action file entry args policy schedule fifo_capacity verbose faults
-      max_retries trace profile =
+      max_retries replan_factor trace profile =
     handle_compile_errors (fun () ->
         setup_tracing ~trace ~profile;
         let session =
-          Lm.load ~policy ~schedule ?fifo_capacity ?max_retries
+          Lm.load ~policy ~schedule ?fifo_capacity ?max_retries ?replan_factor
             (read_file file)
         in
         setup_faults faults;
@@ -318,6 +330,8 @@ let run_cmd =
           Printf.printf
             "faults: %d fault(s), %d retry(s), %d resubstitution(s)\n"
             m.device_faults m.retries m.resubstitutions;
+        if replan_factor <> None then
+          Printf.printf "replans: %d online re-plan(s)\n" m.replans;
         if schedule = Runtime.Scheduler.Steady_state then
           Printf.printf
             "sched: %d run(s) (%d steady, %d fallback(s)), %d step(s), %d \
@@ -331,8 +345,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"compile and co-execute an entry point")
     Term.(
       const action $ file_arg $ entry $ args $ policy $ schedule_arg
-      $ fifo_capacity_arg $ verbose $ faults_arg $ retries_arg $ trace_arg
-      $ profile_arg)
+      $ fifo_capacity_arg $ verbose $ faults_arg $ retries_arg $ replan_arg
+      $ trace_arg $ profile_arg)
 
 (* --- disasm ----------------------------------------------------------- *)
 
@@ -377,8 +391,8 @@ let workloads_cmd =
          & info [ "policy" ] ~docv:"POLICY"
              ~doc:"substitution policy (as for run)")
   in
-  let action name size policy schedule fifo_capacity faults max_retries trace
-      profile =
+  let action name size policy schedule fifo_capacity faults max_retries
+      replan_factor trace profile =
     match (name : string option) with
     | None ->
       List.iter
@@ -396,7 +410,8 @@ let workloads_cmd =
           setup_tracing ~trace ~profile;
           let size = Option.value size ~default:w.default_size in
           let session =
-            Lm.load ~policy ~schedule ?fifo_capacity ?max_retries w.source
+            Lm.load ~policy ~schedule ?fifo_capacity ?max_retries
+              ?replan_factor w.source
           in
           setup_faults faults;
           let t0 = Unix.gettimeofday () in
@@ -421,6 +436,8 @@ let workloads_cmd =
             Printf.printf
               "faults: %d fault(s), %d retry(s), %d resubstitution(s)\n"
               m.device_faults m.retries m.resubstitutions;
+          if replan_factor <> None then
+            Printf.printf "replans: %d online re-plan(s)\n" m.replans;
           if schedule = Runtime.Scheduler.Steady_state then
             Printf.printf
               "sched: %d run(s) (%d steady, %d fallback(s)), %d step(s), %d \
@@ -434,8 +451,58 @@ let workloads_cmd =
     (Cmd.info "workloads" ~doc:"list or run the benchmark workloads")
     Term.(
       const action $ workload_name $ size $ policy $ schedule_arg
-      $ fifo_capacity_arg $ faults_arg $ retries_arg $ trace_arg
+      $ fifo_capacity_arg $ faults_arg $ retries_arg $ replan_arg $ trace_arg
       $ profile_arg)
+
+(* --- plan -------------------------------------------------------------- *)
+
+let plan_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET"
+           ~doc:"workload name (see $(b,lmc workloads)) or Lime source file")
+  in
+  let n =
+    Arg.(value & opt (some positive_int_conv) None & info [ "n" ] ~docv:"N"
+           ~doc:
+             "stream length to plan for (default: the workload's size, or \
+              256 for files)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"print the plan report as a JSON object")
+  in
+  let store_path =
+    Arg.(value & opt string "lm.profiles"
+         & info [ "profile-store" ] ~docv:"FILE"
+             ~doc:
+               "persistent cost-profile store; content-hashed entries let a \
+                warm run skip recalibration")
+  in
+  let action target n json store_path =
+    handle_compile_errors (fun () ->
+        let source, default_n =
+          match Workloads.find target with
+          | w -> (w.Workloads.source, w.Workloads.default_size)
+          | exception Not_found ->
+            if Sys.file_exists target then (read_file target, 256)
+            else begin
+              prerr_endline ("unknown workload or file: " ^ target);
+              exit 1
+            end
+        in
+        let compiled = Liquid_metal.Compiler.compile ~file:target source in
+        let n = Option.value n ~default:default_n in
+        let report = Placement.Planner.run ~profile_path:store_path ~n compiled in
+        if json then print_endline (Placement.Planner.render_json report)
+        else print_string (Placement.Planner.render report))
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "profile-guided placement planning: calibrate device cost models, \
+          predict per-candidate makespans and report the argmin placement \
+          with a rationale (see docs/PLACEMENT.md)")
+    Term.(const action $ target $ n $ json $ store_path)
 
 (* --- dump-ir ----------------------------------------------------------- *)
 
@@ -509,5 +576,5 @@ let () =
        (Cmd.group (Cmd.info "lmc" ~version:"1.0.0" ~doc)
           [
             compile_cmd; run_cmd; disasm_cmd; dump_ir_cmd; workloads_cmd;
-            analyze_cmd;
+            analyze_cmd; plan_cmd;
           ]))

@@ -149,9 +149,15 @@ let gpu_backend ~effects (prog : Ir.program) (store : Runtime.Store.t) =
         (relocatable_runs ~suitable:gpu_suitable filters))
     prog.Ir.templates
 
-let fpga_backend (prog : Ir.program) (store : Runtime.Store.t) =
+let fpga_backend ~effects (prog : Ir.program) (store : Runtime.Store.t) =
+  (* One analysis memo for the whole backend: every subchain of a run
+     shares the same filters, so without it each callee is
+     structurally re-walked O(n^2) times. The effect summaries
+     (shared with the GPU backend) reject impure functions before any
+     walk. *)
+  let cache = Rtl.Synth.make_cache () in
   let fpga_suitable (f : Ir.filter_info) =
-    match Rtl.Synth.check_filter prog f with
+    match Rtl.Synth.check_filter ~effects ~cache prog f with
     | Rtl.Synth.Suitable -> Ok ()
     | Rtl.Synth.Excluded reason -> Error reason
   in
@@ -177,7 +183,7 @@ let fpga_backend (prog : Ir.program) (store : Runtime.Store.t) =
             (fun chain ->
               let uid = Runtime.Artifact.chain_uid chain in
               let pipeline =
-                Rtl.Synth.pipeline_of_chain prog ~name:uid
+                Rtl.Synth.pipeline_of_chain ~effects ~cache prog ~name:uid
                   (List.map (fun f -> f, None) chain)
               in
               Runtime.Store.add store
@@ -237,14 +243,15 @@ let compile ?(file = "<lime>") source : compiled =
       native_backend prog store);
   timed_backend phases store "gpu-backend" (fun () ->
       gpu_backend ~effects:report.Analysis.Report.effects prog store);
-  timed_backend phases store "fpga-backend" (fun () -> fpga_backend prog store);
+  timed_backend phases store "fpga-backend" (fun () ->
+      fpga_backend ~effects:report.Analysis.Report.effects prog store);
   { unit_; store; ir = prog; report; phase_seconds = List.rev !phases }
 
 let manifest (c : compiled) = Runtime.Store.manifest c.store
 
 let engine ?policy ?gpu_device ?fifo_capacity ?schedule ?boundary
     ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns
-    (c : compiled) =
+    ?cost_model ?replan_factor (c : compiled) =
   Runtime.Exec.create ?policy ?gpu_device ?fifo_capacity ?schedule ?boundary
-    ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns c.unit_
-    c.store
+    ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns
+    ?cost_model ?replan_factor c.unit_ c.store

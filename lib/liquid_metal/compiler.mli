@@ -45,8 +45,11 @@ val engine :
   ?chunk_elements:int ->
   ?max_retries:int ->
   ?retry_backoff_ns:float ->
+  ?cost_model:Runtime.Exec.cost_model ->
+  ?replan_factor:float ->
   compiled ->
   Runtime.Exec.t
 (** A co-execution engine over the compiled artifacts.
-    [max_retries]/[retry_backoff_ns] configure the failure protocol
-    (see {!Runtime.Exec.create}). *)
+    [max_retries]/[retry_backoff_ns] configure the failure protocol,
+    [cost_model]/[replan_factor] the placement cost model and online
+    re-planning (see {!Runtime.Exec.create}). *)

@@ -4,12 +4,13 @@ module V = Wire.Value
 type session = { compiled_ : Compiler.compiled; engine_ : Runtime.Exec.t }
 
 let load ?policy ?gpu_device ?fifo_capacity ?schedule ?model_divergence
-    ?chunk_elements ?max_retries ?retry_backoff_ns source =
+    ?chunk_elements ?max_retries ?retry_backoff_ns ?cost_model ?replan_factor
+    source =
   let compiled_ = Compiler.compile source in
   let engine_ =
     Compiler.engine ?policy ?gpu_device ?fifo_capacity ?schedule
       ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns
-      compiled_
+      ?cost_model ?replan_factor compiled_
   in
   { compiled_; engine_ }
 

@@ -21,12 +21,15 @@ val load :
   ?chunk_elements:int ->
   ?max_retries:int ->
   ?retry_backoff_ns:float ->
+  ?cost_model:Runtime.Exec.cost_model ->
+  ?replan_factor:float ->
   string ->
   session
 (** Compile a Lime compilation unit (all backends) and attach a
     co-execution engine. Default policy is the paper's
     [Prefer_accelerators]; [max_retries]/[retry_backoff_ns] configure
-    the failure protocol (see {!Runtime.Exec.create}). *)
+    the failure protocol, [cost_model]/[replan_factor] the placement
+    cost model and online re-planning (see {!Runtime.Exec.create}). *)
 
 val run : session -> string -> I.v list -> I.v
 (** [run session "Class.method" args]. *)

@@ -1,0 +1,41 @@
+(** Device cost calibration (see [docs/PLACEMENT.md]).
+
+    Produces one {!Profile.entry} per (chain, device) pair, consulting
+    the persistent store first. Receiverless chains (all-static
+    filters over a scalar element type) are *measured*: run through
+    the real execution path — VM dispatch for bytecode,
+    {!Runtime.Exec.calibrate_batch} (full boundary marshaling + device
+    model) for artifacts — at two stream sizes, linear-fitted into
+    per-element and per-launch costs. Stateful chains fall back to an
+    *analytic* profile from bytecode instruction counts and the device
+    constants. All costs are deterministic modeled nanoseconds, so the
+    on-disk store is valid across runs and machines. *)
+
+module Ir = Lime_ir.Ir
+
+type ctx
+
+val create : ?profile_store:Profile.store -> Liquid_metal.Compiler.compiled -> ctx
+(** A calibration context over one compiled program: a scratch engine
+    (default device models, private metrics) plus the profile store
+    (default: [lm.profiles] in the working directory). *)
+
+val profile : ctx -> Runtime.Artifact.t option -> Ir.filter_info list -> Profile.entry
+(** The cost profile for running [chain] on [artifact]'s device
+    ([None] = interpreted bytecode): served from the store when the
+    content hash matches, calibrated and recorded otherwise. *)
+
+val store : ctx -> Profile.store
+val compiled : ctx -> Liquid_metal.Compiler.compiled
+
+val hits : ctx -> int
+(** Lookups served from the store by this context. *)
+
+val calibrated : ctx -> int
+(** Profiles calibrated (measured or analytic) by this context. *)
+
+val calibration_sizes : int * int
+(** The two stream sizes of the measured linear fit. *)
+
+val fn_key : Ir.filter_info -> string
+(** The function key a filter dispatches to (shared helper). *)

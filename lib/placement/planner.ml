@@ -1,0 +1,340 @@
+module Ir = Lime_ir.Ir
+module Artifact = Runtime.Artifact
+module Substitute = Runtime.Substitute
+module Exec = Runtime.Exec
+
+(* The profile-guided placement planner.
+
+   For every task graph in a compiled program it enumerates placement
+   candidates — the static policies plus the calibrated argmin that
+   [Substitute.plan_adaptive] computes over the cost profiles — and
+   predicts each candidate's makespan by combining the per-segment
+   profiles with the graph's SDF repetition vector ([Analysis.Rates]):
+   the same rate graph the steady-state scheduler solves, weighted by
+   firing costs. The planner's choice is the calibrated candidate; the
+   report shows where every alternative lands and why. *)
+
+type seg_cost = {
+  sg_desc : string;  (** e.g. ["gpu:F1+F2"] or ["bytecode:F1"] *)
+  sg_device : string;
+  sg_source : Profile.source;
+  sg_firing_ns : float;  (** cost of one firing of the actor *)
+  sg_burst : int;  (** elements moved per firing *)
+  sg_total_ns : float;  (** predicted cost over the whole stream *)
+}
+
+type candidate = {
+  cd_name : string;
+  cd_plan : Substitute.segment list;
+  cd_plan_text : string;
+  cd_makespan_ns : float;
+  cd_segments : seg_cost list;
+}
+
+type graph_plan = {
+  gp_uid : string;
+  gp_filters : int;
+  gp_planned : candidate;  (** the calibrated argmin — the planner's choice *)
+  gp_default : candidate;  (** the static [Prefer_accelerators] baseline *)
+  gp_candidates : candidate list;  (** all, sorted by predicted makespan *)
+  gp_rationale : string;
+}
+
+type report = {
+  rp_n : int;
+  rp_graphs : graph_plan list;
+  rp_store_path : string;
+  rp_store_size : int;
+  rp_hits : int;
+  rp_calibrated : int;
+}
+
+(* The cost model handed to the engine ([Exec.create ?cost_model] or
+   [Exec.set_cost_model]): predictions straight from the calibrated
+   profiles, so the Adaptive policy and the online re-planner agree
+   with the plan the report printed. *)
+let cost_fn (ctx : Calibrate.ctx) : Exec.cost_model =
+ fun ~n artifact chain -> Profile.predict (Calibrate.profile ctx artifact chain) ~n
+
+(* --- makespan prediction ----------------------------------------------- *)
+
+(* Mirror of the rate graph [Runtime.Exec] runs: source and sink move
+   one element per firing, bytecode filters are 1/1 actors, a device
+   segment pops and pushes its whole batch per firing. Solving the
+   balance equations gives the repetition vector; the makespan is the
+   bottleneck actor's total work plus one pipeline fill (each other
+   actor's single-firing latency). Unsolvable graphs (cannot happen
+   for these chain shapes, but belt and braces) fall back to the
+   sequential sum. *)
+let makespan_of ~n (stages : (float * int) list) : float =
+  let module R = Analysis.Rates in
+  let stage = Array.of_list stages in
+  let name i = "s" ^ string_of_int i in
+  let sequential () =
+    Array.fold_left
+      (fun acc (firing, burst) ->
+        acc +. (firing *. Float.of_int ((n + burst - 1) / max burst 1)))
+      0.0 stage
+  in
+  if n <= 0 then 0.0
+  else
+    let edges =
+      List.init
+        (Array.length stage - 1)
+        (fun i ->
+          {
+            R.e_src = name i;
+            e_dst = name (i + 1);
+            e_push = Analysis.Interval.of_int (snd stage.(i));
+            e_pop = Analysis.Interval.of_int (snd stage.(i + 1));
+            e_init = 0;
+          })
+    in
+    let g =
+      {
+        R.g_actors = List.init (Array.length stage) name;
+        g_edges = edges;
+      }
+    in
+    match R.solve g with
+    | Error _ -> sequential ()
+    | Ok sched ->
+      let reps = Array.of_list (List.map snd sched.R.s_reps) in
+      let per_iter = reps.(0) * max (snd stage.(0)) 1 in
+      let iterations = (n + per_iter - 1) / per_iter in
+      let totals =
+        Array.mapi
+          (fun i (firing, _) -> Float.of_int (iterations * reps.(i)) *. firing)
+          stage
+      in
+      let bottleneck = ref 0 in
+      Array.iteri
+        (fun i t -> if t > totals.(!bottleneck) then bottleneck := i)
+        totals;
+      let fill =
+        Array.fold_left (fun acc (firing, _) -> acc +. firing) 0.0 stage
+      in
+      totals.(!bottleneck) +. fill -. fst stage.(!bottleneck)
+
+let seg_costs ctx ~n (segs : Substitute.segment list) : seg_cost list =
+  List.concat_map
+    (function
+      | Substitute.S_bytecode fs ->
+        List.map
+          (fun (f : Ir.filter_info) ->
+            let e = Calibrate.profile ctx None [ f ] in
+            {
+              sg_desc = "bytecode:" ^ f.Ir.uid;
+              sg_device = "vm";
+              sg_source = e.Profile.pr_source;
+              sg_firing_ns = e.Profile.pr_per_elem_ns;
+              sg_burst = 1;
+              sg_total_ns = Float.of_int n *. e.Profile.pr_per_elem_ns;
+            })
+          fs
+      | Substitute.S_device (a, fs) ->
+        let e = Calibrate.profile ctx (Some a) fs in
+        let total = Profile.predict e ~n in
+        [
+          {
+            sg_desc =
+              Artifact.device_name (Artifact.device a) ^ ":" ^ Artifact.uid a;
+            sg_device = Artifact.device_name (Artifact.device a);
+            sg_source = e.Profile.pr_source;
+            sg_firing_ns = total;
+            sg_burst = n;
+            sg_total_ns = total;
+          };
+        ])
+    segs
+
+let candidate_of ctx ~n name (segs : Substitute.segment list) : candidate =
+  let costs = seg_costs ctx ~n segs in
+  let stages =
+    ((0.0, 1) :: List.map (fun s -> (s.sg_firing_ns, s.sg_burst)) costs)
+    @ [ (0.0, 1) ]
+  in
+  {
+    cd_name = name;
+    cd_plan = segs;
+    cd_plan_text = Substitute.describe_plan segs;
+    cd_makespan_ns = makespan_of ~n stages;
+    cd_segments = costs;
+  }
+
+(* --- candidate enumeration --------------------------------------------- *)
+
+let static_policies =
+  [
+    ("accelerators", Substitute.Prefer_accelerators);
+    ("gpu-only", Substitute.Prefer_devices [ Artifact.Gpu ]);
+    ("fpga-only", Substitute.Prefer_devices [ Artifact.Fpga ]);
+    ("native-only", Substitute.Prefer_devices [ Artifact.Native ]);
+    ("bytecode", Substitute.Bytecode_only);
+  ]
+
+let us ns = ns /. 1000.0
+
+let rationale ~n (planned : candidate) (default : candidate) =
+  if planned.cd_plan_text = default.cd_plan_text then
+    Printf.sprintf
+      "the static default (%s) is already cost-optimal at n=%d: predicted %.1f us"
+      default.cd_plan_text n (us planned.cd_makespan_ns)
+  else
+    let bottleneck =
+      List.fold_left
+        (fun acc s -> if s.sg_total_ns > acc.sg_total_ns then s else acc)
+        (List.hd default.cd_segments)
+        default.cd_segments
+    in
+    Printf.sprintf
+      "chose %s over the default %s: predicted %.1f us vs %.1f us (%.2fx) at \
+       n=%d; the default is dominated by %s (%.1f us)"
+      planned.cd_plan_text default.cd_plan_text (us planned.cd_makespan_ns)
+      (us default.cd_makespan_ns)
+      (default.cd_makespan_ns /. Float.max planned.cd_makespan_ns 1e-9)
+      n bottleneck.sg_desc (us bottleneck.sg_total_ns)
+
+let plan_graph ctx ~n store (gt : Ir.graph_template) : graph_plan option =
+  let filters =
+    List.filter_map
+      (function Ir.N_filter f -> Some f | Ir.N_source _ | Ir.N_sink _ -> None)
+      gt.Ir.gt_nodes
+  in
+  if filters = [] then None
+  else begin
+    let calibrated_segs =
+      Substitute.plan_adaptive
+        ~cost:(fun artifact chain ->
+          Profile.predict (Calibrate.profile ctx artifact chain) ~n)
+        store filters
+    in
+    let planned = candidate_of ctx ~n "calibrated" calibrated_segs in
+    let statics =
+      List.map
+        (fun (name, policy) ->
+          candidate_of ctx ~n name (Substitute.plan policy store filters))
+        static_policies
+    in
+    let default = List.hd statics in
+    let candidates =
+      List.stable_sort
+        (fun a b -> compare a.cd_makespan_ns b.cd_makespan_ns)
+        (planned :: statics)
+    in
+    Some
+      {
+        gp_uid = gt.Ir.gt_uid;
+        gp_filters = List.length filters;
+        gp_planned = planned;
+        gp_default = default;
+        gp_candidates = candidates;
+        gp_rationale = rationale ~n planned default;
+      }
+  end
+
+let plan (ctx : Calibrate.ctx) ~n : report =
+  let compiled = Calibrate.compiled ctx in
+  let store = compiled.Liquid_metal.Compiler.store in
+  let graphs =
+    Ir.String_map.fold
+      (fun _ gt acc ->
+        match plan_graph ctx ~n store gt with
+        | Some gp -> gp :: acc
+        | None -> acc)
+      compiled.Liquid_metal.Compiler.ir.Ir.templates []
+    |> List.rev
+  in
+  {
+    rp_n = n;
+    rp_graphs = graphs;
+    rp_store_path = Profile.path (Calibrate.store ctx);
+    rp_store_size = Profile.size (Calibrate.store ctx);
+    rp_hits = Calibrate.hits ctx;
+    rp_calibrated = Calibrate.calibrated ctx;
+  }
+
+let run ?(profile_path = "lm.profiles") ~n compiled : report =
+  let store = Profile.load profile_path in
+  let ctx = Calibrate.create ~profile_store:store compiled in
+  let report = plan ctx ~n in
+  Profile.save store;
+  report
+
+(* --- rendering --------------------------------------------------------- *)
+
+let render (r : report) : string =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "placement plan at n=%d\n" r.rp_n;
+  if r.rp_graphs = [] then
+    p "\n(no task graphs to place: map/reduce kernel sites are dispatched by \
+       suitability alone)\n";
+  List.iter
+    (fun gp ->
+      p "\ngraph %s (%d filter(s)):\n" gp.gp_uid gp.gp_filters;
+      let name_w =
+        List.fold_left
+          (fun acc c -> max acc (String.length c.cd_name))
+          0 gp.gp_candidates
+      in
+      let plan_w =
+        List.fold_left
+          (fun acc c -> max acc (String.length c.cd_plan_text))
+          0 gp.gp_candidates
+      in
+      List.iter
+        (fun c ->
+          p "  %-*s  %-*s  %8.1f us%s\n" name_w c.cd_name plan_w c.cd_plan_text
+            (us c.cd_makespan_ns)
+            (if c.cd_name = "calibrated" then "  <- planned" else ""))
+        gp.gp_candidates;
+      List.iter
+        (fun s ->
+          p "  segment %s: %.1f us [%s]\n" s.sg_desc (us s.sg_total_ns)
+            (Profile.source_name s.sg_source))
+        gp.gp_planned.cd_segments;
+      p "  rationale: %s\n" gp.gp_rationale)
+    r.rp_graphs;
+  p "\nprofile store %s: %d entry(s), %d hit(s), %d calibrated\n"
+    r.rp_store_path r.rp_store_size r.rp_hits r.rp_calibrated;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json (r : report) : string =
+  let seg s =
+    Printf.sprintf
+      "{\"desc\":\"%s\",\"device\":\"%s\",\"source\":\"%s\",\"total_ns\":%.1f}"
+      (json_escape s.sg_desc) s.sg_device
+      (Profile.source_name s.sg_source)
+      s.sg_total_ns
+  in
+  let cand c =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"plan\":\"%s\",\"makespan_ns\":%.1f,\"segments\":[%s]}"
+      c.cd_name (json_escape c.cd_plan_text) c.cd_makespan_ns
+      (String.concat "," (List.map seg c.cd_segments))
+  in
+  let graph gp =
+    Printf.sprintf
+      "{\"uid\":\"%s\",\"filters\":%d,\"planned\":%s,\"default\":%s,\"candidates\":[%s],\"rationale\":\"%s\"}"
+      (json_escape gp.gp_uid) gp.gp_filters (cand gp.gp_planned)
+      (cand gp.gp_default)
+      (String.concat "," (List.map cand gp.gp_candidates))
+      (json_escape gp.gp_rationale)
+  in
+  Printf.sprintf
+    "{\"n\":%d,\"store\":{\"path\":\"%s\",\"entries\":%d,\"hits\":%d,\"calibrated\":%d},\"graphs\":[%s]}"
+    r.rp_n (json_escape r.rp_store_path) r.rp_store_size r.rp_hits
+    r.rp_calibrated
+    (String.concat "," (List.map graph r.rp_graphs))

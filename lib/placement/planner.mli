@@ -1,0 +1,71 @@
+(** The profile-guided placement planner (see [docs/PLACEMENT.md]).
+
+    For every task graph in a compiled program, enumerate placement
+    candidates — the static substitution policies plus the calibrated
+    argmin [Runtime.Substitute.plan_adaptive] computes over the cost
+    profiles — and predict each candidate's makespan by weighting the
+    graph's SDF repetition vector ([Analysis.Rates]) with the
+    per-segment profiles. The planner's choice is the calibrated
+    candidate; the report records every alternative and a
+    human-readable rationale. *)
+
+module Ir = Lime_ir.Ir
+
+type seg_cost = {
+  sg_desc : string;  (** e.g. ["gpu:F1+F2"] or ["bytecode:F1"] *)
+  sg_device : string;
+  sg_source : Profile.source;
+  sg_firing_ns : float;  (** cost of one firing of the actor *)
+  sg_burst : int;  (** elements moved per firing *)
+  sg_total_ns : float;  (** predicted cost over the whole stream *)
+}
+
+type candidate = {
+  cd_name : string;
+  cd_plan : Runtime.Substitute.segment list;
+  cd_plan_text : string;
+  cd_makespan_ns : float;
+  cd_segments : seg_cost list;
+}
+
+type graph_plan = {
+  gp_uid : string;
+  gp_filters : int;
+  gp_planned : candidate;  (** the calibrated argmin — the planner's choice *)
+  gp_default : candidate;  (** the static [Prefer_accelerators] baseline *)
+  gp_candidates : candidate list;  (** all, sorted by predicted makespan *)
+  gp_rationale : string;
+}
+
+type report = {
+  rp_n : int;
+  rp_graphs : graph_plan list;
+  rp_store_path : string;
+  rp_store_size : int;
+  rp_hits : int;
+  rp_calibrated : int;
+}
+
+val cost_fn : Calibrate.ctx -> Runtime.Exec.cost_model
+(** The calibrated cost model for [Exec.create ?cost_model] /
+    [Exec.set_cost_model]: the engine's Adaptive policy and online
+    re-planner then agree with the plan the report printed. *)
+
+val makespan_of : n:int -> (float * int) list -> float
+(** [makespan_of ~n stages] predicts a pipeline's makespan from
+    per-actor (firing cost, burst) pairs, source through sink: solve
+    the SDF balance equations, charge the bottleneck actor's total
+    work plus one pipeline fill. Falls back to the sequential sum if
+    the rate algebra cannot solve the graph. *)
+
+val plan : Calibrate.ctx -> n:int -> report
+(** Plan every task graph of the context's program for stream length
+    [n]. Does not persist the profile store — callers owning the
+    store decide when to {!Profile.save}. *)
+
+val run : ?profile_path:string -> n:int -> Liquid_metal.Compiler.compiled -> report
+(** Load the profile store (default [lm.profiles]), plan, and persist
+    the store back — the [lmc plan] entry point. *)
+
+val render : report -> string
+val render_json : report -> string

@@ -1,0 +1,120 @@
+(* The persistent cost-profile store.
+
+   One entry per (device, filter chain, generated code, device
+   parameters) — identified by a content hash, so a profile survives
+   exactly as long as the code and the device model it measured.
+   Recompiling an unchanged program hashes to the same keys and every
+   lookup hits; touching a filter's body changes the generated
+   artifact text, changes the hash, and forces recalibration of just
+   the chains that contain it.
+
+   The store is a flat text file (one line per entry) so cram tests
+   and humans can read it; floats are written in OCaml's hex-float
+   notation for exact round-tripping — a warm run must predict
+   bit-identical makespans to the cold run that calibrated it. *)
+
+type source = Measured | Analytic
+
+let source_name = function Measured -> "measured" | Analytic -> "analytic"
+
+let source_of_name = function
+  | "measured" -> Some Measured
+  | "analytic" -> Some Analytic
+  | _ -> None
+
+type entry = {
+  pr_key : string;  (** content hash (hex) *)
+  pr_device : string;  (** "vm", "gpu", "fpga" or "native" *)
+  pr_per_elem_ns : float;  (** marginal modeled cost per stream element *)
+  pr_overhead_ns : float;
+      (** fixed per-launch cost: kernel launch plus both boundary
+          crossings' latency *)
+  pr_bytes_per_elem : float;  (** marshaled width, informational *)
+  pr_source : source;
+  pr_label : string;  (** chain uid, for humans reading the file *)
+}
+
+let predict (e : entry) ~n =
+  e.pr_overhead_ns +. (e.pr_per_elem_ns *. float_of_int n)
+
+(* Content-hashed key. [content] is the generated artifact text (or
+   the bytecode shape for the VM); [params] the device-model constants
+   the measurement depended on. *)
+let key ~device ~chain ~content ~params =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" [ device; chain; content; params ]))
+
+type store = {
+  st_path : string;
+  st_entries : (string, entry) Hashtbl.t;
+  mutable st_dirty : bool;
+}
+
+let magic = "# liquid-metal placement profiles v1"
+
+let parse_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ key; device; per_elem; overhead; bytes; src; label ] -> (
+    match
+      ( float_of_string_opt per_elem,
+        float_of_string_opt overhead,
+        float_of_string_opt bytes,
+        source_of_name src )
+    with
+    | Some pe, Some oh, Some b, Some s ->
+      Some
+        {
+          pr_key = key;
+          pr_device = device;
+          pr_per_elem_ns = pe;
+          pr_overhead_ns = oh;
+          pr_bytes_per_elem = b;
+          pr_source = s;
+          pr_label = label;
+        }
+    | _ -> None)
+  | _ -> None
+
+let load path =
+  let entries = Hashtbl.create 32 in
+  (match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if line <> "" && line.[0] <> '#' then
+              match parse_line line with
+              | Some e -> Hashtbl.replace entries e.pr_key e
+              | None -> ()
+          done
+        with End_of_file -> ()));
+  { st_path = path; st_entries = entries; st_dirty = false }
+
+let save t =
+  if t.st_dirty then begin
+    let oc = open_out t.st_path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (magic ^ "\n");
+        Hashtbl.fold (fun _ e acc -> e :: acc) t.st_entries []
+        |> List.sort (fun a b -> compare (a.pr_label, a.pr_key) (b.pr_label, b.pr_key))
+        |> List.iter (fun e ->
+               Printf.fprintf oc "%s %s %h %h %h %s %s\n" e.pr_key e.pr_device
+                 e.pr_per_elem_ns e.pr_overhead_ns e.pr_bytes_per_elem
+                 (source_name e.pr_source) e.pr_label));
+    t.st_dirty <- false
+  end
+
+let find t key = Hashtbl.find_opt t.st_entries key
+
+let add t e =
+  Hashtbl.replace t.st_entries e.pr_key e;
+  t.st_dirty <- true
+
+let size t = Hashtbl.length t.st_entries
+let path t = t.st_path

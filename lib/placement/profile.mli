@@ -1,0 +1,47 @@
+(** The persistent cost-profile store (see [docs/PLACEMENT.md]).
+
+    One entry per (device, filter chain, generated code, device
+    parameters), identified by a content hash: recompiling an
+    unchanged program hits every profile; changing a filter's body
+    invalidates exactly the chains containing it. The on-disk form is
+    a flat text file with hex floats, so warm runs predict
+    bit-identical makespans to the cold run that calibrated them. *)
+
+type source =
+  | Measured  (** microbenchmarked on the device model *)
+  | Analytic  (** derived from instruction counts and device constants *)
+
+val source_name : source -> string
+
+type entry = {
+  pr_key : string;  (** content hash (hex) *)
+  pr_device : string;  (** "vm", "gpu", "fpga" or "native" *)
+  pr_per_elem_ns : float;  (** marginal modeled cost per stream element *)
+  pr_overhead_ns : float;
+      (** fixed per-launch cost: kernel launch plus boundary latency *)
+  pr_bytes_per_elem : float;  (** marshaled width, informational *)
+  pr_source : source;
+  pr_label : string;  (** chain uid, for humans reading the file *)
+}
+
+val predict : entry -> n:int -> float
+(** [overhead + per_elem * n]: the modeled cost of one launch moving
+    [n] elements. *)
+
+val key : device:string -> chain:string -> content:string -> params:string -> string
+(** The content hash: device name, chain uid, generated artifact text
+    (or bytecode shape) and the device-model constants the
+    measurement depends on. *)
+
+type store
+
+val load : string -> store
+(** Load a profile store from disk; a missing file is an empty store. *)
+
+val save : store -> unit
+(** Persist back to the load path (no-op when nothing changed). *)
+
+val find : store -> string -> entry option
+val add : store -> entry -> unit
+val size : store -> int
+val path : store -> string

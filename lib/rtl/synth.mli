@@ -13,9 +13,37 @@ module I = Lime_ir.Interp
 
 type verdict = Suitable | Excluded of string
 
-val check_filter : Ir.program -> Ir.filter_info -> verdict
+type cache
+(** Per-program memo of function analyses (verdict and datapath
+    depth). Thread one cache through a whole compile so each callee
+    is structurally walked once instead of once per enclosing
+    subchain; both acceptances and rejections are cached (they are
+    call-graph properties, independent of the walk's stack). *)
 
-val latency_of : Ir.program -> Ir.filter_info -> int
+val make_cache : unit -> cache
+
+val cache_hits : cache -> int
+(** How many function analyses were served from the memo. *)
+
+val check_filter :
+  ?effects:Analysis.Effects.t ->
+  ?cache:cache ->
+  Ir.program ->
+  Ir.filter_info ->
+  verdict
+(** [effects] enables early rejection from the interprocedural effect
+    summaries before any structural walk — the same locality
+    relaxation as the GPU backend (field reads/writes are allowed:
+    fields become registers). A clean summary never skips the walk:
+    loops, array reads, intrinsics and recursion are structural
+    properties, not effects. *)
+
+val latency_of :
+  ?effects:Analysis.Effects.t ->
+  ?cache:cache ->
+  Ir.program ->
+  Ir.filter_info ->
+  int
 (** Compute cycles of the unpipelined stage: the maximum operation
     count along any path, at {!ops_per_cycle} datapath operations per
     clock, minimum 1. *)
@@ -23,6 +51,8 @@ val latency_of : Ir.program -> Ir.filter_info -> int
 val ops_per_cycle : float
 
 val pipeline_of_chain :
+  ?effects:Analysis.Effects.t ->
+  ?cache:cache ->
   Ir.program ->
   name:string ->
   ?fifo_depth:int ->

@@ -9,6 +9,9 @@ exception Engine_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
 
+type cost_model =
+  n:int -> Artifact.t option -> Ir.filter_info list -> float
+
 type t = {
   unit_ : Bytecode.Compile.unit_;
   store_ : Store.t;
@@ -25,13 +28,29 @@ type t = {
       (** device-launch retries after a fault, before re-substitution *)
   retry_backoff_ns : float;  (** base of the exponential backoff *)
   mutable last_plan_ : string option;
+  mutable cost_model_ : cost_model option;
+      (** calibrated per-segment cost predictor (e.g. from
+          [Placement]); when absent, the built-in static
+          [estimate_cost] stands in *)
+  replan_factor : float option;
+      (** online re-planning: when a device segment's measured modeled
+          service time exceeds the prediction by more than this
+          factor, demote the artifact and re-substitute mid-run *)
+  observed_ : (string, float) Hashtbl.t;
+      (** per-artifact observed per-element cost (ns), recorded when a
+          launch underperforms its model; overrides the prediction in
+          subsequent planning *)
+  steady_cache_ : (string, int list option) Hashtbl.t;
+      (** solved steady-state step budgets per (template, plan,
+          stream-shape) key, so repeated [Exec] runs of the same graph
+          skip rebuilding and re-solving the rate graph *)
 }
 
 let create ?(policy = Substitute.Prefer_accelerators)
     ?(gpu_device = Gpu.Device.gtx580) ?(fpga_clock_ns = 4)
     ?(fifo_capacity = 16) ?(schedule = Scheduler.Round_robin) ?boundary
     ?(model_divergence = true) ?chunk_elements ?(max_retries = 2)
-    ?(retry_backoff_ns = 1000.0) unit_ store_ =
+    ?(retry_backoff_ns = 1000.0) ?cost_model ?replan_factor unit_ store_ =
   (* Validate at the boundary: [Actor.Channel.create] would otherwise
      raise [Invalid_argument] from deep inside graph construction. *)
   if fifo_capacity < 1 then
@@ -50,10 +69,16 @@ let create ?(policy = Substitute.Prefer_accelerators)
     max_retries;
     retry_backoff_ns;
     last_plan_ = None;
+    cost_model_ = cost_model;
+    replan_factor;
+    observed_ = Hashtbl.create 16;
+    steady_cache_ = Hashtbl.create 16;
   }
 
 let set_policy t p = t.policy_ <- p
 let policy t = t.policy_
+let set_cost_model t f = t.cost_model_ <- Some f
+let observed_costs t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.observed_ []
 let schedule t = t.schedule
 let metrics t = t.metrics_
 let store t = t.store_
@@ -193,6 +218,7 @@ let bind_operands (template : Ir.graph_template) (ops : I.v list) =
   List.rev nodes
 
 type bound_graph = {
+  bg_uid : string;  (* the graph template's UID: the schedule-cache key *)
   bg_source : V.t;  (* source array *)
   bg_rate : int;
   bg_filters : (Ir.filter_info * I.v option) list;
@@ -211,6 +237,7 @@ let bound_graph_of template ops : bound_graph =
     in
     let fs, dest = split [] rest in
     {
+      bg_uid = template.Ir.gt_uid;
       bg_source = I.prim_exn arr;
       bg_rate = rate;
       bg_filters = fs;
@@ -371,10 +398,42 @@ let estimate_cost t ~n (artifact : Artifact.t option)
     (2.0 *. Boundary.transfer_ns b (int_of_float (nf *. elem_bytes)))
     +. (cycles *. float_of_int t.fpga_clock_ns)
 
-let plan_for t ~n filters_info =
+(* Total modeled time accumulated so far: the interpreter under the
+   CPU model plus every device kernel, native segment and boundary
+   crossing. Deltas around a launch give the measured service time the
+   re-planner compares against its prediction. *)
+let modeled_ns t =
+  Metrics.modeled_cpu_ns t.metrics_ +. Metrics.modeled_accelerator_ns t.metrics_
+
+let observed_key (a : Artifact.t) =
+  Artifact.uid a ^ "@" ^ Artifact.device_name (Artifact.device a)
+
+(* The cost used for planning: the calibrated model when one is
+   installed (falling back to the static estimate), overridden by any
+   observed per-element cost recorded when that artifact underperformed
+   — [max] so a demotion can only make an artifact less attractive. *)
+let effective_cost t ~n (artifact : Artifact.t option)
+    (chain : Ir.filter_info list) : float =
+  let base =
+    match t.cost_model_ with
+    | Some f -> f ~n artifact chain
+    | None -> estimate_cost t ~n artifact chain
+  in
+  match artifact with
+  | None -> base
+  | Some a -> (
+    match Hashtbl.find_opt t.observed_ (observed_key a) with
+    | Some per_elem -> Float.max base (per_elem *. float_of_int n)
+    | None -> base)
+
+let plan_for ?(force_adaptive = false) t ~n filters_info =
   match t.policy_ with
   | Substitute.Adaptive ->
-    Substitute.plan_adaptive ~cost:(estimate_cost t ~n) t.store_ filters_info
+    Substitute.plan_adaptive ~cost:(effective_cost t ~n) t.store_ filters_info
+  | _ when force_adaptive ->
+    (* online re-planning under a manual policy: the observed costs
+       must be honored or the re-plan would pick the same device *)
+    Substitute.plan_adaptive ~cost:(effective_cost t ~n) t.store_ filters_info
   | _ -> Substitute.plan t.policy_ t.store_ filters_info
 
 (* --- the failure protocol ---------------------------------------------- *)
@@ -464,12 +523,15 @@ let rec run_segment_with_recovery t (artifact : Artifact.t)
   in
   attempt 0
 
-(* Re-plan a failed segment's filters against the quarantined store
-   and execute the new plan inline over the collected batch. *)
-and run_resubstituted t (pairs : (Ir.filter_info * I.v option) list)
-    (xs : V.t list) : V.t list =
+(* Re-plan a failed (or demoted) segment's filters against the
+   quarantined store and execute the new plan inline over the
+   collected batch. [force_adaptive] is the online re-planning path:
+   plan by effective cost even under a manual policy, so the observed
+   underperformance actually changes the placement. *)
+and run_resubstituted ?force_adaptive t
+    (pairs : (Ir.filter_info * I.v option) list) (xs : V.t list) : V.t list =
   let filters_info = List.map fst pairs in
-  let plan = plan_for t ~n:(List.length xs) filters_info in
+  let plan = plan_for ?force_adaptive t ~n:(List.length xs) filters_info in
   let remaining = ref pairs in
   let take n =
     let rec go n acc =
@@ -564,10 +626,14 @@ let run_bound_graph t (bg : bound_graph) : unit =
          plan)
     @ [ `Sink ]
   in
-  let steady_budgets =
-    if t.schedule <> Scheduler.Steady_state || n = 0 || Support.Fault.enabled ()
-    then None
-    else begin
+  (* The solved schedule depends only on the template, the chosen
+     plan, the stream shape and the chunk granularity — cache it per
+     session so repeated [Exec] runs of the same graph skip rebuilding
+     and re-solving the rate graph (common once the planner drives
+     repeated solves). Fault-injection runs bypass steady mode (and
+     hence the cache) entirely. *)
+  let solve_steady_budgets () =
+    begin
       let module R = Analysis.Rates in
       let burst_of = function
         | `Source -> bg.bg_rate
@@ -621,6 +687,28 @@ let run_bound_graph t (bg : bound_graph) : unit =
           (iterations * reps.(i) * per_firing) + 4
         in
         Some (List.mapi budget kinds)
+    end
+  in
+  let steady_budgets =
+    if t.schedule <> Scheduler.Steady_state || n = 0 || Support.Fault.enabled ()
+    then None
+    else begin
+      let key =
+        Printf.sprintf "%s|%s|n=%d|rate=%d|chunk=%s" bg.bg_uid
+          (Substitute.describe_plan plan)
+          n bg.bg_rate
+          (match t.chunk_elements with
+          | Some k -> string_of_int k
+          | None -> "all")
+      in
+      match Hashtbl.find_opt t.steady_cache_ key with
+      | Some cached ->
+        Metrics.add_sched_cache_hit t.metrics_;
+        cached
+      | None ->
+        let solved = solve_steady_budgets () in
+        Hashtbl.replace t.steady_cache_ key solved;
+        solved
     end
   in
   let capacity =
@@ -677,8 +765,47 @@ let run_bound_graph t (bg : bound_graph) : unit =
         in
         (* The launch carries the full failure protocol: retries with
            backoff, then quarantine + re-substitution down to
-           bytecode — so a faulty device never wedges the graph. *)
-        let launch xs = run_segment_with_recovery t a pairs xs in
+           bytecode — so a faulty device never wedges the graph.
+
+           With [replan_factor] set it also closes the planning loop:
+           each launch's measured modeled service time is compared
+           against the cost model's prediction, and a launch that
+           underperforms by more than the factor demotes the artifact
+           (its observed per-element cost overrides the model) and
+           routes the segment's remaining chunks through the mid-run
+           re-substitution path. *)
+        let demoted = ref false in
+        let launch xs =
+          if !demoted then run_resubstituted ~force_adaptive:true t pairs xs
+          else begin
+            let before = modeled_ns t in
+            let outputs = run_segment_with_recovery t a pairs xs in
+            (match t.replan_factor with
+            | Some factor when xs <> [] ->
+              let elements = List.length xs in
+              let measured = modeled_ns t -. before in
+              let predicted = effective_cost t ~n:elements (Some a) fs in
+              if predicted > 0.0 && measured > factor *. predicted then begin
+                Hashtbl.replace t.observed_ (observed_key a)
+                  (measured /. float_of_int elements);
+                demoted := true;
+                Metrics.add_replan t.metrics_;
+                if Trace.enabled () then
+                  Trace.instant ~cat:"replan"
+                    ~args:
+                      [
+                        "device",
+                          Trace.Str (Artifact.device_name (Artifact.device a));
+                        "measured_ns", Trace.Float measured;
+                        "predicted_ns", Trace.Float predicted;
+                        "factor", Trace.Float factor;
+                      ]
+                    (Artifact.uid a)
+              end
+            | _ -> ());
+            outputs
+          end
+        in
         actors :=
           Actor.device_segment ?chunk:t.chunk_elements ~name ~launch !cur_ch
             out
@@ -796,3 +923,26 @@ let call t key args =
   let r = Bytecode.Vm.run ~hooks:(hooks t) t.unit_ key args in
   Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
   r.Bytecode.Vm.value
+
+(* --- calibration entry (used by Placement) ----------------------------- *)
+
+let artifact_chain (a : Artifact.t) =
+  match a with
+  | Artifact.Gpu_kernel { ga_kind = Artifact.G_filter_chain fs; _ } -> Some fs
+  | Artifact.Gpu_kernel _ -> None
+  | Artifact.Fpga_module f -> Some f.Artifact.fa_filters
+  | Artifact.Native_binary n -> Some n.Artifact.na_filters
+
+(* One raw device launch over a synthetic batch, full boundary path
+   included, with no receivers — the microbenchmark the placement
+   calibrator wraps in [modeled_ns] deltas. Only meaningful for
+   all-static (receiverless) chains; stateful chains fall back to the
+   calibrator's analytic model. *)
+let calibrate_batch t (artifact : Artifact.t) (xs : V.t list) : V.t list =
+  match artifact_chain artifact with
+  | None ->
+    fail "calibrate_batch: artifact %s is not a filter chain"
+      (Artifact.uid artifact)
+  | Some fs ->
+    let pairs = List.map (fun f -> f, None) fs in
+    batch_of_artifact t artifact pairs xs

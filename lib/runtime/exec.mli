@@ -25,6 +25,14 @@ exception Engine_error of string
 (** Raised on invalid engine configuration (e.g. a non-positive
     [fifo_capacity]). *)
 
+type cost_model = n:int -> Artifact.t option -> Ir.filter_info list -> float
+(** Predicted modeled nanoseconds for one segment launch over [n]
+    elements: [f ~n None chain] the interpreted-bytecode path,
+    [f ~n (Some artifact) chain] a device substitution (compute +
+    launch overhead + both boundary crossings). The placement planner
+    installs a calibrated one ({!Placement.Planner.cost_fn}); without
+    it the engine falls back to its built-in static estimate. *)
+
 val create :
   ?policy:Substitute.policy ->
   ?gpu_device:Gpu.Device.t ->
@@ -36,6 +44,8 @@ val create :
   ?chunk_elements:int ->
   ?max_retries:int ->
   ?retry_backoff_ns:float ->
+  ?cost_model:cost_model ->
+  ?replan_factor:float ->
   Bytecode.Compile.unit_ ->
   Store.t ->
   t
@@ -51,7 +61,19 @@ val create :
     batched order with FIFO capacities sized from the schedule instead
     of the blanket [fifo_capacity]; graphs the algebra cannot solve
     (non-positive or dynamic rates) and fault-injection runs fall back
-    to round-robin. Scheduler outcomes are recorded in {!Metrics}.
+    to round-robin. Solved schedules are cached per (template, plan,
+    stream shape) for the session; hits are counted in
+    {!Metrics.snapshot.sched_cache_hits}. Scheduler outcomes are
+    recorded in {!Metrics}.
+
+    [replan_factor] arms online re-planning: after every device
+    segment launch the measured modeled service time is compared
+    against the cost model's prediction, and a launch that exceeds
+    [factor * predicted] demotes the artifact (its observed
+    per-element cost overrides the model from then on) and routes the
+    segment's remaining chunks through mid-run re-substitution —
+    planned adaptively by effective cost even under a manual policy,
+    so the demotion takes effect. See [docs/PLACEMENT.md].
 
     @raise Engine_error if [fifo_capacity < 1]. *)
 
@@ -60,6 +82,15 @@ val call : t -> string -> I.v list -> I.v
 
 val set_policy : t -> Substitute.policy -> unit
 val policy : t -> Substitute.policy
+
+val set_cost_model : t -> cost_model -> unit
+(** Install (or replace) the calibrated cost model used by the
+    [Adaptive] policy and the re-planner. *)
+
+val observed_costs : t -> (string * float) list
+(** Per-artifact observed per-element costs ("uid@device" -> ns)
+    recorded by the online re-planner; empty until a launch
+    underperforms its model. *)
 
 val schedule : t -> Scheduler.mode
 (** The scheduling mode the engine was created with. *)
@@ -71,6 +102,20 @@ val program : t -> Ir.program
 val last_plan : t -> string option
 (** Human-readable description of the substitution plan chosen for the
     most recently executed task graph. *)
+
+val modeled_ns : t -> float
+(** Total modeled time accumulated so far (interpreter + devices +
+    boundaries) — the quantity whose deltas the calibrator and the
+    re-planner measure. *)
+
+val calibrate_batch : t -> Artifact.t -> Wire.Value.t list -> Wire.Value.t list
+(** One raw device launch over a synthetic batch through the full
+    boundary path, with no receivers — the placement calibrator's
+    microbenchmark primitive. Only valid for filter-chain artifacts
+    whose filters are all static; stateful chains must use the
+    analytic fallback instead.
+
+    @raise Engine_error for map/reduce (non-chain) artifacts. *)
 
 (** {2 Wire-format helpers} (exposed for the benches and tests) *)
 

@@ -24,6 +24,8 @@ type snapshot = {
   device_faults : int;  (** faults observed (injected or real) *)
   retries : int;  (** launch retries after a fault *)
   resubstitutions : int;  (** dynamic re-plans after retry exhaustion *)
+  replans : int;
+      (** online re-plans: a device underperformed its cost model *)
   backoff_ns : float;  (** modeled time spent backing off before retries *)
   sched_runs : int;  (** task-graph scheduler invocations *)
   sched_steady : int;  (** of which ran the steady-state schedule *)
@@ -32,6 +34,8 @@ type snapshot = {
   sched_rounds : int;  (** cumulative scheduling rounds *)
   sched_steps : int;  (** cumulative actor steps *)
   sched_blocked_steps : int;  (** cumulative blocked steps *)
+  sched_cache_hits : int;
+      (** steady-state schedules served from the session cache *)
 }
 
 type t = {
@@ -48,6 +52,7 @@ type t = {
   mutable device_faults : int;
   mutable retries : int;
   mutable resubstitutions : int;
+  mutable replans : int;
   mutable backoff_ns : float;
   mutable sched_runs : int;
   mutable sched_steady : int;
@@ -55,6 +60,7 @@ type t = {
   mutable sched_rounds : int;
   mutable sched_steps : int;
   mutable sched_blocked_steps : int;
+  mutable sched_cache_hits : int;
 }
 
 (* Crossing into a dynamically loaded shared library is a JNI call:
@@ -81,6 +87,7 @@ let create ?boundary () =
     device_faults = 0;
     retries = 0;
     resubstitutions = 0;
+    replans = 0;
     backoff_ns = 0.0;
     sched_runs = 0;
     sched_steady = 0;
@@ -88,6 +95,7 @@ let create ?boundary () =
     sched_rounds = 0;
     sched_steps = 0;
     sched_blocked_steps = 0;
+    sched_cache_hits = 0;
   }
 
 let add_vm_instructions t n = t.vm_instructions <- t.vm_instructions + n
@@ -114,6 +122,8 @@ let add_retry t ~backoff_ns =
   t.backoff_ns <- t.backoff_ns +. backoff_ns
 
 let add_resubstitution t = t.resubstitutions <- t.resubstitutions + 1
+let add_replan t = t.replans <- t.replans + 1
+let add_sched_cache_hit t = t.sched_cache_hits <- t.sched_cache_hits + 1
 
 let add_scheduler_run t ~steady ~fallback ~rounds ~steps ~blocked_steps =
   t.sched_runs <- t.sched_runs + 1;
@@ -150,6 +160,7 @@ let snapshot t : snapshot =
     device_faults = t.device_faults;
     retries = t.retries;
     resubstitutions = t.resubstitutions;
+    replans = t.replans;
     backoff_ns = t.backoff_ns;
     sched_runs = t.sched_runs;
     sched_steady = t.sched_steady;
@@ -157,6 +168,7 @@ let snapshot t : snapshot =
     sched_rounds = t.sched_rounds;
     sched_steps = t.sched_steps;
     sched_blocked_steps = t.sched_blocked_steps;
+    sched_cache_hits = t.sched_cache_hits;
   }
 
 let reset t =
@@ -173,13 +185,15 @@ let reset t =
   t.device_faults <- 0;
   t.retries <- 0;
   t.resubstitutions <- 0;
+  t.replans <- 0;
   t.backoff_ns <- 0.0;
   t.sched_runs <- 0;
   t.sched_steady <- 0;
   t.sched_fallbacks <- 0;
   t.sched_rounds <- 0;
   t.sched_steps <- 0;
-  t.sched_blocked_steps <- 0
+  t.sched_blocked_steps <- 0;
+  t.sched_cache_hits <- 0
 
 (* --- snapshot presentation -------------------------------------------- *)
 
@@ -209,11 +223,12 @@ let pp ppf (s : snapshot) =
     "faults:   %d fault(s), %d retry(s), %d resubstitution(s), %.1f us \
      backoff@,"
     s.device_faults s.retries s.resubstitutions (s.backoff_ns /. 1000.0);
+  Format.fprintf ppf "replans:  %d online re-plan(s)@," s.replans;
   Format.fprintf ppf
     "sched:    %d run(s) (%d steady, %d fallback(s)), %d round(s), %d \
-     step(s), %d blocked@,"
+     step(s), %d blocked, %d cached schedule(s)@,"
     s.sched_runs s.sched_steady s.sched_fallbacks s.sched_rounds s.sched_steps
-    s.sched_blocked_steps;
+    s.sched_blocked_steps s.sched_cache_hits;
   Format.fprintf ppf "substitutions: %s"
     (if s.substitutions = [] then "none"
      else
@@ -245,14 +260,14 @@ let boundary_json (b : Wire.Boundary.stats) =
 
 let to_json (s : snapshot) =
   Printf.sprintf
-    "{\"vm_instructions\":%d,\"native_instructions\":%d,\"native_ns\":%.1f,\"gpu_kernels\":%d,\"gpu_kernel_ns\":%.1f,\"fpga_runs\":%d,\"fpga_cycles\":%d,\"fpga_ns\":%.1f,\"marshal\":%s,\"marshal_native\":%s,\"device_faults\":%d,\"retries\":%d,\"resubstitutions\":%d,\"backoff_ns\":%.1f,\"sched\":{\"runs\":%d,\"steady\":%d,\"fallbacks\":%d,\"rounds\":%d,\"steps\":%d,\"blocked_steps\":%d},\"substitutions\":[%s]}"
+    "{\"vm_instructions\":%d,\"native_instructions\":%d,\"native_ns\":%.1f,\"gpu_kernels\":%d,\"gpu_kernel_ns\":%.1f,\"fpga_runs\":%d,\"fpga_cycles\":%d,\"fpga_ns\":%.1f,\"marshal\":%s,\"marshal_native\":%s,\"device_faults\":%d,\"retries\":%d,\"resubstitutions\":%d,\"replans\":%d,\"backoff_ns\":%.1f,\"sched\":{\"runs\":%d,\"steady\":%d,\"fallbacks\":%d,\"rounds\":%d,\"steps\":%d,\"blocked_steps\":%d,\"cache_hits\":%d},\"substitutions\":[%s]}"
     s.vm_instructions s.native_instructions s.native_ns s.gpu_kernels
     s.gpu_kernel_ns s.fpga_runs s.fpga_cycles s.fpga_ns
     (boundary_json s.marshal)
     (boundary_json s.marshal_native)
-    s.device_faults s.retries s.resubstitutions s.backoff_ns s.sched_runs
-    s.sched_steady s.sched_fallbacks s.sched_rounds s.sched_steps
-    s.sched_blocked_steps
+    s.device_faults s.retries s.resubstitutions s.replans s.backoff_ns
+    s.sched_runs s.sched_steady s.sched_fallbacks s.sched_rounds s.sched_steps
+    s.sched_blocked_steps s.sched_cache_hits
     (String.concat ","
        (List.map
           (fun (uid, d) ->

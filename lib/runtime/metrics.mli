@@ -22,6 +22,10 @@ type snapshot = {
   device_faults : int;  (** faults observed (injected or real) *)
   retries : int;  (** launch retries after a fault *)
   resubstitutions : int;  (** dynamic re-plans after retry exhaustion *)
+  replans : int;
+      (** online re-plans: a device underperformed its cost model by
+          more than the configured factor and the segment was
+          re-substituted mid-run *)
   backoff_ns : float;  (** modeled time spent backing off before retries *)
   sched_runs : int;  (** task-graph scheduler invocations *)
   sched_steady : int;  (** of which ran the steady-state schedule *)
@@ -30,6 +34,9 @@ type snapshot = {
   sched_rounds : int;  (** cumulative scheduling rounds *)
   sched_steps : int;  (** cumulative actor steps *)
   sched_blocked_steps : int;  (** cumulative blocked steps *)
+  sched_cache_hits : int;
+      (** steady-state schedules served from the per-session
+          (template, plan) cache instead of re-solving the rate graph *)
 }
 
 type t
@@ -46,6 +53,13 @@ val add_retry : t -> backoff_ns:float -> unit
 (** One retry, accumulating the modeled backoff delay before it. *)
 
 val add_resubstitution : t -> unit
+
+val add_replan : t -> unit
+(** One online re-plan (measured service time exceeded the model's
+    prediction by more than the replan factor). *)
+
+val add_sched_cache_hit : t -> unit
+(** One steady-state schedule served from the session cache. *)
 
 (** One task-graph scheduler invocation: which mode actually ran
     ([steady]), whether a requested steady-state schedule fell back to

@@ -47,10 +47,24 @@ let is_quarantined t ~device = List.mem_assoc device t.quarantined
 let quarantined t = List.rev t.quarantined
 let clear_quarantine t = t.quarantined <- []
 
+(* Lookup order is part of the runtime's determinism contract:
+   [Substitute.plan] breaks ties between artifacts that cover chains
+   of equal length on equally-preferred devices by taking the first
+   match here, so the result must not depend on store insertion
+   order. Sort by (uid, device name): a stable, content-derived key. *)
+let artifact_order a b =
+  match String.compare (Artifact.uid a) (Artifact.uid b) with
+  | 0 ->
+    String.compare
+      (Artifact.device_name (Artifact.device a))
+      (Artifact.device_name (Artifact.device b))
+  | c -> c
+
 let find t ~uid =
   List.filter
     (fun a -> not (is_quarantined t ~device:(Artifact.device a)))
     (Option.value (Hashtbl.find_opt t.by_uid uid) ~default:[])
+  |> List.stable_sort artifact_order
 
 let find_on t ~uid ~device =
   List.find_opt (fun a -> Artifact.device a = device) (find t ~uid)

@@ -15,8 +15,10 @@ val record_exclusion :
   t -> uid:string -> device:Artifact.device -> reason:string -> unit
 
 val find : t -> uid:string -> Artifact.t list
-(** Every implementation of a task UID, newest first. Artifacts on
-    quarantined devices are omitted. *)
+(** Every implementation of a task UID, sorted by (uid, device name)
+    so lookup order never depends on store insertion order — the
+    determinism contract {!Substitute.plan} relies on for
+    tie-breaking. Artifacts on quarantined devices are omitted. *)
 
 val find_on : t -> uid:string -> device:Artifact.device -> Artifact.t option
 

@@ -44,7 +44,13 @@ let segment_filters = function S_bytecode fs | S_device (_, fs) -> fs
 
 (* Choose implementations for the filter chain of one task graph.
    Greedy left-to-right: at each relocatable filter, try the longest
-   chain with an artifact on the most preferred device. *)
+   chain with an artifact on the most preferred device.
+
+   Tie-breaking is deterministic by construction: longer chains are
+   tried before shorter ones, devices in the policy's preference
+   order, and when two artifacts cover chains of equal length on
+   equally-preferred devices the store resolves the tie by artifact
+   UID ([Store.find] sorts by UID, never by insertion order). *)
 let plan (policy : policy) (store : Store.t) (filters : Ir.filter_info list) :
     segment list =
   let devices = device_order policy in
@@ -101,7 +107,11 @@ let plan (policy : policy) (store : Store.t) (filters : Ir.filter_info list) :
 (* Adaptive planning: for every maximal relocatable run, compare the
    estimated cost of each whole-run device artifact against staying on
    bytecode, and keep the cheapest. [cost None fs] estimates the
-   bytecode path; [cost (Some artifact) fs] a device substitution. *)
+   bytecode path; [cost (Some artifact) fs] a device substitution.
+   Exact cost ties are broken deterministically toward the earlier
+   candidate in the fixed GPU, FPGA, native order (and toward bytecode
+   when a device only equals it): [c < best_cost] keeps the
+   incumbent. *)
 let plan_adaptive ~(cost : Artifact.t option -> Ir.filter_info list -> float)
     (store : Store.t) (filters : Ir.filter_info list) : segment list =
   let filters = Array.of_list filters in

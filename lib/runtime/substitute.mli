@@ -33,7 +33,12 @@ val segment_filters : segment -> Ir.filter_info list
 
 val plan : policy -> Store.t -> Ir.filter_info list -> segment list
 (** Choose implementations for a task graph's filter chain, greedy
-    left-to-right. Non-relocatable filters always stay on bytecode. *)
+    left-to-right. Non-relocatable filters always stay on bytecode.
+
+    Deterministic: longer chains beat shorter ones, devices follow the
+    policy's preference order, and equal-length chains on
+    equally-preferred devices tie-break by artifact UID (via
+    {!Store.find}'s sorted order), never by store insertion order. *)
 
 val plan_adaptive :
   cost:(Artifact.t option -> Ir.filter_info list -> float) ->

@@ -152,7 +152,8 @@ metrics snapshot (timings vary run to run, so digits are normalized):
   pcie N+N crossing(s), N+N byte(s) to device+host, N us modeled
   jni N+N crossing(s), N+N byte(s) to device+host, N us modeled
   faults: N fault(s), N retry(s), N resubstitution(s), N us backoff
-  sched: N run(s) (N steady, N fallback(s)), N round(s), N step(s), N blocked
+  replans: N online re-plan(s)
+  sched: N run(s) (N steady, N fallback(s)), N round(s), N step(s), N blocked, N cached schedule(s)
   substitutions: Bitflip.flip@Bitflip.taskFlip/N -> gpu
 
 The IR dump shows the discovered task graph and the lowered filter:

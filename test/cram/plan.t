@@ -1,0 +1,59 @@
+The profile-guided placement planner (lmc plan), cold and warm.
+
+A cold run calibrates every (chain, device) profile and persists the
+store; dsp_chain's accelerator-first default is dominated by the PCIe
+boundary, so the planner picks the native placement instead:
+
+  $ ../../bin/lmc.exe plan dsp_chain --profile-store plan.profiles
+  placement plan at n=512
+  
+  graph graph@0 (3 filter(s)):
+    calibrated    native(3)        13.7 us  <- planned
+    native-only   native(3)        13.7 us
+    accelerators  gpu(3)           25.5 us
+    gpu-only      gpu(3)           25.5 us
+    fpga-only     fpga(3)          26.7 us
+    bytecode      bytecode(3)      55.4 us
+    segment native:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2: 13.7 us [measured]
+    rationale: chose native(3) over the default gpu(3): predicted 13.7 us vs 25.5 us (1.87x) at n=512; the default is dominated by gpu:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 (25.5 us)
+  
+  profile store plan.profiles: 7 entry(s), 0 hit(s), 7 calibrated
+
+A second run on the unchanged program hits the store for every
+profile — no recalibration — and, because the store keeps exact hex
+floats, predicts the very same makespans:
+
+  $ ../../bin/lmc.exe plan dsp_chain --profile-store plan.profiles
+  placement plan at n=512
+  
+  graph graph@0 (3 filter(s)):
+    calibrated    native(3)        13.7 us  <- planned
+    native-only   native(3)        13.7 us
+    accelerators  gpu(3)           25.5 us
+    gpu-only      gpu(3)           25.5 us
+    fpga-only     fpga(3)          26.7 us
+    bytecode      bytecode(3)      55.4 us
+    segment native:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2: 13.7 us [measured]
+    rationale: chose native(3) over the default gpu(3): predicted 13.7 us vs 25.5 us (1.87x) at n=512; the default is dominated by gpu:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 (25.5 us)
+  
+  profile store plan.profiles: 7 entry(s), 12 hit(s), 0 calibrated
+
+The store itself is a flat text file, one content-hashed entry per
+line, costs in hex floats:
+
+  $ head -1 plan.profiles
+  # liquid-metal placement profiles v1
+  $ wc -l < plan.profiles
+  8
+
+Machine-readable output for tooling:
+
+  $ ../../bin/lmc.exe plan dsp_chain --json --profile-store plan.profiles | grep -o '"planned":{"name":"[^"]*","plan":"[^"]*"'
+  "planned":{"name":"calibrated","plan":"native(3)"
+
+Map/reduce workloads have no task graphs to place:
+
+  $ ../../bin/lmc.exe plan saxpy --profile-store plan.profiles | head -3
+  placement plan at n=16384
+  
+  (no task graphs to place: map/reduce kernel sites are dispatched by suitability alone)

@@ -316,7 +316,7 @@ let test_metrics_fault_counters () =
   let json = Metrics.to_json s in
   Alcotest.(check bool) "json counters" true
     (Test_types.contains json
-       "\"device_faults\":2,\"retries\":2,\"resubstitutions\":1,\"backoff_ns\":3000.0");
+       "\"device_faults\":2,\"retries\":2,\"resubstitutions\":1,\"replans\":0,\"backoff_ns\":3000.0");
   Metrics.reset m;
   let s = Metrics.snapshot m in
   check_int "reset faults" 0 s.Metrics.device_faults;
