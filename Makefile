@@ -2,7 +2,7 @@
 
 QCHECK_SEED ?= 20260805
 
-.PHONY: all build test lint check bench bench-sched bench-placement clean
+.PHONY: all build test lint check bench bench-sched bench-placement bench-obs clean
 
 all: build
 
@@ -26,7 +26,7 @@ lint: build
 # fault-tolerance suite — including its `Slow` workload x policy x
 # schedule matrix — under a fixed QCheck seed so the randomized
 # schedules are reproducible.
-check: build test lint bench-sched bench-placement
+check: build test lint bench-sched bench-placement bench-obs
 	QCHECK_SEED=$(QCHECK_SEED) dune exec test/test_main.exe -- test differential -e
 
 bench:
@@ -44,6 +44,13 @@ bench-sched: build
 # diverge, or dsp_chain fails to improve strictly).
 bench-placement: build
 	dune exec bench/placement_bench.exe -- BENCH_placement.json
+
+# Observability regression gate: writes BENCH_obs.json and fails if
+# the disabled-tracing emission cost implies more than 5% overhead on
+# an untraced dsp_chain run, or if trace attribution classifies less
+# than 99% of wall time into the named buckets.
+bench-obs: build
+	dune exec bench/observe_bench.exe -- BENCH_obs.json
 
 clean:
 	dune clean

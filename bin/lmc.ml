@@ -7,6 +7,7 @@
      lmc dump-ir FILE [FUNCTION]      print the intermediate representation
      lmc analyze FILE [--json]        static analysis: purity, ranges, graph lint
      lmc plan TARGET [--n N]          profile-guided placement planning
+     lmc report TARGET|--from-trace   trace-driven introspection report
 
    Argument syntax for `run`:
      42            int
@@ -221,6 +222,64 @@ let finish_tracing ~trace ~profile metrics_snapshot =
       metrics_snapshot
   end
 
+(* --- observe report ---------------------------------------------------- *)
+
+let report_flag =
+  Arg.(value & flag & info [ "report" ]
+         ~doc:
+           "after the run, print the trace-driven introspection report: \
+            wall-time attribution, per-device utilization, the critical \
+            path and predicted-vs-observed drift (same analysis as \
+            $(b,lmc report))")
+
+let store_path_arg =
+  Arg.(value & opt string "lm.profiles"
+       & info [ "profile-store" ] ~docv:"FILE"
+           ~doc:
+             "persistent cost-profile store; content-hashed entries let a \
+              warm run skip recalibration")
+
+let metrics_export_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("json", `Json); ("text", `Text) ])) None
+    & info [ "metrics-export" ] ~docv:"FMT"
+        ~doc:
+          "print the final metrics snapshot as $(b,json) (registry samples \
+           plus the substitution list) or $(b,text) (OpenMetrics \
+           exposition)")
+
+let export_metrics fmt (m : Runtime.Metrics.snapshot) =
+  match fmt with
+  | None -> ()
+  | Some `Json -> print_endline (Runtime.Metrics.to_json m)
+  | Some `Text -> print_string (Runtime.Metrics.to_text m)
+
+(* The drift-prediction closure for one compiled program: launches
+   observed in the trace join against the persistent profile store,
+   calibrating on miss, so a warm store answers without re-measuring. *)
+let drift_predict ~store_path compiled =
+  let store = Placement.Profile.load store_path in
+  let ctx = Placement.Calibrate.create ~profile_store:store compiled in
+  let predict ~uid ~device ~n =
+    Placement.Calibrate.predictor ctx ~uid ~device ~n
+  in
+  (predict, fun () -> Placement.Profile.save store)
+
+(* Analyze the current ring sink. The sink is nulled first so the drift
+   join's own calibration runs cannot pollute the trace under
+   analysis. *)
+let inline_report ~json ~store_path session =
+  let sink = Support.Trace.current () in
+  let events = Support.Trace.events sink in
+  let dropped = Support.Trace.dropped sink in
+  Support.Trace.set_sink Support.Trace.null;
+  let predict, save_store = drift_predict ~store_path (Lm.compiled session) in
+  let report = Observe.Report.analyze ~predict ~dropped events in
+  save_store ();
+  if json then print_endline (Observe.Report.render_json report)
+  else print_string (Observe.Report.render report)
+
 (* --- compile ---------------------------------------------------------- *)
 
 let emit_artifacts dir (store : Runtime.Store.t)
@@ -302,9 +361,9 @@ let run_cmd =
     Arg.(value & flag & info [ "metrics" ] ~doc:"print execution metrics")
   in
   let action file entry args policy schedule fifo_capacity verbose faults
-      max_retries replan_factor trace profile =
+      max_retries replan_factor trace profile report metrics_export =
     handle_compile_errors (fun () ->
-        setup_tracing ~trace ~profile;
+        setup_tracing ~trace ~profile:(profile || report);
         let session =
           Lm.load ~policy ~schedule ?fifo_capacity ?max_retries ?replan_factor
             (read_file file)
@@ -338,7 +397,10 @@ let run_cmd =
              blocked\n"
             m.sched_runs m.sched_steady m.sched_fallbacks m.sched_steps
             m.sched_blocked_steps;
+        export_metrics metrics_export m;
         finish_tracing ~trace ~profile (Some m);
+        if report then
+          inline_report ~json:false ~store_path:"lm.profiles" session;
         Support.Fault.clear ())
   in
   Cmd.v
@@ -346,7 +408,7 @@ let run_cmd =
     Term.(
       const action $ file_arg $ entry $ args $ policy $ schedule_arg
       $ fifo_capacity_arg $ verbose $ faults_arg $ retries_arg $ replan_arg
-      $ trace_arg $ profile_arg)
+      $ trace_arg $ profile_arg $ report_flag $ metrics_export_arg)
 
 (* --- disasm ----------------------------------------------------------- *)
 
@@ -392,7 +454,7 @@ let workloads_cmd =
              ~doc:"substitution policy (as for run)")
   in
   let action name size policy schedule fifo_capacity faults max_retries
-      replan_factor trace profile =
+      replan_factor trace profile report metrics_export =
     match (name : string option) with
     | None ->
       List.iter
@@ -407,7 +469,7 @@ let workloads_cmd =
               prerr_endline ("unknown workload: " ^ name);
               exit 1
           in
-          setup_tracing ~trace ~profile;
+          setup_tracing ~trace ~profile:(profile || report);
           let size = Option.value size ~default:w.default_size in
           let session =
             Lm.load ~policy ~schedule ?fifo_capacity ?max_retries
@@ -444,7 +506,10 @@ let workloads_cmd =
                blocked\n"
               m.sched_runs m.sched_steady m.sched_fallbacks m.sched_steps
               m.sched_blocked_steps;
+          export_metrics metrics_export m;
           finish_tracing ~trace ~profile (Some m);
+          if report then
+            inline_report ~json:false ~store_path:"lm.profiles" session;
           Support.Fault.clear ())
   in
   Cmd.v
@@ -452,7 +517,7 @@ let workloads_cmd =
     Term.(
       const action $ workload_name $ size $ policy $ schedule_arg
       $ fifo_capacity_arg $ faults_arg $ retries_arg $ replan_arg $ trace_arg
-      $ profile_arg)
+      $ profile_arg $ report_flag $ metrics_export_arg)
 
 (* --- plan -------------------------------------------------------------- *)
 
@@ -470,13 +535,6 @@ let plan_cmd =
   let json =
     Arg.(value & flag & info [ "json" ]
            ~doc:"print the plan report as a JSON object")
-  in
-  let store_path =
-    Arg.(value & opt string "lm.profiles"
-         & info [ "profile-store" ] ~docv:"FILE"
-             ~doc:
-               "persistent cost-profile store; content-hashed entries let a \
-                warm run skip recalibration")
   in
   let action target n json store_path =
     handle_compile_errors (fun () ->
@@ -502,7 +560,133 @@ let plan_cmd =
          "profile-guided placement planning: calibrate device cost models, \
           predict per-candidate makespans and report the argmin placement \
           with a rationale (see docs/PLACEMENT.md)")
-    Term.(const action $ target $ n $ json $ store_path)
+    Term.(const action $ target $ n $ json $ store_path_arg)
+
+(* --- report ------------------------------------------------------------ *)
+
+let report_cmd =
+  let target =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TARGET"
+           ~doc:
+             "workload name (see $(b,lmc workloads)) or Lime source file; \
+              optional with $(b,--from-trace) (without it the offline \
+              report has no drift predictions)")
+  in
+  let entry =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"ENTRY"
+           ~doc:"entry point when TARGET is a source file")
+  in
+  let args =
+    Arg.(value & pos_right 1 string [] & info [] ~docv:"ARGS"
+           ~doc:"entry arguments (as for $(b,lmc run))")
+  in
+  let size =
+    Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N"
+           ~doc:"workload problem size (defaults to the workload's own)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"print the report as a JSON object")
+  in
+  let from_trace =
+    Arg.(value & opt (some file) None & info [ "from-trace" ] ~docv:"FILE"
+           ~doc:
+             "analyze a saved Chrome trace (as written by $(b,lmc run \
+              --trace)) instead of running anything; give TARGET too to \
+              join drift predictions from its compiled program")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Runtime.Substitute.Prefer_accelerators
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"substitution policy (as for run)")
+  in
+  let action target entry args size json from_trace store_path policy
+      schedule fifo_capacity faults max_retries replan_factor =
+    handle_compile_errors (fun () ->
+        match from_trace with
+        | Some path -> (
+          let predict, save_store, drift_note =
+            match target with
+            | None ->
+              ( None,
+                (fun () -> ()),
+                Some
+                  "no TARGET given — pass the workload or source file \
+                   alongside --from-trace to join predictions from its \
+                   profile store" )
+            | Some tgt ->
+              let source =
+                match Workloads.find tgt with
+                | w -> w.Workloads.source
+                | exception Not_found ->
+                  if Sys.file_exists tgt then read_file tgt
+                  else begin
+                    prerr_endline ("unknown workload or file: " ^ tgt);
+                    exit 1
+                  end
+              in
+              let compiled =
+                Liquid_metal.Compiler.compile ~file:tgt source
+              in
+              let p, save = drift_predict ~store_path compiled in
+              (Some p, save, None)
+          in
+          match
+            Observe.Report.of_chrome_json ?predict ?drift_note
+              (read_file path)
+          with
+          | Ok report ->
+            save_store ();
+            if json then print_endline (Observe.Report.render_json report)
+            else print_string (Observe.Report.render report)
+          | Error msg ->
+            prerr_endline ("bad trace file " ^ path ^ ": " ^ msg);
+            exit 1)
+        | None -> (
+          match target with
+          | None ->
+            prerr_endline "report: TARGET or --from-trace required";
+            exit 2
+          | Some tgt ->
+            let source, entry, values =
+              match Workloads.find tgt with
+              | w ->
+                let size = Option.value size ~default:w.Workloads.default_size in
+                (w.Workloads.source, w.Workloads.entry, w.Workloads.args ~size)
+              | exception Not_found ->
+                if not (Sys.file_exists tgt) then begin
+                  prerr_endline ("unknown workload or file: " ^ tgt);
+                  exit 1
+                end;
+                (match entry with
+                | Some e -> (read_file tgt, e, List.map parse_value args)
+                | None ->
+                  prerr_endline "report: source files need an ENTRY point";
+                  exit 2)
+            in
+            (* Ring sink first so the compiler phases land in the trace. *)
+            Support.Trace.set_sink (Support.Trace.ring ());
+            let session =
+              Lm.load ~policy ~schedule ?fifo_capacity ?max_retries
+                ?replan_factor source
+            in
+            setup_faults faults;
+            let _result = Lm.run session entry values in
+            Support.Fault.clear ();
+            inline_report ~json ~store_path session))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "trace-driven introspection: run a workload (or read a saved \
+          trace) and report wall-time attribution by bucket, per-device \
+          utilization and idle gaps, the critical path with its top \
+          gates, and predicted-vs-observed drift per (chain, device) \
+          against the placement profile store (see docs/OBSERVABILITY.md)")
+    Term.(
+      const action $ target $ entry $ args $ size $ json $ from_trace
+      $ store_path_arg $ policy $ schedule_arg $ fifo_capacity_arg
+      $ faults_arg $ retries_arg $ replan_arg)
 
 (* --- dump-ir ----------------------------------------------------------- *)
 
@@ -576,5 +760,5 @@ let () =
        (Cmd.group (Cmd.info "lmc" ~version:"1.0.0" ~doc)
           [
             compile_cmd; run_cmd; disasm_cmd; dump_ir_cmd; workloads_cmd;
-            analyze_cmd; plan_cmd;
+            analyze_cmd; plan_cmd; report_cmd;
           ]))

@@ -1,0 +1,31 @@
+(** A minimal JSON reader — enough to load saved Chrome traces and this
+    tool's own JSON exports. No external JSON library exists in the
+    tree; the only deviation from the RFC grammar is that [\u] escapes
+    fold to their low byte (the exporters only escape ASCII control
+    characters). *)
+
+type t =
+  | Obj of (string * t) list
+  | Arr of t list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error with the failing offset on malformed input. *)
+
+val parse_opt : string -> t option
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects. *)
+
+val to_list : t -> t list
+(** Array elements; [[]] on non-arrays. *)
+
+val str_opt : t option -> string option
+val num_opt : t option -> float option

@@ -260,3 +260,40 @@ let profile ctx (artifact : Artifact.t option) (chain : Ir.filter_info list) :
     Hashtbl.replace ctx.cx_fresh key ();
     ctx.cx_calibrated <- ctx.cx_calibrated + 1;
     e
+
+(* --- launch prediction (the drift report's join key) ------------------- *)
+
+let artifact_chain (a : Artifact.t) =
+  match a with
+  | Artifact.Gpu_kernel { ga_kind = Artifact.G_filter_chain fs; _ } -> Some fs
+  | Artifact.Gpu_kernel _ -> None (* map/reduce kernels have no chain *)
+  | Artifact.Fpga_module f -> Some f.Artifact.fa_filters
+  | Artifact.Native_binary n -> Some n.Artifact.na_filters
+
+let device_of_name = function
+  | "gpu" -> Some Artifact.Gpu
+  | "fpga" -> Some Artifact.Fpga
+  | "native" -> Some Artifact.Native
+  | _ -> None
+
+(* Predicted modeled ns for one launch of [n] elements of chain [uid]
+   on [device] (names as they appear in `launch` trace spans), plus the
+   profile source. [None] when the artifact does not exist, is
+   quarantined, or is not a filter chain (map/reduce kernels have no
+   calibratable chain). Misses calibrate through the store, so offline
+   analysis against a warm store never re-measures. *)
+let predictor ctx ~uid ~device ~n =
+  match device_of_name device with
+  | None -> None
+  | Some dev -> (
+    match
+      Runtime.Store.find_on ctx.cx_compiled.Liquid_metal.Compiler.store ~uid
+        ~device:dev
+    with
+    | None -> None
+    | Some a -> (
+      match artifact_chain a with
+      | None -> None
+      | Some chain ->
+        let e = profile ctx (Some a) chain in
+        Some (Profile.predict e ~n, Profile.source_name e.Profile.pr_source)))

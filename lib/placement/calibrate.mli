@@ -37,5 +37,14 @@ val calibrated : ctx -> int
 val calibration_sizes : int * int
 (** The two stream sizes of the measured linear fit. *)
 
+val predictor :
+  ctx -> uid:string -> device:string -> n:int -> (float * string) option
+(** Predicted modeled ns for one launch of [n] elements of chain [uid]
+    on [device] ("gpu"/"fpga"/"native", as `launch` trace spans name
+    them), plus the profile source name — the join the drift report in
+    [lib/observe] performs against observed launches. [None] when the
+    artifact is absent, quarantined, or not a filter chain. Misses
+    calibrate through the store. *)
+
 val fn_key : Ir.filter_info -> string
 (** The function key a filter dispatches to (shared helper). *)

@@ -174,26 +174,72 @@ let ship_to_host ?boundary t (v : V.t) : V.t =
 let gpu_allowed t =
   List.mem Artifact.Gpu (Substitute.device_order t.policy_)
 
+(* Total modeled time accumulated so far: the interpreter under the
+   CPU model plus every device kernel, native segment and boundary
+   crossing. Deltas around a launch give the measured service time the
+   re-planner compares against its prediction. *)
+let modeled_ns t =
+  Metrics.modeled_cpu_ns t.metrics_ +. Metrics.modeled_accelerator_ns t.metrics_
+
+(* Every device launch runs inside a `launch` span carrying the element
+   count up front and, at close, the modeled service-time delta — the
+   observation the drift report joins against profile-store
+   predictions. A faulted attempt still closes its span (tagged), so
+   the timeline shows the retry, but drift skips it. *)
+let with_launch_span t ~elements name f =
+  if not (Trace.enabled ()) then f ()
+  else begin
+    let sp =
+      Trace.begin_span ~cat:"launch"
+        ~args:[ "elements", Trace.Int elements ]
+        name
+    in
+    let before = modeled_ns t in
+    match f () with
+    | r ->
+      Trace.end_span
+        ~args:[ "modeled_ns", Trace.Float (modeled_ns t -. before) ]
+        sp;
+      r
+    | exception e ->
+      Trace.end_span
+        ~args:
+          [
+            "modeled_ns", Trace.Float (modeled_ns t -. before);
+            "faulted", Trace.Bool true;
+          ]
+        sp;
+      raise e
+  end
+
 let run_gpu_map t (site : Ir.map_site) (args : I.v list) : I.v =
   let host_args = List.map I.prim_exn args in
-  let dev_args = List.map (ship_to_device t) host_args in
-  let result, timing =
-    Gpu.Simt.run_map ~device:t.gpu_device
-      ~model_divergence:t.model_divergence (program t) site dev_args
+  let elements =
+    match host_args with
+    | a :: _ -> ( try I.array_length a with _ -> 1)
+    | [] -> 0
   in
-  Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
-  Metrics.add_substitution t.metrics_ site.map_uid Artifact.Gpu;
-  I.Prim (ship_to_host t result)
+  with_launch_span t ~elements ("gpu:" ^ site.map_uid) (fun () ->
+      let dev_args = List.map (ship_to_device t) host_args in
+      let result, timing =
+        Gpu.Simt.run_map ~device:t.gpu_device
+          ~model_divergence:t.model_divergence (program t) site dev_args
+      in
+      Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
+      Metrics.add_substitution t.metrics_ site.map_uid Artifact.Gpu;
+      I.Prim (ship_to_host t result))
 
 let run_gpu_reduce t (site : Ir.reduce_site) (arg : I.v) : I.v =
-  let dev_arg = ship_to_device t (I.prim_exn arg) in
-  let result, timing =
-    Gpu.Simt.run_reduce ~device:t.gpu_device
-      ~model_divergence:t.model_divergence (program t) site dev_arg
-  in
-  Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
-  Metrics.add_substitution t.metrics_ site.red_uid Artifact.Gpu;
-  I.Prim (ship_to_host t result)
+  let elements = try I.array_length (I.prim_exn arg) with _ -> 1 in
+  with_launch_span t ~elements ("gpu:" ^ site.red_uid) (fun () ->
+      let dev_arg = ship_to_device t (I.prim_exn arg) in
+      let result, timing =
+        Gpu.Simt.run_reduce ~device:t.gpu_device
+          ~model_divergence:t.model_divergence (program t) site dev_arg
+      in
+      Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
+      Metrics.add_substitution t.metrics_ site.red_uid Artifact.Gpu;
+      I.Prim (ship_to_host t result))
 
 (* --- task-graph co-execution ------------------------------------------ *)
 
@@ -254,17 +300,19 @@ let filter_fn_key (f : Ir.filter_info) =
    charged to the CPU model. *)
 let bytecode_filter_actor t ((f : Ir.filter_info), receiver) inp out =
   let key = filter_fn_key f in
+  let span_name = "bc:" ^ f.uid in
   let apply x =
-    let args =
-      match receiver with
-      | Some r -> [ r; I.Prim x ]
-      | None -> [ I.Prim x ]
-    in
-    let r = Bytecode.Vm.run t.unit_ key args in
-    Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
-    I.prim_exn r.Bytecode.Vm.value
+    Trace.with_span ~cat:"vm" span_name (fun () ->
+        let args =
+          match receiver with
+          | Some r -> [ r; I.Prim x ]
+          | None -> [ I.Prim x ]
+        in
+        let r = Bytecode.Vm.run t.unit_ key args in
+        Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
+        I.prim_exn r.Bytecode.Vm.value)
   in
-  Actor.filter ~name:("bc:" ^ f.uid) ~f:apply inp out
+  Actor.filter ~name:span_name ~f:apply inp out
 
 (* A GPU-substituted segment: batch the stream across the boundary and
    run the fused elementwise kernel. *)
@@ -282,9 +330,7 @@ let gpu_batch t (artifact : Artifact.gpu_artifact)
     (List.nth chain_filters (List.length chain_filters - 1)).Ir.output
   in
   ignore filters;
-  Trace.with_span ~cat:"launch"
-    ~args:[ "elements", Trace.Int (List.length xs) ]
-    ("gpu:" ^ artifact.ga_uid)
+  with_launch_span t ~elements:(List.length xs) ("gpu:" ^ artifact.ga_uid)
     (fun () ->
       let packed = pack_stream input_ty xs in
       let dev_input = ship_to_device t packed in
@@ -300,9 +346,7 @@ let gpu_batch t (artifact : Artifact.gpu_artifact)
    receivers become register files) and run it in the RTL simulator. *)
 let fpga_batch t (artifact : Artifact.fpga_artifact)
     (filters : (Ir.filter_info * I.v option) list) (xs : V.t list) : V.t list =
-  Trace.with_span ~cat:"launch"
-    ~args:[ "elements", Trace.Int (List.length xs) ]
-    ("fpga:" ^ artifact.fa_uid)
+  with_launch_span t ~elements:(List.length xs) ("fpga:" ^ artifact.fa_uid)
     (fun () ->
       let pipeline =
         Rtl.Synth.pipeline_of_chain (program t) ~name:artifact.fa_uid
@@ -331,9 +375,7 @@ let native_batch t (artifact : Artifact.native_artifact)
     (List.nth artifact.na_filters (List.length artifact.na_filters - 1))
       .Ir.output
   in
-  Trace.with_span ~cat:"launch"
-    ~args:[ "elements", Trace.Int (List.length xs) ]
-    ("native:" ^ artifact.na_uid)
+  with_launch_span t ~elements:(List.length xs) ("native:" ^ artifact.na_uid)
     (fun () ->
       let packed = pack_stream input_ty xs in
       let dev_input = unpack_stream (ship_to_device ~boundary:nb t packed) in
@@ -397,13 +439,6 @@ let estimate_cost t ~n (artifact : Artifact.t option)
     let cycles = nf *. 3.0 +. (3.0 *. float_of_int (List.length chain)) in
     (2.0 *. Boundary.transfer_ns b (int_of_float (nf *. elem_bytes)))
     +. (cycles *. float_of_int t.fpga_clock_ns)
-
-(* Total modeled time accumulated so far: the interpreter under the
-   CPU model plus every device kernel, native segment and boundary
-   crossing. Deltas around a launch give the measured service time the
-   re-planner compares against its prediction. *)
-let modeled_ns t =
-  Metrics.modeled_cpu_ns t.metrics_ +. Metrics.modeled_accelerator_ns t.metrics_
 
 let observed_key (a : Artifact.t) =
   Artifact.uid a ^ "@" ^ Artifact.device_name (Artifact.device a)
@@ -472,16 +507,18 @@ let trace_fault_event name ~uid ~attempt extra =
    schedule. *)
 let bytecode_apply_batch t ((f : Ir.filter_info), receiver) xs =
   let key = filter_fn_key f in
+  let span_name = "bc:" ^ f.uid in
   List.map
     (fun x ->
-      let args =
-        match receiver with
-        | Some r -> [ r; I.Prim x ]
-        | None -> [ I.Prim x ]
-      in
-      let r = Bytecode.Vm.run t.unit_ key args in
-      Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
-      I.prim_exn r.Bytecode.Vm.value)
+      Trace.with_span ~cat:"vm" span_name (fun () ->
+          let args =
+            match receiver with
+            | Some r -> [ r; I.Prim x ]
+            | None -> [ I.Prim x ]
+          in
+          let r = Bytecode.Vm.run t.unit_ key args in
+          Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
+          I.prim_exn r.Bytecode.Vm.value))
     xs
 
 (* Run one device segment over a batch with retries; on exhaustion,
@@ -508,6 +545,17 @@ let rec run_segment_with_recovery t (artifact : Artifact.t)
           ("retry:" ^ Artifact.device_name device)
           ~uid ~attempt:(k + 1)
           [ "backoff_ns", Trace.Float backoff ];
+        (* the backoff is modeled, not slept: the span marks where the
+           delay sits on the timeline and carries the modeled ns *)
+        if Trace.enabled () then
+          Trace.end_span
+            (Trace.begin_span ~cat:"backoff"
+               ~args:
+                 [
+                   "backoff_ns", Trace.Float backoff;
+                   "attempt", Trace.Int (k + 1);
+                 ]
+               ("backoff:" ^ Artifact.device_name device));
         attempt (k + 1)
       end
       else begin
@@ -872,6 +920,15 @@ let hook_with_recovery t ~uid (f : unit -> I.v) : I.v option =
         Metrics.add_retry t.metrics_ ~backoff_ns:backoff;
         trace_fault_event "retry:gpu" ~uid ~attempt:(k + 1)
           [ "backoff_ns", Trace.Float backoff ];
+        if Trace.enabled () then
+          Trace.end_span
+            (Trace.begin_span ~cat:"backoff"
+               ~args:
+                 [
+                   "backoff_ns", Trace.Float backoff;
+                   "attempt", Trace.Int (k + 1);
+                 ]
+               "backoff:gpu");
         attempt (k + 1)
       end
       else begin
@@ -919,10 +976,14 @@ let hooks t : Bytecode.Vm.hooks =
           true);
   }
 
+(* The whole entry-point invocation runs under one `run` root span:
+   the report layer anchors critical-path and attribution analysis on
+   these roots (self-time is host bytecode interpretation). *)
 let call t key args =
-  let r = Bytecode.Vm.run ~hooks:(hooks t) t.unit_ key args in
-  Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
-  r.Bytecode.Vm.value
+  Trace.with_span ~cat:"run" ("run:" ^ key) (fun () ->
+      let r = Bytecode.Vm.run ~hooks:(hooks t) t.unit_ key args in
+      Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
+      r.Bytecode.Vm.value)
 
 (* --- calibration entry (used by Placement) ----------------------------- *)
 

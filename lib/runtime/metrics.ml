@@ -197,38 +197,148 @@ let reset t =
 
 (* --- snapshot presentation -------------------------------------------- *)
 
-(* Callers used to hand-format snapshot fields; these are the one
-   shared pretty-printer and JSON form (lmc --profile, tooling). *)
+(* One declaration per metric. The pretty-printer, the JSON export and
+   the registry export are all derived from this list, so the three
+   renderings cannot drift apart (they used to be maintained by hand,
+   in parallel). [fd_count] distinguishes integral counts from modeled
+   nanosecond totals, which render with a fraction. *)
 
-let pp_boundary ppf (name, (b : Wire.Boundary.stats)) =
-  Format.fprintf ppf
-    "@[%-8s %d+%d crossing(s), %d+%d byte(s) to device+host, %.1f us \
-     modeled@]"
-    name b.crossings_to_device b.crossings_to_host b.bytes_to_device
-    b.bytes_to_host
-    (b.modeled_transfer_ns /. 1000.0)
+type field = {
+  fd_name : string;
+  fd_labels : (string * string) list;
+  fd_help : string;
+  fd_count : bool;
+  fd_get : snapshot -> float;
+}
+
+let boundary_fields label get =
+  let b s = (get s : Wire.Boundary.stats) in
+  [
+    {
+      fd_name = "marshal_crossings_to_device";
+      fd_labels = [ "boundary", label ];
+      fd_help = "boundary crossings toward the device";
+      fd_count = true;
+      fd_get = (fun s -> float_of_int (b s).crossings_to_device);
+    };
+    {
+      fd_name = "marshal_crossings_to_host";
+      fd_labels = [ "boundary", label ];
+      fd_help = "boundary crossings back to the host";
+      fd_count = true;
+      fd_get = (fun s -> float_of_int (b s).crossings_to_host);
+    };
+    {
+      fd_name = "marshal_bytes_to_device";
+      fd_labels = [ "boundary", label ];
+      fd_help = "bytes serialized toward the device";
+      fd_count = true;
+      fd_get = (fun s -> float_of_int (b s).bytes_to_device);
+    };
+    {
+      fd_name = "marshal_bytes_to_host";
+      fd_labels = [ "boundary", label ];
+      fd_help = "bytes deserialized back to the host";
+      fd_count = true;
+      fd_get = (fun s -> float_of_int (b s).bytes_to_host);
+    };
+    {
+      fd_name = "marshal_transfer_ns";
+      fd_labels = [ "boundary", label ];
+      fd_help = "modeled transfer time on this boundary";
+      fd_count = false;
+      fd_get = (fun s -> (b s).modeled_transfer_ns);
+    };
+  ]
+
+let field name ?(labels = []) ~help ~count get =
+  { fd_name = name; fd_labels = labels; fd_help = help; fd_count = count;
+    fd_get = get }
+
+let count_field name ~help get =
+  field name ~help ~count:true (fun s -> float_of_int (get s))
+
+let fields : field list =
+  [
+    count_field "vm_instructions"
+      ~help:"bytecode instructions interpreted on the host VM"
+      (fun s -> s.vm_instructions);
+    count_field "native_instructions"
+      ~help:"instructions executed inside native (compiled C) segments"
+      (fun s -> s.native_instructions);
+    field "native_ns" ~help:"modeled native execution time" ~count:false
+      (fun s -> s.native_ns);
+    count_field "gpu_kernels" ~help:"GPU kernel launches"
+      (fun s -> s.gpu_kernels);
+    field "gpu_kernel_ns" ~help:"modeled GPU kernel time" ~count:false
+      (fun s -> s.gpu_kernel_ns);
+    count_field "fpga_runs" ~help:"FPGA pipeline runs" (fun s -> s.fpga_runs);
+    count_field "fpga_cycles" ~help:"FPGA cycles simulated"
+      (fun s -> s.fpga_cycles);
+    field "fpga_ns" ~help:"modeled FPGA time" ~count:false
+      (fun s -> s.fpga_ns);
+  ]
+  @ boundary_fields "pcie" (fun s -> s.marshal)
+  @ boundary_fields "jni" (fun s -> s.marshal_native)
+  @ [
+      count_field "device_faults" ~help:"device faults observed"
+        (fun s -> s.device_faults);
+      count_field "retries" ~help:"launch retries after a fault"
+        (fun s -> s.retries);
+      count_field "resubstitutions"
+        ~help:"dynamic re-plans after retry exhaustion"
+        (fun s -> s.resubstitutions);
+      count_field "replans"
+        ~help:"online re-plans after a device underperformed its model"
+        (fun s -> s.replans);
+      field "backoff_ns" ~help:"modeled backoff before retries" ~count:false
+        (fun s -> s.backoff_ns);
+      count_field "sched_runs" ~help:"task-graph scheduler invocations"
+        (fun s -> s.sched_runs);
+      count_field "sched_steady"
+        ~help:"scheduler runs using the steady-state schedule"
+        (fun s -> s.sched_steady);
+      count_field "sched_fallbacks"
+        ~help:"steady-state requests that fell back to round-robin"
+        (fun s -> s.sched_fallbacks);
+      count_field "sched_rounds" ~help:"cumulative scheduling rounds"
+        (fun s -> s.sched_rounds);
+      count_field "sched_steps" ~help:"cumulative actor steps"
+        (fun s -> s.sched_steps);
+      count_field "sched_blocked_steps" ~help:"cumulative blocked steps"
+        (fun s -> s.sched_blocked_steps);
+      count_field "sched_cache_hits"
+        ~help:"steady-state schedules served from the session cache"
+        (fun s -> s.sched_cache_hits);
+    ]
+
+let field_label f =
+  f.fd_name
+  ^
+  if f.fd_labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> k ^ "=" ^ v) f.fd_labels)
+    ^ "}"
+
+let field_value f s =
+  if f.fd_count then Printf.sprintf "%.0f" (f.fd_get s)
+  else Printf.sprintf "%.1f" (f.fd_get s)
 
 let pp ppf (s : snapshot) =
+  let width =
+    List.fold_left
+      (fun w f -> max w (String.length (field_label f)))
+      0 fields
+  in
   Format.fprintf ppf "@[<v>";
-  Format.fprintf ppf "vm:       %d instruction(s)@," s.vm_instructions;
-  Format.fprintf ppf "native:   %d instruction(s), %.1f us modeled@,"
-    s.native_instructions (s.native_ns /. 1000.0);
-  Format.fprintf ppf "gpu:      %d kernel(s), %.1f us modeled@," s.gpu_kernels
-    (s.gpu_kernel_ns /. 1000.0);
-  Format.fprintf ppf "fpga:     %d run(s), %d cycle(s), %.1f us modeled@,"
-    s.fpga_runs s.fpga_cycles (s.fpga_ns /. 1000.0);
-  Format.fprintf ppf "%a@," pp_boundary ("pcie", s.marshal);
-  Format.fprintf ppf "%a@," pp_boundary ("jni", s.marshal_native);
-  Format.fprintf ppf
-    "faults:   %d fault(s), %d retry(s), %d resubstitution(s), %.1f us \
-     backoff@,"
-    s.device_faults s.retries s.resubstitutions (s.backoff_ns /. 1000.0);
-  Format.fprintf ppf "replans:  %d online re-plan(s)@," s.replans;
-  Format.fprintf ppf
-    "sched:    %d run(s) (%d steady, %d fallback(s)), %d round(s), %d \
-     step(s), %d blocked, %d cached schedule(s)@,"
-    s.sched_runs s.sched_steady s.sched_fallbacks s.sched_rounds s.sched_steps
-    s.sched_blocked_steps s.sched_cache_hits;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%-*s %s@," width
+        (field_label f ^ ":")
+        (field_value f s))
+    fields;
   Format.fprintf ppf "substitutions: %s"
     (if s.substitutions = [] then "none"
      else
@@ -237,6 +347,28 @@ let pp ppf (s : snapshot) =
             (fun (uid, d) -> uid ^ " -> " ^ Artifact.device_name d)
             s.substitutions));
   Format.fprintf ppf "@]"
+
+let registry_of (s : snapshot) =
+  let reg = Support.Registry.create () in
+  List.iter
+    (fun f ->
+      let m = Support.Registry.counter reg ~help:f.fd_help f.fd_name in
+      Support.Registry.set m ~labels:f.fd_labels (f.fd_get s))
+    fields;
+  let subs =
+    Support.Registry.counter reg
+      ~help:"segment substitutions performed, by chain uid and device"
+      "substitutions"
+  in
+  List.iter
+    (fun (uid, d) ->
+      Support.Registry.inc subs
+        ~labels:[ "uid", uid; "device", Artifact.device_name d ]
+        1.0)
+    s.substitutions;
+  reg
+
+let to_text (s : snapshot) = Support.Registry.to_text (registry_of s)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -252,22 +384,9 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let boundary_json (b : Wire.Boundary.stats) =
-  Printf.sprintf
-    "{\"crossings_to_device\":%d,\"crossings_to_host\":%d,\"bytes_to_device\":%d,\"bytes_to_host\":%d,\"modeled_transfer_ns\":%.1f}"
-    b.crossings_to_device b.crossings_to_host b.bytes_to_device
-    b.bytes_to_host b.modeled_transfer_ns
-
 let to_json (s : snapshot) =
-  Printf.sprintf
-    "{\"vm_instructions\":%d,\"native_instructions\":%d,\"native_ns\":%.1f,\"gpu_kernels\":%d,\"gpu_kernel_ns\":%.1f,\"fpga_runs\":%d,\"fpga_cycles\":%d,\"fpga_ns\":%.1f,\"marshal\":%s,\"marshal_native\":%s,\"device_faults\":%d,\"retries\":%d,\"resubstitutions\":%d,\"replans\":%d,\"backoff_ns\":%.1f,\"sched\":{\"runs\":%d,\"steady\":%d,\"fallbacks\":%d,\"rounds\":%d,\"steps\":%d,\"blocked_steps\":%d,\"cache_hits\":%d},\"substitutions\":[%s]}"
-    s.vm_instructions s.native_instructions s.native_ns s.gpu_kernels
-    s.gpu_kernel_ns s.fpga_runs s.fpga_cycles s.fpga_ns
-    (boundary_json s.marshal)
-    (boundary_json s.marshal_native)
-    s.device_faults s.retries s.resubstitutions s.replans s.backoff_ns
-    s.sched_runs s.sched_steady s.sched_fallbacks s.sched_rounds s.sched_steps
-    s.sched_blocked_steps s.sched_cache_hits
+  Printf.sprintf "{\"metrics\":%s,\"substitutions\":[%s]}"
+    (Support.Registry.to_json (registry_of s))
     (String.concat ","
        (List.map
           (fun (uid, d) ->

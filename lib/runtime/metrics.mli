@@ -77,13 +77,36 @@ val native_boundary : t -> Wire.Boundary.t
 val snapshot : t -> snapshot
 val reset : t -> unit
 
+(** One declared metric: the single source the pretty-printer, JSON
+    export and registry export are all derived from, so the renderings
+    cannot drift apart. *)
+type field = {
+  fd_name : string;
+  fd_labels : (string * string) list;  (** e.g. [("boundary", "pcie")] *)
+  fd_help : string;
+  fd_count : bool;  (** integral count vs modeled-nanosecond total *)
+  fd_get : snapshot -> float;
+}
+
+val fields : field list
+(** Every scalar metric in presentation order (the substitution list is
+    carried separately — it is an ordered list, not a scalar). *)
+
 val pp : Format.formatter -> snapshot -> unit
-(** Multi-line human-readable rendering of a snapshot (instruction
-    counts, device activity, both boundaries, the substitution list) —
-    the one shared formatter, so callers stop hand-formatting fields. *)
+(** Multi-line [name{labels}: value] rendering derived from {!fields},
+    followed by the substitution list. *)
+
+val registry_of : snapshot -> Support.Registry.t
+(** The snapshot loaded into a {!Support.Registry}: one counter per
+    {!fields} entry plus a labeled [substitutions] counter. *)
 
 val to_json : snapshot -> string
-(** The same snapshot as a self-contained JSON object. *)
+(** [{"metrics": <registry JSON>, "substitutions": [{uid, device}...]}]
+    — derived from {!fields} via {!registry_of}. *)
+
+val to_text : snapshot -> string
+(** OpenMetrics-style text exposition of {!registry_of} (scrapeable by
+    a future [lmc serve]). *)
 
 val cpu_ns_per_instruction : float
 (** ~6ns: a ~2GHz core spending a dozen cycles per interpreted

@@ -10,24 +10,39 @@ type summary = {
 }
 
 (* Percentile by linear interpolation between closest ranks on the
-   sorted sample (the h = q*(n-1) convention, as numpy's default). *)
+   sorted sample (the h = q*(n-1) convention, as numpy's default).
+   NaN is rejected on both sides: a NaN sample would poison the sort
+   order silently, and a NaN [q] slips through naive [q < 0 || q > 1]
+   range checks (both comparisons are false), so the guard is written
+   as a positive containment test. *)
 let percentile_sorted (sorted : float array) q =
   let n = Array.length sorted in
   if n = 0 then invalid_arg "Stats.percentile: empty";
-  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q outside [0,1]";
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Stats.percentile: q outside [0,1]";
   let h = q *. float_of_int (n - 1) in
   let lo = int_of_float (floor h) in
   let hi = min (lo + 1) (n - 1) in
-  sorted.(lo) +. ((h -. float_of_int lo) *. (sorted.(hi) -. sorted.(lo)))
+  let frac = h -. float_of_int lo in
+  (* exact rank: no interpolation, so infinite samples stay infinite
+     instead of evaluating inf +. 0. *. (inf -. inf) = nan *)
+  if frac = 0.0 || lo = hi then sorted.(lo)
+  else sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let reject_nan ~what xs =
+  if List.exists Float.is_nan xs then
+    invalid_arg (Printf.sprintf "Stats.%s: NaN sample" what)
 
 let percentile xs q =
+  reject_nan ~what:"percentile" xs;
   let sorted = Array.of_list xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   percentile_sorted sorted q
 
 let summarize = function
   | [] -> invalid_arg "Stats.summarize: empty"
   | xs ->
+    reject_nan ~what:"summarize" xs;
     let count = List.length xs in
     let n = float_of_int count in
     let mean = List.fold_left ( +. ) 0.0 xs /. n in
@@ -35,7 +50,7 @@ let summarize = function
       List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n
     in
     let sorted = Array.of_list xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     {
       count;
       mean;

@@ -15,12 +15,14 @@ type summary = {
 }
 
 val summarize : float list -> summary
-(** @raise Invalid_argument on an empty list. *)
+(** @raise Invalid_argument on an empty list or a NaN sample. *)
 
 val percentile : float list -> float -> float
 (** [percentile xs q] for [q] in [[0,1]], by linear interpolation
-    between closest ranks of the sorted sample.
-    @raise Invalid_argument on an empty list or [q] outside [[0,1]]. *)
+    between closest ranks of the sorted sample. A single-sample list
+    returns that sample for every [q].
+    @raise Invalid_argument on an empty list, a NaN sample, or [q]
+    outside [[0,1]] (NaN [q] included). *)
 
 val geomean : float list -> float
 (** Geometric mean; [Invalid_argument] on empty input or non-positive

@@ -67,6 +67,8 @@ type span =
       args : (string * arg) list;
     }
 
+let no_span = S_disabled
+
 let begin_span ?(args = []) ~cat name =
   match !sink_ with
   | Null -> S_disabled
@@ -222,6 +224,12 @@ module Profile = struct
     Buffer.add_string buf
       (Printf.sprintf "profile: %d event(s) collected, %d dropped\n"
          (List.length es) (dropped sink));
+    if dropped sink > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "warning: trace truncated — the oldest %d event(s) were dropped; \
+            totals below undercount the run\n"
+           (dropped sink));
     (* spans: wall-time breakdown with percentiles *)
     let spans =
       group_fold

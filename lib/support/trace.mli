@@ -56,6 +56,11 @@ val enabled : unit -> bool
 type span
 (** An open span handle from {!begin_span}; closed by {!end_span}. *)
 
+val no_span : span
+(** A permanently-closed handle; {!end_span} on it is a no-op. Lets an
+    instrumentation point guard on {!enabled} without building the span
+    name (often a concatenation) on the disabled path. *)
+
 val begin_span : ?args:(string * arg) list -> cat:string -> string -> span
 
 val end_span : ?args:(string * arg) list -> span -> unit
@@ -101,5 +106,6 @@ module Profile : sig
   val report : sink -> string
   (** Two {!Stats.Table}s — spans (count, total, mean, p50/p95/p99) and
       counters (samples, mean, peak, last) — preceded by an event/drop
-      header line. *)
+      header line. When the ring overflowed, a truncation warning
+      follows the header: the report then undercounts the run. *)
 end

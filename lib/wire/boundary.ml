@@ -56,6 +56,12 @@ let trace_crossing t =
       ]
 
 let to_device t ty v =
+  let sp =
+    if Support.Trace.enabled () then
+      Support.Trace.begin_span ~cat:"boundary"
+        ("marshal:" ^ t.label ^ ":to-device")
+    else Support.Trace.no_span
+  in
   Support.Fault.check ~device:"wire" ~segment:t.label;
   (* Step 1: serialize the Lime value to a byte array. *)
   let data = Codec.encode_bytes ty v in
@@ -65,12 +71,27 @@ let to_device t ty v =
   t.bytes_to_device <- t.bytes_to_device + n;
   t.modeled_transfer_ns <- t.modeled_transfer_ns +. transfer_ns t n;
   trace_crossing t;
+  (* the args list is only built when a sink is installed *)
+  if Support.Trace.enabled () then
+    Support.Trace.end_span
+      ~args:
+        [
+          "bytes", Support.Trace.Int n;
+          "modeled_ns", Support.Trace.Float (transfer_ns t n);
+        ]
+      sp;
   (* Step 3: the C side keeps the densely packed form directly. *)
   { Native.ty; data }
 
 let native_of_value ty v = { Native.ty; data = Codec.encode_bytes ty v }
 
 let to_host t (native : Native.t) =
+  let sp =
+    if Support.Trace.enabled () then
+      Support.Trace.begin_span ~cat:"boundary"
+        ("marshal:" ^ t.label ^ ":to-host")
+    else Support.Trace.no_span
+  in
   Support.Fault.check ~device:"wire" ~segment:t.label;
   let n = Bytes.length native.data in
   t.crossings_to_host <- t.crossings_to_host + 1;
@@ -78,7 +99,16 @@ let to_host t (native : Native.t) =
   t.modeled_transfer_ns <- t.modeled_transfer_ns +. transfer_ns t n;
   trace_crossing t;
   (* Deserialize from the byte array back into a heap-resident value. *)
-  Native.to_value native
+  let v = Native.to_value native in
+  if Support.Trace.enabled () then
+    Support.Trace.end_span
+      ~args:
+        [
+          "bytes", Support.Trace.Int n;
+          "modeled_ns", Support.Trace.Float (transfer_ns t n);
+        ]
+      sp;
+  v
 
 let stats t =
   {

@@ -72,7 +72,7 @@ devices = 9.0 us):
 
   $ ../../bin/lmc.exe run bitflip.lime Bitflip.taskFlip 101010101b --inject-faults 'gpu:*:always,fpga:*:always,native:*:always' --profile | tr -s ' ' | grep 'faults:'
   faults: 9 fault(s), 6 retry(s), 3 resubstitution(s)
-  faults: 9 fault(s), 6 retry(s), 3 resubstitution(s), 9.0 us backoff
+  device_faults: 9
 
 The trace records each injected fault, each retry and the final
 re-substitution decision as instant events under cat "fault":

@@ -126,9 +126,12 @@ metrics snapshot (timings vary run to run, so digits are normalized):
   compiler native-backend N N N N N N
   compiler gpu-backend N N N N N N
   compiler fpga-backend N N N N N N
+  boundary marshal:pcie:to-device N N N N N N
   gpu Bitflip.flip@Bitflip.taskFlip/N N N N N N N
+  boundary marshal:pcie:to-host N N N N N N
   launch gpu:Bitflip.flip@Bitflip.taskFlip/N N N N N N N
   runtime task-graph N N N N N N
+  run run:Bitflip.taskFlip N N N N N N
   
   events:
   cat event count
@@ -145,15 +148,36 @@ metrics snapshot (timings vary run to run, so digits are normalized):
   fifo:chN occupancy N N N N
   boundary:pcie bytes_to_device N N N N
   boundary:pcie bytes_to_host N N N N
-  vm: N instruction(s)
-  native: N instruction(s), N us modeled
-  gpu: N kernel(s), N us modeled
-  fpga: N run(s), N cycle(s), N us modeled
-  pcie N+N crossing(s), N+N byte(s) to device+host, N us modeled
-  jni N+N crossing(s), N+N byte(s) to device+host, N us modeled
-  faults: N fault(s), N retry(s), N resubstitution(s), N us backoff
-  replans: N online re-plan(s)
-  sched: N run(s) (N steady, N fallback(s)), N round(s), N step(s), N blocked, N cached schedule(s)
+  vm_instructions: N
+  native_instructions: N
+  native_ns: N
+  gpu_kernels: N
+  gpu_kernel_ns: N
+  fpga_runs: N
+  fpga_cycles: N
+  fpga_ns: N
+  marshal_crossings_to_device{boundary=pcie}: N
+  marshal_crossings_to_host{boundary=pcie}: N
+  marshal_bytes_to_device{boundary=pcie}: N
+  marshal_bytes_to_host{boundary=pcie}: N
+  marshal_transfer_ns{boundary=pcie}: N
+  marshal_crossings_to_device{boundary=jni}: N
+  marshal_crossings_to_host{boundary=jni}: N
+  marshal_bytes_to_device{boundary=jni}: N
+  marshal_bytes_to_host{boundary=jni}: N
+  marshal_transfer_ns{boundary=jni}: N
+  device_faults: N
+  retries: N
+  resubstitutions: N
+  replans: N
+  backoff_ns: N
+  sched_runs: N
+  sched_steady: N
+  sched_fallbacks: N
+  sched_rounds: N
+  sched_steps: N
+  sched_blocked_steps: N
+  sched_cache_hits: N
   substitutions: Bitflip.flip@Bitflip.taskFlip/N -> gpu
 
 The IR dump shows the discovered task graph and the lowered filter:

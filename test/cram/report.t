@@ -1,0 +1,81 @@
+Trace-driven introspection (lmc report) on dsp_chain, whose
+accelerator-first default is dominated by the PCIe boundary.
+
+Wall-clock timings vary run to run, so the checks below pin structure
+and the deterministic modeled costs, normalizing digits and squeezing
+the table padding.
+
+  $ ../../bin/lmc.exe report dsp_chain --profile-store report.profiles > report.out
+
+The header and the attribution table always carry the same buckets,
+and the shares always sum to exactly 100% — attribution is a
+partition of wall time, not a sampling estimate:
+
+  $ sed -E 's/[0-9]+(\.[0-9]+)?/N/g' report.out | tr -s ' ' | sed -E 's/ +$//' | grep . | head -9
+  report: wall N us over N run root(s), N event(s), N dropped
+  attribution (wall time):
+  bucket us share
+  ------- ------ ------
+  compute N N%
+  marshal N N%
+  sched N N%
+  backoff N N%
+  total N N%
+
+  $ grep '^total' report.out | tr -s ' ' | cut -d' ' -f3
+  100.0%
+
+Both PCIe boundary crossings sit on the critical path — the marshaling
+is not overlapped with anything, it gates the makespan:
+
+  $ sed -n '/critical path/,/^$/p' report.out | grep -oE 'marshal:pcie:to-(device|host)'
+  marshal:pcie:to-device
+  marshal:pcie:to-host
+
+The drift table joins the observed gpu launch against the profile
+store (calibrated on this cold run). Observed and predicted are both
+modeled nanoseconds, so the row is exact and the verdict is ok:
+
+  $ grep 'measured' report.out | tr -s ' ' | sed -E 's/ +$//'
+  Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 gpu 1 512 25.5 25.5 1.00 measured ok
+
+A second run hits the warm store — same join, no recalibration:
+
+  $ ../../bin/lmc.exe report dsp_chain --profile-store report.profiles | grep 'measured' | tr -s ' ' | sed -E 's/ +$//'
+  Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 gpu 1 512 25.5 25.5 1.00 measured ok
+
+The same analysis in JSON for tooling:
+
+  $ ../../bin/lmc.exe report dsp_chain --json --profile-store report.profiles | grep -oE '"(truncated|verdict)":[^,}]*'
+  "truncated":false
+  "verdict":"ok"
+
+Offline: save a Chrome trace with one command, analyze it with
+another. Passing the workload alongside --from-trace re-joins the
+saved launches against the (now warm) profile store:
+
+  $ ../../bin/lmc.exe workloads dsp_chain --trace dsp.trace.json > /dev/null
+  $ ../../bin/lmc.exe report dsp_chain --from-trace dsp.trace.json --profile-store report.profiles | grep 'measured' | tr -s ' ' | sed -E 's/ +$//'
+  Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 gpu 1 512 25.5 25.5 1.00 measured ok
+
+Without the program, the offline report still attributes and extracts
+the critical path, but says why it cannot predict:
+
+  $ ../../bin/lmc.exe report --from-trace dsp.trace.json | grep -c 'no TARGET given'
+  1
+
+The report also runs plain Lime files, given an entry point:
+
+  $ cat > dsp.lime <<'LIME'
+  > public class Dsp {
+  >   local static float scale(float x) { return x * 2.0f; }
+  >   static float[[]] run(float[[]] input) {
+  >     float[] result = new float[input.length];
+  >     var t = input.source(1) => ([ task scale ]) => result.<float>sink();
+  >     t.finish();
+  >     return new float[[]](result);
+  >   }
+  > }
+  > LIME
+  $ ../../bin/lmc.exe report dsp.lime Dsp.run float:1,2,3,4 --profile-store report.profiles | sed -E 's/[0-9]+(\.[0-9]+)?/N/g' | head -1
+  report: wall N us over N run root(s), N event(s), N dropped

@@ -88,6 +88,89 @@ let test_stats_percentile () =
     (Invalid_argument "Stats.percentile: q outside [0,1]") (fun () ->
       ignore (Stats.percentile [ 1.0 ] 1.5))
 
+let test_stats_edge () =
+  (* single sample: every percentile is that sample, stddev 0 *)
+  let s = Stats.summarize [ 42.0 ] in
+  check_int "single count" 1 s.count;
+  Alcotest.(check (float 1e-9)) "single p50" 42.0 s.p50;
+  Alcotest.(check (float 1e-9)) "single p99" 42.0 s.p99;
+  Alcotest.(check (float 1e-9)) "single stddev" 0.0 s.stddev;
+  (* NaN anywhere is rejected loudly, not silently mis-sorted *)
+  Alcotest.check_raises "nan sample"
+    (Invalid_argument "Stats.percentile: NaN sample") (fun () ->
+      ignore (Stats.percentile [ 1.0; Float.nan; 2.0 ] 0.5));
+  Alcotest.check_raises "nan summarize"
+    (Invalid_argument "Stats.summarize: NaN sample") (fun () ->
+      ignore (Stats.summarize [ Float.nan ]));
+  (* a NaN quantile is out of range, not propagated *)
+  Alcotest.check_raises "nan q"
+    (Invalid_argument "Stats.percentile: q outside [0,1]") (fun () ->
+      ignore (Stats.percentile [ 1.0; 2.0 ] Float.nan));
+  (* infinities are legitimate samples and sort to the extremes *)
+  Alcotest.(check (float 1e-9)) "inf max" Float.infinity
+    (Stats.percentile [ 1.0; Float.infinity ] 1.0)
+
+(* --- Registry --------------------------------------------------------- *)
+
+let test_registry_basics () =
+  let r = Registry.create () in
+  let got ?labels m =
+    Option.value ~default:Float.nan (Registry.value ?labels m)
+  in
+  let c = Registry.counter r ~help:"widgets made" "widgets_total" in
+  Registry.inc c 1.0;
+  Registry.inc c ~labels:[ ("kind", "round") ] 2.0;
+  Registry.inc c ~labels:[ ("kind", "round") ] 3.0;
+  Alcotest.(check (float 1e-9)) "unlabeled" 1.0 (got c);
+  Alcotest.(check (float 1e-9)) "labeled" 5.0
+    (got ~labels:[ ("kind", "round") ] c);
+  (* label order is canonicalized *)
+  let g = Registry.gauge r "depth" in
+  Registry.set g ~labels:[ ("b", "2"); ("a", "1") ] 7.0;
+  Alcotest.(check (float 1e-9)) "sorted labels" 7.0
+    (got ~labels:[ ("a", "1"); ("b", "2") ] g);
+  (* re-registration is idempotent; a kind conflict is not *)
+  let c' = Registry.counter r "widgets_total" in
+  Registry.inc c' 1.0;
+  Alcotest.(check (float 1e-9)) "same metric" 2.0 (got c);
+  Alcotest.check_raises "kind conflict"
+    (Invalid_argument "Registry: widgets_total already registered as a counter")
+    (fun () -> ignore (Registry.gauge r "widgets_total"));
+  Alcotest.check_raises "bad name"
+    (Invalid_argument "Registry: invalid metric name \"9lives\"") (fun () ->
+      ignore (Registry.counter r "9lives"));
+  Alcotest.check_raises "negative counter inc"
+    (Invalid_argument "Registry.inc: negative increment on counter") (fun () ->
+      Registry.inc c (-1.0))
+
+let test_registry_export () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~help:"launches" "launches_total" in
+  Registry.inc c ~labels:[ ("device", "gpu") ] 3.0;
+  let h = Registry.histogram r ~buckets:[ 1.0; 10.0 ] "latency_ns" in
+  Registry.observe h 0.5;
+  Registry.observe h 5.0;
+  Registry.observe h 50.0;
+  let text = Registry.to_text r in
+  let has = Test_types.contains text in
+  Alcotest.(check bool) "help line" true (has "# HELP launches_total launches");
+  Alcotest.(check bool) "type line" true (has "# TYPE launches_total counter");
+  Alcotest.(check bool) "labeled sample" true
+    (has "launches_total{device=\"gpu\"} 3");
+  (* histogram buckets are cumulative and end with +Inf *)
+  Alcotest.(check bool) "bucket le=1" true (has "latency_ns_bucket{le=\"1\"} 1");
+  Alcotest.(check bool) "bucket le=10" true
+    (has "latency_ns_bucket{le=\"10\"} 2");
+  Alcotest.(check bool) "bucket inf" true
+    (has "latency_ns_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "count" true (has "latency_ns_count 3");
+  Alcotest.(check bool) "sum" true (has "latency_ns_sum 55.5");
+  let json = Registry.to_json r in
+  Alcotest.(check bool) "json name" true
+    (Test_types.contains json "\"name\":\"launches_total\"");
+  Alcotest.(check bool) "json labels" true
+    (Test_types.contains json "\"device\":\"gpu\"")
+
 let test_stats_geomean () =
   Alcotest.(check (float 1e-9)) "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
   Alcotest.check_raises "non-positive"
@@ -159,7 +242,10 @@ let suite =
       QCheck_alcotest.to_alcotest prop_vec_roundtrip;
       Alcotest.test_case "stats summary" `Quick test_stats_summary;
       Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+      Alcotest.test_case "stats edge cases" `Quick test_stats_edge;
       Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
+      Alcotest.test_case "registry basics" `Quick test_registry_basics;
+      Alcotest.test_case "registry export" `Quick test_registry_export;
       Alcotest.test_case "stats table" `Quick test_stats_table;
       Alcotest.test_case "ident uniqueness" `Quick test_ident_uniqueness;
       Alcotest.test_case "ident containers" `Quick test_ident_containers;

@@ -1,9 +1,9 @@
 (* Tests for the tracing subsystem: span nesting, ring-buffer overflow
    accounting, Chrome trace_event export (validated by an actual JSON
-   round-trip parse — no JSON library in the tree, so a minimal parser
-   lives here), and the disabled fast path. *)
+   round-trip through [Observe.Json]), and the disabled fast path. *)
 
 module Trace = Support.Trace
+module Json = Observe.Json
 
 (* Every test installs its own sink; make sure the process-wide default
    is restored even on failure so later suites see tracing disabled. *)
@@ -12,148 +12,15 @@ let with_ring ?capacity f =
   Trace.set_sink sink;
   Fun.protect ~finally:(fun () -> Trace.set_sink Trace.null) (fun () -> f sink)
 
-(* --- a minimal JSON parser (objects, arrays, strings, numbers,
-       booleans, null) — just enough to round-trip the exporter ------- *)
+let as_str = function
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.fail "not a string"
 
-type json =
-  | J_obj of (string * json) list
-  | J_arr of json list
-  | J_str of string
-  | J_num of float
-  | J_bool of bool
-  | J_null
+let as_num = function
+  | Some (Json.Num f) -> f
+  | _ -> Alcotest.fail "not a number"
 
-exception Bad_json of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-        advance ();
-        match peek () with
-        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
-        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
-        | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
-        | Some 'u' ->
-          advance ();
-          if !pos + 4 > n then fail "bad \\u escape";
-          let hex = String.sub s !pos 4 in
-          let code =
-            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
-          in
-          (* events only contain ASCII control characters here *)
-          Buffer.add_char buf (Char.chr (code land 0x7f));
-          pos := !pos + 4;
-          go ()
-        | Some c -> Buffer.add_char buf c; advance (); go ()
-        | None -> fail "unterminated escape")
-      | Some c ->
-        Buffer.add_char buf c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> num_char c | None -> false) do
-      advance ()
-    done;
-    if start = !pos then fail "expected number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "malformed number"
-  in
-  let literal lit v =
-    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
-    then begin
-      pos := !pos + String.length lit;
-      v
-    end
-    else fail ("expected " ^ lit)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then (advance (); J_obj [])
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); members ((key, v) :: acc)
-          | Some '}' -> advance (); J_obj (List.rev ((key, v) :: acc))
-          | _ -> fail "expected , or }"
-        in
-        members []
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then (advance (); J_arr [])
-      else begin
-        let rec elems acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); elems (v :: acc)
-          | Some ']' -> advance (); J_arr (List.rev (v :: acc))
-          | _ -> fail "expected , or ]"
-        in
-        elems []
-      end
-    | Some '"' -> J_str (parse_string ())
-    | Some 't' -> literal "true" (J_bool true)
-    | Some 'f' -> literal "false" (J_bool false)
-    | Some 'n' -> literal "null" J_null
-    | Some _ -> J_num (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let member key = function
-  | J_obj fields -> List.assoc_opt key fields
-  | _ -> None
-
-let as_str = function Some (J_str s) -> s | _ -> Alcotest.fail "not a string"
-let as_num = function Some (J_num f) -> f | _ -> Alcotest.fail "not a number"
+let member = Json.member
 
 (* --- span nesting ------------------------------------------------------ *)
 
@@ -218,10 +85,10 @@ let test_chrome_json_roundtrip () =
         ~args:[ "device", Trace.Str "gpu"; "filters", Trace.Int 2 ]
         "C.f@g/0";
       Trace.counter "fifo:ch0" [ "occupancy", 3.0 ];
-      let json = parse_json (Trace.Chrome.to_json ~process_name:"test" sink) in
+      let json = Json.parse (Trace.Chrome.to_json ~process_name:"test" sink) in
       let events =
         match member "traceEvents" json with
-        | Some (J_arr evs) -> evs
+        | Some (Json.Arr evs) -> evs
         | _ -> Alcotest.fail "traceEvents missing"
       in
       (* metadata + 3 events *)
@@ -260,7 +127,7 @@ let test_chrome_json_reports_drops () =
       for _ = 1 to 5 do
         Trace.instant ~cat:"t" "x"
       done;
-      let json = parse_json (Trace.Chrome.to_json sink) in
+      let json = Json.parse (Trace.Chrome.to_json sink) in
       let other = Option.get (member "otherData" json) in
       Alcotest.(check (float 0.0)) "drop count exported" 3.0
         (as_num (member "droppedEvents" other)))
@@ -279,7 +146,19 @@ let test_profile_report () =
       Alcotest.(check bool) "span row" true (has "parse");
       Alcotest.(check bool) "percentile columns" true (has "p95");
       Alcotest.(check bool) "counter row" true (has "fifo:ch0");
-      Alcotest.(check bool) "peak column" true (has "peak"))
+      Alcotest.(check bool) "peak column" true (has "peak");
+      Alcotest.(check bool) "no warning when nothing dropped" false
+        (has "truncated"))
+
+let test_profile_report_truncation_warning () =
+  with_ring ~capacity:2 (fun _sink ->
+      for _ = 1 to 5 do
+        Trace.instant ~cat:"t" "x"
+      done;
+      let report = Trace.Profile.report (Trace.current ()) in
+      let has = Test_types.contains report in
+      Alcotest.(check bool) "warns" true (has "trace truncated");
+      Alcotest.(check bool) "names the count" true (has "3 event(s)"))
 
 (* --- the disabled fast path -------------------------------------------- *)
 
@@ -292,6 +171,8 @@ let test_noop_fast_path () =
   Trace.counter "ignored" [ "v", 1.0 ];
   let sp = Trace.begin_span ~cat:"t" "ignored" in
   Trace.end_span sp;
+  (* the pre-closed handle for allocation-free disabled call sites *)
+  Trace.end_span Trace.no_span;
   Alcotest.(check int) "null sink stays empty" 0
     (Trace.event_count Trace.null);
   Alcotest.(check int) "null sink drops nothing" 0 (Trace.dropped Trace.null)
@@ -308,5 +189,7 @@ let suite =
       Alcotest.test_case "chrome json reports drops" `Quick
         test_chrome_json_reports_drops;
       Alcotest.test_case "profile report" `Quick test_profile_report;
+      Alcotest.test_case "profile report truncation warning" `Quick
+        test_profile_report_truncation_warning;
       Alcotest.test_case "no-op fast path" `Quick test_noop_fast_path;
     ] )
