@@ -2,7 +2,7 @@
 
 QCHECK_SEED ?= 20260805
 
-.PHONY: all build test lint check bench bench-sched bench-placement bench-obs clean
+.PHONY: all build test lint check bench bench-sched bench-placement bench-obs bench-lower clean
 
 all: build
 
@@ -26,7 +26,7 @@ lint: build
 # fault-tolerance suite — including its `Slow` workload x policy x
 # schedule matrix — under a fixed QCheck seed so the randomized
 # schedules are reproducible.
-check: build test lint bench-sched bench-placement bench-obs
+check: build test lint bench-sched bench-placement bench-obs bench-lower
 	QCHECK_SEED=$(QCHECK_SEED) dune exec test/test_main.exe -- test differential -e
 
 bench:
@@ -51,6 +51,14 @@ bench-placement: build
 # than 99% of wall time into the named buckets.
 bench-obs: build
 	dune exec bench/observe_bench.exe -- BENCH_obs.json
+
+# Map/reduce lowering regression gate: writes BENCH_lower.json and
+# fails if any lowered run diverges from the legacy whole-array
+# dispatch, models more than 5% slower than it, or if fewer than three
+# Gpu_map workloads plan the GPU with a predicted speedup over
+# bytecode.
+bench-lower: build
+	dune exec bench/lower_bench.exe -- BENCH_lower.json
 
 clean:
 	dune clean

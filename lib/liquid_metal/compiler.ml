@@ -4,6 +4,7 @@ type compiled = {
   unit_ : Bytecode.Compile.unit_;
   store : Runtime.Store.t;
   ir : Ir.program;
+  lowered : Lime_ir.Lower_mapreduce.lowered Ir.String_map.t;
   report : Analysis.Report.t;
   phase_seconds : (string * float) list;
 }
@@ -155,6 +156,10 @@ let fpga_backend ~effects (prog : Ir.program) (store : Runtime.Store.t) =
      structurally re-walked O(n^2) times. The effect summaries
      (shared with the GPU backend) reject impure functions before any
      walk. *)
+  (* Kernel sites are not synthesized — a lowered worker consumes
+     whole array chunks, and the RTL substrate streams scalars — so no
+     FPGA artifact (or exclusion: the absence is structural, not a
+     property of the function) is recorded for them. *)
   let cache = Rtl.Synth.make_cache () in
   let fpga_suitable (f : Ir.filter_info) =
     match Rtl.Synth.check_filter ~effects ~cache prog f with
@@ -202,6 +207,27 @@ let fpga_backend ~effects (prog : Ir.program) (store : Runtime.Store.t) =
    Metal runtime" (paper section 5). C places no constraint on the IR,
    so every relocatable chain gets a native artifact. *)
 let native_backend (prog : Ir.program) (store : Runtime.Store.t) =
+  (* Map and reduce sites: the lowered worker filter compiles to C like
+     any other chain, so every kernel site gets a native fallback one
+     notch above interpreted bytecode. *)
+  List.iter
+    (fun site ->
+      let kind =
+        match site with
+        | `Map m -> Lime_ir.Lower_mapreduce.K_map m
+        | `Reduce r -> Lime_ir.Lower_mapreduce.K_reduce r
+      in
+      let worker = Lime_ir.Lower_mapreduce.worker_filter kind in
+      Runtime.Store.add store
+        (Runtime.Artifact.Native_binary
+           {
+             na_uid = worker.Ir.uid;
+             na_filters = [ worker ];
+             na_c =
+               Native_cpu.C_gen.chain_source_text prog ~uid:worker.Ir.uid
+                 [ worker ];
+           }))
+    (Ir.kernel_sites prog);
   Ir.String_map.iter
     (fun _ (gt : Ir.graph_template) ->
       let filters =
@@ -245,13 +271,16 @@ let compile ?(file = "<lime>") source : compiled =
       gpu_backend ~effects:report.Analysis.Report.effects prog store);
   timed_backend phases store "fpga-backend" (fun () ->
       fpga_backend ~effects:report.Analysis.Report.effects prog store);
-  { unit_; store; ir = prog; report; phase_seconds = List.rev !phases }
+  let lowered = Lime_ir.Lower_mapreduce.lower_program prog in
+  { unit_; store; ir = prog; lowered; report; phase_seconds = List.rev !phases }
 
 let manifest (c : compiled) = Runtime.Store.manifest c.store
 
 let engine ?policy ?gpu_device ?fifo_capacity ?schedule ?boundary
     ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns
-    ?cost_model ?replan_factor (c : compiled) =
+    ?cost_model ?replan_factor ?lower_mapreduce ?map_chunks ?reduce_chunks
+    (c : compiled) =
   Runtime.Exec.create ?policy ?gpu_device ?fifo_capacity ?schedule ?boundary
     ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns
-    ?cost_model ?replan_factor c.unit_ c.store
+    ?cost_model ?replan_factor ?lower_mapreduce ?map_chunks ?reduce_chunks
+    c.unit_ c.store

@@ -23,6 +23,9 @@ type compiled = {
   unit_ : Bytecode.Compile.unit_;  (** the bytecode artifact (whole program) *)
   store : Runtime.Store.t;  (** backend artifacts, keyed by task UID *)
   ir : Ir.program;  (** the optimized IR the backends consumed *)
+  lowered : Lime_ir.Lower_mapreduce.lowered Ir.String_map.t;
+      (** every map/reduce kernel site lowered onto the task-graph
+          substrate ([Lime_ir.Lower_mapreduce]), keyed by site UID *)
   report : Analysis.Report.t;
       (** static-analysis results: effect summaries, value ranges,
           task-graph lint ([lmc analyze] renders these) *)
@@ -47,9 +50,13 @@ val engine :
   ?retry_backoff_ns:float ->
   ?cost_model:Runtime.Exec.cost_model ->
   ?replan_factor:float ->
+  ?lower_mapreduce:bool ->
+  ?map_chunks:int ->
+  ?reduce_chunks:int ->
   compiled ->
   Runtime.Exec.t
 (** A co-execution engine over the compiled artifacts.
     [max_retries]/[retry_backoff_ns] configure the failure protocol,
     [cost_model]/[replan_factor] the placement cost model and online
-    re-planning (see {!Runtime.Exec.create}). *)
+    re-planning, [lower_mapreduce]/[map_chunks]/[reduce_chunks] the
+    lowered kernel-site execution (see {!Runtime.Exec.create}). *)

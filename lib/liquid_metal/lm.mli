@@ -23,13 +23,18 @@ val load :
   ?retry_backoff_ns:float ->
   ?cost_model:Runtime.Exec.cost_model ->
   ?replan_factor:float ->
+  ?lower_mapreduce:bool ->
+  ?map_chunks:int ->
+  ?reduce_chunks:int ->
   string ->
   session
 (** Compile a Lime compilation unit (all backends) and attach a
     co-execution engine. Default policy is the paper's
     [Prefer_accelerators]; [max_retries]/[retry_backoff_ns] configure
     the failure protocol, [cost_model]/[replan_factor] the placement
-    cost model and online re-planning (see {!Runtime.Exec.create}). *)
+    cost model and online re-planning, and
+    [lower_mapreduce]/[map_chunks]/[reduce_chunks] the lowered
+    kernel-site execution (see {!Runtime.Exec.create}). *)
 
 val run : session -> string -> I.v list -> I.v
 (** [run session "Class.method" args]. *)

@@ -89,16 +89,37 @@ let bytes_per_elem (ty : Ir.ty) =
   | Ir.Bool | Ir.Bit -> 1.0
   | _ -> 4.0
 
+(* A single-filter chain whose UID names a lowered kernel site is a
+   map/reduce *worker*: its per-element work is one application of the
+   site's function. *)
+let worker_site ctx (chain : Ir.filter_info list) =
+  match chain with
+  | [ f ] ->
+    Ir.String_map.find_opt f.Ir.uid
+      ctx.cx_compiled.Liquid_metal.Compiler.lowered
+  | _ -> None
+
 let chain_insns ctx (chain : Ir.filter_info list) =
-  List.fold_left
-    (fun acc f ->
-      match
-        Ir.String_map.find_opt (fn_key f)
-          ctx.cx_compiled.Liquid_metal.Compiler.unit_.Bytecode.Compile.u_funcs
-      with
-      | Some code -> acc + Array.length code.Bytecode.Compile.c_insns
-      | None -> acc + 16)
-    0 chain
+  match worker_site ctx chain with
+  | Some lw ->
+    (* Kernel-site bodies frequently *are* loops (matmul's dot product,
+       nbody's force accumulation); a flat instruction count would
+       underestimate their per-element cost by the trip count and
+       invert the device ordering, so workers use the loop- and
+       call-aware estimate. *)
+    Lime_ir.Lower_mapreduce.weighted_insns
+      ctx.cx_compiled.Liquid_metal.Compiler.ir
+      lw.Lime_ir.Lower_mapreduce.lw_fn
+  | None ->
+    List.fold_left
+      (fun acc f ->
+        match
+          Ir.String_map.find_opt (fn_key f)
+            ctx.cx_compiled.Liquid_metal.Compiler.unit_.Bytecode.Compile.u_funcs
+        with
+        | Some code -> acc + Array.length code.Bytecode.Compile.c_insns
+        | None -> acc + 16)
+      0 chain
 
 (* --- content-hashed keys ---------------------------------------------- *)
 
@@ -266,7 +287,11 @@ let profile ctx (artifact : Artifact.t option) (chain : Ir.filter_info list) :
 let artifact_chain (a : Artifact.t) =
   match a with
   | Artifact.Gpu_kernel { ga_kind = Artifact.G_filter_chain fs; _ } -> Some fs
-  | Artifact.Gpu_kernel _ -> None (* map/reduce kernels have no chain *)
+  | Artifact.Gpu_kernel { ga_kind = Artifact.G_map m; _ } ->
+    (* map/reduce kernels calibrate as their lowered worker chain *)
+    Some [ Lime_ir.Lower_mapreduce.(worker_filter (K_map m)) ]
+  | Artifact.Gpu_kernel { ga_kind = Artifact.G_reduce r; _ } ->
+    Some [ Lime_ir.Lower_mapreduce.(worker_filter (K_reduce r)) ]
   | Artifact.Fpga_module f -> Some f.Artifact.fa_filters
   | Artifact.Native_binary n -> Some n.Artifact.na_filters
 
@@ -278,10 +303,10 @@ let device_of_name = function
 
 (* Predicted modeled ns for one launch of [n] elements of chain [uid]
    on [device] (names as they appear in `launch` trace spans), plus the
-   profile source. [None] when the artifact does not exist, is
-   quarantined, or is not a filter chain (map/reduce kernels have no
-   calibratable chain). Misses calibrate through the store, so offline
-   analysis against a warm store never re-measures. *)
+   profile source. [None] when the artifact does not exist or is
+   quarantined; map/reduce kernels calibrate as their lowered worker
+   chain. Misses calibrate through the store, so offline analysis
+   against a warm store never re-measures. *)
 let predictor ctx ~uid ~device ~n =
   match device_of_name device with
   | None -> None

@@ -33,10 +33,13 @@ type candidate = {
 
 type graph_plan = {
   gp_uid : string;
+  gp_kind : string;  (** ["graph"], ["map site"] or ["reduce site"] *)
   gp_filters : int;
   gp_planned : candidate;  (** the calibrated argmin — the planner's choice *)
   gp_default : candidate;  (** the static [Prefer_accelerators] baseline *)
   gp_candidates : candidate list;  (** all, sorted by predicted makespan *)
+  gp_speedup : float;
+      (** predicted speedup of the planned candidate over all-bytecode *)
   gp_rationale : string;
 }
 
@@ -195,6 +198,42 @@ let rationale ~n (planned : candidate) (default : candidate) =
       (default.cd_makespan_ns /. Float.max planned.cd_makespan_ns 1e-9)
       n bottleneck.sg_desc (us bottleneck.sg_total_ns)
 
+let plan_filters ctx ~n store ~kind ~uid (filters : Ir.filter_info list) :
+    graph_plan =
+  let calibrated_segs =
+    Substitute.plan_adaptive
+      ~cost:(fun artifact chain ->
+        Profile.predict (Calibrate.profile ctx artifact chain) ~n)
+      store filters
+  in
+  let planned = candidate_of ctx ~n "calibrated" calibrated_segs in
+  let statics =
+    List.map
+      (fun (name, policy) ->
+        candidate_of ctx ~n name (Substitute.plan policy store filters))
+      static_policies
+  in
+  let default = List.hd statics in
+  let bytecode =
+    List.find (fun c -> c.cd_name = "bytecode") statics
+  in
+  let candidates =
+    List.stable_sort
+      (fun a b -> compare a.cd_makespan_ns b.cd_makespan_ns)
+      (planned :: statics)
+  in
+  {
+    gp_uid = uid;
+    gp_kind = kind;
+    gp_filters = List.length filters;
+    gp_planned = planned;
+    gp_default = default;
+    gp_candidates = candidates;
+    gp_speedup =
+      bytecode.cd_makespan_ns /. Float.max planned.cd_makespan_ns 1e-9;
+    gp_rationale = rationale ~n planned default;
+  }
+
 let plan_graph ctx ~n store (gt : Ir.graph_template) : graph_plan option =
   let filters =
     List.filter_map
@@ -202,36 +241,18 @@ let plan_graph ctx ~n store (gt : Ir.graph_template) : graph_plan option =
       gt.Ir.gt_nodes
   in
   if filters = [] then None
-  else begin
-    let calibrated_segs =
-      Substitute.plan_adaptive
-        ~cost:(fun artifact chain ->
-          Profile.predict (Calibrate.profile ctx artifact chain) ~n)
-        store filters
-    in
-    let planned = candidate_of ctx ~n "calibrated" calibrated_segs in
-    let statics =
-      List.map
-        (fun (name, policy) ->
-          candidate_of ctx ~n name (Substitute.plan policy store filters))
-        static_policies
-    in
-    let default = List.hd statics in
-    let candidates =
-      List.stable_sort
-        (fun a b -> compare a.cd_makespan_ns b.cd_makespan_ns)
-        (planned :: statics)
-    in
-    Some
-      {
-        gp_uid = gt.Ir.gt_uid;
-        gp_filters = List.length filters;
-        gp_planned = planned;
-        gp_default = default;
-        gp_candidates = candidates;
-        gp_rationale = rationale ~n planned default;
-      }
-  end
+  else Some (plan_filters ctx ~n store ~kind:"graph" ~uid:gt.Ir.gt_uid filters)
+
+(* A lowered kernel site plans as its 1-filter worker chain: the
+   scatter/gather endpoints are free (host-side staging), so the
+   worker's candidate set *is* the site's placement space. *)
+let plan_site ctx ~n store (lw : Lime_ir.Lower_mapreduce.lowered) : graph_plan
+    =
+  let module Lmr = Lime_ir.Lower_mapreduce in
+  plan_filters ctx ~n store
+    ~kind:(Lmr.kind_name lw.Lmr.lw_kind ^ " site")
+    ~uid:lw.Lmr.lw_uid
+    [ lw.Lmr.lw_worker ]
 
 let plan (ctx : Calibrate.ctx) ~n : report =
   let compiled = Calibrate.compiled ctx in
@@ -245,6 +266,13 @@ let plan (ctx : Calibrate.ctx) ~n : report =
       compiled.Liquid_metal.Compiler.ir.Ir.templates []
     |> List.rev
   in
+  let sites =
+    Ir.String_map.fold
+      (fun _ lw acc -> plan_site ctx ~n store lw :: acc)
+      compiled.Liquid_metal.Compiler.lowered []
+    |> List.rev
+  in
+  let graphs = graphs @ sites in
   {
     rp_n = n;
     rp_graphs = graphs;
@@ -268,11 +296,10 @@ let render (r : report) : string =
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   p "placement plan at n=%d\n" r.rp_n;
   if r.rp_graphs = [] then
-    p "\n(no task graphs to place: map/reduce kernel sites are dispatched by \
-       suitability alone)\n";
+    p "\n(nothing to place: the program has no task graphs or kernel sites)\n";
   List.iter
     (fun gp ->
-      p "\ngraph %s (%d filter(s)):\n" gp.gp_uid gp.gp_filters;
+      p "\n%s %s (%d filter(s)):\n" gp.gp_kind gp.gp_uid gp.gp_filters;
       let name_w =
         List.fold_left
           (fun acc c -> max acc (String.length c.cd_name))
@@ -294,6 +321,7 @@ let render (r : report) : string =
           p "  segment %s: %.1f us [%s]\n" s.sg_desc (us s.sg_total_ns)
             (Profile.source_name s.sg_source))
         gp.gp_planned.cd_segments;
+      p "  predicted speedup over bytecode: %.3fx\n" gp.gp_speedup;
       p "  rationale: %s\n" gp.gp_rationale)
     r.rp_graphs;
   p "\nprofile store %s: %d entry(s), %d hit(s), %d calibrated\n"
@@ -327,10 +355,11 @@ let render_json (r : report) : string =
   in
   let graph gp =
     Printf.sprintf
-      "{\"uid\":\"%s\",\"filters\":%d,\"planned\":%s,\"default\":%s,\"candidates\":[%s],\"rationale\":\"%s\"}"
-      (json_escape gp.gp_uid) gp.gp_filters (cand gp.gp_planned)
-      (cand gp.gp_default)
+      "{\"uid\":\"%s\",\"kind\":\"%s\",\"filters\":%d,\"planned\":%s,\"default\":%s,\"candidates\":[%s],\"speedup\":%.3f,\"rationale\":\"%s\"}"
+      (json_escape gp.gp_uid) (json_escape gp.gp_kind) gp.gp_filters
+      (cand gp.gp_planned) (cand gp.gp_default)
       (String.concat "," (List.map cand gp.gp_candidates))
+      gp.gp_speedup
       (json_escape gp.gp_rationale)
   in
   Printf.sprintf

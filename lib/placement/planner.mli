@@ -30,10 +30,13 @@ type candidate = {
 
 type graph_plan = {
   gp_uid : string;
+  gp_kind : string;  (** ["graph"], ["map site"] or ["reduce site"] *)
   gp_filters : int;
   gp_planned : candidate;  (** the calibrated argmin — the planner's choice *)
   gp_default : candidate;  (** the static [Prefer_accelerators] baseline *)
   gp_candidates : candidate list;  (** all, sorted by predicted makespan *)
+  gp_speedup : float;
+      (** predicted speedup of the planned candidate over all-bytecode *)
   gp_rationale : string;
 }
 
@@ -59,8 +62,9 @@ val makespan_of : n:int -> (float * int) list -> float
     the rate algebra cannot solve the graph. *)
 
 val plan : Calibrate.ctx -> n:int -> report
-(** Plan every task graph of the context's program for stream length
-    [n]. Does not persist the profile store — callers owning the
+(** Plan every task graph and every lowered map/reduce kernel site
+    ([Lime_ir.Lower_mapreduce]) of the context's program for stream
+    length [n]. Does not persist the profile store — callers owning the
     store decide when to {!Profile.save}. *)
 
 val run : ?profile_path:string -> n:int -> Liquid_metal.Compiler.compiled -> report

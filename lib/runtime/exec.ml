@@ -1,5 +1,6 @@
 module Ir = Lime_ir.Ir
 module I = Lime_ir.Interp
+module Lmr = Lime_ir.Lower_mapreduce
 module V = Wire.Value
 module Codec = Wire.Codec
 module Boundary = Wire.Boundary
@@ -44,13 +45,24 @@ type t = {
       (** solved steady-state step budgets per (template, plan,
           stream-shape) key, so repeated [Exec] runs of the same graph
           skip rebuilding and re-solving the rate graph *)
+  lower_mapreduce : bool;
+      (** execute map/reduce sites through the lowered
+          scatter/worker/gather task graph instead of the legacy
+          whole-array GPU hook *)
+  mr_sites : Lmr.lowered Ir.String_map.t;
+      (** the program's kernel sites, lowered, keyed by site UID *)
+  map_chunks : int option;  (** forced scatter width for map sites *)
+  reduce_chunks : int option;
+      (** forced scatter width for reduce sites (chunked combining
+          reassociates the fold — off by default) *)
 }
 
 let create ?(policy = Substitute.Prefer_accelerators)
     ?(gpu_device = Gpu.Device.gtx580) ?(fpga_clock_ns = 4)
     ?(fifo_capacity = 16) ?(schedule = Scheduler.Round_robin) ?boundary
     ?(model_divergence = true) ?chunk_elements ?(max_retries = 2)
-    ?(retry_backoff_ns = 1000.0) ?cost_model ?replan_factor unit_ store_ =
+    ?(retry_backoff_ns = 1000.0) ?cost_model ?replan_factor
+    ?(lower_mapreduce = true) ?map_chunks ?reduce_chunks unit_ store_ =
   (* Validate at the boundary: [Actor.Channel.create] would otherwise
      raise [Invalid_argument] from deep inside graph construction. *)
   if fifo_capacity < 1 then
@@ -73,6 +85,13 @@ let create ?(policy = Substitute.Prefer_accelerators)
     replan_factor;
     observed_ = Hashtbl.create 16;
     steady_cache_ = Hashtbl.create 16;
+    lower_mapreduce;
+    mr_sites =
+      (if lower_mapreduce then
+         Lmr.lower_program unit_.Bytecode.Compile.u_program
+       else Ir.String_map.empty);
+    map_chunks;
+    reduce_chunks;
   }
 
 let set_policy t p = t.policy_ <- p
@@ -902,6 +921,604 @@ let run_bound_graph t (bg : bound_graph) : unit =
         ~rounds:stats.Scheduler.rounds ~steps:stats.Scheduler.steps
         ~blocked_steps:stats.Scheduler.blocked_steps)
 
+(* --- lowered map/reduce execution -------------------------------------- *)
+
+(* Kernel sites executed as task graphs ([Lime_ir.Lower_mapreduce]):
+   a scatter source splits the array into K chunk descriptors, K
+   replicated workers apply the site's function to their chunk on
+   whatever device the substitution plan chose, and a gather sink
+   reassembles the chunk results (map) or combines the partial folds
+   (reduce). This retires the ad-hoc whole-array [run_gpu_map] hook
+   path: every policy — including bytecode-only — now routes kernel
+   sites through the same plan/actor/steady-state/fault machinery as
+   graph templates.
+
+   Cost parity with the legacy single-launch path: arguments cross the
+   boundary once (device-side chunk slicing is free, like a kernel
+   indexing into an already-resident buffer), chunk launches after the
+   first are charged kernel time minus the launch overhead (command
+   batching amortizes it), and the assembled result crosses back
+   once. *)
+
+(* A contiguous view of a device-resident array: the slicing a kernel
+   launch does by offsetting into the buffer. *)
+let slice_prim (v : V.t) ~offset ~len : V.t =
+  match v with
+  | V.Int_array a -> V.Int_array (Array.sub a offset len)
+  | V.Float_array a -> V.Float_array (Array.sub a offset len)
+  | V.Bool_array a -> V.Bool_array (Array.sub a offset len)
+  | V.Array a -> V.Array (Array.sub a offset len)
+  | V.Bits b -> V.Bits (Bits.Bitvec.sub b ~pos:offset ~len)
+  | v -> fail "cannot slice a %s" (V.type_name v)
+
+type mr_seg = Mr_bytecode | Mr_device of Artifact.t
+
+let mr_seg_of_plan = function
+  | [ Substitute.S_device (a, _) ] -> Mr_device a
+  | _ -> Mr_bytecode
+
+(* Ship an already-computed result across a boundary with the failure
+   protocol. The values are host-visible either way (the crossing is
+   marshaling accounting plus a round-trip through the wire codec), so
+   on retry exhaustion the transfer is abandoned: quarantine the device
+   and answer with the unshipped value rather than losing the run. *)
+let mr_ship_home t ?boundary ~uid ~(device : Artifact.device) (v : V.t) : V.t =
+  let rec attempt k =
+    match ship_to_host ?boundary t v with
+    | r -> r
+    | exception Support.Fault.Device_fault info ->
+      Metrics.add_device_fault t.metrics_;
+      if k < t.max_retries then begin
+        let backoff = t.retry_backoff_ns *. (2.0 ** float_of_int k) in
+        Metrics.add_retry t.metrics_ ~backoff_ns:backoff;
+        trace_fault_event
+          ("retry:" ^ Artifact.device_name device)
+          ~uid ~attempt:(k + 1)
+          [ "backoff_ns", Trace.Float backoff ];
+        attempt (k + 1)
+      end
+      else begin
+        Store.quarantine t.store_ ~device ~reason:info.Support.Fault.f_reason;
+        Metrics.add_resubstitution t.metrics_;
+        trace_fault_event "resubstitute" ~uid ~attempt:k
+          [
+            "quarantined", Trace.Str (Artifact.device_name device);
+            "reason", Trace.Str info.Support.Fault.f_reason;
+          ];
+        v
+      end
+  in
+  attempt 0
+
+(* The shared scatter -> workers -> gather actor graph. [run_chunk ci
+   (off, len)] computes chunk [ci]'s result (carrying the full failure
+   protocol); [collect ci v] lands it. Steady-state mode solves the
+   lowered graph's balance equations — all-ones by construction — and
+   runs the whole thing in one budgeted sweep. *)
+let run_mr_actors t ~uid ~(bounds : (int * int) list)
+    ~(run_chunk : int -> int * int -> V.t) ~(collect : int -> V.t -> unit) :
+    unit =
+  let k = List.length bounds in
+  let cap = t.fifo_capacity in
+  let desc_chs = List.init k (fun _ -> Actor.Channel.create ~capacity:cap) in
+  let out_chs = List.init k (fun _ -> Actor.Channel.create ~capacity:cap) in
+  let scatter =
+    let remaining = ref (List.mapi (fun i b -> i, b) bounds) in
+    let step () =
+      match !remaining with
+      | [] ->
+        List.iter
+          (fun (c : Actor.Channel.t) ->
+            if not c.Actor.Channel.closed then Actor.Channel.close c)
+          desc_chs;
+        Actor.Done
+      | (i, (off, len)) :: rest ->
+        let ch = List.nth desc_chs i in
+        if Actor.Channel.is_full ch then Actor.Blocked
+        else begin
+          Actor.Channel.push ch (V.Tuple [ V.Int i; V.Int off; V.Int len ]);
+          remaining := rest;
+          Actor.Progress
+        end
+    in
+    Actor.make ~name:"scatter"
+      ~ports:(List.mapi (fun i c -> Printf.sprintf "w%d" i, c) desc_chs)
+      step
+  in
+  let worker i (inp : Actor.Channel.t) (out : Actor.Channel.t) =
+    let pending = ref None in
+    let step () =
+      match !pending with
+      | Some v ->
+        if Actor.Channel.is_full out then Actor.Blocked
+        else begin
+          Actor.Channel.push out v;
+          pending := None;
+          Actor.Progress
+        end
+      | None -> (
+        match Actor.Channel.pop_opt inp with
+        | Some (V.Tuple [ V.Int ci; V.Int off; V.Int len ]) ->
+          pending := Some (V.Tuple [ V.Int ci; run_chunk ci (off, len) ]);
+          Actor.Progress
+        | Some _ -> fail "lowered worker: malformed chunk descriptor"
+        | None ->
+          if Actor.Channel.drained inp then begin
+            if not out.Actor.Channel.closed then Actor.Channel.close out;
+            Actor.Done
+          end
+          else Actor.Blocked)
+    in
+    Actor.make
+      ~name:(Printf.sprintf "mrw:%s#%d" uid i)
+      ~ports:[ "in", inp; "out", out ]
+      step
+  in
+  let workers =
+    List.init k (fun i -> worker i (List.nth desc_chs i) (List.nth out_chs i))
+  in
+  let gather =
+    let step () =
+      let popped = ref false in
+      List.iter
+        (fun c ->
+          if not !popped then
+            match Actor.Channel.pop_opt c with
+            | Some (V.Tuple [ V.Int ci; v ]) ->
+              popped := true;
+              collect ci v
+            | Some _ -> fail "lowered gather: malformed chunk result"
+            | None -> ())
+        out_chs;
+      if !popped then Actor.Progress
+      else if List.for_all Actor.Channel.drained out_chs then Actor.Done
+      else Actor.Blocked
+    in
+    Actor.make ~name:"gather"
+      ~ports:(List.mapi (fun i c -> Printf.sprintf "w%d" i, c) out_chs)
+      step
+  in
+  let ordered = (scatter :: workers) @ [ gather ] in
+  (* Re-substitution changes a fault-injection run's firing pattern
+     mid-flight, so those keep round-robin, as in [run_bound_graph]. *)
+  let steady =
+    t.schedule = Scheduler.Steady_state
+    && (not (Support.Fault.enabled ()))
+    &&
+    match Analysis.Rates.solve (Analysis.Rates.scatter_gather ~workers:k) with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  let stats, ran_steady =
+    if steady then
+      (* all-ones repetition vector: one descriptor per worker per
+         iteration; +1 slack absorbs the close/drain steps *)
+      ( Scheduler.run_steady
+          ((scatter, k + 1)
+          :: (List.map (fun w -> w, 3) workers @ [ gather, k + 1 ])),
+        true )
+    else Scheduler.run ordered, false
+  in
+  Metrics.add_scheduler_run t.metrics_ ~steady:ran_steady
+    ~fallback:(t.schedule = Scheduler.Steady_state && not ran_steady)
+    ~rounds:stats.Scheduler.rounds ~steps:stats.Scheduler.steps
+    ~blocked_steps:stats.Scheduler.blocked_steps
+
+(* The per-chunk failure protocol: retry with rewind and backoff, then
+   quarantine the chunk's device, drop its shipped argument copies and
+   re-plan the worker — remaining chunks (and this one's retry) run on
+   the next-best healthy device, bottoming out at bytecode, which
+   cannot fault. [seg] is shared across chunks so one quarantine
+   redirects the rest of the run. *)
+let mr_chunk_with_recovery t ~uid ~n ~(worker : Ir.filter_info)
+    ~(seg : mr_seg ref) ~(invalidate : Artifact.device -> unit)
+    ~(receivers : I.v list) (compute : unit -> V.t) : V.t =
+  let snaps = List.map snapshot_v receivers in
+  let rewind () =
+    List.iter2 (fun snap into -> restore_v ~snap ~into) snaps receivers
+  in
+  let rec attempt k =
+    match compute () with
+    | v -> v
+    | exception Support.Fault.Device_fault info -> (
+      Metrics.add_device_fault t.metrics_;
+      rewind ();
+      match !seg with
+      | Mr_bytecode ->
+        (* bytecode chunks never touch a device or a boundary *)
+        raise (Support.Fault.Device_fault info)
+      | Mr_device a ->
+        let device = Artifact.device a in
+        if k < t.max_retries then begin
+          let backoff = t.retry_backoff_ns *. (2.0 ** float_of_int k) in
+          Metrics.add_retry t.metrics_ ~backoff_ns:backoff;
+          trace_fault_event
+            ("retry:" ^ Artifact.device_name device)
+            ~uid ~attempt:(k + 1)
+            [ "backoff_ns", Trace.Float backoff ];
+          if Trace.enabled () then
+            Trace.end_span
+              (Trace.begin_span ~cat:"backoff"
+                 ~args:
+                   [
+                     "backoff_ns", Trace.Float backoff;
+                     "attempt", Trace.Int (k + 1);
+                   ]
+                 ("backoff:" ^ Artifact.device_name device));
+          attempt (k + 1)
+        end
+        else begin
+          Store.quarantine t.store_ ~device
+            ~reason:info.Support.Fault.f_reason;
+          Metrics.add_resubstitution t.metrics_;
+          trace_fault_event "resubstitute" ~uid ~attempt:k
+            [
+              "quarantined", Trace.Str (Artifact.device_name device);
+              "reason", Trace.Str info.Support.Fault.f_reason;
+            ];
+          invalidate device;
+          let plan = plan_for t ~n [ worker ] in
+          (match plan with
+          | [ Substitute.S_device (a', _) ] ->
+            Metrics.add_substitution t.metrics_ uid (Artifact.device a')
+          | _ -> ());
+          seg := mr_seg_of_plan plan;
+          attempt 0
+        end)
+  in
+  attempt 0
+
+let mr_record_plan t ~uid plan =
+  t.last_plan_ <- Some (Substitute.describe_plan plan);
+  List.iter
+    (function
+      | Substitute.S_device (a, fs) ->
+        Metrics.add_substitution t.metrics_ uid (Artifact.device a);
+        if Trace.enabled () then
+          trace_substitution t ~uid ~filters:(List.length fs)
+            (Some (Artifact.device a))
+      | Substitute.S_bytecode fs ->
+        if Trace.enabled () then
+          trace_substitution t ~uid ~filters:(List.length fs) None)
+    plan
+
+let mr_span ~uid ~n ~chunks ~plan ~steady f =
+  Trace.with_span ~cat:"runtime"
+    ~args:
+      [
+        "elements", Trace.Int n;
+        "plan", Trace.Str (Substitute.describe_plan plan);
+        "chunks", Trace.Int chunks;
+        ( "schedule",
+          Trace.Str
+            (Scheduler.mode_name
+               (if steady then Scheduler.Steady_state
+                else Scheduler.Round_robin)) );
+      ]
+    ("mr:" ^ uid) f
+
+let mr_steady t = t.schedule = Scheduler.Steady_state && not (Support.Fault.enabled ())
+
+(* One lowered map run over a non-empty stream. *)
+let run_lowered_map_n t (lw : Lmr.lowered) (site : Ir.map_site)
+    (pairs : (I.v * bool) list) (n : int) : I.v =
+  let uid = lw.Lmr.lw_uid in
+  let worker = lw.Lmr.lw_worker in
+  let bounds =
+    Lmr.split_bounds ~n
+      ~chunks:(Lmr.chunks_for ?override:t.map_chunks ~n lw.Lmr.lw_kind)
+  in
+  let k = List.length bounds in
+  let plan = plan_for t ~n [ worker ] in
+  mr_record_plan t ~uid plan;
+  Metrics.add_mr_run t.metrics_ ~chunks:k;
+  let seg = ref (mr_seg_of_plan plan) in
+  (* Device-resident argument copies, shipped once on first use. GPU
+     launches ship every argument over the accelerator boundary;
+     native ones ship only the mapped arrays over JNI — receivers and
+     scalars stay host side, as in [native_batch]. *)
+  let gpu_args = ref None in
+  let native_args = ref None in
+  let gpu_launched = ref false in
+  let used_gpu = ref false and used_native = ref false in
+  let invalidate = function
+    | Artifact.Gpu ->
+      gpu_args := None;
+      gpu_launched := false
+    | Artifact.Native -> native_args := None
+    | _ -> ()
+  in
+  let gpu_ctx () =
+    match !gpu_args with
+    | Some d -> d
+    | None ->
+      let d = List.map (fun (a, _) -> ship_to_device t (I.prim_exn a)) pairs in
+      gpu_args := Some d;
+      d
+  in
+  let native_ctx () =
+    match !native_args with
+    | Some d -> d
+    | None ->
+      let nb = Metrics.native_boundary t.metrics_ in
+      let d =
+        List.map
+          (fun (a, mapped) ->
+            if mapped then `Arr (ship_to_device ~boundary:nb t (I.prim_exn a))
+            else `Host a)
+          pairs
+      in
+      native_args := Some d;
+      d
+  in
+  let bc_chunk (off, len) =
+    Trace.with_span ~cat:"vm" ("bc:" ^ uid) (fun () ->
+        let out = I.new_array site.Ir.map_elem_ty len in
+        for j = 0 to len - 1 do
+          let elt_args =
+            List.map
+              (fun (a, mapped) ->
+                if mapped then I.Prim (I.array_get (I.prim_exn a) (off + j))
+                else a)
+              pairs
+          in
+          let r = Bytecode.Vm.run t.unit_ lw.Lmr.lw_fn elt_args in
+          Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
+          I.array_set out j (I.prim_exn r.Bytecode.Vm.value)
+        done;
+        I.freeze out)
+  in
+  let gpu_chunk (off, len) =
+    with_launch_span t ~elements:len ("gpu:" ^ uid) (fun () ->
+        let dev = gpu_ctx () in
+        let chunk_args =
+          List.map2
+            (fun d (_, mapped) ->
+              if mapped then slice_prim d ~offset:off ~len else d)
+            dev pairs
+        in
+        let result, timing =
+          Gpu.Simt.run_map ~device:t.gpu_device
+            ~model_divergence:t.model_divergence (program t) site chunk_args
+        in
+        let overhead = t.gpu_device.Gpu.Device.launch_overhead_ns in
+        let ns =
+          if !gpu_launched then
+            Float.max 0.0 (timing.Gpu.Simt.kernel_ns -. overhead)
+          else timing.Gpu.Simt.kernel_ns
+        in
+        gpu_launched := true;
+        used_gpu := true;
+        Metrics.add_gpu_kernel t.metrics_ ~ns;
+        result)
+  in
+  let native_chunk (off, len) =
+    Support.Fault.check ~device:"native" ~segment:uid;
+    with_launch_span t ~elements:len ("native:" ^ uid) (fun () ->
+        let shipped = native_ctx () in
+        let out = I.new_array site.Ir.map_elem_ty len in
+        for j = 0 to len - 1 do
+          let elt_args =
+            List.map
+              (function
+                | `Arr d -> I.Prim (I.array_get d (off + j))
+                | `Host a -> a)
+              shipped
+          in
+          let r = Bytecode.Vm.run t.unit_ lw.Lmr.lw_fn elt_args in
+          Metrics.add_native_instructions t.metrics_ r.Bytecode.Vm.executed;
+          I.array_set out j (I.prim_exn r.Bytecode.Vm.value)
+        done;
+        used_native := true;
+        I.freeze out)
+  in
+  let receivers =
+    List.filter_map
+      (fun (a, _) -> match a with I.Obj _ -> Some a | _ -> None)
+      pairs
+  in
+  let run_chunk _ci bound =
+    mr_chunk_with_recovery t ~uid ~n ~worker ~seg ~invalidate ~receivers
+      (fun () ->
+        match !seg with
+        | Mr_bytecode -> bc_chunk bound
+        | Mr_device (Artifact.Gpu_kernel _) -> gpu_chunk bound
+        | Mr_device (Artifact.Native_binary _) -> native_chunk bound
+        | Mr_device (Artifact.Fpga_module _) ->
+          fail "lowered map %s: no FPGA execution path" uid)
+  in
+  let staging = I.new_array site.Ir.map_elem_ty n in
+  let bound_arr = Array.of_list bounds in
+  let collect ci cv =
+    let off, len = bound_arr.(ci) in
+    for j = 0 to len - 1 do
+      I.array_set staging (off + j) (I.array_get cv j)
+    done
+  in
+  mr_span ~uid ~n ~chunks:k ~plan ~steady:(mr_steady t) (fun () ->
+      run_mr_actors t ~uid ~bounds ~run_chunk ~collect;
+      let result = I.freeze staging in
+      let result =
+        if !used_gpu then mr_ship_home t ~uid ~device:Artifact.Gpu result
+        else if !used_native then
+          mr_ship_home t
+            ~boundary:(Metrics.native_boundary t.metrics_)
+            ~uid ~device:Artifact.Native result
+        else result
+      in
+      I.Prim result)
+
+(* The lowered-map hook: validate exactly what [Vm.eval_map] validates
+   and answer [None] on any mismatch, so the VM raises its canonical
+   diagnostics ("map needs at least one array argument", "mapped
+   arrays have different lengths"). *)
+let run_lowered_map t (lw : Lmr.lowered) (site : Ir.map_site)
+    (args : I.v list) : I.v option =
+  let flags = List.map snd site.Ir.map_args in
+  let validated =
+    match List.combine args flags with
+    | exception Invalid_argument _ -> None
+    | pairs -> (
+      try
+        match
+          List.filter_map
+            (fun (a, mapped) ->
+              if mapped then Some (I.array_length (I.prim_exn a)) else None)
+            pairs
+        with
+        | [] -> None
+        | n :: rest when List.for_all (Int.equal n) rest -> Some (pairs, n)
+        | _ -> None
+      with _ -> None)
+  in
+  match validated with
+  | None -> None
+  | Some (_, 0) ->
+    (* [eval_map]'s empty-stream result: a frozen empty array *)
+    Some (I.Prim (I.freeze (I.new_array site.Ir.map_elem_ty 0)))
+  | Some (pairs, n) -> Some (run_lowered_map_n t lw site pairs n)
+
+(* One lowered reduce run over a non-empty array. Chunks fold
+   left-to-right within themselves (the GPU reduce folds values in
+   array order precisely so this stays bit-identical); partials are
+   combined on the host in chunk order. The default is one chunk —
+   chunked combining reassociates the fold, so K > 1 is opt-in via
+   [reduce_chunks]. *)
+let run_lowered_reduce_n t (lw : Lmr.lowered) (site : Ir.reduce_site)
+    (host : V.t) (n : int) : I.v =
+  let uid = lw.Lmr.lw_uid in
+  let worker = lw.Lmr.lw_worker in
+  let bounds =
+    Lmr.split_bounds ~n
+      ~chunks:(Lmr.chunks_for ?override:t.reduce_chunks ~n lw.Lmr.lw_kind)
+  in
+  let k = List.length bounds in
+  let plan = plan_for t ~n [ worker ] in
+  mr_record_plan t ~uid plan;
+  Metrics.add_mr_run t.metrics_ ~chunks:k;
+  let seg = ref (mr_seg_of_plan plan) in
+  let gpu_arg = ref None in
+  let native_arg = ref None in
+  let gpu_launched = ref false in
+  (* which boundary each partial must cross to reach the host combine *)
+  let partial_home = Array.make k `Host in
+  let invalidate = function
+    | Artifact.Gpu ->
+      gpu_arg := None;
+      gpu_launched := false
+    | Artifact.Native -> native_arg := None
+    | _ -> ()
+  in
+  let gpu_ctx () =
+    match !gpu_arg with
+    | Some d -> d
+    | None ->
+      let d = ship_to_device t host in
+      gpu_arg := Some d;
+      d
+  in
+  let native_ctx () =
+    match !native_arg with
+    | Some d -> d
+    | None ->
+      let nb = Metrics.native_boundary t.metrics_ in
+      let d = ship_to_device ~boundary:nb t host in
+      native_arg := Some d;
+      d
+  in
+  let vm_fold ~account arr (off, len) =
+    let acc = ref (I.Prim (I.array_get arr off)) in
+    for j = 1 to len - 1 do
+      let r =
+        Bytecode.Vm.run t.unit_ lw.Lmr.lw_fn
+          [ !acc; I.Prim (I.array_get arr (off + j)) ]
+      in
+      account r.Bytecode.Vm.executed;
+      acc := r.Bytecode.Vm.value
+    done;
+    I.prim_exn !acc
+  in
+  let bc_chunk bound =
+    Trace.with_span ~cat:"vm" ("bc:" ^ uid) (fun () ->
+        vm_fold ~account:(Metrics.add_vm_instructions t.metrics_) host bound)
+  in
+  let gpu_chunk ci (off, len) =
+    with_launch_span t ~elements:len ("gpu:" ^ uid) (fun () ->
+        let dev = slice_prim (gpu_ctx ()) ~offset:off ~len in
+        let result, timing =
+          Gpu.Simt.run_reduce ~device:t.gpu_device
+            ~model_divergence:t.model_divergence (program t) site dev
+        in
+        let overhead = t.gpu_device.Gpu.Device.launch_overhead_ns in
+        let ns =
+          if !gpu_launched then
+            Float.max 0.0 (timing.Gpu.Simt.kernel_ns -. overhead)
+          else timing.Gpu.Simt.kernel_ns
+        in
+        gpu_launched := true;
+        partial_home.(ci) <- `Gpu;
+        Metrics.add_gpu_kernel t.metrics_ ~ns;
+        result)
+  in
+  let native_chunk ci bound =
+    Support.Fault.check ~device:"native" ~segment:uid;
+    with_launch_span t ~elements:(snd bound) ("native:" ^ uid) (fun () ->
+        let r =
+          vm_fold
+            ~account:(Metrics.add_native_instructions t.metrics_)
+            (native_ctx ()) bound
+        in
+        partial_home.(ci) <- `Native;
+        r)
+  in
+  let run_chunk ci bound =
+    mr_chunk_with_recovery t ~uid ~n ~worker ~seg ~invalidate ~receivers:[]
+      (fun () ->
+        partial_home.(ci) <- `Host;
+        match !seg with
+        | Mr_bytecode -> bc_chunk bound
+        | Mr_device (Artifact.Gpu_kernel _) -> gpu_chunk ci bound
+        | Mr_device (Artifact.Native_binary _) -> native_chunk ci bound
+        | Mr_device (Artifact.Fpga_module _) ->
+          fail "lowered reduce %s: no FPGA execution path" uid)
+  in
+  let partials = Array.make k None in
+  let collect ci v = partials.(ci) <- Some v in
+  mr_span ~uid ~n ~chunks:k ~plan ~steady:(mr_steady t) (fun () ->
+      run_mr_actors t ~uid ~bounds ~run_chunk ~collect;
+      let part ci =
+        match partials.(ci) with
+        | Some v -> (
+          match partial_home.(ci) with
+          | `Host -> v
+          | `Gpu -> mr_ship_home t ~uid ~device:Artifact.Gpu v
+          | `Native ->
+            mr_ship_home t
+              ~boundary:(Metrics.native_boundary t.metrics_)
+              ~uid ~device:Artifact.Native v)
+        | None -> fail "lowered reduce %s: chunk %d produced no partial" uid ci
+      in
+      let acc = ref (I.Prim (part 0)) in
+      for ci = 1 to k - 1 do
+        let r =
+          Trace.with_span ~cat:"vm" ("bc:" ^ uid) (fun () ->
+              Bytecode.Vm.run t.unit_ lw.Lmr.lw_fn [ !acc; I.Prim (part ci) ])
+        in
+        Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
+        acc := r.Bytecode.Vm.value
+      done;
+      !acc)
+
+let run_lowered_reduce t (lw : Lmr.lowered) (site : Ir.reduce_site)
+    (arg : I.v) : I.v option =
+  match (try Some (I.prim_exn arg, I.array_length (I.prim_exn arg)) with _ -> None)
+  with
+  | None | Some (_, 0) ->
+    (* malformed or empty: the VM raises its canonical diagnostics
+       ("reduce of an empty array") *)
+    None
+  | Some (host, n) -> Some (run_lowered_reduce_n t lw site host n)
+
 (* --- VM hooks ---------------------------------------------------------- *)
 
 (* The hook-path version of the failure protocol: a faulting GPU
@@ -946,26 +1563,49 @@ let hook_with_recovery t ~uid (f : unit -> I.v) : I.v option =
   attempt 0
 
 let hooks t : Bytecode.Vm.hooks =
+  (* The legacy direct-dispatch path (--no-lower-mapreduce): a
+     whole-array GPU launch when the policy allows it, inline VM
+     interpretation otherwise. Kept as the differential baseline the
+     lowered path is proven bit-identical against. *)
+  let legacy_map desc args =
+    if not (gpu_allowed t) then None
+    else
+      let uid = desc.Bytecode.Insn.bm_uid in
+      match Store.find_on t.store_ ~uid ~device:Artifact.Gpu with
+      | Some (Artifact.Gpu_kernel { ga_kind = Artifact.G_map site; _ }) ->
+        hook_with_recovery t ~uid (fun () -> run_gpu_map t site args)
+      | Some _ | None -> None
+  in
+  let legacy_reduce desc arg =
+    if not (gpu_allowed t) then None
+    else
+      let uid = desc.Bytecode.Insn.br_uid in
+      match Store.find_on t.store_ ~uid ~device:Artifact.Gpu with
+      | Some (Artifact.Gpu_kernel { ga_kind = Artifact.G_reduce site; _ }) ->
+        hook_with_recovery t ~uid (fun () -> run_gpu_reduce t site arg)
+      | Some _ | None -> None
+  in
   {
     Bytecode.Vm.on_map =
       (fun desc args ->
-        if not (gpu_allowed t) then None
-        else
-          let uid = desc.Bytecode.Insn.bm_uid in
-          match Store.find_on t.store_ ~uid ~device:Artifact.Gpu with
-          | Some (Artifact.Gpu_kernel { ga_kind = Artifact.G_map site; _ }) ->
-            hook_with_recovery t ~uid (fun () -> run_gpu_map t site args)
-          | Some _ | None -> None);
+        let uid = desc.Bytecode.Insn.bm_uid in
+        match
+          if t.lower_mapreduce then Ir.String_map.find_opt uid t.mr_sites
+          else None
+        with
+        | Some ({ Lmr.lw_kind = Lmr.K_map site; _ } as lw) ->
+          run_lowered_map t lw site args
+        | Some _ | None -> legacy_map desc args);
     on_reduce =
       (fun desc arg ->
-        if not (gpu_allowed t) then None
-        else
-          let uid = desc.Bytecode.Insn.br_uid in
-          match Store.find_on t.store_ ~uid ~device:Artifact.Gpu with
-          | Some (Artifact.Gpu_kernel { ga_kind = Artifact.G_reduce site; _ })
-            ->
-            hook_with_recovery t ~uid (fun () -> run_gpu_reduce t site arg)
-          | Some _ | None -> None);
+        let uid = desc.Bytecode.Insn.br_uid in
+        match
+          if t.lower_mapreduce then Ir.String_map.find_opt uid t.mr_sites
+          else None
+        with
+        | Some ({ Lmr.lw_kind = Lmr.K_reduce site; _ } as lw) ->
+          run_lowered_reduce t lw site arg
+        | Some _ | None -> legacy_reduce desc arg);
     on_run_graph =
       Some
         (fun template ops ~blocking ->

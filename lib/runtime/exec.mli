@@ -46,6 +46,9 @@ val create :
   ?retry_backoff_ns:float ->
   ?cost_model:cost_model ->
   ?replan_factor:float ->
+  ?lower_mapreduce:bool ->
+  ?map_chunks:int ->
+  ?reduce_chunks:int ->
   Bytecode.Compile.unit_ ->
   Store.t ->
   t
@@ -74,6 +77,14 @@ val create :
     segment's remaining chunks through mid-run re-substitution —
     planned adaptively by effective cost even under a manual policy,
     so the demotion takes effect. See [docs/PLACEMENT.md].
+
+    [lower_mapreduce] (default on) executes map/reduce kernel sites as
+    lowered scatter/worker/gather task graphs
+    ([Lime_ir.Lower_mapreduce]) under the full plan/actor/steady-state
+    /fault machinery; off restores the legacy whole-array GPU hook.
+    [map_chunks]/[reduce_chunks] force the scatter width (maps default
+    to up to 4 chunks of at least 1024 elements; reduces to 1, because
+    chunked combining reassociates the fold). See [docs/LOWERING.md].
 
     @raise Engine_error if [fifo_capacity < 1]. *)
 

@@ -36,6 +36,10 @@ type snapshot = {
   sched_blocked_steps : int;  (** cumulative blocked steps *)
   sched_cache_hits : int;
       (** steady-state schedules served from the session cache *)
+  mr_runs : int;
+      (** map/reduce sites executed through the lowered
+          scatter/worker/gather task graph *)
+  mr_chunks : int;  (** worker chunk launches across those runs *)
 }
 
 type t = {
@@ -61,6 +65,8 @@ type t = {
   mutable sched_steps : int;
   mutable sched_blocked_steps : int;
   mutable sched_cache_hits : int;
+  mutable mr_runs : int;
+  mutable mr_chunks : int;
 }
 
 (* Crossing into a dynamically loaded shared library is a JNI call:
@@ -96,6 +102,8 @@ let create ?boundary () =
     sched_steps = 0;
     sched_blocked_steps = 0;
     sched_cache_hits = 0;
+    mr_runs = 0;
+    mr_chunks = 0;
   }
 
 let add_vm_instructions t n = t.vm_instructions <- t.vm_instructions + n
@@ -124,6 +132,10 @@ let add_retry t ~backoff_ns =
 let add_resubstitution t = t.resubstitutions <- t.resubstitutions + 1
 let add_replan t = t.replans <- t.replans + 1
 let add_sched_cache_hit t = t.sched_cache_hits <- t.sched_cache_hits + 1
+
+let add_mr_run t ~chunks =
+  t.mr_runs <- t.mr_runs + 1;
+  t.mr_chunks <- t.mr_chunks + chunks
 
 let add_scheduler_run t ~steady ~fallback ~rounds ~steps ~blocked_steps =
   t.sched_runs <- t.sched_runs + 1;
@@ -169,6 +181,8 @@ let snapshot t : snapshot =
     sched_steps = t.sched_steps;
     sched_blocked_steps = t.sched_blocked_steps;
     sched_cache_hits = t.sched_cache_hits;
+    mr_runs = t.mr_runs;
+    mr_chunks = t.mr_chunks;
   }
 
 let reset t =
@@ -193,7 +207,9 @@ let reset t =
   t.sched_rounds <- 0;
   t.sched_steps <- 0;
   t.sched_blocked_steps <- 0;
-  t.sched_cache_hits <- 0
+  t.sched_cache_hits <- 0;
+  t.mr_runs <- 0;
+  t.mr_chunks <- 0
 
 (* --- snapshot presentation -------------------------------------------- *)
 
@@ -310,6 +326,11 @@ let fields : field list =
       count_field "sched_cache_hits"
         ~help:"steady-state schedules served from the session cache"
         (fun s -> s.sched_cache_hits);
+      count_field "mr_runs"
+        ~help:"map/reduce sites executed via the lowered task graph"
+        (fun s -> s.mr_runs);
+      count_field "mr_chunks" ~help:"worker chunk launches in lowered runs"
+        (fun s -> s.mr_chunks);
     ]
 
 let field_label f =

@@ -37,6 +37,10 @@ type snapshot = {
   sched_cache_hits : int;
       (** steady-state schedules served from the per-session
           (template, plan) cache instead of re-solving the rate graph *)
+  mr_runs : int;
+      (** map/reduce sites executed through the lowered
+          scatter/worker/gather task graph *)
+  mr_chunks : int;  (** worker chunk launches across those runs *)
 }
 
 type t
@@ -60,6 +64,10 @@ val add_replan : t -> unit
 
 val add_sched_cache_hit : t -> unit
 (** One steady-state schedule served from the session cache. *)
+
+val add_mr_run : t -> chunks:int -> unit
+(** One map/reduce site executed through the lowered
+    scatter/worker/gather graph, with its chunk count. *)
 
 (** One task-graph scheduler invocation: which mode actually ran
     ([steady]), whether a requested steady-state schedule fell back to

@@ -25,6 +25,7 @@ a GPU map kernel rather than an exclusion.
 
   $ ../../bin/lmc.exe compile clean.lime | grep -E '^(artifacts|exclusions|  \[)'
   artifacts:
+    [native] G.scale.map@G.run/0: shared library (1 stage(s))
     [gpu] G.scale.map@G.run/0: map kernel for G.scale
 
 A task graph whose source rate is never positive can never push an

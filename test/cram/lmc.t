@@ -178,6 +178,8 @@ metrics snapshot (timings vary run to run, so digits are normalized):
   sched_steps: N
   sched_blocked_steps: N
   sched_cache_hits: N
+  mr_runs: N
+  mr_chunks: N
   substitutions: Bitflip.flip@Bitflip.taskFlip/N -> gpu
 
 The IR dump shows the discovered task graph and the lowered filter:

@@ -1,0 +1,60 @@
+The map/reduce lowering (docs/LOWERING.md): every kernel site is
+rewritten into a chunked scatter/worker/gather task graph and executed
+on the ordinary substitution/scheduling/fault substrate, so lowered
+runs record a plan, per-chunk device launches and mr metrics.
+
+  $ cat > saxpy.lime <<'EOF'
+  > public class Saxpy {
+  >   local static float axpy(float a, float x, float y) {
+  >     return a * x + y;
+  >   }
+  >   public static float[[]] run(float a, float[[]] xs, float[[]] ys) {
+  >     return Saxpy @ axpy(a, xs, ys);
+  >   }
+  > }
+  > EOF
+
+A lowered run plans the worker like any other task segment and reports
+the chosen placement (the legacy hook never did):
+
+  $ ../../bin/lmc.exe run saxpy.lime Saxpy.run 2.0 float:1,2,3,4 float:10,20,30,40
+  [12; 24; 36; 48]
+  plan: gpu(1)
+
+The policy applies to the worker exactly as it would to a filter
+chain:
+
+  $ ../../bin/lmc.exe run saxpy.lime Saxpy.run 2.0 float:1,2,3 float:10,20,30 --policy bytecode
+  [12; 24; 36]
+  plan: bytecode(1)
+
+`--lower-mapreduce=false` restores the legacy whole-array dispatch —
+same values, no plan, no chunking:
+
+  $ ../../bin/lmc.exe run saxpy.lime Saxpy.run 2.0 float:1,2,3,4 float:10,20,30,40 --lower-mapreduce=false
+  [12; 24; 36; 48]
+
+At full size the stream scatters into four worker chunks (maps split
+into up to 4 chunks of at least 1024 elements), visible in the
+metrics:
+
+  $ ../../bin/lmc.exe workloads saxpy --size 4096 --metrics-export text | grep mr
+  # HELP mr_runs map/reduce sites executed via the lowered task graph
+  # TYPE mr_runs counter
+  mr_runs 1
+  # HELP mr_chunks worker chunk launches in lowered runs
+  # TYPE mr_chunks counter
+  mr_chunks 4
+
+`lmc report` attributes the chunk workers: the site's segment
+aggregates its four per-chunk GPU launches,
+
+  $ ../../bin/lmc.exe report saxpy --profile-store lower.profiles | sed -n '/^segments/,/^$/p' | grep Saxpy | awk '{print $1, $2, $3}'
+  Saxpy.axpy.map@Saxpy.run/0 gpu 4
+
+and the drift join prices those launches against the worker's profile
+(modeled time on both sides, so the row is deterministic):
+
+  $ rm -f lower.profiles
+  $ ../../bin/lmc.exe report saxpy --profile-store lower.profiles | sed -n '/^prediction drift/,$p' | grep Saxpy | tr -s ' '
+  Saxpy.axpy.map@Saxpy.run/0 gpu 4 16384 52.4 116.6 0.45 analytic drift(fast)

@@ -15,6 +15,7 @@ boundary, so the planner picks the native placement instead:
     fpga-only     fpga(3)          26.7 us
     bytecode      bytecode(3)      55.4 us
     segment native:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2: 13.7 us [measured]
+    predicted speedup over bytecode: 4.050x
     rationale: chose native(3) over the default gpu(3): predicted 13.7 us vs 25.5 us (1.87x) at n=512; the default is dominated by gpu:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 (25.5 us)
   
   profile store plan.profiles: 7 entry(s), 0 hit(s), 7 calibrated
@@ -34,6 +35,7 @@ floats, predicts the very same makespans:
     fpga-only     fpga(3)          26.7 us
     bytecode      bytecode(3)      55.4 us
     segment native:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2: 13.7 us [measured]
+    predicted speedup over bytecode: 4.050x
     rationale: chose native(3) over the default gpu(3): predicted 13.7 us vs 25.5 us (1.87x) at n=512; the default is dominated by gpu:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 (25.5 us)
   
   profile store plan.profiles: 7 entry(s), 12 hit(s), 0 calibrated
@@ -51,9 +53,24 @@ Machine-readable output for tooling:
   $ ../../bin/lmc.exe plan dsp_chain --json --profile-store plan.profiles | grep -o '"planned":{"name":"[^"]*","plan":"[^"]*"'
   "planned":{"name":"calibrated","plan":"native(3)"
 
-Map/reduce workloads have no task graphs to place:
+Map/reduce kernel sites are placed too: the lowering
+(docs/LOWERING.md) turns each site into a scatter/worker/gather graph
+whose replicated worker is the placement unit, so the planner prices
+every device against bytecode and predicts a real speedup instead of
+dispatching by suitability alone:
 
-  $ ../../bin/lmc.exe plan saxpy --profile-store plan.profiles | head -3
+  $ ../../bin/lmc.exe plan saxpy --profile-store plan.profiles
   placement plan at n=16384
   
-  (no task graphs to place: map/reduce kernel sites are dispatched by suitability alone)
+  map site Saxpy.axpy.map@Saxpy.run/0 (1 filter(s)):
+    calibrated    gpu(1)           41.6 us  <- planned
+    accelerators  gpu(1)           41.6 us
+    gpu-only      gpu(1)           41.6 us
+    native-only   native(1)       117.7 us
+    fpga-only     bytecode(1)     884.7 us
+    bytecode      bytecode(1)     884.7 us
+    segment gpu:Saxpy.axpy.map@Saxpy.run/0: 41.6 us [analytic]
+    predicted speedup over bytecode: 21.283x
+    rationale: the static default (gpu(1)) is already cost-optimal at n=16384: predicted 41.6 us
+  
+  profile store plan.profiles: 10 entry(s), 0 hit(s), 3 calibrated

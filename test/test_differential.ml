@@ -189,6 +189,68 @@ let test_zero_retries_resubstitutes () =
   Alcotest.(check int) "no retries" 0 m.retries;
   Alcotest.(check int) "one re-substitution" 1 m.resubstitutions
 
+(* --- lowered map/reduce chunk faults ------------------------------------ *)
+
+(* Killing one worker chunk mid-flight — the third of four GPU chunk
+   launches of the lowered scatter/worker/gather graph — with no retry
+   budget must quarantine the device, re-substitute the remaining
+   chunks down the device ladder, and still reproduce the bytecode
+   output bit for bit. *)
+let test_chunk_fault_resubstitutes () =
+  let w = Workloads.find "saxpy" in
+  let expected = reference w ~size:512 in
+  let c = compiled_of w in
+  Store.clear_quarantine c.Compiler.store;
+  let engine =
+    Compiler.engine
+      ~policy:(Substitute.Prefer_devices [ Runtime.Artifact.Gpu ])
+      ~max_retries:0 ~map_chunks:4 c
+  in
+  Fault.install (parse_exn "gpu:*:at=2");
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Fault.clear ())
+      (fun () -> Exec.call engine w.entry (w.args ~size:512))
+  in
+  check_identical ~ctx:"saxpy chunk kill" expected result;
+  let m = Metrics.snapshot (Exec.metrics engine) in
+  Alcotest.(check int) "one fault" 1 m.device_faults;
+  Alcotest.(check int) "one re-substitution" 1 m.resubstitutions;
+  Alcotest.(check int) "one lowered run" 1 m.mr_runs;
+  Alcotest.(check int) "four chunks" 4 m.mr_chunks;
+  Alcotest.(check bool) "gpu quarantined" true
+    (Store.is_quarantined c.Compiler.store ~device:Runtime.Artifact.Gpu);
+  Store.clear_quarantine c.Compiler.store
+
+(* A transient chunk fault is absorbed by a per-chunk retry: no
+   re-substitution, the device stays in service and finishes every
+   chunk. *)
+let test_chunk_fault_retried () =
+  let w = Workloads.find "saxpy" in
+  let expected = reference w ~size:512 in
+  let c = compiled_of w in
+  Store.clear_quarantine c.Compiler.store;
+  let engine =
+    Compiler.engine
+      ~policy:(Substitute.Prefer_devices [ Runtime.Artifact.Gpu ])
+      ~map_chunks:4 c
+  in
+  Fault.install (parse_exn "gpu:*:at=1");
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Fault.clear ();
+        Store.clear_quarantine c.Compiler.store)
+      (fun () -> Exec.call engine w.entry (w.args ~size:512))
+  in
+  check_identical ~ctx:"saxpy chunk retry" expected result;
+  let m = Metrics.snapshot (Exec.metrics engine) in
+  Alcotest.(check int) "one fault" 1 m.device_faults;
+  Alcotest.(check int) "one retry" 1 m.retries;
+  Alcotest.(check int) "no re-substitution" 0 m.resubstitutions;
+  Alcotest.(check int) "four chunks" 4 m.mr_chunks;
+  Alcotest.(check bool) "gpu did the chunks" true (m.gpu_kernels >= 4)
+
 (* --- fault spec grammar ------------------------------------------------- *)
 
 let test_spec_parsing () =
@@ -293,6 +355,10 @@ let suite =
           test_transient_fault_retries;
         Alcotest.test_case "zero retries re-substitutes at once" `Quick
           test_zero_retries_resubstitutes;
+        Alcotest.test_case "lowered chunk fault re-substitutes mid-flight"
+          `Quick test_chunk_fault_resubstitutes;
+        Alcotest.test_case "lowered chunk fault absorbed by retry" `Quick
+          test_chunk_fault_retried;
         Alcotest.test_case "fault spec grammar" `Quick test_spec_parsing;
         Alcotest.test_case "probabilistic schedules are seeded" `Quick
           test_probabilistic_determinism;

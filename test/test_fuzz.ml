@@ -280,6 +280,57 @@ let prop_fault_schedules_are_harmless =
       let got = run_graph_under ~schedule compiled w policy in
       Stdlib.compare expected got = 0)
 
+(* --- lowered map/reduce chunk-fault fuzzing ---------------------------- *)
+
+(* Random scatter widths x random single-launch fault points on the
+   lowered saxpy map: whichever chunk (or boundary crossing) dies, the
+   per-chunk recovery protocol must land on the bytecode reference. *)
+let fuzz_saxpy =
+  lazy
+    (let w = Workloads.find "saxpy" in
+     w, Liquid_metal.Compiler.compile w.Workloads.source)
+
+let run_saxpy_under ?schedule ~policy ~chunks () =
+  let w, compiled = Lazy.force fuzz_saxpy in
+  Runtime.Store.clear_quarantine compiled.Liquid_metal.Compiler.store;
+  let engine =
+    Liquid_metal.Compiler.engine ~policy ~max_retries:1 ~map_chunks:chunks
+      compiled
+  in
+  (match schedule with
+  | None -> Support.Fault.clear ()
+  | Some s -> Support.Fault.install s);
+  Fun.protect
+    ~finally:(fun () ->
+      Support.Fault.clear ();
+      Runtime.Store.clear_quarantine compiled.Liquid_metal.Compiler.store)
+    (fun () -> Runtime.Exec.call engine w.Workloads.entry (w.args ~size:96))
+
+let prop_chunk_faults_recover =
+  QCheck2.Test.make
+    ~name:"fuzz: killing a lowered worker chunk mid-flight recovers to bytecode"
+    ~count:60
+    ~print:(fun (chunks, device, at) ->
+      Printf.sprintf "chunks=%d %s:*:at=%d" chunks device at)
+    (triple (int_range 1 8)
+       (oneofl [ "gpu"; "native"; "wire"; "*" ])
+       (int_range 0 8))
+    (fun (chunks, device, at) ->
+      let spec = Printf.sprintf "%s:*:at=%d" device at in
+      let schedule =
+        match Support.Fault.parse_spec spec with
+        | Ok s -> s
+        | Error e -> failwith e
+      in
+      let expected =
+        run_saxpy_under ~policy:Runtime.Substitute.Bytecode_only ~chunks:1 ()
+      in
+      let got =
+        run_saxpy_under ~schedule
+          ~policy:Runtime.Substitute.Prefer_accelerators ~chunks ()
+      in
+      Stdlib.compare expected got = 0)
+
 let suite =
   ( "fuzz",
     [
@@ -287,4 +338,5 @@ let suite =
       QCheck_alcotest.to_alcotest prop_engines_agree;
       QCheck_alcotest.to_alcotest prop_fuzz_pretty_roundtrip;
       QCheck_alcotest.to_alcotest prop_fault_schedules_are_harmless;
+      QCheck_alcotest.to_alcotest prop_chunk_faults_recover;
     ] )
