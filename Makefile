@@ -2,7 +2,7 @@
 
 QCHECK_SEED ?= 20260805
 
-.PHONY: all build test lint check bench bench-sched bench-placement bench-obs bench-lower clean
+.PHONY: all build test lint baseline lint-baseline check bench bench-sched bench-placement bench-obs bench-lower clean
 
 all: build
 
@@ -21,12 +21,46 @@ lint: build
 	  dune exec bin/lmc.exe -- analyze $$f || exit 1; \
 	done
 
+# One `lmc analyze --json` block per analyzable target — every example
+# program and every workload in the catalog — each under a `== target`
+# header. Shared by `baseline` (regenerate the checked-in snapshot)
+# and `lint-baseline` (diff against it).
+define regen_baseline
+for f in examples/lime/*.lime; do \
+  echo "== $$f"; \
+  dune exec bin/lmc.exe -- analyze --json $$f || exit 1; \
+done; \
+for w in $$(dune exec bin/lmc.exe -- workloads | awk '{print $$1}'); do \
+  echo "== $$w"; \
+  dune exec bin/lmc.exe -- analyze --json $$w || exit 1; \
+done
+endef
+
+# Regenerate the checked-in analysis baseline. Run this (and commit
+# the result) whenever a diagnostic legitimately changes.
+baseline: build
+	@{ $(regen_baseline); } > test/analyze.baseline
+	@echo "wrote test/analyze.baseline"
+
+# Fail if the analyses drift from the checked-in baseline: a proof
+# that regresses to Unknown, a new error, or any diagnostic churn
+# shows up as a diff here before it shows up in a kernel.
+lint-baseline: build
+	@tmp=$$(mktemp) && \
+	{ $(regen_baseline); } > $$tmp && \
+	if diff -u test/analyze.baseline $$tmp; then rm -f $$tmp; else \
+	  rm -f $$tmp; \
+	  echo "analysis diagnostics drifted from test/analyze.baseline;"; \
+	  echo "if intentional, regenerate with 'make baseline' and commit."; \
+	  exit 1; \
+	fi
+
 # The full gate: build everything, run the whole suite (unit, property,
-# cram), lint the examples, then re-run the differential
-# fault-tolerance suite — including its `Slow` workload x policy x
-# schedule matrix — under a fixed QCheck seed so the randomized
-# schedules are reproducible.
-check: build test lint bench-sched bench-placement bench-obs bench-lower
+# cram), lint the examples, diff the analysis baseline, then re-run
+# the differential fault-tolerance suite — including its `Slow`
+# workload x policy x schedule matrix — under a fixed QCheck seed so
+# the randomized schedules are reproducible.
+check: build test lint lint-baseline bench-sched bench-placement bench-obs bench-lower
 	QCHECK_SEED=$(QCHECK_SEED) dune exec test/test_main.exe -- test differential -e
 
 bench:

@@ -58,6 +58,19 @@ let () =
           w.Workloads.name lowered_ns legacy_ns tolerance;
         incr failures
       end;
+      (* The algebraic proof must be load-bearing: sumsq's integer
+         combiner is proven associative+commutative, so at the default
+         4096-element size its reduce site splits into the map
+         policy's 4 chunks (on top of the map site's 4) instead of
+         staying pinned at K=1 — while the bitwise comparison above
+         keeps the tree combine honest. *)
+      if w.Workloads.name = "sumsq" && m.Metrics.mr_chunks < 8 then begin
+        Printf.eprintf
+          "FAIL sumsq: proven-assoc reduce stayed pinned at K=1 \
+           (mr_chunks=%d, expected 8 across map+reduce sites)\n"
+          m.Metrics.mr_chunks;
+        incr failures
+      end;
       (* A private, unsaved store: the bench always calibrates from
          scratch so its numbers cannot depend on a stale lm.profiles
          left in the working directory. *)

@@ -733,6 +733,10 @@ let dump_ir_cmd =
 (* --- analyze ----------------------------------------------------------- *)
 
 let analyze_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET"
+           ~doc:"workload name or Lime source file")
+  in
   let json =
     Arg.(value & flag & info [ "json" ]
            ~doc:"print the diagnostics as a JSON object")
@@ -743,13 +747,23 @@ let analyze_cmd =
              "FIFO capacity assumed by the task-graph lint (matches the \
               runtime's default; per-firing bursts above it warn)")
   in
-  let action file json fifo_capacity =
+  let action tgt json fifo_capacity =
     handle_compile_errors (fun () ->
+        let source =
+          match Workloads.find tgt with
+          | w -> w.Workloads.source
+          | exception Not_found ->
+            if Sys.file_exists tgt then read_file tgt
+            else begin
+              prerr_endline ("unknown workload or file: " ^ tgt);
+              exit 1
+            end
+        in
         let prog =
           Lime_ir.Opt.optimize
             (Lime_ir.Lower.lower
                (Lime_types.Typecheck.check
-                  (Lime_syntax.Parser.parse ~file (read_file file))))
+                  (Lime_syntax.Parser.parse ~file:tgt source)))
         in
         let report = Analysis.Report.analyze ~fifo_capacity prog in
         let diags = report.Analysis.Report.diags in
@@ -763,9 +777,11 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "run the static analyses (purity/effects, value ranges and array \
-          bounds, task-graph deadlock lint) and print diagnostics")
-    Term.(const action $ file_arg $ json $ fifo_capacity)
+         "run the static analyses (purity/effects, relational value \
+          ranges and array bounds, algebraic combiner properties, \
+          fusability, task-graph deadlock lint) on a workload or source \
+          file and print diagnostics")
+    Term.(const action $ target $ json $ fifo_capacity)
 
 let () =
   let doc = "the Liquid Metal compiler and runtime (DAC 2012 reproduction)" in

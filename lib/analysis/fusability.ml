@@ -1,0 +1,137 @@
+(* Fusability lint for adjacent filter pairs.
+
+   Cross-filter fusion (the ROADMAP open item) merges two adjacent
+   pipeline stages into one artifact so a stream crosses the host <->
+   device wire once instead of per stage. Fusing `f` then `g` into
+   `g . f` is only legal when:
+
+   - both filters are *pure* ([Effects] proves neither reads or
+     writes state the other — or the host — could observe between
+     the two applications);
+   - neither carries aliased receiver state (an [F_instance] target
+     closes over a mutable object; two stages sharing it must observe
+     each other's writes in pipeline order);
+   - both are relocatable (the user allowed the runtime to move them);
+   - their rates are compatible: one firing of the pair consumes and
+     produces matching element counts, i.e. the two-actor balance
+     equations solve with equal repetitions (for today's 1:1 filters
+     this is always `1 = 1`, but the check goes through [Rates.solve]
+     so rate annotations keep it honest).
+
+   This pass only *marks* the candidate set (LMA017/LMA018); the
+   fusion transformation itself is a separate change. *)
+
+module Ir = Lime_ir.Ir
+
+type pair = {
+  fz_graph : string;  (** template uid *)
+  fz_fst : Ir.filter_info;
+  fz_snd : Ir.filter_info;
+  fz_verdict : (string, string) result;
+      (** [Ok why] = fusible; [Error why] = not *)
+}
+
+let target_key = function
+  | Ir.F_static key -> key
+  | Ir.F_instance (cls, m) -> cls ^ "." ^ m
+
+let rate_compatible (a : Ir.filter_info) (b : Ir.filter_info) :
+    (unit, string) result =
+  let one = Interval.of_int 1 in
+  let g =
+    {
+      Rates.g_actors = [ a.Ir.uid; b.Ir.uid ];
+      g_edges =
+        [
+          {
+            Rates.e_src = a.Ir.uid;
+            e_dst = b.Ir.uid;
+            e_push = one;
+            e_pop = one;
+            e_init = 0;
+          };
+        ];
+    }
+  in
+  match Rates.solve g with
+  | Error u -> Error (Rates.unsolvable_reason u)
+  | Ok sched -> (
+    match
+      ( List.assoc_opt a.Ir.uid sched.Rates.s_reps,
+        List.assoc_opt b.Ir.uid sched.Rates.s_reps )
+    with
+    | Some ra, Some rb when ra = rb -> Ok ()
+    | Some ra, Some rb ->
+      Error
+        (Printf.sprintf "repetition mismatch (%d firings vs %d)" ra rb)
+    | _ -> Error "missing repetition entry")
+
+let judge (effects : Effects.t) (a : Ir.filter_info) (b : Ir.filter_info) :
+    (string, string) result =
+  let stateful (f : Ir.filter_info) =
+    match f.Ir.target with
+    | Ir.F_instance _ ->
+      Some
+        (Printf.sprintf "%s holds aliased receiver state" (target_key f.Ir.target))
+    | Ir.F_static _ -> None
+  in
+  let not_relocatable (f : Ir.filter_info) =
+    if f.Ir.relocatable then None
+    else
+      Some
+        (Printf.sprintf "%s is outside relocation brackets"
+           (target_key f.Ir.target))
+  in
+  let impure (f : Ir.filter_info) =
+    let key = target_key f.Ir.target in
+    match Effects.summary effects key with
+    | [] -> None
+    | w :: _ -> Some (Printf.sprintf "%s %s" key (Effects.describe_witness w))
+  in
+  let first_failure checks =
+    List.fold_left
+      (fun acc check ->
+        match acc with
+        | Some _ -> acc
+        | None -> ( match check a with Some _ as r -> r | None -> check b))
+      None checks
+  in
+  match first_failure [ stateful; not_relocatable; impure ] with
+  | Some why -> Error why
+  | None -> (
+    if a.Ir.output <> b.Ir.input then
+      Error
+        (Printf.sprintf "port type mismatch (%s vs %s)"
+           (Ir.ty_to_string a.Ir.output)
+           (Ir.ty_to_string b.Ir.input))
+    else
+      match rate_compatible a b with
+      | Error why -> Error why
+      | Ok () ->
+        Ok "pure, relocatable, rate-compatible, no aliased state")
+
+(* Every adjacent filter pair of every template, judged. *)
+let analyze (prog : Ir.program) (effects : Effects.t) : pair list =
+  Ir.String_map.fold
+    (fun _ (gt : Ir.graph_template) acc ->
+      let filters =
+        List.filter_map
+          (function Ir.N_filter f -> Some f | _ -> None)
+          gt.Ir.gt_nodes
+      in
+      let rec pairs acc = function
+        | a :: (b :: _ as rest) ->
+          pairs
+            ({
+               fz_graph = gt.Ir.gt_uid;
+               fz_fst = a;
+               fz_snd = b;
+               fz_verdict = judge effects a b;
+             }
+            :: acc)
+            rest
+        | _ -> acc
+      in
+      pairs acc filters)
+    prog.Ir.templates []
+  |> List.rev

@@ -26,6 +26,7 @@ type severity = [ `Error | `Warning | `Note ]
 type finding = {
   g_sev : severity;
   g_loc : Support.Srcloc.t;
+  g_uid : string;  (** the template the finding is about *)
   g_code : string;
   g_msg : string;
 }
@@ -51,14 +52,17 @@ let source_rate (gt : Ir.graph_template) (ops : Iv.t list) : Iv.t option =
 let check (prog : Ir.program) ~fifo_capacity
     ~(graph_args : (string * Iv.t list) list) : finding list =
   let findings = ref [] in
-  let add sev loc code fmt =
-    Printf.ksprintf
-      (fun msg ->
-        findings := { g_sev = sev; g_loc = loc; g_code = code; g_msg = msg } :: !findings)
-      fmt
-  in
   Ir.String_map.iter
     (fun uid (gt : Ir.graph_template) ->
+      let add sev loc code fmt =
+        Printf.ksprintf
+          (fun msg ->
+            findings :=
+              { g_sev = sev; g_loc = loc; g_uid = uid; g_code = code;
+                g_msg = msg }
+              :: !findings)
+          fmt
+      in
       let loc = template_loc gt in
       match List.assoc_opt uid graph_args with
       | None ->

@@ -14,7 +14,13 @@
    - LMA009  warning  branch decided at compile time (dead code)
    - LMA010  error    balance equations unsolvable (no steady state exists)
    - LMA011  note     dynamic rates: no static schedule, round-robin fallback
-   - LMA012  note     balance equations solved (repetition vector reported) *)
+   - LMA012  note     balance equations solved (repetition vector reported)
+   - LMA013  note     some (not all) array accesses proven in bounds
+   - LMA014  note     proven accesses compile to unguarded loads/stores
+   - LMA015  note     reduce combiner proven associative (K>1 tree eligible)
+   - LMA016  note     reduce combiner not proven associative (pinned K=1)
+   - LMA017  note     adjacent filter pair is fusible
+   - LMA018  note     adjacent filter pair is not fusible (reason given) *)
 
 module Ir = Lime_ir.Ir
 
@@ -23,6 +29,9 @@ type severity = Error | Warning | Note
 type diag = {
   d_sev : severity;
   d_loc : Support.Srcloc.t;
+  d_uid : string;
+      (** stable subject identifier: function key, template uid or
+          kernel-site uid; the primary sort key *)
   d_code : string;
   d_msg : string;
 }
@@ -31,6 +40,8 @@ type t = {
   diags : diag list;
   effects : Effects.t;  (** reusable by the device backends *)
   ranges : Range.program_facts;
+  symbolic : Symbolic.program_facts;
+      (** per-access bounds proofs; consumed by the backends *)
 }
 
 let severity_label = function
@@ -71,11 +82,11 @@ let json_escape s =
 let to_json (diags : diag list) =
   let item d =
     Printf.sprintf
-      "{\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"code\":\"%s\",\"message\":\"%s\"}"
+      "{\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"uid\":\"%s\",\"code\":\"%s\",\"message\":\"%s\"}"
       (severity_label d.d_sev)
       (json_escape d.d_loc.Support.Srcloc.file)
       d.d_loc.Support.Srcloc.line d.d_loc.Support.Srcloc.col
-      (json_escape d.d_code) (json_escape d.d_msg)
+      (json_escape d.d_uid) (json_escape d.d_code) (json_escape d.d_msg)
   in
   Printf.sprintf
     "{\"diagnostics\":[%s],\"errors\":%d,\"warnings\":%d,\"notes\":%d}"
@@ -87,9 +98,12 @@ let to_json (diags : diag list) =
 let analyze ?(fifo_capacity = 16) (prog : Ir.program) : t =
   let effects = Effects.infer prog in
   let ranges = Range.analyze_program prog in
+  let symbolic = Symbolic.analyze_program prog in
   let diags = ref [] in
-  let add sev loc code msg =
-    diags := { d_sev = sev; d_loc = loc; d_code = code; d_msg = msg } :: !diags
+  let add sev loc uid code msg =
+    diags :=
+      { d_sev = sev; d_loc = loc; d_uid = uid; d_code = code; d_msg = msg }
+      :: !diags
   in
   (* Purity and effects of global functions: these drive device
      eligibility, so surface them. *)
@@ -98,48 +112,93 @@ let analyze ?(fifo_capacity = 16) (prog : Ir.program) : t =
       if not fn.Ir.fn_local then
         match Effects.summary effects key with
         | [] ->
-          add Note fn.Ir.fn_loc "LMA001"
+          add Note fn.Ir.fn_loc key "LMA001"
             (Printf.sprintf
                "global function %s is provably pure (eligible for device \
                 compilation)"
                key)
         | witnesses ->
-          add Note fn.Ir.fn_loc "LMA008"
+          add Note fn.Ir.fn_loc key "LMA008"
             (Printf.sprintf "global function %s: %s" key
                (String.concat "; "
                   (List.map Effects.describe
                      (List.map (fun (w : Effects.witness) -> w.Effects.w_effect)
                         witnesses)))))
     prog.funcs;
-  (* Range-analysis findings per function. *)
+  (* Bounds findings per function, from the relational domain (which
+     subsumes [Range]'s verdicts access by access). *)
   List.iter
-    (fun (key, (facts : Range.fn_facts)) ->
+    (fun (key, (facts : Symbolic.fn_facts)) ->
       let fn = Ir.func_exn prog key in
-      let total = List.length facts.Range.ff_accesses in
-      let oob =
-        List.length
-          (List.filter
-             (fun (_, v) -> v = Range.Out_of_bounds)
-             facts.Range.ff_accesses)
-      in
-      let proven =
-        List.length
-          (List.filter (fun (_, v) -> v = Range.Proven) facts.Range.ff_accesses)
-      in
+      let total = facts.Symbolic.sf_total in
+      let proven = facts.Symbolic.sf_proven in
+      let oob = facts.Symbolic.sf_oob in
       if oob > 0 then
-        add Error fn.Ir.fn_loc "LMA006"
+        add Error fn.Ir.fn_loc key "LMA006"
           (Printf.sprintf
              "%s: %d array access(es) provably out of bounds (always traps)"
              key oob);
       if total > 0 && proven = total then
-        add Note fn.Ir.fn_loc "LMA007"
+        add Note fn.Ir.fn_loc key "LMA007"
           (Printf.sprintf "%s: all %d array access(es) provably in bounds" key
-             total);
+             total)
+      else if proven > 0 then
+        add Note fn.Ir.fn_loc key "LMA013"
+          (Printf.sprintf "%s: %d of %d array access(es) proven in bounds" key
+             proven total);
+      if proven > 0 then
+        add Note fn.Ir.fn_loc key "LMA014"
+          (Printf.sprintf
+             "%s: %d proven access(es) compile to unguarded loads/stores \
+              (bounds checks elided)"
+             key proven))
+    symbolic.Symbolic.sp_fns;
+  (* Dead-branch findings stay with the classic range analysis. *)
+  List.iter
+    (fun (key, (facts : Range.fn_facts)) ->
+      let fn = Ir.func_exn prog key in
       if facts.Range.ff_dead_branches > 0 then
-        add Warning fn.Ir.fn_loc "LMA009"
+        add Warning fn.Ir.fn_loc key "LMA009"
           (Printf.sprintf "%s: %d branch(es) decided at compile time (dead code)"
              key facts.Range.ff_dead_branches))
     ranges.Range.pf_fns;
+  (* Reduce combiners: the reassociation contract per kernel site. *)
+  List.iter
+    (fun site ->
+      match site with
+      | `Map _ -> ()
+      | `Reduce (r : Ir.reduce_site) -> (
+        match Algebra.analyze prog r.Ir.red_fn with
+        | Algebra.Assoc_comm why ->
+          add Note r.Ir.red_loc r.Ir.red_uid "LMA015"
+            (Printf.sprintf
+               "reduce %s: combiner %s proven associative+commutative (%s); \
+                eligible for K>1 tree combining"
+               r.Ir.red_uid r.Ir.red_fn why)
+        | Algebra.Unknown why ->
+          add Note r.Ir.red_loc r.Ir.red_uid "LMA016"
+            (Printf.sprintf
+               "reduce %s: combiner %s not proven associative (%s); pinned \
+                at K=1"
+               r.Ir.red_uid r.Ir.red_fn why)))
+    (Ir.kernel_sites prog);
+  (* Fusability of adjacent filter pairs. *)
+  List.iter
+    (fun (p : Fusability.pair) ->
+      let names =
+        Printf.sprintf "%s -> %s" p.Fusability.fz_fst.Ir.uid
+          p.Fusability.fz_snd.Ir.uid
+      in
+      match p.Fusability.fz_verdict with
+      | Ok why ->
+        add Note p.Fusability.fz_snd.Ir.floc p.Fusability.fz_graph "LMA017"
+          (Printf.sprintf "task graph %s: filters %s are fusible (%s)"
+             p.Fusability.fz_graph names why)
+      | Error why ->
+        add Note p.Fusability.fz_snd.Ir.floc p.Fusability.fz_graph "LMA018"
+          (Printf.sprintf "task graph %s: filters %s are not fusible: %s"
+             p.Fusability.fz_graph names why))
+    (Fusability.analyze prog effects);
   (* Task-graph lint. *)
   List.iter
     (fun (f : Graphlint.finding) ->
@@ -149,24 +208,25 @@ let analyze ?(fifo_capacity = 16) (prog : Ir.program) : t =
         | `Warning -> Warning
         | `Note -> Note
       in
-      add sev f.Graphlint.g_loc f.Graphlint.g_code f.Graphlint.g_msg)
+      add sev f.Graphlint.g_loc f.Graphlint.g_uid f.Graphlint.g_code
+        f.Graphlint.g_msg)
     (Graphlint.check prog ~fifo_capacity
        ~graph_args:ranges.Range.pf_graph_args);
+  (* Deterministic order: subject uid first, then code, then message —
+     stable across OCaml versions and map-iteration details. *)
   let ordered =
     List.sort
       (fun a b ->
-        let la = a.d_loc and lb = b.d_loc in
-        let c = compare la.Support.Srcloc.file lb.Support.Srcloc.file in
+        let c = compare a.d_uid b.d_uid in
         if c <> 0 then c
         else
-          let c = compare la.Support.Srcloc.line lb.Support.Srcloc.line in
-          if c <> 0 then c
-          else
-            let c = compare la.Support.Srcloc.col lb.Support.Srcloc.col in
-            if c <> 0 then c
-            else
-              let c = compare a.d_code b.d_code in
-              if c <> 0 then c else compare a.d_msg b.d_msg)
+          let c = compare a.d_code b.d_code in
+          if c <> 0 then c else compare a.d_msg b.d_msg)
       (List.rev !diags)
   in
-  { diags = ordered; effects; ranges }
+  { diags = ordered; effects; ranges; symbolic }
+
+(* Per-access bounds-proof predicate for the backends: [prover report
+   key instr] is [true] iff [instr]'s array access in function [key]
+   was proven in bounds. *)
+let prover (t : t) : string -> Ir.instr -> bool = Symbolic.prover t.symbolic

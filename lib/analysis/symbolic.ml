@@ -1,0 +1,560 @@
+(* Relational value analysis over the Lime IR.
+
+   [Range] is non-relational: inside `for (i = 0; i < a.length; i++)`
+   the loop head widens `i` to [0, +inf) and every access `a[i]`
+   reports [Unknown]. This pass runs the same CFG fixpoint but pairs
+   the concrete interval state with *symbolic bounds*: per register an
+   optional upper/lower bound of the form `expr + offset`, where
+   [expr] is a canonical expression over registers that are never
+   reassigned (parameters and the lengths/values derived from them).
+
+   The key facts:
+
+   - Canonicalization is flow-insensitive. A leaf [X_arg s] names a
+     register with no definition in the function body (a parameter);
+     its machine value is fixed for the whole activation, so two
+     occurrences of the same canonical expression — even textual
+     re-computations like the `n * n` in a loop condition vs the
+     `n * n` that sized an allocation — denote the same machine value.
+     Structural equality of canonical expressions is therefore value
+     equality, with no invalidation needed anywhere.
+
+   - Expressions evaluate with machine (wraparound) semantics. We
+     never split `e + c` into bound `{e, c}`: offsets only enter
+     through comparison refinement (`i < e` gives `i <= e - 1`),
+     which is exact over any two in-range machine integers.
+
+   - Widening never loops: symbolic bounds that disagree at a widening
+     point drop to [None], and the loop-head-to-body edge refinement
+     re-establishes `i <= len - 1` on every iteration — which is
+     exactly where the access proof needs it.
+
+   An access `a[i]` is proven when the concrete lower bound of `i` is
+   >= 0 and the symbolic upper bound of `i` is `{e, off}` with
+   `off < 0` and `e` structurally equal to the canonical length
+   expression of `a`. *)
+
+module Ir = Lime_ir.Ir
+module Iv = Interval
+
+(* --- canonical expressions ----------------------------------------- *)
+
+type sexpr =
+  | X_arg of int  (** register with no definition in the body *)
+  | X_const of int
+  | X_len of sexpr  (** length of the array denoted by the expression *)
+  | X_bin of Ir.binop * sexpr * sexpr
+  | X_un of Ir.unop * sexpr
+
+let rec sexpr_size = function
+  | X_arg _ | X_const _ -> 1
+  | X_len e | X_un (_, e) -> 1 + sexpr_size e
+  | X_bin (_, a, b) -> 1 + sexpr_size a + sexpr_size b
+
+let max_sexpr_size = 64
+
+let rec sexpr_to_string = function
+  | X_arg s -> Printf.sprintf "r%d" s
+  | X_const n -> string_of_int n
+  | X_len e -> Printf.sprintf "len(%s)" (sexpr_to_string e)
+  | X_bin (op, a, b) ->
+    let sym =
+      match op with
+      | Ir.Add_i -> "+"
+      | Ir.Sub_i -> "-"
+      | Ir.Mul_i -> "*"
+      | Ir.Div_i -> "/"
+      | Ir.Rem_i -> "%"
+      | Ir.Shl_i -> "<<"
+      | Ir.Shr_i -> ">>"
+      | Ir.And_i -> "&"
+      | Ir.Or_i -> "|"
+      | Ir.Xor_i -> "^"
+      | _ -> "?"
+    in
+    Printf.sprintf "(%s %s %s)" (sexpr_to_string a) sym (sexpr_to_string b)
+  | X_un (Ir.Neg_i, e) -> Printf.sprintf "(-%s)" (sexpr_to_string e)
+  | X_un (Ir.Bnot_i, e) -> Printf.sprintf "(~%s)" (sexpr_to_string e)
+  | X_un (_, e) -> Printf.sprintf "(?%s)" (sexpr_to_string e)
+
+let commutative = function
+  | Ir.Add_i | Ir.Mul_i | Ir.And_i | Ir.Or_i | Ir.Xor_i -> true
+  | _ -> false
+
+(* Deterministic integer operators whose machine result is a function
+   of the operand machine values alone. *)
+let canonical_binop = function
+  | Ir.Add_i | Ir.Sub_i | Ir.Mul_i | Ir.Div_i | Ir.Rem_i | Ir.Shl_i
+  | Ir.Shr_i | Ir.And_i | Ir.Or_i | Ir.Xor_i ->
+    true
+  | _ -> false
+
+let canonical_unop = function
+  | Ir.Neg_i | Ir.Bnot_i -> true
+  | Ir.Not_b | Ir.Neg_f | Ir.I2f -> false
+
+let mk_bin op a b =
+  let a, b = if commutative op && compare a b > 0 then b, a else a, b in
+  let e = X_bin (op, a, b) in
+  if sexpr_size e > max_sexpr_size then None else Some e
+
+(* Canonicalizer: resolves a register to an expression over
+   never-reassigned leaves by looking through single-definition
+   registers (the [Range.collect_defs] table: no entry = never
+   defined in the body; [Some r] = exactly one textual definition;
+   [None] = several). *)
+type canon = {
+  defs : (int, Ir.rhs option) Hashtbl.t;
+  val_memo : (int, sexpr option) Hashtbl.t;
+  len_memo : (int, sexpr option) Hashtbl.t;
+  mutable visiting : int list;
+}
+
+let make_canon (fn : Ir.func) =
+  {
+    defs = Range.collect_defs fn;
+    val_memo = Hashtbl.create 16;
+    len_memo = Hashtbl.create 16;
+    visiting = [];
+  }
+
+let rec canon_value c (o : Ir.operand) : sexpr option =
+  match o with
+  | Ir.O_const (Ir.C_i32 n) -> Some (X_const n)
+  | Ir.O_const (Ir.C_bool b) | Ir.O_const (Ir.C_bit b) ->
+    Some (X_const (if b then 1 else 0))
+  | Ir.O_const _ -> None
+  | Ir.O_var v -> canon_value_slot c v.Ir.v_id
+
+and canon_value_slot c id =
+  match Hashtbl.find_opt c.val_memo id with
+  | Some r -> r
+  | None ->
+    let r =
+      if List.mem id c.visiting then None
+      else begin
+        c.visiting <- id :: c.visiting;
+        let r =
+          match Hashtbl.find_opt c.defs id with
+          | None -> Some (X_arg id) (* never assigned in the body *)
+          | Some None -> None (* several definitions *)
+          | Some (Some rhs) -> canon_value_rhs c rhs
+        in
+        c.visiting <- List.tl c.visiting;
+        r
+      end
+    in
+    Hashtbl.replace c.val_memo id r;
+    r
+
+and canon_value_rhs c (r : Ir.rhs) : sexpr option =
+  match r with
+  | Ir.R_op o -> canon_value c o
+  | Ir.R_unop (op, a) when canonical_unop op -> (
+    match canon_value c a with
+    | Some e ->
+      let e = X_un (op, e) in
+      if sexpr_size e > max_sexpr_size then None else Some e
+    | None -> None)
+  | Ir.R_binop (op, a, b) when canonical_binop op -> (
+    match canon_value c a, canon_value c b with
+    | Some ea, Some eb -> mk_bin op ea eb
+    | _ -> None)
+  | Ir.R_alen a -> canon_length c a
+  | _ -> None
+
+(* Canonical expression for the *length* of the array an operand
+   holds. Array lengths are immutable, so the length of a
+   never-reassigned array register is fixed; an allocation's length
+   is the canonical value of its size operand. *)
+and canon_length c (o : Ir.operand) : sexpr option =
+  match o with
+  | Ir.O_const _ -> None
+  | Ir.O_var v -> canon_length_slot c v.Ir.v_id
+
+and canon_length_slot c id =
+  match Hashtbl.find_opt c.len_memo id with
+  | Some r -> r
+  | None ->
+    let r =
+      if List.mem (-id - 1) c.visiting then None
+      else begin
+        c.visiting <- (-id - 1) :: c.visiting;
+        let r =
+          match Hashtbl.find_opt c.defs id with
+          | None -> Some (X_len (X_arg id)) (* array parameter *)
+          | Some None -> None
+          | Some (Some rhs) -> (
+            match rhs with
+            | Ir.R_newarr (_, n) -> canon_value c n
+            | Ir.R_freeze a | Ir.R_op a -> canon_length c a
+            | _ -> None)
+        in
+        c.visiting <- List.tl c.visiting;
+        r
+      end
+    in
+    Hashtbl.replace c.len_memo id r;
+    r
+
+(* --- the relational state ------------------------------------------ *)
+
+(* [val <= eval(b_expr) + b_off] (upper) / [>=] (lower), where
+   [eval] is machine evaluation and the [+ b_off] is exact. *)
+type bound = { b_expr : sexpr; b_off : int }
+
+type state = {
+  conc : Range.state;
+  slo : bound option array;
+  shi : bound option array;
+}
+
+let copy_state s =
+  {
+    conc =
+      {
+        Range.vals = Array.copy s.conc.Range.vals;
+        lens = Array.copy s.conc.Range.lens;
+      };
+    slo = Array.copy s.slo;
+    shi = Array.copy s.shi;
+  }
+
+module Env = struct
+  type t = state option
+
+  let bottom = None
+
+  let equal a b =
+    match a, b with
+    | None, None -> true
+    | Some a, Some b ->
+      a.conc.Range.vals = b.conc.Range.vals
+      && a.conc.Range.lens = b.conc.Range.lens
+      && a.slo = b.slo && a.shi = b.shi
+    | _ -> false
+
+  let join_bound ~upper a b =
+    match a, b with
+    | None, _ | _, None -> None
+    | Some a, Some b ->
+      if a.b_expr = b.b_expr then
+        Some { a with b_off = (if upper then max else min) a.b_off b.b_off }
+      else None
+
+  let lift2 fconc fsym a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b ->
+      Some
+        {
+          conc =
+            {
+              Range.vals = Array.map2 fconc a.conc.Range.vals b.conc.Range.vals;
+              lens = Array.map2 fconc a.conc.Range.lens b.conc.Range.lens;
+            };
+          slo = Array.map2 (fsym ~upper:false) a.slo b.slo;
+          shi = Array.map2 (fsym ~upper:true) a.shi b.shi;
+        }
+
+  let join = lift2 Iv.join join_bound
+
+  (* Symbolic bounds have no infinite ascending chains of interest:
+     disagreeing bounds drop to [None] at widening points, so each
+     slot changes at most twice there. *)
+  let widen_bound ~upper a b =
+    ignore upper;
+    match a, b with Some a, Some b when a = b -> Some a | _ -> None
+
+  let widen = lift2 Iv.widen widen_bound
+end
+
+module Solver = Fixpoint.Make (Env)
+
+(* --- transfer ------------------------------------------------------ *)
+
+let assign canon st (v : Ir.var) (r : Ir.rhs) =
+  let id = v.Ir.v_id in
+  match canon_value_rhs canon r with
+  | Some e ->
+    (* the rhs is a deterministic function of fixed leaves: the new
+       value *equals* the expression *)
+    let b = Some { b_expr = e; b_off = 0 } in
+    st.slo.(id) <- b;
+    st.shi.(id) <- b
+  | None -> (
+    match r with
+    | Ir.R_op (Ir.O_var u) ->
+      st.slo.(id) <- st.slo.(u.Ir.v_id);
+      st.shi.(id) <- st.shi.(u.Ir.v_id)
+    | _ ->
+      st.slo.(id) <- None;
+      st.shi.(id) <- None)
+
+let exec rctx canon ~record (instrs : Ir.instr list) (st : state option) :
+    state option =
+  match st with
+  | None -> None
+  | Some s ->
+    let s = copy_state s in
+    List.iter
+      (fun (i : Ir.instr) ->
+        match i with
+        | Ir.I_let (v, r) | Ir.I_set (v, r) ->
+          let value, len = Range.eval_rhs rctx s.conc ~record:ignore r in
+          record i s;
+          s.conc.Range.vals.(v.Ir.v_id) <- value;
+          s.conc.Range.lens.(v.Ir.v_id) <- len;
+          assign canon s v r
+        | Ir.I_astore _ -> record i s
+        | Ir.I_do r ->
+          ignore (Range.eval_rhs rctx s.conc ~record:ignore r);
+          record i s
+        | Ir.I_setfield _ | Ir.I_run_graph _ -> ()
+        | Ir.I_if _ | Ir.I_while _ | Ir.I_return _ ->
+          (* structured control flow was dissolved by Cfg.build *)
+          assert false)
+      instrs;
+    Some s
+
+(* --- branch refinement --------------------------------------------- *)
+
+let tighten ~upper slot (arr : bound option array) e off =
+  let candidate = { b_expr = e; b_off = off } in
+  match arr.(slot) with
+  | Some b when b.b_expr = e ->
+    arr.(slot) <-
+      Some { b with b_off = (if upper then min else max) b.b_off off }
+  | _ -> arr.(slot) <- Some candidate
+
+(* Apply `x OP y` known [truth] to the symbolic bounds. Offsets +-1
+   are exact: both sides are in-range machine integers, so x < y
+   implies x <= y - 1 with no wraparound. *)
+let sym_constrain canon s truth (op : Ir.binop) x y =
+  let upper_of o e off =
+    match o with
+    | Ir.O_var v -> tighten ~upper:true v.Ir.v_id s.shi e off
+    | Ir.O_const _ -> ()
+  in
+  let lower_of o e off =
+    match o with
+    | Ir.O_var v -> tighten ~upper:false v.Ir.v_id s.slo e off
+    | Ir.O_const _ -> ()
+  in
+  let apply kind =
+    let ex = canon_value canon x and ey = canon_value canon y in
+    match kind with
+    | `Lt ->
+      Option.iter (fun e -> upper_of x e (-1)) ey;
+      Option.iter (fun e -> lower_of y e 1) ex
+    | `Leq ->
+      Option.iter (fun e -> upper_of x e 0) ey;
+      Option.iter (fun e -> lower_of y e 0) ex
+    | `Gt ->
+      Option.iter (fun e -> lower_of x e 1) ey;
+      Option.iter (fun e -> upper_of y e (-1)) ex
+    | `Geq ->
+      Option.iter (fun e -> lower_of x e 0) ey;
+      Option.iter (fun e -> upper_of y e 0) ex
+    | `Eq ->
+      Option.iter
+        (fun e ->
+          upper_of x e 0;
+          lower_of x e 0)
+        ey;
+      Option.iter
+        (fun e ->
+          upper_of y e 0;
+          lower_of y e 0)
+        ex
+    | `Noop -> ()
+  in
+  match op, truth with
+  | Ir.Lt_i, true | Ir.Geq_i, false -> apply `Lt
+  | Ir.Leq_i, true | Ir.Gt_i, false -> apply `Leq
+  | Ir.Gt_i, true | Ir.Leq_i, false -> apply `Gt
+  | Ir.Geq_i, true | Ir.Lt_i, false -> apply `Geq
+  | Ir.Eq, true | Ir.Neq, false -> apply `Eq
+  | _ -> apply `Noop
+
+let refine canon (g : Cfg.t) src dst (st : state option) : state option =
+  match st with
+  | None -> None
+  | Some s -> (
+    match g.Cfg.nodes.(src).Cfg.term with
+    | Cfg.T_branch (c, tn, en) when tn <> en && (dst = tn || dst = en) -> (
+      let truth = dst = tn in
+      match c with
+      | Ir.O_const k -> (
+        match Iv.const_of (Range.eval_const k) with
+        | Some n -> if (n <> 0) = truth then st else None
+        | None -> st)
+      | Ir.O_var v -> (
+        let s = copy_state s in
+        s.conc.Range.vals.(v.Ir.v_id) <-
+          Iv.meet
+            s.conc.Range.vals.(v.Ir.v_id)
+            (if truth then Iv.of_int 1 else Iv.of_int 0);
+        (match Hashtbl.find_opt canon.defs v.Ir.v_id with
+        | Some (Some (Ir.R_binop (op, x, y))) ->
+          Range.constrain s.conc truth op x y;
+          sym_constrain canon s truth op x y
+        | _ -> ());
+        if Array.exists Iv.is_bot s.conc.Range.vals then None else Some s))
+    | _ -> st)
+
+(* --- access verdicts ----------------------------------------------- *)
+
+type access = {
+  ac_kind : [ `Load | `Store ];
+  ac_bounds : Range.bounds;
+  ac_relational : bool;
+      (** proven by a symbolic bound where [Range] alone could not *)
+  ac_instr : Ir.instr;  (** physical identity keys the proof *)
+}
+
+let access_verdict canon s ~(index : Ir.operand) ~(arr : Ir.operand) :
+    Range.bounds * bool =
+  let conc =
+    Range.bounds_verdict
+      ~index:(Range.operand_itv s.conc index)
+      ~len:(Range.operand_len s.conc arr)
+  in
+  match conc with
+  | Range.Proven | Range.Out_of_bounds -> conc, false
+  | Range.Unknown -> (
+    let lower_ok =
+      match index with
+      | Ir.O_const c -> (
+        match Iv.lower (Range.eval_const c) with
+        | Some l -> l >= 0
+        | None -> false)
+      | Ir.O_var v -> (
+        let conc_lo =
+          match Iv.lower s.conc.Range.vals.(v.Ir.v_id) with
+          | Some l -> l >= 0
+          | None -> false
+        in
+        conc_lo
+        ||
+        match s.slo.(v.Ir.v_id) with
+        | Some { b_expr = X_const n; b_off } -> n + b_off >= 0
+        | _ -> false)
+    in
+    let upper_bound =
+      match index with Ir.O_var v -> s.shi.(v.Ir.v_id) | Ir.O_const _ -> None
+    in
+    match upper_bound, canon_length canon arr with
+    | Some { b_expr; b_off }, Some len_expr
+      when lower_ok && b_off < 0 && b_expr = len_expr ->
+      Range.Proven, true
+    | _ -> Range.Unknown, false)
+
+(* --- per-function analysis ----------------------------------------- *)
+
+type fn_facts = {
+  sf_accesses : access list;  (** in replay order *)
+  sf_proven : int;
+  sf_relational : int;  (** subset of [sf_proven] beyond [Range]'s reach *)
+  sf_oob : int;
+  sf_total : int;
+}
+
+let analyze_fn (prog : Ir.program) (fn : Ir.func) : fn_facts =
+  let g = Cfg.build fn.Ir.fn_body in
+  let nslots = max 1 (Ir.var_slot_count fn) in
+  let canon = make_canon fn in
+  let rctx = Range.make_ctx prog in
+  rctx.Range.visiting <- [ fn.Ir.fn_key ];
+  let init =
+    {
+      conc =
+        {
+          Range.vals = Array.make nslots Iv.top;
+          lens = Array.make nslots Iv.top;
+        };
+      slo = Array.make nslots None;
+      shi = Array.make nslots None;
+    }
+  in
+  List.iter
+    (fun (p : Ir.var) ->
+      init.conc.Range.vals.(p.Ir.v_id) <- Range.of_ty prog p.Ir.v_ty;
+      init.conc.Range.lens.(p.Ir.v_id) <- Range.len_of_ty p.Ir.v_ty)
+    fn.Ir.fn_params;
+  let no_record _ _ = () in
+  let facts, _stats =
+    Solver.solve
+      {
+        Solver.size = Cfg.size g;
+        entries = [ g.Cfg.entry, Some init ];
+        succs = Cfg.succs g;
+        transfer =
+          (fun n st ->
+            exec rctx canon ~record:no_record g.Cfg.nodes.(n).Cfg.instrs st);
+        edge = refine canon g;
+        widen_at = (fun n -> g.Cfg.loop_heads.(n));
+      }
+  in
+  (* Stabilized: replay each reachable node once, recording per-access
+     verdicts keyed by the physical instruction. *)
+  let accesses = ref [] in
+  let record (i : Ir.instr) s =
+    let note kind index arr =
+      let bounds, relational = access_verdict canon s ~index ~arr in
+      accesses :=
+        { ac_kind = kind; ac_bounds = bounds; ac_relational = relational;
+          ac_instr = i }
+        :: !accesses
+    in
+    match i with
+    | Ir.I_astore (a, idx, _) -> note `Store idx a
+    | Ir.I_let (_, Ir.R_aload (a, idx))
+    | Ir.I_set (_, Ir.R_aload (a, idx))
+    | Ir.I_do (Ir.R_aload (a, idx)) ->
+      note `Load idx a
+    | _ -> ()
+  in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | None -> ()
+      | Some _ -> ignore (exec rctx canon ~record g.Cfg.nodes.(i).Cfg.instrs st))
+    facts;
+  let accesses = List.rev !accesses in
+  let count p = List.length (List.filter p accesses) in
+  {
+    sf_accesses = accesses;
+    sf_proven = count (fun a -> a.ac_bounds = Range.Proven);
+    sf_relational = count (fun a -> a.ac_relational);
+    sf_oob = count (fun a -> a.ac_bounds = Range.Out_of_bounds);
+    sf_total = List.length accesses;
+  }
+
+type program_facts = { sp_fns : (string * fn_facts) list }
+
+let analyze_program (prog : Ir.program) : program_facts =
+  {
+    sp_fns =
+      Ir.String_map.fold
+        (fun key fn acc -> (key, analyze_fn prog fn) :: acc)
+        prog.Ir.funcs []
+      |> List.rev;
+  }
+
+(* --- proof consumption --------------------------------------------- *)
+
+(* Physical-identity predicate: [true] iff [instr]'s array access was
+   proven in bounds. The compiler and the analysis walk the *same*
+   program value, so identity survives from analysis to codegen. *)
+let fn_prover (ff : fn_facts) : Ir.instr -> bool =
+ fun instr ->
+  List.exists
+    (fun a -> a.ac_bounds = Range.Proven && a.ac_instr == instr)
+    ff.sf_accesses
+
+let prover (pf : program_facts) : string -> Ir.instr -> bool =
+ fun key instr ->
+  match List.assoc_opt key pf.sp_fns with
+  | None -> false
+  | Some ff -> fn_prover ff instr

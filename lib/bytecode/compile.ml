@@ -15,7 +15,7 @@ type unit_ = {
   u_program : Ir.program;
 }
 
-type emitter = { buf : Insn.t Vec.t }
+type emitter = { buf : Insn.t Vec.t; proven : Ir.instr -> bool }
 
 let emit e i = Vec.push e.buf i
 let here e = Vec.length e.buf
@@ -104,6 +104,24 @@ let rec compile_block e (b : Ir.block) = List.iter (compile_instr e) b
 
 and compile_instr e (i : Ir.instr) =
   match i with
+  (* Accesses the relational analysis proved in bounds compile to the
+     unchecked opcodes (the proof is keyed by physical instruction). *)
+  | Ir.I_let (v, Ir.R_aload (a, idx)) | Ir.I_set (v, Ir.R_aload (a, idx))
+    when e.proven i ->
+    push_operand e a;
+    push_operand e idx;
+    emit e Insn.ALOAD_U;
+    emit e (Insn.STORE v.Ir.v_id)
+  | Ir.I_do (Ir.R_aload (a, idx)) when e.proven i ->
+    push_operand e a;
+    push_operand e idx;
+    emit e Insn.ALOAD_U;
+    emit e Insn.POP
+  | Ir.I_astore (a, idx, x) when e.proven i ->
+    push_operand e a;
+    push_operand e idx;
+    push_operand e x;
+    emit e Insn.ASTORE_U
   | Ir.I_let (v, rhs) | Ir.I_set (v, rhs) ->
     compile_rhs e rhs;
     emit e (Insn.STORE v.Ir.v_id)
@@ -143,8 +161,10 @@ and compile_instr e (i : Ir.instr) =
     compile_rhs e rhs;
     emit e Insn.POP
 
-let compile_function (f : Ir.func) : code =
-  let e = { buf = Vec.create () } in
+let no_proofs : Ir.instr -> bool = fun _ -> false
+
+let compile_function ?(proven = no_proofs) (f : Ir.func) : code =
+  let e = { buf = Vec.create (); proven } in
   compile_block e f.Ir.fn_body;
   (* Implicit return for void functions that fall off the end; other
      functions trap in the VM, matching the reference interpreter. *)
@@ -159,9 +179,15 @@ let compile_function (f : Ir.func) : code =
     c_ret = f.Ir.fn_ret;
   }
 
-let compile_program (p : Ir.program) : unit_ =
+let compile_program ?proven (p : Ir.program) : unit_ =
+  let prover_for key =
+    match proven with None -> no_proofs | Some p -> p key
+  in
   {
-    u_funcs = Ir.String_map.map compile_function p.Ir.funcs;
+    u_funcs =
+      Ir.String_map.mapi
+        (fun key fn -> compile_function ~proven:(prover_for key) fn)
+        p.Ir.funcs;
     u_program = p;
   }
 

@@ -20,6 +20,15 @@ type unit_ = {
   u_program : Ir.program;  (** class/enum/template metadata *)
 }
 
-val compile_function : Ir.func -> code
-val compile_program : Ir.program -> unit_
+val compile_function : ?proven:(Ir.instr -> bool) -> Ir.func -> code
+(** [proven] marks array accesses (by physical instruction identity)
+    that were statically proven in bounds; they compile to the
+    unchecked [ALOAD_U]/[ASTORE_U] opcodes. Default: none. *)
+
+val compile_program :
+  ?proven:(string -> Ir.instr -> bool) -> Ir.program -> unit_
+(** [compile_program ?proven p] compiles every function; [proven key]
+    is the bounds-proof predicate for function [key] (see
+    [Analysis.Symbolic.prover]). *)
+
 val disassemble : code -> string

@@ -30,6 +30,8 @@ type t =
   | BINOP of Ir.binop
   | ALOAD  (** arr, idx -> elem *)
   | ASTORE  (** arr, idx, value -> *)
+  | ALOAD_U  (** [ALOAD] with the bounds trap statically discharged *)
+  | ASTORE_U  (** [ASTORE] with the bounds trap statically discharged *)
   | ALEN
   | NEWARR of Ir.ty  (** length -> arr *)
   | FREEZE
@@ -88,6 +90,8 @@ let to_string = function
   | BINOP b -> binop_name b
   | ALOAD -> "aload"
   | ASTORE -> "astore"
+  | ALOAD_U -> "aload.u"
+  | ASTORE_U -> "astore.u"
   | ALEN -> "alen"
   | NEWARR t -> "newarr " ^ Ir.ty_to_string t
   | FREEZE -> "freeze"

@@ -72,6 +72,11 @@ let rec exec st (code : Compile.code) (args : v list) : v =
     | Insn.ASTORE, x :: i :: a :: rest ->
       I.array_set (prim a) (as_int i) (prim x);
       continue rest
+    | Insn.ALOAD_U, i :: a :: rest ->
+      continue (I.Prim (I.array_get_unchecked (prim a) (as_int i)) :: rest)
+    | Insn.ASTORE_U, x :: i :: a :: rest ->
+      I.array_set_unchecked (prim a) (as_int i) (prim x);
+      continue rest
     | Insn.ALEN, a :: rest ->
       continue (I.Prim (V.Int (I.array_length (prim a))) :: rest)
     | Insn.NEWARR ty, len :: rest ->
@@ -157,7 +162,8 @@ let rec exec st (code : Compile.code) (args : v list) : v =
       | _ -> fail "rungraph on a non-graph");
       continue rest
     | ( ( Insn.STORE _ | Insn.DUP | Insn.POP | Insn.UNOP _ | Insn.BINOP _
-        | Insn.ALOAD | Insn.ASTORE | Insn.ALEN | Insn.NEWARR _ | Insn.FREEZE
+        | Insn.ALOAD | Insn.ASTORE | Insn.ALOAD_U | Insn.ASTORE_U
+        | Insn.ALEN | Insn.NEWARR _ | Insn.FREEZE
         | Insn.GETFIELD _ | Insn.PUTFIELD _ | Insn.RET | Insn.JMPF _
         | Insn.REDUCE _ | Insn.RUNGRAPH _ ),
         _ ) ->

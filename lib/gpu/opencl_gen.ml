@@ -103,36 +103,52 @@ let rhs_text (r : Ir.rhs) =
   | Ir.R_reduce _ | Ir.R_mkgraph _ ->
     "/* unsupported on device */ 0"
 
-let rec block_text indent (b : Ir.block) =
-  String.concat "" (List.map (instr_text indent) b)
+(* [proven] marks array accesses (by physical instruction) whose
+   bounds proof was discharged statically; they carry an
+   [/* unguarded */] comment so the artifact records exactly which
+   loads/stores a real driver could run without instrumentation. *)
+let rec block_text proven indent (b : Ir.block) =
+  String.concat "" (List.map (instr_text proven indent) b)
 
-and instr_text indent (i : Ir.instr) =
+and instr_text proven indent (i : Ir.instr) =
   let pad = String.make indent ' ' in
   match i with
   | Ir.I_let (v, r) | Ir.I_set (v, r) ->
-    Printf.sprintf "%s%s = %s;\n" pad (var_name v) (rhs_text r)
+    let mark =
+      match r with
+      | Ir.R_aload _ when proven i -> " /* unguarded */"
+      | _ -> ""
+    in
+    Printf.sprintf "%s%s = %s;%s\n" pad (var_name v) (rhs_text r) mark
   | Ir.I_astore (a, idx, x) ->
-    Printf.sprintf "%s%s[%s] = %s;\n" pad (operand_text a) (operand_text idx)
-      (operand_text x)
+    let mark = if proven i then " /* unguarded */" else "" in
+    Printf.sprintf "%s%s[%s] = %s;%s\n" pad (operand_text a)
+      (operand_text idx) (operand_text x) mark
   | Ir.I_setfield _ -> pad ^ "/* field write: unsupported */\n"
   | Ir.I_if (c, a, b) ->
     Printf.sprintf "%sif (%s) {\n%s%s} else {\n%s%s}\n" pad (operand_text c)
-      (block_text (indent + 2) a)
+      (block_text proven (indent + 2) a)
       pad
-      (block_text (indent + 2) b)
+      (block_text proven (indent + 2) b)
       pad
   | Ir.I_while (cond_block, cond_op, body) ->
     (* The condition block recomputes temporaries each iteration. *)
     Printf.sprintf "%sfor (;;) {\n%s%sif (!%s) break;\n%s%s}\n" pad
-      (block_text (indent + 2) cond_block)
+      (block_text proven (indent + 2) cond_block)
       (String.make (indent + 2) ' ')
       (operand_text cond_op)
-      (block_text (indent + 2) body)
+      (block_text proven (indent + 2) body)
       pad
   | Ir.I_return (Some o) -> Printf.sprintf "%sreturn %s;\n" pad (operand_text o)
   | Ir.I_return None -> pad ^ "return;\n"
   | Ir.I_run_graph _ -> pad ^ "/* nested graph: unsupported */\n"
-  | Ir.I_do r -> Printf.sprintf "%s(void)(%s);\n" pad (rhs_text r)
+  | Ir.I_do r ->
+    let mark =
+      match r with
+      | Ir.R_aload _ when proven i -> " /* unguarded */"
+      | _ -> ""
+    in
+    Printf.sprintf "%s(void)(%s);%s\n" pad (rhs_text r) mark
 
 (* Declarations for every virtual register assigned in the body. *)
 let local_decls (fn : Ir.func) =
@@ -157,21 +173,24 @@ let local_decls (fn : Ir.func) =
   Hashtbl.fold (fun _ v acc -> v :: acc) decls []
   |> List.sort (fun (a : Ir.var) b -> compare a.v_id b.v_id)
 
-(* When the range analysis proves every array access of the function
-   in bounds, say so in the artifact: the kernel needs no host-side
-   guard and a real driver could skip bounds instrumentation. *)
-let bounds_banner (prog : Ir.program) (fn : Ir.func) =
-  let facts = Analysis.Range.analyze_fn prog fn in
-  let accesses = facts.Analysis.Range.ff_accesses in
-  if
-    accesses <> []
-    && List.for_all (fun (_, v) -> v = Analysis.Range.Proven) accesses
-  then
-    Printf.sprintf "/* bounds: all %d array access(es) proven in bounds */\n"
-      (List.length accesses)
-  else ""
+(* The banner reports how many array accesses the relational analysis
+   proved in bounds — all of them or [k of n], so partial proofs are
+   visible in the artifact rather than rounding down to silence. The
+   proven accesses themselves carry [/* unguarded */] at the access
+   site. *)
+let bounds_banner (facts : Analysis.Symbolic.fn_facts) =
+  let n = facts.Analysis.Symbolic.sf_total in
+  let k = facts.Analysis.Symbolic.sf_proven in
+  if n = 0 || k = 0 then ""
+  else if k = n then
+    Printf.sprintf "/* bounds: all %d array access(es) proven in bounds */\n" n
+  else
+    Printf.sprintf "/* bounds: %d of %d array access(es) proven in bounds */\n"
+      k n
 
 let device_function_text (prog : Ir.program) (fn : Ir.func) =
+  let facts = Analysis.Symbolic.analyze_fn prog fn in
+  let proven = Analysis.Symbolic.fn_prover facts in
   let params =
     String.concat ", "
       (List.map
@@ -185,9 +204,9 @@ let device_function_text (prog : Ir.program) (fn : Ir.func) =
            Printf.sprintf "  %s %s;\n" (cty v.Ir.v_ty) (var_name v))
          (local_decls fn))
   in
-  Printf.sprintf "%sstatic %s %s(%s) {\n%s%s}\n" (bounds_banner prog fn)
+  Printf.sprintf "%sstatic %s %s(%s) {\n%s%s}\n" (bounds_banner facts)
     (cty fn.fn_ret) (sanitize fn.fn_key) params decls
-    (block_text 2 fn.fn_body)
+    (block_text proven 2 fn.fn_body)
 
 (* A map site becomes an elementwise kernel: mapped arguments arrive as
    global arrays indexed by the work-item id, broadcast arguments as

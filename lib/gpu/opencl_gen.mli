@@ -29,5 +29,6 @@ val filter_kernel_text :
 
 val device_function_text : Ir.program -> Ir.func -> string
 (** One [static] device function (exposed for tests). Prefixed with a
-    bounds banner when the range analysis proves every array access of
-    the function in bounds. *)
+    bounds banner counting how many array accesses the relational
+    analysis proved in bounds ([all n] or [k of n]); each proven
+    access is marked [/* unguarded */] at its load/store site. *)

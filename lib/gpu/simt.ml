@@ -48,8 +48,47 @@ let mem_op_cycles = 4.0
 
 exception Return of V.t
 
+(* Bounds proofs for device functions. run_map executes one lane per
+   element, so the relational analysis is memoized per (program,
+   function) — programs by physical identity, since the proofs are
+   keyed by physical instruction. A handful of programs ever coexist;
+   the cache keeps the most recent few. *)
+let proof_cache :
+    (Ir.program * (string, Ir.instr -> bool) Hashtbl.t) list ref =
+  ref []
+
+let max_cached_programs = 8
+
+let prover_for (prog : Ir.program) (key : string) : Ir.instr -> bool =
+  let tbl =
+    match List.find_opt (fun (p, _) -> p == prog) !proof_cache with
+    | Some (_, tbl) -> tbl
+    | None ->
+      let tbl = Hashtbl.create 16 in
+      proof_cache :=
+        (prog, tbl)
+        :: (if List.length !proof_cache >= max_cached_programs then
+              List.filteri (fun i _ -> i < max_cached_programs - 1) !proof_cache
+            else !proof_cache);
+      tbl
+  in
+  match Hashtbl.find_opt tbl key with
+  | Some p -> p
+  | None ->
+    let p =
+      match Ir.find_func prog key with
+      | None -> fun _ -> false
+      | Some fn ->
+        Analysis.Symbolic.fn_prover (Analysis.Symbolic.analyze_fn prog fn)
+    in
+    Hashtbl.add tbl key p;
+    p
+
 (* Execute [fn key] for one work item, charging the lane. The value
-   semantics delegate to the reference interpreter's primitives. *)
+   semantics delegate to the reference interpreter's primitives.
+   Accesses with a static bounds proof take the unchecked primitives —
+   the device-side counterpart of the unguarded loads/stores in the
+   generated OpenCL. *)
 let exec_lane (prog : Ir.program) (lane : lane) (key : string)
     (args : V.t list) : V.t =
   let rec call key args =
@@ -66,13 +105,14 @@ let exec_lane (prog : Ir.program) (lane : lane) (key : string)
       | None -> fail "no device function %s" key
     in
     lane.cycles <- lane.cycles +. call_overhead;
+    let proven = prover_for prog key in
     let slots = Array.make (Ir.var_slot_count fn) V.Unit in
     List.iteri
       (fun i a ->
         let p = List.nth fn.fn_params i in
         slots.(p.Ir.v_id) <- a)
       args;
-    match exec_block slots fn.fn_body with
+    match exec_block proven slots fn.fn_body with
     | () ->
       if fn.fn_ret = Ir.Unit then V.Unit
       else fail "%s fell off the end on the device" key
@@ -81,17 +121,19 @@ let exec_lane (prog : Ir.program) (lane : lane) (key : string)
     match o with
     | Ir.O_const c -> I.const_value c
     | Ir.O_var v -> slots.(v.Ir.v_id)
-  and exec_block slots b = List.iter (exec_instr slots) b
-  and exec_instr slots (i : Ir.instr) =
+  and exec_block proven slots b = List.iter (exec_instr proven slots) b
+  and exec_instr proven slots (i : Ir.instr) =
     match i with
-    | Ir.I_let (v, r) | Ir.I_set (v, r) -> slots.(v.Ir.v_id) <- eval_rhs slots r
+    | Ir.I_let (v, r) | Ir.I_set (v, r) ->
+      slots.(v.Ir.v_id) <- eval_rhs ~unguarded:(proven i) slots r
     | Ir.I_astore (a, idx, x) -> (
       lane.cycles <- lane.cycles +. mem_op_cycles;
       match operand slots idx with
-      | V.Int i ->
+      | V.Int i_ ->
         let arr = operand slots a in
         lane.mem_bytes <- lane.mem_bytes + 4;
-        I.array_set arr i (operand slots x)
+        (if proven i then I.array_set_unchecked else I.array_set)
+          arr i_ (operand slots x)
       | _ -> fail "non-integer index")
     | Ir.I_setfield _ -> fail "field write on the device"
     | Ir.I_if (c, a, b) -> (
@@ -99,16 +141,16 @@ let exec_lane (prog : Ir.program) (lane : lane) (key : string)
       | V.Bool cond ->
         lane.branch_sig <- (lane.branch_sig * 31) + if cond then 1 else 2;
         lane.cycles <- lane.cycles +. 1.0;
-        exec_block slots (if cond then a else b)
+        exec_block proven slots (if cond then a else b)
       | _ -> fail "non-boolean condition")
     | Ir.I_while (cond_block, cond_op, body) ->
       let rec loop () =
-        exec_block slots cond_block;
+        exec_block proven slots cond_block;
         match operand slots cond_op with
         | V.Bool true ->
           lane.branch_sig <- (lane.branch_sig * 31) + 1;
           lane.cycles <- lane.cycles +. 1.0;
-          exec_block slots body;
+          exec_block proven slots body;
           loop ()
         | V.Bool false ->
           lane.branch_sig <- (lane.branch_sig * 31) + 2;
@@ -119,8 +161,8 @@ let exec_lane (prog : Ir.program) (lane : lane) (key : string)
     | Ir.I_return (Some o) -> raise (Return (operand slots o))
     | Ir.I_return None -> raise (Return V.Unit)
     | Ir.I_run_graph _ -> fail "nested graph on the device"
-    | Ir.I_do r -> ignore (eval_rhs slots r)
-  and eval_rhs slots (r : Ir.rhs) : V.t =
+    | Ir.I_do r -> ignore (eval_rhs ~unguarded:(proven i) slots r)
+  and eval_rhs ~unguarded slots (r : Ir.rhs) : V.t =
     match r with
     | Ir.R_op o -> operand slots o
     | Ir.R_unop (op, a) ->
@@ -138,7 +180,7 @@ let exec_lane (prog : Ir.program) (lane : lane) (key : string)
       | V.Int i ->
         let arr = operand slots a in
         lane.mem_bytes <- lane.mem_bytes + 4;
-        I.array_get arr i
+        (if unguarded then I.array_get_unchecked else I.array_get) arr i
       | _ -> fail "non-integer index")
     | Ir.R_call (key, args) -> call key (List.map (operand slots) args)
     | Ir.R_newarr _ | Ir.R_freeze _ | Ir.R_newobj _ | Ir.R_field _

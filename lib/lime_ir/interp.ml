@@ -96,6 +96,29 @@ let array_set (p : V.t) i (x : V.t) : unit =
   | V.Bits _, _ -> fail "value bit arrays are immutable"
   | a, _ -> fail "cannot store into %s" (V.type_name a)
 
+(* Unchecked variants for accesses the relational analysis proved in
+   bounds ([Analysis.Symbolic]): the Lime-level trap check is elided.
+   OCaml's own array bounds check remains underneath as a safety net —
+   a wrong proof surfaces as [Invalid_argument], not memory unsafety. *)
+
+let array_get_unchecked (p : V.t) i : V.t =
+  match p with
+  | V.Int_array a -> V.Int a.(i)
+  | V.Float_array a -> V.Float a.(i)
+  | V.Bool_array a -> V.Bool a.(i)
+  | V.Array a -> a.(i)
+  | V.Bits b -> V.Bit (Bits.Bitvec.get b i)
+  | v -> fail "indexing a non-array %s" (V.type_name v)
+
+let array_set_unchecked (p : V.t) i (x : V.t) : unit =
+  match p, x with
+  | V.Int_array a, V.Int x -> a.(i) <- x
+  | V.Float_array a, V.Float x -> a.(i) <- x
+  | V.Bool_array a, V.Bool x -> a.(i) <- x
+  | V.Array a, x -> a.(i) <- x
+  | V.Bits _, _ -> fail "value bit arrays are immutable"
+  | a, _ -> fail "cannot store into %s" (V.type_name a)
+
 (* Mutable bit[] arrays are represented as [Array] of [Bit] values so
    they can be written in place; freezing packs them into [Bits]. *)
 let new_array (elt : Ir.ty) n : V.t =
@@ -190,6 +213,8 @@ exception Return of v
 type state = {
   prog : Ir.program;
   hooks : hooks;
+  proven : Ir.instr -> bool;
+      (** per-access bounds proofs, keyed by physical instruction *)
   mutable graph_counter : int;
   (* Graph handles are transient: created by R_mkgraph and consumed
      by the I_run_graph that lowering emits right after. *)
@@ -234,12 +259,21 @@ and exec_block st frame (b : Ir.block) : unit =
 
 and exec_instr st frame (i : Ir.instr) : unit =
   match i with
+  | Ir.I_let (v, Ir.R_aload (a, idx)) | Ir.I_set (v, Ir.R_aload (a, idx))
+    when st.proven i -> (
+    (* proven in bounds: skip the per-access trap check *)
+    match prim_exn (operand st frame idx) with
+    | V.Int n ->
+      frame.slots.(v.Ir.v_id) <-
+        Prim (array_get_unchecked (prim_exn (operand st frame a)) n)
+    | v -> fail "array index must be an int, found %s" (V.type_name v))
   | Ir.I_let (v, rhs) | Ir.I_set (v, rhs) ->
     frame.slots.(v.Ir.v_id) <- eval_rhs st frame rhs
   | Ir.I_astore (a, idx, x) -> (
+    let set = if st.proven i then array_set_unchecked else array_set in
     let a = prim_exn (operand st frame a) in
     match prim_exn (operand st frame idx) with
-    | V.Int i -> array_set a i (prim_exn (operand st frame x))
+    | V.Int i -> set a i (prim_exn (operand st frame x))
     | v -> fail "array index must be an int, found %s" (V.type_name v))
   | Ir.I_setfield (o, slot, x) -> (
     match operand st frame o with
@@ -429,8 +463,12 @@ and run_graph_seq st (template : Ir.graph_template) (ops : v list) : unit =
     array_set sink_array i (prim_exn !x)
   done
 
-let call ?(hooks = no_hooks) prog key args =
-  call_fn { prog; hooks; graph_counter = 0; pending = [] } key args
+let no_proofs : Ir.instr -> bool = fun _ -> false
+
+let call ?(hooks = no_hooks) ?(proven = no_proofs) prog key args =
+  call_fn { prog; hooks; proven; graph_counter = 0; pending = [] } key args
 
 let run_graph_inline ?(hooks = no_hooks) prog template ops =
-  run_graph_seq { prog; hooks; graph_counter = 0; pending = [] } template ops
+  run_graph_seq
+    { prog; hooks; proven = no_proofs; graph_counter = 0; pending = [] }
+    template ops

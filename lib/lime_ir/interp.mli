@@ -36,8 +36,17 @@ val default_value : Ir.ty -> v
 val prim_exn : v -> Wire.Value.t
 (** @raise Runtime_error if the value is an object or graph handle. *)
 
-val call : ?hooks:hooks -> Ir.program -> string -> v list -> v
+val call :
+  ?hooks:hooks ->
+  ?proven:(Ir.instr -> bool) ->
+  Ir.program ->
+  string ->
+  v list ->
+  v
 (** [call prog "Class.method" args] runs a function to completion.
+    [proven] marks array accesses (by physical instruction identity)
+    whose bounds were statically proven; those skip the per-access
+    trap check (see [Analysis.Symbolic]).
     @raise Runtime_error on dynamic errors (bad index, missing
     function, sink overflow, division by zero...). *)
 
@@ -60,5 +69,12 @@ val const_value : Ir.const -> Wire.Value.t
 val array_length : Wire.Value.t -> int
 val array_get : Wire.Value.t -> int -> Wire.Value.t
 val array_set : Wire.Value.t -> int -> Wire.Value.t -> unit
+
+val array_get_unchecked : Wire.Value.t -> int -> Wire.Value.t
+(** [array_get] without the Lime-level bounds trap, for accesses a
+    static analysis proved in bounds. The OCaml runtime check remains
+    as a safety net. *)
+
+val array_set_unchecked : Wire.Value.t -> int -> Wire.Value.t -> unit
 val new_array : Ir.ty -> int -> Wire.Value.t
 val freeze : Wire.Value.t -> Wire.Value.t

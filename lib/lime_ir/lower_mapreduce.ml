@@ -120,17 +120,21 @@ let default_max_chunks = 4
 (* How many chunks to scatter an [n]-element stream into. Maps split
    once they are large enough to amortize; reduces default to a single
    chunk because the combine step reassociates the fold — bit-exact
-   only for associative operators, which the runtime does not prove.
-   [override] (the [map_chunks]/[reduce_chunks] knobs) forces a count,
-   clamped so no chunk is empty. *)
-let chunks_for ?override ~(n : int) (k : kind) : int =
+   only for associative operators. When the algebraic analysis proves
+   the combiner associative and commutative ([assoc]), a reduce earns
+   the map policy: the reassociation contract (docs/ANALYSIS.md)
+   guarantees the chunked tree combine is bit-identical to the
+   left-fold. [override] (the [map_chunks]/[reduce_chunks] knobs)
+   forces a count, clamped so no chunk is empty. *)
+let chunks_for ?override ?(assoc = false) ~(n : int) (k : kind) : int =
   let clamp c = max 1 (min c (max n 1)) in
   match override with
   | Some c -> clamp c
   | None -> (
     match k with
-    | K_reduce _ -> 1
-    | K_map _ -> clamp (min default_max_chunks (n / default_min_chunk)))
+    | K_reduce _ when not assoc -> 1
+    | K_reduce _ | K_map _ ->
+      clamp (min default_max_chunks (n / default_min_chunk)))
 
 (* Balanced contiguous [(offset, length)] bounds: the first [n mod k]
    chunks take the extra element, lengths never differ by more than

@@ -23,11 +23,15 @@ val lower_program : Ir.program -> lowered Ir.String_map.t
 
 val worker_filter : kind -> Ir.filter_info
 
-val chunks_for : ?override:int -> n:int -> kind -> int
+val chunks_for : ?override:int -> ?assoc:bool -> n:int -> kind -> int
 (** How many chunks to scatter an [n]-element stream into. Maps split
     into up to 4 chunks of at least 1024 elements; reduces default to
-    1 chunk (chunked combining reassociates the fold). [override]
-    forces a count, clamped to [\[1, max n 1\]]. *)
+    1 chunk (chunked combining reassociates the fold), unless [assoc]
+    says the algebraic analysis proved the combiner associative and
+    commutative — then a reduce follows the map policy and the partial
+    folds combine as a tree, bit-identical by the reassociation
+    contract (docs/ANALYSIS.md). [override] forces a count, clamped to
+    [\[1, max n 1\]]. *)
 
 val split_bounds : n:int -> chunks:int -> (int * int) list
 (** Balanced contiguous [(offset, length)] chunk bounds covering

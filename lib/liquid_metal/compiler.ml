@@ -262,7 +262,12 @@ let compile ?(file = "<lime>") source : compiled =
      with the GPU backend below), value ranges, task-graph lint. *)
   let report = timed phases "analyze" (fun () -> Analysis.Report.analyze prog) in
   let unit_ =
-    timed phases "bytecode-backend" (fun () -> Bytecode.Compile.compile_program prog)
+    (* The analysis and the backends walk the same program value, so
+       the per-instruction bounds proofs carry over by identity. *)
+    timed phases "bytecode-backend" (fun () ->
+        Bytecode.Compile.compile_program
+          ~proven:(Analysis.Report.prover report)
+          prog)
   in
   let store = Runtime.Store.create () in
   timed_backend phases store "native-backend" (fun () ->

@@ -54,7 +54,11 @@ type t = {
   map_chunks : int option;  (** forced scatter width for map sites *)
   reduce_chunks : int option;
       (** forced scatter width for reduce sites (chunked combining
-          reassociates the fold — off by default) *)
+          reassociates the fold — off by default unless the algebraic
+          analysis proves the combiner associative) *)
+  assoc_memo_ : (string, bool) Hashtbl.t;
+      (** memoized [Analysis.Algebra.is_assoc_comm] verdicts per
+          combiner function key *)
 }
 
 let create ?(policy = Substitute.Prefer_accelerators)
@@ -92,6 +96,7 @@ let create ?(policy = Substitute.Prefer_accelerators)
        else Ir.String_map.empty);
     map_chunks;
     reduce_chunks;
+    assoc_memo_ = Hashtbl.create 8;
   }
 
 let set_policy t p = t.policy_ <- p
@@ -1378,19 +1383,36 @@ let run_lowered_map t (lw : Lmr.lowered) (site : Ir.map_site)
     Some (I.Prim (I.freeze (I.new_array site.Ir.map_elem_ty 0)))
   | Some (pairs, n) -> Some (run_lowered_map_n t lw site pairs n)
 
+(* Whether the algebraic analysis proves the combiner associative and
+   commutative — the licence for chunked tree combining. Memoized per
+   function key: the verdict depends on the combiner alone, and
+   [Exec.create] shares one program across every run. *)
+let combiner_assoc t (fn_key : string) : bool =
+  match Hashtbl.find_opt t.assoc_memo_ fn_key with
+  | Some b -> b
+  | None ->
+    let b = Analysis.Algebra.is_assoc_comm (program t) fn_key in
+    Hashtbl.add t.assoc_memo_ fn_key b;
+    b
+
 (* One lowered reduce run over a non-empty array. Chunks fold
    left-to-right within themselves (the GPU reduce folds values in
    array order precisely so this stays bit-identical); partials are
-   combined on the host in chunk order. The default is one chunk —
-   chunked combining reassociates the fold, so K > 1 is opt-in via
-   [reduce_chunks]. *)
+   combined on the host pair-wise as a tree. The default is one chunk
+   unless the algebraic analysis proves the combiner associative and
+   commutative — then regrouping is bit-identical by the reassociation
+   contract (docs/ANALYSIS.md) and the reduce chunks like a map;
+   [reduce_chunks] still forces a count either way. *)
 let run_lowered_reduce_n t (lw : Lmr.lowered) (site : Ir.reduce_site)
     (host : V.t) (n : int) : I.v =
   let uid = lw.Lmr.lw_uid in
   let worker = lw.Lmr.lw_worker in
   let bounds =
     Lmr.split_bounds ~n
-      ~chunks:(Lmr.chunks_for ?override:t.reduce_chunks ~n lw.Lmr.lw_kind)
+      ~chunks:
+        (Lmr.chunks_for ?override:t.reduce_chunks
+           ~assoc:(combiner_assoc t lw.Lmr.lw_fn)
+           ~n lw.Lmr.lw_kind)
   in
   let k = List.length bounds in
   let plan = plan_for t ~n [ worker ] in
@@ -1486,28 +1508,70 @@ let run_lowered_reduce_n t (lw : Lmr.lowered) (site : Ir.reduce_site)
   let collect ci v = partials.(ci) <- Some v in
   mr_span ~uid ~n ~chunks:k ~plan ~steady:(mr_steady t) (fun () ->
       run_mr_actors t ~uid ~bounds ~run_chunk ~collect;
+      (* Device partials come home batched: one packed readback per
+         boundary rather than one crossing per chunk, the same
+         single-transfer shape as the map path's gathered result — at
+         K > 1 a per-partial crossing would charge K boundary
+         latencies where the legacy whole-array reduce pays one. *)
+      let resolved = Array.make k None in
+      let ship_batch ?boundary ~(device : Artifact.device) sel =
+        let group =
+          List.filter_map
+            (fun ci ->
+              match partials.(ci) with
+              | Some v when partial_home.(ci) = sel -> Some (ci, v)
+              | _ -> None)
+            (List.init k Fun.id)
+        in
+        match group with
+        | [] -> ()
+        | [ (ci, v) ] ->
+          resolved.(ci) <- Some (mr_ship_home t ?boundary ~uid ~device v)
+        | group ->
+          let buf = I.new_array site.Ir.red_elem_ty (List.length group) in
+          List.iteri (fun j (_, v) -> I.array_set buf j v) group;
+          let shipped = mr_ship_home t ?boundary ~uid ~device (I.freeze buf) in
+          List.iteri
+            (fun j (ci, _) -> resolved.(ci) <- Some (I.array_get shipped j))
+            group
+      in
+      Array.iteri
+        (fun ci p ->
+          match p, partial_home.(ci) with
+          | Some v, `Host -> resolved.(ci) <- Some v
+          | _ -> ())
+        partials;
+      ship_batch ~device:Artifact.Gpu `Gpu;
+      ship_batch
+        ~boundary:(Metrics.native_boundary t.metrics_)
+        ~device:Artifact.Native `Native;
       let part ci =
-        match partials.(ci) with
-        | Some v -> (
-          match partial_home.(ci) with
-          | `Host -> v
-          | `Gpu -> mr_ship_home t ~uid ~device:Artifact.Gpu v
-          | `Native ->
-            mr_ship_home t
-              ~boundary:(Metrics.native_boundary t.metrics_)
-              ~uid ~device:Artifact.Native v)
+        match resolved.(ci) with
+        | Some v -> v
         | None -> fail "lowered reduce %s: chunk %d produced no partial" uid ci
       in
-      let acc = ref (I.Prim (part 0)) in
-      for ci = 1 to k - 1 do
+      (* Pair-wise tree combine of the per-chunk partials, the same
+         shape a device-side reduction uses. For a proven-associative
+         combiner this is bit-identical to the sequential fold; a
+         forced [reduce_chunks] opted into reassociation already. *)
+      let combine a b =
         let r =
           Trace.with_span ~cat:"vm" ("bc:" ^ uid) (fun () ->
-              Bytecode.Vm.run t.unit_ lw.Lmr.lw_fn [ !acc; I.Prim (part ci) ])
+              Bytecode.Vm.run t.unit_ lw.Lmr.lw_fn [ a; b ])
         in
         Metrics.add_vm_instructions t.metrics_ r.Bytecode.Vm.executed;
-        acc := r.Bytecode.Vm.value
-      done;
-      !acc)
+        r.Bytecode.Vm.value
+      in
+      let rec pair_round = function
+        | a :: b :: rest -> combine a b :: pair_round rest
+        | tail -> tail
+      in
+      let rec tree = function
+        | [] -> fail "lowered reduce %s: no partials" uid
+        | [ v ] -> v
+        | vs -> tree (pair_round vs)
+      in
+      tree (List.init k (fun ci -> I.Prim (part ci))))
 
 let run_lowered_reduce t (lw : Lmr.lowered) (site : Ir.reduce_site)
     (arg : I.v) : I.v option =

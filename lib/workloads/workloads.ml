@@ -398,6 +398,58 @@ let mandelbrot =
   }
 
 (* ------------------------------------------------------------------ *)
+(* sumsq: integer map square + reduce add. The combiner is int [+],
+   which the algebraic analysis proves associative and commutative, so
+   the lowered reduce scatters into K > 1 chunks and tree-combines the
+   partials — bit-identically to the sequential fold.                  *)
+(* ------------------------------------------------------------------ *)
+
+let sumsq_source =
+  {|
+public class SumSq {
+  local static int sq(int x) { return x * x; }
+  local static int add(int a, int b) { return a + b; }
+  public static int run(int[[]] xs) {
+    var squares = SumSq @ sq(xs);
+    return SumSq @@ add(squares);
+  }
+}
+|}
+
+let sumsq_inputs ~size =
+  let rng = Rng.create ~seed () in
+  Array.map (fun v -> v - 500) (Rng.int_array rng size ~bound:1000)
+
+let sumsq =
+  {
+    name = "sumsq";
+    description = "sum of squares over int arrays (map + proven-assoc reduce)";
+    category = Gpu_map;
+    source = sumsq_source;
+    entry = "SumSq.run";
+    (* large enough that the chunked reduce's extra launches and tree
+       combines amortize against the stream in the modeled-time gate
+       (bench/lower_bench.ml) *)
+    default_size = 1 lsl 16;
+    args = (fun ~size -> [ Lm.int_array (sumsq_inputs ~size) ]);
+    validate =
+      Some
+        (fun ~size v ->
+          let xs = sumsq_inputs ~size in
+          let expected =
+            Array.fold_left
+              (fun acc x -> V.add32 acc (V.mul32 x x))
+              (V.mul32 xs.(0) xs.(0))
+              (Array.sub xs 1 (size - 1))
+          in
+          match v with
+          | Lm.I.Prim (V.Int got) ->
+            if got = expected then Ok ()
+            else Error (Printf.sprintf "sumsq: %d, expected %d" got expected)
+          | _ -> Error "sumsq: not an int");
+  }
+
+(* ------------------------------------------------------------------ *)
 (* bitflip: the paper's Figure 1, both map and task-graph forms.       *)
 (* ------------------------------------------------------------------ *)
 
@@ -816,7 +868,7 @@ let crc8 =
 let all =
   [
     saxpy; dotproduct; matmul; conv2d; nbody; blackscholes; mandelbrot;
-    bitflip; dsp_chain; prefix_sum; fir4; crc8;
+    sumsq; bitflip; dsp_chain; prefix_sum; fir4; crc8;
   ]
 
 let find name =

@@ -58,6 +58,7 @@ val conv2d : t
 val nbody : t
 val blackscholes : t
 val mandelbrot : t
+val sumsq : t
 val bitflip : t
 val dsp_chain : t
 val prefix_sum : t

@@ -16,8 +16,8 @@ the device backends) next to effectful ones (LMA008).
   > LIME
 
   $ ../../bin/lmc.exe analyze clean.lime
-  clean.lime:2:3: note: [LMA001] global function G.scale is provably pure (eligible for device compilation)
   clean.lime:5:3: note: [LMA008] global function G.run: contains a nested map/reduce
+  clean.lime:2:3: note: [LMA001] global function G.scale is provably pure (eligible for device compilation)
   0 error(s), 0 warning(s), 2 note(s)
 
 And the promotion is visible in the manifest: the pure global becomes
@@ -56,7 +56,7 @@ nonzero.
 The same diagnostics as JSON for tooling:
 
   $ ../../bin/lmc.exe analyze --json wedge.lime
-  {"diagnostics":[{"severity":"note","file":"wedge.lime","line":5,"col":3,"code":"LMA008","message":"global function P.go: allocates an array; constructs a task graph; starts a task graph"},{"severity":"error","file":"wedge.lime","line":7,"col":32,"code":"LMA002","message":"task graph graph@0: source rate [0, 0] is never positive — the source can never push an element, every FIFO in the source-to-sink cycle stays empty, and the graph wedges (runtime Scheduler.Deadlock)"},{"severity":"error","file":"wedge.lime","line":7,"col":32,"code":"LMA010","message":"task graph graph@0: balance equations unsolvable (push rate [0, 0] on edge source -> P.id@P.go/0 is never positive) — no steady state exists at any FIFO capacity"}],"errors":2,"warnings":0,"notes":1}
+  {"diagnostics":[{"severity":"note","file":"wedge.lime","line":5,"col":3,"uid":"P.go","code":"LMA008","message":"global function P.go: allocates an array; constructs a task graph; starts a task graph"},{"severity":"error","file":"wedge.lime","line":7,"col":32,"uid":"graph@0","code":"LMA002","message":"task graph graph@0: source rate [0, 0] is never positive — the source can never push an element, every FIFO in the source-to-sink cycle stays empty, and the graph wedges (runtime Scheduler.Deadlock)"},{"severity":"error","file":"wedge.lime","line":7,"col":32,"uid":"graph@0","code":"LMA010","message":"task graph graph@0: balance equations unsolvable (push rate [0, 0] on edge source -> P.id@P.go/0 is never positive) — no steady state exists at any FIFO capacity"}],"errors":2,"warnings":0,"notes":1}
   [1]
 
 An out-of-bounds array access that always traps is an error too:

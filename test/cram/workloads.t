@@ -8,6 +8,7 @@ The benchmark suite is available from the CLI.
   nbody          n-body force accumulation, softened 1/d^2 (map, O(n^2))
   blackscholes   European option pricing, Abramowitz-Stegun CND (map, transcendental)
   mandelbrot     escape-time fractal (map, branch-divergent, compute-bound)
+  sumsq          sum of squares over int arrays (map + proven-assoc reduce)
   bitflip        Figure 1: bit-stream inverter task graph
   dsp_chain      scale -> offset -> clamp integer pipeline (FPGA-ready)
   prefix_sum     stateful running-sum filter (registers on the FPGA)

@@ -256,6 +256,273 @@ class D {
     check_bool "promoted map agrees with scalar evaluation" true (a = expected)
   | _ -> Alcotest.fail "expected an int array")
 
+(* --- relational symbolic domain ---------------------------------------- *)
+
+module Symbolic = Analysis.Symbolic
+module Algebra = Analysis.Algebra
+module Fusability = Analysis.Fusability
+
+let sym_src =
+  {|
+class S {
+  local static int sum(int[[]] xs) {
+    int acc = 0;
+    for (int i = 0; i < xs.length; i++) {
+      acc = acc + xs[i];
+    }
+    return acc;
+  }
+  local static int[[]] iota(int n) {
+    int[] idx = new int[n * n];
+    for (int i = 0; i < n * n; i++) {
+      idx[i] = i;
+    }
+    return new int[[]](idx);
+  }
+  local static int offByOne(int[[]] xs) {
+    int acc = 0;
+    for (int i = 0; i <= xs.length; i++) {
+      acc = acc + xs[i];
+    }
+    return acc;
+  }
+}
+|}
+
+(* The relational domain proves the canonical induction-variable loops
+   (i < xs.length, i < n * n against new int[n * n]) that the concrete
+   Range domain reports Unknown — and refuses the off-by-one loop. *)
+let test_symbolic_length_loops_proven () =
+  let prog = compile sym_src in
+  let facts fn = Symbolic.analyze_fn prog (Ir.func_exn prog fn) in
+  let f = facts "S.sum" in
+  check_int "sum: one access" 1 f.Symbolic.sf_total;
+  check_int "sum: proven" 1 f.Symbolic.sf_proven;
+  check_bool "sum: proof is relational" true (f.Symbolic.sf_relational >= 1);
+  let f = facts "S.iota" in
+  check_int "iota: proven" 1 f.Symbolic.sf_proven;
+  let f = facts "S.offByOne" in
+  check_int "off-by-one: not proven" 0 f.Symbolic.sf_proven;
+  (* the same loops are beyond the concrete domain alone *)
+  let r = Range.analyze_fn prog (Ir.func_exn prog "S.sum") in
+  check_bool "Range alone reports Unknown" true
+    (List.exists (fun (_, v) -> v = Range.Unknown) r.Range.ff_accesses)
+
+(* The OpenCL emitter consumes the proofs: banner plus per-access
+   markers, and only the proven access is marked. *)
+let test_symbolic_opencl_unguarded () =
+  let prog = compile sym_src in
+  let text =
+    Gpu.Opencl_gen.device_function_text prog (Ir.func_exn prog "S.sum")
+  in
+  check_bool "banner present" true (Test_types.contains text "proven in bounds");
+  check_bool "unguarded marker present" true
+    (Test_types.contains text "/* unguarded */");
+  let text =
+    Gpu.Opencl_gen.device_function_text prog (Ir.func_exn prog "S.offByOne")
+  in
+  check_bool "no banner without proof" false
+    (Test_types.contains text "proven in bounds");
+  check_bool "no marker without proof" false
+    (Test_types.contains text "/* unguarded */")
+
+(* The bytecode compiler consumes the proofs: proven accesses compile
+   to aload.u/astore.u, unproven ones keep the checked opcodes — and
+   the unchecked path computes the same value. *)
+let test_symbolic_bytecode_unchecked () =
+  let prog = compile sym_src in
+  let facts = Symbolic.analyze_program prog in
+  let unit_ =
+    Bytecode.Compile.compile_program ~proven:(Symbolic.prover facts) prog
+  in
+  let disasm key =
+    Bytecode.Compile.disassemble
+      (Ir.String_map.find key unit_.Bytecode.Compile.u_funcs)
+  in
+  check_bool "sum uses aload.u" true (Test_types.contains (disasm "S.sum") "aload.u");
+  check_bool "iota uses astore.u" true
+    (Test_types.contains (disasm "S.iota") "astore.u");
+  check_bool "off-by-one stays checked" false
+    (Test_types.contains (disasm "S.offByOne") "aload.u");
+  let xs = Lime_ir.Interp.Prim (Wire.Value.Int_array [| 3; 5; 7; 11 |]) in
+  let checked = Bytecode.Vm.run (Bytecode.Compile.compile_program prog) "S.sum" [ xs ] in
+  let unchecked = Bytecode.Vm.run unit_ "S.sum" [ xs ] in
+  check_bool "unchecked value identical" true
+    (checked.Bytecode.Vm.value = unchecked.Bytecode.Vm.value)
+
+(* --- algebraic-property inference -------------------------------------- *)
+
+let algebra_src =
+  {|
+class A {
+  local static int add(int a, int b) { return a + b; }
+  local static int mn(int a, int b) { return a < b ? a : b; }
+  local static int mx(int a, int b) { return a > b ? a : b; }
+  local static int bxor(int a, int b) { return a ^ b; }
+  local static int sub(int a, int b) { return a - b; }
+  local static float fadd(float a, float b) { return a + b; }
+}
+|}
+
+let test_algebra_verdicts () =
+  let prog = compile algebra_src in
+  let is k = Algebra.is_assoc_comm prog k in
+  check_bool "int + proven" true (is "A.add");
+  check_bool "int min proven" true (is "A.mn");
+  check_bool "int max proven" true (is "A.mx");
+  check_bool "int xor proven" true (is "A.bxor");
+  check_bool "int - refused" false (is "A.sub");
+  (* float addition is associative over reals, not over f32 rounding *)
+  check_bool "float + refused" false (is "A.fadd")
+
+(* --- fusability lint ---------------------------------------------------- *)
+
+let fusable_src =
+  {|
+class F {
+  local static int inc(int x) { return x + 1; }
+  local static int dbl(int x) { return x * 2; }
+  static int[[]] run(int[[]] xs) {
+    int[] out = new int[xs.length];
+    var g = xs.source(1) => ([ task inc ]) => ([ task dbl ]) => out.<int>sink();
+    g.finish();
+    return new int[[]](out);
+  }
+}
+|}
+
+let stateful_pair_src =
+  {|
+class Acc2 {
+  int t;
+  local Acc2(int s) { t = s; }
+  local int push(int x) { t += x; return t; }
+}
+class F2 {
+  local static int inc(int x) { return x + 1; }
+  static int[[]] run(int[[]] xs) {
+    int[] out = new int[xs.length];
+    var a = new Acc2(0);
+    var g = xs.source(1) => ([ task inc ]) => ([ task a.push ]) => out.<int>sink();
+    g.finish();
+    return new int[[]](out);
+  }
+}
+|}
+
+let test_fusability_verdicts () =
+  let prog = compile fusable_src in
+  let effects = Effects.infer prog in
+  (match Fusability.analyze prog effects with
+  | [ p ] -> (
+    match p.Fusability.fz_verdict with
+    | Ok _ -> ()
+    | Error why -> Alcotest.failf "pure adjacent pair should fuse: %s" why)
+  | ps -> Alcotest.failf "expected 1 adjacent pair, got %d" (List.length ps));
+  let prog = compile stateful_pair_src in
+  let effects = Effects.infer prog in
+  match Fusability.analyze prog effects with
+  | [ p ] -> (
+    match p.Fusability.fz_verdict with
+    | Error why ->
+      check_bool "names the aliased state" true
+        (Test_types.contains why "state")
+    | Ok why -> Alcotest.failf "stateful pair must not fuse (%s)" why)
+  | ps -> Alcotest.failf "expected 1 adjacent pair, got %d" (List.length ps)
+
+(* --- lattice laws (property-based) ------------------------------------- *)
+
+let gen_interval =
+  QCheck2.Gen.(
+    let* a = int_range (-64) 64 in
+    let* b = int_range (-64) 64 in
+    let* k = int_range 0 4 in
+    return
+      (match k with
+      | 0 -> Iv.top
+      | 1 -> Iv.of_bounds 1 0 (* bottom *)
+      | 2 -> Iv.of_int a
+      | 3 -> Iv.nonneg
+      | _ -> Iv.of_bounds (min a b) (max a b)))
+
+let prop_interval_lattice_laws =
+  QCheck2.Test.make ~name:"interval join/meet lattice laws" ~count:500
+    QCheck2.Gen.(triple gen_interval gen_interval gen_interval)
+    (fun (x, y, z) ->
+      Iv.equal (Iv.join x y) (Iv.join y x)
+      && Iv.equal (Iv.meet x y) (Iv.meet y x)
+      && Iv.equal (Iv.join x (Iv.join y z)) (Iv.join (Iv.join x y) z)
+      && Iv.equal (Iv.join x x) x
+      && Iv.equal (Iv.meet x x) x
+      (* widening covers the join *)
+      &&
+      let j = Iv.join x y in
+      let w = Iv.widen x j in
+      Iv.equal (Iv.join w j) w)
+
+let prop_interval_widening_terminates =
+  QCheck2.Test.make ~name:"interval widening chains stabilize" ~count:500
+    QCheck2.Gen.(pair gen_interval (list_size (int_range 1 12) gen_interval))
+    (fun (x0, ys) ->
+      (* Iterate x <- widen x (join x y): the number of strict growth
+         steps is bounded by the widening ladder, not the data. *)
+      let x = ref x0 and changes = ref 0 in
+      List.iter
+        (fun y ->
+          let next = Iv.widen !x (Iv.join !x y) in
+          if not (Iv.equal next !x) then incr changes;
+          x := next)
+        ys;
+      !changes <= 4)
+
+(* Soundness of the symbolic bounds: whenever the relational domain
+   proves every access of a generated loop, the concrete interpreter
+   must not trap on it — for any array length. *)
+let prop_symbolic_proofs_sound =
+  let gen =
+    QCheck2.Gen.(
+      let* start = int_range 0 2 in
+      let* slack = int_range 0 2 in
+      let* step = int_range 1 3 in
+      let* off = int_range 0 2 in
+      let* incl = bool in
+      let* n = int_range 0 24 in
+      return (start, slack, step, off, incl, n))
+  in
+  QCheck2.Test.make ~name:"symbolic proofs sound vs concrete runs" ~count:150
+    gen
+    (fun (start, slack, step, off, incl, n) ->
+      let src =
+        Printf.sprintf
+          {|
+class P {
+  local static int f(int[[]] xs) {
+    int acc = 0;
+    for (int i = %d; i %s xs.length - %d; i += %d) {
+      acc = acc + xs[i + %d];
+    }
+    return acc;
+  }
+}
+|}
+          start
+          (if incl then "<=" else "<")
+          slack step off
+      in
+      let prog = compile src in
+      let facts = Symbolic.analyze_fn prog (Ir.func_exn prog "P.f") in
+      let all_proven =
+        facts.Symbolic.sf_total > 0
+        && facts.Symbolic.sf_proven = facts.Symbolic.sf_total
+      in
+      let xs = Lime_ir.Interp.Prim (Wire.Value.Int_array (Array.make n 1)) in
+      let ran_ok =
+        match Lime_ir.Interp.call prog "P.f" [ xs ] with
+        | _ -> true
+        | exception Lime_ir.Interp.Runtime_error _ -> false
+      in
+      (not all_proven) || ran_ok)
+
 (* --- report rendering -------------------------------------------------- *)
 
 let test_report_json_shape () =
@@ -292,4 +559,15 @@ let suite =
         test_graphlint_agrees_with_runtime;
       Alcotest.test_case "purity differential" `Quick test_purity_differential;
       Alcotest.test_case "report json" `Quick test_report_json_shape;
+      Alcotest.test_case "symbolic length loops proven" `Quick
+        test_symbolic_length_loops_proven;
+      Alcotest.test_case "symbolic opencl unguarded" `Quick
+        test_symbolic_opencl_unguarded;
+      Alcotest.test_case "symbolic bytecode unchecked" `Quick
+        test_symbolic_bytecode_unchecked;
+      Alcotest.test_case "algebra verdicts" `Quick test_algebra_verdicts;
+      Alcotest.test_case "fusability verdicts" `Quick test_fusability_verdicts;
+      QCheck_alcotest.to_alcotest prop_interval_lattice_laws;
+      QCheck_alcotest.to_alcotest prop_interval_widening_terminates;
+      QCheck_alcotest.to_alcotest prop_symbolic_proofs_sound;
     ] )

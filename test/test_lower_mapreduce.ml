@@ -77,7 +77,8 @@ let test_sizes =
   [
     "saxpy", (256, 193); "dotproduct", (256, 97); "matmul", (8, 7);
     "conv2d", (8, 5); "nbody", (16, 13); "mandelbrot", (12, 9);
-    "bitflip", (64, 33); "dsp_chain", (128, 65); "prefix_sum", (128, 77);
+    "sumsq", (4096, 2049); "bitflip", (64, 33); "dsp_chain", (128, 65);
+    "prefix_sum", (128, 77);
     "blackscholes", (128, 51); "fir4", (128, 49); "crc8", (64, 21);
   ]
 
@@ -382,6 +383,39 @@ let test_lowering_shape () =
       contiguous 0 bounds)
     [ (0, 1); (1, 1); (7, 3); (1024, 4); (1025, 4); (5, 5) ]
 
+(* Reduce scatter widths obey the reassociation contract: a reduce
+   stays K=1 unless its combiner is proven associative+commutative, in
+   which case it shares the map policy; an explicit override always
+   wins. *)
+let test_chunks_for_assoc () =
+  let c = compile_cached (Workloads.find "sumsq").Workloads.source in
+  let kind_of pick =
+    let found =
+      Ir.String_map.fold
+        (fun _ (lw : Lmr.lowered) acc ->
+          match lw.Lmr.lw_kind with
+          | Lmr.K_reduce _ when pick = `Reduce -> Some lw.Lmr.lw_kind
+          | Lmr.K_map _ when pick = `Map -> Some lw.Lmr.lw_kind
+          | _ -> acc)
+        c.Compiler.lowered None
+    in
+    match found with
+    | Some k -> k
+    | None -> Alcotest.fail "sumsq should lower both a map and a reduce site"
+  in
+  let reduce = kind_of `Reduce in
+  let map = kind_of `Map in
+  Alcotest.(check int) "unproven reduce stays sequential" 1
+    (Lmr.chunks_for ~n:4096 reduce);
+  Alcotest.(check int) "proven reduce uses the map policy" 4
+    (Lmr.chunks_for ~assoc:true ~n:4096 reduce);
+  Alcotest.(check int) "proven reduce on a small stream stays narrow" 1
+    (Lmr.chunks_for ~assoc:true ~n:100 reduce);
+  Alcotest.(check int) "override beats the proof gate" 6
+    (Lmr.chunks_for ~override:6 ~n:4096 reduce);
+  Alcotest.(check int) "assoc flag does not perturb maps" 4
+    (Lmr.chunks_for ~assoc:true ~n:4096 map)
+
 let suite =
   ( "lower_mapreduce",
     List.map
@@ -397,6 +431,8 @@ let suite =
         Alcotest.test_case "metrics account lowered chunks" `Quick
           test_metrics_account_chunks;
         Alcotest.test_case "lowering shape" `Quick test_lowering_shape;
+        Alcotest.test_case "reduce chunks gated on proven assoc" `Quick
+          test_chunks_for_assoc;
         qcheck_random_bodies;
         qcheck_random_reduces;
         qcheck_rates_solvable;

@@ -148,8 +148,8 @@ let test_truncation_and_json () =
 let test_sizes =
   [
     "saxpy", 256; "dotproduct", 256; "matmul", 8; "conv2d", 8; "nbody", 16;
-    "mandelbrot", 12; "bitflip", 64; "dsp_chain", 128; "prefix_sum", 128;
-    "blackscholes", 128; "fir4", 128; "crc8", 64;
+    "mandelbrot", 12; "sumsq", 2048; "bitflip", 64; "dsp_chain", 128;
+    "prefix_sum", 128; "blackscholes", 128; "fir4", 128; "crc8", 64;
   ]
 
 let traced_run (w : Workloads.t) ~size =

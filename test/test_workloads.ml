@@ -63,7 +63,7 @@ let test_fpga_stream_on_fpga (w : Workloads.t) () =
     ((Lm.metrics s).fpga_runs > 0)
 
 let test_catalog () =
-  Alcotest.(check int) "twelve workloads" 12 (List.length Workloads.all);
+  Alcotest.(check int) "thirteen workloads" 13 (List.length Workloads.all);
   check_bool "find works" true (Workloads.find "saxpy" == Workloads.saxpy);
   (match Workloads.find "nope" with
   | exception Not_found -> ()
