@@ -2,7 +2,7 @@
 
 QCHECK_SEED ?= 20260805
 
-.PHONY: all build test lint baseline lint-baseline check bench bench-sched bench-placement bench-obs bench-lower clean
+.PHONY: all build test lint baseline lint-baseline check bench bench-sched bench-placement bench-obs bench-lower bench-fuse clean
 
 all: build
 
@@ -60,7 +60,7 @@ lint-baseline: build
 # the differential fault-tolerance suite — including its `Slow`
 # workload x policy x schedule matrix — under a fixed QCheck seed so
 # the randomized schedules are reproducible.
-check: build test lint lint-baseline bench-sched bench-placement bench-obs bench-lower
+check: build test lint lint-baseline bench-sched bench-placement bench-obs bench-lower bench-fuse
 	QCHECK_SEED=$(QCHECK_SEED) dune exec test/test_main.exe -- test differential -e
 
 bench:
@@ -93,6 +93,14 @@ bench-obs: build
 # bytecode.
 bench-lower: build
 	dune exec bench/lower_bench.exe -- BENCH_lower.json
+
+# Cross-filter fusion regression gate: writes BENCH_fuse.json and
+# fails if any fused run's output diverges from the per-stage run, if
+# fusion ever models slower than per-stage placement, or if the
+# calibrated planner stops placing dsp_chain's fused segment on an
+# accelerator strictly faster than the best native placement.
+bench-fuse: build
+	dune exec bench/fuse_bench.exe -- BENCH_fuse.json
 
 clean:
 	dune clean

@@ -1,0 +1,132 @@
+(* Cross-filter fusion regression gate.
+
+   For every workload this compiles the program twice — fusion on and
+   off — runs both under the accelerator-first policy, checks the
+   outputs are bitwise identical, and records both measured modeled
+   costs in BENCH_fuse.json (path overridable as argv 1). Costs are
+   the engine's modeled_ns after the real run, not static estimates.
+
+   Exits nonzero if any fused run produces different bits, if fusion
+   ever models slower than per-stage placement (beyond a 0.1%
+   tolerance), or if the headline result regresses: the calibrated
+   planner must place dsp_chain's fused run on an accelerator and
+   model it strictly faster than the best per-stage native placement.
+   `make check` uses this as the fusion regression gate. *)
+
+module Compiler = Liquid_metal.Compiler
+module Exec = Runtime.Exec
+module Substitute = Runtime.Substitute
+
+let tolerance = 1.001
+
+let run_once (w : Workloads.t) ~fuse ~size =
+  let c = Compiler.compile ~fuse w.Workloads.source in
+  let engine = Compiler.engine ~policy:Substitute.Prefer_accelerators ~fuse c in
+  let result = Exec.call engine w.Workloads.entry (w.Workloads.args ~size) in
+  let m = Runtime.Metrics.snapshot (Exec.metrics engine) in
+  (result, Exec.modeled_ns engine, Exec.last_plan engine, m)
+
+let () =
+  let out_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_fuse.json"
+  in
+  let rows = ref [] in
+  let failures = ref 0 in
+  Printf.printf "%-12s %6s  %14s %14s  %8s  %s\n" "workload" "size"
+    "unfused ns" "fused ns" "speedup" "fused plan";
+  List.iter
+    (fun (w : Workloads.t) ->
+      let size = w.Workloads.default_size in
+      let unfused_r, unfused_ns, _, _ = run_once w ~fuse:false ~size in
+      let fused_r, fused_ns, plan, m = run_once w ~fuse:true ~size in
+      if Stdlib.compare unfused_r fused_r <> 0 then begin
+        Printf.eprintf "FAIL %s: fused output diverged from unfused\n"
+          w.Workloads.name;
+        incr failures
+      end;
+      if fused_ns > unfused_ns *. tolerance then begin
+        Printf.eprintf "FAIL %s: fused run modeled %.0fns > unfused %.0fns\n"
+          w.Workloads.name fused_ns unfused_ns;
+        incr failures
+      end;
+      let speedup = if fused_ns > 0.0 then unfused_ns /. fused_ns else 1.0 in
+      let plan_text = Option.value plan ~default:"(no task graphs)" in
+      Printf.printf "%-12s %6d  %14.0f %14.0f  %7.2fx  %s\n" w.Workloads.name
+        size unfused_ns fused_ns speedup plan_text;
+      rows :=
+        Printf.sprintf
+          "{\"workload\":%S,\"size\":%d,\"unfused_modeled_ns\":%.1f,\"fused_modeled_ns\":%.1f,\"speedup\":%.3f,\"plan\":%S,\"fused_launches\":%d}"
+          w.Workloads.name size unfused_ns fused_ns speedup plan_text
+          m.Runtime.Metrics.fused_launches
+        :: !rows)
+    Workloads.all;
+  (* The headline: fusion must flip dsp_chain's calibrated plan onto
+     an accelerator, strictly beating the best per-stage (native)
+     placement that wins without it. *)
+  let dsp = Workloads.find "dsp_chain" in
+  let c = Compiler.compile dsp.Workloads.source in
+  let report =
+    Placement.Planner.run ~profile_path:"BENCH_fuse.profiles"
+      ~n:dsp.Workloads.default_size c
+  in
+  let headline =
+    match report.Placement.Planner.rp_graphs with
+    | gp :: _ ->
+      let planned = gp.Placement.Planner.gp_planned in
+      let find name =
+        List.find
+          (fun (cand : Placement.Planner.candidate) ->
+            cand.Placement.Planner.cd_name = name)
+          gp.Placement.Planner.gp_candidates
+      in
+      let native = find "native-only" in
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      if not (contains planned.Placement.Planner.cd_plan_text "fused") then begin
+        Printf.eprintf "FAIL dsp_chain: planned %S is not a fused placement\n"
+          planned.Placement.Planner.cd_plan_text;
+        incr failures
+      end;
+      if
+        planned.Placement.Planner.cd_makespan_ns
+        >= native.Placement.Planner.cd_makespan_ns
+      then begin
+        Printf.eprintf
+          "FAIL dsp_chain: fused plan %.0fns must beat native %.0fns\n"
+          planned.Placement.Planner.cd_makespan_ns
+          native.Placement.Planner.cd_makespan_ns;
+        incr failures
+      end;
+      Printf.printf
+        "\nheadline: dsp_chain planned %s (%.1f us) vs native-only %s (%.1f \
+         us)\n"
+        planned.Placement.Planner.cd_plan_text
+        (planned.Placement.Planner.cd_makespan_ns /. 1000.0)
+        native.Placement.Planner.cd_plan_text
+        (native.Placement.Planner.cd_makespan_ns /. 1000.0);
+      Printf.sprintf
+        "{\"planned\":%S,\"planned_ns\":%.1f,\"native\":%S,\"native_ns\":%.1f}"
+        planned.Placement.Planner.cd_plan_text
+        planned.Placement.Planner.cd_makespan_ns
+        native.Placement.Planner.cd_plan_text
+        native.Placement.Planner.cd_makespan_ns
+    | [] ->
+      Printf.eprintf "FAIL dsp_chain: planner produced no graphs\n";
+      incr failures;
+      "{}"
+  in
+  let oc = open_out out_path in
+  output_string oc "{\"workloads\":[\n";
+  output_string oc (String.concat ",\n" (List.rev !rows));
+  output_string oc ("\n],\"headline\":" ^ headline ^ "}\n");
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path;
+  if !failures > 0 then begin
+    Printf.eprintf "%d fusion regression(s)\n" !failures;
+    exit 1
+  end

@@ -176,6 +176,17 @@ let lower_arg =
            $(b,false) restores the legacy whole-array dispatch; see \
            docs/LOWERING.md)")
 
+let fuse_arg =
+  Arg.(
+    value
+    & opt bool true
+    & info [ "fuse" ] ~docv:"BOOL"
+        ~doc:
+          "collapse maximal fusible filter runs into single cross-filter \
+           kernels, so a fused segment crosses the wire boundary once and \
+           streams its result home (default $(b,true); $(b,false) compiles \
+           and plans per-stage segments only; see docs/FUSION.md)")
+
 let replan_arg =
   Arg.(
     value
@@ -373,13 +384,13 @@ let run_cmd =
     Arg.(value & flag & info [ "metrics" ] ~doc:"print execution metrics")
   in
   let action file entry args policy schedule fifo_capacity verbose faults
-      max_retries replan_factor lower_mapreduce trace profile report
+      max_retries replan_factor lower_mapreduce fuse trace profile report
       metrics_export =
     handle_compile_errors (fun () ->
         setup_tracing ~trace ~profile:(profile || report);
         let session =
           Lm.load ~policy ~schedule ?fifo_capacity ?max_retries ?replan_factor
-            ~lower_mapreduce (read_file file)
+            ~lower_mapreduce ~fuse (read_file file)
         in
         setup_faults faults;
         let values = List.map parse_value args in
@@ -421,7 +432,7 @@ let run_cmd =
     Term.(
       const action $ file_arg $ entry $ args $ policy $ schedule_arg
       $ fifo_capacity_arg $ verbose $ faults_arg $ retries_arg $ replan_arg
-      $ lower_arg $ trace_arg $ profile_arg $ report_flag
+      $ lower_arg $ fuse_arg $ trace_arg $ profile_arg $ report_flag
       $ metrics_export_arg)
 
 (* --- disasm ----------------------------------------------------------- *)
@@ -468,7 +479,7 @@ let workloads_cmd =
              ~doc:"substitution policy (as for run)")
   in
   let action name size policy schedule fifo_capacity faults max_retries
-      replan_factor lower_mapreduce trace profile report metrics_export =
+      replan_factor lower_mapreduce fuse trace profile report metrics_export =
     match (name : string option) with
     | None ->
       List.iter
@@ -487,7 +498,7 @@ let workloads_cmd =
           let size = Option.value size ~default:w.default_size in
           let session =
             Lm.load ~policy ~schedule ?fifo_capacity ?max_retries
-              ?replan_factor ~lower_mapreduce w.source
+              ?replan_factor ~lower_mapreduce ~fuse w.source
           in
           setup_faults faults;
           let t0 = Unix.gettimeofday () in
@@ -531,7 +542,8 @@ let workloads_cmd =
     Term.(
       const action $ workload_name $ size $ policy $ schedule_arg
       $ fifo_capacity_arg $ faults_arg $ retries_arg $ replan_arg $ lower_arg
-      $ trace_arg $ profile_arg $ report_flag $ metrics_export_arg)
+      $ fuse_arg $ trace_arg $ profile_arg $ report_flag
+      $ metrics_export_arg)
 
 (* --- plan -------------------------------------------------------------- *)
 
@@ -550,7 +562,7 @@ let plan_cmd =
     Arg.(value & flag & info [ "json" ]
            ~doc:"print the plan report as a JSON object")
   in
-  let action target n json store_path =
+  let action target n json store_path fuse =
     handle_compile_errors (fun () ->
         let source, default_n =
           match Workloads.find target with
@@ -562,7 +574,9 @@ let plan_cmd =
               exit 1
             end
         in
-        let compiled = Liquid_metal.Compiler.compile ~file:target source in
+        let compiled =
+          Liquid_metal.Compiler.compile ~file:target ~fuse source
+        in
         let n = Option.value n ~default:default_n in
         let report = Placement.Planner.run ~profile_path:store_path ~n compiled in
         if json then print_endline (Placement.Planner.render_json report)
@@ -574,7 +588,7 @@ let plan_cmd =
          "profile-guided placement planning: calibrate device cost models, \
           predict per-candidate makespans and report the argmin placement \
           with a rationale (see docs/PLACEMENT.md)")
-    Term.(const action $ target $ n $ json $ store_path_arg)
+    Term.(const action $ target $ n $ json $ store_path_arg $ fuse_arg)
 
 (* --- report ------------------------------------------------------------ *)
 
@@ -747,7 +761,7 @@ let analyze_cmd =
              "FIFO capacity assumed by the task-graph lint (matches the \
               runtime's default; per-firing bursts above it warn)")
   in
-  let action tgt json fifo_capacity =
+  let action tgt json fifo_capacity fuse =
     handle_compile_errors (fun () ->
         let source =
           match Workloads.find tgt with
@@ -765,7 +779,7 @@ let analyze_cmd =
                (Lime_types.Typecheck.check
                   (Lime_syntax.Parser.parse ~file:tgt source)))
         in
-        let report = Analysis.Report.analyze ~fifo_capacity prog in
+        let report = Analysis.Report.analyze ~fifo_capacity ~fuse prog in
         let diags = report.Analysis.Report.diags in
         if json then print_endline (Analysis.Report.to_json diags)
         else begin
@@ -781,7 +795,7 @@ let analyze_cmd =
           ranges and array bounds, algebraic combiner properties, \
           fusability, task-graph deadlock lint) on a workload or source \
           file and print diagnostics")
-    Term.(const action $ target $ json $ fifo_capacity)
+    Term.(const action $ target $ json $ fifo_capacity $ fuse_arg)
 
 let () =
   let doc = "the Liquid Metal compiler and runtime (DAC 2012 reproduction)" in

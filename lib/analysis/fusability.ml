@@ -110,6 +110,70 @@ let judge (effects : Effects.t) (a : Ir.filter_info) (b : Ir.filter_info) :
       | Ok () ->
         Ok "pure, relocatable, rate-compatible, no aliased state")
 
+type run = {
+  fr_graph : string;  (** template uid *)
+  fr_members : Ir.filter_info list;  (** >= 2, in pipeline order *)
+  fr_why : string;
+}
+(** A disjoint maximal fusible run: every adjacent pair inside the run
+    judged [Ok], and the run cannot be extended on either side. *)
+
+type runs_report = {
+  rr_runs : run list;
+  rr_blocked : pair list;
+      (** adjacent pairs whose verdict is [Error] — the fusion
+          frontier; reported so the diagnostics stay actionable *)
+}
+
+(* Greedy left-to-right maximal grouping. Because fusibility of a
+   chain is exactly pairwise fusibility of its adjacent stages (the
+   judge's conditions are all per-filter or per-adjacent-pair), the
+   greedy grouping yields the unique partition into disjoint maximal
+   runs — the fix for the overlapping-pairs ambiguity on chains of
+   three or more stages. *)
+let runs (prog : Ir.program) (effects : Effects.t) : runs_report =
+  let runs_acc = ref [] and blocked_acc = ref [] in
+  Ir.String_map.iter
+    (fun _ (gt : Ir.graph_template) ->
+      let filters =
+        List.filter_map
+          (function Ir.N_filter f -> Some f | _ -> None)
+          gt.Ir.gt_nodes
+      in
+      let flush current why =
+        match current with
+        | _ :: _ :: _ ->
+          runs_acc :=
+            { fr_graph = gt.Ir.gt_uid;
+              fr_members = List.rev current;
+              fr_why = why }
+            :: !runs_acc
+        | _ -> ()
+      in
+      let rec walk current why = function
+        | [] -> flush current why
+        | f :: rest -> (
+          match current with
+          | [] -> walk [ f ] why rest
+          | prev :: _ -> (
+            match judge effects prev f with
+            | Ok w -> walk (f :: current) w rest
+            | Error w ->
+              flush current why;
+              blocked_acc :=
+                {
+                  fz_graph = gt.Ir.gt_uid;
+                  fz_fst = prev;
+                  fz_snd = f;
+                  fz_verdict = Error w;
+                }
+                :: !blocked_acc;
+              walk [ f ] "" rest))
+      in
+      walk [] "" filters)
+    prog.Ir.templates;
+  { rr_runs = List.rev !runs_acc; rr_blocked = List.rev !blocked_acc }
+
 (* Every adjacent filter pair of every template, judged. *)
 let analyze (prog : Ir.program) (effects : Effects.t) : pair list =
   Ir.String_map.fold

@@ -19,7 +19,7 @@
    - LMA014  note     proven accesses compile to unguarded loads/stores
    - LMA015  note     reduce combiner proven associative (K>1 tree eligible)
    - LMA016  note     reduce combiner not proven associative (pinned K=1)
-   - LMA017  note     adjacent filter pair is fusible
+   - LMA017  note     maximal filter run is fusible (one note per run)
    - LMA018  note     adjacent filter pair is not fusible (reason given) *)
 
 module Ir = Lime_ir.Ir
@@ -95,7 +95,7 @@ let to_json (diags : diag list) =
 
 (* --- analysis ------------------------------------------------------ *)
 
-let analyze ?(fifo_capacity = 16) (prog : Ir.program) : t =
+let analyze ?(fifo_capacity = 16) ?(fuse = true) (prog : Ir.program) : t =
   let effects = Effects.infer prog in
   let ranges = Range.analyze_program prog in
   let symbolic = Symbolic.analyze_program prog in
@@ -182,23 +182,56 @@ let analyze ?(fifo_capacity = 16) (prog : Ir.program) : t =
                 at K=1"
                r.Ir.red_uid r.Ir.red_fn why)))
     (Ir.kernel_sites prog);
-  (* Fusability of adjacent filter pairs. *)
-  List.iter
-    (fun (p : Fusability.pair) ->
-      let names =
-        Printf.sprintf "%s -> %s" p.Fusability.fz_fst.Ir.uid
-          p.Fusability.fz_snd.Ir.uid
-      in
-      match p.Fusability.fz_verdict with
-      | Ok why ->
-        add Note p.Fusability.fz_snd.Ir.floc p.Fusability.fz_graph "LMA017"
-          (Printf.sprintf "task graph %s: filters %s are fusible (%s)"
-             p.Fusability.fz_graph names why)
-      | Error why ->
-        add Note p.Fusability.fz_snd.Ir.floc p.Fusability.fz_graph "LMA018"
-          (Printf.sprintf "task graph %s: filters %s are not fusible: %s"
-             p.Fusability.fz_graph names why))
-    (Fusability.analyze prog effects);
+  (* Fusability: with [fuse] (the default) report each disjoint
+     maximal fusible run once — a chain A-B-C yields one LMA017 for
+     "A -> B -> C", not overlapping pair notes — plus one LMA018 per
+     blocked adjacent pair. [~fuse:false] restores the legacy
+     pair-by-pair view. *)
+  (if fuse then (
+     let rr = Fusability.runs prog effects in
+     List.iter
+       (fun (r : Fusability.run) ->
+         let names =
+           String.concat " -> "
+             (List.map (fun (f : Ir.filter_info) -> f.Ir.uid) r.Fusability.fr_members)
+         in
+         let last = List.nth r.Fusability.fr_members
+             (List.length r.Fusability.fr_members - 1) in
+         add Note last.Ir.floc r.Fusability.fr_graph "LMA017"
+           (Printf.sprintf
+              "task graph %s: filters %s fuse into one segment (%s)"
+              r.Fusability.fr_graph names r.Fusability.fr_why))
+       rr.Fusability.rr_runs;
+     List.iter
+       (fun (p : Fusability.pair) ->
+         let names =
+           Printf.sprintf "%s -> %s" p.Fusability.fz_fst.Ir.uid
+             p.Fusability.fz_snd.Ir.uid
+         in
+         match p.Fusability.fz_verdict with
+         | Ok _ -> ()
+         | Error why ->
+           add Note p.Fusability.fz_snd.Ir.floc p.Fusability.fz_graph "LMA018"
+             (Printf.sprintf "task graph %s: filters %s are not fusible: %s"
+                p.Fusability.fz_graph names why))
+       rr.Fusability.rr_blocked)
+   else
+     List.iter
+       (fun (p : Fusability.pair) ->
+         let names =
+           Printf.sprintf "%s -> %s" p.Fusability.fz_fst.Ir.uid
+             p.Fusability.fz_snd.Ir.uid
+         in
+         match p.Fusability.fz_verdict with
+         | Ok why ->
+           add Note p.Fusability.fz_snd.Ir.floc p.Fusability.fz_graph "LMA017"
+             (Printf.sprintf "task graph %s: filters %s are fusible (%s)"
+                p.Fusability.fz_graph names why)
+         | Error why ->
+           add Note p.Fusability.fz_snd.Ir.floc p.Fusability.fz_graph "LMA018"
+             (Printf.sprintf "task graph %s: filters %s are not fusible: %s"
+                p.Fusability.fz_graph names why))
+       (Fusability.analyze prog effects));
   (* Task-graph lint. *)
   List.iter
     (fun (f : Graphlint.finding) ->

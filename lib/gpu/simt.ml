@@ -345,7 +345,11 @@ let run_filter_chain ?(device = Device.gtx580) ?(model_divergence = true)
     (input : V.t) : V.t * timing =
   if chain = [] then fail "empty filter chain";
   let name = Option.value uid ~default:(String.concat "|" chain) in
-  Support.Fault.check ~device:"gpu" ~segment:name;
+  (* Fused kernels are fault-checked by the engine's launch prelude
+     under their pre-fusion alias names — checking the fused uid here
+     too would double-charge one launch. *)
+  if not (Lime_ir.Fuse.is_fused_uid name) then
+    Support.Fault.check ~device:"gpu" ~segment:name;
   traced "filter-chain" name @@ fun () ->
   let n = I.array_length input in
   let result = I.new_array output_ty n in

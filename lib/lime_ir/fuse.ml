@@ -1,0 +1,320 @@
+(* Cross-filter fusion: collapse a maximal fusible run of adjacent
+   pipeline filters into one synthetic filter whose function composes
+   the member bodies.
+
+   The legality proof lives in [Analysis.Fusability] (pure,
+   relocatable, rate-compatible, no aliased receiver state); this pass
+   is purely mechanical and assumes the caller only hands it proven
+   runs. Composition prefers *tail-return inlining* — each member's
+   body is spliced in with its parameter substituted by the previous
+   member's result, so intermediate values stay in virtual registers
+   (and hence in device registers after codegen, never crossing the
+   wire). Bodies the inliner cannot prove safe to splice (early
+   returns, void returns, writes to the parameter) fall back to a
+   call chain [let t1 = f1 x; let t2 = f2 t1; ...], which is always
+   semantically correct but opaque to the RTL synthesizer.
+
+   The fused function key doubles as the fused artifact uid:
+   ["fuse:" ^ member uids joined with '+'], so any consumer can
+   recover the pre-fusion segment names from the fused name alone
+   (fault-injection specs, unfuse-on-fault, trace attribution). *)
+
+let fused_prefix = "fuse:"
+
+let fused_uid (members : Ir.filter_info list) =
+  fused_prefix ^ String.concat "+" (List.map (fun f -> f.Ir.uid) members)
+
+let is_fused_uid uid =
+  String.length uid > String.length fused_prefix
+  && String.sub uid 0 (String.length fused_prefix) = fused_prefix
+
+(* Pre-fusion segment names behind a (possibly fused) uid; a plain uid
+   is its own single member. *)
+let member_uids uid =
+  if is_fused_uid uid then
+    String.split_on_char '+'
+      (String.sub uid
+         (String.length fused_prefix)
+         (String.length uid - String.length fused_prefix))
+  else [ uid ]
+
+type fused = {
+  fu_filter : Ir.filter_info;  (** synthetic filter standing for the run *)
+  fu_members : Ir.filter_info list;  (** pre-fusion filters, pipeline order *)
+  fu_inlined : bool;
+      (** [true] = member bodies spliced (register intermediates);
+          [false] = call-chain fallback *)
+}
+
+(* --- tail-return inlining ------------------------------------------ *)
+
+exception Not_inlinable of string
+
+type st = { mutable next : int }
+
+let fresh st name ty =
+  let v = { Ir.v_id = st.next; v_name = name; v_ty = ty } in
+  st.next <- st.next + 1;
+  v
+
+let map_operand env = function
+  | Ir.O_const _ as o -> o
+  | Ir.O_var v -> (
+    match Hashtbl.find_opt env v.Ir.v_id with
+    | Some o -> o
+    | None -> raise (Not_inlinable "use of unbound variable"))
+
+let bind env st (v : Ir.var) =
+  match Hashtbl.find_opt env v.Ir.v_id with
+  | Some (Ir.O_var v') when v'.Ir.v_ty = v.Ir.v_ty -> v'
+  | _ ->
+    let v' = fresh st v.Ir.v_name v.Ir.v_ty in
+    Hashtbl.replace env v.Ir.v_id (Ir.O_var v');
+    v'
+
+let map_rhs env = function
+  | Ir.R_op o -> Ir.R_op (map_operand env o)
+  | Ir.R_unop (u, o) -> Ir.R_unop (u, map_operand env o)
+  | Ir.R_binop (b, x, y) -> Ir.R_binop (b, map_operand env x, map_operand env y)
+  | Ir.R_alen o -> Ir.R_alen (map_operand env o)
+  | Ir.R_aload (a, i) -> Ir.R_aload (map_operand env a, map_operand env i)
+  | Ir.R_call (k, os) -> Ir.R_call (k, List.map (map_operand env) os)
+  | Ir.R_newarr (t, o) -> Ir.R_newarr (t, map_operand env o)
+  | Ir.R_freeze o -> Ir.R_freeze (map_operand env o)
+  | Ir.R_newobj (c, os) -> Ir.R_newobj (c, List.map (map_operand env) os)
+  | Ir.R_field (o, i) -> Ir.R_field (map_operand env o, i)
+  | Ir.R_map _ | Ir.R_reduce _ | Ir.R_mkgraph _ ->
+    (* a filter body nesting a kernel site or graph construction is
+       never fusible in practice (it would be impure); refuse rather
+       than renumber site uids *)
+    raise (Not_inlinable "kernel site in filter body")
+
+(* Splice a member body, rewriting every tail [I_return (Some e)] via
+   [emit]; any return outside tail position aborts the splice. *)
+let rec rw_block env st ~tail ~emit block =
+  let n = List.length block in
+  List.concat
+    (List.mapi
+       (fun i ins -> rw_instr env st ~tail:(tail && i = n - 1) ~emit ins)
+       block)
+
+and rw_instr env st ~tail ~emit = function
+  | Ir.I_return (Some o) ->
+    if not tail then raise (Not_inlinable "early return");
+    emit (map_operand env o)
+  | Ir.I_return None -> raise (Not_inlinable "void return")
+  | Ir.I_let (v, r) ->
+    let r' = map_rhs env r in
+    [ Ir.I_let (bind env st v, r') ]
+  | Ir.I_set (v, r) -> (
+    let r' = map_rhs env r in
+    match Hashtbl.find_opt env v.Ir.v_id with
+    | Some (Ir.O_var v') -> [ Ir.I_set (v', r') ]
+    | Some (Ir.O_const _) -> raise (Not_inlinable "write to fused parameter")
+    | None -> [ Ir.I_set (bind env st v, r') ])
+  | Ir.I_astore (a, i, x) ->
+    [ Ir.I_astore (map_operand env a, map_operand env i, map_operand env x) ]
+  | Ir.I_setfield (o, i, x) ->
+    [ Ir.I_setfield (map_operand env o, i, map_operand env x) ]
+  | Ir.I_if (c, a, b) ->
+    [
+      Ir.I_if
+        ( map_operand env c,
+          rw_block env st ~tail ~emit a,
+          rw_block env st ~tail ~emit b );
+    ]
+  | Ir.I_while (c, o, body) ->
+    [
+      Ir.I_while
+        ( rw_block env st ~tail:false ~emit c,
+          map_operand env o,
+          rw_block env st ~tail:false ~emit body );
+    ]
+  | Ir.I_run_graph _ -> raise (Not_inlinable "graph execution in filter body")
+  | Ir.I_do r -> [ Ir.I_do (map_rhs env r) ]
+
+let rec always_returns (block : Ir.block) =
+  match List.rev block with
+  | Ir.I_return (Some _) :: _ -> true
+  | Ir.I_if (_, a, b) :: _ -> always_returns a && always_returns b
+  | _ -> false
+
+let default_const = function
+  | Ir.I32 -> Some (Ir.C_i32 0)
+  | Ir.F32 -> Some (Ir.C_f32 0.0)
+  | Ir.Bool -> Some (Ir.C_bool false)
+  | Ir.Bit -> Some (Ir.C_bit false)
+  | Ir.Enum _ | Ir.Arr _ | Ir.Obj _ | Ir.Graph | Ir.Unit -> None
+
+let rec contains_set_to p (block : Ir.block) =
+  List.exists
+    (fun i ->
+      match i with
+      | Ir.I_set (v, _) -> v.Ir.v_id = p.Ir.v_id
+      | Ir.I_if (_, a, b) -> contains_set_to p a || contains_set_to p b
+      | Ir.I_while (c, _, body) ->
+        contains_set_to p c || contains_set_to p body
+      | _ -> false)
+    block
+
+(* Count the returns in a body (tail or not). *)
+let rec return_count (block : Ir.block) =
+  List.fold_left
+    (fun acc i ->
+      match i with
+      | Ir.I_return _ -> acc + 1
+      | Ir.I_if (_, a, b) -> acc + return_count a + return_count b
+      | Ir.I_while (c, _, body) -> acc + return_count c + return_count body
+      | _ -> acc)
+    0 block
+
+(* Splice one member: returns the rewritten instructions plus the
+   operand carrying the member's result. *)
+let inline_member st prog key (cur : Ir.operand) =
+  let fn = Ir.func_exn prog key in
+  (match fn.Ir.fn_params with
+  | [ _ ] -> ()
+  | _ -> raise (Not_inlinable "filter function is not unary"));
+  let param = List.hd fn.Ir.fn_params in
+  if contains_set_to param fn.Ir.fn_body then
+    raise (Not_inlinable "write to fused parameter");
+  let env = Hashtbl.create 16 in
+  Hashtbl.replace env param.Ir.v_id cur;
+  if return_count fn.Ir.fn_body = 1 && always_returns fn.Ir.fn_body then (
+    (* straight-line tail return: thread the result operand directly,
+       introducing no extra register *)
+    let result = ref None in
+    let body =
+      rw_block env st ~tail:true
+        ~emit:(fun o ->
+          result := Some o;
+          [])
+        fn.Ir.fn_body
+    in
+    match !result with
+    | Some o -> (body, o)
+    | None -> raise (Not_inlinable "no tail return"))
+  else if always_returns fn.Ir.fn_body then (
+    match default_const fn.Ir.fn_ret with
+    | None -> raise (Not_inlinable "non-scalar return type")
+    | Some c ->
+      let r = fresh st "fuse_r" fn.Ir.fn_ret in
+      let body =
+        rw_block env st ~tail:true
+          ~emit:(fun o -> [ Ir.I_set (r, Ir.R_op o) ])
+          fn.Ir.fn_body
+      in
+      (Ir.I_let (r, Ir.R_op (Ir.O_const c)) :: body, Ir.O_var r))
+  else raise (Not_inlinable "control flow may fall off the end")
+
+(* --- composition --------------------------------------------------- *)
+
+let static_keys members =
+  List.map
+    (fun (f : Ir.filter_info) ->
+      match f.Ir.target with
+      | Ir.F_static k -> Ok k
+      | Ir.F_instance (c, m) -> Error (c ^ "." ^ m ^ " holds receiver state"))
+    members
+
+let compose prog (members : Ir.filter_info list) :
+    (Ir.func * bool, string) result =
+  match
+    List.find_opt (function Error _ -> true | Ok _ -> false)
+      (static_keys members)
+  with
+  | Some (Error why) -> Error why
+  | _ -> (
+    let keys =
+      List.map
+        (fun (f : Ir.filter_info) ->
+          match f.Ir.target with Ir.F_static k -> k | _ -> assert false)
+        members
+    in
+    match List.find_opt (fun k -> Ir.find_func prog k = None) keys with
+    | Some k -> Error (Printf.sprintf "no function %s" k)
+    | None ->
+      let first = List.hd members in
+      let last = List.nth members (List.length members - 1) in
+      let param = { Ir.v_id = 0; v_name = "x"; v_ty = first.Ir.input } in
+      let key = fused_uid members in
+      let mk body ~inlined =
+        ( {
+            Ir.fn_key = key;
+            fn_kind = Ir.K_static;
+            fn_params = [ param ];
+            fn_ret = last.Ir.output;
+            fn_body = body;
+            fn_local = true;
+            fn_pure = true;
+            fn_loc = first.Ir.floc;
+          },
+          inlined )
+      in
+      let call_chain () =
+        let st = { next = 1 } in
+        let rec chain cur acc = function
+          | [] -> List.rev (Ir.I_return (Some cur) :: acc)
+          | k :: rest ->
+            let t =
+              fresh st "fuse_t" (Ir.func_exn prog k).Ir.fn_ret
+            in
+            chain (Ir.O_var t)
+              (Ir.I_let (t, Ir.R_call (k, [ cur ])) :: acc)
+              rest
+        in
+        mk (chain (Ir.O_var param) [] keys) ~inlined:false
+      in
+      let fused =
+        try
+          let st = { next = 1 } in
+          let body, result =
+            List.fold_left
+              (fun (acc, cur) k ->
+                let instrs, out = inline_member st prog k cur in
+                (acc @ instrs, out))
+              ([], Ir.O_var param)
+              keys
+          in
+          mk (body @ [ Ir.I_return (Some result) ]) ~inlined:true
+        with Not_inlinable _ -> call_chain ()
+      in
+      Ok fused)
+
+(* Fuse one proven run into the program: registers the composed
+   function under the fused uid and returns the synthetic filter. *)
+let fuse_run prog (members : Ir.filter_info list) :
+    (Ir.program * fused, string) result =
+  if List.length members < 2 then Error "run has fewer than two members"
+  else
+    match compose prog members with
+    | Error _ as e -> e
+    | Ok (fn, inlined) ->
+      let first = List.hd members in
+      let last = List.nth members (List.length members - 1) in
+      let filter =
+        {
+          Ir.uid = fn.Ir.fn_key;
+          target = Ir.F_static fn.Ir.fn_key;
+          relocatable = true;
+          input = first.Ir.input;
+          output = last.Ir.output;
+          floc = first.Ir.floc;
+        }
+      in
+      let prog' =
+        { prog with Ir.funcs = Ir.String_map.add fn.Ir.fn_key fn prog.Ir.funcs }
+      in
+      Ok (prog', { fu_filter = filter; fu_members = members; fu_inlined = inlined })
+
+(* Fuse every run the analysis proved; runs the composer cannot handle
+   are skipped (they simply keep their per-stage artifacts). *)
+let fuse_program prog (runs : Ir.filter_info list list) :
+    Ir.program * fused list =
+  List.fold_left
+    (fun (prog, acc) members ->
+      match fuse_run prog members with
+      | Ok (prog', f) -> (prog', f :: acc)
+      | Error _ -> (prog, acc))
+    (prog, []) runs
+  |> fun (p, fs) -> (p, List.rev fs)

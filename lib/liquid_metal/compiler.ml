@@ -251,7 +251,63 @@ let native_backend (prog : Ir.program) (store : Runtime.Store.t) =
         (relocatable_runs ~suitable:(fun _ -> Ok ()) filters))
     prog.Ir.templates
 
-let compile ?(file = "<lime>") source : compiled =
+(* Register device artifacts for the synthetic fused filters: one
+   OpenCL kernel and one fully-pipelined RTL module per fused run. No
+   fused native artifact is emitted — the native backend already
+   compiles a whole chain into a single shared library with one JNI
+   round trip, so fusion adds nothing there. The fused filter is also
+   recorded in the store's fusion registry so bytecode plans execute
+   the run as one segment. *)
+let fused_backend ~effects (prog : Ir.program) (store : Runtime.Store.t)
+    (fusions : Lime_ir.Fuse.fused list) =
+  List.iter
+    (fun (fz : Lime_ir.Fuse.fused) ->
+      let f = fz.Lime_ir.Fuse.fu_filter in
+      let uid = f.Ir.uid in
+      Runtime.Store.add_fusion store
+        ~chain:(Runtime.Artifact.chain_uid fz.Lime_ir.Fuse.fu_members)
+        f;
+      (match Gpu.Suitability.check_fn ~effects prog uid with
+      | Gpu.Suitability.Suitable ->
+        Runtime.Store.add store
+          (Runtime.Artifact.Gpu_kernel
+             {
+               ga_uid = uid;
+               ga_kind = Runtime.Artifact.G_filter_chain [ f ];
+               ga_opencl =
+                 Gpu.Opencl_gen.filter_kernel_text prog ~uid [ uid ]
+                   ~input:f.Ir.input ~output:f.Ir.output;
+             })
+      | Gpu.Suitability.Excluded reason ->
+        Runtime.Store.record_exclusion store ~uid
+          ~device:Runtime.Artifact.Gpu ~reason);
+      let cache = Rtl.Synth.make_cache () in
+      match Rtl.Synth.check_filter ~effects ~cache prog f with
+      | Rtl.Synth.Suitable -> (
+        match
+          Rtl.Synth.pipeline_of_chain ~effects ~cache prog ~name:uid
+            ~pipelined:true
+            [ f, None ]
+        with
+        | pipeline ->
+          Runtime.Store.add store
+            (Runtime.Artifact.Fpga_module
+               {
+                 fa_uid = uid;
+                 fa_filters = [ f ];
+                 fa_verilog = Rtl.Verilog_gen.pipeline_text prog pipeline;
+               })
+        | exception
+            (Rtl.Netlist.Synthesis_error reason
+            | Rtl.Verilog_gen.Unsynthesizable reason) ->
+          Runtime.Store.record_exclusion store ~uid
+            ~device:Runtime.Artifact.Fpga ~reason)
+      | Rtl.Synth.Excluded reason ->
+        Runtime.Store.record_exclusion store ~uid
+          ~device:Runtime.Artifact.Fpga ~reason)
+    fusions
+
+let compile ?(file = "<lime>") ?(fuse = true) source : compiled =
   let phases = ref [] in
   let ast = timed phases "parse" (fun () -> Lime_syntax.Parser.parse ~file source) in
   let tast = timed phases "typecheck" (fun () -> Lime_types.Typecheck.check ast) in
@@ -261,6 +317,36 @@ let compile ?(file = "<lime>") source : compiled =
   (* Static analysis over the optimized IR: effect inference (shared
      with the GPU backend below), value ranges, task-graph lint. *)
   let report = timed phases "analyze" (fun () -> Analysis.Report.analyze prog) in
+  (* Cross-filter fusion: collapse each maximal fusible run the
+     analysis proved into one synthetic filter, then re-analyze so the
+     fused bodies get their own effect summaries and bounds proofs
+     (composition carries the members' proofs: the fused body contains
+     the same accesses under the same guards). Templates are
+     untouched, so the diagnostics of the re-analysis match the first
+     pass plus any fused-body findings. *)
+  let prog, fusions, report =
+    if not fuse then prog, [], report
+    else
+      let rr =
+        Analysis.Fusability.runs prog report.Analysis.Report.effects
+      in
+      match rr.Analysis.Fusability.rr_runs with
+      | [] -> prog, [], report
+      | runs ->
+        let prog, fusions =
+          timed phases "fuse" (fun () ->
+              Lime_ir.Fuse.fuse_program prog
+                (List.map
+                   (fun (r : Analysis.Fusability.run) ->
+                     r.Analysis.Fusability.fr_members)
+                   runs))
+        in
+        let report =
+          timed phases "analyze-fused" (fun () ->
+              Analysis.Report.analyze prog)
+        in
+        prog, fusions, report
+  in
   let unit_ =
     (* The analysis and the backends walk the same program value, so
        the per-instruction bounds proofs carry over by identity. *)
@@ -276,16 +362,20 @@ let compile ?(file = "<lime>") source : compiled =
       gpu_backend ~effects:report.Analysis.Report.effects prog store);
   timed_backend phases store "fpga-backend" (fun () ->
       fpga_backend ~effects:report.Analysis.Report.effects prog store);
+  if fusions <> [] then
+    timed_backend phases store "fuse-backend" (fun () ->
+        fused_backend ~effects:report.Analysis.Report.effects prog store
+          fusions);
   let lowered = Lime_ir.Lower_mapreduce.lower_program prog in
   { unit_; store; ir = prog; lowered; report; phase_seconds = List.rev !phases }
 
 let manifest (c : compiled) = Runtime.Store.manifest c.store
 
-let engine ?policy ?gpu_device ?fifo_capacity ?schedule ?boundary
+let engine ?policy ?fuse ?gpu_device ?fifo_capacity ?schedule ?boundary
     ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns
     ?cost_model ?replan_factor ?lower_mapreduce ?map_chunks ?reduce_chunks
     (c : compiled) =
-  Runtime.Exec.create ?policy ?gpu_device ?fifo_capacity ?schedule ?boundary
-    ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns
+  Runtime.Exec.create ?policy ?fuse ?gpu_device ?fifo_capacity ?schedule
+    ?boundary ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns
     ?cost_model ?replan_factor ?lower_mapreduce ?map_chunks ?reduce_chunks
     c.unit_ c.store

@@ -14,7 +14,14 @@ module Ir = Lime_ir.Ir
     - the Verilog/FPGA backend compiles every contiguous subchain of
       synthesizable relocatable filters (pipelines of unpipelined
       modules with FIFOs), including stateful filters whose fields
-      become registers.
+      become registers;
+    - cross-filter fusion (on by default) collapses each maximal
+      fusible run proven by [Analysis.Fusability] into one synthetic
+      filter ([Lime_ir.Fuse]) and registers a fused OpenCL kernel and
+      a fully-pipelined RTL module for it, plus a fusion-registry
+      entry so bytecode plans execute the run as one segment. No fused
+      native artifact is needed: the native backend already compiles a
+      whole chain into one shared library with one JNI round trip.
 
     Tasks a backend cannot handle are excluded and the reason recorded
     in the manifest (paper section 3). *)
@@ -33,13 +40,16 @@ type compiled = {
       (** wall time per compiler phase, frontend and backends *)
 }
 
-val compile : ?file:string -> string -> compiled
-(** @raise Support.Diag.Compile_error on frontend errors. *)
+val compile : ?file:string -> ?fuse:bool -> string -> compiled
+(** [fuse] (default on) enables the cross-filter fusion pass and the
+    fused backends; the per-stage artifacts are emitted either way.
+    @raise Support.Diag.Compile_error on frontend errors. *)
 
 val manifest : compiled -> Runtime.Artifact.manifest
 
 val engine :
   ?policy:Runtime.Substitute.policy ->
+  ?fuse:bool ->
   ?gpu_device:Gpu.Device.t ->
   ?fifo_capacity:int ->
   ?schedule:Runtime.Scheduler.mode ->

@@ -5,13 +5,13 @@ type session = { compiled_ : Compiler.compiled; engine_ : Runtime.Exec.t }
 
 let load ?policy ?gpu_device ?fifo_capacity ?schedule ?model_divergence
     ?chunk_elements ?max_retries ?retry_backoff_ns ?cost_model ?replan_factor
-    ?lower_mapreduce ?map_chunks ?reduce_chunks source =
-  let compiled_ = Compiler.compile source in
+    ?lower_mapreduce ?map_chunks ?reduce_chunks ?fuse source =
+  let compiled_ = Compiler.compile ?fuse source in
   let engine_ =
     Compiler.engine ?policy ?gpu_device ?fifo_capacity ?schedule
       ?model_divergence ?chunk_elements ?max_retries ?retry_backoff_ns
       ?cost_model ?replan_factor ?lower_mapreduce ?map_chunks ?reduce_chunks
-      compiled_
+      ?fuse compiled_
   in
   { compiled_; engine_ }
 

@@ -26,6 +26,7 @@ val load :
   ?lower_mapreduce:bool ->
   ?map_chunks:int ->
   ?reduce_chunks:int ->
+  ?fuse:bool ->
   string ->
   session
 (** Compile a Lime compilation unit (all backends) and attach a
@@ -34,7 +35,10 @@ val load :
     the failure protocol, [cost_model]/[replan_factor] the placement
     cost model and online re-planning, and
     [lower_mapreduce]/[map_chunks]/[reduce_chunks] the lowered
-    kernel-site execution (see {!Runtime.Exec.create}). *)
+    kernel-site execution (see {!Runtime.Exec.create}).
+    [fuse] (default [true]) controls cross-filter fusion end to end:
+    when [false] no fused artifacts are generated and the engine plans
+    per-stage segments only (see docs/FUSION.md). *)
 
 val run : session -> string -> I.v list -> I.v
 (** [run session "Class.method" args]. *)

@@ -9,16 +9,18 @@ module Boundary = Wire.Boundary
 (* Device cost calibration.
 
    A profile records the modeled cost of launching one (chain, device)
-   pair as [overhead + per_elem * n]. Where the chain is receiverless
-   (all-static filters over a scalar element type) the numbers are
-   *measured*: the chain is microbenchmarked through the real
-   execution path — VM dispatch for bytecode, [Exec.calibrate_batch]
-   (full boundary marshaling + device model) for artifacts — at two
-   stream sizes, and the two points give the linear fit. Stateful
-   chains would need receiver state the calibrator cannot fabricate,
-   so they fall back to an *analytic* profile derived from bytecode
-   instruction counts and the device constants; the entry is marked
-   accordingly.
+   pair as [overhead + per_elem * n]. Where the chain's element type
+   has a synthetic generator the numbers are *measured*: the chain is
+   microbenchmarked through the real execution path — VM dispatch for
+   bytecode, [Exec.calibrate_batch] (full boundary marshaling + device
+   model) for artifacts — at two stream sizes, and the two points give
+   the linear fit. Stateful chains are measured too: the calibrator
+   fabricates receiver objects from the IR class metadata (default
+   fields, then the constructor over synthetic arguments), fresh for
+   every benchmark run. Only chains whose element or constructor types
+   have no generator fall back to an *analytic* profile derived from
+   bytecode instruction counts and the device constants; the entry is
+   marked accordingly.
 
    All costs are deterministic modeled nanoseconds (never wall time),
    so profiles are stable across machines and runs — which is what
@@ -64,12 +66,6 @@ let fn_key (f : Ir.filter_info) =
   match f.Ir.target with
   | Ir.F_static key -> key
   | Ir.F_instance (cls, m) -> cls ^ "." ^ m
-
-let all_static chain =
-  List.for_all
-    (fun (f : Ir.filter_info) ->
-      match f.Ir.target with Ir.F_static _ -> true | Ir.F_instance _ -> false)
-    chain
 
 (* Deterministic synthetic elements for a scalar port type; [None]
    when the type has no obvious generator (the chain then gets an
@@ -167,6 +163,69 @@ let key_of ctx artifact chain =
     ~content:(content_of ctx artifact chain)
     ~params:(params_of ctx artifact)
 
+(* --- receiver fabrication --------------------------------------------- *)
+
+(* Fabricate a receiver object for an instance filter so stateful
+   chains can be *measured* rather than estimated: allocate the class
+   with default field values, then run its constructor with synthetic
+   scalar arguments (mirroring [Interp]'s [R_newobj] semantics).
+   [None] when the class is unknown, a constructor argument type has
+   no generator, or the constructor traps — the chain then falls back
+   to the analytic profile. *)
+let fabricate_receiver ctx (cls : string) : I.v option =
+  let prog = ctx.cx_compiled.Liquid_metal.Compiler.ir in
+  match Ir.String_map.find_opt cls prog.Ir.classes with
+  | None -> None
+  | Some meta ->
+    let fields =
+      Array.of_list
+        (List.map (fun (_, ty) -> I.default_value ty) meta.Ir.cm_fields)
+    in
+    let obj = I.Obj { I.obj_class = cls; obj_fields = fields } in
+    (match meta.Ir.cm_ctor with
+    | None -> Some obj
+    | Some ctor -> (
+      match Ir.find_func prog ctor with
+      | None -> None
+      | Some fn -> (
+        let ctor_args =
+          List.fold_right
+            (fun (p : Ir.var) acc ->
+              match acc with
+              | None -> None
+              | Some args -> (
+                match synth_value p.Ir.v_ty p.Ir.v_id with
+                | Some v -> Some (I.Prim v :: args)
+                | None -> None))
+            (List.tl fn.Ir.fn_params)
+            (Some [])
+        in
+        match ctor_args with
+        | None -> None
+        | Some args -> (
+          try
+            ignore (I.call prog ctor (obj :: args));
+            Some obj
+          with I.Runtime_error _ -> None))))
+
+(* One fabricated receiver slot per filter ([None] for static
+   filters); [None] overall when any instance filter cannot be
+   fabricated. *)
+let fabricate_receivers ctx (chain : Ir.filter_info list) :
+    I.v option list option =
+  List.fold_right
+    (fun (f : Ir.filter_info) acc ->
+      match acc with
+      | None -> None
+      | Some rs -> (
+        match f.Ir.target with
+        | Ir.F_static _ -> Some (None :: rs)
+        | Ir.F_instance (cls, _) -> (
+          match fabricate_receiver ctx cls with
+          | Some r -> Some (Some r :: rs)
+          | None -> None)))
+    chain (Some [])
+
 (* --- measurement ------------------------------------------------------- *)
 
 let calibration_sizes = (32, 96)
@@ -177,13 +236,24 @@ let fit (n1, c1) (n2, c2) =
   let overhead = Float.max 0.0 (c1 -. (per_elem *. float_of_int n1)) in
   (per_elem, overhead)
 
-let measure_artifact ctx (artifact : Artifact.t) ~input_ty =
+let measure_artifact ctx (artifact : Artifact.t) chain ~input_ty =
   let bench n =
     let xs =
       List.init n (fun i -> Option.get (synth_value input_ty i))
     in
+    (* Fresh receivers per bench call: a stateful launch mutates its
+       receivers, and the two-point fit needs both runs to start from
+       the same state. Receivers are only passed when some filter is
+       stateful — [Exec.calibrate_batch] aligns the list with the
+       *artifact's* chain, which for fused artifacts is the single
+       fused (all-static) filter. *)
+    let receivers =
+      match fabricate_receivers ctx chain with
+      | Some rs when List.exists Option.is_some rs -> Some rs
+      | _ -> None
+    in
     let before = Exec.modeled_ns ctx.cx_engine in
-    ignore (Exec.calibrate_batch ctx.cx_engine artifact xs);
+    ignore (Exec.calibrate_batch ?receivers ctx.cx_engine artifact xs);
     Exec.modeled_ns ctx.cx_engine -. before
   in
   let n1, n2 = calibration_sizes in
@@ -192,19 +262,26 @@ let measure_artifact ctx (artifact : Artifact.t) ~input_ty =
 (* The VM microbenchmark: run synthetic elements through the chain's
    filter functions on the bytecode VM and charge the executed
    instructions to the CPU model. Per-element cost only — the
-   interpreter has no launch overhead and no boundary. *)
-let measure_vm ctx chain ~input_ty =
+   interpreter has no launch overhead and no boundary. Instance
+   filters run against fabricated receivers, matching the engine's
+   [receiver; element] calling convention. *)
+let measure_vm ctx chain ~receivers ~input_ty =
   let unit_ = ctx.cx_compiled.Liquid_metal.Compiler.unit_ in
   let samples = 8 in
   let executed = ref 0 in
   for i = 0 to samples - 1 do
     let x = ref (Option.get (synth_value input_ty i)) in
-    List.iter
-      (fun f ->
-        let r = Bytecode.Vm.run unit_ (fn_key f) [ I.Prim !x ] in
+    List.iter2
+      (fun f receiver ->
+        let args =
+          match receiver with
+          | Some r -> [ r; I.Prim !x ]
+          | None -> [ I.Prim !x ]
+        in
+        let r = Bytecode.Vm.run unit_ (fn_key f) args in
         executed := !executed + r.Bytecode.Vm.executed;
         x := I.prim_exn r.Bytecode.Vm.value)
-      chain
+      chain receivers
   done;
   let per_elem =
     float_of_int !executed /. float_of_int samples
@@ -225,6 +302,16 @@ let analytic ctx (artifact : Artifact.t option) chain ~input_ty =
   let eb = bytes_per_elem input_ty in
   let latency b = Boundary.transfer_ns b 0 in
   let per_byte b = (Boundary.transfer_ns b 4096 -. latency b) /. 4096.0 in
+  (* Fused kernels stream their result back (no return-trip latency);
+     the fused FPGA pipeline additionally runs at initiation interval
+     1, paying the chain depth once as fill latency. Mirrors the
+     engine's [estimate_cost]. *)
+  let fused =
+    match artifact with
+    | Some (Artifact.Gpu_kernel g) -> Artifact.is_fused_uid g.Artifact.ga_uid
+    | Some (Artifact.Fpga_module f) -> Artifact.is_fused_uid f.Artifact.fa_uid
+    | _ -> false
+  in
   match artifact with
   | None -> (insns *. Metrics.cpu_ns_per_instruction, 0.0)
   | Some (Artifact.Native_binary _) ->
@@ -236,12 +323,18 @@ let analytic ctx (artifact : Artifact.t option) chain ~input_ty =
     let lanes = float_of_int (Gpu.Device.total_lanes gpu_device) in
     ( Gpu.Device.cycles_to_ns gpu_device (insns /. lanes)
       +. (2.0 *. per_byte b *. eb),
-      (2.0 *. latency b) +. gpu_device.Gpu.Device.launch_overhead_ns )
+      ((if fused then 1.0 else 2.0) *. latency b)
+      +. gpu_device.Gpu.Device.launch_overhead_ns )
   | Some (Artifact.Fpga_module _) ->
     let b = Metrics.boundary m in
-    ( (3.0 *. fpga_clock_ns) +. (2.0 *. per_byte b *. eb),
-      (2.0 *. latency b)
-      +. (3.0 *. float_of_int (List.length chain) *. fpga_clock_ns) )
+    if fused then
+      let fill = Float.max 1.0 (insns /. 4.0) in
+      ( fpga_clock_ns +. (2.0 *. per_byte b *. eb),
+        latency b +. ((fill +. 4.0) *. fpga_clock_ns) )
+    else
+      ( (3.0 *. fpga_clock_ns) +. (2.0 *. per_byte b *. eb),
+        (2.0 *. latency b)
+        +. (3.0 *. float_of_int (List.length chain) *. fpga_clock_ns) )
 
 (* --- the profile entry ------------------------------------------------- *)
 
@@ -256,15 +349,18 @@ let profile ctx (artifact : Artifact.t option) (chain : Ir.filter_info list) :
     let input_ty =
       match chain with f :: _ -> f.Ir.input | [] -> Ir.Unit
     in
+    let receivers = fabricate_receivers ctx chain in
     let measurable =
-      chain <> [] && all_static chain && synth_value input_ty 0 <> None
+      chain <> [] && receivers <> None && synth_value input_ty 0 <> None
     in
     let (per_elem, overhead), source =
       if not measurable then (analytic ctx artifact chain ~input_ty, Profile.Analytic)
       else
         match artifact with
-        | None -> (measure_vm ctx chain ~input_ty, Profile.Measured)
-        | Some a -> (measure_artifact ctx a ~input_ty, Profile.Measured)
+        | None ->
+          ( measure_vm ctx chain ~receivers:(Option.get receivers) ~input_ty,
+            Profile.Measured )
+        | Some a -> (measure_artifact ctx a chain ~input_ty, Profile.Measured)
     in
     let e =
       {

@@ -200,13 +200,29 @@ let rationale ~n (planned : candidate) (default : candidate) =
 
 let plan_filters ctx ~n store ~kind ~uid (filters : Ir.filter_info list) :
     graph_plan =
-  let calibrated_segs =
-    Substitute.plan_adaptive
-      ~cost:(fun artifact chain ->
-        Profile.predict (Calibrate.profile ctx artifact chain) ~n)
-      store filters
+  let calibrated ~fuse name =
+    candidate_of ctx ~n name
+      (Substitute.plan_adaptive ~fuse
+         ~cost:(fun artifact chain ->
+           Profile.predict (Calibrate.profile ctx artifact chain) ~n)
+         store filters)
   in
-  let planned = candidate_of ctx ~n "calibrated" calibrated_segs in
+  (* Fusion is a placement decision, not a foregone conclusion: the
+     planner prices fuse-then-offload against the best per-stage
+     substitution and keeps whichever wins. The nofuse candidate is
+     dropped when no fusible run exists (identical plans). *)
+  let fused_cand = calibrated ~fuse:true "calibrated" in
+  let nofuse_cand = calibrated ~fuse:false "calibrated-nofuse" in
+  let calibrated_cands =
+    if nofuse_cand.cd_plan_text = fused_cand.cd_plan_text then [ fused_cand ]
+    else [ fused_cand; nofuse_cand ]
+  in
+  let planned =
+    List.fold_left
+      (fun acc c -> if c.cd_makespan_ns < acc.cd_makespan_ns then c else acc)
+      (List.hd calibrated_cands)
+      (List.tl calibrated_cands)
+  in
   let statics =
     List.map
       (fun (name, policy) ->
@@ -220,7 +236,7 @@ let plan_filters ctx ~n store ~kind ~uid (filters : Ir.filter_info list) :
   let candidates =
     List.stable_sort
       (fun a b -> compare a.cd_makespan_ns b.cd_makespan_ns)
-      (planned :: statics)
+      (calibrated_cands @ statics)
   in
   {
     gp_uid = uid;
@@ -314,7 +330,7 @@ let render (r : report) : string =
         (fun c ->
           p "  %-*s  %-*s  %8.1f us%s\n" name_w c.cd_name plan_w c.cd_plan_text
             (us c.cd_makespan_ns)
-            (if c.cd_name = "calibrated" then "  <- planned" else ""))
+            (if c.cd_name = gp.gp_planned.cd_name then "  <- planned" else ""))
         gp.gp_candidates;
       List.iter
         (fun s ->

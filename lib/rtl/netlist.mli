@@ -46,6 +46,11 @@ type pipeline = {
   pl_input_ty : Ir.ty;
   pl_output_ty : Ir.ty;
   pl_fifo_depth : int;
+  pl_pipelined : bool;
+      (** fully pipelined datapath: each stage accepts a new element
+          every cycle (initiation interval 1) and results emerge
+          [st_latency] cycles later — the fused-segment configuration.
+          [false] is the paper's unpipelined read/compute/publish FSM. *)
 }
 
 val input_ty : pipeline -> Ir.ty

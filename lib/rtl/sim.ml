@@ -50,6 +50,9 @@ type stage_state = {
   stage : Netlist.stage;
   mutable fsm : fsm;
   input_fifo : Fifo.t;
+  inflight : (V.t * int) Queue.t;
+      (* pipelined mode only: results in the stage's pipeline
+         registers, with the cycle each becomes publishable *)
   (* waveform vars (None when no VCD requested) *)
   w_in_ready : Vcd.var option;
   w_in_data : Vcd.var option;
@@ -69,7 +72,11 @@ let apply_filter prog (st : Netlist.stage) (x : V.t) : V.t =
 
 let run ?vcd ?(clock_ns = 4) ?(max_cycles = 10_000_000) (prog : Ir.program)
     (pl : Netlist.pipeline) (inputs : V.t list) : V.t list * stats =
-  Support.Fault.check ~device:"fpga" ~segment:pl.Netlist.pl_name;
+  (* Fused pipelines are fault-checked by the engine's launch prelude
+     under their pre-fusion alias names — checking the fused uid here
+     too would double-charge one launch. *)
+  if not (Lime_ir.Fuse.is_fused_uid pl.Netlist.pl_name) then
+    Support.Fault.check ~device:"fpga" ~segment:pl.Netlist.pl_name;
   (* Device-model telemetry: one span (category ["fpga"]) per RTL
      simulation, closed with cycle/item/stall counts. *)
   let traced f =
@@ -103,6 +110,7 @@ let run ?vcd ?(clock_ns = 4) ?(max_cycles = 10_000_000) (prog : Ir.program)
           stage = st;
           fsm = Idle;
           input_fifo = Fifo.create pl.Netlist.pl_fifo_depth;
+          inflight = Queue.create ();
           w_in_ready = mkvar (st.st_name ^ "_inReady") 1;
           w_in_data = mkvar (st.st_name ^ "_inData")
               (Netlist.width_of_ty st.st_input_ty);
@@ -132,7 +140,12 @@ let run ?vcd ?(clock_ns = 4) ?(max_cycles = 10_000_000) (prog : Ir.program)
   in
   let quiescent () =
     !pending = []
-    && List.for_all (fun s -> s.fsm = Idle && Fifo.length s.input_fifo = 0) stages
+    && List.for_all
+         (fun s ->
+           s.fsm = Idle
+           && Fifo.length s.input_fifo = 0
+           && Queue.is_empty s.inflight)
+         stages
     && Fifo.length sink_fifo = 0
   in
   while not (quiescent ()) do
@@ -153,6 +166,34 @@ let run ?vcd ?(clock_ns = 4) ?(max_cycles = 10_000_000) (prog : Ir.program)
         (* default waveform levels each cycle *)
         vset s.w_in_ready 0;
         vset s.w_out_ready 0;
+        if pl.Netlist.pl_pipelined then begin
+          (* Fully pipelined stage (initiation interval 1): publish the
+             oldest in-flight result whose latency has elapsed, then
+             accept one new element into the pipeline registers. The
+             register file holds at most [st_latency + 1] values;
+             downstream backpressure stalls acceptance. *)
+          (match Queue.peek_opt s.inflight with
+          | Some (y, ready) when ready <= !cycle ->
+            if Fifo.has_space down then begin
+              ignore (Queue.pop s.inflight);
+              Fifo.push down ~cycle:!cycle y;
+              vset s.w_out_ready 1;
+              vset s.w_out_data (Netlist.bits_of_value s.stage.st_output_ty y)
+            end
+            else incr stalls
+          | Some _ | None -> ());
+          if Queue.length s.inflight <= s.stage.st_latency then
+            match Fifo.peek s.input_fifo ~cycle:!cycle with
+            | Some x ->
+              Fifo.pop s.input_fifo;
+              vset s.w_in_ready 1;
+              vset s.w_in_data (Netlist.bits_of_value s.stage.st_input_ty x);
+              Queue.push
+                (apply_filter prog s.stage x, !cycle + s.stage.st_latency)
+                s.inflight
+            | None -> ()
+        end
+        else
         match s.fsm with
         | Publishing y ->
           if Fifo.has_space down then begin

@@ -8,6 +8,12 @@ module I = Lime_ir.Interp
     after it is written, and an unpipelined stage spends one cycle
     reading, [st_latency] cycles computing and one cycle publishing.
 
+    A pipeline marked [pl_pipelined] (fused segments) instead runs
+    each stage at initiation interval 1: one element enters the
+    pipeline registers every cycle and its result is publishable
+    [st_latency] cycles later, so a stream of [n] elements drains in
+    roughly [n + st_latency] cycles instead of [n * (st_latency + 2)].
+
     Passing a {!Vcd.t} records [clk], and per stage [<name>_inReady],
     [<name>_inData], [<name>_outReady], [<name>_outData], so the run
     can be inspected in a standard waveform viewer. *)

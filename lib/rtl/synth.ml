@@ -191,8 +191,8 @@ let port_width (ty : Ir.ty) (itv : Analysis.Interval.t) =
    substitution time. Value intervals flow stage to stage, so a
    narrowing filter (say [x & 255]) shrinks every downstream wire. *)
 let pipeline_of_chain ?effects ?cache (prog : Ir.program) ~name
-    ?(fifo_depth = 2) (filters : (Ir.filter_info * I.v option) list) :
-    Netlist.pipeline =
+    ?(fifo_depth = 2) ?(pipelined = false)
+    (filters : (Ir.filter_info * I.v option) list) : Netlist.pipeline =
   if filters = [] then Netlist.fail "empty filter chain";
   List.iteri
     (fun _i (f, _) ->
@@ -245,4 +245,5 @@ let pipeline_of_chain ?effects ?cache (prog : Ir.program) ~name
     pl_input_ty = first.Netlist.st_input_ty;
     pl_output_ty = last.Netlist.st_output_ty;
     pl_fifo_depth = fifo_depth;
+    pl_pipelined = pipelined;
   }

@@ -56,8 +56,12 @@ val pipeline_of_chain :
   Ir.program ->
   name:string ->
   ?fifo_depth:int ->
+  ?pipelined:bool ->
   (Ir.filter_info * I.v option) list ->
   Netlist.pipeline
 (** Assemble a pipeline netlist for a chain of suitable filters; the
     optional receiver objects become the stages' register state.
+    [~pipelined:true] marks the datapath fully pipelined (initiation
+    interval 1) — used for fused single-stage segments, whose composed
+    straight-line body registers at every cycle boundary.
     @raise Netlist.Synthesis_error if a filter is excluded. *)

@@ -328,6 +328,56 @@ let filter_module_text (prog : Ir.program) (st : Netlist.stage) : string =
     (out_w - 1) (in_w - 1) field_regs (in_w - 1) (out_w - 1) result_expr
     st.st_latency field_commits
 
+(* Fully pipelined variant for fused segments: the composed datapath
+   registers at every cycle boundary (a [st_latency]-deep shift
+   register of valid/data pairs), so the module accepts a new element
+   every cycle — initiation interval 1 — and the result emerges
+   [st_latency] cycles later. *)
+let pipelined_module_text (prog : Ir.program) (st : Netlist.stage) : string =
+  let in_w = st.st_in_width in
+  let out_w = st.st_out_width in
+  let depth = max 1 st.st_latency in
+  let result_expr, field_updates = sym_fn prog st.st_fn [ "in_data_typed" ] in
+  if field_updates <> [] then
+    fail "pipelined module %s has register state" st.st_fn;
+  Printf.sprintf
+    "// Task %s (fused filter %s), generated by the Liquid Metal FPGA \
+     backend.\n\
+     // Fully pipelined: initiation interval 1, latency %d cycles.\n\
+     module %s (\n\
+    \  input  wire clk,\n\
+    \  input  wire rst,\n\
+    \  input  wire in_valid,\n\
+    \  input  wire [%d:0] in_data,\n\
+    \  output wire in_ready,\n\
+    \  output wire out_valid,\n\
+    \  output wire [%d:0] out_data,\n\
+    \  input  wire out_ready\n\
+     );\n\
+    \  wire [%d:0] in_data_typed = in_data;\n\
+    \  wire [%d:0] result = %s;\n\
+    \  reg  [%d:0] stage_data [0:%d];\n\
+    \  reg  [%d:0] stage_valid;\n\
+    \  integer k;\n\
+    \  assign in_ready = out_ready;\n\
+    \  always @(posedge clk) begin\n\
+    \    if (rst) stage_valid <= 0;\n\
+    \    else if (out_ready) begin\n\
+    \      stage_data[0] <= result;\n\
+    \      stage_valid[0] <= in_valid;\n\
+    \      for (k = 1; k < %d; k = k + 1) begin\n\
+    \        stage_data[k] <= stage_data[k-1];\n\
+    \        stage_valid[k] <= stage_valid[k-1];\n\
+    \      end\n\
+    \    end\n\
+    \  end\n\
+    \  assign out_valid = stage_valid[%d];\n\
+    \  assign out_data = stage_data[%d];\n\
+     endmodule\n"
+    st.st_uid st.st_fn depth (sanitize st.st_name) (in_w - 1) (out_w - 1)
+    (in_w - 1) (out_w - 1) result_expr (out_w - 1) (depth - 1) (depth - 1)
+    depth (depth - 1) (depth - 1)
+
 (* The standard FIFO whose output registers on the next rising edge. *)
 let fifo_module_text ~depth =
   Printf.sprintf
@@ -374,7 +424,9 @@ let pipeline_text (prog : Ir.program) (pl : Netlist.pipeline) : string =
   Buffer.add_char buf '\n';
   List.iter
     (fun st ->
-      Buffer.add_string buf (filter_module_text prog st);
+      Buffer.add_string buf
+        (if pl.Netlist.pl_pipelined then pipelined_module_text prog st
+         else filter_module_text prog st);
       Buffer.add_char buf '\n')
     pl.Netlist.pl_stages;
   (* top-level wiring *)

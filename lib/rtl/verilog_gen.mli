@@ -21,6 +21,13 @@ val pipeline_text : Ir.program -> Netlist.pipeline -> string
     a wired top-level. *)
 
 val filter_module_text : Ir.program -> Netlist.stage -> string
+
+val pipelined_module_text : Ir.program -> Netlist.stage -> string
+(** Fully pipelined (initiation interval 1) stage module for fused
+    segments: the composed datapath behind a [st_latency]-deep shift
+    register of valid/data pairs. Stateless datapaths only.
+    @raise Unsynthesizable if the stage has register state. *)
+
 val fifo_module_text : depth:int -> string
 
 val sym_fn : Ir.program -> string -> string list -> string * (int * string) list

@@ -66,6 +66,15 @@ let device = function
 let chain_uid (filters : Ir.filter_info list) =
   String.concat "+" (List.map (fun (f : Ir.filter_info) -> f.uid) filters)
 
+(* Fused-segment naming (see [Lime_ir.Fuse]): the fused artifact uid
+   is ["fuse:" ^ chain_uid members], so the pre-fusion segment names
+   are recoverable from the artifact name alone — fault-injection
+   specs keep matching, and unfuse-on-fault knows what to re-plan. *)
+let fused_prefix = Lime_ir.Fuse.fused_prefix
+let fused_uid = Lime_ir.Fuse.fused_uid
+let is_fused_uid = Lime_ir.Fuse.is_fused_uid
+let fused_members = Lime_ir.Fuse.member_uids
+
 let describe = function
   | Gpu_kernel { ga_uid; ga_kind; _ } ->
     let kind =

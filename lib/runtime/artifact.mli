@@ -53,6 +53,21 @@ val chain_uid : Ir.filter_info list -> string
 (** The UID of a substitution covering a consecutive filter chain: the
     member task UIDs joined with [+]. *)
 
+(** {2 Fused-segment naming} (see {!Lime_ir.Fuse} and [docs/FUSION.md])
+
+    A fused artifact's uid is ["fuse:" ^ chain_uid members], so the
+    pre-fusion segment names are recoverable from the artifact name
+    alone — fault-injection specs keep matching, and unfuse-on-fault
+    knows which per-stage chain to re-plan. *)
+
+val fused_prefix : string
+val fused_uid : Ir.filter_info list -> string
+val is_fused_uid : string -> bool
+
+val fused_members : string -> string list
+(** Member uids behind a (possibly fused) uid; a plain uid is its own
+    single member. *)
+
 val describe : t -> string
 
 type manifest_entry = { me_uid : string; me_device : device; me_desc : string }

@@ -17,6 +17,10 @@ type t = {
   unit_ : Bytecode.Compile.unit_;
   store_ : Store.t;
   mutable policy_ : Substitute.policy;
+  fuse_ : bool;
+      (** plan with fused artifacts and the fusion registry (default);
+          fault recovery re-plans with fusion off to unfuse a faulted
+          run per stage *)
   gpu_device : Gpu.Device.t;
   fpga_clock_ns : int;
   fifo_capacity : int;
@@ -61,7 +65,7 @@ type t = {
           combiner function key *)
 }
 
-let create ?(policy = Substitute.Prefer_accelerators)
+let create ?(policy = Substitute.Prefer_accelerators) ?(fuse = true)
     ?(gpu_device = Gpu.Device.gtx580) ?(fpga_clock_ns = 4)
     ?(fifo_capacity = 16) ?(schedule = Scheduler.Round_robin) ?boundary
     ?(model_divergence = true) ?chunk_elements ?(max_retries = 2)
@@ -75,6 +79,7 @@ let create ?(policy = Substitute.Prefer_accelerators)
     unit_;
     store_;
     policy_ = policy;
+    fuse_ = fuse;
     gpu_device;
     fpga_clock_ns;
     fifo_capacity;
@@ -101,6 +106,7 @@ let create ?(policy = Substitute.Prefer_accelerators)
 
 let set_policy t p = t.policy_ <- p
 let policy t = t.policy_
+let fusing t = t.fuse_
 let set_cost_model t f = t.cost_model_ <- Some f
 let observed_costs t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.observed_ []
 let schedule t = t.schedule
@@ -188,12 +194,15 @@ let ship_to_device ?boundary t (v : V.t) : V.t =
   let native = Boundary.to_device b ty v in
   Boundary.Native.to_value native
 
-(* Mirror path: pack the device result densely, cross, deserialize. *)
-let ship_to_host ?boundary t (v : V.t) : V.t =
+(* Mirror path: pack the device result densely, cross, deserialize.
+   [streaming] is the fused-segment return: the producer overlaps the
+   transfer with compute, so the crossing pays bandwidth only (see
+   {!Wire.Boundary.to_host}). *)
+let ship_to_host ?boundary ?streaming t (v : V.t) : V.t =
   let b = Option.value boundary ~default:(Metrics.boundary t.metrics_) in
   let ty = wire_ty_of_value v in
   let native = Boundary.native_of_value ty v in
-  Boundary.to_host b native
+  Boundary.to_host ?streaming b native
 
 let gpu_allowed t =
   List.mem Artifact.Gpu (Substitute.device_order t.policy_)
@@ -338,8 +347,29 @@ let bytecode_filter_actor t ((f : Ir.filter_info), receiver) inp out =
   in
   Actor.filter ~name:span_name ~f:apply inp out
 
+(* Fault aliasing for fused segments: specs written against the
+   pre-fusion segment names (each member uid, and the plain chain uid)
+   keep firing on the fused segment, so injection campaigns survive
+   fusion; a "fuse" instant marks the launch on the timeline. *)
+let fused_prelude t ~device uid =
+  let members = Artifact.fused_members uid in
+  Support.Fault.check_any ~device
+    (uid :: String.concat "+" members :: members);
+  Metrics.add_fused_launch t.metrics_;
+  if Trace.enabled () then
+    Trace.instant ~cat:"fuse"
+      ~args:
+        [
+          "device", Trace.Str device;
+          "stages", Trace.Int (List.length members);
+        ]
+      uid
+
 (* A GPU-substituted segment: batch the stream across the boundary and
-   run the fused elementwise kernel. *)
+   run the fused elementwise kernel. A cross-filter fused segment
+   ([Artifact.is_fused_uid]) additionally streams its result home —
+   the kernel writes back as it computes, so the return crossing pays
+   bandwidth only. *)
 let gpu_batch t (artifact : Artifact.gpu_artifact)
     (filters : (Ir.filter_info * I.v option) list) (xs : V.t list) : V.t list =
   let chain_filters =
@@ -354,6 +384,8 @@ let gpu_batch t (artifact : Artifact.gpu_artifact)
     (List.nth chain_filters (List.length chain_filters - 1)).Ir.output
   in
   ignore filters;
+  let fused = Artifact.is_fused_uid artifact.ga_uid in
+  if fused then fused_prelude t ~device:"gpu" artifact.ga_uid;
   with_launch_span t ~elements:(List.length xs) ("gpu:" ^ artifact.ga_uid)
     (fun () ->
       let packed = pack_stream input_ty xs in
@@ -364,17 +396,26 @@ let gpu_batch t (artifact : Artifact.gpu_artifact)
           ~chain ~output_ty dev_input
       in
       Metrics.add_gpu_kernel t.metrics_ ~ns:timing.Gpu.Simt.kernel_ns;
-      unpack_stream (ship_to_host t result))
+      unpack_stream (ship_to_host ~streaming:fused t result))
 
 (* An FPGA-substituted segment: synthesize the pipeline (stateful
    receivers become register files) and run it in the RTL simulator. *)
 let fpga_batch t (artifact : Artifact.fpga_artifact)
     (filters : (Ir.filter_info * I.v option) list) (xs : V.t list) : V.t list =
+  let fused = Artifact.is_fused_uid artifact.fa_uid in
+  if fused then fused_prelude t ~device:"fpga" artifact.fa_uid;
   with_launch_span t ~elements:(List.length xs) ("fpga:" ^ artifact.fa_uid)
     (fun () ->
       let pipeline =
-        Rtl.Synth.pipeline_of_chain (program t) ~name:artifact.fa_uid
-          ~fifo_depth:t.fifo_capacity filters
+        if fused then
+          (* the fused module is fully pipelined (II = 1): the composed
+             datapath behind a shift register, one element per cycle *)
+          Rtl.Synth.pipeline_of_chain (program t) ~name:artifact.fa_uid
+            ~fifo_depth:t.fifo_capacity ~pipelined:true
+            (List.map (fun f -> f, None) artifact.fa_filters)
+        else
+          Rtl.Synth.pipeline_of_chain (program t) ~name:artifact.fa_uid
+            ~fifo_depth:t.fifo_capacity filters
       in
       let input_ty = Rtl.Netlist.input_ty pipeline in
       let packed = pack_stream input_ty xs in
@@ -383,7 +424,7 @@ let fpga_batch t (artifact : Artifact.fpga_artifact)
       Metrics.add_fpga_run t.metrics_ ~cycles:stats.Rtl.Sim.cycles
         ~ns:(float_of_int (stats.Rtl.Sim.cycles * t.fpga_clock_ns));
       let out_packed = pack_stream (Rtl.Netlist.output_ty pipeline) outputs in
-      unpack_stream (ship_to_host t out_packed))
+      unpack_stream (ship_to_host ~streaming:fused t out_packed))
 
 (* A native-substituted segment: the chain runs as a compiled shared
    library loaded into the process (paper section 5). Functionally the
@@ -451,18 +492,35 @@ let estimate_cost t ~n (artifact : Artifact.t option)
     let b = Metrics.native_boundary t.metrics_ in
     (2.0 *. Boundary.transfer_ns b (int_of_float (nf *. elem_bytes)))
     +. (nf *. chain_insns *. 0.75)
-  | Some (Artifact.Gpu_kernel _) ->
+  | Some (Artifact.Gpu_kernel g) ->
     let b = Metrics.boundary t.metrics_ in
     let lanes = float_of_int (Gpu.Device.total_lanes t.gpu_device) in
-    (2.0 *. Boundary.transfer_ns b (int_of_float (nf *. elem_bytes)))
+    let bytes = int_of_float (nf *. elem_bytes) in
+    let return_ns =
+      (* a fused kernel streams its result home: bandwidth only *)
+      if Artifact.is_fused_uid g.Artifact.ga_uid then
+        Boundary.streaming_transfer_ns b bytes
+      else Boundary.transfer_ns b bytes
+    in
+    Boundary.transfer_ns b bytes +. return_ns
     +. t.gpu_device.Gpu.Device.launch_overhead_ns
     +. Gpu.Device.cycles_to_ns t.gpu_device (nf *. chain_insns /. lanes)
-  | Some (Artifact.Fpga_module _) ->
+  | Some (Artifact.Fpga_module f) ->
     let b = Metrics.boundary t.metrics_ in
-    (* ~3 cycles per element per unpipelined stage, pipelined overlap *)
-    let cycles = nf *. 3.0 +. (3.0 *. float_of_int (List.length chain)) in
-    (2.0 *. Boundary.transfer_ns b (int_of_float (nf *. elem_bytes)))
-    +. (cycles *. float_of_int t.fpga_clock_ns)
+    let bytes = int_of_float (nf *. elem_bytes) in
+    if Artifact.is_fused_uid f.Artifact.fa_uid then
+      (* fully pipelined fused module: one element per cycle after the
+         fill latency, result streamed home at bandwidth cost *)
+      let latency = Float.max 1.0 (chain_insns /. 4.0) in
+      let cycles = nf +. latency +. 4.0 in
+      Boundary.transfer_ns b bytes
+      +. Boundary.streaming_transfer_ns b bytes
+      +. (cycles *. float_of_int t.fpga_clock_ns)
+    else
+      (* ~3 cycles per element per unpipelined stage, pipelined overlap *)
+      let cycles = nf *. 3.0 +. (3.0 *. float_of_int (List.length chain)) in
+      (2.0 *. Boundary.transfer_ns b bytes)
+      +. (cycles *. float_of_int t.fpga_clock_ns)
 
 let observed_key (a : Artifact.t) =
   Artifact.uid a ^ "@" ^ Artifact.device_name (Artifact.device a)
@@ -485,15 +543,18 @@ let effective_cost t ~n (artifact : Artifact.t option)
     | Some per_elem -> Float.max base (per_elem *. float_of_int n)
     | None -> base)
 
-let plan_for ?(force_adaptive = false) t ~n filters_info =
+let plan_for ?(force_adaptive = false) ?fuse t ~n filters_info =
+  let fuse = Option.value fuse ~default:t.fuse_ in
   match t.policy_ with
   | Substitute.Adaptive ->
-    Substitute.plan_adaptive ~cost:(effective_cost t ~n) t.store_ filters_info
+    Substitute.plan_adaptive ~fuse ~cost:(effective_cost t ~n) t.store_
+      filters_info
   | _ when force_adaptive ->
     (* online re-planning under a manual policy: the observed costs
        must be honored or the re-plan would pick the same device *)
-    Substitute.plan_adaptive ~cost:(effective_cost t ~n) t.store_ filters_info
-  | _ -> Substitute.plan t.policy_ t.store_ filters_info
+    Substitute.plan_adaptive ~fuse ~cost:(effective_cost t ~n) t.store_
+      filters_info
+  | _ -> Substitute.plan ~fuse t.policy_ t.store_ filters_info
 
 (* --- the failure protocol ---------------------------------------------- *)
 
@@ -590,7 +651,22 @@ let rec run_segment_with_recovery t (artifact : Artifact.t)
             "quarantined", Trace.Str (Artifact.device_name device);
             "reason", Trace.Str info.Support.Fault.f_reason;
           ];
-        run_resubstituted t pairs xs
+        if Artifact.is_fused_uid uid then begin
+          (* unfuse: re-plan each stage separately so the segment falls
+             back per stage (and ultimately to per-stage bytecode)
+             rather than onto another device's fused artifact *)
+          Metrics.add_unfuse t.metrics_;
+          if Trace.enabled () then
+            Trace.instant ~cat:"unfuse"
+              ~args:
+                [
+                  "device", Trace.Str (Artifact.device_name device);
+                  "stages", Trace.Int (List.length pairs);
+                ]
+              uid;
+          run_resubstituted ~fuse:false t pairs xs
+        end
+        else run_resubstituted t pairs xs
       end
   in
   attempt 0
@@ -599,11 +675,14 @@ let rec run_segment_with_recovery t (artifact : Artifact.t)
    quarantined store and execute the new plan inline over the
    collected batch. [force_adaptive] is the online re-planning path:
    plan by effective cost even under a manual policy, so the observed
-   underperformance actually changes the placement. *)
-and run_resubstituted ?force_adaptive t
+   underperformance actually changes the placement. [fuse:false] is
+   the unfuse path after a fused segment faulted. *)
+and run_resubstituted ?force_adaptive ?fuse t
     (pairs : (Ir.filter_info * I.v option) list) (xs : V.t list) : V.t list =
   let filters_info = List.map fst pairs in
-  let plan = plan_for ?force_adaptive t ~n:(List.length xs) filters_info in
+  let plan =
+    plan_for ?force_adaptive ?fuse t ~n:(List.length xs) filters_info
+  in
   let remaining = ref pairs in
   let take n =
     let rec go n acc =
@@ -621,9 +700,16 @@ and run_resubstituted ?force_adaptive t
     (fun vals segment ->
       match segment with
       | Substitute.S_bytecode fs ->
-        let pairs' = take (List.length fs) in
-        List.fold_left (fun vs pair -> bytecode_apply_batch t pair vs) vals
-          pairs'
+        (* a fused filter covers several of the original (filter,
+           receiver) pairs but executes as one VM call per element *)
+        List.fold_left
+          (fun vs (f : Ir.filter_info) ->
+            if Artifact.is_fused_uid f.Ir.uid then begin
+              ignore (take (List.length (Artifact.fused_members f.Ir.uid)));
+              bytecode_apply_batch t (f, None) vs
+            end
+            else bytecode_apply_batch t (List.hd (take 1)) vs)
+          vals fs
       | Substitute.S_device (a, fs) ->
         let pairs' = take (List.length fs) in
         Metrics.add_substitution t.metrics_ (Artifact.chain_uid fs)
@@ -822,9 +908,17 @@ let run_bound_graph t (bg : bound_graph) : unit =
       match segment with
       | Substitute.S_bytecode fs ->
         List.iter
-          (fun f_info ->
-            let pair = List.hd (take 1) in
-            ignore f_info;
+          (fun (f_info : Ir.filter_info) ->
+            (* a fused filter consumes its members' (filter, receiver)
+               pairs but runs as one actor over the fused function *)
+            let pair =
+              if Artifact.is_fused_uid f_info.Ir.uid then begin
+                ignore
+                  (take (List.length (Artifact.fused_members f_info.Ir.uid)));
+                f_info, None
+              end
+              else List.hd (take 1)
+            in
             let out = new_channel () in
             actors := bytecode_filter_actor t pair !cur_ch out :: !actors;
             cur_ch := out)
@@ -1699,15 +1793,24 @@ let artifact_chain (a : Artifact.t) =
   | Artifact.Native_binary n -> Some n.Artifact.na_filters
 
 (* One raw device launch over a synthetic batch, full boundary path
-   included, with no receivers — the microbenchmark the placement
-   calibrator wraps in [modeled_ns] deltas. Only meaningful for
-   all-static (receiverless) chains; stateful chains fall back to the
-   calibrator's analytic model. *)
-let calibrate_batch t (artifact : Artifact.t) (xs : V.t list) : V.t list =
+   included — the microbenchmark the placement calibrator wraps in
+   [modeled_ns] deltas. Static chains run receiverless; stateful
+   chains pass fabricated receiver objects via [receivers] (one
+   [option] per filter, in chain order), built by the calibrator from
+   the IR's class declarations. *)
+let calibrate_batch ?receivers t (artifact : Artifact.t) (xs : V.t list) :
+    V.t list =
   match artifact_chain artifact with
   | None ->
     fail "calibrate_batch: artifact %s is not a filter chain"
       (Artifact.uid artifact)
   | Some fs ->
-    let pairs = List.map (fun f -> f, None) fs in
+    let pairs =
+      match receivers with
+      | Some rs when List.length rs = List.length fs -> List.combine fs rs
+      | Some _ ->
+        fail "calibrate_batch: receiver list misaligned with chain %s"
+          (Artifact.uid artifact)
+      | None -> List.map (fun f -> f, None) fs
+    in
     batch_of_artifact t artifact pairs xs

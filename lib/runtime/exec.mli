@@ -35,6 +35,7 @@ type cost_model = n:int -> Artifact.t option -> Ir.filter_info list -> float
 
 val create :
   ?policy:Substitute.policy ->
+  ?fuse:bool ->
   ?gpu_device:Gpu.Device.t ->
   ?fpga_clock_ns:int ->
   ?fifo_capacity:int ->
@@ -58,6 +59,12 @@ val create :
     the staging buffer and launches the device every that-many
     elements), [max_retries] 2 with a 1000ns backoff base (attempt [k]
     waits [retry_backoff_ns * 2^k] modeled nanoseconds).
+
+    [fuse] (default on) plans with cross-filter fused artifacts and
+    the store's fusion registry ({!Substitute.plan}); off plans every
+    stage separately. Independent of [fuse], a fused segment that
+    exhausts its retries is unfused: recovery re-plans it per stage
+    (see [docs/FUSION.md]).
 
     [schedule = Steady_state] solves each task graph's SDF balance
     equations ([Analysis.Rates]) and fires actors in the steady-state
@@ -94,6 +101,10 @@ val call : t -> string -> I.v list -> I.v
 val set_policy : t -> Substitute.policy -> unit
 val policy : t -> Substitute.policy
 
+val fusing : t -> bool
+(** Whether the engine plans with fused artifacts ([fuse] at
+    creation). *)
+
 val set_cost_model : t -> cost_model -> unit
 (** Install (or replace) the calibrated cost model used by the
     [Adaptive] policy and the re-planner. *)
@@ -119,14 +130,20 @@ val modeled_ns : t -> float
     boundaries) — the quantity whose deltas the calibrator and the
     re-planner measure. *)
 
-val calibrate_batch : t -> Artifact.t -> Wire.Value.t list -> Wire.Value.t list
+val calibrate_batch :
+  ?receivers:I.v option list ->
+  t ->
+  Artifact.t ->
+  Wire.Value.t list ->
+  Wire.Value.t list
 (** One raw device launch over a synthetic batch through the full
-    boundary path, with no receivers — the placement calibrator's
-    microbenchmark primitive. Only valid for filter-chain artifacts
-    whose filters are all static; stateful chains must use the
-    analytic fallback instead.
+    boundary path — the placement calibrator's microbenchmark
+    primitive. Static chains run receiverless; stateful chains pass
+    fabricated receiver objects via [receivers] (one [option] per
+    filter of the artifact's chain, in order).
 
-    @raise Engine_error for map/reduce (non-chain) artifacts. *)
+    @raise Engine_error for map/reduce (non-chain) artifacts or a
+    misaligned receiver list. *)
 
 (** {2 Wire-format helpers} (exposed for the benches and tests) *)
 

@@ -40,6 +40,10 @@ type snapshot = {
       (** map/reduce sites executed through the lowered
           scatter/worker/gather task graph *)
   mr_chunks : int;  (** worker chunk launches across those runs *)
+  fused_launches : int;
+      (** device launches of a fused (cross-filter) segment *)
+  unfuses : int;
+      (** faulted fused segments re-planned per stage (unfuse path) *)
 }
 
 type t = {
@@ -67,6 +71,8 @@ type t = {
   mutable sched_cache_hits : int;
   mutable mr_runs : int;
   mutable mr_chunks : int;
+  mutable fused_launches : int;
+  mutable unfuses : int;
 }
 
 (* Crossing into a dynamically loaded shared library is a JNI call:
@@ -104,6 +110,8 @@ let create ?boundary () =
     sched_cache_hits = 0;
     mr_runs = 0;
     mr_chunks = 0;
+    fused_launches = 0;
+    unfuses = 0;
   }
 
 let add_vm_instructions t n = t.vm_instructions <- t.vm_instructions + n
@@ -132,6 +140,9 @@ let add_retry t ~backoff_ns =
 let add_resubstitution t = t.resubstitutions <- t.resubstitutions + 1
 let add_replan t = t.replans <- t.replans + 1
 let add_sched_cache_hit t = t.sched_cache_hits <- t.sched_cache_hits + 1
+
+let add_fused_launch t = t.fused_launches <- t.fused_launches + 1
+let add_unfuse t = t.unfuses <- t.unfuses + 1
 
 let add_mr_run t ~chunks =
   t.mr_runs <- t.mr_runs + 1;
@@ -183,6 +194,8 @@ let snapshot t : snapshot =
     sched_cache_hits = t.sched_cache_hits;
     mr_runs = t.mr_runs;
     mr_chunks = t.mr_chunks;
+    fused_launches = t.fused_launches;
+    unfuses = t.unfuses;
   }
 
 let reset t =
@@ -209,7 +222,9 @@ let reset t =
   t.sched_blocked_steps <- 0;
   t.sched_cache_hits <- 0;
   t.mr_runs <- 0;
-  t.mr_chunks <- 0
+  t.mr_chunks <- 0;
+  t.fused_launches <- 0;
+  t.unfuses <- 0
 
 (* --- snapshot presentation -------------------------------------------- *)
 
@@ -331,6 +346,12 @@ let fields : field list =
         (fun s -> s.mr_runs);
       count_field "mr_chunks" ~help:"worker chunk launches in lowered runs"
         (fun s -> s.mr_chunks);
+      count_field "fused_launches"
+        ~help:"device launches of fused (cross-filter) segments"
+        (fun s -> s.fused_launches);
+      count_field "unfuses"
+        ~help:"faulted fused segments re-planned per stage"
+        (fun s -> s.unfuses);
     ]
 
 let field_label f =

@@ -41,6 +41,10 @@ type snapshot = {
       (** map/reduce sites executed through the lowered
           scatter/worker/gather task graph *)
   mr_chunks : int;  (** worker chunk launches across those runs *)
+  fused_launches : int;
+      (** device launches of a fused (cross-filter) segment *)
+  unfuses : int;
+      (** faulted fused segments re-planned per stage (unfuse path) *)
 }
 
 type t
@@ -64,6 +68,13 @@ val add_replan : t -> unit
 
 val add_sched_cache_hit : t -> unit
 (** One steady-state schedule served from the session cache. *)
+
+val add_fused_launch : t -> unit
+(** One device launch of a fused (cross-filter) segment. *)
+
+val add_unfuse : t -> unit
+(** One faulted fused segment re-planned per stage (the unfuse path of
+    the failure protocol, see [docs/FUSION.md]). *)
 
 val add_mr_run : t -> chunks:int -> unit
 (** One map/reduce site executed through the lowered

@@ -6,6 +6,10 @@
 
 type t = {
   by_uid : (string, Artifact.t list) Hashtbl.t;
+  fusions : (string, Lime_ir.Ir.filter_info) Hashtbl.t;
+      (* plain chain uid ("a+b+c") -> the synthetic fused filter the
+         compiler registered for that run; consulted by [Substitute]
+         so even all-bytecode plans execute a fused run as one segment *)
   mutable manifest : Artifact.manifest;
   mutable quarantined : (Artifact.device * string) list;
       (* devices pulled out of service at runtime after a fault, with
@@ -16,9 +20,14 @@ type t = {
 let create () =
   {
     by_uid = Hashtbl.create 64;
+    fusions = Hashtbl.create 8;
     manifest = { entries = []; exclusions = [] };
     quarantined = [];
   }
+
+let add_fusion t ~chain fused = Hashtbl.replace t.fusions chain fused
+let find_fusion t ~chain = Hashtbl.find_opt t.fusions chain
+let fusion_count t = Hashtbl.length t.fusions
 
 let add t artifact =
   let uid = Artifact.uid artifact in

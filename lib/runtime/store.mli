@@ -38,3 +38,14 @@ val clear_quarantine : t -> unit
 
 val manifest : t -> Artifact.manifest
 val artifact_count : t -> int
+
+val add_fusion : t -> chain:string -> Lime_ir.Ir.filter_info -> unit
+(** Register the synthetic fused filter the compiler composed for a
+    run, keyed by the plain chain uid (["a+b+c"]). {!Substitute}
+    consults this so even an all-bytecode plan executes a fused run as
+    one segment. *)
+
+val find_fusion : t -> chain:string -> Lime_ir.Ir.filter_info option
+
+val fusion_count : t -> int
+(** Number of fused runs registered by the compiler. *)

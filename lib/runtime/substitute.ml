@@ -42,6 +42,32 @@ type segment =
 
 let segment_filters = function S_bytecode fs | S_device (_, fs) -> fs
 
+(* Replace every registered fusible run inside a bytecode run with its
+   synthetic fused filter, so even an all-bytecode plan executes the
+   run as one segment (one actor, one VM call per element). The
+   compiler registers only disjoint maximal runs, so greedy
+   longest-first matching is unambiguous. *)
+let fuse_bytecode (store : Store.t) (fs : Ir.filter_info list) :
+    Ir.filter_info list =
+  let arr = Array.of_list fs in
+  let n = Array.length arr in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let rec try_len len =
+        if len < 2 then None
+        else
+          let sub = Array.to_list (Array.sub arr i len) in
+          match Store.find_fusion store ~chain:(Artifact.chain_uid sub) with
+          | Some fused -> Some (fused, len)
+          | None -> try_len (len - 1)
+      in
+      match try_len (n - i) with
+      | Some (fused, len) -> go (i + len) (fused :: acc)
+      | None -> go (i + 1) (arr.(i) :: acc)
+  in
+  go 0 []
+
 (* Choose implementations for the filter chain of one task graph.
    Greedy left-to-right: at each relocatable filter, try the longest
    chain with an artifact on the most preferred device.
@@ -50,9 +76,15 @@ let segment_filters = function S_bytecode fs | S_device (_, fs) -> fs
    tried before shorter ones, devices in the policy's preference
    order, and when two artifacts cover chains of equal length on
    equally-preferred devices the store resolves the tie by artifact
-   UID ([Store.find] sorts by UID, never by insertion order). *)
-let plan (policy : policy) (store : Store.t) (filters : Ir.filter_info list) :
-    segment list =
+   UID ([Store.find] sorts by UID, never by insertion order).
+
+   With [fuse] (the default), each device lookup tries the fused
+   artifact (uid ["fuse:" ^ chain uid]) before the per-stage one, and
+   bytecode runs are rewritten through the store's fusion registry.
+   [~fuse:false] is the unfuse path: recovery re-plans a faulted fused
+   segment per stage, and the planner uses it to price fusion. *)
+let plan ?(fuse = true) (policy : policy) (store : Store.t)
+    (filters : Ir.filter_info list) : segment list =
   let devices = device_order policy in
   let filters = Array.of_list filters in
   let n = Array.length filters in
@@ -67,10 +99,17 @@ let plan (policy : policy) (store : Store.t) (filters : Ir.filter_info list) :
       else
         let chain = Array.to_list (Array.sub filters start len) in
         let uid = Artifact.chain_uid chain in
+        let uids =
+          if fuse then [ Artifact.fused_prefix ^ uid; uid ] else [ uid ]
+        in
         let rec try_devices = function
           | [] -> None
           | d :: rest -> (
-            match Store.find_on store ~uid ~device:d with
+            match
+              List.find_map
+                (fun uid -> Store.find_on store ~uid ~device:d)
+                uids
+            with
             | Some a -> Some (a, chain)
             | None -> try_devices rest)
         in
@@ -91,7 +130,11 @@ let plan (policy : policy) (store : Store.t) (filters : Ir.filter_info list) :
   in
   let rec go i acc_bc acc =
     let flush_bc acc =
-      if acc_bc = [] then acc else S_bytecode (List.rev acc_bc) :: acc
+      if acc_bc = [] then acc
+      else
+        let run = List.rev acc_bc in
+        let run = if fuse then fuse_bytecode store run else run in
+        S_bytecode run :: acc
     in
     if i >= n then List.rev (flush_bc acc)
     else
@@ -112,13 +155,18 @@ let plan (policy : policy) (store : Store.t) (filters : Ir.filter_info list) :
    candidate in the fixed GPU, FPGA, native order (and toward bytecode
    when a device only equals it): [c < best_cost] keeps the
    incumbent. *)
-let plan_adaptive ~(cost : Artifact.t option -> Ir.filter_info list -> float)
+let plan_adaptive ?(fuse = true)
+    ~(cost : Artifact.t option -> Ir.filter_info list -> float)
     (store : Store.t) (filters : Ir.filter_info list) : segment list =
   let filters = Array.of_list filters in
   let n = Array.length filters in
   let rec go i acc_bc acc =
     let flush_bc acc =
-      if acc_bc = [] then acc else S_bytecode (List.rev acc_bc) :: acc
+      if acc_bc = [] then acc
+      else
+        let run = List.rev acc_bc in
+        let run = if fuse then fuse_bytecode store run else run in
+        S_bytecode run :: acc
     in
     if i >= n then List.rev (flush_bc acc)
     else if not filters.(i).Ir.relocatable then
@@ -131,10 +179,16 @@ let plan_adaptive ~(cost : Artifact.t option -> Ir.filter_info list -> float)
       in
       let chain = Array.to_list (Array.sub filters i (stop - i)) in
       let uid = Artifact.chain_uid chain in
+      let uids =
+        if fuse then [ Artifact.fused_prefix ^ uid; uid ] else [ uid ]
+      in
       let candidates =
-        List.filter_map
-          (fun d -> Store.find_on store ~uid ~device:d)
-          [ Artifact.Gpu; Artifact.Fpga; Artifact.Native ]
+        List.concat_map
+          (fun uid ->
+            List.filter_map
+              (fun d -> Store.find_on store ~uid ~device:d)
+              [ Artifact.Gpu; Artifact.Fpga; Artifact.Native ])
+          uids
       in
       let best =
         List.fold_left
@@ -159,9 +213,18 @@ let describe_plan (segments : segment list) =
   String.concat " | "
     (List.map
        (function
-         | S_bytecode fs -> Printf.sprintf "bytecode(%d)" (List.length fs)
+         | S_bytecode fs ->
+           if List.exists (fun (f : Ir.filter_info) ->
+                  Artifact.is_fused_uid f.Ir.uid) fs
+           then Printf.sprintf "bytecode(%d fused)" (List.length fs)
+           else Printf.sprintf "bytecode(%d)" (List.length fs)
          | S_device (a, fs) ->
-           Printf.sprintf "%s(%d)"
-             (Artifact.device_name (Artifact.device a))
-             (List.length fs))
+           if Artifact.is_fused_uid (Artifact.uid a) then
+             Printf.sprintf "%s(%d stages fused)"
+               (Artifact.device_name (Artifact.device a))
+               (List.length fs)
+           else
+             Printf.sprintf "%s(%d)"
+               (Artifact.device_name (Artifact.device a))
+               (List.length fs))
        segments)

@@ -170,9 +170,13 @@ let decide sched ~device ~segment ~invocation (c : clause) =
   | At xs -> List.mem invocation xs
   | Prob p -> prob_draw sched ~device ~segment ~invocation < p
 
-let check ~device ~segment =
+(* Advance [segment]'s invocation counter and report the invocation
+   number if the schedule says this launch faults. Split from the
+   raise so a fused launch can consult several alias names without the
+   first hit short-circuiting the others' counters. *)
+let decide_one ~device ~segment : int option =
   match !current with
-  | None -> ()
+  | None -> None
   | Some sched ->
     let key = device ^ "\x00" ^ segment in
     let invocation = Option.value (Hashtbl.find_opt counters key) ~default:0 in
@@ -185,25 +189,42 @@ let check ~device ~segment =
           && decide sched ~device ~segment ~invocation c)
         sched.clauses
     in
-    if hit then begin
-      incr injected_count;
-      if Trace.enabled () then
-        Trace.instant ~cat:"fault"
-          ~args:
-            [
-              "device", Trace.Str device;
-              "segment", Trace.Str segment;
-              "invocation", Trace.Int invocation;
-            ]
-          ("inject:" ^ device);
-      raise
-        (Device_fault
-           {
-             f_device = device;
-             f_segment = segment;
-             f_invocation = invocation;
-             f_reason =
-               Printf.sprintf "injected fault on %s:%s (invocation %d)" device
-                 segment invocation;
-           })
-    end
+    if hit then Some invocation else None
+
+let inject ~device ~segment ~invocation =
+  incr injected_count;
+  if Trace.enabled () then
+    Trace.instant ~cat:"fault"
+      ~args:
+        [
+          "device", Trace.Str device;
+          "segment", Trace.Str segment;
+          "invocation", Trace.Int invocation;
+        ]
+      ("inject:" ^ device);
+  raise
+    (Device_fault
+       {
+         f_device = device;
+         f_segment = segment;
+         f_invocation = invocation;
+         f_reason =
+           Printf.sprintf "injected fault on %s:%s (invocation %d)" device
+             segment invocation;
+       })
+
+let check ~device ~segment =
+  match decide_one ~device ~segment with
+  | Some invocation -> inject ~device ~segment ~invocation
+  | None -> ()
+
+let check_any ~device segments =
+  let hits =
+    List.filter_map
+      (fun segment ->
+        Option.map (fun inv -> (segment, inv)) (decide_one ~device ~segment))
+      segments
+  in
+  match hits with
+  | (segment, invocation) :: _ -> inject ~device ~segment ~invocation
+  | [] -> ()

@@ -71,5 +71,12 @@ val check : device:string -> segment:string -> unit
     matches this invocation. Emits a trace instant (category
     ["fault"], name ["inject:<device>"]) when tracing is enabled. *)
 
+val check_any : device:string -> string list -> unit
+(** One launch observed under several segment names at once — a fused
+    segment checking its pre-fusion aliases. Every name's invocation
+    counter advances exactly once (no short-circuit skew across
+    retries), then {!Device_fault} is raised for the first name whose
+    clause matched, if any. *)
+
 val segment_matches : string -> string -> bool
 (** [segment_matches pattern segment] — exposed for tests. *)

@@ -44,6 +44,13 @@ let label t = t.label
 let transfer_ns t bytes =
   t.latency_ns +. (float_of_int bytes /. t.bandwidth_bytes_per_ns)
 
+(* A streaming crossing rides an already-open transfer window: a fused
+   segment that crossed to the device pays the round-trip latency once
+   on the way in, and its result streams back overlapped with compute,
+   so the return leg is bandwidth-only. *)
+let streaming_transfer_ns t bytes =
+  float_of_int bytes /. t.bandwidth_bytes_per_ns
+
 (* Each crossing samples the cumulative byte counters into the trace,
    so a Chrome viewer shows the traffic on each boundary over time. *)
 let trace_crossing t =
@@ -85,7 +92,7 @@ let to_device t ty v =
 
 let native_of_value ty v = { Native.ty; data = Codec.encode_bytes ty v }
 
-let to_host t (native : Native.t) =
+let to_host ?(streaming = false) t (native : Native.t) =
   let sp =
     if Support.Trace.enabled () then
       Support.Trace.begin_span ~cat:"boundary"
@@ -94,9 +101,10 @@ let to_host t (native : Native.t) =
   in
   Support.Fault.check ~device:"wire" ~segment:t.label;
   let n = Bytes.length native.data in
+  let cost = if streaming then streaming_transfer_ns t n else transfer_ns t n in
   t.crossings_to_host <- t.crossings_to_host + 1;
   t.bytes_to_host <- t.bytes_to_host + n;
-  t.modeled_transfer_ns <- t.modeled_transfer_ns +. transfer_ns t n;
+  t.modeled_transfer_ns <- t.modeled_transfer_ns +. cost;
   trace_crossing t;
   (* Deserialize from the byte array back into a heap-resident value. *)
   let v = Native.to_value native in
@@ -105,7 +113,7 @@ let to_host t (native : Native.t) =
       ~args:
         [
           "bytes", Support.Trace.Int n;
-          "modeled_ns", Support.Trace.Float (transfer_ns t n);
+          "modeled_ns", Support.Trace.Float cost;
         ]
       sp;
   v

@@ -46,8 +46,12 @@ val label : t -> string
 val to_device : t -> Codec.ty -> Value.t -> Native.t
 (** Full host-to-device path: serialize, cross, convert to dense. *)
 
-val to_host : t -> Native.t -> Value.t
-(** Full device-to-host mirror path. *)
+val to_host : ?streaming:bool -> t -> Native.t -> Value.t
+(** Full device-to-host mirror path. [~streaming:true] models the
+    return leg of a fused segment's single round trip: the result
+    streams back overlapped with compute inside the transfer window
+    the inbound crossing opened, so only the bandwidth term is
+    charged, not the per-crossing latency. *)
 
 val native_of_value : Codec.ty -> Value.t -> Native.t
 (** Device-side packing of a result into the dense wire form, ready
@@ -57,6 +61,10 @@ val native_of_value : Codec.ty -> Value.t -> Native.t
 val transfer_ns : t -> int -> float
 (** [transfer_ns t bytes] is the modeled cost of one crossing moving
     [bytes] bytes. *)
+
+val streaming_transfer_ns : t -> int -> float
+(** Bandwidth-only cost of a streaming return leg (no per-crossing
+    latency); the cost model's mirror of [to_host ~streaming:true]. *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -180,6 +180,8 @@ metrics snapshot (timings vary run to run, so digits are normalized):
   sched_cache_hits: N
   mr_runs: N
   mr_chunks: N
+  fused_launches: N
+  unfuses: N
   substitutions: Bitflip.flip@Bitflip.taskFlip/N -> gpu
 
 The IR dump shows the discovered task graph and the lowered filter:

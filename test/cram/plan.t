@@ -1,22 +1,25 @@
 The profile-guided placement planner (lmc plan), cold and warm.
 
 A cold run calibrates every (chain, device) profile and persists the
-store; dsp_chain's accelerator-first default is dominated by the PCIe
-boundary, so the planner picks the native placement instead:
+store. Cross-filter fusion collapses dsp_chain's three stages into
+one segment that crosses the PCIe boundary once and streams its
+result home, so the fused FPGA pipeline (initiation interval 1)
+finally beats the native placement:
 
   $ ../../bin/lmc.exe plan dsp_chain --profile-store plan.profiles
   placement plan at n=512
   
   graph graph@0 (3 filter(s)):
-    calibrated    native(3)        13.7 us  <- planned
-    native-only   native(3)        13.7 us
-    accelerators  gpu(3)           25.5 us
-    gpu-only      gpu(3)           25.5 us
-    fpga-only     fpga(3)          26.7 us
-    bytecode      bytecode(3)      55.4 us
-    segment native:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2: 13.7 us [measured]
-    predicted speedup over bytecode: 4.050x
-    rationale: chose native(3) over the default gpu(3): predicted 13.7 us vs 25.5 us (1.87x) at n=512; the default is dominated by gpu:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 (25.5 us)
+    calibrated         fpga(3 stages fused)      12.6 us  <- planned
+    fpga-only          fpga(3 stages fused)      12.6 us
+    calibrated-nofuse  native(3)                 13.7 us
+    native-only        native(3)                 13.7 us
+    accelerators       gpu(3 stages fused)       15.5 us
+    gpu-only           gpu(3 stages fused)       15.5 us
+    bytecode           bytecode(1 fused)         80.6 us
+    segment fpga:fuse:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2: 12.6 us [measured]
+    predicted speedup over bytecode: 6.412x
+    rationale: chose fpga(3 stages fused) over the default gpu(3 stages fused): predicted 12.6 us vs 15.5 us (1.24x) at n=512; the default is dominated by gpu:fuse:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 (15.5 us)
   
   profile store plan.profiles: 7 entry(s), 0 hit(s), 7 calibrated
 
@@ -28,17 +31,18 @@ floats, predicts the very same makespans:
   placement plan at n=512
   
   graph graph@0 (3 filter(s)):
-    calibrated    native(3)        13.7 us  <- planned
-    native-only   native(3)        13.7 us
-    accelerators  gpu(3)           25.5 us
-    gpu-only      gpu(3)           25.5 us
-    fpga-only     fpga(3)          26.7 us
-    bytecode      bytecode(3)      55.4 us
-    segment native:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2: 13.7 us [measured]
-    predicted speedup over bytecode: 4.050x
-    rationale: chose native(3) over the default gpu(3): predicted 13.7 us vs 25.5 us (1.87x) at n=512; the default is dominated by gpu:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 (25.5 us)
+    calibrated         fpga(3 stages fused)      12.6 us  <- planned
+    fpga-only          fpga(3 stages fused)      12.6 us
+    calibrated-nofuse  native(3)                 13.7 us
+    native-only        native(3)                 13.7 us
+    accelerators       gpu(3 stages fused)       15.5 us
+    gpu-only           gpu(3 stages fused)       15.5 us
+    bytecode           bytecode(1 fused)         80.6 us
+    segment fpga:fuse:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2: 12.6 us [measured]
+    predicted speedup over bytecode: 6.412x
+    rationale: chose fpga(3 stages fused) over the default gpu(3 stages fused): predicted 12.6 us vs 15.5 us (1.24x) at n=512; the default is dominated by gpu:fuse:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 (15.5 us)
   
-  profile store plan.profiles: 7 entry(s), 12 hit(s), 0 calibrated
+  profile store plan.profiles: 7 entry(s), 17 hit(s), 0 calibrated
 
 The store itself is a flat text file, one content-hashed entry per
 line, costs in hex floats:
@@ -51,7 +55,7 @@ line, costs in hex floats:
 Machine-readable output for tooling:
 
   $ ../../bin/lmc.exe plan dsp_chain --json --profile-store plan.profiles | grep -o '"planned":{"name":"[^"]*","plan":"[^"]*"'
-  "planned":{"name":"calibrated","plan":"native(3)"
+  "planned":{"name":"calibrated","plan":"fpga(3 stages fused)"
 
 Map/reduce kernel sites are placed too: the lowering
 (docs/LOWERING.md) turns each site into a scatter/worker/gather graph

@@ -37,12 +37,12 @@ store (calibrated on this cold run). Observed and predicted are both
 modeled nanoseconds, so the row is exact and the verdict is ok:
 
   $ grep 'measured' report.out | tr -s ' ' | sed -E 's/ +$//'
-  Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 gpu 1 512 25.5 25.5 1.00 measured ok
+  fuse:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 gpu 1 512 15.5 15.5 1.00 measured ok
 
 A second run hits the warm store — same join, no recalibration:
 
   $ ../../bin/lmc.exe report dsp_chain --profile-store report.profiles | grep 'measured' | tr -s ' ' | sed -E 's/ +$//'
-  Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 gpu 1 512 25.5 25.5 1.00 measured ok
+  fuse:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 gpu 1 512 15.5 15.5 1.00 measured ok
 
 The same analysis in JSON for tooling:
 
@@ -56,7 +56,7 @@ saved launches against the (now warm) profile store:
 
   $ ../../bin/lmc.exe workloads dsp_chain --trace dsp.trace.json > /dev/null
   $ ../../bin/lmc.exe report dsp_chain --from-trace dsp.trace.json --profile-store report.profiles | grep 'measured' | tr -s ' ' | sed -E 's/ +$//'
-  Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 gpu 1 512 25.5 25.5 1.00 measured ok
+  fuse:Dsp.scale@Dsp.run/0+Dsp.offset@Dsp.run/1+Dsp.clamp@Dsp.run/2 gpu 1 512 15.5 15.5 1.00 measured ok
 
 Without the program, the offline report still attributes and extracts
 the critical path, but says why it cannot predict:

@@ -20,11 +20,11 @@ the stable lines):
 
   $ ../../bin/lmc.exe workloads dsp_chain --size 64 | grep -v wall
   result: validated (size 64)
-  plan: gpu(3)
+  plan: gpu(3 stages fused)
 
   $ ../../bin/lmc.exe workloads dsp_chain --size 64 --policy fpga | grep -v wall
   result: validated (size 64)
-  plan: fpga(3)
+  plan: fpga(3 stages fused)
 
   $ ../../bin/lmc.exe workloads nope
   unknown workload: nope

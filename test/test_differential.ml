@@ -251,6 +251,62 @@ let test_chunk_fault_retried () =
   Alcotest.(check int) "four chunks" 4 m.mr_chunks;
   Alcotest.(check bool) "gpu did the chunks" true (m.gpu_kernels >= 4)
 
+(* --- fault aliasing across fusion ---------------------------------------- *)
+
+(* Fusion must not strand existing fault-injection campaigns: a spec
+   written against a pre-fusion segment name (here the *middle* member
+   of dsp_chain's fused run) keeps firing on the fused segment via the
+   alias list in the fused launch prelude. A transient fault is
+   absorbed by a retry of the fused launch; a permanent one exhausts
+   the retries, unfuses the segment (observable in the metrics) and
+   re-substitutes per-stage — and the output stays bit-identical
+   either way. *)
+let test_fused_segment_honors_prefusion_spec () =
+  let w = Workloads.find "dsp_chain" in
+  let expected = reference w ~size:64 in
+  let member = "Dsp.offset@Dsp.run/1" in
+  (* transient: one fault against the member name, absorbed in place *)
+  let c = compiled_of w in
+  Store.clear_quarantine c.Compiler.store;
+  let engine =
+    Compiler.engine
+      ~policy:(Substitute.Prefer_devices [ Runtime.Artifact.Gpu ])
+      c
+  in
+  Fault.install (parse_exn (Printf.sprintf "gpu:%s:n=1" member));
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Fault.clear ())
+      (fun () -> Exec.call engine w.entry (w.args ~size:64))
+  in
+  check_identical ~ctx:"fused transient via member spec" expected result;
+  let m = Metrics.snapshot (Exec.metrics engine) in
+  Alcotest.(check int) "member spec fired on fused segment" 1 m.device_faults;
+  Alcotest.(check int) "retry absorbed it" 1 m.retries;
+  Alcotest.(check int) "no unfuse" 0 m.unfuses;
+  Alcotest.(check bool) "fused launch completed" true (m.fused_launches >= 1);
+  (* permanent: retries exhaust, the segment unfuses and re-plans *)
+  let c = compiled_of w in
+  Store.clear_quarantine c.Compiler.store;
+  let engine =
+    Compiler.engine
+      ~policy:(Substitute.Prefer_devices [ Runtime.Artifact.Gpu ])
+      c
+  in
+  Fault.install (parse_exn (Printf.sprintf "gpu:%s:always" member));
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Fault.clear ();
+        Store.clear_quarantine c.Compiler.store)
+      (fun () -> Exec.call engine w.entry (w.args ~size:64))
+  in
+  check_identical ~ctx:"fused permanent via member spec" expected result;
+  let m = Metrics.snapshot (Exec.metrics engine) in
+  Alcotest.(check bool) "faults observed" true (m.device_faults > 0);
+  Alcotest.(check int) "segment unfused" 1 m.unfuses;
+  Alcotest.(check bool) "re-substituted" true (m.resubstitutions > 0)
+
 (* --- fault spec grammar ------------------------------------------------- *)
 
 let test_spec_parsing () =
@@ -359,6 +415,8 @@ let suite =
           `Quick test_chunk_fault_resubstitutes;
         Alcotest.test_case "lowered chunk fault absorbed by retry" `Quick
           test_chunk_fault_retried;
+        Alcotest.test_case "pre-fusion fault specs alias onto fused segments"
+          `Quick test_fused_segment_honors_prefusion_spec;
         Alcotest.test_case "fault spec grammar" `Quick test_spec_parsing;
         Alcotest.test_case "probabilistic schedules are seeded" `Quick
           test_probabilistic_determinism;

@@ -110,7 +110,8 @@ class P {
       Runtime.Substitute.Prefer_accelerators;
       Runtime.Substitute.Smallest_substitution;
     ];
-  (* the compiler generated all 15 gpu subchains of the 5-filter run *)
+  (* the compiler generated all 15 gpu subchains of the 5-filter run,
+     plus the cross-filter fused kernel for the maximal run *)
   let s = Lm.load src in
   let gpu_chains =
     List.length
@@ -119,7 +120,7 @@ class P {
            e.me_device = Runtime.Artifact.Gpu)
          (Lm.manifest s).entries)
   in
-  check_int "15 contiguous subchains" 15 gpu_chains
+  check_int "15 contiguous subchains + 1 fused" 16 gpu_chains
 
 let test_empty_stream () =
   let s = Lm.load (Workloads.find "dsp_chain").Workloads.source in

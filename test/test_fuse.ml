@@ -1,0 +1,271 @@
+(* Cross-filter fusion differential suite (docs/FUSION.md).
+
+   Fusion is a pure optimization: collapsing a fusible run into one
+   kernel must never change a single output bit, under any policy,
+   stream length, or fault schedule. This suite proves it three ways:
+   the full workload matrix fused vs unfused, QCheck-generated random
+   fusible chains, and chunk-kill fault campaigns that force the
+   unfuse path mid-stream. *)
+
+module Compiler = Liquid_metal.Compiler
+module Exec = Runtime.Exec
+module Store = Runtime.Store
+module Substitute = Runtime.Substitute
+module Metrics = Runtime.Metrics
+module Artifact = Runtime.Artifact
+module Fault = Support.Fault
+module Lm = Liquid_metal.Lm
+module I = Lime_ir.Interp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let parse_exn spec =
+  match Fault.parse_spec spec with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e
+
+(* One compile per (workload, fuse); engines are cheap, compiles are
+   not. *)
+let compiled_cache : (string * bool, Compiler.compiled) Hashtbl.t =
+  Hashtbl.create 32
+
+let compiled_of ~fuse (w : Workloads.t) =
+  match Hashtbl.find_opt compiled_cache (w.name, fuse) with
+  | Some c -> c
+  | None ->
+    let c = Compiler.compile ~fuse w.source in
+    Hashtbl.add compiled_cache (w.name, fuse) c;
+    c
+
+let run_once ~fuse (w : Workloads.t) ~size ~policy : I.v =
+  let c = compiled_of ~fuse w in
+  Store.clear_quarantine c.Compiler.store;
+  let engine = Compiler.engine ~policy ~fuse c in
+  Fun.protect
+    ~finally:(fun () -> Store.clear_quarantine c.Compiler.store)
+    (fun () -> Exec.call engine w.entry (w.args ~size))
+
+let check_identical ~ctx expected got =
+  if Stdlib.compare expected got <> 0 then
+    Alcotest.failf "%s: fused output diverged\n  unfused: %s\n  fused:   %s"
+      ctx
+      (Format.asprintf "%a" I.pp expected)
+      (Format.asprintf "%a" I.pp got)
+
+(* --- the fused-vs-unfused matrix ---------------------------------------- *)
+
+let matrix_policies =
+  [
+    "bytecode", Substitute.Bytecode_only;
+    "accel", Substitute.Prefer_accelerators;
+    ( "devices(fpga,native)",
+      Substitute.Prefer_devices [ Artifact.Fpga; Artifact.Native ] );
+    "smallest", Substitute.Smallest_substitution;
+    "adaptive", Substitute.Adaptive;
+  ]
+
+(* Per-workload base sizes (quadratic/cubic workloads stay small);
+   each runs at a tiny, the base, and an odd off-by-one length so
+   chunk boundaries and the adaptive thresholds are both straddled. *)
+let matrix_sizes =
+  [
+    "saxpy", 96; "dotproduct", 96; "matmul", 8; "conv2d", 8; "nbody", 12;
+    "mandelbrot", 10; "bitflip", 64; "dsp_chain", 96; "prefix_sum", 96;
+    "blackscholes", 64; "fir4", 96; "crc8", 48;
+  ]
+
+let test_workload_matrix name () =
+  let w = Workloads.find name in
+  let base = List.assoc name matrix_sizes in
+  List.iter
+    (fun size ->
+      List.iter
+        (fun (pname, policy) ->
+          let unfused = run_once ~fuse:false w ~size ~policy in
+          let fused = run_once ~fuse:true w ~size ~policy in
+          check_identical
+            ~ctx:(Printf.sprintf "%s / %s / n=%d" name pname size)
+            unfused fused)
+        matrix_policies)
+    [ 3; base; base + 1 ]
+
+(* --- fusion mechanics ---------------------------------------------------- *)
+
+(* dsp_chain's three pure stages fuse: the registry records the run,
+   every accelerator gets a fused artifact, the plan says so, and a
+   healthy launch counts as exactly one fused launch. *)
+let test_fusion_is_observable () =
+  let w = Workloads.find "dsp_chain" in
+  let c = compiled_of ~fuse:true w in
+  check_bool "fusion registered" true (Store.fusion_count c.Compiler.store > 0);
+  let fused_devices =
+    List.filter
+      (fun (e : Artifact.manifest_entry) -> Artifact.is_fused_uid e.me_uid)
+      (Compiler.manifest c).entries
+  in
+  check_bool "fused artifacts exist" true (List.length fused_devices >= 2);
+  let engine =
+    Compiler.engine ~policy:(Substitute.Prefer_devices [ Artifact.Gpu ]) c
+  in
+  check_bool "engine fusing" true (Exec.fusing engine);
+  ignore (Exec.call engine w.entry (w.args ~size:64));
+  check_string "fused plan" "gpu(3 stages fused)"
+    (Option.get (Exec.last_plan engine));
+  let m = Metrics.snapshot (Exec.metrics engine) in
+  check_int "one fused launch" 1 m.fused_launches;
+  check_int "no unfuse" 0 m.unfuses;
+  (* fuse:false on the engine side alone must already plan per-stage *)
+  let nofuse = Compiler.engine ~policy:Substitute.Prefer_accelerators ~fuse:false c in
+  check_bool "engine not fusing" false (Exec.fusing nofuse);
+  ignore (Exec.call nofuse w.entry (w.args ~size:64));
+  check_string "per-stage plan" "gpu(3)" (Option.get (Exec.last_plan nofuse));
+  check_int "no fused launches" 0
+    (Metrics.snapshot (Exec.metrics nofuse)).Metrics.fused_launches
+
+(* --- chunk-kill faults on fused segments --------------------------------- *)
+
+(* Killing a fused chunked launch mid-stream with no retry budget must
+   unfuse: quarantine the device, re-plan the segment per stage, and
+   still reproduce the unfused output bit for bit. *)
+let test_chunk_kill_unfuses () =
+  let w = Workloads.find "dsp_chain" in
+  let expected = run_once ~fuse:false w ~size:64 ~policy:Substitute.Bytecode_only in
+  List.iter
+    (fun (device, dev, spec) ->
+      let c = compiled_of ~fuse:true w in
+      Store.clear_quarantine c.Compiler.store;
+      let engine =
+        Compiler.engine
+          ~policy:(Substitute.Prefer_devices [ dev ])
+          ~max_retries:0 ~chunk_elements:16 c
+      in
+      Fault.install (parse_exn spec);
+      let result =
+        Fun.protect
+          ~finally:(fun () ->
+            Fault.clear ();
+            Store.clear_quarantine c.Compiler.store)
+          (fun () -> Exec.call engine w.entry (w.args ~size:64))
+      in
+      check_identical ~ctx:(device ^ " chunk kill") expected result;
+      let m = Metrics.snapshot (Exec.metrics engine) in
+      check_bool (device ^ " faulted") true (m.device_faults > 0);
+      check_int (device ^ " unfused once") 1 m.unfuses;
+      check_bool (device ^ " re-substituted") true (m.resubstitutions > 0))
+    [
+      "gpu", Artifact.Gpu, "gpu:*:at=1";
+      "fpga", Artifact.Fpga, "fpga:*:at=1";
+    ]
+
+(* A transient fault on a fused chunk is absorbed in place: the
+   segment stays fused and the device finishes the stream. *)
+let test_chunk_fault_stays_fused () =
+  let w = Workloads.find "dsp_chain" in
+  let expected = run_once ~fuse:false w ~size:64 ~policy:Substitute.Bytecode_only in
+  let c = compiled_of ~fuse:true w in
+  Store.clear_quarantine c.Compiler.store;
+  let engine =
+    Compiler.engine
+      ~policy:(Substitute.Prefer_devices [ Artifact.Gpu ])
+      ~chunk_elements:16 c
+  in
+  Fault.install (parse_exn "gpu:*:n=1");
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Fault.clear ();
+        Store.clear_quarantine c.Compiler.store)
+      (fun () -> Exec.call engine w.entry (w.args ~size:64))
+  in
+  check_identical ~ctx:"fused transient chunk" expected result;
+  let m = Metrics.snapshot (Exec.metrics engine) in
+  check_int "one fault" 1 m.device_faults;
+  check_int "one retry" 1 m.retries;
+  check_int "no unfuse" 0 m.unfuses;
+  check_bool "stayed fused" true (m.fused_launches >= 4)
+
+(* --- property: random fusible chains ------------------------------------- *)
+
+(* Random elementwise chains — each stage one of a pool of pure int
+   ops — compiled twice and run fused vs unfused under an accelerator
+   policy. Bit-identity must hold for every sample. *)
+let qcheck_random_fusible_chains =
+  let open QCheck2 in
+  let ops =
+    [|
+      (fun k -> Printf.sprintf "return x + %d;" k);
+      (fun k -> Printf.sprintf "return x - %d;" k);
+      (fun k -> Printf.sprintf "return x * %d;" (1 + (k mod 7)));
+      (fun k -> Printf.sprintf "return x ^ %d;" k);
+      (fun k -> Printf.sprintf "return x & %d;" (k lor 0xff));
+      (fun k -> Printf.sprintf "return (x << 1) | (%d & 1);" k);
+    |]
+  in
+  let source_of stages =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "class P {\n";
+    List.iteri
+      (fun i (op, k) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  local static int f%d(int x) { %s }\n" i
+             (ops.(op mod Array.length ops) k)))
+      stages;
+    Buffer.add_string buf
+      "  static int[[]] run(int[[]] xs) {\n\
+      \    int[] out = new int[xs.length];\n\
+      \    var g = xs.source(1)";
+    List.iteri
+      (fun i _ -> Buffer.add_string buf (Printf.sprintf " => ([ task f%d ])" i))
+      stages;
+    Buffer.add_string buf
+      " => out.<int>sink();\n\
+      \    g.finish();\n\
+      \    return new int[[]](out);\n\
+      \  }\n\
+       }\n";
+    Buffer.contents buf
+  in
+  let gen =
+    Gen.tup3
+      (Gen.list_size (Gen.int_range 2 5)
+         (Gen.tup2 (Gen.int_bound 100) (Gen.int_bound 100)))
+      (Gen.oneofl
+         [
+           Substitute.Prefer_accelerators;
+           Substitute.Prefer_devices [ Artifact.Fpga ];
+           Substitute.Adaptive;
+         ])
+      (Gen.int_range 1 40)
+  in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:20 ~name:"random fusible chains fused == unfused" gen
+       (fun (stages, policy, size) ->
+         let source = source_of stages in
+         let input = Lm.int_array (Array.init size (fun i -> (i * 13) - 7)) in
+         let fused = Lm.load ~policy ~fuse:true source in
+         let unfused = Lm.load ~policy ~fuse:false source in
+         let a = Lm.run fused "P.run" [ input ] in
+         let b = Lm.run unfused "P.run" [ input ] in
+         Stdlib.compare a b = 0))
+
+let suite =
+  ( "fuse",
+    List.map
+      (fun name ->
+        Alcotest.test_case ("fused == unfused: " ^ name) `Slow
+          (test_workload_matrix name))
+      [
+        "saxpy"; "dotproduct"; "matmul"; "conv2d"; "nbody"; "mandelbrot";
+        "bitflip"; "dsp_chain"; "prefix_sum"; "blackscholes"; "fir4"; "crc8";
+      ]
+    @ [
+        Alcotest.test_case "fusion is observable" `Quick
+          test_fusion_is_observable;
+        Alcotest.test_case "chunk kill unfuses mid-stream" `Quick
+          test_chunk_kill_unfuses;
+        Alcotest.test_case "transient chunk fault stays fused" `Quick
+          test_chunk_fault_stays_fused;
+        qcheck_random_fusible_chains;
+      ] )

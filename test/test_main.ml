@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "liquid_metal"
-    [ Test_support.suite; Test_trace.suite; Test_observe.suite; Test_bits.suite; Test_wire.suite; Test_syntax.suite; Test_types.suite; Test_ir.suite; Test_bytecode.suite; Test_gpu.suite; Test_rtl.suite; Test_runtime.suite; Test_liquid_metal.suite; Test_workloads.suite; Test_opt.suite; Test_native.suite; Test_pretty.suite; Test_fuzz.suite; Test_failures.suite; Test_intrinsics.suite; Test_edge.suite; Test_printer.suite; Test_analysis.suite; Test_sched.suite; Test_placement.suite; Test_differential.suite; Test_lower_mapreduce.suite ]
+    [ Test_support.suite; Test_trace.suite; Test_observe.suite; Test_bits.suite; Test_wire.suite; Test_syntax.suite; Test_types.suite; Test_ir.suite; Test_bytecode.suite; Test_gpu.suite; Test_rtl.suite; Test_runtime.suite; Test_liquid_metal.suite; Test_workloads.suite; Test_opt.suite; Test_native.suite; Test_pretty.suite; Test_fuzz.suite; Test_failures.suite; Test_intrinsics.suite; Test_edge.suite; Test_printer.suite; Test_analysis.suite; Test_sched.suite; Test_placement.suite; Test_differential.suite; Test_lower_mapreduce.suite; Test_fuse.suite ]

@@ -112,9 +112,9 @@ let test_adaptive_policy_switches () =
     ignore (Lm.run s dsp.entry (dsp.args ~size));
     Option.get (Lm.last_plan s)
   in
-  check_string "tiny stream stays on bytecode" "bytecode(3)" (run 4);
+  check_string "tiny stream stays on bytecode" "bytecode(1 fused)" (run 4);
   check_string "small stream goes native" "native(3)" (run 64);
-  check_string "large stream goes gpu" "gpu(3)" (run 4096)
+  check_string "large stream goes gpu" "gpu(3 stages fused)" (run 4096)
 
 let test_adaptive_results_correct () =
   List.iter
@@ -134,7 +134,8 @@ let test_accelerators_beat_native_in_preference () =
      exists. *)
   let s = Lm.load dsp.Workloads.source in
   ignore (Lm.run s dsp.entry (dsp.args ~size:64));
-  check_string "gpu chosen over native" "gpu(3)" (Option.get (Lm.last_plan s))
+  check_string "gpu chosen over native" "gpu(3 stages fused)"
+    (Option.get (Lm.last_plan s))
 
 let test_chunked_engine_agrees () =
   (* chunked device launches must be invisible in the results *)
