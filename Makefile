@@ -2,7 +2,7 @@
 
 QCHECK_SEED ?= 20260805
 
-.PHONY: all build test lint baseline lint-baseline check bench bench-sched bench-placement bench-obs bench-lower bench-fuse clean
+.PHONY: all build test lint baseline lint-baseline check bench bench-sched bench-placement bench-obs bench-lower bench-fuse bench-serve clean
 
 all: build
 
@@ -60,7 +60,7 @@ lint-baseline: build
 # the differential fault-tolerance suite — including its `Slow`
 # workload x policy x schedule matrix — under a fixed QCheck seed so
 # the randomized schedules are reproducible.
-check: build test lint lint-baseline bench-sched bench-placement bench-obs bench-lower bench-fuse
+check: build test lint lint-baseline bench-sched bench-placement bench-obs bench-lower bench-fuse bench-serve
 	QCHECK_SEED=$(QCHECK_SEED) dune exec test/test_main.exe -- test differential -e
 
 bench:
@@ -101,6 +101,14 @@ bench-lower: build
 # accelerator strictly faster than the best native placement.
 bench-fuse: build
 	dune exec bench/fuse_bench.exe -- BENCH_fuse.json
+
+# Multi-tenant serving regression gate: writes BENCH_serve.json and
+# fails if a contended 3-tenant load's WDRR device shares drift more
+# than 15% from the tenant weights, if draining over the shared
+# device pool stops beating single-device serialization by 1.1x, or
+# if any served job's output diverges from a solo `lmc run`.
+bench-serve: build
+	dune exec bench/serve_bench.exe -- BENCH_serve.json
 
 clean:
 	dune clean

@@ -1,0 +1,180 @@
+(* Multi-tenant serving regression gate.
+
+   Two runs of the same deterministic 3-tenant load through the serve
+   engine (`lmc serve`'s Serve.Engine):
+
+   - a contended run — every job at t=0, one gpu slot, no batching —
+     where WDRR alone decides the order, gating the fairness claim:
+     each tenant's share of contended device time must stay within
+     15% of its weight's fair share;
+
+   - a shared run — all devices, open-loop arrivals, batching on —
+     gating the sharing claim: draining the load across the shared
+     device pool must beat the single-device serialization by at
+     least 1.1x, and every job's output must stay bit-identical to a
+     solo `lmc run` of the same workload.
+
+   Per-tenant throughput and p50/p95/p99 latency land in
+   BENCH_serve.json (path overridable as argv 1). `make check` uses
+   this as the serving regression gate. *)
+
+module Job = Serve.Job
+module Engine = Serve.Engine
+module Stats = Support.Stats
+
+let fairness_tolerance = 0.15
+let sharing_speedup = 1.1
+let jobs_each = 12
+
+let tenants = [ ("gold", 2); ("silver", 1); ("bronze", 1) ]
+
+let config ~slots ~batch_max =
+  {
+    Engine.default_config with
+    Engine.c_slots = slots;
+    c_batch_max = batch_max;
+    c_profile_path = "BENCH_serve.profiles";
+  }
+
+let contended_load =
+  Job.parse
+    (String.concat ""
+       (List.map (fun (t, w) -> Printf.sprintf "tenant %s weight=%d\n" t w) tenants
+       @ List.map
+           (fun (t, _) ->
+             Printf.sprintf "job %s saxpy size=256 count=%d\n" t jobs_each)
+           tenants))
+
+let shared_load =
+  Job.synthetic ~workloads:[ "saxpy"; "sumsq"; "dsp_chain" ] ~size:256
+    ~jobs_per_tenant:jobs_each ~interarrival_ns:20_000.0 ~seed:1 tenants
+
+let () =
+  let out_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_serve.json"
+  in
+  let failures = ref 0 in
+
+  (* --- gate 1: weighted fairness under contention ------------------- *)
+  let fair =
+    Engine.run
+      ~config:(config ~slots:[ ("gpu", 1) ] ~batch_max:1)
+      contended_load
+  in
+  let total_contended =
+    List.fold_left
+      (fun acc t -> acc +. t.Engine.tr_contended_service_ns)
+      0.0 fair.Engine.sr_tenants
+  in
+  let weight_sum = List.fold_left (fun a (_, w) -> a + w) 0 tenants in
+  Printf.printf "%-8s %6s %8s %8s %8s\n" "tenant" "weight" "share" "fair"
+    "err";
+  let fairness_rows =
+    List.map
+      (fun t ->
+        let name = t.Engine.tr_tenant.Job.t_name in
+        let weight = t.Engine.tr_tenant.Job.t_weight in
+        let share = t.Engine.tr_contended_service_ns /. total_contended in
+        let fairv = float_of_int weight /. float_of_int weight_sum in
+        let err = Float.abs (share -. fairv) /. fairv in
+        Printf.printf "%-8s %6d %8.3f %8.3f %7.1f%%\n" name weight share fairv
+          (100.0 *. err);
+        if err > fairness_tolerance then begin
+          Printf.eprintf "FAIL %s: share %.3f off fair %.3f by %.1f%% (> %.0f%%)\n"
+            name share fairv (100.0 *. err) (100.0 *. fairness_tolerance);
+          incr failures
+        end;
+        if t.Engine.tr_completed <> jobs_each then begin
+          Printf.eprintf "FAIL %s: %d of %d jobs drained\n" name
+            t.Engine.tr_completed jobs_each;
+          incr failures
+        end;
+        Printf.sprintf
+          "{\"tenant\":%S,\"weight\":%d,\"share\":%.4f,\"fair\":%.4f,\"err\":%.4f}"
+          name weight share fairv err)
+      fair.Engine.sr_tenants
+  in
+
+  (* --- gate 2: device sharing beats serialization ------------------- *)
+  let serialized =
+    Engine.run
+      ~config:(config ~slots:[ ("gpu", 1) ] ~batch_max:1)
+      shared_load
+  in
+  let shared =
+    Engine.run
+      ~config:(config ~slots:Engine.default_config.Engine.c_slots ~batch_max:4)
+      shared_load
+  in
+  let speedup = serialized.Engine.sr_wall_ns /. shared.Engine.sr_wall_ns in
+  Printf.printf
+    "\nshared pool: %.1f us to drain vs %.1f us single-device (%.2fx)\n"
+    (shared.Engine.sr_wall_ns /. 1000.0)
+    (serialized.Engine.sr_wall_ns /. 1000.0)
+    speedup;
+  if speedup < sharing_speedup then begin
+    Printf.eprintf "FAIL sharing: %.2fx < required %.2fx\n" speedup
+      sharing_speedup;
+    incr failures
+  end;
+
+  (* --- gate 3: every served job bit-identical to its solo run ------- *)
+  let divergent =
+    List.filter
+      (fun j -> Engine.solo_output j.Engine.jr_spec <> j.Engine.jr_output)
+      shared.Engine.sr_jobs
+  in
+  List.iter
+    (fun j ->
+      Printf.eprintf "FAIL job %d (%s): served output diverged from solo\n"
+        j.Engine.jr_spec.Job.j_id j.Engine.jr_spec.Job.j_workload;
+      incr failures)
+    divergent;
+  Printf.printf "bit-identity: %d/%d served jobs match their solo runs\n"
+    (List.length shared.Engine.sr_jobs - List.length divergent)
+    (List.length shared.Engine.sr_jobs);
+
+  (* --- per-tenant service report ------------------------------------ *)
+  Printf.printf "\n%-8s %6s %10s %10s %10s %10s\n" "tenant" "jobs" "jobs/s"
+    "p50 us" "p95 us" "p99 us";
+  let tenant_rows =
+    List.map
+      (fun t ->
+        let name = t.Engine.tr_tenant.Job.t_name in
+        let lat = Array.to_list t.Engine.tr_latencies_ns in
+        let s = Stats.summarize lat in
+        Printf.printf "%-8s %6d %10.1f %10.1f %10.1f %10.1f\n" name
+          t.Engine.tr_completed t.Engine.tr_throughput_jps
+          (s.Stats.p50 /. 1000.0) (s.Stats.p95 /. 1000.0)
+          (s.Stats.p99 /. 1000.0);
+        if s.Stats.p99 <= 0.0 then begin
+          Printf.eprintf "FAIL %s: p99 latency not positive\n" name;
+          incr failures
+        end;
+        Printf.sprintf
+          "{\"tenant\":%S,\"completed\":%d,\"throughput_jps\":%.2f,\"p50_ns\":%.1f,\"p95_ns\":%.1f,\"p99_ns\":%.1f}"
+          name t.Engine.tr_completed t.Engine.tr_throughput_jps s.Stats.p50
+          s.Stats.p95 s.Stats.p99)
+      shared.Engine.sr_tenants
+  in
+  let batched =
+    List.fold_left
+      (fun acc d -> acc + d.Engine.dr_batched_jobs)
+      0 shared.Engine.sr_devices
+  in
+  Printf.printf "batching: %d jobs shared an occupancy window\n" batched;
+
+  let oc = open_out out_path in
+  Printf.fprintf oc
+    "{\"fairness\":[\n%s\n],\n\"tenants\":[\n%s\n],\n\"shared_wall_ns\":%.1f,\"serialized_wall_ns\":%.1f,\"sharing_speedup\":%.3f,\"batched_jobs\":%d,\"jobs\":%d,\"divergent\":%d}\n"
+    (String.concat ",\n" fairness_rows)
+    (String.concat ",\n" tenant_rows)
+    shared.Engine.sr_wall_ns serialized.Engine.sr_wall_ns speedup batched
+    (List.length shared.Engine.sr_jobs)
+    (List.length divergent);
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path;
+  if !failures > 0 then begin
+    Printf.eprintf "%d serving regression(s)\n" !failures;
+    exit 1
+  end

@@ -8,6 +8,7 @@
      lmc analyze FILE [--json]        static analysis: purity, ranges, graph lint
      lmc plan TARGET [--n N]          profile-guided placement planning
      lmc report TARGET|--from-trace   trace-driven introspection report
+     lmc serve [--jobs FILE]          multi-tenant job scheduling to drain
 
    Argument syntax for `run`:
      42            int
@@ -562,7 +563,35 @@ let plan_cmd =
     Arg.(value & flag & info [ "json" ]
            ~doc:"print the plan report as a JSON object")
   in
-  let action target n json store_path fuse =
+  let sweep =
+    Arg.(
+      value
+      & opt ~vopt:(Some "64..65536") (some string) None
+      & info [ "sweep" ] ~docv:"LO..HI"
+          ~doc:
+            "print the multi-stream-length crossover table instead of a \
+             single-length plan: the predicted best placement per stream \
+             length over a powers-of-two sweep (default $(b,64..65536)), \
+             with the lengths where the winner flips called out")
+  in
+  let parse_sweep spec =
+    let fail () =
+      prerr_endline
+        ("bad --sweep range: " ^ spec ^ " (expected LO..HI, e.g. 64..65536)");
+      exit 2
+    in
+    match String.index_opt spec '.' with
+    | Some i
+      when i + 1 < String.length spec && spec.[i + 1] = '.' ->
+      let lo = String.sub spec 0 i in
+      let hi = String.sub spec (i + 2) (String.length spec - i - 2) in
+      (match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when lo >= 1 && hi >= lo ->
+        Placement.Planner.sweep_lengths ~lo ~hi ()
+      | _ -> fail ())
+    | _ -> fail ()
+  in
+  let action target n json store_path fuse sweep =
     handle_compile_errors (fun () ->
         let source, default_n =
           match Workloads.find target with
@@ -577,18 +606,33 @@ let plan_cmd =
         let compiled =
           Liquid_metal.Compiler.compile ~file:target ~fuse source
         in
-        let n = Option.value n ~default:default_n in
-        let report = Placement.Planner.run ~profile_path:store_path ~n compiled in
-        if json then print_endline (Placement.Planner.render_json report)
-        else print_string (Placement.Planner.render report))
+        match sweep with
+        | Some spec ->
+          let ns = parse_sweep spec in
+          let store = Placement.Profile.load store_path in
+          let ctx = Placement.Calibrate.create ~profile_store:store compiled in
+          let tables = Placement.Planner.crossover ctx ~ns in
+          Placement.Profile.save store;
+          if json then
+            print_endline (Placement.Planner.render_crossover_json tables)
+          else print_string (Placement.Planner.render_crossover tables)
+        | None ->
+          let n = Option.value n ~default:default_n in
+          let report =
+            Placement.Planner.run ~profile_path:store_path ~n compiled
+          in
+          if json then print_endline (Placement.Planner.render_json report)
+          else print_string (Placement.Planner.render report))
   in
   Cmd.v
     (Cmd.info "plan"
        ~doc:
          "profile-guided placement planning: calibrate device cost models, \
           predict per-candidate makespans and report the argmin placement \
-          with a rationale (see docs/PLACEMENT.md)")
-    Term.(const action $ target $ n $ json $ store_path_arg $ fuse_arg)
+          with a rationale (see docs/PLACEMENT.md); with $(b,--sweep), the \
+          stream-length crossover table instead")
+    Term.(
+      const action $ target $ n $ json $ store_path_arg $ fuse_arg $ sweep)
 
 (* --- report ------------------------------------------------------------ *)
 
@@ -797,6 +841,194 @@ let analyze_cmd =
           file and print diagnostics")
     Term.(const action $ target $ json $ fifo_capacity $ fuse_arg)
 
+(* --- serve ------------------------------------------------------------- *)
+
+let parse_kv_list ~what spec =
+  List.filter_map
+    (fun part ->
+      if part = "" then None
+      else
+        match String.index_opt part '=' with
+        | Some i ->
+          Some
+            ( String.sub part 0 i,
+              String.sub part (i + 1) (String.length part - i - 1) )
+        | None ->
+          prerr_endline (what ^ ": expected NAME=VALUE, got " ^ part);
+          exit 2)
+    (String.split_on_char ',' spec)
+
+let serve_cmd =
+  let jobs_file =
+    Arg.(value & opt (some file) None & info [ "jobs" ] ~docv:"FILE"
+           ~doc:
+             "scripted job file ($(b,tenant NAME weight=W [quota=Q]) and \
+              $(b,job TENANT WORKLOAD [size=N] [at=NS] [count=K] \
+              [every=NS]) directives, see docs/SERVE.md); replaces the \
+              synthetic load")
+  in
+  let tenants =
+    Arg.(value & opt string "gold=3,silver=2,bronze=1"
+         & info [ "tenants" ] ~docv:"SPEC"
+             ~doc:"synthetic tenant table as NAME=WEIGHT,...")
+  in
+  let jobs_per_tenant =
+    Arg.(value & opt positive_int_conv 8 & info [ "jobs-per-tenant" ] ~docv:"N"
+           ~doc:"synthetic jobs submitted by each tenant")
+  in
+  let workloads =
+    Arg.(value & opt string "saxpy" & info [ "workloads" ] ~docv:"NAMES"
+           ~doc:
+             "comma-separated workload names each synthetic tenant cycles \
+              through (see $(b,lmc workloads))")
+  in
+  let size =
+    Arg.(value & opt positive_int_conv 256 & info [ "size" ] ~docv:"N"
+           ~doc:"synthetic workload problem size")
+  in
+  let interarrival =
+    Arg.(value & opt float 50_000.0 & info [ "interarrival" ] ~docv:"NS"
+           ~doc:
+             "mean open-loop interarrival gap per synthetic tenant, in \
+              modeled nanoseconds (jittered deterministically per tenant)")
+  in
+  let quota =
+    Arg.(value & opt (some positive_int_conv) None & info [ "quota" ] ~docv:"N"
+           ~doc:
+             "per-tenant admission quota for the synthetic load: arrivals \
+              beyond $(docv) outstanding jobs are rejected (default \
+              unlimited)")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ]
+           ~doc:"synthetic arrival-jitter seed")
+  in
+  let slots =
+    Arg.(value & opt (some string) None & info [ "slots" ] ~docv:"SPEC"
+           ~doc:
+             "concurrent occupancy windows per device as DEV=N,... over \
+              gpu/fpga/native/vm (default one each); a device at 0 takes \
+              no jobs")
+  in
+  let quantum =
+    Arg.(value & opt float 1_000.0 & info [ "quantum" ] ~docv:"NS"
+           ~doc:"WDRR quantum per unit of tenant weight (modeled ns)")
+  in
+  let batch_window =
+    Arg.(value & opt float 10_000.0 & info [ "batch-window" ] ~docv:"NS"
+           ~doc:
+             "dispatches of the same (workload, size, device) within \
+              $(docv) coalesce into one occupancy window")
+  in
+  let batch_max =
+    Arg.(value & opt positive_int_conv 4 & info [ "batch-max" ] ~docv:"N"
+           ~doc:"max jobs per coalesced occupancy window")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"print the serve report as a JSON object")
+  in
+  let action jobs_file tenants jobs_per_tenant workloads size interarrival
+      quota seed slots quantum batch_window batch_max json trace report
+      faults store_path =
+    handle_compile_errors (fun () ->
+        setup_tracing ~trace ~profile:report;
+        let load =
+          match jobs_file with
+          | Some path -> (
+            try Serve.Job.parse_file path
+            with Serve.Job.Parse_error m ->
+              prerr_endline ("bad job file " ^ path ^ ": " ^ m);
+              exit 2)
+          | None ->
+            let tenants =
+              List.map
+                (fun (name, v) ->
+                  match int_of_string_opt v with
+                  | Some w when w >= 1 -> (name, w)
+                  | _ ->
+                    prerr_endline
+                      ("--tenants: weight must be a positive integer: " ^ v);
+                    exit 2)
+                (parse_kv_list ~what:"--tenants" tenants)
+            in
+            let workloads =
+              List.filter (fun w -> w <> "")
+                (String.split_on_char ',' workloads)
+            in
+            Serve.Job.synthetic ?quota ~workloads ~size ~jobs_per_tenant
+              ~interarrival_ns:interarrival ~seed tenants
+        in
+        let config =
+          {
+            Serve.Engine.default_config with
+            Serve.Engine.c_quantum_ns = quantum;
+            c_batch_window_ns = batch_window;
+            c_batch_max = batch_max;
+            c_profile_path = store_path;
+          }
+        in
+        let config =
+          match slots with
+          | None -> config
+          | Some spec ->
+            let slots =
+              List.map
+                (fun (name, v) ->
+                  match int_of_string_opt v with
+                  | Some n when n >= 0 -> (name, n)
+                  | _ ->
+                    prerr_endline ("--slots: bad count for " ^ name);
+                    exit 2)
+                (parse_kv_list ~what:"--slots" spec)
+            in
+            { config with Serve.Engine.c_slots = slots }
+        in
+        setup_faults faults;
+        let result =
+          try Serve.Engine.run ~config load
+          with Serve.Engine.Serve_error m ->
+            prerr_endline ("serve: " ^ m);
+            exit 1
+        in
+        Support.Fault.clear ();
+        if json then print_endline (Serve.Engine.render_json result)
+        else print_string (Serve.Engine.render result);
+        (match trace with
+        | None -> ()
+        | Some path ->
+          let sink = Support.Trace.current () in
+          let oc = open_out path in
+          output_string oc
+            (Support.Trace.Chrome.to_json ~process_name:"lmc serve" sink);
+          close_out oc;
+          Printf.printf "trace: wrote %s (%d event(s), %d dropped)\n" path
+            (Support.Trace.event_count sink)
+            (Support.Trace.dropped sink));
+        if report then begin
+          let sink = Support.Trace.current () in
+          let events = Support.Trace.events sink in
+          let dropped = Support.Trace.dropped sink in
+          Support.Trace.set_sink Support.Trace.null;
+          let obs = Observe.Report.analyze ~dropped events in
+          if json then print_endline (Observe.Report.render_json obs)
+          else print_string (Observe.Report.render obs)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "multi-tenant job scheduling: admit a scripted or synthetic \
+          open-loop load of concurrent jobs over the shared device pool, \
+          schedule with per-tenant weighted fairness, quotas, data-aware \
+          placement and batching, run to drain, and print per-tenant \
+          throughput and latency percentiles (see docs/SERVE.md)")
+    Term.(
+      const action $ jobs_file $ tenants $ jobs_per_tenant $ workloads $ size
+      $ interarrival $ quota $ seed $ slots $ quantum $ batch_window
+      $ batch_max $ json $ trace_arg $ report_flag $ faults_arg
+      $ store_path_arg)
+
 let () =
   let doc = "the Liquid Metal compiler and runtime (DAC 2012 reproduction)" in
   exit
@@ -804,5 +1036,5 @@ let () =
        (Cmd.group (Cmd.info "lmc" ~version:"1.0.0" ~doc)
           [
             compile_cmd; run_cmd; disasm_cmd; dump_ir_cmd; workloads_cmd;
-            analyze_cmd; plan_cmd; report_cmd;
+            analyze_cmd; plan_cmd; report_cmd; serve_cmd;
           ]))

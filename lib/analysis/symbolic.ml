@@ -273,6 +273,14 @@ module Solver = Fixpoint.Make (Env)
 
 (* --- transfer ------------------------------------------------------ *)
 
+(* A literal ±constant shifts a bound exactly: the bound relation
+   [u <= e + off] gives [u + c <= e + off + c] over in-range machine
+   integers (indices and lengths are non-negative i32s and the
+   offsets are source literals, so neither side wraps). This is what
+   lets a *derived* index [j = i + off] inherit the loop guard's
+   bound on [i]. *)
+let shift_bound c = Option.map (fun b -> { b with b_off = b.b_off + c })
+
 let assign canon st (v : Ir.var) (r : Ir.rhs) =
   let id = v.Ir.v_id in
   match canon_value_rhs canon r with
@@ -287,6 +295,16 @@ let assign canon st (v : Ir.var) (r : Ir.rhs) =
     | Ir.R_op (Ir.O_var u) ->
       st.slo.(id) <- st.slo.(u.Ir.v_id);
       st.shi.(id) <- st.shi.(u.Ir.v_id)
+    | Ir.R_binop (Ir.Add_i, Ir.O_var u, Ir.O_const (Ir.C_i32 c))
+    | Ir.R_binop (Ir.Add_i, Ir.O_const (Ir.C_i32 c), Ir.O_var u) ->
+      (* read [u]'s bounds before writing: [i = i + 1] must shift the
+         pre-state bound, and it does because both arrays are read
+         first *)
+      st.slo.(id) <- shift_bound c st.slo.(u.Ir.v_id);
+      st.shi.(id) <- shift_bound c st.shi.(u.Ir.v_id)
+    | Ir.R_binop (Ir.Sub_i, Ir.O_var u, Ir.O_const (Ir.C_i32 c)) ->
+      st.slo.(id) <- shift_bound (-c) st.slo.(u.Ir.v_id);
+      st.shi.(id) <- shift_bound (-c) st.shi.(u.Ir.v_id)
     | _ ->
       st.slo.(id) <- None;
       st.shi.(id) <- None)
@@ -413,6 +431,24 @@ type access = {
   ac_instr : Ir.instr;  (** physical identity keys the proof *)
 }
 
+(* Peel literal constants off a canonical expression: [e - c] and
+   [e + c] (in either commutative order) normalize to (base, ±c),
+   recursively. Lets [i <= (len - off) - 1] shifted by [+ off] (the
+   derived index [i + off]) compare against the plain [len]: both
+   sides reduce to the same base with the offsets folded into the
+   comparison. Exact for the same reason bound offsets are: lengths
+   are non-negative i32s and the peeled constants are source
+   literals, so no intermediate wraps. *)
+let rec split_const (e : sexpr) : sexpr * int =
+  match e with
+  | X_bin (Ir.Add_i, X_const c, e') | X_bin (Ir.Add_i, e', X_const c) ->
+    let base, k = split_const e' in
+    base, k + c
+  | X_bin (Ir.Sub_i, e', X_const c) ->
+    let base, k = split_const e' in
+    base, k - c
+  | e -> e, 0
+
 let access_verdict canon s ~(index : Ir.operand) ~(arr : Ir.operand) :
     Range.bounds * bool =
   let conc =
@@ -438,16 +474,24 @@ let access_verdict canon s ~(index : Ir.operand) ~(arr : Ir.operand) :
         conc_lo
         ||
         match s.slo.(v.Ir.v_id) with
-        | Some { b_expr = X_const n; b_off } -> n + b_off >= 0
+        | Some { b_expr; b_off } -> (
+          match split_const b_expr with
+          | X_const n, k -> n + k + b_off >= 0
+          | _ -> false)
         | _ -> false)
     in
     let upper_bound =
       match index with Ir.O_var v -> s.shi.(v.Ir.v_id) | Ir.O_const _ -> None
     in
     match upper_bound, canon_length canon arr with
-    | Some { b_expr; b_off }, Some len_expr
-      when lower_ok && b_off < 0 && b_expr = len_expr ->
-      Range.Proven, true
+    | Some { b_expr; b_off }, Some len_expr when lower_ok -> (
+      let base_b, k_b = split_const b_expr in
+      let base_l, k_l = split_const len_expr in
+      (* index <= base + (k_b + b_off); length = base + k_l; in
+         bounds iff the total offset stays strictly below the
+         length's *)
+      if base_b = base_l && b_off + k_b - k_l < 0 then Range.Proven, true
+      else Range.Unknown, false)
     | _ -> Range.Unknown, false)
 
 (* --- per-function analysis ----------------------------------------- *)

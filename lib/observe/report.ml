@@ -68,6 +68,14 @@ type drift_row = {
   dr_source : string;  (* profile entry source, or "-" *)
 }
 
+type tenant_row = {
+  tn_tenant : string;
+  tn_jobs : int;
+  tn_wall_us : float;  (* summed job-span wall time *)
+  tn_share : float;  (* of all tenants' job wall time *)
+  tn_devices : string;  (* distinct devices used, comma-joined *)
+}
+
 type t = {
   rp_wall_us : float;
   rp_roots : int;
@@ -82,6 +90,9 @@ type t = {
   rp_critical_us : float;
   rp_drift : drift_row list;
   rp_drift_note : string option;
+  rp_tenants : tenant_row list;
+      (* per-tenant wall attribution from `job:` spans; empty for
+         single-job traces *)
 }
 
 type predict = uid:string -> device:string -> n:int -> (float * string) option
@@ -113,7 +124,7 @@ let enter ctx (sp : Spans.span) =
     let prefix, uid = split_colon sp.name in
     let segment = if prefix = "bc" then Some uid else ctx.cx_segment in
     { cx_device = "cpu"; cx_segment = segment }
-  | "run" | "compiler" -> { cx_device = "cpu"; cx_segment = None }
+  | "run" | "compiler" | "job" -> { cx_device = "cpu"; cx_segment = None }
   | "runtime" | "sched" -> { ctx with cx_device = "cpu" }
   (* boundary and backoff inherit: marshaling belongs to the launch
      that forced the crossing *)
@@ -123,22 +134,28 @@ let bucket_of (sp : Spans.span) =
   match sp.cat with
   | "boundary" -> Marshal
   | "backoff" -> Backoff
-  | "runtime" | "sched" -> Sched
+  (* a job span's own slices are the serve engine's bookkeeping
+     around the inner run span: scheduling, not compute *)
+  | "runtime" | "sched" | "job" -> Sched
   | "launch" | "gpu" | "fpga" | "vm" | "run" | "native" | "compiler" ->
     Compute
   | _ -> Other
 
 (* --- analysis ---------------------------------------------------------- *)
 
-(* Roots to analyze: prefer the runtime's `run:` roots (one per
-   Exec.call); older traces without them fall back to task-graph or
+(* Roots to analyze: prefer `job:` roots (one per job of a multi-tenant
+   [lmc serve] run), then the runtime's `run:` roots (one per
+   Exec.call); older traces without either fall back to task-graph or
    top-level launch spans. Compiler phases are never part of a run's
    makespan. *)
 let analysis_roots roots =
   let by cat = List.filter (fun (sp : Spans.span) -> sp.cat = cat) roots in
-  match by "run" with
+  match by "job" with
   | [] -> (
-    match by "runtime" with [] -> by "launch" | rs -> rs)
+    match by "run" with
+    | [] -> (
+      match by "runtime" with [] -> by "launch" | rs -> rs)
+    | rs -> rs)
   | rs -> rs
 
 type slice = {
@@ -423,6 +440,42 @@ let drift_rows ~(predict : predict option) events =
            dr_source = source;
          })
 
+(* Per-tenant wall attribution: each `job:` root span carries the
+   tenant (and chosen device) in its args, so a serve trace answers
+   "whose jobs was the engine busy with" directly. *)
+let tenant_rows roots =
+  let jobs =
+    List.filter (fun (sp : Spans.span) -> sp.Spans.cat = "job") roots
+  in
+  let rows =
+    group_fold
+      (fun (sp : Spans.span) ->
+        match Spans.find_arg sp "tenant" with
+        | Some (Trace.Str tenant) -> Some tenant
+        | _ -> None)
+      (fun (count, wall, devices) sp ->
+        let devices =
+          match Spans.find_arg sp "device" with
+          | Some (Trace.Str d) when not (List.mem d devices) -> d :: devices
+          | _ -> devices
+        in
+        (count + 1, wall +. sp.Spans.dur, devices))
+      (0, 0.0, []) jobs
+  in
+  let total =
+    List.fold_left (fun acc (_, (_, wall, _)) -> acc +. wall) 0.0 rows
+  in
+  List.map
+    (fun (tenant, (count, wall, devices)) ->
+      {
+        tn_tenant = tenant;
+        tn_jobs = count;
+        tn_wall_us = wall;
+        tn_share = (if total > 0.0 then wall /. total else 0.0);
+        tn_devices = String.concat "," (List.rev devices);
+      })
+    rows
+
 let drift_verdict row =
   match row.dr_predicted_ns with
   | None -> "n/a"
@@ -474,6 +527,7 @@ let analyze ?predict ?(dropped = 0) ?drift_note (events : Trace.event list) : t
       List.fold_left (fun acc s -> acc +. slice_us s) 0.0 slices;
     rp_drift = drift_rows ~predict events;
     rp_drift_note = drift_note;
+    rp_tenants = tenant_rows roots;
   }
 
 let of_sink ?predict ?drift_note sink =
@@ -577,6 +631,23 @@ let render (r : t) =
          "note: retry backoff is modeled time (%s us modeled); the wall \
           column shows real time spent in the retry path\n"
          (us r.rp_backoff_modeled_us));
+  (* tenants (multi-tenant serve traces only) *)
+  if r.rp_tenants <> [] then begin
+    Buffer.add_string buf "\ntenants (wall time per tenant's jobs):\n";
+    let t =
+      Support.Stats.Table.create
+        ~columns:[ "tenant"; "jobs"; "us"; "share"; "devices" ]
+    in
+    List.iter
+      (fun tn ->
+        Support.Stats.Table.add_row t
+          [
+            tn.tn_tenant; string_of_int tn.tn_jobs; us tn.tn_wall_us;
+            pct tn.tn_share; tn.tn_devices;
+          ])
+      r.rp_tenants;
+    Buffer.add_string buf (Support.Stats.Table.render t)
+  end;
   (* devices *)
   if r.rp_devices <> [] then begin
     Buffer.add_string buf "\ndevices (busy/idle over the run window):\n";
@@ -792,6 +863,16 @@ let render_json (r : t) =
               (jstr d.dr_source)
               (jstr (drift_verdict d)))
           r.rp_drift));
+  add "],\"tenants\":[";
+  add
+    (String.concat ","
+       (List.map
+          (fun tn ->
+            Printf.sprintf
+              "{\"tenant\":%s,\"jobs\":%d,\"wall_us\":%s,\"share\":%.4f,\"devices\":%s}"
+              (jstr tn.tn_tenant) tn.tn_jobs (jnum tn.tn_wall_us) tn.tn_share
+              (jstr tn.tn_devices))
+          r.rp_tenants));
   add "],";
   add
     (Printf.sprintf "\"drift_note\":%s"

@@ -66,6 +66,14 @@ type drift_row = {
   dr_source : string;  (** profile entry source, or ["-"] *)
 }
 
+type tenant_row = {
+  tn_tenant : string;
+  tn_jobs : int;
+  tn_wall_us : float;  (** summed [job:] root-span wall time *)
+  tn_share : float;  (** of all tenants' job wall time *)
+  tn_devices : string;  (** distinct devices used, comma-joined *)
+}
+
 type t = {
   rp_wall_us : float;
   rp_roots : int;
@@ -80,6 +88,9 @@ type t = {
   rp_critical_us : float;  (** equals the root wall time by construction *)
   rp_drift : drift_row list;
   rp_drift_note : string option;
+  rp_tenants : tenant_row list;
+      (** per-tenant wall attribution from the [job:] spans an
+          [lmc serve] run emits; empty for single-job traces *)
 }
 
 type predict = uid:string -> device:string -> n:int -> (float * string) option

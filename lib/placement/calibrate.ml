@@ -353,14 +353,21 @@ let profile ctx (artifact : Artifact.t option) (chain : Ir.filter_info list) :
     let measurable =
       chain <> [] && receivers <> None && synth_value input_ty 0 <> None
     in
+    (* Measurement probes are runtime infrastructure, not application
+       launches: run them with fault injection suspended so an
+       installed schedule neither kills calibration (the probes bypass
+       the failure protocol) nor silently spends its budget here. *)
     let (per_elem, overhead), source =
-      if not measurable then (analytic ctx artifact chain ~input_ty, Profile.Analytic)
-      else
-        match artifact with
-        | None ->
-          ( measure_vm ctx chain ~receivers:(Option.get receivers) ~input_ty,
-            Profile.Measured )
-        | Some a -> (measure_artifact ctx a chain ~input_ty, Profile.Measured)
+      Support.Fault.without (fun () ->
+          if not measurable then
+            (analytic ctx artifact chain ~input_ty, Profile.Analytic)
+          else
+            match artifact with
+            | None ->
+              ( measure_vm ctx chain ~receivers:(Option.get receivers)
+                  ~input_ty,
+                Profile.Measured )
+            | Some a -> (measure_artifact ctx a chain ~input_ty, Profile.Measured))
     in
     let e =
       {

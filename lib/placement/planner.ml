@@ -305,6 +305,111 @@ let run ?(profile_path = "lm.profiles") ~n compiled : report =
   Profile.save store;
   report
 
+(* --- multi-stream-length crossover ------------------------------------- *)
+
+(* The paper's section 7 observation, made inspectable: which device
+   wins depends on the stream length, because launch overhead and
+   boundary latency amortize. One row per swept n, per graph: every
+   candidate's makespan and the argmin. The whole sweep reuses one
+   calibration context, so the profiles are measured once and the
+   sweep is pure prediction. *)
+
+type crossover_row = {
+  xr_n : int;
+  xr_best : candidate;
+  xr_makespans : (string * float) list;  (** candidate name -> ns *)
+}
+
+type crossover = {
+  xo_uid : string;
+  xo_kind : string;
+  xo_rows : crossover_row list;  (** ascending n *)
+}
+
+let sweep_lengths ?(lo = 64) ?(hi = 65536) () =
+  let rec go n acc = if n > hi then List.rev acc else go (n * 2) (n :: acc) in
+  go (max lo 1) []
+
+let crossover (ctx : Calibrate.ctx) ~ns : crossover list =
+  let reports = List.map (fun n -> n, plan ctx ~n) ns in
+  match reports with
+  | [] -> []
+  | (_, first) :: _ ->
+    List.map
+      (fun (gp0 : graph_plan) ->
+        let rows =
+          List.map
+            (fun (n, (r : report)) ->
+              let gp =
+                List.find (fun g -> g.gp_uid = gp0.gp_uid) r.rp_graphs
+              in
+              {
+                xr_n = n;
+                xr_best = gp.gp_planned;
+                xr_makespans =
+                  List.map
+                    (fun c -> c.cd_name, c.cd_makespan_ns)
+                    gp.gp_candidates;
+              })
+            reports
+        in
+        { xo_uid = gp0.gp_uid; xo_kind = gp0.gp_kind; xo_rows = rows })
+      first.rp_graphs
+
+let render_crossover (xs : crossover list) : string =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if xs = [] then
+    p "(nothing to sweep: the program has no task graphs or kernel sites)\n";
+  List.iter
+    (fun x ->
+      p "crossover for %s %s (best candidate per stream length):\n" x.xo_kind
+        x.xo_uid;
+      let tbl =
+        Support.Stats.Table.create
+          ~columns:[ "n"; "best"; "plan"; "makespan_us"; "vs bytecode" ]
+      in
+      List.iter
+        (fun row ->
+          let bytecode_ns =
+            Option.value
+              (List.assoc_opt "bytecode" row.xr_makespans)
+              ~default:row.xr_best.cd_makespan_ns
+          in
+          Support.Stats.Table.add_row tbl
+            [
+              string_of_int row.xr_n;
+              row.xr_best.cd_name;
+              row.xr_best.cd_plan_text;
+              Printf.sprintf "%.1f" (us row.xr_best.cd_makespan_ns);
+              Printf.sprintf "%.2fx"
+                (bytecode_ns /. Float.max row.xr_best.cd_makespan_ns 1e-9);
+            ])
+        x.xo_rows;
+      Buffer.add_string buf (Support.Stats.Table.render tbl);
+      (* flag the flip points: where growing the stream changes the
+         winning placement — the lengths a length-aware scheduler
+         must treat differently *)
+      let rec flips_of = function
+        | (a : crossover_row) :: (b :: _ as rest) ->
+          (if a.xr_best.cd_plan_text <> b.xr_best.cd_plan_text then
+             [ b.xr_n, a.xr_best.cd_plan_text, b.xr_best.cd_plan_text ]
+           else [])
+          @ flips_of rest
+        | _ -> []
+      in
+      let flips = flips_of x.xo_rows in
+      (match flips with
+      | [] -> p "  no crossover: one placement wins at every swept length\n"
+      | fs ->
+        List.iter
+          (fun (n, from_, to_) ->
+            p "  crossover at n=%d: %s -> %s\n" n from_ to_)
+          fs);
+      p "\n")
+    xs;
+  Buffer.contents buf
+
 (* --- rendering --------------------------------------------------------- *)
 
 let render (r : report) : string =
@@ -383,3 +488,24 @@ let render_json (r : report) : string =
     r.rp_n (json_escape r.rp_store_path) r.rp_store_size r.rp_hits
     r.rp_calibrated
     (String.concat "," (List.map graph r.rp_graphs))
+
+let render_crossover_json (xs : crossover list) : string =
+  let row (r : crossover_row) =
+    Printf.sprintf
+      "{\"n\":%d,\"best\":\"%s\",\"plan\":\"%s\",\"makespan_ns\":%.1f,\"candidates\":{%s}}"
+      r.xr_n r.xr_best.cd_name
+      (json_escape r.xr_best.cd_plan_text)
+      r.xr_best.cd_makespan_ns
+      (String.concat ","
+         (List.map
+            (fun (name, ns) -> Printf.sprintf "\"%s\":%.1f" name ns)
+            r.xr_makespans))
+  in
+  Printf.sprintf "{\"crossover\":[%s]}"
+    (String.concat ","
+       (List.map
+          (fun x ->
+            Printf.sprintf "{\"uid\":\"%s\",\"kind\":\"%s\",\"rows\":[%s]}"
+              (json_escape x.xo_uid) (json_escape x.xo_kind)
+              (String.concat "," (List.map row x.xo_rows)))
+          xs))

@@ -73,3 +73,38 @@ val run : ?profile_path:string -> n:int -> Liquid_metal.Compiler.compiled -> rep
 
 val render : report -> string
 val render_json : report -> string
+
+(** {2 Multi-stream-length crossover (paper section 7)}
+
+    Which device wins depends on the stream length: launch overhead
+    and boundary latency amortize as [n] grows. The crossover sweep
+    plans one program at many lengths through a single calibration
+    context (profiles are measured once; the sweep itself is pure
+    prediction) and reports, per graph, the winning candidate at each
+    length and where the winner flips — the decisions a length-aware
+    scheduler ([lib/serve]) makes, made inspectable. *)
+
+type crossover_row = {
+  xr_n : int;
+  xr_best : candidate;
+  xr_makespans : (string * float) list;  (** candidate name -> ns *)
+}
+
+type crossover = {
+  xo_uid : string;
+  xo_kind : string;
+  xo_rows : crossover_row list;  (** ascending n *)
+}
+
+val sweep_lengths : ?lo:int -> ?hi:int -> unit -> int list
+(** Powers of two from [lo] (default 64) through [hi] (default
+    65536). *)
+
+val crossover : Calibrate.ctx -> ns:int list -> crossover list
+(** One crossover table per task graph / kernel site, swept over
+    [ns]. *)
+
+val render_crossover : crossover list -> string
+(** Text table per graph with the flip points called out. *)
+
+val render_crossover_json : crossover list -> string

@@ -619,7 +619,12 @@ let rec run_segment_with_recovery t (artifact : Artifact.t)
   in
   let rec attempt k =
     match batch_of_artifact t artifact pairs xs with
-    | outputs -> outputs
+    | outputs ->
+      (* the segment's code and staging buffers are now on the device:
+         record residency so a data-aware scheduler (lib/serve) can
+         prefer this device for the next job touching the same chain *)
+      Store.note_resident t.store_ ~device ~uid;
+      outputs
     | exception Support.Fault.Device_fault info ->
       Metrics.add_device_fault t.metrics_;
       rewind ();

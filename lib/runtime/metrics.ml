@@ -226,6 +226,59 @@ let reset t =
   t.fused_launches <- 0;
   t.unfuses <- 0
 
+(* Per-job accounting in a shared engine: snapshot on dispatch,
+   snapshot on completion, subtract. Counters only ever grow, so the
+   later snapshot's substitution list extends the earlier one — the
+   job's own substitutions are the suffix past the earlier length. *)
+let diff (later : snapshot) (earlier : snapshot) : snapshot =
+  let b (l : Wire.Boundary.stats) (e : Wire.Boundary.stats) :
+      Wire.Boundary.stats =
+    {
+      crossings_to_device = l.crossings_to_device - e.crossings_to_device;
+      crossings_to_host = l.crossings_to_host - e.crossings_to_host;
+      bytes_to_device = l.bytes_to_device - e.bytes_to_device;
+      bytes_to_host = l.bytes_to_host - e.bytes_to_host;
+      modeled_transfer_ns =
+        l.modeled_transfer_ns -. e.modeled_transfer_ns;
+    }
+  in
+  let rec drop n l = if n <= 0 then l else match l with
+    | [] -> []
+    | _ :: tl -> drop (n - 1) tl
+  in
+  {
+    vm_instructions = later.vm_instructions - earlier.vm_instructions;
+    native_instructions =
+      later.native_instructions - earlier.native_instructions;
+    native_ns = later.native_ns -. earlier.native_ns;
+    gpu_kernels = later.gpu_kernels - earlier.gpu_kernels;
+    gpu_kernel_ns = later.gpu_kernel_ns -. earlier.gpu_kernel_ns;
+    fpga_runs = later.fpga_runs - earlier.fpga_runs;
+    fpga_cycles = later.fpga_cycles - earlier.fpga_cycles;
+    fpga_ns = later.fpga_ns -. earlier.fpga_ns;
+    marshal = b later.marshal earlier.marshal;
+    marshal_native = b later.marshal_native earlier.marshal_native;
+    substitutions =
+      drop (List.length earlier.substitutions) later.substitutions;
+    device_faults = later.device_faults - earlier.device_faults;
+    retries = later.retries - earlier.retries;
+    resubstitutions = later.resubstitutions - earlier.resubstitutions;
+    replans = later.replans - earlier.replans;
+    backoff_ns = later.backoff_ns -. earlier.backoff_ns;
+    sched_runs = later.sched_runs - earlier.sched_runs;
+    sched_steady = later.sched_steady - earlier.sched_steady;
+    sched_fallbacks = later.sched_fallbacks - earlier.sched_fallbacks;
+    sched_rounds = later.sched_rounds - earlier.sched_rounds;
+    sched_steps = later.sched_steps - earlier.sched_steps;
+    sched_blocked_steps =
+      later.sched_blocked_steps - earlier.sched_blocked_steps;
+    sched_cache_hits = later.sched_cache_hits - earlier.sched_cache_hits;
+    mr_runs = later.mr_runs - earlier.mr_runs;
+    mr_chunks = later.mr_chunks - earlier.mr_chunks;
+    fused_launches = later.fused_launches - earlier.fused_launches;
+    unfuses = later.unfuses - earlier.unfuses;
+  }
+
 (* --- snapshot presentation -------------------------------------------- *)
 
 (* One declaration per metric. The pretty-printer, the JSON export and

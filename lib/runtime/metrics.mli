@@ -96,6 +96,12 @@ val native_boundary : t -> Wire.Boundary.t
 val snapshot : t -> snapshot
 val reset : t -> unit
 
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier]: the activity between two snapshots of the
+    same accumulator — how a multi-job engine attributes metrics to
+    one job without resetting shared state. Counters subtract; the
+    substitution list keeps the entries performed after [earlier]. *)
+
 (** One declared metric: the single source the pretty-printer, JSON
     export and registry export are all derived from, so the renderings
     cannot drift apart. *)

@@ -15,7 +15,16 @@ type t = {
       (* devices pulled out of service at runtime after a fault, with
          the reason; lookups treat their artifacts as absent so
          re-planning never picks them again *)
+  mutable resident : (Artifact.device * string list) list;
+      (* per device, the segment uids whose inputs/code were last
+         staged there (most recent first, bounded LRU) — the transfer
+         state a data-aware scheduler weighs against raw makespan *)
 }
+
+(* Residency is scheduling state, not correctness state: it only
+   biases placement, so a small LRU per device is enough to capture
+   "this job's segments are already over the wire". *)
+let residency_capacity = 32
 
 let create () =
   {
@@ -23,6 +32,7 @@ let create () =
     fusions = Hashtbl.create 8;
     manifest = { entries = []; exclusions = [] };
     quarantined = [];
+    resident = [];
   }
 
 let add_fusion t ~chain fused = Hashtbl.replace t.fusions chain fused
@@ -48,9 +58,34 @@ let record_exclusion t ~uid ~device ~reason =
         @ [ { Artifact.ex_uid = uid; ex_device = device; ex_reason = reason } ];
     }
 
+let residents t ~device =
+  Option.value (List.assoc_opt device t.resident) ~default:[]
+
+let note_resident t ~device ~uid =
+  let kept =
+    List.filter (fun u -> u <> uid) (residents t ~device)
+  in
+  let entry =
+    uid
+    ::
+    (if List.length kept >= residency_capacity then
+       List.filteri (fun i _ -> i < residency_capacity - 1) kept
+     else kept)
+  in
+  t.resident <- (device, entry) :: List.remove_assoc device t.resident
+
+let is_resident t ~device ~uid = List.mem uid (residents t ~device)
+
+let evict_residents t ~device =
+  t.resident <- List.remove_assoc device t.resident
+
 let quarantine t ~device ~reason =
-  if not (List.mem_assoc device t.quarantined) then
-    t.quarantined <- (device, reason) :: t.quarantined
+  if not (List.mem_assoc device t.quarantined) then begin
+    t.quarantined <- (device, reason) :: t.quarantined;
+    (* a quarantined device's staged state is gone with it: nothing
+       should score a residency bonus on a device plans cannot pick *)
+    evict_residents t ~device
+  end
 
 let is_quarantined t ~device = List.mem_assoc device t.quarantined
 let quarantined t = List.rev t.quarantined

@@ -36,6 +36,22 @@ val clear_quarantine : t -> unit
 (** Return all quarantined devices to service (used by tests that
     reuse a compiled store across fault schedules). *)
 
+val note_resident : t -> device:Artifact.device -> uid:string -> unit
+(** Record that segment [uid]'s code and staging buffers were just
+    used on [device] — the runtime calls this after every successful
+    device launch. Kept as a small per-device LRU: residency is
+    scheduling state (a data-aware scheduler prefers a device where a
+    job's segments are already staged), never correctness state. *)
+
+val is_resident : t -> device:Artifact.device -> uid:string -> bool
+
+val residents : t -> device:Artifact.device -> string list
+(** Most recently used first. *)
+
+val evict_residents : t -> device:Artifact.device -> unit
+(** Drop a device's residency set. {!quarantine} does this
+    implicitly — a device out of service cannot hold staged state. *)
+
 val manifest : t -> Artifact.manifest
 val artifact_count : t -> int
 

@@ -1,0 +1,104 @@
+(** The multi-tenant job engine behind [lmc serve] (see
+    [docs/SERVE.md]).
+
+    One long-lived engine hosts many concurrent jobs over the shared
+    device pool: admission control (per-tenant quotas), weighted
+    deficit round-robin across tenant queues, a data-aware scoring
+    step that places each job where its calibrated makespan plus
+    boundary traffic is cheapest — jobs whose artifacts are already
+    resident on a device ({!Runtime.Store.is_resident}) prefer it —
+    and batching of back-to-back small jobs of the same shape into one
+    device occupancy window.
+
+    Time is virtual: the engine is a discrete-event simulation over
+    the same deterministic modeled-nanosecond clock the runtime's cost
+    models use ({!Runtime.Exec.modeled_ns}), so a run is bit-stable
+    and needs no real concurrency or networking. Device occupancy is
+    modeled as per-device slot timelines; every job still {e really
+    executes} through a shared per-workload co-execution engine — the
+    policy pinned to the scheduler's chosen device — so outputs,
+    faults, retries, quarantines and re-substitutions are all real,
+    and each job's output is bit-identical to a solo [lmc run]. Job
+    service times are measured (modeled-ns deltas), not predicted, and
+    per-job metrics come from {!Runtime.Metrics.diff} against the
+    shared accumulator. *)
+
+type config = {
+  c_slots : (string * int) list;
+      (** concurrent occupancy windows per device, over
+          ["gpu"]/["fpga"]/["native"]/["vm"]; devices absent or at 0
+          take no jobs *)
+  c_quantum_ns : float;  (** WDRR quantum per unit of tenant weight *)
+  c_batch_window_ns : float;
+      (** dispatches of the same (workload, size, device) within this
+          window coalesce into one occupancy window *)
+  c_batch_max : int;  (** max jobs per coalesced window *)
+  c_profile_path : string;  (** placement profile store *)
+}
+
+val default_config : config
+(** One slot per device, 1us quantum (fine-grained weighted
+    interleaving — well below typical job makespans), 10us batch
+    window of up to 4 jobs, profiles in [lm.profiles]. *)
+
+type job_result = {
+  jr_spec : Job.spec;
+  jr_device : string;
+  jr_start_ns : float;  (** occupancy-window start (virtual) *)
+  jr_finish_ns : float;  (** completion (virtual) *)
+  jr_service_ns : float;  (** measured modeled-ns of the execution *)
+  jr_predicted_ns : float;  (** the score the scheduler dispatched on *)
+  jr_batched : bool;  (** shared its occupancy window *)
+  jr_output : string;  (** [Lm.show] of the result value *)
+  jr_metrics : Runtime.Metrics.snapshot;  (** this job's share *)
+}
+
+type tenant_report = {
+  tr_tenant : Job.tenant;
+  tr_submitted : int;
+  tr_admitted : int;
+  tr_rejected : int;  (** quota rejections *)
+  tr_completed : int;
+  tr_peak_outstanding : int;  (** max admitted-but-uncompleted *)
+  tr_service_ns : float;
+  tr_contended_service_ns : float;
+      (** device time received while every tenant still had work —
+          the window the fairness ratios are judged over *)
+  tr_latencies_ns : float array;  (** arrival -> completion, per job *)
+  tr_throughput_jps : float;  (** completed per virtual second *)
+}
+
+type device_report = {
+  dr_device : string;
+  dr_slots : int;
+  dr_windows : int;  (** occupancy windows opened *)
+  dr_jobs : int;
+  dr_batched_jobs : int;  (** jobs that shared a window *)
+  dr_busy_ns : float;
+  dr_peak_occupancy : int;  (** never exceeds [dr_slots] *)
+}
+
+type report = {
+  sr_wall_ns : float;  (** virtual time from first arrival to drain *)
+  sr_contended_until_ns : float;
+  sr_tenants : tenant_report list;
+  sr_devices : device_report list;
+  sr_jobs : job_result list;  (** by job id *)
+}
+
+exception Serve_error of string
+
+val run : ?config:config -> Job.load -> report
+(** Admit, schedule and really execute a load to drain.
+    @raise Serve_error on an invalid load or config (e.g. zero slots
+    everywhere). *)
+
+val solo_output : Job.spec -> string
+(** The job run alone through a fresh session under the default
+    policy — the bit-identity baseline ([Lm.show] of the result). *)
+
+val render : report -> string
+(** Per-tenant table (throughput, p50/p95/p99 latency, fairness
+    shares), per-device table, and totals. *)
+
+val render_json : report -> string

@@ -1,0 +1,230 @@
+type deadline = Interactive | Batch
+
+let deadline_name = function Interactive -> "interactive" | Batch -> "batch"
+
+type tenant = { t_name : string; t_weight : int; t_quota : int }
+
+type spec = {
+  j_id : int;
+  j_tenant : string;
+  j_workload : string;
+  j_size : int;
+  j_arrival_ns : float;
+  j_class : deadline;
+}
+
+type load = { l_tenants : tenant list; l_jobs : spec list }
+
+exception Parse_error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "line %d: %s" line m))) fmt
+
+(* Stable sort by arrival keeps submission order among simultaneous
+   arrivals, then re-number so j_id is dense in schedule order. *)
+let finish tenants jobs =
+  let jobs =
+    List.stable_sort (fun a b -> compare a.j_arrival_ns b.j_arrival_ns) jobs
+  in
+  let jobs = List.mapi (fun i j -> { j with j_id = i }) jobs in
+  { l_tenants = List.rev tenants; l_jobs = jobs }
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_kv line w =
+  match String.index_opt w '=' with
+  | Some i ->
+      ( String.sub w 0 i,
+        String.sub w (i + 1) (String.length w - i - 1) )
+  | None -> fail line "expected key=value, got %S" w
+
+let int_of line k v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> fail line "%s wants an integer, got %S" k v
+
+let float_of line k v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> fail line "%s wants a number, got %S" k v
+
+let parse text =
+  let tenants = ref [] and jobs = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let ln = i + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      match split_words line with
+      | [] -> ()
+      | "tenant" :: name :: opts ->
+          let weight = ref 1 and quota = ref max_int in
+          List.iter
+            (fun w ->
+              match parse_kv ln w with
+              | "weight", v -> weight := int_of ln "weight" v
+              | "quota", v -> quota := int_of ln "quota" v
+              | k, _ -> fail ln "unknown tenant option %S" k)
+            opts;
+          tenants :=
+            { t_name = name; t_weight = !weight; t_quota = !quota } :: !tenants
+      | "job" :: tenant :: workload :: opts ->
+          let size = ref (-1)
+          and at = ref 0.0
+          and count = ref 1
+          and every = ref 0.0
+          and cls = ref Batch in
+          List.iter
+            (fun w ->
+              match parse_kv ln w with
+              | "size", v -> size := int_of ln "size" v
+              | "at", v -> at := float_of ln "at" v
+              | "count", v -> count := int_of ln "count" v
+              | "every", v -> every := float_of ln "every" v
+              | "class", v -> (
+                  match v with
+                  | "interactive" -> cls := Interactive
+                  | "batch" -> cls := Batch
+                  | _ -> fail ln "class is interactive or batch, got %S" v)
+              | k, _ -> fail ln "unknown job option %S" k)
+            opts;
+          let size =
+            if !size >= 0 then !size
+            else
+              match Workloads.find workload with
+              | w -> w.Workloads.default_size
+              | exception Not_found -> fail ln "unknown workload %S" workload
+          in
+          if !count < 1 then fail ln "count must be >= 1";
+          for k = 0 to !count - 1 do
+            jobs :=
+              {
+                j_id = 0;
+                j_tenant = tenant;
+                j_workload = workload;
+                j_size = size;
+                j_arrival_ns = !at +. (float_of_int k *. !every);
+                j_class = !cls;
+              }
+              :: !jobs
+          done
+      | w :: _ -> fail ln "unknown directive %S" w)
+    lines;
+  finish !tenants (List.rev !jobs)
+
+let parse_file path =
+  let text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error m -> raise (Parse_error m)
+  in
+  parse text
+
+let synthetic ?(quota = max_int) ?(workloads = [ "saxpy" ]) ?(size = 256)
+    ?(jobs_per_tenant = 8) ?(interarrival_ns = 50_000.0) ?(seed = 1)
+    tenants =
+  if workloads = [] then raise (Parse_error "synthetic: no workloads");
+  let wls = Array.of_list workloads in
+  let jobs =
+    List.concat
+      (List.mapi
+         (fun ti (name, _) ->
+           let rng =
+             Workloads.Rng.create
+               ~seed:(Int64.of_int ((seed * 1009) + (ti * 7919) + 17))
+               ()
+           in
+           let t = ref 0.0 in
+           List.init jobs_per_tenant (fun k ->
+               let jitter = 0.5 +. Workloads.Rng.float rng in
+               let arrival = !t in
+               t := !t +. (interarrival_ns *. jitter);
+               {
+                 j_id = 0;
+                 j_tenant = name;
+                 j_workload = wls.(k mod Array.length wls);
+                 j_size = size;
+                 j_arrival_ns = arrival;
+                 j_class = Batch;
+               }))
+         tenants)
+  in
+  let tenants =
+    List.rev_map
+      (fun (name, weight) ->
+        { t_name = name; t_weight = weight; t_quota = quota })
+      tenants
+  in
+  finish tenants jobs
+
+let validate load =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* () =
+    if load.l_tenants = [] then err "no tenants declared" else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc t ->
+        let* () = acc in
+        let* () =
+          if t.t_weight < 1 then err "tenant %s: weight must be >= 1" t.t_name
+          else Ok ()
+        in
+        if t.t_quota < 1 then err "tenant %s: quota must be >= 1" t.t_name
+        else Ok ())
+      (Ok ()) load.l_tenants
+  in
+  let* () =
+    let names = List.map (fun t -> t.t_name) load.l_tenants in
+    if List.length (List.sort_uniq compare names) <> List.length names then
+      err "duplicate tenant names"
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc j ->
+      let* () = acc in
+      let* () =
+        if List.exists (fun t -> t.t_name = j.j_tenant) load.l_tenants then
+          Ok ()
+        else err "job %d: unknown tenant %S" j.j_id j.j_tenant
+      in
+      let* () =
+        match Workloads.find j.j_workload with
+        | _ -> Ok ()
+        | exception Not_found ->
+            err "job %d: unknown workload %S" j.j_id j.j_workload
+      in
+      if j.j_size < 1 then err "job %d: size must be >= 1" j.j_id
+      else if j.j_arrival_ns < 0.0 then err "job %d: negative arrival" j.j_id
+      else Ok ())
+    (Ok ()) load.l_jobs
+
+let render load =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun t ->
+      Buffer.add_string b
+        (if t.t_quota = max_int then
+           Printf.sprintf "tenant %s weight=%d\n" t.t_name t.t_weight
+         else
+           Printf.sprintf "tenant %s weight=%d quota=%d\n" t.t_name t.t_weight
+             t.t_quota))
+    load.l_tenants;
+  List.iter
+    (fun j ->
+      Buffer.add_string b
+        (Printf.sprintf "job %s %s size=%d at=%.0f class=%s\n" j.j_tenant
+           j.j_workload j.j_size j.j_arrival_ns (deadline_name j.j_class)))
+    load.l_jobs;
+  Buffer.contents b

@@ -142,6 +142,13 @@ let active () = !current
 let enabled () = !current <> None
 let injected () = !injected_count
 
+let without f =
+  match !current with
+  | None -> f ()
+  | Some sched ->
+    current := None;
+    Fun.protect ~finally:(fun () -> current := Some sched) f
+
 (* --- the decision ------------------------------------------------------ *)
 
 let segment_matches pat seg =

@@ -62,6 +62,13 @@ val clear : unit -> unit
 val active : unit -> schedule option
 val enabled : unit -> bool
 
+val without : (unit -> 'a) -> 'a
+(** Run [f] with injection suspended (schedule and counters preserved,
+    reinstalled on return or raise). Infrastructure launches — the
+    placement calibrator's microbenchmarks — run under this so a
+    schedule only ever charges application launches: a [n=1] budget
+    must fire in the tenant's job, not inside a measurement probe. *)
+
 val injected : unit -> int
 (** Faults injected since the last {!install}/{!clear}. *)
 

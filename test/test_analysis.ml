@@ -326,6 +326,56 @@ let test_symbolic_opencl_unguarded () =
   check_bool "no marker without proof" false
     (Test_types.contains text "/* unguarded */")
 
+(* Derived indices: the shifted-bound rule proves xs[j + off] when the
+   guard's bound shifts by the same offset (j < xs.length - 2), and
+   xs[j - off] from the lower bound alone (j >= 3) — while the same
+   access under an unshifted guard stays unproven. *)
+let derived_src =
+  {|
+class D {
+  local static int fwd(int[[]] xs) {
+    int acc = 0;
+    for (int j = 0; j < xs.length - 2; j++) {
+      acc = acc + xs[j + 2];
+    }
+    return acc;
+  }
+  local static int bwd(int[[]] xs) {
+    int acc = 0;
+    for (int j = 3; j < xs.length; j++) {
+      acc = acc + xs[j - 3];
+    }
+    return acc;
+  }
+  local static int unshifted(int[[]] xs) {
+    int acc = 0;
+    for (int j = 0; j < xs.length; j++) {
+      acc = acc + xs[j + 2];
+    }
+    return acc;
+  }
+}
+|}
+
+let test_symbolic_derived_indices () =
+  let prog = compile derived_src in
+  let facts fn = Symbolic.analyze_fn prog (Ir.func_exn prog fn) in
+  let f = facts "D.fwd" in
+  check_int "xs[j+2] under j < xs.length-2: proven" f.Symbolic.sf_total
+    f.Symbolic.sf_proven;
+  check_bool "forward proof is relational" true (f.Symbolic.sf_relational >= 1);
+  let f = facts "D.bwd" in
+  check_int "xs[j-3] under j >= 3: proven" f.Symbolic.sf_total
+    f.Symbolic.sf_proven;
+  let f = facts "D.unshifted" in
+  check_int "xs[j+2] under j < xs.length: refused" 0 f.Symbolic.sf_proven;
+  (* the proof reaches the OpenCL emitter: fwd compiles unguarded *)
+  let text =
+    Gpu.Opencl_gen.device_function_text prog (Ir.func_exn prog "D.fwd")
+  in
+  check_bool "derived access unguarded on the device" true
+    (Test_types.contains text "/* unguarded */")
+
 (* The bytecode compiler consumes the proofs: proven accesses compile
    to aload.u/astore.u, unproven ones keep the checked opcodes — and
    the unchecked path computes the same value. *)
@@ -563,6 +613,8 @@ let suite =
         test_symbolic_length_loops_proven;
       Alcotest.test_case "symbolic opencl unguarded" `Quick
         test_symbolic_opencl_unguarded;
+      Alcotest.test_case "symbolic derived indices proven" `Quick
+        test_symbolic_derived_indices;
       Alcotest.test_case "symbolic bytecode unchecked" `Quick
         test_symbolic_bytecode_unchecked;
       Alcotest.test_case "algebra verdicts" `Quick test_algebra_verdicts;

@@ -236,6 +236,46 @@ let test_plan_dsp_chain_beats_default () =
   check_bool "rationale names the decision" true
     (String.length gp.Planner.gp_rationale > 0)
 
+(* --- multi-length crossover sweep -------------------------------- *)
+
+let test_crossover_sweep () =
+  (* dsp_chain is the canonical length-sensitive program: the winner
+     at 64 elements (boundary-dominated) need not be the winner at
+     64k (bandwidth-dominated). The sweep must be internally
+     consistent regardless of where the flips land. *)
+  let w = Workloads.find "dsp_chain" in
+  let c = Compiler.compile w.Workloads.source in
+  let ctx = Calibrate.create ~profile_store:(fresh_store ()) c in
+  let ns = Planner.sweep_lengths ~lo:64 ~hi:4096 () in
+  check_bool "powers of two, ascending" true
+    (ns = [ 64; 128; 256; 512; 1024; 2048; 4096 ]);
+  let tables = Planner.crossover ctx ~ns in
+  check_bool "at least one swept graph" true (tables <> []);
+  List.iter
+    (fun xo ->
+      let rows = xo.Planner.xo_rows in
+      check_int "one row per length" (List.length ns) (List.length rows);
+      check_bool "rows ascend in n" true
+        (let lens = List.map (fun r -> r.Planner.xr_n) rows in
+         List.sort compare lens = lens);
+      List.iter
+        (fun r ->
+          (* the recorded winner really is the argmin of its row *)
+          let best_ns =
+            List.fold_left
+              (fun acc (_, m) -> Float.min acc m)
+              infinity r.Planner.xr_makespans
+          in
+          check_bool
+            (Printf.sprintf "%s n=%d: winner is the row minimum"
+               xo.Planner.xo_uid r.Planner.xr_n)
+            true
+            (r.Planner.xr_best.Planner.cd_makespan_ns <= best_ns +. 1e-6))
+        rows)
+    tables;
+  check_bool "render mentions a winner column" true
+    (Test_types.contains (Planner.render_crossover tables) "best")
+
 let suite =
   ( "placement",
     [
@@ -255,4 +295,6 @@ let suite =
         test_no_replan_without_factor;
       Alcotest.test_case "dsp_chain: planner beats accelerator-first" `Quick
         test_plan_dsp_chain_beats_default;
+      Alcotest.test_case "crossover sweep is consistent at every length" `Quick
+        test_crossover_sweep;
     ] )

@@ -1,0 +1,375 @@
+(* The multi-tenant job engine (lib/serve, `lmc serve`).
+
+   Five layers: the job-file parser and the deterministic synthetic
+   generator; a fairness differential (a contended burst's WDRR device
+   shares must track the tenant weights within 15%); a QCheck property
+   that admission never exceeds a tenant's quota and scheduling never
+   exceeds a device's slots; fault injection under concurrency (one
+   tenant's faulted chunk retries without perturbing any tenant's
+   results — every job stays bit-identical to its solo run); and the
+   batching and metrics-attribution mechanics. *)
+
+module Job = Serve.Job
+module Engine = Serve.Engine
+module Metrics = Runtime.Metrics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Never calibrate into the developer's working-directory store. *)
+let test_config ?slots ?(batch_max = 4) ?(batch_window = 10_000.0) () =
+  {
+    Engine.default_config with
+    Engine.c_profile_path = Filename.temp_file "lm_serve_profiles" ".tmp";
+    c_batch_max = batch_max;
+    c_batch_window_ns = batch_window;
+    c_slots =
+      Option.value slots ~default:Engine.default_config.Engine.c_slots;
+  }
+
+(* --- job files --------------------------------------------------------- *)
+
+let test_parse_job_file () =
+  let load =
+    Job.parse
+      "# a comment\n\
+       tenant gold weight=3 quota=4\n\
+       tenant bronze weight=1\n\
+       \n\
+       job gold saxpy size=128 at=100\n\
+       job bronze dsp_chain count=3 every=50 # trailing comment\n\
+       job gold sumsq\n"
+  in
+  check_int "two tenants" 2 (List.length load.Job.l_tenants);
+  let gold = List.hd load.Job.l_tenants in
+  check_string "first tenant" "gold" gold.Job.t_name;
+  check_int "weight parsed" 3 gold.Job.t_weight;
+  check_int "quota parsed" 4 gold.Job.t_quota;
+  check_int "count= expands" 5 (List.length load.Job.l_jobs);
+  (* jobs are sorted by arrival; count/every spaces the expansion *)
+  let arrivals = List.map (fun j -> j.Job.j_arrival_ns) load.Job.l_jobs in
+  check_bool "arrivals ascending" true
+    (List.sort compare arrivals = arrivals);
+  let bronze_jobs =
+    List.filter (fun j -> j.Job.j_tenant = "bronze") load.Job.l_jobs
+  in
+  check_bool "every= spaces the series" true
+    (List.map (fun j -> j.Job.j_arrival_ns) bronze_jobs = [ 0.0; 50.0; 100.0 ]);
+  let sumsq = List.find (fun j -> j.Job.j_workload = "sumsq") load.Job.l_jobs in
+  check_int "size defaults to the workload's"
+    (Workloads.find "sumsq").Workloads.default_size sumsq.Job.j_size;
+  check_bool "ids are dense in schedule order" true
+    (List.mapi (fun i _ -> i) load.Job.l_jobs
+    = List.map (fun j -> j.Job.j_id) load.Job.l_jobs);
+  check_bool "validates" true (Result.is_ok (Job.validate load))
+
+let test_parse_errors () =
+  let bad text =
+    match Job.parse text with
+    | exception Job.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "unknown directive" true (bad "frob gold saxpy\n");
+  check_bool "bad key=value" true (bad "tenant gold weight\n");
+  check_bool "unknown workload" true (bad "job gold nosuch\n");
+  check_bool "bad class" true (bad "job g saxpy class=sometimes\n");
+  let unknown_tenant = Job.parse "tenant gold weight=1\njob ghost saxpy\n" in
+  check_bool "unknown tenant rejected by validate" true
+    (Result.is_error (Job.validate unknown_tenant))
+
+let test_synthetic_deterministic () =
+  let mk seed =
+    Job.synthetic ~quota:4 ~workloads:[ "saxpy"; "sumsq" ] ~size:64
+      ~jobs_per_tenant:5 ~interarrival_ns:1000.0 ~seed
+      [ ("a", 2); ("b", 1) ]
+  in
+  check_bool "same seed, same load" true (mk 7 = mk 7);
+  check_bool "different seed, different arrivals" true (mk 7 <> mk 8);
+  let load = mk 7 in
+  check_int "jobs per tenant honored" 10 (List.length load.Job.l_jobs);
+  check_bool "workloads cycle" true
+    (List.exists (fun j -> j.Job.j_workload = "sumsq") load.Job.l_jobs);
+  check_bool "render re-parses" true
+    (Result.is_ok (Job.validate (Job.parse (Job.render load))))
+
+(* --- fairness ---------------------------------------------------------- *)
+
+(* A contended burst: every job arrives at t=0 and exactly one device
+   slot exists, so WDRR alone decides the timeline order. Each
+   tenant's share of device time over the contended window (until the
+   first tenant runs out of work) must track its weight within 15%. *)
+let test_fairness_tracks_weights () =
+  let jobs_each = 12 in
+  let text =
+    "tenant gold weight=2\ntenant silver weight=1\ntenant bronze weight=1\n"
+    ^ String.concat ""
+        (List.map
+           (fun t -> Printf.sprintf "job %s saxpy size=256 count=%d\n" t jobs_each)
+           [ "gold"; "silver"; "bronze" ])
+  in
+  let load = Job.parse text in
+  let config = test_config ~slots:[ ("gpu", 1) ] ~batch_max:1 () in
+  let r = Engine.run ~config load in
+  let total =
+    List.fold_left
+      (fun acc t -> acc +. t.Engine.tr_contended_service_ns)
+      0.0 r.Engine.sr_tenants
+  in
+  check_bool "contended window is nonempty" true (total > 0.0);
+  let weight_sum =
+    List.fold_left
+      (fun acc t -> acc + t.Engine.tr_tenant.Job.t_weight)
+      0 r.Engine.sr_tenants
+  in
+  List.iter
+    (fun t ->
+      let share = t.Engine.tr_contended_service_ns /. total in
+      let fair =
+        float_of_int t.Engine.tr_tenant.Job.t_weight
+        /. float_of_int weight_sum
+      in
+      let err = Float.abs (share -. fair) /. fair in
+      check_bool
+        (Printf.sprintf "%s: share %.3f within 15%% of fair %.3f (err %.1f%%)"
+           t.Engine.tr_tenant.Job.t_name share fair (100.0 *. err))
+        true (err <= 0.15);
+      check_int
+        (Printf.sprintf "%s: everything completed" t.Engine.tr_tenant.Job.t_name)
+        jobs_each t.Engine.tr_completed)
+    r.Engine.sr_tenants
+
+(* --- quotas ------------------------------------------------------------ *)
+
+let test_quota_rejects () =
+  (* a burst of 6 against quota 2: at most 2 in the system at once *)
+  let load =
+    Job.parse
+      "tenant a weight=1 quota=2\n\
+       job a saxpy size=64 count=6\n"
+  in
+  let r = Engine.run ~config:(test_config ()) load in
+  let t = List.hd r.Engine.sr_tenants in
+  check_int "submitted" 6 t.Engine.tr_submitted;
+  check_bool "some rejected" true (t.Engine.tr_rejected > 0);
+  check_int "admitted + rejected = submitted" 6
+    (t.Engine.tr_admitted + t.Engine.tr_rejected);
+  check_int "everything admitted completed" t.Engine.tr_admitted
+    t.Engine.tr_completed;
+  check_bool "peak outstanding within quota" true
+    (t.Engine.tr_peak_outstanding <= 2)
+
+let prop_admission_respects_quota_and_slots =
+  let open QCheck2 in
+  let gen =
+    Gen.(
+      let* n_tenants = 1 -- 3 in
+      let* weights = list_repeat n_tenants (1 -- 3) in
+      let* quota = 1 -- 3 in
+      let* jobs_per_tenant = 1 -- 4 in
+      let* interarrival = oneofl [ 0.0; 5_000.0; 50_000.0 ] in
+      let* seed = 1 -- 1000 in
+      let* gpu = 0 -- 2 in
+      let* native = 0 -- 1 in
+      let* vm = if gpu = 0 && native = 0 then return 1 else 0 -- 1 in
+      let tenants =
+        List.mapi (fun i w -> (Printf.sprintf "t%d" i, w)) weights
+      in
+      return
+        ( Job.synthetic ~quota ~workloads:[ "saxpy" ] ~size:64
+            ~jobs_per_tenant ~interarrival_ns:interarrival ~seed tenants,
+          [ ("gpu", gpu); ("native", native); ("vm", vm) ] ))
+  in
+  Test.make ~count:8
+    ~name:"serve: admission respects quotas, scheduling respects slots" gen
+    (fun (load, slots) ->
+      let config = test_config ~slots () in
+      let r = Engine.run ~config load in
+      List.for_all
+        (fun t ->
+          t.Engine.tr_peak_outstanding <= t.Engine.tr_tenant.Job.t_quota
+          && t.Engine.tr_admitted + t.Engine.tr_rejected
+             = t.Engine.tr_submitted
+          && t.Engine.tr_completed = t.Engine.tr_admitted
+          && Array.for_all (fun l -> l >= 0.0) t.Engine.tr_latencies_ns)
+        r.Engine.sr_tenants
+      && List.for_all
+           (fun d -> d.Engine.dr_peak_occupancy <= d.Engine.dr_slots)
+           r.Engine.sr_devices
+      && List.length r.Engine.sr_jobs
+         = List.fold_left
+             (fun acc t -> acc + t.Engine.tr_admitted)
+             0 r.Engine.sr_tenants)
+
+(* --- fault injection under concurrency --------------------------------- *)
+
+(* One tenant's DSP job takes an injected chunk-kill on the FPGA; the
+   failure protocol retries it there, and no tenant's result moves:
+   every job — faulted tenant included — stays bit-identical to a solo
+   fault-free `lmc run` of the same workload. *)
+let test_fault_isolated_to_tenant () =
+  let load =
+    Job.parse
+      "tenant dsp weight=1\n\
+       tenant a weight=1\n\
+       tenant b weight=1\n\
+       job dsp dsp_chain size=512\n\
+       job a saxpy size=128 count=2\n\
+       job b sumsq size=128 count=2\n"
+  in
+  let config = test_config ~slots:[ ("fpga", 1); ("native", 1) ] () in
+  (match Support.Fault.parse_spec "fpga:Dsp*:n=1" with
+  | Ok schedule -> Support.Fault.install schedule
+  | Error m -> Alcotest.fail m);
+  let r =
+    Fun.protect ~finally:Support.Fault.clear (fun () ->
+        Engine.run ~config load)
+  in
+  let faults, retries =
+    List.fold_left
+      (fun (f, rt) j ->
+        ( f + j.Engine.jr_metrics.Metrics.device_faults,
+          rt + j.Engine.jr_metrics.Metrics.retries ))
+      (0, 0) r.Engine.sr_jobs
+  in
+  check_bool "the injected fault fired" true (faults >= 1);
+  check_bool "the failure protocol retried" true (retries >= 1);
+  (* faults are attributed to the dsp tenant's job only *)
+  List.iter
+    (fun j ->
+      if j.Engine.jr_spec.Job.j_tenant <> "dsp" then
+        check_int
+          (Printf.sprintf "job %d: no faults leak to other tenants"
+             j.Engine.jr_spec.Job.j_id)
+          0 j.Engine.jr_metrics.Metrics.device_faults)
+    r.Engine.sr_jobs;
+  (* and nobody's output moved *)
+  List.iter
+    (fun j ->
+      check_string
+        (Printf.sprintf "job %d (%s): bit-identical to solo"
+           j.Engine.jr_spec.Job.j_id j.Engine.jr_spec.Job.j_workload)
+        (Engine.solo_output j.Engine.jr_spec)
+        j.Engine.jr_output)
+    r.Engine.sr_jobs
+
+(* --- bit-identity of a mixed shared-engine load ------------------------ *)
+
+let test_outputs_bit_identical_to_solo () =
+  let load =
+    Job.synthetic ~workloads:[ "saxpy"; "sumsq"; "dsp_chain" ] ~size:128
+      ~jobs_per_tenant:3 ~interarrival_ns:10_000.0
+      [ ("gold", 2); ("silver", 1) ]
+  in
+  let r = Engine.run ~config:(test_config ()) load in
+  check_int "all jobs ran" (List.length load.Job.l_jobs)
+    (List.length r.Engine.sr_jobs);
+  List.iter
+    (fun j ->
+      check_string
+        (Printf.sprintf "job %d (%s on %s): solo = served"
+           j.Engine.jr_spec.Job.j_id j.Engine.jr_spec.Job.j_workload
+           j.Engine.jr_device)
+        (Engine.solo_output j.Engine.jr_spec)
+        j.Engine.jr_output)
+    r.Engine.sr_jobs
+
+(* --- batching ---------------------------------------------------------- *)
+
+let test_batching_coalesces () =
+  let load = Job.parse "tenant a weight=1\njob a saxpy size=64 count=6\n" in
+  let config =
+    test_config ~slots:[ ("native", 1) ] ~batch_max:4
+      ~batch_window:1_000_000.0 ()
+  in
+  let r = Engine.run ~config load in
+  let d = List.hd r.Engine.sr_devices in
+  check_bool "windows were shared" true (d.Engine.dr_batched_jobs > 0);
+  check_bool "fewer windows than jobs" true
+    (d.Engine.dr_windows < d.Engine.dr_jobs);
+  check_bool "a batched job is marked" true
+    (List.exists (fun j -> j.Engine.jr_batched) r.Engine.sr_jobs);
+  (* batching must not blur per-job accounting *)
+  List.iter
+    (fun j ->
+      check_bool
+        (Printf.sprintf "job %d: positive measured service"
+           j.Engine.jr_spec.Job.j_id)
+        true
+        (j.Engine.jr_service_ns > 0.0))
+    r.Engine.sr_jobs;
+  (* and batch-max=1 disables coalescing *)
+  let r1 =
+    Engine.run ~config:(test_config ~slots:[ ("native", 1) ] ~batch_max:1 ())
+      load
+  in
+  let d1 = List.hd r1.Engine.sr_devices in
+  check_int "batch-max=1: no shared windows" 0 d1.Engine.dr_batched_jobs
+
+(* --- per-job metrics attribution --------------------------------------- *)
+
+let test_metrics_attribution () =
+  let load =
+    Job.parse
+      "tenant a weight=1\n\
+       job a saxpy size=64 count=2\n\
+       job a dsp_chain size=256\n"
+  in
+  let r = Engine.run ~config:(test_config ()) load in
+  (* Metrics.diff against the shared accumulators: every job carries
+     only its own activity, so the per-job snapshots stay plausible
+     (non-negative counters, some work recorded somewhere). *)
+  List.iter
+    (fun j ->
+      let m = j.Engine.jr_metrics in
+      check_bool
+        (Printf.sprintf "job %d: non-negative counters" j.Engine.jr_spec.Job.j_id)
+        true
+        (m.Metrics.vm_instructions >= 0
+        && m.Metrics.gpu_kernels >= 0
+        && m.Metrics.fpga_runs >= 0
+        && m.Metrics.retries >= 0);
+      check_bool
+        (Printf.sprintf "job %d: did some work" j.Engine.jr_spec.Job.j_id)
+        true
+        (m.Metrics.vm_instructions > 0
+        || m.Metrics.gpu_kernels > 0
+        || m.Metrics.fpga_runs > 0
+        || m.Metrics.native_instructions > 0))
+    r.Engine.sr_jobs;
+  check_bool "wall covers every window" true
+    (List.for_all
+       (fun j -> j.Engine.jr_finish_ns <= r.Engine.sr_wall_ns +. 1e-6)
+       r.Engine.sr_jobs)
+
+let test_empty_load_drains () =
+  let load = Job.parse "tenant a weight=1\n" in
+  let r = Engine.run ~config:(test_config ()) load in
+  check_int "no jobs" 0 (List.length r.Engine.sr_jobs);
+  check_bool "zero wall" true (r.Engine.sr_wall_ns = 0.0)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "job file: grammar, expansion, ordering" `Quick
+        test_parse_job_file;
+      Alcotest.test_case "job file: errors carry line numbers" `Quick
+        test_parse_errors;
+      Alcotest.test_case "synthetic loads are deterministic" `Quick
+        test_synthetic_deterministic;
+      Alcotest.test_case "fairness: contended shares track weights" `Slow
+        test_fairness_tracks_weights;
+      Alcotest.test_case "quota: burst beyond quota is rejected" `Quick
+        test_quota_rejects;
+      QCheck_alcotest.to_alcotest prop_admission_respects_quota_and_slots;
+      Alcotest.test_case "fault under concurrency stays tenant-local" `Slow
+        test_fault_isolated_to_tenant;
+      Alcotest.test_case "every job bit-identical to its solo run" `Slow
+        test_outputs_bit_identical_to_solo;
+      Alcotest.test_case "batching coalesces same-shape jobs" `Quick
+        test_batching_coalesces;
+      Alcotest.test_case "per-job metrics diff attribution" `Quick
+        test_metrics_attribution;
+      Alcotest.test_case "an empty load drains immediately" `Quick
+        test_empty_load_drains;
+    ] )
